@@ -1,0 +1,107 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (prints paper-style tables; see EXPERIMENTS.md for the
+   paper-vs-measured record), then optionally runs the Bechamel
+   microbenchmark suite with statistically-fitted ns/run estimates.
+
+     dune exec bench/main.exe              # all experiments
+     dune exec bench/main.exe -- --quick   # skip the Bechamel suite
+     dune exec bench/main.exe -- --bechamel-only *)
+
+open Bechamel
+module Fletcher = Femto_workloads.Fletcher
+module Experiments = Femto_eval.Experiments
+
+let data = Fletcher.input_360
+
+(* One Bechamel test per table/figure workload: the statistically robust
+   counterpart of the wall-clock medians used in the tables. *)
+let bechamel_tests () =
+  let ebpf =
+    let program = Fletcher.ebpf_program () in
+    let helpers = Femto_vm.Helper.create () in
+    let regions = Fletcher.regions ~ctx_vaddr:0x2000_0000L data in
+    match Femto_vm.Vm.load ~helpers ~regions program with
+    | Ok vm -> vm
+    | Error fault -> failwith (Femto_vm.Fault.to_string fault)
+  in
+  let certfc =
+    let program = Fletcher.ebpf_program () in
+    let helpers = Femto_vm.Helper.create () in
+    let regions = Fletcher.regions ~ctx_vaddr:0x2000_0000L data in
+    match Femto_certfc.Certfc.load ~helpers ~regions program with
+    | Ok vm -> vm
+    | Error fault -> failwith (Femto_vm.Fault.to_string fault)
+  in
+  let wasm = Femto_wasm_mini.Fast.of_module Femto_wasm_mini.Samples.fletcher32_module in
+  let jsish = Femto_script.Eval_tree.load Femto_script.Samples.fletcher32_source in
+  let pyish = Femto_script.Stack_vm.load Femto_script.Samples.fletcher32_source in
+  let script_args = Femto_script.Samples.fletcher32_args data in
+  Test.make_grouped ~name:"femto-containers"
+    [
+      (* Table 2 row: native baseline *)
+      Test.make ~name:"table2/native-fletcher32"
+        (Staged.stage (fun () -> ignore (Fletcher.checksum data)));
+      (* Table 2 / Figure 9 row: rBPF VM *)
+      Test.make ~name:"table2/rbpf-fletcher32"
+        (Staged.stage (fun () -> ignore (Femto_vm.Vm.run ebpf ~args:[| 0x2000_0000L |])));
+      (* Figure 8 / Table 3 row: CertFC *)
+      Test.make ~name:"fig8/certfc-fletcher32"
+        (Staged.stage (fun () ->
+             ignore (Femto_certfc.Certfc.run certfc ~args:[| 0x2000_0000L |])));
+      (* Table 1/2 row: WASM *)
+      Test.make ~name:"table2/wasm-fletcher32"
+        (Staged.stage (fun () ->
+             ignore (Femto_wasm_mini.Fast.run_fletcher32 wasm data)));
+      (* Table 1/2 rows: script profiles *)
+      Test.make ~name:"table2/jsish-fletcher32"
+        (Staged.stage (fun () ->
+             ignore (Femto_script.Eval_tree.call jsish "fletcher32" script_args)));
+      Test.make ~name:"table2/pyish-fletcher32"
+        (Staged.stage (fun () ->
+             ignore (Femto_script.Stack_vm.call pyish "fletcher32" script_args)));
+      (* Table 2 column: cold starts *)
+      Test.make ~name:"table2/rbpf-cold-start"
+        (Staged.stage
+           (let program = Fletcher.ebpf_program () in
+            let helpers = Femto_vm.Helper.create () in
+            let regions = Fletcher.regions ~ctx_vaddr:0x2000_0000L data in
+            fun () -> ignore (Femto_vm.Vm.load ~helpers ~regions program)));
+      Test.make ~name:"table2/pyish-cold-start"
+        (Staged.stage (fun () ->
+             ignore (Femto_script.Stack_vm.load Femto_script.Samples.fletcher32_source)));
+      (* Table 4 workload: engine trigger with the thread-counter app *)
+      Test.make ~name:"table4/hook-with-app"
+        (Staged.stage
+           (let fixture = Femto_eval.Setup.make_fixture () in
+            let _container, trigger =
+              Femto_eval.Setup.thread_counter_container fixture
+            in
+            fun () -> ignore (trigger ())));
+    ]
+
+let run_bechamel () =
+  let tests = bechamel_tests () in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~kde:(Some 10) () in
+  let raw = Benchmark.all cfg instances tests in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  Printf.printf "\nBechamel microbenchmarks (ns/run, OLS fit)\n%s\n"
+    (String.make 44 '-');
+  let rows = Hashtbl.fold (fun name result acc -> (name, result) :: acc) results [] in
+  List.iter
+    (fun (name, result) ->
+      match Analyze.OLS.estimates result with
+      | Some [ est ] -> Printf.printf "  %-40s %12.1f\n" name est
+      | _ -> Printf.printf "  %-40s (no estimate)\n" name)
+    (List.sort compare rows);
+  flush stdout
+
+let () =
+  let args = Array.to_list Sys.argv in
+  let quick = List.mem "--quick" args in
+  let bechamel_only = List.mem "--bechamel-only" args in
+  if not bechamel_only then Experiments.run_all ();
+  if not quick then run_bechamel ()

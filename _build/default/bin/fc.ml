@@ -1,0 +1,402 @@
+(* fc — command-line front end for the Femto-Containers toolchain.
+
+     fc asm prog.S -o prog.bin        assemble eBPF text to bytecode
+     fc disasm prog.bin               disassemble bytecode
+     fc verify prog.bin               run the pre-flight checker
+     fc run prog.bin --arg 7          verify + execute (fc or certfc engine)
+     fc inspect prog.bin              static statistics
+     fc suit-sign ...                 build + sign a SUIT manifest
+     fc suit-verify ...               verify a manifest against a payload *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let data = really_input_string ic n in
+  close_in ic;
+  data
+
+let write_file path data =
+  let oc = open_out_bin path in
+  output_string oc data;
+  close_out oc
+
+let load_program path =
+  Femto_ebpf.Program.of_bytes (Bytes.of_string (read_file path))
+
+let helpers_table () =
+  (* the standard syscall ABI, so `call bpf_store_global` assembles and
+     helper ids disassemble to names *)
+  Femto_core.Syscall.standard_names
+
+let input_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Input file.")
+
+let output_arg default =
+  Arg.(value & opt string default & info [ "o"; "output" ] ~docv:"OUT" ~doc:"Output file.")
+
+(* --- asm --- *)
+
+let asm_cmd =
+  let run input output =
+    let source = read_file input in
+    match
+      Femto_ebpf.Asm.assemble
+        ~helpers:(fun name -> List.assoc_opt name (helpers_table ()))
+        source
+    with
+    | exception Femto_ebpf.Asm.Error { line; message } ->
+        Printf.eprintf "%s:%d: %s\n" input line message;
+        exit 1
+    | program ->
+        write_file output (Bytes.to_string (Femto_ebpf.Program.to_bytes program));
+        Printf.printf "%s: %d instructions, %d bytes -> %s\n" input
+          (Femto_ebpf.Program.length program)
+          (Femto_ebpf.Program.byte_size program)
+          output;
+        0
+  in
+  Cmd.v (Cmd.info "asm" ~doc:"Assemble eBPF text to Femto-Container bytecode")
+    Term.(const run $ input_arg $ output_arg "out.bin")
+
+(* --- disasm --- *)
+
+let disasm_cmd =
+  let run input =
+    let program = load_program input in
+    let names = helpers_table () in
+    let helper_name id =
+      List.find_map (fun (name, i) -> if i = id then Some name else None) names
+    in
+    print_string (Femto_ebpf.Disasm.to_string ~helper_name program);
+    0
+  in
+  Cmd.v (Cmd.info "disasm" ~doc:"Disassemble Femto-Container bytecode")
+    Term.(const run $ input_arg)
+
+(* --- verify --- *)
+
+let verify_cmd =
+  let run input =
+    let program = load_program input in
+    match Femto_vm.Verifier.verify Femto_vm.Config.default program with
+    | Ok ok ->
+        Printf.printf "OK: %d instructions, %d branches, %d helper calls\n"
+          ok.Femto_vm.Verifier.insn_count ok.Femto_vm.Verifier.branch_count
+          (List.length ok.Femto_vm.Verifier.call_ids);
+        0
+    | Error fault ->
+        Printf.printf "REJECTED: %s\n" (Femto_vm.Fault.to_string fault);
+        1
+  in
+  Cmd.v (Cmd.info "verify" ~doc:"Run the pre-flight instruction checker")
+    Term.(const run $ input_arg)
+
+(* --- run --- *)
+
+let run_cmd =
+  let engine_arg =
+    Arg.(value & opt (enum [ ("fc", `Fc); ("certfc", `Certfc) ]) `Fc
+         & info [ "engine" ] ~doc:"Interpreter: fc (optimized) or certfc (verified-style).")
+  in
+  let args_arg =
+    Arg.(value & opt_all int64 [] & info [ "arg" ] ~docv:"N" ~doc:"Argument register value (r1..r5), repeatable.")
+  in
+  let run input engine args =
+    let program = load_program input in
+    let helpers = Femto_vm.Helper.create () in
+    let args = Array.of_list args in
+    let outcome =
+      match engine with
+      | `Fc -> (
+          match Femto_vm.Vm.load ~helpers ~regions:[] program with
+          | Error fault -> Error fault
+          | Ok vm -> (
+              match Femto_vm.Vm.run vm ~args with
+              | Ok v ->
+                  let stats = Femto_vm.Vm.stats vm in
+                  Ok (v, stats.Femto_vm.Interp.insns_executed,
+                      stats.Femto_vm.Interp.branches_taken)
+              | Error fault -> Error fault))
+      | `Certfc -> (
+          match Femto_certfc.Certfc.load ~helpers ~regions:[] program with
+          | Error fault -> Error fault
+          | Ok vm -> (
+              match Femto_certfc.Certfc.run vm ~args with
+              | Ok v -> (
+                  match Femto_certfc.Certfc.last_state vm with
+                  | Some s ->
+                      Ok (v, s.Femto_certfc.Interp.insns_executed,
+                          s.Femto_certfc.Interp.branches_taken)
+                  | None -> Ok (v, 0, 0))
+              | Error fault -> Error fault))
+    in
+    match outcome with
+    | Ok (v, insns, branches) ->
+        Printf.printf "r0 = %Ld (0x%Lx) after %d instructions, %d branches\n" v v
+          insns branches;
+        0
+    | Error fault ->
+        Printf.printf "FAULT: %s\n" (Femto_vm.Fault.to_string fault);
+        1
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Verify and execute bytecode in a sandbox")
+    Term.(const run $ input_arg $ engine_arg $ args_arg)
+
+(* --- inspect --- *)
+
+let inspect_cmd =
+  let run input =
+    let program = load_program input in
+    let count_kind predicate =
+      Array.fold_left
+        (fun acc insn -> if predicate (Femto_ebpf.Insn.kind insn) then acc + 1 else acc)
+        0 (Femto_ebpf.Program.insns program)
+    in
+    Printf.printf "slots:        %d (%d bytes)\n"
+      (Femto_ebpf.Program.length program)
+      (Femto_ebpf.Program.byte_size program);
+    Printf.printf "alu:          %d\n"
+      (count_kind (function Femto_ebpf.Insn.Alu _ -> true | _ -> false));
+    Printf.printf "memory:       %d\n"
+      (count_kind (function
+        | Femto_ebpf.Insn.Load _ | Femto_ebpf.Insn.Store_imm _
+        | Femto_ebpf.Insn.Store_reg _ -> true
+        | _ -> false));
+    Printf.printf "branches:     %d\n"
+      (count_kind (function
+        | Femto_ebpf.Insn.Ja | Femto_ebpf.Insn.Jcond _ -> true
+        | _ -> false));
+    Printf.printf "helper calls: %d\n"
+      (count_kind (function Femto_ebpf.Insn.Call -> true | _ -> false));
+    0
+  in
+  Cmd.v (Cmd.info "inspect" ~doc:"Static statistics of a bytecode file")
+    Term.(const run $ input_arg)
+
+(* --- suit-sign / suit-verify --- *)
+
+let key_args =
+  let key_id =
+    Arg.(value & opt string "fc-cli-key" & info [ "key-id" ] ~doc:"COSE key identifier.")
+  in
+  let secret =
+    Arg.(required & opt (some string) None & info [ "key" ] ~doc:"Signing secret.")
+  in
+  Term.(const (fun key_id secret -> Femto_cose.Cose.make_key ~key_id ~secret)
+        $ key_id $ secret)
+
+let suit_sign_cmd =
+  let seq =
+    Arg.(value & opt int64 1L & info [ "seq" ] ~doc:"Manifest sequence number.")
+  in
+  let uuid =
+    Arg.(required & opt (some string) None & info [ "uuid" ] ~doc:"Storage-location (hook) UUID.")
+  in
+  let run key seq uuid payload_file output =
+    let payload = read_file payload_file in
+    let manifest =
+      Femto_suit.Suit.make ~sequence:seq
+        [ Femto_suit.Suit.component_for ~storage_uuid:uuid payload ]
+    in
+    write_file output (Femto_suit.Suit.sign manifest key);
+    Printf.printf "signed manifest seq %Ld for %s (%d B payload) -> %s\n" seq uuid
+      (String.length payload) output;
+    0
+  in
+  Cmd.v (Cmd.info "suit-sign" ~doc:"Build and sign a SUIT manifest for a payload")
+    Term.(const run $ key_args $ seq $ uuid $ input_arg $ output_arg "manifest.suit")
+
+let suit_verify_cmd =
+  let uuid =
+    Arg.(required & opt (some string) None & info [ "uuid" ] ~doc:"Storage-location (hook) UUID.")
+  in
+  let payload_file =
+    Arg.(required & opt (some file) None & info [ "payload" ] ~doc:"Payload file to check.")
+  in
+  let run key uuid manifest_file payload_file =
+    let device =
+      Femto_suit.Suit.create_device ~key
+        ~install:(fun ~sequence:_ ~storage_uuid:_ _ -> Ok ())
+        ~known_storage:(fun u -> String.equal u uuid)
+        ()
+    in
+    match
+      Femto_suit.Suit.process device ~envelope:(read_file manifest_file)
+        ~payloads:[ (uuid, read_file payload_file) ]
+    with
+    | Ok manifest ->
+        Printf.printf "OK: manifest seq %Ld verifies for %s\n"
+          manifest.Femto_suit.Suit.sequence uuid;
+        0
+    | Error e ->
+        Printf.printf "REJECTED: %s\n" (Femto_suit.Suit.error_to_string e);
+        1
+  in
+  Cmd.v (Cmd.info "suit-verify" ~doc:"Verify a SUIT manifest against a payload")
+    Term.(const run $ key_args $ uuid $ input_arg $ payload_file)
+
+(* --- compile: MiniScript -> eBPF --- *)
+
+let compile_cmd =
+  let entry_arg =
+    Arg.(value & opt string "main" & info [ "entry" ] ~docv:"FN"
+         ~doc:"Function to compile (parameters arrive in r1..r5).")
+  in
+  let run input entry output =
+    let source = read_file input in
+    match
+      Femto_script.To_ebpf.compile_function
+        ~helpers:(fun name -> List.assoc_opt name (helpers_table ()))
+        source entry
+    with
+    | exception Femto_script.To_ebpf.Unsupported m ->
+        Printf.eprintf "%s: %s
+" input m;
+        exit 1
+    | exception Femto_script.Parser.Parse_error { line; message } ->
+        Printf.eprintf "%s:%d: %s
+" input line message;
+        exit 1
+    | program -> (
+        match Femto_vm.Verifier.verify Femto_vm.Config.default program with
+        | Error fault ->
+            Printf.eprintf "internal: generated code rejected: %s
+"
+              (Femto_vm.Fault.to_string fault);
+            exit 2
+        | Ok _ ->
+            write_file output
+              (Bytes.to_string (Femto_ebpf.Program.to_bytes program));
+            Printf.printf "%s: compiled '%s' to %d instructions (%d bytes) -> %s
+"
+              input entry
+              (Femto_ebpf.Program.length program)
+              (Femto_ebpf.Program.byte_size program)
+              output;
+            0)
+  in
+  Cmd.v
+    (Cmd.info "compile"
+       ~doc:"Compile a MiniScript function to verified eBPF bytecode")
+    Term.(const run $ input_arg $ entry_arg $ output_arg "out.bin")
+
+(* --- compact / expand: the paper's Sec 11 variable-length encoding --- *)
+
+let compact_cmd =
+  let run input output =
+    let program = load_program input in
+    let stats = Femto_ebpf.Compact.measure program in
+    write_file output (Femto_ebpf.Compact.compress program);
+    Printf.printf "%d B fixed -> %d B compact (ratio %.2f) -> %s
+"
+      stats.Femto_ebpf.Compact.fixed_bytes stats.Femto_ebpf.Compact.compact_bytes
+      stats.Femto_ebpf.Compact.ratio output;
+    0
+  in
+  Cmd.v
+    (Cmd.info "compact" ~doc:"Compress bytecode to the variable-length encoding")
+    Term.(const run $ input_arg $ output_arg "out.fcz")
+
+let expand_cmd =
+  let run input output =
+    match Femto_ebpf.Compact.decompress (read_file input) with
+    | exception Femto_ebpf.Compact.Malformed m ->
+        Printf.eprintf "%s: %s
+" input m;
+        exit 1
+    | program ->
+        write_file output (Bytes.to_string (Femto_ebpf.Program.to_bytes program));
+        Printf.printf "%d instructions -> %s
+"
+          (Femto_ebpf.Program.length program)
+          output;
+        0
+  in
+  Cmd.v (Cmd.info "expand" ~doc:"Expand variable-length bytecode to fixed slots")
+    Term.(const run $ input_arg $ output_arg "out.bin")
+
+(* --- shell: an interactive simulated device on stdin --- *)
+
+let shell_cmd =
+  let run () =
+    let kernel = Femto_rtos.Kernel.create () in
+    let network = Femto_net.Network.create ~kernel () in
+    let flash = Femto_flash.Flash.create ~page_size:256 ~pages:64 () in
+    let hook = "demo0000-0000-4000-8000-000000000001" in
+    let device =
+      Femto_device.Device.boot
+        ~identity:
+          {
+            Femto_device.Device.vendor_id = "fc-cli";
+            class_id = "sim";
+            update_key = Femto_cose.Cose.make_key ~key_id:"cli" ~secret:"cli";
+          }
+        ~hooks:
+          [ Femto_device.Device.hook_spec ~uuid:hook ~name:"demo" ~ctx_size:16 () ]
+        ~flash ~slot_count:4 ~network ~addr:1 ()
+    in
+    (* preinstall a demo container so the shell has something to show *)
+    let payload =
+      Bytes.to_string
+        (Femto_ebpf.Program.to_bytes
+           (Femto_ebpf.Asm.assemble
+              ~helpers:Femto_core.Syscall.resolve_name
+              "mov r1, 1
+mov r2, r10
+sub r2, 8
+call bpf_fetch_global
+               ldxdw r3, [r10-8]
+add r3, 1
+mov r1, 1
+mov r2, r3
+               call bpf_store_global
+mov r0, r3
+exit"))
+    in
+    let manifest =
+      Femto_suit.Suit.make ~sequence:1L
+        [ Femto_suit.Suit.component_for ~storage_uuid:hook payload ]
+    in
+    (match
+       Femto_suit.Suit.process
+         (Femto_device.Device.suit_processor device)
+         ~envelope:
+           (Femto_suit.Suit.sign manifest
+              (Femto_cose.Cose.make_key ~key_id:"cli" ~secret:"cli"))
+         ~payloads:[ (hook, payload) ]
+     with
+    | Ok _ -> ()
+    | Error e -> prerr_endline (Femto_suit.Suit.error_to_string e));
+    let shell = Femto_shell.Shell.create device in
+    Printf.printf
+      "fc simulated device shell (demo container on hook %s)
+       type 'help'; ctrl-d exits
+" hook;
+    (try
+       while true do
+         print_string "fc> ";
+         flush stdout;
+         let line = input_line stdin in
+         print_endline (Femto_shell.Shell.exec shell line)
+       done
+     with End_of_file -> print_newline ());
+    0
+  in
+  Cmd.v
+    (Cmd.info "shell" ~doc:"Interactive shell on a simulated device (reads stdin)")
+    Term.(const run $ const ())
+
+let () =
+  let default = Term.(ret (const (`Help (`Pager, None)))) in
+  let info =
+    Cmd.info "fc" ~version:"1.0.0"
+      ~doc:"Femto-Containers toolchain (assemble, verify, run, SUIT-sign)"
+  in
+  exit
+    (Cmd.eval'
+       (Cmd.group ~default info
+          [ asm_cmd; disasm_cmd; verify_cmd; run_cmd; inspect_cmd;
+            compile_cmd; compact_cmd; expand_cmd; suit_sign_cmd;
+            suit_verify_cmd; shell_cmd ]))

@@ -1,0 +1,1 @@
+examples/compile_deploy.ml: Bytes Femto_coap Femto_core Femto_cose Femto_device Femto_ebpf Femto_flash Femto_net Femto_rtos Femto_script Femto_suit Femto_vm List Printf String

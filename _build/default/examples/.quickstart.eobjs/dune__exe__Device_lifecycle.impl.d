@@ -1,0 +1,1 @@
+examples/device_lifecycle.ml: Bytes Femto_coap Femto_core Femto_cose Femto_device Femto_ebpf Femto_flash Femto_net Femto_rtos Femto_suit Printf

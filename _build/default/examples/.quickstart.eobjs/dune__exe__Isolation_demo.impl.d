@@ -1,0 +1,1 @@
+examples/isolation_demo.ml: Bytes Char Femto_core Femto_ebpf Femto_vm Int64 List Printf

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Bytes Femto_core Femto_ebpf Femto_vm Printf

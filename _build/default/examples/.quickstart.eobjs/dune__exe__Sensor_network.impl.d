@@ -1,0 +1,1 @@
+examples/sensor_network.ml: Bytes Femto_coap Femto_core Femto_net Femto_rtos Femto_workloads Int64 List Printf

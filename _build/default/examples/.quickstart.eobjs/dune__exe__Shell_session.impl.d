@@ -1,0 +1,1 @@
+examples/shell_session.ml: Bytes Femto_coap Femto_core Femto_cose Femto_device Femto_ebpf Femto_flash Femto_net Femto_rtos Femto_shell Femto_suit Printf String

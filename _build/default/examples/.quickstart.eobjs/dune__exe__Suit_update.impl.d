@@ -1,0 +1,1 @@
+examples/suit_update.ml: Bytes Femto_coap Femto_core Femto_cose Femto_ebpf Femto_net Femto_rtos Femto_suit Fun Printf String

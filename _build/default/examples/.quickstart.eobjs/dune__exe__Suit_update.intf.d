@@ -1,0 +1,1 @@
+examples/suit_update.mli:

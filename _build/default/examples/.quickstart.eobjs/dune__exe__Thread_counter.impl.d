@@ -1,0 +1,1 @@
+examples/thread_counter.ml: Bytes Femto_core Femto_rtos Femto_workloads Int32 Int64 List Printf

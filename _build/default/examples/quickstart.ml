@@ -1,0 +1,69 @@
+(* Quickstart: assemble a small eBPF function, verify it, host it in a
+   Femto-Container attached to a hook, trigger the hook, read the result.
+
+     dune exec examples/quickstart.exe *)
+
+module Engine = Femto_core.Engine
+module Container = Femto_core.Container
+module Contract = Femto_core.Contract
+
+let () =
+  (* 1. Write a function in eBPF assembly.  It receives a context pointer
+     in r1 (here: a struct with two 64-bit ints) and returns their sum. *)
+  let source =
+    {|
+      ldxdw r2, [r1]      ; first operand
+      ldxdw r3, [r1+8]    ; second operand
+      mov   r0, r2
+      add   r0, r3
+      exit
+    |}
+  in
+  let program = Femto_ebpf.Asm.assemble source in
+  Printf.printf "assembled: %d instructions, %d bytes of bytecode\n"
+    (Femto_ebpf.Program.length program)
+    (Femto_ebpf.Program.byte_size program);
+
+  (* 2. Create the hosting engine and provision a hook (in real firmware
+     hooks are compiled in at fixed spots; see the paper's Listing 1). *)
+  let engine = Engine.create () in
+  let hook =
+    Engine.register_hook engine ~uuid:"example-hook" ~name:"quickstart"
+      ~ctx_size:16 ()
+  in
+
+  (* 3. Create a container for a tenant with an (empty) contract and
+     attach it.  Attach = pre-flight verification + VM instantiation. *)
+  let tenant = Engine.add_tenant engine "quickstart-tenant" in
+  let container =
+    Container.create ~name:"adder" ~tenant ~contract:(Contract.require [])
+      program
+  in
+  (match Engine.attach engine ~hook_uuid:"example-hook" container with
+  | Ok _ -> print_endline "attached: pre-flight checks passed"
+  | Error e -> failwith (Engine.attach_error_to_string e));
+
+  (* 4. Fire the hook with a context, as firmware would on an event. *)
+  let ctx = Bytes.create 16 in
+  Bytes.set_int64_le ctx 0 30L;
+  Bytes.set_int64_le ctx 8 12L;
+  (match Engine.trigger engine hook ~ctx () with
+  | [ { Engine.result = Ok value; vm_cycles; _ } ] ->
+      Printf.printf "container returned %Ld (cycle model: %d cycles)\n" value
+        vm_cycles
+  | [ { Engine.result = Error fault; _ } ] ->
+      Printf.printf "container faulted: %s\n" (Femto_vm.Fault.to_string fault)
+  | _ -> print_endline "unexpected report");
+
+  (* 5. Faults are contained: a broken program is rejected before it ever
+     runs. *)
+  let evil = Femto_ebpf.Asm.assemble "ja +7\nexit" in
+  let evil_container =
+    Container.create ~name:"evil" ~tenant ~contract:(Contract.require []) evil
+  in
+  match Engine.attach engine ~hook_uuid:"example-hook" evil_container with
+  | Error (Engine.Verification_failed fault) ->
+      Printf.printf "bad program rejected at install: %s\n"
+        (Femto_vm.Fault.to_string fault)
+  | Ok _ -> failwith "verifier should have rejected this"
+  | Error e -> failwith (Engine.attach_error_to_string e)

@@ -1,0 +1,96 @@
+(* Operator shell session on a running device.
+
+   Boots the femto_device composition, installs two containers over the
+   network, then drives the local shell the way an operator at the UART
+   would: inspect containers, fire hooks, poke the key-value store,
+   disassemble what is actually installed, check flash and RAM.
+
+     dune exec examples/shell_session.exe *)
+
+module Device = Femto_device.Device
+module Shell = Femto_shell.Shell
+module Kernel = Femto_rtos.Kernel
+module Network = Femto_net.Network
+module Client = Femto_coap.Client
+module Suit = Femto_suit.Suit
+module Cose = Femto_cose.Cose
+module Flash = Femto_flash.Flash
+
+let hook_a = "11110000-aaaa-4bbb-8ccc-dddddddddddd"
+let hook_b = "22220000-aaaa-4bbb-8ccc-dddddddddddd"
+
+let key = Cose.make_key ~key_id:"fleet" ~secret:"fleet secret"
+
+let identity =
+  { Device.vendor_id = "acme"; class_id = "m4"; update_key = key }
+
+let () =
+  let kernel = Kernel.create () in
+  let network = Network.create ~kernel () in
+  let flash = Flash.create ~page_size:256 ~pages:64 () in
+  let device =
+    Device.boot ~identity
+      ~hooks:
+        [
+          Device.hook_spec ~uuid:hook_a ~name:"telemetry" ~ctx_size:16 ();
+          Device.hook_spec ~uuid:hook_b ~name:"watchdog" ~ctx_size:16 ();
+        ]
+      ~flash ~slot_count:4 ~network ~addr:1 ()
+  in
+  let client = Client.create ~network ~kernel ~addr:9 in
+
+  (* deploy two applications over the network *)
+  let deploy ~sequence ~uuid source =
+    let payload =
+      Bytes.to_string
+        (Femto_ebpf.Program.to_bytes
+           (Femto_ebpf.Asm.assemble ~helpers:Femto_core.Syscall.resolve_name
+              source))
+    in
+    let manifest =
+      Suit.make ~vendor_id:"acme" ~class_id:"m4" ~sequence
+        [ Suit.component_for ~storage_uuid:uuid payload ]
+    in
+    Client.post_blockwise client ~dst:1 ~path:"/suit/slot" ~payload (fun _ ->
+        Client.post client ~dst:1 ~path:"/suit/install"
+          ~payload:(Suit.sign manifest key) (fun _ -> ()));
+    ignore (Kernel.run kernel ())
+  in
+  deploy ~sequence:1L ~uuid:hook_a
+    {|
+      ; count invocations in the global store, return the count
+      mov   r1, 0x42
+      mov   r2, r10
+      sub   r2, 8
+      call  bpf_fetch_global
+      ldxdw r3, [r10-8]
+      add   r3, 1
+      mov   r1, 0x42
+      mov   r2, r3
+      call  bpf_store_global
+      mov   r0, r3
+      exit
+    |};
+  deploy ~sequence:2L ~uuid:hook_b "mov r0, 0xa11\nexit";
+
+  (* the operator sits down at the console *)
+  let shell = Shell.create device in
+  print_endline
+    (Shell.script shell
+       (String.concat "\n"
+          [
+            "help";
+            "fc list";
+            Printf.sprintf "fc run %s" hook_a;
+            Printf.sprintf "fc run %s" hook_a;
+            Printf.sprintf "fc run %s" hook_b;
+            "kv get 66"; (* 0x42: the container's counter *)
+            "kv set 100 777";
+            "kv get 100";
+            Printf.sprintf "fc disasm %s" hook_b;
+            "suit seq";
+            "slots";
+            "free";
+            "ps";
+            "uptime";
+          ]))

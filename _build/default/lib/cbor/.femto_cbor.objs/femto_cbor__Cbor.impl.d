@@ -1,0 +1,1 @@
+lib/cbor/cbor.ml: Bool Buffer Char Format Int Int32 Int64 List Printf String Sys

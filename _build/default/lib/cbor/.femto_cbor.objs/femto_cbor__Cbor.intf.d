@@ -1,0 +1,1 @@
+lib/cbor/cbor.mli: Format

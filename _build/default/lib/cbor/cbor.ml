@@ -1,0 +1,319 @@
+(* CBOR (RFC 8949) encoder/decoder.
+
+   SUIT manifests and COSE envelopes — the paper's secure-update metadata
+   (§5, "Low-power Secure Runtime Update Primitives") — are CBOR objects,
+   so this codec is the foundation of the update path.  Encoding is
+   deterministic (definite lengths, shortest-form heads); the decoder also
+   accepts indefinite-length items so foreign manifests parse. *)
+
+type t =
+  | Int of int64 (* both major types 0 and 1; the int64 range suffices *)
+  | Bytes of string
+  | Text of string
+  | Array of t list
+  | Map of (t * t) list
+  | Tag of int64 * t
+  | Bool of bool
+  | Null
+  | Undefined
+  | Simple of int
+  | Float of float
+
+exception Decode_error of string
+
+let decode_error fmt = Format.kasprintf (fun m -> raise (Decode_error m)) fmt
+
+(* --- encoding --- *)
+
+let add_head buf major value =
+  let add_byte v = Buffer.add_char buf (Char.chr (v land 0xff)) in
+  let mt = major lsl 5 in
+  if Int64.unsigned_compare value 24L < 0 then add_byte (mt lor Int64.to_int value)
+  else if Int64.unsigned_compare value 0x100L < 0 then begin
+    add_byte (mt lor 24);
+    add_byte (Int64.to_int value)
+  end
+  else if Int64.unsigned_compare value 0x10000L < 0 then begin
+    add_byte (mt lor 25);
+    add_byte (Int64.to_int value lsr 8);
+    add_byte (Int64.to_int value)
+  end
+  else if Int64.unsigned_compare value 0x1_0000_0000L < 0 then begin
+    add_byte (mt lor 26);
+    let v = Int64.to_int value in
+    add_byte (v lsr 24);
+    add_byte (v lsr 16);
+    add_byte (v lsr 8);
+    add_byte v
+  end
+  else begin
+    add_byte (mt lor 27);
+    for shift = 7 downto 0 do
+      add_byte (Int64.to_int (Int64.shift_right_logical value (8 * shift)))
+    done
+  end
+
+let rec encode_into buf = function
+  | Int v ->
+      if Int64.compare v 0L >= 0 then add_head buf 0 v
+      else add_head buf 1 (Int64.neg (Int64.add v 1L))
+  | Bytes s ->
+      add_head buf 2 (Int64.of_int (String.length s));
+      Buffer.add_string buf s
+  | Text s ->
+      add_head buf 3 (Int64.of_int (String.length s));
+      Buffer.add_string buf s
+  | Array items ->
+      add_head buf 4 (Int64.of_int (List.length items));
+      List.iter (encode_into buf) items
+  | Map pairs ->
+      add_head buf 5 (Int64.of_int (List.length pairs));
+      List.iter
+        (fun (k, v) ->
+          encode_into buf k;
+          encode_into buf v)
+        pairs
+  | Tag (tag, value) ->
+      add_head buf 6 tag;
+      encode_into buf value
+  | Bool false -> Buffer.add_char buf '\xf4'
+  | Bool true -> Buffer.add_char buf '\xf5'
+  | Null -> Buffer.add_char buf '\xf6'
+  | Undefined -> Buffer.add_char buf '\xf7'
+  | Simple v ->
+      if v < 0 || v > 255 then invalid_arg "Cbor.encode: simple out of range"
+      else if v < 24 then Buffer.add_char buf (Char.chr (0xe0 lor v))
+      else begin
+        Buffer.add_char buf '\xf8';
+        Buffer.add_char buf (Char.chr v)
+      end
+  | Float f ->
+      Buffer.add_char buf '\xfb';
+      let bits = Int64.bits_of_float f in
+      for shift = 7 downto 0 do
+        Buffer.add_char buf
+          (Char.chr (Int64.to_int (Int64.shift_right_logical bits (8 * shift)) land 0xff))
+      done
+
+let encode value =
+  let buf = Buffer.create 64 in
+  encode_into buf value;
+  Buffer.contents buf
+
+(* --- decoding --- *)
+
+type reader = { data : string; mutable pos : int }
+
+let byte r =
+  if r.pos >= String.length r.data then decode_error "truncated at %d" r.pos
+  else begin
+    let c = Char.code r.data.[r.pos] in
+    r.pos <- r.pos + 1;
+    c
+  end
+
+let take r n =
+  if r.pos + n > String.length r.data then
+    decode_error "truncated: need %d bytes at %d" n r.pos
+  else begin
+    let s = String.sub r.data r.pos n in
+    r.pos <- r.pos + n;
+    s
+  end
+
+let uint_of_bytes r n =
+  let rec loop acc remaining =
+    if remaining = 0 then acc
+    else loop (Int64.logor (Int64.shift_left acc 8) (Int64.of_int (byte r))) (remaining - 1)
+  in
+  loop 0L n
+
+(* Returns (major, additional-info, argument, indefinite). *)
+let read_head r =
+  let initial = byte r in
+  let major = initial lsr 5 in
+  let info = initial land 0x1f in
+  if info < 24 then (major, info, Int64.of_int info, false)
+  else
+    match info with
+    | 24 -> (major, info, Int64.of_int (byte r), false)
+    | 25 -> (major, info, uint_of_bytes r 2, false)
+    | 26 -> (major, info, uint_of_bytes r 4, false)
+    | 27 -> (major, info, uint_of_bytes r 8, false)
+    | 31 -> (major, info, 0L, true)
+    | _ -> decode_error "reserved additional info %d" info
+
+let length_of r arg =
+  if Int64.compare arg 0L < 0 || Int64.compare arg (Int64.of_int Sys.max_string_length) > 0
+  then decode_error "length %Ld too large" arg
+  else
+    let n = Int64.to_int arg in
+    if r.pos + n > String.length r.data then decode_error "truncated body"
+    else n
+
+let half_to_float h =
+  (* IEEE 754 binary16 -> float, RFC 8949 appendix D *)
+  let sign = if h land 0x8000 <> 0 then -1.0 else 1.0 in
+  let exponent = (h lsr 10) land 0x1f in
+  let mantissa = h land 0x3ff in
+  let value =
+    if exponent = 0 then ldexp (float_of_int mantissa) (-24)
+    else if exponent <> 31 then ldexp (float_of_int (mantissa + 1024)) (exponent - 25)
+    else if mantissa = 0 then infinity
+    else nan
+  in
+  sign *. value
+
+let rec decode_item r depth =
+  if depth > 64 then decode_error "nesting too deep";
+  let major, info, arg, indefinite = read_head r in
+  match major with
+  | 0 ->
+      if indefinite then decode_error "indefinite uint";
+      Int arg
+  | 1 ->
+      if indefinite then decode_error "indefinite negative int";
+      Int (Int64.sub (Int64.neg arg) 1L)
+  | 2 ->
+      if indefinite then Bytes (decode_chunks r 2)
+      else Bytes (take r (length_of r arg))
+  | 3 ->
+      if indefinite then Text (decode_chunks r 3)
+      else Text (take r (length_of r arg))
+  | 4 ->
+      if indefinite then Array (decode_indefinite_array r depth)
+      else
+        Array (List.init (length_of r arg) (fun _ -> decode_item r (depth + 1)))
+  | 5 ->
+      if indefinite then Map (decode_indefinite_map r depth)
+      else
+        Map
+          (List.init (length_of r arg) (fun _ ->
+               let k = decode_item r (depth + 1) in
+               let v = decode_item r (depth + 1) in
+               (k, v)))
+  | 6 -> Tag (arg, decode_item r (depth + 1))
+  | 7 -> (
+      if indefinite then decode_error "lone break";
+      match info with
+      | 25 -> Float (half_to_float (Int64.to_int arg))
+      | 26 -> Float (Int32.float_of_bits (Int64.to_int32 arg))
+      | 27 -> Float (Int64.float_of_bits arg)
+      | _ -> (
+          match Int64.to_int arg with
+          | 20 -> Bool false
+          | 21 -> Bool true
+          | 22 -> Null
+          | 23 -> Undefined
+          | v when v < 256 -> Simple v
+          | v -> decode_error "bad simple value %d" v))
+  | _ -> decode_error "bad major type %d" major
+
+and decode_chunks r major =
+  let buf = Buffer.create 32 in
+  let rec loop () =
+    let initial = byte r in
+    if initial = 0xff then Buffer.contents buf
+    else begin
+      let m = initial lsr 5 in
+      let info = initial land 0x1f in
+      if m <> major then decode_error "mixed chunk types"
+      else begin
+        let len =
+          if info < 24 then info
+          else
+            match info with
+            | 24 -> byte r
+            | 25 -> Int64.to_int (uint_of_bytes r 2)
+            | 26 -> Int64.to_int (uint_of_bytes r 4)
+            | _ -> decode_error "bad chunk length"
+        in
+        Buffer.add_string buf (take r len);
+        loop ()
+      end
+    end
+  in
+  loop ()
+
+and decode_indefinite_array r depth =
+  let rec loop acc =
+    if r.pos < String.length r.data && Char.code r.data.[r.pos] = 0xff then begin
+      r.pos <- r.pos + 1;
+      List.rev acc
+    end
+    else loop (decode_item r (depth + 1) :: acc)
+  in
+  loop []
+
+and decode_indefinite_map r depth =
+  let rec loop acc =
+    if r.pos < String.length r.data && Char.code r.data.[r.pos] = 0xff then begin
+      r.pos <- r.pos + 1;
+      List.rev acc
+    end
+    else
+      let k = decode_item r (depth + 1) in
+      let v = decode_item r (depth + 1) in
+      loop ((k, v) :: acc)
+  in
+  loop []
+
+let decode_partial data =
+  let r = { data; pos = 0 } in
+  let value = decode_item r 0 in
+  (value, r.pos)
+
+let decode data =
+  let value, consumed = decode_partial data in
+  if consumed <> String.length data then
+    decode_error "trailing garbage: %d of %d bytes consumed" consumed
+      (String.length data)
+  else value
+
+(* --- accessors used by SUIT/COSE --- *)
+
+let rec pp ppf = function
+  | Int v -> Format.fprintf ppf "%Ld" v
+  | Bytes s -> Format.fprintf ppf "h'%s'" (String.concat "" (List.map (Printf.sprintf "%02x") (List.map Char.code (List.init (String.length s) (String.get s)))))
+  | Text s -> Format.fprintf ppf "%S" s
+  | Array items ->
+      Format.fprintf ppf "[@[%a@]]"
+        (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ") pp)
+        items
+  | Map pairs ->
+      let pp_pair ppf (k, v) = Format.fprintf ppf "%a: %a" pp k pp v in
+      Format.fprintf ppf "{@[%a@]}"
+        (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ") pp_pair)
+        pairs
+  | Tag (tag, v) -> Format.fprintf ppf "%Ld(%a)" tag pp v
+  | Bool b -> Format.pp_print_bool ppf b
+  | Null -> Format.pp_print_string ppf "null"
+  | Undefined -> Format.pp_print_string ppf "undefined"
+  | Simple v -> Format.fprintf ppf "simple(%d)" v
+  | Float f -> Format.pp_print_float ppf f
+
+let rec equal a b =
+  match (a, b) with
+  | Int x, Int y -> Int64.equal x y
+  | Bytes x, Bytes y | Text x, Text y -> String.equal x y
+  | Array x, Array y -> List.length x = List.length y && List.for_all2 equal x y
+  | Map x, Map y ->
+      List.length x = List.length y
+      && List.for_all2 (fun (k1, v1) (k2, v2) -> equal k1 k2 && equal v1 v2) x y
+  | Tag (t1, v1), Tag (t2, v2) -> Int64.equal t1 t2 && equal v1 v2
+  | Bool x, Bool y -> Bool.equal x y
+  | Null, Null | Undefined, Undefined -> true
+  | Simple x, Simple y -> Int.equal x y
+  | Float x, Float y -> Int64.equal (Int64.bits_of_float x) (Int64.bits_of_float y)
+  | _ -> false
+
+let find_map_entry map key =
+  match map with
+  | Map pairs ->
+      List.find_map (fun (k, v) -> if equal k key then Some v else None) pairs
+  | _ -> None
+
+let as_int = function Int v -> Some v | _ -> None
+let as_bytes = function Bytes s -> Some s | _ -> None
+let as_text = function Text s -> Some s | _ -> None
+let as_array = function Array items -> Some items | _ -> None

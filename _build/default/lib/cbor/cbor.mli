@@ -1,0 +1,44 @@
+(** CBOR (RFC 8949) encoder/decoder.
+
+    SUIT manifests and COSE envelopes — the paper's secure-update metadata
+    (§5) — are CBOR objects.  Encoding is deterministic (definite lengths,
+    shortest-form heads); the decoder also accepts indefinite-length items
+    so foreign manifests parse. *)
+
+type t =
+  | Int of int64  (** both major types 0 and 1 *)
+  | Bytes of string
+  | Text of string
+  | Array of t list
+  | Map of (t * t) list
+  | Tag of int64 * t
+  | Bool of bool
+  | Null
+  | Undefined
+  | Simple of int
+  | Float of float
+
+exception Decode_error of string
+
+val encode : t -> string
+(** Deterministic serialization (shortest-form heads, definite lengths). *)
+
+val decode : string -> t
+(** Decode a complete item; raises {!Decode_error} on malformed input or
+    trailing bytes. *)
+
+val decode_partial : string -> t * int
+(** Decode one item from the front; returns it with the bytes consumed. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+
+(** {2 Accessors used by SUIT/COSE} *)
+
+val find_map_entry : t -> t -> t option
+(** [find_map_entry map key] looks a key up in a [Map] item. *)
+
+val as_int : t -> int64 option
+val as_bytes : t -> string option
+val as_text : t -> string option
+val as_array : t -> t list option

@@ -1,0 +1,1 @@
+lib/certfc/certfc.ml: Check Femto_vm Interp Regs

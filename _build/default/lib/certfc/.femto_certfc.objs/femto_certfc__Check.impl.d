@@ -1,0 +1,1 @@
+lib/certfc/check.ml: Femto_ebpf Femto_vm Insn List Program Result

@@ -1,0 +1,1 @@
+lib/certfc/interp.ml: Bytes Femto_ebpf Femto_vm Insn Int32 Int64 List Opcode Program Regs Result Sys

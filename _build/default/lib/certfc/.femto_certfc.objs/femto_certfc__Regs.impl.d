@@ -1,0 +1,1 @@
+lib/certfc/regs.ml: Array

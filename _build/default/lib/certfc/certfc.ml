@@ -1,0 +1,23 @@
+(* Facade for CertFC, the formally-verified-style Femto-Container runtime
+   (defensive checker + purely functional interpreter). *)
+
+module Regs = Regs
+module Check = Check
+module Interp = Interp
+
+type t = Interp.t
+
+let load ?(config = Femto_vm.Config.default) ?cycle_cost ~helpers ~regions
+    program =
+  match Check.check config program with
+  | Error fault -> Error fault
+  | Ok (_ : Check.analysis) ->
+      Ok (Interp.create ~config ?cycle_cost ~helpers ~regions program)
+
+let load_unverified ?(config = Femto_vm.Config.default) ?cycle_cost ~helpers
+    ~regions program =
+  Interp.create ~config ?cycle_cost ~helpers ~regions program
+
+let run = Interp.run
+let mem = Interp.mem
+let last_state = Interp.last_state

@@ -1,0 +1,64 @@
+(* Register file of the CertFC proof model.
+
+   Mirrors the Coq development of the paper ([25], CertFC): registers are
+   an inductive type and the register file is a pure record updated
+   functionally — no mutation, so every intermediate machine state is a
+   first-class value the proofs can reason about. *)
+
+type t = {
+  r0 : int64;
+  r1 : int64;
+  r2 : int64;
+  r3 : int64;
+  r4 : int64;
+  r5 : int64;
+  r6 : int64;
+  r7 : int64;
+  r8 : int64;
+  r9 : int64;
+  r10 : int64;
+}
+
+let init ~r10 =
+  { r0 = 0L; r1 = 0L; r2 = 0L; r3 = 0L; r4 = 0L; r5 = 0L; r6 = 0L; r7 = 0L;
+    r8 = 0L; r9 = 0L; r10 }
+
+let get t = function
+  | 0 -> Ok t.r0
+  | 1 -> Ok t.r1
+  | 2 -> Ok t.r2
+  | 3 -> Ok t.r3
+  | 4 -> Ok t.r4
+  | 5 -> Ok t.r5
+  | 6 -> Ok t.r6
+  | 7 -> Ok t.r7
+  | 8 -> Ok t.r8
+  | 9 -> Ok t.r9
+  | 10 -> Ok t.r10
+  | reg -> Error reg
+
+(* r10 is read-only by construction: [set] refuses it. *)
+let set t reg value =
+  match reg with
+  | 0 -> Ok { t with r0 = value }
+  | 1 -> Ok { t with r1 = value }
+  | 2 -> Ok { t with r2 = value }
+  | 3 -> Ok { t with r3 = value }
+  | 4 -> Ok { t with r4 = value }
+  | 5 -> Ok { t with r5 = value }
+  | 6 -> Ok { t with r6 = value }
+  | 7 -> Ok { t with r7 = value }
+  | 8 -> Ok { t with r8 = value }
+  | 9 -> Ok { t with r9 = value }
+  | reg -> Error reg
+
+let with_args t args =
+  let pick i default = if Array.length args > i then args.(i) else default in
+  {
+    t with
+    r1 = pick 0 t.r1;
+    r2 = pick 1 t.r2;
+    r3 = pick 2 t.r3;
+    r4 = pick 3 t.r4;
+    r5 = pick 4 t.r5;
+  }

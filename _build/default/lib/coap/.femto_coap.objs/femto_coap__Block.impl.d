@@ -1,0 +1,1 @@
+lib/coap/block.ml: Buffer Bytes Char List Message String

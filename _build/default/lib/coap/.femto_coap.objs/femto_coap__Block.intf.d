@@ -1,0 +1,1 @@
+lib/coap/block.mli: Message

@@ -1,0 +1,1 @@
+lib/coap/client.ml: Block Buffer Femto_net Femto_rtos Hashtbl Message Printf

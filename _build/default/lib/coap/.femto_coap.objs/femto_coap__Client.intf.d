@@ -1,0 +1,1 @@
+lib/coap/client.mli: Femto_net Femto_rtos Message

@@ -1,0 +1,1 @@
+lib/coap/gcoap.ml: Bytes Femto_core Femto_vm Int64 Message Printf Server String

@@ -1,0 +1,1 @@
+lib/coap/gcoap.mli: Femto_core Femto_vm Server

@@ -1,0 +1,1 @@
+lib/coap/message.ml: Buffer Bytes Char Format List Printf String

@@ -1,0 +1,1 @@
+lib/coap/message.mli: Format

@@ -1,0 +1,1 @@
+lib/coap/server.ml: Block Femto_net Hashtbl List Message Option String

@@ -1,0 +1,1 @@
+lib/coap/server.mli: Femto_net Message

@@ -1,0 +1,93 @@
+(* CoAP block-wise transfer (RFC 7959).
+
+   SUIT payloads and manifests routinely exceed a 6LoWPAN frame; block-wise
+   transfer moves them in power-of-two chunks with per-block confirmable
+   retransmission.  Block1 covers large requests (uploads), Block2 large
+   responses (downloads).
+
+   Option value: a uint encoding (num << 4) | (m << 3) | szx where the
+   block size is 2^(szx + 4), szx in 0..6 (16..1024 bytes). *)
+
+let opt_block2 = 23
+let opt_block1 = 27
+
+type t = { num : int; more : bool; szx : int }
+
+let size t = 1 lsl (t.szx + 4)
+
+let szx_of_size size =
+  match size with
+  | 16 -> 0
+  | 32 -> 1
+  | 64 -> 2
+  | 128 -> 3
+  | 256 -> 4
+  | 512 -> 5
+  | 1024 -> 6
+  | _ -> invalid_arg "Block.szx_of_size: not a valid block size"
+
+let make ~num ~more ~size = { num; more; szx = szx_of_size size }
+
+(* --- option value codec: big-endian uint, 0-3 bytes --- *)
+
+let encode t =
+  let v = (t.num lsl 4) lor ((if t.more then 1 else 0) lsl 3) lor t.szx in
+  if v = 0 then ""
+  else if v < 0x100 then String.make 1 (Char.chr v)
+  else if v < 0x10000 then
+    let b = Bytes.create 2 in
+    Bytes.set_uint16_be b 0 v;
+    Bytes.to_string b
+  else begin
+    let b = Bytes.create 3 in
+    Bytes.set_uint8 b 0 ((v lsr 16) land 0xff);
+    Bytes.set_uint16_be b 1 (v land 0xffff);
+    Bytes.to_string b
+  end
+
+let decode value =
+  if String.length value > 3 then None
+  else begin
+    let v = String.fold_left (fun acc c -> (acc lsl 8) lor Char.code c) 0 value in
+    let szx = v land 0x7 in
+    if szx = 7 then None (* reserved *)
+    else Some { num = v lsr 4; more = v land 0x8 <> 0; szx }
+  end
+
+let to_option ~number t = (number, encode t)
+
+let of_message ~number (message : Message.t) =
+  List.find_map
+    (fun (n, v) -> if n = number then decode v else None)
+    message.Message.options
+
+(* Slice [payload] for block [num] of [size] bytes; returns the chunk and
+   whether more blocks follow. *)
+let slice ~num ~size payload =
+  let total = String.length payload in
+  let start = num * size in
+  if start >= total && total > 0 then None
+  else if total = 0 && num > 0 then None
+  else begin
+    let len = min size (total - start) in
+    let chunk = String.sub payload start len in
+    Some (chunk, start + len < total)
+  end
+
+(* Reassembly buffer for one block-wise upload. *)
+type assembly = { buffer : Buffer.t; mutable expected_num : int }
+
+let create_assembly () = { buffer = Buffer.create 256; expected_num = 0 }
+
+type feed_result =
+  | Continue (* block stored, awaiting the next *)
+  | Complete of string (* final block stored; full payload *)
+  | Out_of_order (* unexpected block number: restart required *)
+
+let feed assembly block chunk =
+  if block.num <> assembly.expected_num then Out_of_order
+  else begin
+    Buffer.add_string assembly.buffer chunk;
+    assembly.expected_num <- assembly.expected_num + 1;
+    if block.more then Continue else Complete (Buffer.contents assembly.buffer)
+  end

@@ -1,0 +1,42 @@
+(** CoAP block-wise transfer (RFC 7959).
+
+    SUIT payloads routinely exceed a 6LoWPAN frame; block-wise transfer
+    moves them in power-of-two chunks with per-block confirmable
+    retransmission.  Block1 covers large requests (uploads), Block2 large
+    responses (downloads). *)
+
+val opt_block2 : int
+val opt_block1 : int
+
+type t = { num : int; more : bool; szx : int }
+
+val size : t -> int
+(** Block size in bytes, [2^(szx+4)]. *)
+
+val make : num:int -> more:bool -> size:int -> t
+(** Raises [Invalid_argument] when [size] is not 16, 32, ..., 1024. *)
+
+val encode : t -> string
+(** The option value (0-3 byte big-endian uint). *)
+
+val decode : string -> t option
+
+val to_option : number:int -> t -> int * string
+val of_message : number:int -> Message.t -> t option
+
+val slice : num:int -> size:int -> string -> (string * bool) option
+(** [slice ~num ~size payload] is block [num] and whether more follow;
+    [None] past the end. *)
+
+(** {2 Reassembly of uploads} *)
+
+type assembly
+
+val create_assembly : unit -> assembly
+
+type feed_result =
+  | Continue  (** block stored, awaiting the next *)
+  | Complete of string  (** final block stored; full payload *)
+  | Out_of_order  (** unexpected block number: restart required *)
+
+val feed : assembly -> t -> string -> feed_result

@@ -1,0 +1,69 @@
+(** CoAP client with confirmable-message retransmission (RFC 7252 §4.2),
+    block-wise transfer (RFC 7959) and observe (RFC 7641).
+
+    Confirmable requests are retransmitted with exponential back-off
+    (ACK_TIMEOUT 2 s, doubling, MAX_RETRANSMIT 4) — what lets SUIT
+    updates survive the lossy low-power link. *)
+
+module Network = Femto_net.Network
+module Kernel = Femto_rtos.Kernel
+
+type t
+
+val create : network:Network.t -> kernel:Kernel.t -> addr:int -> t
+
+val addr : t -> int
+val retransmissions : t -> int
+val timeouts : t -> int
+
+val request :
+  t ->
+  dst:int ->
+  code:int * int ->
+  path:string ->
+  ?payload:string ->
+  ((Message.t, [ `Timeout ]) result -> unit) ->
+  unit
+(** Issue a confirmable request; the callback fires exactly once. *)
+
+val get :
+  t -> dst:int -> path:string -> ((Message.t, [ `Timeout ]) result -> unit) -> unit
+
+val post :
+  t ->
+  dst:int ->
+  path:string ->
+  payload:string ->
+  ((Message.t, [ `Timeout ]) result -> unit) ->
+  unit
+
+val post_blockwise :
+  ?block_size:int ->
+  t ->
+  dst:int ->
+  path:string ->
+  payload:string ->
+  ((Message.t, [ `Timeout ]) result -> unit) ->
+  unit
+(** Upload a large payload as sequential Block1 chunks; the callback
+    receives the final response (or the first timeout). *)
+
+val get_blockwise :
+  ?block_size:int ->
+  t ->
+  dst:int ->
+  path:string ->
+  ((Message.t, [ `Timeout ]) result -> unit) ->
+  unit
+(** Download a resource, following Block2 until complete; the callback
+    receives the response with the reassembled payload. *)
+
+(** {2 Observe (RFC 7641)} *)
+
+type observation
+
+val observe : t -> dst:int -> path:string -> (Message.t -> unit) -> observation
+(** Register an observe relationship; the listener fires for the
+    registration response and for every notification until cancelled. *)
+
+val cancel_observe : t -> observation -> unit

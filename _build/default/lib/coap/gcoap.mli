@@ -1,0 +1,37 @@
+(** gcoap-style helpers: CoAP response formatting from inside a
+    Femto-Container (paper §8.3).
+
+    The container receives a packet-context pointer and a writable packet
+    buffer region; it builds the response through the helpers
+    [bpf_gcoap_resp_init], [bpf_coap_add_format], [bpf_coap_opt_finish],
+    [bpf_fmt_s16_dfp] and [bpf_coap_set_payload_len], writing the payload
+    through allow-list-checked memory.  The OCaml side then frames the
+    final CoAP message from the builder state. *)
+
+val pkt_vaddr : int64
+(** Virtual address of the packet payload buffer region. *)
+
+val pkt_size : int
+
+type builder
+
+val create_builder : unit -> builder
+
+val reset : builder -> unit
+(** Clear the builder before handling a new request. *)
+
+val pkt_region : builder -> Femto_vm.Region.t
+(** The packet region to grant the container at attach time. *)
+
+val fmt_s16_dfp : int64 -> int -> string
+(** Decimal fixed-point rendering, as RIOT's [fmt_s16_dfp]: [scale] is the
+    decimal exponent (e.g. value 2372, scale -2 renders "23.72"). *)
+
+val install : builder -> Femto_vm.Helper.t -> unit
+(** Register the helper set into a helper table. *)
+
+val attach_to_engine : Femto_core.Engine.t -> builder -> unit
+(** Install the helpers for any container granted [Contract.Net_coap]. *)
+
+val response : builder -> Server.response
+(** Extract the response the container built. *)

@@ -1,0 +1,251 @@
+(* CoAP message codec (RFC 7252).
+
+   Wire format:
+     byte 0:  Ver(2) | Type(2) | TKL(4)
+     byte 1:  Code (class 3 bits . detail 5 bits)
+     2-3:     Message ID (big endian)
+     4..:     Token (TKL bytes)
+     then options, delta-encoded and sorted by number, with 13/14
+     extended nibbles; then 0xFF + payload if non-empty. *)
+
+type msg_type = Confirmable | Non_confirmable | Acknowledgement | Reset
+
+let msg_type_code = function
+  | Confirmable -> 0
+  | Non_confirmable -> 1
+  | Acknowledgement -> 2
+  | Reset -> 3
+
+let msg_type_of_code = function
+  | 0 -> Confirmable
+  | 1 -> Non_confirmable
+  | 2 -> Acknowledgement
+  | 3 -> Reset
+  | _ -> assert false
+
+(* Codes as (class, detail). *)
+let code_empty = (0, 0)
+let code_get = (0, 1)
+let code_post = (0, 2)
+let code_put = (0, 3)
+let code_delete = (0, 4)
+let code_content = (2, 5) (* 2.05, the paper's response code 69 *)
+let code_created = (2, 1)
+let code_changed = (2, 4)
+let code_continue = (2, 31) (* RFC 7959: more Block1 blocks expected *)
+let code_bad_request = (4, 0)
+let code_unauthorized = (4, 1)
+let code_not_found = (4, 4)
+let code_request_entity_incomplete = (4, 8) (* RFC 7959 *)
+let code_request_entity_too_large = (4, 13)
+let code_internal_error = (5, 0)
+
+let code_to_int (cls, detail) = (cls lsl 5) lor detail
+let code_of_int v = (v lsr 5, v land 0x1f)
+
+let code_to_string (cls, detail) = Printf.sprintf "%d.%02d" cls detail
+
+(* Option numbers. *)
+let opt_observe = 6 (* RFC 7641 *)
+let opt_uri_path = 11
+let opt_content_format = 12
+let opt_uri_query = 15
+
+type t = {
+  msg_type : msg_type;
+  code : int * int;
+  message_id : int;
+  token : string;
+  options : (int * string) list; (* (number, value), kept sorted *)
+  payload : string;
+}
+
+exception Parse_error of string
+
+let parse_error fmt = Format.kasprintf (fun m -> raise (Parse_error m)) fmt
+
+let make ?(msg_type = Confirmable) ?(token = "") ?(options = []) ?(payload = "")
+    ~code ~message_id () =
+  {
+    msg_type;
+    code;
+    message_id;
+    token;
+    options = List.stable_sort (fun (a, _) (b, _) -> compare a b) options;
+    payload;
+  }
+
+let uri_path t =
+  List.filter_map (fun (n, v) -> if n = opt_uri_path then Some v else None) t.options
+
+let path_string t = "/" ^ String.concat "/" (uri_path t)
+
+(* RFC 7641: the Observe option as a uint (register = 0, deregister = 1;
+   in notifications, a sequence number). *)
+let observe t =
+  List.find_map
+    (fun (n, v) ->
+      if n = opt_observe then
+        Some (String.fold_left (fun acc c -> (acc lsl 8) lor Char.code c) 0 v)
+      else None)
+    t.options
+
+let observe_option v =
+  if v = 0 then (opt_observe, "")
+  else if v < 0x100 then (opt_observe, String.make 1 (Char.chr v))
+  else if v < 0x10000 then
+    ( opt_observe,
+      let b = Bytes.create 2 in
+      Bytes.set_uint16_be b 0 v;
+      Bytes.to_string b )
+  else
+    ( opt_observe,
+      let b = Bytes.create 3 in
+      Bytes.set_uint8 b 0 ((v lsr 16) land 0xff);
+      Bytes.set_uint16_be b 1 (v land 0xffff);
+      Bytes.to_string b )
+
+let content_format t =
+  List.find_map
+    (fun (n, v) ->
+      if n = opt_content_format then
+        Some (String.fold_left (fun acc c -> (acc lsl 8) lor Char.code c) 0 v)
+      else None)
+    t.options
+
+let options_of_path path =
+  String.split_on_char '/' path
+  |> List.filter (fun s -> s <> "")
+  |> List.map (fun segment -> (opt_uri_path, segment))
+
+let content_format_option fmt =
+  if fmt = 0 then (opt_content_format, "")
+  else if fmt < 256 then (opt_content_format, String.make 1 (Char.chr fmt))
+  else
+    ( opt_content_format,
+      let b = Bytes.create 2 in
+      Bytes.set_uint16_be b 0 fmt;
+      Bytes.to_string b )
+
+(* --- encoding --- *)
+
+let encode_option_header buf ~delta ~length =
+  let nibble v = if v < 13 then v else if v < 269 then 13 else 14 in
+  let dn = nibble delta and ln = nibble length in
+  Buffer.add_char buf (Char.chr ((dn lsl 4) lor ln));
+  let extend v n =
+    if n = 13 then Buffer.add_char buf (Char.chr (v - 13))
+    else if n = 14 then begin
+      let b = Bytes.create 2 in
+      Bytes.set_uint16_be b 0 (v - 269);
+      Buffer.add_bytes buf b
+    end
+  in
+  extend delta dn;
+  extend length ln
+
+let encode t =
+  let tkl = String.length t.token in
+  if tkl > 8 then invalid_arg "CoAP token longer than 8 bytes";
+  let buf = Buffer.create 32 in
+  Buffer.add_char buf (Char.chr ((1 lsl 6) lor (msg_type_code t.msg_type lsl 4) lor tkl));
+  Buffer.add_char buf (Char.chr (code_to_int t.code));
+  let mid = Bytes.create 2 in
+  Bytes.set_uint16_be mid 0 (t.message_id land 0xFFFF);
+  Buffer.add_bytes buf mid;
+  Buffer.add_string buf t.token;
+  let previous = ref 0 in
+  List.iter
+    (fun (number, value) ->
+      encode_option_header buf ~delta:(number - !previous)
+        ~length:(String.length value);
+      Buffer.add_string buf value;
+      previous := number)
+    t.options;
+  if t.payload <> "" then begin
+    Buffer.add_char buf '\xff';
+    Buffer.add_string buf t.payload
+  end;
+  Bytes.of_string (Buffer.contents buf)
+
+(* --- decoding --- *)
+
+let decode data =
+  let data = Bytes.to_string data in
+  let len = String.length data in
+  if len < 4 then parse_error "message shorter than header";
+  let b0 = Char.code data.[0] in
+  let version = b0 lsr 6 in
+  if version <> 1 then parse_error "bad version %d" version;
+  let msg_type = msg_type_of_code ((b0 lsr 4) land 0x3) in
+  let tkl = b0 land 0x0f in
+  if tkl > 8 then parse_error "token length %d > 8" tkl;
+  if 4 + tkl > len then parse_error "truncated token";
+  let code = code_of_int (Char.code data.[1]) in
+  let message_id = (Char.code data.[2] lsl 8) lor Char.code data.[3] in
+  let token = String.sub data 4 tkl in
+  let pos = ref (4 + tkl) in
+  let options = ref [] in
+  let previous = ref 0 in
+  let payload = ref "" in
+  let byte () =
+    if !pos >= len then parse_error "truncated option";
+    let c = Char.code data.[!pos] in
+    incr pos;
+    c
+  in
+  let extended v =
+    if v < 13 then v
+    else if v = 13 then 13 + byte ()
+    else if v = 14 then begin
+      let high = byte () in
+      269 + ((high lsl 8) lor byte ())
+    end
+    else parse_error "reserved option nibble 15"
+  in
+  let rec loop () =
+    if !pos >= len then ()
+    else begin
+      let initial = byte () in
+      if initial = 0xff then begin
+        if !pos >= len then parse_error "payload marker with empty payload";
+        payload := String.sub data !pos (len - !pos);
+        pos := len
+      end
+      else begin
+        let delta = extended (initial lsr 4) in
+        let length = extended (initial land 0x0f) in
+        if !pos + length > len then parse_error "truncated option value";
+        let value = String.sub data !pos length in
+        pos := !pos + length;
+        let number = !previous + delta in
+        previous := number;
+        options := (number, value) :: !options;
+        loop ()
+      end
+    end
+  in
+  loop ();
+  {
+    msg_type;
+    code;
+    message_id;
+    token;
+    options = List.rev !options;
+    payload = !payload;
+  }
+
+let equal a b =
+  a.msg_type = b.msg_type && a.code = b.code && a.message_id = b.message_id
+  && String.equal a.token b.token
+  && a.options = b.options
+  && String.equal a.payload b.payload
+
+let pp ppf t =
+  Format.fprintf ppf "%s %s mid=%d path=%s payload=%S"
+    (match t.msg_type with
+    | Confirmable -> "CON"
+    | Non_confirmable -> "NON"
+    | Acknowledgement -> "ACK"
+    | Reset -> "RST")
+    (code_to_string t.code) t.message_id (path_string t) t.payload

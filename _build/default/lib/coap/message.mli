@@ -1,0 +1,78 @@
+(** CoAP message codec (RFC 7252). *)
+
+type msg_type = Confirmable | Non_confirmable | Acknowledgement | Reset
+
+(** {2 Codes as (class, detail)} *)
+
+val code_empty : int * int
+val code_get : int * int
+val code_post : int * int
+val code_put : int * int
+val code_delete : int * int
+
+val code_content : int * int
+(** 2.05 — encodes to 69, the code the paper's formatter container uses. *)
+
+val code_created : int * int
+val code_changed : int * int
+
+val code_continue : int * int
+(** 2.31 — more Block1 blocks expected (RFC 7959). *)
+
+val code_bad_request : int * int
+val code_unauthorized : int * int
+val code_not_found : int * int
+val code_request_entity_incomplete : int * int
+val code_request_entity_too_large : int * int
+val code_internal_error : int * int
+
+val code_to_int : int * int -> int
+val code_of_int : int -> int * int
+val code_to_string : int * int -> string
+
+(** {2 Option numbers} *)
+
+val opt_observe : int
+val opt_uri_path : int
+val opt_content_format : int
+val opt_uri_query : int
+
+type t = {
+  msg_type : msg_type;
+  code : int * int;
+  message_id : int;
+  token : string;
+  options : (int * string) list;  (** (number, value), kept sorted *)
+  payload : string;
+}
+
+exception Parse_error of string
+
+val make :
+  ?msg_type:msg_type ->
+  ?token:string ->
+  ?options:(int * string) list ->
+  ?payload:string ->
+  code:int * int ->
+  message_id:int ->
+  unit ->
+  t
+
+val uri_path : t -> string list
+val path_string : t -> string
+val content_format : t -> int option
+
+val observe : t -> int option
+(** The RFC 7641 Observe option (0 register, 1 deregister, else a
+    notification sequence number). *)
+
+val observe_option : int -> int * string
+val options_of_path : string -> (int * string) list
+val content_format_option : int -> int * string
+
+val encode : t -> bytes
+val decode : bytes -> t
+(** Raises {!Parse_error} on malformed input. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,255 @@
+(* CoAP resource server bound to a simulated network node.
+
+   Resources are registered by path; confirmable requests are answered
+   with piggybacked acknowledgements, as gcoap does in RIOT.  Handlers
+   return a (code, options, payload) triple — or delegate to a
+   Femto-Container through the [Gcoap] glue. *)
+
+module Network = Femto_net.Network
+
+type response = { code : int * int; options : (int * string) list; payload : string }
+
+let respond ?(options = []) ?(payload = "") code = { code; options; payload }
+
+type handler = src:int -> Message.t -> response
+
+type t = {
+  network : Network.t;
+  node : Network.node;
+  resources : (string, handler) Hashtbl.t;
+  mutable requests_served : int;
+  mutable not_found : int;
+  (* message-id deduplication: CON retransmissions of a request we already
+     answered get the cached response again *)
+  recent : (int * int, Message.t) Hashtbl.t; (* (src, mid) -> response *)
+  (* RFC 7959 state: Block1 reassembly per (src, path), and the full
+     payload of an in-progress Block2 download per (src, path) *)
+  uploads : (int * string, Block.assembly) Hashtbl.t;
+  downloads : (int * string, string) Hashtbl.t;
+  block_size : int;
+  (* RFC 7641 observe relationships: path -> (observer addr, token) *)
+  observers : (string, (int * string) list ref) Hashtbl.t;
+  mutable observe_seq : int;
+}
+
+let rec create ?(block_size = 64) ~network ~addr () =
+  let node = Network.add_node network ~addr in
+  let t =
+    {
+      network;
+      node;
+      resources = Hashtbl.create 8;
+      requests_served = 0;
+      not_found = 0;
+      recent = Hashtbl.create 16;
+      uploads = Hashtbl.create 4;
+      downloads = Hashtbl.create 4;
+      block_size;
+      observers = Hashtbl.create 4;
+      observe_seq = 2;
+    }
+  in
+  Network.set_receiver node (fun ~src datagram ->
+      match Message.decode datagram with
+      | exception Message.Parse_error _ -> () (* malformed: drop silently *)
+      | request -> handle t ~src request);
+  t
+
+and handle t ~src request =
+  match request.Message.msg_type with
+  | Message.Acknowledgement | Message.Reset -> ()
+  | Message.Confirmable | Message.Non_confirmable -> (
+      let key = (src, request.Message.message_id) in
+      match Hashtbl.find_opt t.recent key with
+      | Some cached ->
+          Network.send t.network ~src:t.node.Network.addr ~dst:src
+            (Message.encode cached)
+      | None ->
+          let response = dispatch t ~src request in
+          let reply =
+            Message.make
+              ~msg_type:
+                (match request.Message.msg_type with
+                | Message.Confirmable -> Message.Acknowledgement
+                | _ -> Message.Non_confirmable)
+              ~token:request.Message.token ~options:response.options
+              ~payload:response.payload ~code:response.code
+              ~message_id:request.Message.message_id ()
+          in
+          Hashtbl.replace t.recent key reply;
+          if Hashtbl.length t.recent > 64 then Hashtbl.reset t.recent;
+          Network.send t.network ~src:t.node.Network.addr ~dst:src
+            (Message.encode reply))
+
+(* Block1: accumulate upload blocks; the resource handler only runs when
+   the final block arrives, with the reassembled payload. *)
+and handle_block1 t ~src request block =
+  let path = Message.path_string request in
+  let key = (src, path) in
+  let assembly =
+    match Hashtbl.find_opt t.uploads key with
+    | Some a when block.Block.num > 0 -> a
+    | _ ->
+        let a = Block.create_assembly () in
+        Hashtbl.replace t.uploads key a;
+        a
+  in
+  match Block.feed assembly block request.Message.payload with
+  | Block.Continue ->
+      respond
+        ~options:[ Block.to_option ~number:Block.opt_block1 block ]
+        Message.code_continue
+  | Block.Complete payload ->
+      Hashtbl.remove t.uploads key;
+      let full = { request with Message.payload } in
+      let response = run_handler t ~src full in
+      { response with
+        options =
+          Block.to_option ~number:Block.opt_block1 block :: response.options }
+  | Block.Out_of_order ->
+      Hashtbl.remove t.uploads key;
+      respond Message.code_request_entity_incomplete
+
+(* Block2: slice a large response; the handler runs once (block 0) and the
+   full payload is cached for the follow-up block requests. *)
+and handle_block2 t ~src request num =
+  let path = Message.path_string request in
+  let key = (src, path) in
+  let payload =
+    if num = 0 then begin
+      let response = run_handler t ~src request in
+      if response.code <> Message.code_content then None
+      else begin
+        Hashtbl.replace t.downloads key response.payload;
+        Some (response.payload, response.options)
+      end
+    end
+    else
+      Option.map (fun p -> (p, [])) (Hashtbl.find_opt t.downloads key)
+  in
+  match payload with
+  | None ->
+      if num = 0 then run_handler t ~src request
+      else respond Message.code_request_entity_incomplete
+  | Some (full, options) -> (
+      match Block.slice ~num ~size:t.block_size full with
+      | None -> respond Message.code_bad_request
+      | Some (chunk, more) ->
+          if not more then Hashtbl.remove t.downloads key;
+          respond
+            ~options:
+              (Block.to_option ~number:Block.opt_block2
+                 (Block.make ~num ~more ~size:t.block_size)
+              :: List.filter (fun (n, _) -> n <> Block.opt_block2) options)
+            ~payload:chunk Message.code_content)
+
+(* RFC 7641: register/deregister the observe relationship carried by a
+   GET; the response to a registration echoes an Observe option. *)
+and handle_observe t ~src request =
+  match (request.Message.code = Message.code_get, Message.observe request) with
+  | true, Some 0 ->
+      let path = Message.path_string request in
+      let entry =
+        match Hashtbl.find_opt t.observers path with
+        | Some list -> list
+        | None ->
+            let list = ref [] in
+            Hashtbl.replace t.observers path list;
+            list
+      in
+      let key = (src, request.Message.token) in
+      if not (List.mem key !entry) then entry := key :: !entry;
+      `Registered
+  | true, Some 1 ->
+      let path = Message.path_string request in
+      (match Hashtbl.find_opt t.observers path with
+      | Some entry ->
+          entry :=
+            List.filter
+              (fun (a, tok) -> not (a = src && String.equal tok request.Message.token))
+              !entry
+      | None -> ());
+      `Deregistered
+  | _, _ -> `Not_observe
+
+and run_handler t ~src request =
+  let path = Message.path_string request in
+  match Hashtbl.find_opt t.resources path with
+  | Some handler ->
+      t.requests_served <- t.requests_served + 1;
+      (try handler ~src request
+       with _ -> respond Message.code_internal_error)
+  | None ->
+      t.not_found <- t.not_found + 1;
+      respond Message.code_not_found
+
+and dispatch t ~src request =
+  match Block.of_message ~number:Block.opt_block1 request with
+  | Some block -> handle_block1 t ~src request block
+  | None -> (
+      match Block.of_message ~number:Block.opt_block2 request with
+      | Some block -> handle_block2 t ~src request block.Block.num
+      | None ->
+          let observe_status = handle_observe t ~src request in
+          let response = run_handler t ~src request in
+          let response =
+            match observe_status with
+            | `Registered when response.code = Message.code_content ->
+                { response with
+                  options = Message.observe_option 1 :: response.options }
+            | `Registered | `Deregistered | `Not_observe -> response
+          in
+          (* unsolicited large responses switch to Block2 automatically *)
+          if
+            String.length response.payload > t.block_size
+            && response.code = Message.code_content
+          then begin
+            let key = (src, Message.path_string request) in
+            Hashtbl.replace t.downloads key response.payload;
+            match Block.slice ~num:0 ~size:t.block_size response.payload with
+            | Some (chunk, more) ->
+                { response with
+                  payload = chunk;
+                  options =
+                    Block.to_option ~number:Block.opt_block2
+                      (Block.make ~num:0 ~more ~size:t.block_size)
+                    :: response.options }
+            | None -> response
+          end
+          else response)
+
+let register t ~path handler = Hashtbl.replace t.resources path handler
+let addr t = t.node.Network.addr
+let requests_served t = t.requests_served
+
+(* [notify t ~path] re-evaluates the resource and pushes a
+   non-confirmable notification (with an increasing Observe sequence) to
+   every registered observer — RFC 7641 server-side. *)
+let notify t ~path =
+  match Hashtbl.find_opt t.observers path with
+  | None -> 0
+  | Some entry ->
+      t.observe_seq <- t.observe_seq + 1;
+      List.iter
+        (fun (dst, token) ->
+          let synthetic =
+            Message.make ~token
+              ~options:(Message.options_of_path path)
+              ~code:Message.code_get ~message_id:0 ()
+          in
+          let response = run_handler t ~src:dst synthetic in
+          let notification =
+            Message.make ~msg_type:Message.Non_confirmable ~token
+              ~options:(Message.observe_option t.observe_seq :: response.options)
+              ~payload:response.payload ~code:response.code
+              ~message_id:(0x8000 lor t.observe_seq land 0xFFFF) ()
+          in
+          Network.send t.network ~src:t.node.Network.addr ~dst
+            (Message.encode notification))
+        !entry;
+      List.length !entry
+
+let observer_count t ~path =
+  match Hashtbl.find_opt t.observers path with
+  | Some entry -> List.length !entry
+  | None -> 0

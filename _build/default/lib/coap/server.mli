@@ -1,0 +1,38 @@
+(** CoAP resource server bound to a simulated network node.
+
+    Resources are registered by path; confirmable requests get
+    piggybacked acknowledgements with message-id deduplication (CON
+    retransmissions receive the cached response).  Large uploads and
+    downloads use RFC 7959 block-wise transfer transparently; observers
+    are managed per RFC 7641. *)
+
+module Network = Femto_net.Network
+
+type response = {
+  code : int * int;
+  options : (int * string) list;
+  payload : string;
+}
+
+val respond : ?options:(int * string) list -> ?payload:string -> int * int -> response
+
+type handler = src:int -> Message.t -> response
+(** Handlers see the complete request (block-wise uploads arrive
+    reassembled); exceptions become 5.00 responses. *)
+
+type t
+
+val create : ?block_size:int -> network:Network.t -> addr:int -> unit -> t
+(** Attach a server node to the network.  [block_size] (default 64) is
+    the RFC 7959 chunk size for large transfers. *)
+
+val register : t -> path:string -> handler -> unit
+
+val addr : t -> int
+val requests_served : t -> int
+
+val notify : t -> path:string -> int
+(** Re-evaluate the resource and push a non-confirmable notification to
+    every observer (RFC 7641); returns how many were notified. *)
+
+val observer_count : t -> path:string -> int

@@ -1,0 +1,1 @@
+lib/core/container.ml: Contract Femto_certfc Femto_ebpf Femto_platform Femto_vm Kvstore Printf Program Tenant

@@ -1,0 +1,1 @@
+lib/core/engine.ml: Container Contract Femto_certfc Femto_platform Femto_rtos Femto_vm Hashtbl Hook Int64 Kvstore List Printf Syscall Tenant

@@ -1,0 +1,1 @@
+lib/core/hook.ml: Bytes Container Contract Femto_vm List Printf

@@ -1,0 +1,1 @@
+lib/core/kvstore.ml: Hashtbl Int32 List

@@ -1,0 +1,1 @@
+lib/core/kvstore.mli:

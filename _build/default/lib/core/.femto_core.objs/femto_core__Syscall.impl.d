@@ -1,0 +1,1 @@
+lib/core/syscall.ml: Bytes Contract Femto_vm Int64 Kvstore List Printf

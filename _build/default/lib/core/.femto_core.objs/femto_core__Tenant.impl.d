@@ -1,0 +1,1 @@
+lib/core/tenant.ml: Kvstore Printf

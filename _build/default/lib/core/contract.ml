@@ -1,0 +1,50 @@
+(* Contracts between a container and the hosting engine (paper §5, §11).
+
+   The OS restricts the set of privileges that can be granted at a hook,
+   the container declares the set it requires, and the engine grants the
+   intersection.  A capability that was not granted is simply absent from
+   the container's helper table, so using it faults as an unknown helper —
+   enforcement at run time, as the paper mandates for third-party
+   reprogramming. *)
+
+type capability =
+  | Kv_local (* private key-value store access *)
+  | Kv_tenant (* tenant-shared store access *)
+  | Kv_global (* device-global store access *)
+  | Time (* clock/tick helpers *)
+  | Sensors (* SAUL-style sensor reads *)
+  | Net_coap (* CoAP response formatting helpers *)
+  | Debug (* trace/format helpers *)
+
+let all = [ Kv_local; Kv_tenant; Kv_global; Time; Sensors; Net_coap; Debug ]
+
+let capability_name = function
+  | Kv_local -> "kv-local"
+  | Kv_tenant -> "kv-tenant"
+  | Kv_global -> "kv-global"
+  | Time -> "time"
+  | Sensors -> "sensors"
+  | Net_coap -> "net-coap"
+  | Debug -> "debug"
+
+type t = { required : capability list }
+
+let require required = { required = List.sort_uniq compare required }
+let required t = t.required
+
+(* The engine-side policy: what a hook's launchpad offers. *)
+type policy = { offered : capability list }
+
+let offer offered = { offered = List.sort_uniq compare offered }
+let offer_all = { offered = all }
+
+(* Granted = required ∩ offered. *)
+let grant policy t =
+  List.filter (fun cap -> List.mem cap policy.offered) t.required
+
+let is_granted policy t cap = List.mem cap (grant policy t)
+
+(* Capabilities requested but not offered — surfaced to the operator so a
+   deployment that will fault at run time is visible at install time. *)
+let denied policy t =
+  List.filter (fun cap -> not (List.mem cap policy.offered)) t.required

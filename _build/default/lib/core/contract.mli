@@ -1,0 +1,39 @@
+(** Contracts between a container and the hosting engine (paper §5, §11).
+
+    The OS restricts the set of privileges grantable at a hook, the
+    container declares what it requires, and the engine grants the
+    intersection.  Ungranted capabilities are simply absent from the
+    container's helper table — enforcement at run time. *)
+
+type capability =
+  | Kv_local  (** private key-value store access *)
+  | Kv_tenant  (** tenant-shared store access *)
+  | Kv_global  (** device-global store access *)
+  | Time  (** clock/tick helpers *)
+  | Sensors  (** SAUL-style sensor reads *)
+  | Net_coap  (** CoAP response-formatting helpers *)
+  | Debug  (** trace helpers *)
+
+val all : capability list
+val capability_name : capability -> string
+
+type t
+(** What a container requires. *)
+
+val require : capability list -> t
+val required : t -> capability list
+
+type policy
+(** What a hook's launchpad offers. *)
+
+val offer : capability list -> policy
+val offer_all : policy
+
+val grant : policy -> t -> capability list
+(** [required ∩ offered]. *)
+
+val is_granted : policy -> t -> capability -> bool
+
+val denied : policy -> t -> capability list
+(** Requested but not offered — surfaced at install time so a deployment
+    that will fault at run time is visible early. *)

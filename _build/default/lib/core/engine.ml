@@ -1,0 +1,262 @@
+(* The Femto-Container hosting engine.
+
+   Owns the hooks, tenants and device-global key-value store; attaches
+   containers to hooks (building their capability-gated helper tables and
+   verifying their bytecode — the cold-start step), and dispatches hook
+   triggers to every attached container with full fault isolation: a
+   faulting container is reported and counted, the OS and its neighbours
+   carry on (paper §5, §7). *)
+
+module Fault = Femto_vm.Fault
+module Region = Femto_vm.Region
+module Helper = Femto_vm.Helper
+module Platform = Femto_platform.Platform
+module Kernel = Femto_rtos.Kernel
+
+type t = {
+  platform : Platform.t;
+  kernel : Kernel.t option;
+  global_store : Kvstore.t;
+  tenants : (string, Tenant.t) Hashtbl.t;
+  hooks : (string, Hook.t) Hashtbl.t;
+  sensors : (int, unit -> (int64, string) result) Hashtbl.t;
+  mutable extra_helpers : (Contract.capability * (Helper.t -> unit)) list;
+  mutable trace_log : int64 list; (* newest first; bpf_trace output *)
+  mutable fallback_ms : int64; (* time source when no kernel is attached *)
+  config : Femto_vm.Config.t;
+}
+
+let create ?(platform = Platform.cortex_m4) ?kernel
+    ?(config = Femto_vm.Config.default) () =
+  {
+    platform;
+    kernel;
+    global_store = Kvstore.create "global";
+    tenants = Hashtbl.create 4;
+    hooks = Hashtbl.create 8;
+    sensors = Hashtbl.create 4;
+    extra_helpers = [];
+    trace_log = [];
+    fallback_ms = 0L;
+    config;
+  }
+
+let platform t = t.platform
+let kernel t = t.kernel
+let global_store t = t.global_store
+let trace_log t = List.rev t.trace_log
+
+(* --- tenants --- *)
+
+let add_tenant t id =
+  match Hashtbl.find_opt t.tenants id with
+  | Some tenant -> tenant
+  | None ->
+      let tenant = Tenant.create id in
+      Hashtbl.replace t.tenants id tenant;
+      tenant
+
+let tenants t = Hashtbl.fold (fun _ tenant acc -> tenant :: acc) t.tenants []
+
+(* --- hooks --- *)
+
+let register_hook t ~uuid ~name ~ctx_size ?ctx_perm ?policy () =
+  if Hashtbl.mem t.hooks uuid then
+    invalid_arg (Printf.sprintf "hook %s already registered" uuid);
+  let hook = Hook.create ~uuid ~name ~ctx_size ?ctx_perm ?policy () in
+  Hashtbl.replace t.hooks uuid hook;
+  hook
+
+let find_hook t uuid = Hashtbl.find_opt t.hooks uuid
+let hooks t = Hashtbl.fold (fun _ hook acc -> hook :: acc) t.hooks []
+
+(* --- facilities --- *)
+
+let register_sensor t ~id read = Hashtbl.replace t.sensors id read
+
+let add_helper_installer t capability install =
+  t.extra_helpers <- t.extra_helpers @ [ (capability, install) ]
+
+let advance_fallback_ms t ms = t.fallback_ms <- Int64.add t.fallback_ms ms
+
+let facilities_for t container =
+  {
+    Syscall.local_store = Container.local_store container;
+    tenant_store = Tenant.store (Container.tenant container);
+    global_store = t.global_store;
+    now_ms =
+      (fun () ->
+        match t.kernel with
+        | Some kernel ->
+            Int64.of_float (Femto_rtos.Kernel.now_us kernel /. 1000.0)
+        | None -> t.fallback_ms);
+    ticks =
+      (fun () ->
+        match t.kernel with
+        | Some kernel -> Femto_rtos.Kernel.now kernel
+        | None -> Int64.mul t.fallback_ms 64_000L);
+    read_sensor =
+      (fun id ->
+        match Hashtbl.find_opt t.sensors id with
+        | Some read -> read ()
+        | None -> Error (Printf.sprintf "no sensor %d" id));
+    trace = (fun v -> t.trace_log <- v :: t.trace_log);
+  }
+
+(* Helper table for [container] at [hook]: contract ∩ the policy applying
+   to the container's tenant (per-tenant overrides support different
+   privilege sets on one hook — the §11 extension). *)
+let helpers_for t hook container =
+  let policy =
+    Hook.policy_for hook
+      ~tenant_id:(Tenant.id (Container.tenant container))
+  in
+  let granted = Contract.grant policy container.Container.contract in
+  Syscall.build ~extra:t.extra_helpers ~granted (facilities_for t container)
+
+(* --- attach / detach (install & update path) --- *)
+
+type attach_error =
+  | Verification_failed of Fault.t
+  | Already_attached of string
+  | No_such_hook of string
+
+let attach_error_to_string = function
+  | Verification_failed fault ->
+      Printf.sprintf "pre-flight verification failed: %s" (Fault.to_string fault)
+  | Already_attached uuid -> Printf.sprintf "already attached to hook %s" uuid
+  | No_such_hook uuid -> Printf.sprintf "no hook %s" uuid
+
+(* [attach] is the paper's install step: build the helper table, run the
+   pre-flight checker, and only then instantiate the VM.  Extra regions
+   (e.g. a shared packet buffer) may be granted by the launchpad. *)
+let attach t ~hook_uuid ?(extra_regions = []) container =
+  match Hashtbl.find_opt t.hooks hook_uuid with
+  | None -> Error (No_such_hook hook_uuid)
+  | Some hook -> (
+      match container.Container.attached_to with
+      | Some uuid -> Error (Already_attached uuid)
+      | None -> (
+          let helpers = helpers_for t hook container in
+          let regions = Hook.ctx_region hook :: extra_regions in
+          let cycle_cost =
+            Platform.cycle_cost t.platform container.Container.runtime
+          in
+          let program = Container.program container in
+          let load =
+            match container.Container.runtime with
+            | Platform.Fc | Platform.Rbpf -> (
+                match
+                  Femto_vm.Vm.load ~config:t.config ~cycle_cost ~helpers
+                    ~regions program
+                with
+                | Ok vm -> Ok (Container.Fc_instance vm)
+                | Error fault -> Error fault)
+            | Platform.Certfc -> (
+                match
+                  Femto_certfc.Certfc.load ~config:t.config ~cycle_cost
+                    ~helpers ~regions program
+                with
+                | Ok vm -> Ok (Container.Certfc_instance vm)
+                | Error fault -> Error fault)
+          in
+          match load with
+          | Error fault -> Error (Verification_failed fault)
+          | Ok instance ->
+              container.Container.instance <- Some instance;
+              container.Container.attached_to <- Some hook_uuid;
+              hook.Hook.attached <- hook.Hook.attached @ [ container ];
+              Ok hook))
+
+let detach t container =
+  match container.Container.attached_to with
+  | None -> ()
+  | Some uuid ->
+      (match Hashtbl.find_opt t.hooks uuid with
+      | Some hook ->
+          hook.Hook.attached <-
+            List.filter (fun c -> c != container) hook.Hook.attached
+      | None -> ());
+      container.Container.attached_to <- None;
+      container.Container.instance <- None
+
+(* Hot update: replace the program of an attached container.  The new
+   program goes through pre-flight verification first; on failure the old
+   program keeps running (the paper's safe-update requirement). *)
+let update_program t container program =
+  match container.Container.attached_to with
+  | None -> Error (No_such_hook "(not attached)")
+  | Some hook_uuid -> (
+      match Hashtbl.find_opt t.hooks hook_uuid with
+      | None -> Error (No_such_hook hook_uuid)
+      | Some hook -> (
+          let helpers = helpers_for t hook container in
+          let regions = [ Hook.ctx_region hook ] in
+          let cycle_cost =
+            Platform.cycle_cost t.platform container.Container.runtime
+          in
+          let load =
+            match container.Container.runtime with
+            | Platform.Fc | Platform.Rbpf -> (
+                match
+                  Femto_vm.Vm.load ~config:t.config ~cycle_cost ~helpers
+                    ~regions program
+                with
+                | Ok vm -> Ok (Container.Fc_instance vm)
+                | Error fault -> Error fault)
+            | Platform.Certfc -> (
+                match
+                  Femto_certfc.Certfc.load ~config:t.config ~cycle_cost
+                    ~helpers ~regions program
+                with
+                | Ok vm -> Ok (Container.Certfc_instance vm)
+                | Error fault -> Error fault)
+          in
+          match load with
+          | Error fault -> Error (Verification_failed fault)
+          | Ok instance ->
+              container.Container.program <- program;
+              container.Container.instance <- Some instance;
+              Ok ()))
+
+(* --- trigger path --- *)
+
+type exec_report = {
+  container : Container.t;
+  result : (int64, Fault.t) result;
+  vm_cycles : int;
+}
+
+(* Fire a hook: every attached container runs, each in its own sandbox,
+   r1 = context pointer.  Cycle costs (dispatch + setup + interpreted
+   instructions) are charged to the RTOS clock when one is attached. *)
+let trigger t hook ?ctx () =
+  (match ctx with Some bytes -> Hook.set_ctx hook bytes | None -> ());
+  hook.Hook.triggers <- hook.Hook.triggers + 1;
+  let charge cycles =
+    match t.kernel with
+    | Some kernel -> Femto_rtos.Clock.advance (Kernel.clock kernel) cycles
+    | None -> ()
+  in
+  charge t.platform.Platform.empty_hook_cycles;
+  List.map
+    (fun container ->
+      charge
+        (Platform.hook_setup_cycles t.platform container.Container.runtime);
+      let result =
+        Container.run_instance container ~args:[| Hook.ctx_vaddr |]
+      in
+      container.Container.executions <- container.Container.executions + 1;
+      (match result with
+      | Ok _ -> ()
+      | Error _ -> container.Container.faults <- container.Container.faults + 1);
+      container.Container.last_result <- Some result;
+      let vm_cycles = Container.last_run_cycles container in
+      charge vm_cycles;
+      { container; result; vm_cycles })
+    hook.Hook.attached
+
+let trigger_by_uuid t ~uuid ?ctx () =
+  match find_hook t uuid with
+  | None -> Error (No_such_hook uuid)
+  | Some hook -> Ok (trigger t hook ?ctx ())

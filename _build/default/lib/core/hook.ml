@@ -1,0 +1,74 @@
+(* Hooks — the pre-provisioned launch pads of the paper (§7, Listing 1).
+
+   A hook is compiled into the firmware at a fixed spot (scheduler switch,
+   timer expiry, packet reception...).  It owns a context buffer that the
+   firmware fills before triggering, exposed to every attached container as
+   a memory region at a fixed virtual address with the hook's permission
+   (e.g. read-only for a firewall-style packet inspector).  Containers are
+   addressed to hooks by UUID — the same identifier SUIT manifests use as
+   storage location. *)
+
+module Region = Femto_vm.Region
+
+(* Virtual address at which every container sees its hook context. *)
+let ctx_vaddr = 0x2000_0000L
+
+type t = {
+  uuid : string;
+  name : string;
+  ctx_size : int;
+  ctx_perm : Region.perm;
+  ctx_data : bytes; (* shared backing: the launchpad's context struct *)
+  policy : Contract.policy;
+  (* §11 "dynamic privilege levels": the paper's design has one fixed
+     privilege set per hook and needs a second hook when two tenants
+     differ; per-tenant overrides lift that limitation *)
+  mutable tenant_policies : (string * Contract.policy) list;
+  mutable attached : Container.t list; (* in attach order *)
+  mutable triggers : int;
+}
+
+let create ~uuid ~name ~ctx_size ?(ctx_perm = Region.Read_only)
+    ?(policy = Contract.offer_all) () =
+  {
+    uuid;
+    name;
+    ctx_size;
+    ctx_perm;
+    ctx_data = Bytes.make ctx_size '\000';
+    policy;
+    tenant_policies = [];
+    attached = [];
+    triggers = 0;
+  }
+
+let uuid t = t.uuid
+let name t = t.name
+let policy t = t.policy
+
+(* [set_tenant_policy] narrows (or widens, within the engine's limits)
+   what one tenant may be granted at this hook. *)
+let set_tenant_policy t ~tenant_id policy =
+  t.tenant_policies <-
+    (tenant_id, policy) :: List.remove_assoc tenant_id t.tenant_policies
+
+(* The policy applying to [tenant_id]: its override, else the hook's. *)
+let policy_for t ~tenant_id =
+  match List.assoc_opt tenant_id t.tenant_policies with
+  | Some policy -> policy
+  | None -> t.policy
+let attached t = t.attached
+let triggers t = t.triggers
+let ctx_data t = t.ctx_data
+
+(* The context region handed to an attaching container: same backing bytes
+   for all containers on the hook, permission set by the launchpad. *)
+let ctx_region t =
+  Region.make ~name:(Printf.sprintf "ctx:%s" t.name) ~vaddr:ctx_vaddr
+    ~perm:t.ctx_perm t.ctx_data
+
+let set_ctx t ctx =
+  let len = Bytes.length ctx in
+  if len > t.ctx_size then invalid_arg "Hook.set_ctx: context too large";
+  Bytes.fill t.ctx_data 0 t.ctx_size '\000';
+  Bytes.blit ctx 0 t.ctx_data 0 len

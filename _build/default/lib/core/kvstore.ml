@@ -1,0 +1,46 @@
+(* Key-value store: the persistence primitive Femto-Containers get in lieu
+   of a file system (paper §7).  Values survive between invocations of a
+   container.  Three scopes exist, assembled by the hosting engine:
+   - local:  private to one container;
+   - tenant: shared by the containers of one tenant;
+   - global: shared by every container on the device. *)
+
+type t = {
+  name : string;
+  table : (int32, int64) Hashtbl.t;
+  max_entries : int; (* bounded: RAM on the device is finite *)
+}
+
+exception Full of string
+
+let create ?(max_entries = 64) name =
+  { name; table = Hashtbl.create 16; max_entries }
+
+let name t = t.name
+let length t = Hashtbl.length t.table
+
+(* Missing keys read as zero, as in the paper's thread-counter example
+   (first fetch of a fresh key yields a zero counter). *)
+let fetch t key =
+  match Hashtbl.find_opt t.table key with Some v -> v | None -> 0L
+
+let mem t key = Hashtbl.mem t.table key
+
+let store t key value =
+  if (not (Hashtbl.mem t.table key)) && Hashtbl.length t.table >= t.max_entries
+  then Error (`Store_full t.name)
+  else begin
+    Hashtbl.replace t.table key value;
+    Ok ()
+  end
+
+let remove t key = Hashtbl.remove t.table key
+let clear t = Hashtbl.reset t.table
+
+let bindings t =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.table []
+  |> List.sort (fun (a, _) (b, _) -> Int32.compare a b)
+
+(* Approximate RAM cost in bytes, for the memory-footprint experiments:
+   key (4) + value (8) + per-entry bookkeeping (8). *)
+let ram_bytes t = 24 + (Hashtbl.length t.table * 20)

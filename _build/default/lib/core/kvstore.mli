@@ -1,0 +1,36 @@
+(** Key-value store — the persistence primitive Femto-Containers get in
+    lieu of a file system (paper §7).
+
+    Values survive between invocations of a container.  Three scopes are
+    assembled by the hosting engine: local (one container), tenant (one
+    tenant's containers), global (the whole device). *)
+
+type t
+
+exception Full of string
+
+val create : ?max_entries:int -> string -> t
+(** [create name] makes an empty, bounded store ([max_entries] defaults
+    to 64 — device RAM is finite). *)
+
+val name : t -> string
+val length : t -> int
+
+val fetch : t -> int32 -> int64
+(** Missing keys read as zero (as in the paper's thread-counter
+    example). *)
+
+val mem : t -> int32 -> bool
+
+val store : t -> int32 -> int64 -> (unit, [ `Store_full of string ]) result
+(** Inserting a new key into a full store fails; overwriting an existing
+    key always succeeds. *)
+
+val remove : t -> int32 -> unit
+val clear : t -> unit
+
+val bindings : t -> (int32 * int64) list
+(** Sorted by key. *)
+
+val ram_bytes : t -> int
+(** Approximate RAM cost for the footprint experiments. *)

@@ -1,0 +1,143 @@
+(* The system-call surface exposed to containers.
+
+   Every interaction between a container and the OS goes through these
+   helpers, reached with the eBPF [call] instruction (paper §7, "Simple
+   Containerization").  The table is built per container: only helpers
+   whose capability the contract granted are registered, so an ungranted
+   call faults as [Unknown_helper] at run time (and is already flagged by
+   the pre-flight verifier, which checks call targets against the table).
+
+   Helper IDs are a stable ABI, grouped by capability:
+     0x01-0x0f  debug/time      0x10-0x1f  key-value stores
+     0x20-0x2f  sensors/memory  0x30-0x3f  CoAP (registered by femto_coap) *)
+
+module Helper = Femto_vm.Helper
+module Mem = Femto_vm.Mem
+
+let id_trace = 0x01
+let id_now_ms = 0x02
+let id_ticks = 0x03
+let id_store_local = 0x10
+let id_fetch_local = 0x11
+let id_store_tenant = 0x12
+let id_fetch_tenant = 0x13
+let id_store_global = 0x14
+let id_fetch_global = 0x15
+let id_saul_read = 0x20
+let id_memcpy = 0x21
+
+(* CoAP helper IDs: part of the stable ABI here; implementations are
+   installed by femto_coap through [add_helper_installer]. *)
+let id_gcoap_resp_init = 0x30
+let id_coap_add_format = 0x31
+let id_coap_opt_finish = 0x32
+let id_fmt_s16_dfp = 0x33
+let id_coap_set_payload_len = 0x34
+
+(* Full name -> id table for the assembler ([Asm.assemble ~helpers]). *)
+let standard_names =
+  [
+    ("bpf_trace", id_trace);
+    ("bpf_now_ms", id_now_ms);
+    ("bpf_ticks", id_ticks);
+    ("bpf_store_local", id_store_local);
+    ("bpf_fetch_local", id_fetch_local);
+    ("bpf_store_tenant", id_store_tenant);
+    ("bpf_fetch_tenant", id_fetch_tenant);
+    ("bpf_store_global", id_store_global);
+    ("bpf_fetch_global", id_fetch_global);
+    ("bpf_saul_read", id_saul_read);
+    ("bpf_memcpy", id_memcpy);
+    ("bpf_gcoap_resp_init", id_gcoap_resp_init);
+    ("bpf_coap_add_format", id_coap_add_format);
+    ("bpf_coap_opt_finish", id_coap_opt_finish);
+    ("bpf_fmt_s16_dfp", id_fmt_s16_dfp);
+    ("bpf_coap_set_payload_len", id_coap_set_payload_len);
+  ]
+
+let resolve_name name = List.assoc_opt name standard_names
+
+(* Facilities the engine provides to the helpers of one container. *)
+type facilities = {
+  local_store : Kvstore.t;
+  tenant_store : Kvstore.t;
+  global_store : Kvstore.t;
+  now_ms : unit -> int64;
+  ticks : unit -> int64;
+  read_sensor : int -> (int64, string) result;
+  trace : int64 -> unit;
+}
+
+let key_of args_value = Int64.to_int32 (Int64.logand args_value 0xFFFF_FFFFL)
+
+let register_kv helpers ~store ~store_id ~fetch_id ~suffix =
+  Helper.register helpers ~id:store_id ~cost_cycles:80
+    ~name:("bpf_store_" ^ suffix)
+    (fun _mem args ->
+      match Kvstore.store store (key_of args.Helper.a1) args.Helper.a2 with
+      | Ok () -> Ok 0L
+      | Error (`Store_full name) -> Error (Printf.sprintf "store %s full" name));
+  Helper.register helpers ~id:fetch_id ~cost_cycles:80
+    ~name:("bpf_fetch_" ^ suffix)
+    (fun mem args ->
+      let value = Kvstore.fetch store (key_of args.Helper.a1) in
+      let buf = Bytes.create 8 in
+      Bytes.set_int64_le buf 0 value;
+      match Mem.store_bytes mem ~addr:args.Helper.a2 buf with
+      | Ok () -> Ok 0L
+      | Error () -> Error "fetch destination outside allow-list")
+
+(* Build the helper table for one container from its granted
+   capabilities.  [extra] lets integration layers (e.g. CoAP) install
+   capability-gated helpers without femto_core depending on them. *)
+let build ?(extra = []) ~granted facilities =
+  let helpers = Helper.create () in
+  let has cap = List.mem cap granted in
+  (* always available: pure memory move within the allow-list *)
+  Helper.register helpers ~id:id_memcpy ~cost_cycles:30 ~name:"bpf_memcpy"
+    (fun mem args ->
+      let len = Int64.to_int args.Helper.a3 in
+      if len < 0 || len > 1024 then Error "memcpy length out of range"
+      else
+        match Mem.load_bytes mem ~addr:args.Helper.a2 ~len with
+        | Error () -> Error "memcpy source outside allow-list"
+        | Ok data -> (
+            match Mem.store_bytes mem ~addr:args.Helper.a1 data with
+            | Ok () -> Ok args.Helper.a1
+            | Error () -> Error "memcpy destination outside allow-list"));
+  if has Contract.Debug then
+    Helper.register helpers ~id:id_trace ~cost_cycles:40 ~name:"bpf_trace"
+      (fun _mem args ->
+        facilities.trace args.Helper.a1;
+        Ok 0L);
+  if has Contract.Time then begin
+    Helper.register helpers ~id:id_now_ms ~cost_cycles:25 ~name:"bpf_now_ms"
+      (fun _mem _args -> Ok (facilities.now_ms ()));
+    Helper.register helpers ~id:id_ticks ~cost_cycles:20 ~name:"bpf_ticks"
+      (fun _mem _args -> Ok (facilities.ticks ()))
+  end;
+  if has Contract.Kv_local then
+    register_kv helpers ~store:facilities.local_store ~store_id:id_store_local
+      ~fetch_id:id_fetch_local ~suffix:"local";
+  if has Contract.Kv_tenant then
+    register_kv helpers ~store:facilities.tenant_store
+      ~store_id:id_store_tenant ~fetch_id:id_fetch_tenant ~suffix:"tenant";
+  if has Contract.Kv_global then
+    register_kv helpers ~store:facilities.global_store
+      ~store_id:id_store_global ~fetch_id:id_fetch_global ~suffix:"global";
+  if has Contract.Sensors then
+    Helper.register helpers ~id:id_saul_read ~cost_cycles:500
+      ~name:"bpf_saul_read"
+      (fun mem args ->
+        match facilities.read_sensor (Int64.to_int args.Helper.a1) with
+        | Error message -> Error message
+        | Ok value -> (
+            let buf = Bytes.create 8 in
+            Bytes.set_int64_le buf 0 value;
+            match Mem.store_bytes mem ~addr:args.Helper.a2 buf with
+            | Ok () -> Ok 0L
+            | Error () -> Error "sensor destination outside allow-list"));
+  List.iter
+    (fun (cap, install) -> if has cap then install helpers)
+    extra;
+  helpers

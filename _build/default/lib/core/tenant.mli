@@ -1,0 +1,10 @@
+(** A tenant: an entity allowed to deploy containers on the device.
+
+    Tenants have limited mutual trust (paper §2, §3); each gets its own
+    intermediate key-value store, isolated from other tenants'. *)
+
+type t
+
+val create : string -> t
+val id : t -> string
+val store : t -> Kvstore.t

@@ -1,0 +1,1 @@
+lib/cose/cose.ml: Femto_cbor Femto_crypto Int64 Printf String

@@ -1,0 +1,1 @@
+lib/cose/cose.mli: Femto_cbor

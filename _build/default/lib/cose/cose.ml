@@ -1,0 +1,115 @@
+(* COSE_Sign1 (RFC 8152) over the CBOR codec.
+
+   SUIT manifests are wrapped in a COSE_Sign1 envelope:
+     [ protected : bstr, unprotected : map, payload : bstr / nil, sig : bstr ]
+   The signature covers the canonical Sig_structure
+     [ "Signature1", protected, external_aad, payload ].
+
+   Algorithm: HMAC-SHA256 stands in for ed25519 here (see DESIGN.md and
+   lib/crypto); COSE calls this construction "MAC0-as-signature" and the
+   envelope layout is unchanged, so verification, tamper rejection and
+   key separation behave exactly as in the paper's update pipeline. *)
+
+module Cbor = Femto_cbor.Cbor
+
+(* Private COSE algorithm identifier for the HMAC substitution; real
+   ed25519 would be -8 (EdDSA). *)
+let alg_hmac_sha256 = 5L
+
+type key = { key_id : string; secret : string }
+
+let make_key ~key_id ~secret = { key_id; secret }
+
+type envelope = {
+  protected : Cbor.t; (* decoded protected header map *)
+  unprotected : (Cbor.t * Cbor.t) list;
+  payload : string;
+  signature : string;
+}
+
+let header_alg = Cbor.Int 1L
+let header_kid = Cbor.Int 4L
+
+let protected_header key =
+  Cbor.Map [ (header_alg, Cbor.Int alg_hmac_sha256); (header_kid, Cbor.Text key.key_id) ]
+
+let sig_structure ~protected_bytes ~external_aad ~payload =
+  Cbor.encode
+    (Cbor.Array
+       [
+         Cbor.Text "Signature1";
+         Cbor.Bytes protected_bytes;
+         Cbor.Bytes external_aad;
+         Cbor.Bytes payload;
+       ])
+
+(* [sign key payload] produces the serialized COSE_Sign1 envelope. *)
+let sign ?(external_aad = "") key payload =
+  let protected_bytes = Cbor.encode (protected_header key) in
+  let to_sign = sig_structure ~protected_bytes ~external_aad ~payload in
+  let signature = Femto_crypto.Crypto.hmac_sha256 ~key:key.secret to_sign in
+  Cbor.encode
+    (Cbor.Tag
+       ( 18L (* COSE_Sign1 *),
+         Cbor.Array
+           [
+             Cbor.Bytes protected_bytes;
+             Cbor.Map [];
+             Cbor.Bytes payload;
+             Cbor.Bytes signature;
+           ] ))
+
+type error =
+  | Malformed of string
+  | Unknown_algorithm of int64
+  | Wrong_key_id of string
+  | Bad_signature
+
+let error_to_string = function
+  | Malformed m -> Printf.sprintf "malformed COSE envelope: %s" m
+  | Unknown_algorithm alg -> Printf.sprintf "unknown algorithm %Ld" alg
+  | Wrong_key_id kid -> Printf.sprintf "wrong key id %S" kid
+  | Bad_signature -> "signature verification failed"
+
+let parse data =
+  match Cbor.decode data with
+  | exception Cbor.Decode_error m -> Error (Malformed m)
+  | decoded -> (
+      let body = match decoded with Cbor.Tag (18L, body) -> body | other -> other in
+      match body with
+      | Cbor.Array
+          [ Cbor.Bytes protected_bytes; Cbor.Map unprotected; Cbor.Bytes payload;
+            Cbor.Bytes signature ] -> (
+          match Cbor.decode protected_bytes with
+          | exception Cbor.Decode_error m -> Error (Malformed m)
+          | protected -> Ok { protected; unprotected; payload; signature })
+      | _ -> Error (Malformed "expected 4-element COSE_Sign1 array"))
+
+(* [verify key data] checks the envelope and returns the authenticated
+   payload. *)
+let verify ?(external_aad = "") key data =
+  match parse data with
+  | Error e -> Error e
+  | Ok envelope -> (
+      match Cbor.find_map_entry envelope.protected header_alg with
+      | Some (Cbor.Int alg) when Int64.equal alg alg_hmac_sha256 -> (
+          match Cbor.find_map_entry envelope.protected header_kid with
+          | Some (Cbor.Text kid) when String.equal kid key.key_id ->
+              let protected_bytes =
+                (* re-encode exactly the bytes that were signed *)
+                Cbor.encode envelope.protected
+              in
+              let to_sign =
+                sig_structure ~protected_bytes ~external_aad
+                  ~payload:envelope.payload
+              in
+              let expected =
+                Femto_crypto.Crypto.hmac_sha256 ~key:key.secret to_sign
+              in
+              if Femto_crypto.Crypto.constant_time_equal expected envelope.signature
+              then Ok envelope.payload
+              else Error Bad_signature
+          | Some (Cbor.Text kid) -> Error (Wrong_key_id kid)
+          | _ -> Error (Malformed "missing key id"))
+      | Some (Cbor.Int alg) -> Error (Unknown_algorithm alg)
+      | _ -> Error (Malformed "missing algorithm"))

@@ -1,0 +1,40 @@
+(** COSE_Sign1 (RFC 8152) envelopes over CBOR.
+
+    SUIT manifests travel inside these.  The signature algorithm is
+    HMAC-SHA256 standing in for ed25519 (see DESIGN.md); the envelope
+    layout, protected-header discipline and Sig_structure are as
+    specified. *)
+
+module Cbor = Femto_cbor.Cbor
+
+val alg_hmac_sha256 : int64
+(** Algorithm identifier carried in the protected header. *)
+
+type key = { key_id : string; secret : string }
+
+val make_key : key_id:string -> secret:string -> key
+
+type envelope = {
+  protected : Cbor.t;  (** decoded protected header map *)
+  unprotected : (Cbor.t * Cbor.t) list;
+  payload : string;
+  signature : string;
+}
+
+val sign : ?external_aad:string -> key -> string -> string
+(** [sign key payload] produces the serialized COSE_Sign1 envelope. *)
+
+type error =
+  | Malformed of string
+  | Unknown_algorithm of int64
+  | Wrong_key_id of string
+  | Bad_signature
+
+val error_to_string : error -> string
+
+val parse : string -> (envelope, error) result
+(** Structural parse without signature verification. *)
+
+val verify : ?external_aad:string -> key -> string -> (string, error) result
+(** [verify key data] checks the envelope and returns the authenticated
+    payload. *)

@@ -1,0 +1,1 @@
+lib/crypto/crypto.ml: Buffer Char Printf Sha256 String

@@ -1,0 +1,1 @@
+lib/crypto/crypto.mli: Sha256

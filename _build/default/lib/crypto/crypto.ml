@@ -1,0 +1,57 @@
+(* Crypto utilities for the secure-update path: HMAC-SHA256 (RFC 2104),
+   constant-time comparison, hex encoding.
+
+   Note on the signature substitution: the paper's SUIT profile uses
+   ed25519; no crypto library is available in this sealed environment and
+   a from-scratch Curve25519 is out of scope, so COSE_Sign1 envelopes here
+   authenticate with HMAC-SHA256 instead (documented in DESIGN.md).  The
+   protocol behaviour the evaluation exercises — detached-payload signing,
+   verification, tamper rejection — is identical. *)
+
+module Sha256 = Sha256
+
+let sha256 = Sha256.digest_string
+let sha256_bytes = Sha256.digest_bytes
+
+let hmac_sha256 ~key message =
+  let block_size = 64 in
+  let key =
+    if String.length key > block_size then Sha256.digest_string key else key
+  in
+  let pad c =
+    String.init block_size (fun i ->
+        let k = if i < String.length key then Char.code key.[i] else 0 in
+        Char.chr (k lxor c))
+  in
+  let inner = Sha256.digest_string (pad 0x36 ^ message) in
+  Sha256.digest_string (pad 0x5c ^ inner)
+
+(* Constant-time equality: scans both strings fully regardless of where
+   they differ. *)
+let constant_time_equal a b =
+  if String.length a <> String.length b then false
+  else begin
+    let acc = ref 0 in
+    for i = 0 to String.length a - 1 do
+      acc := !acc lor (Char.code a.[i] lxor Char.code b.[i])
+    done;
+    !acc = 0
+  end
+
+let to_hex s =
+  let buf = Buffer.create (String.length s * 2) in
+  String.iter (fun c -> Buffer.add_string buf (Printf.sprintf "%02x" (Char.code c))) s;
+  Buffer.contents buf
+
+let of_hex hex =
+  if String.length hex mod 2 <> 0 then invalid_arg "Crypto.of_hex: odd length";
+  let digit c =
+    match c with
+    | '0' .. '9' -> Char.code c - Char.code '0'
+    | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+    | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+    | _ -> invalid_arg "Crypto.of_hex: bad digit"
+  in
+  String.init
+    (String.length hex / 2)
+    (fun i -> Char.chr ((digit hex.[2 * i] lsl 4) lor digit hex.[(2 * i) + 1]))

@@ -1,0 +1,24 @@
+(** Crypto utilities for the secure-update path.
+
+    Note: COSE envelopes in this repository authenticate with HMAC-SHA256
+    in place of the paper's ed25519 (see DESIGN.md, substitutions); the
+    protocol behaviour — detached-payload signing, verification, tamper
+    rejection — is unchanged. *)
+
+module Sha256 = Sha256
+
+val sha256 : string -> string
+(** 32-byte binary SHA-256 digest. *)
+
+val sha256_bytes : bytes -> string
+
+val hmac_sha256 : key:string -> string -> string
+(** RFC 2104 HMAC-SHA256; 32-byte binary MAC. *)
+
+val constant_time_equal : string -> string -> bool
+(** Equality that scans both strings fully regardless of where they
+    differ. *)
+
+val to_hex : string -> string
+val of_hex : string -> string
+(** Raises [Invalid_argument] on odd length or non-hex digits. *)

@@ -1,0 +1,150 @@
+(* SHA-256 (FIPS 180-4), implemented from scratch on int32 words.
+
+   Used for SUIT payload digests; verified against the NIST test vectors
+   in the test suite. *)
+
+let k =
+  [|
+    0x428a2f98l; 0x71374491l; 0xb5c0fbcfl; 0xe9b5dba5l; 0x3956c25bl;
+    0x59f111f1l; 0x923f82a4l; 0xab1c5ed5l; 0xd807aa98l; 0x12835b01l;
+    0x243185bel; 0x550c7dc3l; 0x72be5d74l; 0x80deb1fel; 0x9bdc06a7l;
+    0xc19bf174l; 0xe49b69c1l; 0xefbe4786l; 0x0fc19dc6l; 0x240ca1ccl;
+    0x2de92c6fl; 0x4a7484aal; 0x5cb0a9dcl; 0x76f988dal; 0x983e5152l;
+    0xa831c66dl; 0xb00327c8l; 0xbf597fc7l; 0xc6e00bf3l; 0xd5a79147l;
+    0x06ca6351l; 0x14292967l; 0x27b70a85l; 0x2e1b2138l; 0x4d2c6dfcl;
+    0x53380d13l; 0x650a7354l; 0x766a0abbl; 0x81c2c92el; 0x92722c85l;
+    0xa2bfe8a1l; 0xa81a664bl; 0xc24b8b70l; 0xc76c51a3l; 0xd192e819l;
+    0xd6990624l; 0xf40e3585l; 0x106aa070l; 0x19a4c116l; 0x1e376c08l;
+    0x2748774cl; 0x34b0bcb5l; 0x391c0cb3l; 0x4ed8aa4al; 0x5b9cca4fl;
+    0x682e6ff3l; 0x748f82eel; 0x78a5636fl; 0x84c87814l; 0x8cc70208l;
+    0x90befffal; 0xa4506cebl; 0xbef9a3f7l; 0xc67178f2l;
+  |]
+
+type ctx = {
+  h : int32 array; (* 8 words of chaining state *)
+  block : Bytes.t; (* 64-byte input block being filled *)
+  mutable block_len : int;
+  mutable total_len : int64;
+}
+
+let init () =
+  {
+    h =
+      [|
+        0x6a09e667l; 0xbb67ae85l; 0x3c6ef372l; 0xa54ff53al; 0x510e527fl;
+        0x9b05688cl; 0x1f83d9abl; 0x5be0cd19l;
+      |];
+    block = Bytes.create 64;
+    block_len = 0;
+    total_len = 0L;
+  }
+
+let rotr x n = Int32.logor (Int32.shift_right_logical x n) (Int32.shift_left x (32 - n))
+
+let process_block ctx block offset =
+  let w = Array.make 64 0l in
+  for t = 0 to 15 do
+    w.(t) <- Bytes.get_int32_be block (offset + (4 * t))
+  done;
+  for t = 16 to 63 do
+    let s0 =
+      Int32.logxor
+        (Int32.logxor (rotr w.(t - 15) 7) (rotr w.(t - 15) 18))
+        (Int32.shift_right_logical w.(t - 15) 3)
+    in
+    let s1 =
+      Int32.logxor
+        (Int32.logxor (rotr w.(t - 2) 17) (rotr w.(t - 2) 19))
+        (Int32.shift_right_logical w.(t - 2) 10)
+    in
+    w.(t) <- Int32.add (Int32.add w.(t - 16) s0) (Int32.add w.(t - 7) s1)
+  done;
+  let a = ref ctx.h.(0) and b = ref ctx.h.(1) and c = ref ctx.h.(2) in
+  let d = ref ctx.h.(3) and e = ref ctx.h.(4) and f = ref ctx.h.(5) in
+  let g = ref ctx.h.(6) and h = ref ctx.h.(7) in
+  for t = 0 to 63 do
+    let s1 = Int32.logxor (Int32.logxor (rotr !e 6) (rotr !e 11)) (rotr !e 25) in
+    let ch = Int32.logxor (Int32.logand !e !f) (Int32.logand (Int32.lognot !e) !g) in
+    let t1 = Int32.add (Int32.add (Int32.add !h s1) (Int32.add ch k.(t))) w.(t) in
+    let s0 = Int32.logxor (Int32.logxor (rotr !a 2) (rotr !a 13)) (rotr !a 22) in
+    let maj =
+      Int32.logxor
+        (Int32.logxor (Int32.logand !a !b) (Int32.logand !a !c))
+        (Int32.logand !b !c)
+    in
+    let t2 = Int32.add s0 maj in
+    h := !g;
+    g := !f;
+    f := !e;
+    e := Int32.add !d t1;
+    d := !c;
+    c := !b;
+    b := !a;
+    a := Int32.add t1 t2
+  done;
+  ctx.h.(0) <- Int32.add ctx.h.(0) !a;
+  ctx.h.(1) <- Int32.add ctx.h.(1) !b;
+  ctx.h.(2) <- Int32.add ctx.h.(2) !c;
+  ctx.h.(3) <- Int32.add ctx.h.(3) !d;
+  ctx.h.(4) <- Int32.add ctx.h.(4) !e;
+  ctx.h.(5) <- Int32.add ctx.h.(5) !f;
+  ctx.h.(6) <- Int32.add ctx.h.(6) !g;
+  ctx.h.(7) <- Int32.add ctx.h.(7) !h
+
+let update ctx data offset length =
+  if offset < 0 || length < 0 || offset + length > Bytes.length data then
+    invalid_arg "Sha256.update";
+  ctx.total_len <- Int64.add ctx.total_len (Int64.of_int length);
+  let pos = ref offset and remaining = ref length in
+  (* top up a partial block first *)
+  if ctx.block_len > 0 then begin
+    let need = 64 - ctx.block_len in
+    let chunk = min need !remaining in
+    Bytes.blit data !pos ctx.block ctx.block_len chunk;
+    ctx.block_len <- ctx.block_len + chunk;
+    pos := !pos + chunk;
+    remaining := !remaining - chunk;
+    if ctx.block_len = 64 then begin
+      process_block ctx ctx.block 0;
+      ctx.block_len <- 0
+    end
+  end;
+  while !remaining >= 64 do
+    process_block ctx data !pos;
+    pos := !pos + 64;
+    remaining := !remaining - 64
+  done;
+  if !remaining > 0 then begin
+    Bytes.blit data !pos ctx.block ctx.block_len !remaining;
+    ctx.block_len <- ctx.block_len + !remaining
+  end
+
+let update_string ctx s = update ctx (Bytes.of_string s) 0 (String.length s)
+
+let finalize ctx =
+  let bit_len = Int64.mul ctx.total_len 8L in
+  (* append 0x80, pad with zeros to 56 mod 64, then the 64-bit length *)
+  let pad_len =
+    let used = (ctx.block_len + 1) mod 64 in
+    if used <= 56 then 56 - used else 120 - used
+  in
+  let trailer = Bytes.create (1 + pad_len + 8) in
+  Bytes.fill trailer 0 (Bytes.length trailer) '\000';
+  Bytes.set trailer 0 '\x80';
+  Bytes.set_int64_be trailer (1 + pad_len) bit_len;
+  (* bypass total_len accounting for the padding *)
+  let saved = ctx.total_len in
+  update ctx trailer 0 (Bytes.length trailer);
+  ctx.total_len <- saved;
+  let digest = Bytes.create 32 in
+  for i = 0 to 7 do
+    Bytes.set_int32_be digest (4 * i) ctx.h.(i)
+  done;
+  Bytes.to_string digest
+
+let digest_bytes data =
+  let ctx = init () in
+  update ctx data 0 (Bytes.length data);
+  finalize ctx
+
+let digest_string s = digest_bytes (Bytes.of_string s)

@@ -1,0 +1,14 @@
+(** SHA-256 (FIPS 180-4), implemented from scratch; verified against the
+    NIST test vectors in the test suite. *)
+
+type ctx
+
+val init : unit -> ctx
+val update : ctx -> bytes -> int -> int -> unit
+val update_string : ctx -> string -> unit
+
+val finalize : ctx -> string
+(** 32-byte binary digest.  The context must not be reused afterwards. *)
+
+val digest_bytes : bytes -> string
+val digest_string : string -> string

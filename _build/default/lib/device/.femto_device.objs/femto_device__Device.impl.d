@@ -1,0 +1,1 @@
+lib/device/device.ml: Bytes Femto_coap Femto_core Femto_cose Femto_ebpf Femto_flash Femto_net Femto_platform Femto_rtos Femto_suit Femto_vm Hashtbl Int64 List Printf Result String

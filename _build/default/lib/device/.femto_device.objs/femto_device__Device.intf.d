@@ -1,0 +1,1 @@
+lib/device/device.mli: Femto_coap Femto_core Femto_cose Femto_flash Femto_net Femto_platform Femto_rtos Femto_suit Femto_vm

@@ -1,0 +1,225 @@
+(* A complete Femto-Container device: the composition an actual firmware
+   would ship.
+
+   Boot wires together the hosting engine (hooks from a static firmware
+   table), the SUIT update processor, persistent container slots on the
+   flash simulator, and the CoAP endpoints for over-the-network management:
+
+     POST /suit/slot     upload a payload (block-wise capable)
+     POST /suit/install  submit a signed manifest; verified payloads are
+                         written to a flash slot and attached to their hook
+     GET  /.well-known/core   resource discovery
+     GET  /fc/containers      list running containers and their stats
+
+   Rebooting (a new [boot] over the same flash) re-attaches every valid
+   slot image — updates survive power cycles, as the paper's §5 flow
+   requires. *)
+
+module Engine = Femto_core.Engine
+module Container = Femto_core.Container
+module Contract = Femto_core.Contract
+module Kernel = Femto_rtos.Kernel
+module Network = Femto_net.Network
+module Server = Femto_coap.Server
+module Message = Femto_coap.Message
+module Suit = Femto_suit.Suit
+module Cose = Femto_cose.Cose
+module Slots = Femto_flash.Slots
+module Flash = Femto_flash.Flash
+
+(* The static firmware hook table: what launchpads this device build
+   provides (paper Listing 1 — hooks are compiled in). *)
+type hook_spec = {
+  uuid : string;
+  name : string;
+  ctx_size : int;
+  ctx_perm : Femto_vm.Region.perm;
+  policy : Contract.policy;
+}
+
+let hook_spec ?(ctx_perm = Femto_vm.Region.Read_only)
+    ?(policy = Contract.offer_all) ~uuid ~name ~ctx_size () =
+  { uuid; name; ctx_size; ctx_perm; policy }
+
+type identity = {
+  vendor_id : string;
+  class_id : string;
+  update_key : Cose.key;
+}
+
+type t = {
+  kernel : Kernel.t;
+  engine : Engine.t;
+  slots : Slots.t;
+  suit : Suit.device;
+  server : Server.t;
+  identity : identity;
+  tenant : Femto_core.Tenant.t; (* owner of network-installed containers *)
+  mutable installed : (string * Container.t) list; (* hook uuid -> container *)
+  mutable pending_payload : string;
+  mutable boots : int64;
+}
+
+let kernel t = t.kernel
+let suit_processor t = t.suit
+let suit_sequence t = t.suit.Suit.sequence
+let suit_accepted t = t.suit.Suit.accepted
+let suit_rejected t = t.suit.Suit.rejected
+let engine t = t.engine
+let slots t = t.slots
+let server t = t.server
+let containers t = List.map snd t.installed
+
+(* Attach a restored or freshly-installed image to its hook. *)
+let attach_image t ~hook_uuid payload =
+  match Femto_ebpf.Program.of_bytes (Bytes.of_string payload) with
+  | exception Femto_ebpf.Program.Truncated m -> Error m
+  | program -> (
+      match List.assoc_opt hook_uuid t.installed with
+      | Some existing ->
+          (* hot update of the container already on this hook *)
+          Result.map_error Engine.attach_error_to_string
+            (Engine.update_program t.engine existing program)
+      | None -> (
+          let container =
+            Container.create
+              ~name:(Printf.sprintf "net-%s" (String.sub hook_uuid 0 8))
+              ~tenant:t.tenant
+              ~contract:
+                (Contract.require
+                   Contract.[ Kv_local; Kv_tenant; Kv_global; Time; Sensors ])
+              program
+          in
+          match Engine.attach t.engine ~hook_uuid container with
+          | Ok _ ->
+              t.installed <- (hook_uuid, container) :: t.installed;
+              Ok ()
+          | Error e -> Error (Engine.attach_error_to_string e)))
+
+(* The SUIT install callback: verify-then-persist-then-attach.  The flash
+   write happens only after the engine's pre-flight verification passed,
+   so a slot never holds a program the device would refuse to run. *)
+let install_image t ~sequence ~storage_uuid payload =
+  match attach_image t ~hook_uuid:storage_uuid payload with
+  | Error m -> Error m
+  | Ok () -> (
+      (* overwrite the slot already holding this hook's image, so stale
+         versions never linger; otherwise take the usual victim slot *)
+      let slot =
+        match
+          List.find_opt
+            (fun (_, image) -> String.equal image.Slots.hook_uuid storage_uuid)
+            (Slots.scan t.slots)
+        with
+        | Some (slot, _) -> slot
+        | None -> Slots.victim_slot t.slots
+      in
+      match
+        Slots.store t.slots ~slot
+          { Slots.sequence; hook_uuid = storage_uuid; payload }
+      with
+      | Ok () -> Ok ()
+      | Error e -> Error (Slots.error_to_string e))
+
+let containers_report t =
+  String.concat "\n"
+    (List.map
+       (fun (uuid, container) ->
+         Printf.sprintf "%s %s runs=%d faults=%d bytes=%d" uuid
+           (Container.name container)
+           (Container.executions container)
+           (Container.faults container)
+           (Container.bytecode_size container))
+       t.installed)
+
+let register_management_endpoints t =
+  Server.register t.server ~path:"/suit/slot" (fun ~src:_ request ->
+      t.pending_payload <- request.Message.payload;
+      Server.respond Message.code_changed);
+  Server.register t.server ~path:"/suit/install" (fun ~src:_ request ->
+      match
+        Suit.process t.suit ~envelope:request.Message.payload
+          ~payloads:
+            (List.map
+               (fun hook -> (Femto_core.Hook.uuid hook, t.pending_payload))
+               (Engine.hooks t.engine))
+      with
+      | Ok _manifest -> Server.respond Message.code_changed
+      | Error e ->
+          Server.respond
+            ~payload:(Suit.error_to_string e)
+            Message.code_unauthorized);
+  Server.register t.server ~path:"/.well-known/core" (fun ~src:_ _ ->
+      Server.respond
+        ~payload:
+          "</suit/slot>;rt=\"suit.slot\",</suit/install>;rt=\"suit.install\",\
+           </fc/containers>;rt=\"fc.list\""
+        Message.code_content);
+  Server.register t.server ~path:"/fc/containers" (fun ~src:_ _ ->
+      Server.respond ~payload:(containers_report t) Message.code_content)
+
+(* [boot] brings a device up: engine + hooks, SUIT processor, management
+   endpoints, then re-attach every valid image found on the flash. *)
+let boot ?(platform = Femto_platform.Platform.cortex_m4) ~identity ~hooks
+    ~flash ~slot_count ~network ~addr () =
+  let kernel = Network.kernel network in
+  let engine = Engine.create ~platform ~kernel () in
+  List.iter
+    (fun spec ->
+      ignore
+        (Engine.register_hook engine ~uuid:spec.uuid ~name:spec.name
+           ~ctx_size:spec.ctx_size ~ctx_perm:spec.ctx_perm ~policy:spec.policy
+           ()))
+    hooks;
+  let slots = Slots.create ~flash ~count:slot_count in
+  let server = Server.create ~network ~addr () in
+  let tenant = Engine.add_tenant engine "network-tenant" in
+  let t_ref = ref None in
+  let suit =
+    Suit.create_device ~vendor_id:identity.vendor_id
+      ~class_id:identity.class_id ~key:identity.update_key
+      ~install:(fun ~sequence ~storage_uuid payload ->
+        match !t_ref with
+        | Some t -> install_image t ~sequence ~storage_uuid payload
+        | None -> Error "device not booted")
+      ~known_storage:(fun uuid -> Engine.find_hook engine uuid <> None)
+      ()
+  in
+  let t =
+    {
+      kernel;
+      engine;
+      slots;
+      suit;
+      server;
+      identity;
+      tenant;
+      installed = [];
+      pending_payload = "";
+      boots = 0L;
+    }
+  in
+  t_ref := Some t;
+  register_management_endpoints t;
+  (* restore persisted containers: one image per hook (the highest
+     sequence number wins), and the SUIT rollback counter resumes from the
+     newest install *)
+  let newest_per_hook = Hashtbl.create 4 in
+  List.iter
+    (fun (_, image) ->
+      match Hashtbl.find_opt newest_per_hook image.Slots.hook_uuid with
+      | Some existing
+        when Int64.compare existing.Slots.sequence image.Slots.sequence >= 0 ->
+          ()
+      | Some _ | None ->
+          Hashtbl.replace newest_per_hook image.Slots.hook_uuid image)
+    (Slots.scan slots);
+  Hashtbl.iter
+    (fun _ image ->
+      match attach_image t ~hook_uuid:image.Slots.hook_uuid image.Slots.payload with
+      | Ok () ->
+          if Int64.compare image.Slots.sequence t.suit.Suit.sequence > 0 then
+            t.suit.Suit.sequence <- image.Slots.sequence
+      | Error _ -> () (* a corrupt/unattachable image is skipped, not fatal *))
+    newest_per_hook;
+  t

@@ -1,0 +1,1 @@
+lib/ebpf/asm.ml: Format Hashtbl Insn Int32 Int64 List Opcode Program String

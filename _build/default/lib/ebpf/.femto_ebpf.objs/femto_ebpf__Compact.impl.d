@@ -1,0 +1,1 @@
+lib/ebpf/compact.ml: Array Buffer Char Insn Int32 List Program String

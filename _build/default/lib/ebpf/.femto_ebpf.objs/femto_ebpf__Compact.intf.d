@@ -1,0 +1,1 @@
+lib/ebpf/compact.mli: Insn Program

@@ -1,0 +1,1 @@
+lib/ebpf/disasm.ml: Buffer Insn Int32 Opcode Printf Program

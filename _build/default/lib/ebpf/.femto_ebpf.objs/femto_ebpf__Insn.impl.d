@@ -1,0 +1,1 @@
+lib/ebpf/insn.ml: Bytes Format Int32 Int64 Opcode

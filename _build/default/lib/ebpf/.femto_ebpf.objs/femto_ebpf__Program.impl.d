@@ -1,0 +1,1 @@
+lib/ebpf/program.ml: Array Bytes Format Insn Printf

@@ -1,0 +1,1 @@
+lib/ebpf/program.mli: Format Insn

@@ -1,0 +1,283 @@
+(* Two-pass textual assembler for the rBPF/eBPF instruction subset.
+
+   Syntax (one instruction per line, ';', '#' or '//' start a comment):
+
+     entry:                      ; label definition
+       mov   r1, 42              ; alu64, immediate source
+       add32 r1, r2              ; alu32, register source
+       neg   r3
+       lddw  r4, 0x1_0000_0000   ; 64-bit immediate (two slots)
+       ldxw  r2, [r1+4]          ; load word
+       stb   [r10-1], 7          ; store immediate byte
+       stxdw [r10-8], r2         ; store register double word
+       jeq   r1, 5, done         ; conditional jump to label
+       jlt32 r1, r2, +2          ; 32-bit compare, relative target
+       ja    entry
+       call  3                   ; helper call by number
+       call  bpf_store_global    ; helper call by name (via [helpers])
+     done:
+       exit
+
+   Numbers accept decimal and 0x hex with optional '_' separators and a
+   leading '-'. *)
+
+exception Error of { line : int; message : string }
+
+let error line fmt =
+  Format.kasprintf (fun message -> raise (Error { line; message })) fmt
+
+let strip_comment line =
+  let cut_at pattern acc =
+    let plen = String.length pattern in
+    let rec find i =
+      if i + plen > String.length acc then acc
+      else if String.sub acc i plen = pattern then String.sub acc 0 i
+      else find (i + 1)
+    in
+    find 0
+  in
+  String.trim (cut_at ";" (cut_at "#" (cut_at "//" line)))
+
+type token = Ident of string | Num of int64 | Lbracket | Rbracket | Comma | Colon
+
+let tokenize lineno line =
+  let n = String.length line in
+  let tokens = ref [] in
+  let push t = tokens := t :: !tokens in
+  let is_ident_char c =
+    (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+    || c = '_' || c = '.'
+  in
+  let is_num_start c = (c >= '0' && c <= '9') || c = '-' || c = '+' in
+  let i = ref 0 in
+  while !i < n do
+    let c = line.[!i] in
+    if c = ' ' || c = '\t' then incr i
+    else if c = '[' then (push Lbracket; incr i)
+    else if c = ']' then (push Rbracket; incr i)
+    else if c = ',' then (push Comma; incr i)
+    else if c = ':' then (push Colon; incr i)
+    else if is_num_start c && (c <> '+' && c <> '-' || (!i + 1 < n && line.[!i + 1] >= '0' && line.[!i + 1] <= '9')) then begin
+      let start = !i in
+      incr i;
+      while !i < n && (is_ident_char line.[!i]) do incr i done;
+      let text = String.sub line start (!i - start) in
+      let text = String.concat "" (String.split_on_char '_' text) in
+      match Int64.of_string_opt text with
+      | Some v -> push (Num v)
+      | None -> error lineno "invalid number %S" text
+    end
+    else if is_ident_char c || c = '+' || c = '-' then begin
+      (* '+N' relative targets are handled as numbers above; bare +/- with a
+         label is not supported *)
+      let start = !i in
+      incr i;
+      while !i < n && is_ident_char line.[!i] do incr i done;
+      push (Ident (String.sub line start (!i - start)))
+    end
+    else error lineno "unexpected character %C" c
+  done;
+  List.rev !tokens
+
+(* Intermediate instruction: jump targets may still be symbolic. *)
+type target = Rel of int | Label of string
+
+type item =
+  | I of Insn.t (* fully resolved slot *)
+  | Jump_to of { opcode : int; dst : int; src : int; imm : int32; target : target }
+
+let reg lineno = function
+  | Ident name -> (
+      let fail () = error lineno "expected register, got %S" name in
+      if String.length name >= 2 && name.[0] = 'r' then
+        match int_of_string_opt (String.sub name 1 (String.length name - 1)) with
+        | Some r when r >= 0 && r <= 10 -> r
+        | Some _ | None -> fail ()
+      else fail ())
+  | Num _ -> error lineno "expected register, got number"
+  | _ -> error lineno "expected register"
+
+let imm32_of lineno v =
+  if Int64.compare v 0xFFFF_FFFFL > 0 || Int64.compare v (-0x8000_0000L) < 0 then
+    error lineno "immediate %Ld does not fit in 32 bits" v;
+  Int64.to_int32 v
+
+let off16_of lineno v =
+  if v > 32767L || v < -32768L then error lineno "offset %Ld does not fit in 16 bits" v;
+  Int64.to_int v
+
+(* Parse a memory operand "[rX+off]" / "[rX-off]" / "[rX]". Brackets were
+   tokenized; +N / -N appear as a Num token. *)
+let mem_operand lineno tokens =
+  match tokens with
+  | Lbracket :: r :: rest -> (
+      let base = reg lineno r in
+      match rest with
+      | Rbracket :: rest' -> ((base, 0), rest')
+      | Num off :: Rbracket :: rest' -> ((base, off16_of lineno off), rest')
+      | _ -> error lineno "malformed memory operand")
+  | _ -> error lineno "expected memory operand '[rN+off]'"
+
+let alu_mnemonics =
+  let open Opcode in
+  [ ("add", Add); ("sub", Sub); ("mul", Mul); ("div", Div); ("or", Or);
+    ("and", And); ("lsh", Lsh); ("rsh", Rsh); ("mod", Mod); ("xor", Xor);
+    ("mov", Mov); ("arsh", Arsh) ]
+
+let jmp_mnemonics =
+  let open Opcode in
+  [ ("jeq", Jeq); ("jgt", Jgt); ("jge", Jge); ("jset", Jset); ("jne", Jne);
+    ("jsgt", Jsgt); ("jsge", Jsge); ("jlt", Jlt); ("jle", Jle);
+    ("jslt", Jslt); ("jsle", Jsle) ]
+
+let size_suffixes = [ ("b", Opcode.B); ("h", Opcode.H); ("w", Opcode.W); ("dw", Opcode.DW) ]
+
+let lookup_size lineno s =
+  match List.assoc_opt s size_suffixes with
+  | Some size -> size
+  | None -> error lineno "unknown size suffix %S" s
+
+(* Split a mnemonic like "jeq32" / "add32" into base + is32 flag. *)
+let split32 name =
+  let n = String.length name in
+  if n > 2 && String.sub name (n - 2) 2 = "32" then (String.sub name 0 (n - 2), true)
+  else (name, false)
+
+let parse_line ~helpers lineno tokens =
+  match tokens with
+  | [] -> `Nothing
+  | [ Ident name; Colon ] -> `Label name
+  | Ident mnemonic :: rest -> (
+      let mnemonic = String.lowercase_ascii mnemonic in
+      let base, is32 = split32 mnemonic in
+      let alu_insn op source ~dst ~src ~imm =
+        let opcode = if is32 then Opcode.alu32 op source else Opcode.alu64 op source in
+        I (Insn.make opcode ~dst ~src ~imm)
+      in
+      let jump_target = function
+        | Num v -> Rel (Int64.to_int v)
+        | Ident l -> Label l
+        | _ -> error lineno "expected jump target"
+      in
+      match List.assoc_opt base alu_mnemonics with
+      | Some op -> (
+          match rest with
+          | [ d; Comma; Num v ] ->
+              `Item (alu_insn op Opcode.Src_imm ~dst:(reg lineno d) ~src:0 ~imm:(imm32_of lineno v))
+          | [ d; Comma; s ] ->
+              `Item (alu_insn op Opcode.Src_reg ~dst:(reg lineno d) ~src:(reg lineno s) ~imm:0l)
+          | _ -> error lineno "%s expects 'dst, src|imm'" mnemonic)
+      | None ->
+      match List.assoc_opt base jmp_mnemonics with
+      | Some cond -> (
+          let mk source ~dst ~src ~imm target =
+            let opcode =
+              if is32 then Opcode.jmp32 cond source else Opcode.jmp cond source
+            in
+            Jump_to { opcode; dst; src; imm; target }
+          in
+          match rest with
+          | [ d; Comma; Num v; Comma; t ] ->
+              `Item (mk Opcode.Src_imm ~dst:(reg lineno d) ~src:0 ~imm:(imm32_of lineno v) (jump_target t))
+          | [ d; Comma; s; Comma; t ] ->
+              `Item (mk Opcode.Src_reg ~dst:(reg lineno d) ~src:(reg lineno s) ~imm:0l (jump_target t))
+          | _ -> error lineno "%s expects 'dst, src|imm, target'" mnemonic)
+      | None ->
+      match base, rest with
+      (* matched on the full mnemonic: split32 would strip "32" suffixes *)
+      | _, [ d ]
+        when List.mem mnemonic
+               [ "le16"; "le32"; "le64"; "be16"; "be32"; "be64" ] ->
+          let endianness =
+            if String.sub mnemonic 0 2 = "le" then Opcode.Le else Opcode.Be
+          in
+          let width = int_of_string (String.sub mnemonic 2 2) in
+          `Item
+            (I (Insn.make (Opcode.end32 endianness) ~dst:(reg lineno d)
+                  ~imm:(Int32.of_int width)))
+      | "neg", [ d ] ->
+          `Item (alu_insn Opcode.Neg Opcode.Src_imm ~dst:(reg lineno d) ~src:0 ~imm:0l)
+      | "ja", [ t ] ->
+          `Item (Jump_to { opcode = Opcode.ja; dst = 0; src = 0; imm = 0l;
+                           target = jump_target t })
+      | "exit", [] -> `Item (I (Insn.make Opcode.exit'))
+      | "call", [ Num v ] -> `Item (I (Insn.make Opcode.call ~imm:(imm32_of lineno v)))
+      | "call", [ Ident name ] -> (
+          match helpers name with
+          | Some id -> `Item (I (Insn.make Opcode.call ~imm:(Int32.of_int id)))
+          | None -> error lineno "unknown helper %S" name)
+      | "lddw", [ d; Comma; Num v ] ->
+          let head, tail = Insn.lddw_pair (reg lineno d) v in
+          `Pair (head, tail)
+      | _ when String.length base > 3 && String.sub base 0 3 = "ldx" -> (
+          let size = lookup_size lineno (String.sub base 3 (String.length base - 3)) in
+          match rest with
+          | d :: Comma :: mem ->
+              let (src, offset), rest' = mem_operand lineno mem in
+              if rest' <> [] then error lineno "trailing tokens after load";
+              `Item (I (Insn.make (Opcode.ldx size) ~dst:(reg lineno d) ~src ~offset))
+          | _ -> error lineno "%s expects 'dst, [src+off]'" mnemonic)
+      | _ when String.length base > 3 && String.sub base 0 3 = "stx" -> (
+          let size = lookup_size lineno (String.sub base 3 (String.length base - 3)) in
+          let (dst, offset), rest' = mem_operand lineno rest in
+          match rest' with
+          | [ Comma; s ] ->
+              `Item (I (Insn.make (Opcode.stx size) ~dst ~src:(reg lineno s) ~offset))
+          | _ -> error lineno "%s expects '[dst+off], src'" mnemonic)
+      | _ when String.length base > 2 && String.sub base 0 2 = "st" -> (
+          let size = lookup_size lineno (String.sub base 2 (String.length base - 2)) in
+          let (dst, offset), rest' = mem_operand lineno rest in
+          match rest' with
+          | [ Comma; Num v ] ->
+              `Item (I (Insn.make (Opcode.st size) ~dst ~offset ~imm:(imm32_of lineno v)))
+          | _ -> error lineno "%s expects '[dst+off], imm'" mnemonic)
+      | _ -> error lineno "unknown mnemonic %S" mnemonic)
+  | _ -> error lineno "cannot parse line"
+
+let no_helpers (_ : string) : int option = None
+
+let assemble ?(helpers = no_helpers) source =
+  let lines = String.split_on_char '\n' source in
+  (* First pass: collect items and label -> slot index. *)
+  let labels = Hashtbl.create 16 in
+  let items = ref [] in
+  let slot = ref 0 in
+  List.iteri
+    (fun idx raw ->
+      let lineno = idx + 1 in
+      let line = strip_comment raw in
+      if line <> "" then
+        match parse_line ~helpers lineno (tokenize lineno line) with
+        | `Nothing -> ()
+        | `Label name ->
+            if Hashtbl.mem labels name then error lineno "duplicate label %S" name;
+            Hashtbl.add labels name !slot
+        | `Item item ->
+            items := (lineno, item) :: !items;
+            incr slot
+        | `Pair (head, tail) ->
+            items := (lineno, I tail) :: (lineno, I head) :: !items;
+            slot := !slot + 2)
+    lines;
+  let items = List.rev !items in
+  (* Second pass: resolve jump targets to relative offsets. *)
+  let resolve at lineno = function
+    | Rel r -> r
+    | Label name -> (
+        match Hashtbl.find_opt labels name with
+        | Some target -> target - at - 1
+        | None -> error lineno "undefined label %S" name)
+  in
+  let insns =
+    List.mapi
+      (fun at (lineno, item) ->
+        match item with
+        | I insn -> insn
+        | Jump_to { opcode; dst; src; imm; target } ->
+            let offset = resolve at lineno target in
+            if offset > 32767 || offset < -32768 then
+              error lineno "jump offset %d out of 16-bit range" offset;
+            Insn.make opcode ~dst ~src ~imm ~offset)
+      items
+  in
+  Program.of_insns insns

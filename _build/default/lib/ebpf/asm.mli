@@ -1,0 +1,27 @@
+(** Two-pass textual assembler for the rBPF/eBPF instruction subset.
+
+    Syntax overview (one instruction per line; [;], [#] or [//] start a
+    comment; labels end with [:]):
+
+    {v
+      mov   r1, 42            ; alu64 with immediate
+      add32 r1, r2            ; alu32 with register source
+      lddw  r4, 0x1_0000_0000 ; 64-bit immediate (two slots)
+      ldxw  r2, [r1+4]        ; memory load
+      stxdw [r10-8], r2       ; memory store from register
+      jeq   r1, 5, done       ; conditional jump to a label
+      ja    +2                ; relative jump
+      call  bpf_now_ms        ; helper call by name (via ~helpers)
+      exit
+    v} *)
+
+exception Error of { line : int; message : string }
+(** Raised on any syntax or range error, with the 1-based source line. *)
+
+val no_helpers : string -> int option
+(** Resolver that knows no helper names (the default). *)
+
+val assemble : ?helpers:(string -> int option) -> string -> Program.t
+(** [assemble ?helpers source] assembles [source]. [helpers] resolves
+    [call <name>] mnemonics to helper ids (see
+    [Femto_core.Syscall.resolve_name] for the standard ABI). *)

@@ -1,0 +1,25 @@
+(** Variable-length instruction encoding (the paper's §11 proposal).
+
+    Most eBPF instructions carry fields fixed at zero; this codec omits
+    them, shrinking application images to roughly half for typical
+    programs.  Devices decompress once at install time. *)
+
+exception Malformed of string
+
+val encoded_size : Insn.t -> int
+(** Size in bytes of one instruction under the compact encoding
+    (2 to 9). *)
+
+val compress : Program.t -> string
+(** Serialize a program into the variable-length image. *)
+
+val decompress : string -> Program.t
+(** Inverse of {!compress}; raises {!Malformed} on corrupt input. *)
+
+type stats = {
+  fixed_bytes : int;  (** size under the fixed 8-byte encoding *)
+  compact_bytes : int;  (** size under the compact encoding *)
+  ratio : float;  (** [compact_bytes / fixed_bytes] *)
+}
+
+val measure : Program.t -> stats

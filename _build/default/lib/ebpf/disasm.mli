@@ -1,0 +1,10 @@
+(** Disassembler producing text that {!Asm.assemble} round-trips. *)
+
+val insn_to_string :
+  ?helper_name:(int -> string option) -> Program.t -> int -> string
+(** [insn_to_string ?helper_name program i] renders the instruction at
+    slot [i]. [helper_name] maps helper ids back to [call] names. *)
+
+val to_string : ?helper_name:(int -> string option) -> Program.t -> string
+(** Render a whole program, one instruction per line; jump targets are
+    emitted as relative offsets. *)

@@ -1,0 +1,221 @@
+(* eBPF opcode encoding tables.
+
+   An eBPF opcode byte is [op | source | class] where the 3 low bits select
+   the instruction class, bit 3 selects the operand source for ALU/JMP
+   classes (K = immediate, X = register), and the 5 (or 3) high bits select
+   the operation.  See the Linux kernel's Documentation/bpf/instruction-set
+   and the rBPF port described in the paper. *)
+
+type cls =
+  | Cls_ld
+  | Cls_ldx
+  | Cls_st
+  | Cls_stx
+  | Cls_alu
+  | Cls_jmp
+  | Cls_jmp32
+  | Cls_alu64
+
+let cls_code = function
+  | Cls_ld -> 0x00
+  | Cls_ldx -> 0x01
+  | Cls_st -> 0x02
+  | Cls_stx -> 0x03
+  | Cls_alu -> 0x04
+  | Cls_jmp -> 0x05
+  | Cls_jmp32 -> 0x06
+  | Cls_alu64 -> 0x07
+
+let cls_of_code code =
+  match code land 0x07 with
+  | 0x00 -> Cls_ld
+  | 0x01 -> Cls_ldx
+  | 0x02 -> Cls_st
+  | 0x03 -> Cls_stx
+  | 0x04 -> Cls_alu
+  | 0x05 -> Cls_jmp
+  | 0x06 -> Cls_jmp32
+  | 0x07 -> Cls_alu64
+  | _ -> assert false
+
+(* Memory access size, bits 3-4 of LD/LDX/ST/STX opcodes. *)
+type size = W | H | B | DW
+
+let size_code = function W -> 0x00 | H -> 0x08 | B -> 0x10 | DW -> 0x18
+
+let size_of_code code =
+  match code land 0x18 with
+  | 0x00 -> W
+  | 0x08 -> H
+  | 0x10 -> B
+  | 0x18 -> DW
+  | _ -> assert false
+
+let size_bytes = function B -> 1 | H -> 2 | W -> 4 | DW -> 8
+
+(* Addressing mode, bits 5-7 of LD/LDX/ST/STX opcodes. *)
+let mode_imm = 0x00
+let mode_mem = 0x60
+
+(* Operand source for ALU and JMP classes. *)
+type source = Src_imm | Src_reg
+
+let source_code = function Src_imm -> 0x00 | Src_reg -> 0x08
+let source_of_code code = if code land 0x08 = 0 then Src_imm else Src_reg
+
+type alu_op =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Or
+  | And
+  | Lsh
+  | Rsh
+  | Neg
+  | Mod
+  | Xor
+  | Mov
+  | Arsh
+
+let alu_op_code = function
+  | Add -> 0x00
+  | Sub -> 0x10
+  | Mul -> 0x20
+  | Div -> 0x30
+  | Or -> 0x40
+  | And -> 0x50
+  | Lsh -> 0x60
+  | Rsh -> 0x70
+  | Neg -> 0x80
+  | Mod -> 0x90
+  | Xor -> 0xa0
+  | Mov -> 0xb0
+  | Arsh -> 0xc0
+
+(* Endianness conversion (BPF_END, 0xd0 in the ALU class): the source bit
+   selects the target byte order (K = little endian, X = big endian) and
+   the immediate selects the width (16, 32 or 64 bits). *)
+let op_end = 0xd0
+
+type endianness = Le | Be
+
+let endianness_of_source = function Src_imm -> Le | Src_reg -> Be
+let source_of_endianness = function Le -> Src_imm | Be -> Src_reg
+let endian_name = function Le -> "le" | Be -> "be"
+
+let alu_op_of_code code =
+  match code land 0xf0 with
+  | 0x00 -> Some Add
+  | 0x10 -> Some Sub
+  | 0x20 -> Some Mul
+  | 0x30 -> Some Div
+  | 0x40 -> Some Or
+  | 0x50 -> Some And
+  | 0x60 -> Some Lsh
+  | 0x70 -> Some Rsh
+  | 0x80 -> Some Neg
+  | 0x90 -> Some Mod
+  | 0xa0 -> Some Xor
+  | 0xb0 -> Some Mov
+  | 0xc0 -> Some Arsh
+  | _ -> None
+
+let alu_op_name = function
+  | Add -> "add"
+  | Sub -> "sub"
+  | Mul -> "mul"
+  | Div -> "div"
+  | Or -> "or"
+  | And -> "and"
+  | Lsh -> "lsh"
+  | Rsh -> "rsh"
+  | Neg -> "neg"
+  | Mod -> "mod"
+  | Xor -> "xor"
+  | Mov -> "mov"
+  | Arsh -> "arsh"
+
+type jmp_cond =
+  | Jeq
+  | Jgt
+  | Jge
+  | Jset
+  | Jne
+  | Jsgt
+  | Jsge
+  | Jlt
+  | Jle
+  | Jslt
+  | Jsle
+
+let jmp_cond_code = function
+  | Jeq -> 0x10
+  | Jgt -> 0x20
+  | Jge -> 0x30
+  | Jset -> 0x40
+  | Jne -> 0x50
+  | Jsgt -> 0x60
+  | Jsge -> 0x70
+  | Jlt -> 0xa0
+  | Jle -> 0xb0
+  | Jslt -> 0xc0
+  | Jsle -> 0xd0
+
+let jmp_cond_of_code code =
+  match code land 0xf0 with
+  | 0x10 -> Some Jeq
+  | 0x20 -> Some Jgt
+  | 0x30 -> Some Jge
+  | 0x40 -> Some Jset
+  | 0x50 -> Some Jne
+  | 0x60 -> Some Jsgt
+  | 0x70 -> Some Jsge
+  | 0xa0 -> Some Jlt
+  | 0xb0 -> Some Jle
+  | 0xc0 -> Some Jslt
+  | 0xd0 -> Some Jsle
+  | _ -> None
+
+let jmp_cond_name = function
+  | Jeq -> "jeq"
+  | Jgt -> "jgt"
+  | Jge -> "jge"
+  | Jset -> "jset"
+  | Jne -> "jne"
+  | Jsgt -> "jsgt"
+  | Jsge -> "jsge"
+  | Jlt -> "jlt"
+  | Jle -> "jle"
+  | Jslt -> "jslt"
+  | Jsle -> "jsle"
+
+let op_ja = 0x00
+let op_call = 0x80
+let op_exit = 0x90
+
+(* Fully assembled opcode bytes for the subset of eBPF that rBPF (and thus
+   Femto-Containers) implements. *)
+let lddw = 0x18 (* Cls_ld | DW | mode_imm *)
+let ja = 0x05 (* op_ja | Cls_jmp *)
+let call = 0x85 (* op_call | Cls_jmp *)
+let exit' = 0x95 (* op_exit | Cls_jmp *)
+
+let alu64 op source =
+  alu_op_code op lor source_code source lor cls_code Cls_alu64
+
+let alu32 op source =
+  alu_op_code op lor source_code source lor cls_code Cls_alu
+
+let ldx size = cls_code Cls_ldx lor size_code size lor mode_mem
+let st size = cls_code Cls_st lor size_code size lor mode_mem
+let stx size = cls_code Cls_stx lor size_code size lor mode_mem
+
+let jmp cond source =
+  jmp_cond_code cond lor source_code source lor cls_code Cls_jmp
+
+let jmp32 cond source =
+  jmp_cond_code cond lor source_code source lor cls_code Cls_jmp32
+
+let end32 endianness =
+  op_end lor source_code (source_of_endianness endianness) lor cls_code Cls_alu

@@ -1,0 +1,99 @@
+(** eBPF opcode encoding tables.
+
+    An opcode byte is [op | source | class]: the 3 low bits select the
+    instruction class, bit 3 the operand source for ALU/JMP classes
+    (K = immediate, X = register), the high bits the operation. *)
+
+type cls =
+  | Cls_ld
+  | Cls_ldx
+  | Cls_st
+  | Cls_stx
+  | Cls_alu
+  | Cls_jmp
+  | Cls_jmp32
+  | Cls_alu64
+
+val cls_code : cls -> int
+val cls_of_code : int -> cls
+
+(** Memory access width. *)
+type size = W | H | B | DW
+
+val size_code : size -> int
+val size_of_code : int -> size
+val size_bytes : size -> int
+
+val mode_imm : int
+val mode_mem : int
+
+type source = Src_imm | Src_reg
+
+val source_code : source -> int
+val source_of_code : int -> source
+
+type alu_op =
+  | Add
+  | Sub
+  | Mul
+  | Div  (** unsigned, as in eBPF *)
+  | Or
+  | And
+  | Lsh
+  | Rsh  (** logical *)
+  | Neg
+  | Mod  (** unsigned *)
+  | Xor
+  | Mov
+  | Arsh  (** arithmetic right shift *)
+
+val alu_op_code : alu_op -> int
+val alu_op_of_code : int -> alu_op option
+val alu_op_name : alu_op -> string
+
+(** Byte-order conversion (BPF_END): the source bit selects the target
+    order, the immediate the width (16/32/64). *)
+val op_end : int
+
+type endianness = Le | Be
+
+val endianness_of_source : source -> endianness
+val source_of_endianness : endianness -> source
+val endian_name : endianness -> string
+
+type jmp_cond =
+  | Jeq
+  | Jgt  (** unsigned *)
+  | Jge
+  | Jset  (** bitwise test *)
+  | Jne
+  | Jsgt  (** signed *)
+  | Jsge
+  | Jlt
+  | Jle
+  | Jslt
+  | Jsle
+
+val jmp_cond_code : jmp_cond -> int
+val jmp_cond_of_code : int -> jmp_cond option
+val jmp_cond_name : jmp_cond -> string
+
+val op_ja : int
+val op_call : int
+val op_exit : int
+
+(** {2 Fully assembled opcode bytes} *)
+
+val lddw : int
+val ja : int
+val call : int
+val exit' : int
+
+val alu64 : alu_op -> source -> int
+val alu32 : alu_op -> source -> int
+val ldx : size -> int
+val st : size -> int
+val stx : size -> int
+val jmp : jmp_cond -> source -> int
+val jmp32 : jmp_cond -> source -> int
+val end32 : endianness -> int

@@ -1,0 +1,27 @@
+(** An eBPF program: a sequence of instruction slots with a binary codec. *)
+
+type t
+
+exception Truncated of string
+(** Raised by {!of_bytes} when the input length is not a multiple of 8. *)
+
+val of_insns : Insn.t list -> t
+val of_array : Insn.t array -> t
+
+val insns : t -> Insn.t array
+(** The underlying slots; callers must not mutate the array. *)
+
+val length : t -> int
+(** Number of instruction slots. *)
+
+val get : t -> int -> Insn.t
+(** [get t i] is slot [i]; raises [Invalid_argument] when out of range. *)
+
+val byte_size : t -> int
+(** Size of the fixed 8-byte-per-slot wire form. *)
+
+val to_bytes : t -> bytes
+val of_bytes : bytes -> t
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

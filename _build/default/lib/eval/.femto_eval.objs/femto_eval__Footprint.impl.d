@@ -1,0 +1,1 @@
+lib/eval/footprint.ml: Femto_platform Float List Measure

@@ -1,0 +1,1 @@
+lib/eval/measure.ml: Float Int64 List Obj Sys Unix

@@ -1,0 +1,1 @@
+lib/eval/report.ml: Float List Printf String

@@ -1,0 +1,1 @@
+lib/eval/setup.ml: Bytes Femto_coap Femto_core Femto_platform Femto_rtos Femto_vm Femto_workloads Int64 Printf

@@ -1,0 +1,56 @@
+(* Rendering helpers: paper-style ASCII tables and bar "figures". *)
+
+let separator width = String.make width '-'
+
+(* [table ~title ~header rows] prints an aligned ASCII table. *)
+let table ?note ~title ~header rows =
+  let all = header :: rows in
+  let columns = List.length header in
+  let width i =
+    List.fold_left (fun acc row -> max acc (String.length (List.nth row i))) 0 all
+  in
+  let widths = List.init columns width in
+  let render_row row =
+    String.concat "  | "
+      (List.mapi
+         (fun i cell -> Printf.sprintf "%-*s" (List.nth widths i) cell)
+         row)
+  in
+  let total_width = String.length (render_row header) in
+  Printf.printf "\n%s\n%s\n" title (separator (max total_width (String.length title)));
+  Printf.printf "%s\n%s\n" (render_row header) (separator total_width);
+  List.iter (fun row -> Printf.printf "%s\n" (render_row row)) rows;
+  (match note with Some n -> Printf.printf "%s\n" n | None -> ());
+  flush stdout
+
+(* [bars ~title ~unit items] prints a horizontal bar chart (for the
+   figures). *)
+let bars ?note ~title ~unit_label items =
+  Printf.printf "\n%s\n%s\n" title (separator (String.length title));
+  let max_value =
+    List.fold_left (fun acc (_, v) -> Float.max acc v) 1e-9 items
+  in
+  let label_width =
+    List.fold_left (fun acc (l, _) -> max acc (String.length l)) 0 items
+  in
+  List.iter
+    (fun (label, value) ->
+      let bar_len = int_of_float (Float.round (40.0 *. value /. max_value)) in
+      Printf.printf "  %-*s | %s %.6g %s\n" label_width label
+        (String.make (max bar_len 1) '#')
+        value unit_label)
+    items;
+  (match note with Some n -> Printf.printf "%s\n" n | None -> ());
+  flush stdout
+
+let kib bytes = Printf.sprintf "%.1f KiB" (float_of_int bytes /. 1024.0)
+let bytes_str bytes = Printf.sprintf "%d B" bytes
+
+let us value = Printf.sprintf "%.1f us" value
+let ms value = Printf.sprintf "%.2f ms" value
+
+let time_str ns =
+  if ns < 1_000.0 then Printf.sprintf "%.0f ns" ns
+  else if ns < 1_000_000.0 then Printf.sprintf "%.1f us" (ns /. 1e3)
+  else if ns < 1_000_000_000.0 then Printf.sprintf "%.2f ms" (ns /. 1e6)
+  else Printf.sprintf "%.2f s" (ns /. 1e9)

@@ -1,0 +1,126 @@
+(* Shared experiment fixtures: engines, containers and workloads wired the
+   same way across tables and figures. *)
+
+module Engine = Femto_core.Engine
+module Container = Femto_core.Container
+module Contract = Femto_core.Contract
+module Hook = Femto_core.Hook
+module Platform = Femto_platform.Platform
+module Kernel = Femto_rtos.Kernel
+module Apps = Femto_workloads.Apps
+module Fletcher = Femto_workloads.Fletcher
+module Region = Femto_vm.Region
+
+let fail_attach = function
+  | Ok hook -> hook
+  | Error e -> failwith (Engine.attach_error_to_string e)
+
+(* An engine + kernel on [platform] with the standard hooks provisioned. *)
+type fixture = {
+  engine : Engine.t;
+  kernel : Kernel.t;
+  sched_hook : Hook.t;
+  timer_hook : Hook.t;
+  bench_hook : Hook.t;
+}
+
+let sched_uuid = "5a1c0000-0000-4000-8000-00000000sched"
+let timer_uuid = "5a1c0000-0000-4000-8000-00000000timer"
+let bench_uuid = "5a1c0000-0000-4000-8000-00000000bench"
+
+let make_fixture ?(platform = Platform.cortex_m4) () =
+  let kernel =
+    Kernel.create ~context_switch_cost:platform.Platform.context_switch_cycles ()
+  in
+  let engine = Engine.create ~platform ~kernel () in
+  let sched_hook =
+    Engine.register_hook engine ~uuid:sched_uuid ~name:"sched-switch"
+      ~ctx_size:16 ()
+  in
+  let timer_hook =
+    Engine.register_hook engine ~uuid:timer_uuid ~name:"timer" ~ctx_size:8 ()
+  in
+  let bench_hook =
+    Engine.register_hook engine ~uuid:bench_uuid ~name:"bench" ~ctx_size:16 ()
+  in
+  { engine; kernel; sched_hook; timer_hook; bench_hook }
+
+(* Attach the fletcher32 program as a container; returns a trigger thunk
+   that runs it over the standard 360 B input. *)
+let fletcher_container ?(runtime = Platform.Fc) fixture =
+  let tenant = Engine.add_tenant fixture.engine "bench" in
+  let container =
+    Container.create
+      ~name:(Printf.sprintf "fletcher-%s" (Platform.engine_name runtime))
+      ~tenant ~contract:(Contract.require []) ~runtime
+      (Fletcher.ebpf_program ())
+  in
+  let data = Fletcher.input_360 in
+  let data_region =
+    Region.make ~name:"data" ~vaddr:Fletcher.data_vaddr ~perm:Region.Read_only
+      (Bytes.copy data)
+  in
+  ignore
+    (fail_attach
+       (Engine.attach fixture.engine ~hook_uuid:bench_uuid
+          ~extra_regions:[ data_region ] container));
+  let ctx = Bytes.create 16 in
+  Bytes.set_int64_le ctx 0 Fletcher.data_vaddr;
+  Bytes.set_int64_le ctx 8 (Int64.of_int (Bytes.length data / 2));
+  let trigger () = Engine.trigger fixture.engine fixture.bench_hook ~ctx () in
+  (container, trigger)
+
+(* The §8.2 thread counter on the scheduler hook. *)
+let thread_counter_container ?(runtime = Platform.Fc) fixture =
+  let tenant = Engine.add_tenant fixture.engine "os-maintainer" in
+  let container =
+    Container.create
+      ~name:(Printf.sprintf "threadcount-%s" (Platform.engine_name runtime))
+      ~tenant
+      ~contract:(Contract.require [ Contract.Kv_global ])
+      ~runtime (Apps.thread_counter ())
+  in
+  ignore (fail_attach (Engine.attach fixture.engine ~hook_uuid:sched_uuid container));
+  let ctx = Bytes.create 16 in
+  Bytes.set_int64_le ctx 0 1L;
+  Bytes.set_int64_le ctx 8 2L;
+  let trigger () = Engine.trigger fixture.engine fixture.sched_hook ~ctx () in
+  (container, trigger)
+
+(* The §8.3 CoAP response formatter, wired through the gcoap glue. *)
+let coap_formatter_container ?(runtime = Platform.Fc) fixture =
+  let builder = Femto_coap.Gcoap.create_builder () in
+  Femto_coap.Gcoap.attach_to_engine fixture.engine builder;
+  let tenant = Engine.add_tenant fixture.engine "acme" in
+  (* publish a sensor value for the formatter to read *)
+  (match
+     Femto_core.Kvstore.store
+       (Femto_core.Tenant.store tenant)
+       Apps.sensor_value_key 2372L
+   with
+  | Ok () -> ()
+  | Error _ -> failwith "seed store");
+  let container =
+    Container.create
+      ~name:(Printf.sprintf "coapfmt-%s" (Platform.engine_name runtime))
+      ~tenant
+      ~contract:(Contract.require [ Contract.Kv_tenant; Contract.Net_coap ])
+      ~runtime (Apps.coap_formatter ())
+  in
+  let coap_uuid = Printf.sprintf "5a1c0000-0000-4000-8000-000000co%s"
+      (Platform.engine_name runtime)
+  in
+  let hook =
+    Engine.register_hook fixture.engine ~uuid:coap_uuid ~name:"coap-get"
+      ~ctx_size:16 ()
+  in
+  ignore
+    (fail_attach
+       (Engine.attach fixture.engine ~hook_uuid:coap_uuid
+          ~extra_regions:[ Femto_coap.Gcoap.pkt_region builder ]
+          container));
+  let trigger () =
+    Femto_coap.Gcoap.reset builder;
+    Engine.trigger fixture.engine hook ()
+  in
+  (container, builder, trigger)

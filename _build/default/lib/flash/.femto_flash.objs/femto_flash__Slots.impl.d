@@ -1,0 +1,1 @@
+lib/flash/slots.ml: Bytes Femto_crypto Flash Fun Int32 Int64 List Printf Result String

@@ -1,0 +1,1 @@
+lib/flash/slots.mli: Flash

@@ -1,0 +1,152 @@
+(* Slot manager: persistent container images on the flash simulator.
+
+   The flash is divided into fixed-size slots, each holding one container
+   image behind a header (magic, install sequence number, hook UUID,
+   length, SHA-256 digest).  SUIT installs write a slot; on (simulated)
+   reboot the hosting engine re-attaches every valid slot — the
+   persistence the paper's devices get from storing applications between
+   invocations.
+
+   Header layout (little endian):
+     0-3   magic "FCS1"
+     4-11  install sequence number (u64)
+     12-15 payload length (u32)
+     16-51 hook UUID (36 bytes, zero padded)
+     52-83 SHA-256 of the payload
+   Payload follows at offset 84. *)
+
+module Crypto = Femto_crypto.Crypto
+
+let magic = "FCS1"
+let header_size = 84
+let uuid_size = 36
+
+type t = { flash : Flash.t; slot_size : int; count : int }
+
+type slot_error =
+  | Flash_error of Flash.error
+  | No_such_slot of int
+  | Image_too_large of { bytes : int; capacity : int }
+  | Uuid_too_long of string
+  | Empty_slot of int
+  | Corrupt_slot of { slot : int; reason : string }
+
+let error_to_string = function
+  | Flash_error e -> Flash.error_to_string e
+  | No_such_slot n -> Printf.sprintf "no slot %d" n
+  | Image_too_large { bytes; capacity } ->
+      Printf.sprintf "image of %d B exceeds slot capacity %d B" bytes capacity
+  | Uuid_too_long uuid -> Printf.sprintf "uuid %S longer than %d" uuid uuid_size
+  | Empty_slot n -> Printf.sprintf "slot %d is empty" n
+  | Corrupt_slot { slot; reason } -> Printf.sprintf "slot %d corrupt: %s" slot reason
+
+(* Slots are page-aligned so each can be erased independently. *)
+let create ~flash ~count =
+  let page = Flash.page_size flash in
+  let raw = Flash.size flash / count in
+  let slot_size = raw / page * page in
+  if slot_size < header_size + page then invalid_arg "Slots.create: flash too small";
+  { flash; slot_size; count }
+
+let count t = t.count
+let capacity t = t.slot_size - header_size
+
+let offset t slot = slot * t.slot_size
+
+let check_slot t slot = if slot < 0 || slot >= t.count then Error (No_such_slot slot) else Ok ()
+
+type image = { sequence : int64; hook_uuid : string; payload : string }
+
+let ( let* ) = Result.bind
+
+(* [store t ~slot image] erases the slot then programs header + payload. *)
+let store t ~slot image =
+  let* () = check_slot t slot in
+  let payload_len = String.length image.payload in
+  if payload_len > capacity t then
+    Error (Image_too_large { bytes = payload_len; capacity = capacity t })
+  else if String.length image.hook_uuid > uuid_size then
+    Error (Uuid_too_long image.hook_uuid)
+  else begin
+    let* () =
+      Result.map_error
+        (fun e -> Flash_error e)
+        (Flash.erase_range t.flash ~offset:(offset t slot) ~length:t.slot_size)
+    in
+    let header = Bytes.make header_size '\x00' in
+    Bytes.blit_string magic 0 header 0 4;
+    Bytes.set_int64_le header 4 image.sequence;
+    Bytes.set_int32_le header 12 (Int32.of_int payload_len);
+    Bytes.blit_string image.hook_uuid 0 header 16 (String.length image.hook_uuid);
+    Bytes.blit_string (Crypto.sha256 image.payload) 0 header 52 32;
+    let blob = Bytes.cat header (Bytes.of_string image.payload) in
+    Result.map_error
+      (fun e -> Flash_error e)
+      (Flash.write t.flash ~offset:(offset t slot) blob)
+  end
+
+(* [load t ~slot] reads and integrity-checks one slot. *)
+let load t ~slot =
+  let* () = check_slot t slot in
+  let* header =
+    Result.map_error
+      (fun e -> Flash_error e)
+      (Flash.read t.flash ~offset:(offset t slot) ~length:header_size)
+  in
+  if Bytes.sub_string header 0 4 <> magic then Error (Empty_slot slot)
+  else begin
+    let sequence = Bytes.get_int64_le header 4 in
+    let payload_len = Int32.to_int (Bytes.get_int32_le header 12) in
+    if payload_len < 0 || payload_len > capacity t then
+      Error (Corrupt_slot { slot; reason = "bad length field" })
+    else begin
+      let hook_uuid =
+        let raw = Bytes.sub_string header 16 uuid_size in
+        match String.index_opt raw '\x00' with
+        | Some stop -> String.sub raw 0 stop
+        | None -> raw
+      in
+      let digest = Bytes.sub_string header 52 32 in
+      let* payload =
+        Result.map_error
+          (fun e -> Flash_error e)
+          (Flash.read t.flash ~offset:(offset t slot + header_size)
+             ~length:payload_len)
+      in
+      let payload = Bytes.to_string payload in
+      if not (Crypto.constant_time_equal (Crypto.sha256 payload) digest) then
+        Error (Corrupt_slot { slot; reason = "payload digest mismatch" })
+      else Ok { sequence; hook_uuid; payload }
+    end
+  end
+
+let erase t ~slot =
+  let* () = check_slot t slot in
+  Result.map_error
+    (fun e -> Flash_error e)
+    (Flash.erase_range t.flash ~offset:(offset t slot) ~length:t.slot_size)
+
+(* [scan t] enumerates the valid images, as a bootloader would. *)
+let scan t =
+  List.filter_map
+    (fun slot ->
+      match load t ~slot with Ok image -> Some (slot, image) | Error _ -> None)
+    (List.init t.count Fun.id)
+
+(* Pick the slot to overwrite for a new install: an empty one, else the
+   lowest-sequence (oldest) image. *)
+let victim_slot t =
+  let rec scan_slots slot oldest =
+    if slot >= t.count then
+      match oldest with Some (slot, _) -> slot | None -> 0
+    else
+      match load t ~slot with
+      | Error (Empty_slot _) -> slot
+      | Ok image -> (
+          match oldest with
+          | Some (_, seq) when Int64.compare seq image.sequence <= 0 ->
+              scan_slots (slot + 1) oldest
+          | _ -> scan_slots (slot + 1) (Some (slot, image.sequence)))
+      | Error _ -> slot (* corrupt: reuse it *)
+  in
+  scan_slots 0 None

@@ -1,0 +1,44 @@
+(** Slot manager: persistent container images on the flash simulator.
+
+    The flash is divided into page-aligned, fixed-size slots, each holding
+    one container image behind a header carrying the install sequence
+    number, the hook UUID (the SUIT storage location) and a SHA-256
+    digest.  On boot the hosting engine re-attaches every valid slot. *)
+
+type t
+
+type slot_error =
+  | Flash_error of Flash.error
+  | No_such_slot of int
+  | Image_too_large of { bytes : int; capacity : int }
+  | Uuid_too_long of string
+  | Empty_slot of int
+  | Corrupt_slot of { slot : int; reason : string }
+
+val error_to_string : slot_error -> string
+
+val create : flash:Flash.t -> count:int -> t
+(** Partition [flash] into [count] slots; raises [Invalid_argument] when
+    the flash is too small. *)
+
+val count : t -> int
+
+val capacity : t -> int
+(** Payload bytes one slot can hold. *)
+
+type image = { sequence : int64; hook_uuid : string; payload : string }
+
+val store : t -> slot:int -> image -> (unit, slot_error) result
+(** Erase the slot, then program header + payload. *)
+
+val load : t -> slot:int -> (image, slot_error) result
+(** Read and integrity-check one slot (magic + digest). *)
+
+val erase : t -> slot:int -> (unit, slot_error) result
+
+val scan : t -> (int * image) list
+(** Every valid image, as a bootloader sees them. *)
+
+val victim_slot : t -> int
+(** The slot a new install should overwrite: an empty one, else the
+    oldest (lowest sequence number). *)

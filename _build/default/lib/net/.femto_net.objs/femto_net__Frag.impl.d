@@ -1,0 +1,1 @@
+lib/net/frag.ml: Bytes Hashtbl List

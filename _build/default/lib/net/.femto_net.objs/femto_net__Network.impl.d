@@ -1,0 +1,1 @@
+lib/net/network.ml: Femto_rtos Frag Hashtbl List Printf Random

@@ -1,0 +1,28 @@
+(** 6LoWPAN-style fragmentation (after RFC 4944, simplified header).
+
+    IEEE 802.15.4 frames carry at most 127 bytes; larger datagrams (SUIT
+    manifests, CoAP payloads) are split into fragments carrying
+    (datagram_tag, datagram_size, offset) and reassembled at the
+    receiver. *)
+
+val frame_mtu : int
+(** 127 bytes. *)
+
+exception Fragment_error of string
+
+val fragment : tag:int -> bytes -> bytes list
+(** Frames to transmit, in order.  Datagrams that fit one frame are sent
+    verbatim behind a dispatch byte. *)
+
+type reassembler
+
+val create_reassembler : unit -> reassembler
+val pending_count : reassembler -> int
+
+val flush : reassembler -> src:int -> unit
+(** Drop incomplete state from one source (loss recovery: the upper layer
+    retransmits whole datagrams). *)
+
+val accept : reassembler -> src:int -> bytes -> bytes option
+(** Feed one received frame; returns the complete datagram when the frame
+    finishes one.  Duplicates and malformed frames are ignored. *)

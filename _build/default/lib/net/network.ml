@@ -1,0 +1,98 @@
+(* Simulated low-power wireless network.
+
+   Stands in for the paper's IEEE 802.15.4 radio + 6LoWPAN stack (see
+   DESIGN.md): datagrams are fragmented into 127-byte frames, each frame
+   independently suffers deterministic pseudo-random loss and a propagation
+   delay, and receivers reassemble.  Delivery is driven by the RTOS
+   simulator's timer queue, so networking and computation share one
+   virtual clock. *)
+
+module Kernel = Femto_rtos.Kernel
+
+type node = {
+  addr : int;
+  reassembler : Frag.reassembler;
+  mutable on_datagram : src:int -> bytes -> unit;
+}
+
+type stats = {
+  mutable frames_sent : int;
+  mutable frames_dropped : int;
+  mutable datagrams_sent : int;
+  mutable datagrams_delivered : int;
+}
+
+type t = {
+  kernel : Kernel.t;
+  nodes : (int, node) Hashtbl.t;
+  loss_permille : int; (* per-frame loss probability, 0..1000 *)
+  latency_us : int; (* per-frame propagation + MAC delay *)
+  rng : Random.State.t;
+  mutable next_tag : int;
+  stats : stats;
+}
+
+let create ~kernel ?(loss_permille = 0) ?(latency_us = 300) ?(seed = 42) () =
+  {
+    kernel;
+    nodes = Hashtbl.create 4;
+    loss_permille;
+    latency_us;
+    rng = Random.State.make [| seed |];
+    next_tag = 1;
+    stats =
+      {
+        frames_sent = 0;
+        frames_dropped = 0;
+        datagrams_sent = 0;
+        datagrams_delivered = 0;
+      };
+  }
+
+let stats t = t.stats
+let kernel t = t.kernel
+
+let add_node t ~addr =
+  if Hashtbl.mem t.nodes addr then
+    invalid_arg (Printf.sprintf "node %d already exists" addr);
+  let node =
+    { addr; reassembler = Frag.create_reassembler (); on_datagram = (fun ~src:_ _ -> ()) }
+  in
+  Hashtbl.replace t.nodes addr node;
+  node
+
+let set_receiver node handler = node.on_datagram <- handler
+
+(* Used when a simulated device powers off/reboots: its radio leaves the
+   network so a fresh boot can re-register the address. *)
+let remove_node t ~addr = Hashtbl.remove t.nodes addr
+
+let deliver_frame t ~src ~dst frame =
+  match Hashtbl.find_opt t.nodes dst with
+  | None -> ()
+  | Some node -> (
+      match Frag.accept node.reassembler ~src frame with
+      | Some datagram ->
+          t.stats.datagrams_delivered <- t.stats.datagrams_delivered + 1;
+          node.on_datagram ~src datagram
+      | None -> ())
+
+(* [send t ~src ~dst payload] fragments and schedules frame deliveries on
+   the virtual clock; each frame is independently lost with the configured
+   probability. *)
+let send t ~src ~dst payload =
+  t.stats.datagrams_sent <- t.stats.datagrams_sent + 1;
+  let tag = t.next_tag in
+  t.next_tag <- (t.next_tag + 1) land 0xFFFF;
+  let frames = Frag.fragment ~tag payload in
+  List.iteri
+    (fun i frame ->
+      t.stats.frames_sent <- t.stats.frames_sent + 1;
+      if Random.State.int t.rng 1000 < t.loss_permille then
+        t.stats.frames_dropped <- t.stats.frames_dropped + 1
+      else
+        (* frames serialize on the radio: stagger them by index *)
+        Kernel.after_us t.kernel
+          ~us:(t.latency_us * (i + 1))
+          (fun _ -> deliver_frame t ~src ~dst frame))
+    frames

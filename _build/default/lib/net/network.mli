@@ -1,0 +1,51 @@
+(** Simulated low-power wireless network.
+
+    Stands in for the paper's IEEE 802.15.4 radio + 6LoWPAN stack:
+    datagrams are fragmented into 127-byte frames, each frame
+    independently suffers deterministic pseudo-random loss and a
+    propagation delay, and receivers reassemble.  Delivery is driven by
+    the RTOS simulator's timer queue, so networking and computation share
+    one virtual clock. *)
+
+type node = {
+  addr : int;
+  reassembler : Frag.reassembler;
+  mutable on_datagram : src:int -> bytes -> unit;
+}
+
+type stats = {
+  mutable frames_sent : int;
+  mutable frames_dropped : int;
+  mutable datagrams_sent : int;
+  mutable datagrams_delivered : int;
+}
+
+type t
+
+val create :
+  kernel:Femto_rtos.Kernel.t ->
+  ?loss_permille:int ->
+  ?latency_us:int ->
+  ?seed:int ->
+  unit ->
+  t
+(** [loss_permille] is the per-frame loss probability in 1/1000 (default
+    0); [latency_us] the per-frame propagation + MAC delay (default 300);
+    [seed] makes the loss pattern reproducible. *)
+
+val stats : t -> stats
+val kernel : t -> Femto_rtos.Kernel.t
+
+val add_node : t -> addr:int -> node
+(** Raises [Invalid_argument] when the address is taken. *)
+
+val set_receiver : node -> (src:int -> bytes -> unit) -> unit
+(** Handler for complete (reassembled) datagrams. *)
+
+val remove_node : t -> addr:int -> unit
+(** Power-off/reboot: the node leaves the network so a fresh boot can
+    re-register the address. *)
+
+val send : t -> src:int -> dst:int -> bytes -> unit
+(** Fragment and schedule delivery on the virtual clock; frames may be
+    lost per the configured probability. *)

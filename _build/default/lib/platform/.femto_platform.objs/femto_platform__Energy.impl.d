@@ -1,0 +1,1 @@
+lib/platform/energy.ml: Float Platform

@@ -1,0 +1,1 @@
+lib/platform/platform.ml: Femto_ebpf Float Insn

@@ -1,0 +1,1 @@
+lib/platform/platform.mli: Femto_ebpf

@@ -1,0 +1,34 @@
+(** Energy model for the paper's §11 "Virtualization vs Power-Efficiency"
+    discussion, with per-platform current draws from the
+    microcontrollers' datasheets.  Quantifies both sides of the paper's
+    argument: per-execution interpretation cost vs radio energy saved by
+    container-sized updates. *)
+
+type profile = {
+  platform : Platform.t;
+  supply_volts : float;
+  active_amps : float;  (** CPU running at 64 MHz *)
+  sleep_amps : float;  (** deep sleep with RAM retention *)
+  radio_tx_amps : float;  (** transmitting at 0 dBm *)
+  radio_bitrate_bps : float;
+}
+
+val cortex_m4 : profile
+val esp32 : profile
+val riscv : profile
+val all : profile list
+
+val seconds_of_cycles : profile -> int -> float
+
+val cpu_energy_uj : profile -> cycles:int -> float
+(** Energy of active CPU cycles, in microjoules. *)
+
+val radio_energy_uj : profile -> bytes:int -> float
+(** Energy to transmit a payload, including per-frame MAC overhead. *)
+
+val duty_cycle_uw : profile -> active_cycles:int -> period_s:float -> float
+(** Average power of a duty-cycled workload, in microwatts. *)
+
+val battery_days :
+  profile -> active_cycles:int -> period_s:float -> capacity_mah:float -> float
+(** Battery life estimate for a coin cell. *)

@@ -1,0 +1,43 @@
+(** Cycle-cost models for the three microcontroller platforms of the
+    paper's evaluation (Appendix A): Arm Cortex-M4 (nRF52840), ESP32
+    (Xtensa LX6) and RISC-V (GD32VF103), all at 64 MHz.
+
+    The constants are calibrated so the *shape* of the paper's results
+    holds (see DESIGN.md, substitutions, and the comments in the
+    implementation). *)
+
+type engine = Fc | Rbpf | Certfc
+
+val engine_name : engine -> string
+
+type t = {
+  name : string;
+  frequency_hz : int;
+  insn_scale : float;  (** multiplier on the base per-instruction costs *)
+  code_density : float;  (** flash bytes multiplier relative to Thumb-2 *)
+  empty_hook_cycles : int;  (** Table 4 'Empty Hook' dispatch cost *)
+  context_switch_cycles : int;
+  helper_call_cycles : int;
+}
+
+val cortex_m4 : t
+val esp32 : t
+val riscv : t
+val all : t list
+
+val base_cost : Femto_ebpf.Insn.kind -> int
+(** Per-instruction-class interpreter cost on Cortex-M4 for the optimized
+    engine, in cycles. *)
+
+val engine_scale : engine -> float
+(** rBPF ≈ Femto-Containers; CertFC lags (paper Figure 8). *)
+
+val insn_cost : t -> engine -> Femto_ebpf.Insn.kind -> int
+
+val cycle_cost : t -> engine -> Femto_ebpf.Insn.kind -> int
+(** Cost closure in the shape the interpreters accept. *)
+
+val us_of_cycles : t -> int -> float
+
+val hook_setup_cycles : t -> engine -> int
+(** Engine set-up between hook dispatch and the first VM instruction. *)

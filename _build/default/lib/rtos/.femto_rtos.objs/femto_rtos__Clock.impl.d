@@ -1,0 +1,1 @@
+lib/rtos/clock.ml: Int64

@@ -1,0 +1,1 @@
+lib/rtos/event_queue.ml: Int64 List

@@ -1,0 +1,1 @@
+lib/rtos/event_queue.mli:

@@ -1,0 +1,1 @@
+lib/rtos/kernel.ml: Clock Event_queue Int64 List

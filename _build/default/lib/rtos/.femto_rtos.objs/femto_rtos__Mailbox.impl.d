@@ -1,0 +1,1 @@
+lib/rtos/mailbox.ml: List Queue

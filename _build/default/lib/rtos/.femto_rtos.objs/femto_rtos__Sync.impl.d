@@ -1,0 +1,1 @@
+lib/rtos/sync.ml: Kernel List

@@ -1,0 +1,47 @@
+(* Time-ordered event queue for the RTOS simulator.
+
+   Events fire in (time, insertion-sequence) order, so simultaneous events
+   are handled first-scheduled-first — deterministic by construction. *)
+
+type 'a t = {
+  mutable events : (int64 * int * 'a) list; (* sorted: (time, seq, payload) *)
+  mutable next_seq : int;
+}
+
+let create () = { events = []; next_seq = 0 }
+let is_empty t = t.events = []
+let length t = List.length t.events
+
+let compare_entry (t1, s1, _) (t2, s2, _) =
+  match Int64.compare t1 t2 with 0 -> compare s1 s2 | c -> c
+
+let add t ~at payload =
+  let entry = (at, t.next_seq, payload) in
+  t.next_seq <- t.next_seq + 1;
+  (* insertion into a sorted list: simulation queues stay short (tens of
+     events), so this beats a heap in simplicity without hurting runtime *)
+  let rec insert = function
+    | [] -> [ entry ]
+    | head :: tail ->
+        if compare_entry entry head < 0 then entry :: head :: tail
+        else head :: insert tail
+  in
+  t.events <- insert t.events
+
+let peek_time t =
+  match t.events with [] -> None | (time, _, _) :: _ -> Some time
+
+let pop t =
+  match t.events with
+  | [] -> None
+  | (time, _, payload) :: rest ->
+      t.events <- rest;
+      Some (time, payload)
+
+(* Pop the next event only if it is due at or before [now]. *)
+let pop_due t ~now =
+  match t.events with
+  | (time, _, payload) :: rest when Int64.compare time now <= 0 ->
+      t.events <- rest;
+      Some (time, payload)
+  | _ -> None

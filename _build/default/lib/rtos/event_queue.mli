@@ -1,0 +1,22 @@
+(** Time-ordered event queue for the RTOS simulator.
+
+    Events fire in (time, insertion-sequence) order, so simultaneous
+    events are handled first-scheduled-first — deterministic by
+    construction. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val is_empty : 'a t -> bool
+val length : 'a t -> int
+
+val add : 'a t -> at:int64 -> 'a -> unit
+(** Schedule a payload at an absolute cycle time. *)
+
+val peek_time : 'a t -> int64 option
+(** Time of the earliest pending event. *)
+
+val pop : 'a t -> (int64 * 'a) option
+
+val pop_due : 'a t -> now:int64 -> (int64 * 'a) option
+(** Pop the earliest event only if it is due at or before [now]. *)

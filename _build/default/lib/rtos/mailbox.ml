@@ -1,0 +1,33 @@
+(* Bounded inter-thread message queue, in the style of RIOT's msg API.
+
+   Used by examples to hand network payloads and sensor readings between
+   threads without shared mutable state beyond the queue itself. *)
+
+type 'a t = { capacity : int; queue : 'a Queue.t; mutable dropped : int }
+
+let create ?(capacity = 8) () = { capacity; queue = Queue.create (); dropped = 0 }
+
+let length t = Queue.length t.queue
+let dropped t = t.dropped
+
+(* Returns [false] (and counts the drop) when the mailbox is full —
+   low-power nodes drop rather than block interrupt context. *)
+let send t message =
+  if Queue.length t.queue >= t.capacity then begin
+    t.dropped <- t.dropped + 1;
+    false
+  end
+  else begin
+    Queue.add message t.queue;
+    true
+  end
+
+let receive t = Queue.take_opt t.queue
+
+let drain t =
+  let rec loop acc =
+    match Queue.take_opt t.queue with
+    | Some m -> loop (m :: acc)
+    | None -> List.rev acc
+  in
+  loop []

@@ -1,0 +1,18 @@
+(** Bounded inter-thread message queue, in the style of RIOT's msg API.
+
+    A full mailbox drops (and counts) rather than blocks — low-power
+    nodes cannot block interrupt context. *)
+
+type 'a t
+
+val create : ?capacity:int -> unit -> 'a t
+val length : 'a t -> int
+
+val dropped : 'a t -> int
+(** Messages rejected because the mailbox was full. *)
+
+val send : 'a t -> 'a -> bool
+(** [false] when the mailbox was full and the message was dropped. *)
+
+val receive : 'a t -> 'a option
+val drain : 'a t -> 'a list

@@ -1,0 +1,125 @@
+(* Synchronization primitives in the style of RIOT's mutex/sema modules.
+
+   The mutex implements priority inheritance: while a higher-priority
+   thread waits, the owner runs at the waiter's priority, bounding
+   priority inversion — the classic RTOS concern when containers and
+   drivers share a resource. *)
+
+type mutex = {
+  mutable owner : Kernel.thread option;
+  mutable waiters : Kernel.thread list; (* FIFO *)
+  (* the owner's pre-boost priority while inheritance is active *)
+  mutable saved_priority : (Kernel.thread * int) option;
+  mutable contentions : int;
+}
+
+let create_mutex () =
+  { owner = None; waiters = []; saved_priority = None; contentions = 0 }
+
+let is_locked mutex = mutex.owner <> None
+let contentions mutex = mutex.contentions
+
+(* Boost [owner] to the highest priority among its waiters (numerically
+   lowest value wins, RIOT convention). *)
+let apply_inheritance mutex owner =
+  match mutex.waiters with
+  | [] -> ()
+  | waiters ->
+      let top =
+        List.fold_left
+          (fun best t -> min best t.Kernel.priority)
+          owner.Kernel.priority waiters
+      in
+      if top < owner.Kernel.priority then begin
+        if mutex.saved_priority = None then
+          mutex.saved_priority <- Some (owner, owner.Kernel.priority);
+        owner.Kernel.priority <- top
+      end
+
+let restore_priority mutex thread =
+  match mutex.saved_priority with
+  | Some (boosted, original) when boosted == thread ->
+      thread.Kernel.priority <- original;
+      mutex.saved_priority <- None
+  | Some _ | None -> ()
+
+(* [lock mutex thread] either acquires immediately or blocks the calling
+   thread (the thread's quantum should then return [Kernel.Yield]). *)
+let lock mutex thread =
+  match mutex.owner with
+  | None ->
+      mutex.owner <- Some thread;
+      `Acquired
+  | Some owner when owner == thread -> `Acquired (* already held: no-op *)
+  | Some owner ->
+      mutex.contentions <- mutex.contentions + 1;
+      thread.Kernel.state <- Kernel.Blocked;
+      mutex.waiters <- mutex.waiters @ [ thread ];
+      apply_inheritance mutex owner;
+      `Blocked
+
+(* [unlock mutex thread] releases; ownership transfers to the longest
+   waiting thread, which is woken. *)
+let unlock mutex thread =
+  match mutex.owner with
+  | Some owner when owner == thread -> (
+      restore_priority mutex thread;
+      match mutex.waiters with
+      | [] ->
+          mutex.owner <- None;
+          Ok ()
+      | next :: rest ->
+          mutex.waiters <- rest;
+          mutex.owner <- Some next;
+          Kernel.wake next;
+          (* the new owner may itself have waiters queued already *)
+          apply_inheritance mutex next;
+          Ok ())
+  | Some _ -> Error `Not_owner
+  | None -> Error `Not_locked
+
+(* [try_lock] never blocks. *)
+let try_lock mutex thread =
+  match mutex.owner with
+  | None ->
+      mutex.owner <- Some thread;
+      true
+  | Some owner -> owner == thread
+
+(* --- counting semaphore --- *)
+
+type semaphore = {
+  mutable count : int;
+  mutable sem_waiters : Kernel.thread list;
+  (* units handed directly to woken waiters; their next [sem_acquire]
+     consumes the grant instead of re-blocking *)
+  mutable granted : Kernel.thread list;
+}
+
+let create_semaphore ~count = { count; sem_waiters = []; granted = [] }
+
+let sem_value sem = sem.count
+
+let sem_acquire sem thread =
+  if List.memq thread sem.granted then begin
+    sem.granted <- List.filter (fun t -> t != thread) sem.granted;
+    `Acquired
+  end
+  else if sem.count > 0 then begin
+    sem.count <- sem.count - 1;
+    `Acquired
+  end
+  else begin
+    thread.Kernel.state <- Kernel.Blocked;
+    sem.sem_waiters <- sem.sem_waiters @ [ thread ];
+    `Blocked
+  end
+
+let sem_release sem =
+  match sem.sem_waiters with
+  | [] -> sem.count <- sem.count + 1
+  | next :: rest ->
+      (* hand the unit directly to the longest waiter *)
+      sem.sem_waiters <- rest;
+      sem.granted <- next :: sem.granted;
+      Kernel.wake next

@@ -1,0 +1,37 @@
+(** Synchronization primitives in the style of RIOT's mutex/sema modules.
+
+    The mutex implements priority inheritance: while a higher-priority
+    thread waits, the owner runs at the waiter's priority, bounding
+    priority inversion.  On unlock, ownership transfers to the longest
+    waiting thread, which is woken; its next [lock] call returns
+    [`Acquired] (it already owns the mutex). *)
+
+type mutex
+
+val create_mutex : unit -> mutex
+val is_locked : mutex -> bool
+
+val contentions : mutex -> int
+(** How many lock attempts blocked. *)
+
+val lock : mutex -> Kernel.thread -> [ `Acquired | `Blocked ]
+(** On [`Blocked], the calling thread's state is set to Blocked; its
+    quantum should return [Kernel.Yield]. *)
+
+val unlock : mutex -> Kernel.thread -> (unit, [ `Not_owner | `Not_locked ]) result
+
+val try_lock : mutex -> Kernel.thread -> bool
+(** Never blocks. *)
+
+(** {2 Counting semaphore} *)
+
+type semaphore
+
+val create_semaphore : count:int -> semaphore
+val sem_value : semaphore -> int
+
+val sem_acquire : semaphore -> Kernel.thread -> [ `Acquired | `Blocked ]
+(** A unit released while this thread waits is handed over directly: the
+    woken thread's next [sem_acquire] consumes the grant. *)
+
+val sem_release : semaphore -> unit

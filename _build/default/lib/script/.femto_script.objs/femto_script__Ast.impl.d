@@ -1,0 +1,1 @@
+lib/script/ast.ml:

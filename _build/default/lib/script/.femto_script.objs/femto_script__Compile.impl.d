@@ -1,0 +1,1 @@
+lib/script/compile.ml: Array Ast Format Hashtbl List Parser

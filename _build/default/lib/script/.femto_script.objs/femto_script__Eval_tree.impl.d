@@ -1,0 +1,1 @@
+lib/script/eval_tree.ml: Array Ast Hashtbl List Parser Printf Value

@@ -1,0 +1,1 @@
+lib/script/eval_tree.mli: Value

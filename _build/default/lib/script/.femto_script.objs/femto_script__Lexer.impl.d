@@ -1,0 +1,1 @@
+lib/script/lexer.ml: Buffer Format Int64 List String

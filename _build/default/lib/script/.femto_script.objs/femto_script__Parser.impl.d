@@ -1,0 +1,1 @@
+lib/script/parser.ml: Ast Format Lexer List

@@ -1,0 +1,1 @@
+lib/script/samples.ml: Array Bytes Int64 Value

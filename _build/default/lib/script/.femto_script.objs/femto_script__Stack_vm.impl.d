@@ -1,0 +1,1 @@
+lib/script/stack_vm.ml: Array Compile Hashtbl List Printf Value

@@ -1,0 +1,1 @@
+lib/script/stack_vm.mli: Compile Value

@@ -1,0 +1,1 @@
+lib/script/to_ebpf.ml: Array Ast Femto_ebpf Format Hashtbl Int32 Int64 List Parser

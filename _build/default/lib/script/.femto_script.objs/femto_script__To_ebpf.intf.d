@@ -1,0 +1,1 @@
+lib/script/to_ebpf.mli: Femto_ebpf

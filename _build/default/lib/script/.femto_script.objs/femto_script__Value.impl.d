@@ -1,0 +1,1 @@
+lib/script/value.ml: Array Ast Bool Char Format Hashtbl Int64 List String

@@ -1,0 +1,1 @@
+lib/script/value.mli: Ast Format Hashtbl

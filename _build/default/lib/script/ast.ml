@@ -1,0 +1,60 @@
+(* MiniScript: the dynamically-typed scripting language standing in for
+   MicroPython and RIOT.js in the paper's §6 baseline comparison (see
+   DESIGN.md, substitutions).
+
+   One front-end (lexer/parser), two execution profiles:
+   - [Eval_tree]  — direct AST interpretation (the RIOT.js architecture);
+   - [Compile] + [Stack_vm] — bytecode compilation then interpretation
+     (the MicroPython architecture). *)
+
+type unop = Neg | Not
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Mod
+  | Eq
+  | Ne
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | And_also (* && short-circuit *)
+  | Or_else (* || short-circuit *)
+  | Band
+  | Bor
+  | Bxor
+  | Shl
+  | Shr
+
+type expr =
+  | Int of int64
+  | Bool of bool
+  | Str of string
+  | Nil
+  | Var of string
+  | Array_lit of expr list
+  | Index of expr * expr
+  | Unary of unop * expr
+  | Binary of binop * expr * expr
+  | Call of string * expr list
+
+type stmt =
+  | Let of string * expr
+  | Assign of string * expr
+  | Assign_index of expr * expr * expr (* target[index] = value *)
+  | If of expr * stmt list * stmt list
+  | While of expr * stmt list
+  | For of stmt option * expr option * stmt option * stmt list
+    (* for (init; cond; step) { body } *)
+  | Break
+  | Continue
+  | Return of expr option
+  | Expr_stmt of expr
+
+type func = { name : string; params : string list; body : stmt list }
+
+(* A program is a list of function definitions plus top-level statements. *)
+type program = { funcs : func list; top : stmt list }

@@ -1,0 +1,275 @@
+(* MiniScript bytecode compiler — the MicroPython-style profile's front
+   half: source is parsed and compiled to a stack bytecode once at load
+   (the dominant cold-start cost Table 2 measures), then interpreted by
+   [Stack_vm]. *)
+
+open Ast
+
+type op =
+  | Push_int of int64
+  | Push_bool of bool
+  | Push_str of string
+  | Push_nil
+  | Load of int (* local slot *)
+  | Store of int
+  | Load_global of string
+  | Store_global of string
+  | Bin of binop (* everything except the short-circuit forms *)
+  | Un of unop
+  | Make_array of int
+  | Index_get
+  | Index_set (* stack: target index value *)
+  | Jump of int (* absolute *)
+  | Jump_if_false of int
+  | Jump_if_true of int
+  | Call_fn of string * int
+  | Ret
+  | Pop
+  | Dup
+
+type compiled_func = {
+  fname : string;
+  arity : int;
+  nslots : int; (* params + lets *)
+  code : op array;
+}
+
+type compiled = {
+  functions : (string, compiled_func) Hashtbl.t;
+  top : op array; (* top-level statements as a zero-arg body *)
+}
+
+exception Compile_error of string
+
+let compile_error fmt = Format.kasprintf (fun m -> raise (Compile_error m)) fmt
+
+(* Minimal growable op buffer. *)
+module Buffer_ops = struct
+  type 'a t = { mutable items : 'a array; mutable len : int }
+
+  let create () = { items = [||]; len = 0 }
+
+  let add t item =
+    if t.len >= Array.length t.items then begin
+      let capacity = max 16 (2 * Array.length t.items) in
+      let items = Array.make capacity item in
+      Array.blit t.items 0 items 0 t.len;
+      t.items <- items
+    end;
+    t.items.(t.len) <- item;
+    t.len <- t.len + 1
+
+  let set t i item = t.items.(i) <- item
+  let length t = t.len
+  let contents t = Array.sub t.items 0 t.len
+end
+
+type loop_ctx = {
+  continue_target : int; (* jump target of 'continue' *)
+  mutable break_sites : int list; (* Jump placeholders to patch to the end *)
+  mutable continue_sites : int list; (* for-loops: patched to the step code *)
+  patch_continue : bool; (* true when continue_target is not yet known *)
+}
+
+type fn_ctx = {
+  slots : (string, int) Hashtbl.t;
+  mutable next_slot : int;
+  code : op Buffer_ops.t;
+  top_level : bool;
+  mutable loops : loop_ctx list; (* innermost first *)
+}
+
+let slot_of ctx name = Hashtbl.find_opt ctx.slots name
+
+let declare ctx name =
+  match slot_of ctx name with
+  | Some slot -> slot
+  | None ->
+      let slot = ctx.next_slot in
+      ctx.next_slot <- ctx.next_slot + 1;
+      Hashtbl.replace ctx.slots name slot;
+      slot
+
+let emit ctx op = Buffer_ops.add ctx.code op
+let here ctx = Buffer_ops.length ctx.code
+
+(* emit a placeholder jump, patch later *)
+let emit_jump ctx make =
+  let at = here ctx in
+  emit ctx (make 0);
+  at
+
+let patch ctx at target =
+  let op =
+    match ctx.code.Buffer_ops.items.(at) with
+    | Jump _ -> Jump target
+    | Jump_if_false _ -> Jump_if_false target
+    | Jump_if_true _ -> Jump_if_true target
+    | _ -> compile_error "patching a non-jump"
+  in
+  Buffer_ops.set ctx.code at op
+
+let rec compile_expr ctx expr =
+  match expr with
+  | Int v -> emit ctx (Push_int v)
+  | Bool b -> emit ctx (Push_bool b)
+  | Str s -> emit ctx (Push_str s)
+  | Nil -> emit ctx Push_nil
+  | Var name -> (
+      match slot_of ctx name with
+      | Some slot -> emit ctx (Load slot)
+      | None -> emit ctx (Load_global name))
+  | Array_lit items ->
+      List.iter (compile_expr ctx) items;
+      emit ctx (Make_array (List.length items))
+  | Index (target, index) ->
+      compile_expr ctx target;
+      compile_expr ctx index;
+      emit ctx Index_get
+  | Unary (op, e) ->
+      compile_expr ctx e;
+      emit ctx (Un op)
+  | Binary (And_also, a, b) ->
+      compile_expr ctx a;
+      let short = emit_jump ctx (fun target -> Jump_if_false target) in
+      compile_expr ctx b;
+      let done_ = emit_jump ctx (fun target -> Jump target) in
+      patch ctx short (here ctx);
+      emit ctx (Push_bool false);
+      patch ctx done_ (here ctx)
+  | Binary (Or_else, a, b) ->
+      compile_expr ctx a;
+      let short = emit_jump ctx (fun target -> Jump_if_true target) in
+      compile_expr ctx b;
+      let done_ = emit_jump ctx (fun target -> Jump target) in
+      patch ctx short (here ctx);
+      emit ctx (Push_bool true);
+      patch ctx done_ (here ctx)
+  | Binary (op, a, b) ->
+      compile_expr ctx a;
+      compile_expr ctx b;
+      emit ctx (Bin op)
+  | Call (name, args) ->
+      List.iter (compile_expr ctx) args;
+      emit ctx (Call_fn (name, List.length args))
+
+let rec compile_stmt ctx stmt =
+  match stmt with
+  | Let (name, e) ->
+      compile_expr ctx e;
+      if ctx.top_level then emit ctx (Store_global name)
+      else emit ctx (Store (declare ctx name))
+  | Assign (name, e) ->
+      compile_expr ctx e;
+      (match slot_of ctx name with
+      | Some slot -> emit ctx (Store slot)
+      | None -> emit ctx (Store_global name))
+  | Assign_index (target, index, e) ->
+      compile_expr ctx target;
+      compile_expr ctx index;
+      compile_expr ctx e;
+      emit ctx Index_set
+  | If (cond, then_, else_) ->
+      compile_expr ctx cond;
+      let to_else = emit_jump ctx (fun target -> Jump_if_false target) in
+      List.iter (compile_stmt ctx) then_;
+      let to_end = emit_jump ctx (fun target -> Jump target) in
+      patch ctx to_else (here ctx);
+      List.iter (compile_stmt ctx) else_;
+      patch ctx to_end (here ctx)
+  | While (cond, body) ->
+      let top = here ctx in
+      compile_expr ctx cond;
+      let exit_jump = emit_jump ctx (fun target -> Jump_if_false target) in
+      let loop =
+        { continue_target = top; break_sites = []; continue_sites = [];
+          patch_continue = false }
+      in
+      ctx.loops <- loop :: ctx.loops;
+      List.iter (compile_stmt ctx) body;
+      ctx.loops <- List.tl ctx.loops;
+      emit ctx (Jump top);
+      patch ctx exit_jump (here ctx);
+      List.iter (fun at -> patch ctx at (here ctx)) loop.break_sites
+  | For (init, cond, step, body) ->
+      (match init with Some s -> compile_stmt ctx s | None -> ());
+      let top = here ctx in
+      let exit_jump =
+        match cond with
+        | Some c ->
+            compile_expr ctx c;
+            Some (emit_jump ctx (fun target -> Jump_if_false target))
+        | None -> None
+      in
+      let loop =
+        { continue_target = 0; break_sites = []; continue_sites = [];
+          patch_continue = true }
+      in
+      ctx.loops <- loop :: ctx.loops;
+      List.iter (compile_stmt ctx) body;
+      ctx.loops <- List.tl ctx.loops;
+      (* 'continue' jumps here: the step code, then back to the test *)
+      let step_at = here ctx in
+      List.iter (fun at -> patch ctx at step_at) loop.continue_sites;
+      (match step with Some s -> compile_stmt ctx s | None -> ());
+      emit ctx (Jump top);
+      (match exit_jump with Some at -> patch ctx at (here ctx) | None -> ());
+      List.iter (fun at -> patch ctx at (here ctx)) loop.break_sites
+  | Break -> (
+      match ctx.loops with
+      | loop :: _ -> loop.break_sites <- emit_jump ctx (fun t -> Jump t) :: loop.break_sites
+      | [] -> compile_error "break outside a loop")
+  | Continue -> (
+      match ctx.loops with
+      | loop :: _ ->
+          if loop.patch_continue then
+            loop.continue_sites <-
+              emit_jump ctx (fun t -> Jump t) :: loop.continue_sites
+          else emit ctx (Jump loop.continue_target)
+      | [] -> compile_error "continue outside a loop")
+  | Return None ->
+      emit ctx Push_nil;
+      emit ctx Ret
+  | Return (Some e) ->
+      compile_expr ctx e;
+      emit ctx Ret
+  | Expr_stmt e ->
+      compile_expr ctx e;
+      emit ctx Pop
+
+let compile_func (f : func) =
+  let ctx =
+    { slots = Hashtbl.create 8; next_slot = 0; code = Buffer_ops.create ();
+      top_level = false; loops = [] }
+  in
+  List.iter (fun p -> ignore (declare ctx p)) f.params;
+  List.iter (compile_stmt ctx) f.body;
+  emit ctx Push_nil;
+  emit ctx Ret;
+  {
+    fname = f.name;
+    arity = List.length f.params;
+    nslots = ctx.next_slot;
+    code = Buffer_ops.contents ctx.code;
+  }
+
+let compile source =
+  let program = Parser.parse source in
+  let functions = Hashtbl.create 8 in
+  List.iter
+    (fun f -> Hashtbl.replace functions f.name (compile_func f))
+    program.funcs;
+  let top_ctx =
+    { slots = Hashtbl.create 8; next_slot = 0; code = Buffer_ops.create ();
+      top_level = true; loops = [] }
+  in
+  List.iter (compile_stmt top_ctx) program.top;
+  emit top_ctx Push_nil;
+  emit top_ctx Ret;
+  { functions; top = Buffer_ops.contents top_ctx.code }
+
+(* Bytecode size in "code units", the script analogue of Table 2's code
+   size column. *)
+let code_size compiled =
+  Hashtbl.fold (fun _ (f : compiled_func) acc -> acc + Array.length f.code) compiled.functions
+    (Array.length compiled.top)

@@ -1,0 +1,161 @@
+(* Direct AST interpretation — the RIOT.js-style profile: no compilation
+   step (fast-ish startup: parse only), slow execution (tree dispatch and
+   environment lookups per node). *)
+
+open Ast
+
+exception Return_value of Value.t
+exception Break_loop
+exception Continue_loop
+
+type env = { vars : (string, Value.t) Hashtbl.t; parent : env option }
+
+let new_env ?parent () = { vars = Hashtbl.create 8; parent }
+
+let rec lookup env name =
+  match Hashtbl.find_opt env.vars name with
+  | Some v -> Some v
+  | None -> ( match env.parent with Some p -> lookup p name | None -> None)
+
+let rec assign env name value =
+  if Hashtbl.mem env.vars name then begin
+    Hashtbl.replace env.vars name value;
+    true
+  end
+  else match env.parent with Some p -> assign p name value | None -> false
+
+type t = {
+  program : program;
+  funcs : (string, func) Hashtbl.t;
+  globals : env;
+  mutable steps : int;
+  max_steps : int;
+}
+
+let load ?(max_steps = 50_000_000) source =
+  let program = Parser.parse source in
+  let funcs = Hashtbl.create 8 in
+  List.iter (fun f -> Hashtbl.replace funcs f.name f) program.funcs;
+  { program; funcs; globals = new_env (); steps = 0; max_steps }
+
+let tick t =
+  t.steps <- t.steps + 1;
+  if t.steps > t.max_steps then Value.runtime_error "step budget exhausted"
+
+let rec eval t env expr =
+  tick t;
+  match expr with
+  | Int v -> Value.Int v
+  | Bool b -> Value.Bool b
+  | Str s -> Value.Str s
+  | Nil -> Value.Nil
+  | Var name -> (
+      match lookup env name with
+      | Some v -> v
+      | None -> Value.runtime_error "unbound variable %s" name)
+  | Array_lit items ->
+      Value.Array (ref (Array.of_list (List.map (eval t env) items)))
+  | Index (target, index) -> Value.index_get (eval t env target) (eval t env index)
+  | Unary (op, e) -> Value.unop op (eval t env e)
+  | Binary (And_also, a, b) ->
+      if Value.truthy (eval t env a) then eval t env b else Value.Bool false
+  | Binary (Or_else, a, b) ->
+      if Value.truthy (eval t env a) then Value.Bool true else eval t env b
+  | Binary (op, a, b) -> Value.binop op (eval t env a) (eval t env b)
+  | Call (name, args) -> (
+      let values = List.map (eval t env) args in
+      match Value.builtin name values with
+      | Some result -> result
+      | None -> (
+          match Hashtbl.find_opt t.funcs name with
+          | None -> Value.runtime_error "unknown function %s" name
+          | Some f ->
+              if List.length f.params <> List.length values then
+                Value.runtime_error "%s expects %d arguments" name
+                  (List.length f.params);
+              let frame = new_env ~parent:t.globals () in
+              List.iter2 (Hashtbl.replace frame.vars) f.params values;
+              (try
+                 exec_block t frame f.body;
+                 Value.Nil
+               with
+              | Return_value v -> v
+              | Break_loop | Continue_loop ->
+                  Value.runtime_error "break/continue outside a loop")))
+
+and exec t env stmt =
+  tick t;
+  match stmt with
+  | Let (name, e) -> Hashtbl.replace env.vars name (eval t env e)
+  | Assign (name, e) ->
+      let value = eval t env e in
+      if not (assign env name value) then
+        Value.runtime_error "assignment to unbound variable %s" name
+  | Assign_index (target, index, e) ->
+      let tv = eval t env target in
+      let iv = eval t env index in
+      Value.index_set tv iv (eval t env e)
+  | If (cond, then_, else_) ->
+      if Value.truthy (eval t env cond) then exec_block t (new_env ~parent:env ()) then_
+      else exec_block t (new_env ~parent:env ()) else_
+  | While (cond, body) -> (
+      try
+        while Value.truthy (eval t env cond) do
+          try exec_block t (new_env ~parent:env ()) body
+          with Continue_loop -> ()
+        done
+      with Break_loop -> ())
+  | For (init, cond, step, body) -> (
+      let loop_env = new_env ~parent:env () in
+      (match init with Some s -> exec t loop_env s | None -> ());
+      let continue () =
+        match cond with
+        | Some c -> Value.truthy (eval t loop_env c)
+        | None -> true
+      in
+      try
+        while continue () do
+          (try exec_block t (new_env ~parent:loop_env ()) body
+           with Continue_loop -> ());
+          match step with Some s -> exec t loop_env s | None -> ()
+        done
+      with Break_loop -> ())
+  | Break -> raise Break_loop
+  | Continue -> raise Continue_loop
+  | Return None -> raise (Return_value Value.Nil)
+  | Return (Some e) -> raise (Return_value (eval t env e))
+  | Expr_stmt e -> ignore (eval t env e)
+
+and exec_block t env stmts = List.iter (exec t env) stmts
+
+(* Call a function with pre-evaluated values (used by benchmarks to pass
+   the input data without re-parsing). *)
+let call t name values =
+  t.steps <- 0;
+  match Hashtbl.find_opt t.funcs name with
+  | None -> Error (Printf.sprintf "unknown function %s" name)
+  | Some f -> (
+      if List.length f.params <> List.length values then
+        Error (Printf.sprintf "%s expects %d arguments" name (List.length f.params))
+      else
+        let frame = new_env ~parent:t.globals () in
+        List.iter2 (Hashtbl.replace frame.vars) f.params values;
+        try
+          exec_block t frame f.body;
+          Ok Value.Nil
+        with
+        | Return_value v -> Ok v
+        | Break_loop | Continue_loop -> Error "break/continue outside a loop"
+        | Value.Runtime_error m -> Error m)
+
+(* Run the top-level statements, then (optionally) call [entry ~args]. *)
+let run ?entry ?(args = []) t =
+  t.steps <- 0;
+  match exec_block t t.globals t.program.top with
+  | () -> (
+      match entry with
+      | None -> Ok Value.Nil
+      | Some name -> call t name args)
+  | exception Value.Runtime_error m -> Error m
+  | exception (Break_loop | Continue_loop) ->
+      Error "break/continue outside a loop"

@@ -1,0 +1,16 @@
+(** Direct AST interpretation — the RIOT.js-style profile: no compilation
+    step (startup = parse only), slow execution (tree dispatch and
+    environment lookups per node). *)
+
+type t
+
+val load : ?max_steps:int -> string -> t
+(** Parse [source]; raises [Parser.Parse_error] / [Lexer.Lex_error].
+    [max_steps] bounds one execution (default 50M). *)
+
+val call : t -> string -> Value.t list -> (Value.t, string) result
+(** Call a function with pre-evaluated values; runtime errors (including
+    exceeding the step budget) come back as [Error]. *)
+
+val run : ?entry:string -> ?args:Value.t list -> t -> (Value.t, string) result
+(** Execute the top-level statements, then optionally call [entry]. *)

@@ -1,0 +1,172 @@
+(* MiniScript lexer. *)
+
+type token =
+  | INT of int64
+  | STRING of string
+  | IDENT of string
+  | KW_FN
+  | KW_LET
+  | KW_IF
+  | KW_ELSE
+  | KW_WHILE
+  | KW_FOR
+  | KW_BREAK
+  | KW_CONTINUE
+  | KW_RETURN
+  | KW_TRUE
+  | KW_FALSE
+  | KW_NIL
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | LBRACKET
+  | RBRACKET
+  | COMMA
+  | SEMI
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | PERCENT
+  | ASSIGN
+  | EQ
+  | NE
+  | LT
+  | LE
+  | GT
+  | GE
+  | ANDAND
+  | OROR
+  | BAND
+  | BOR
+  | BXOR
+  | SHL
+  | SHR
+  | BANG
+  | EOF
+
+exception Lex_error of { line : int; message : string }
+
+let lex_error line fmt =
+  Format.kasprintf (fun message -> raise (Lex_error { line; message })) fmt
+
+let keywords =
+  [
+    ("fn", KW_FN); ("let", KW_LET); ("if", KW_IF); ("else", KW_ELSE);
+    ("while", KW_WHILE); ("for", KW_FOR); ("break", KW_BREAK);
+    ("continue", KW_CONTINUE); ("return", KW_RETURN); ("true", KW_TRUE);
+    ("false", KW_FALSE); ("nil", KW_NIL);
+  ]
+
+let is_digit c = c >= '0' && c <= '9'
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || is_digit c
+
+(* Tokens paired with their source line, for error reporting. *)
+let tokenize source =
+  let n = String.length source in
+  let tokens = ref [] in
+  let line = ref 1 in
+  let push t = tokens := (t, !line) :: !tokens in
+  let i = ref 0 in
+  let peek () = if !i + 1 < n then Some source.[!i + 1] else None in
+  while !i < n do
+    let c = source.[!i] in
+    (match c with
+    | ' ' | '\t' | '\r' -> incr i
+    | '\n' ->
+        incr line;
+        incr i
+    | '#' ->
+        (* comment to end of line *)
+        while !i < n && source.[!i] <> '\n' do incr i done
+    | '/' when peek () = Some '/' ->
+        while !i < n && source.[!i] <> '\n' do incr i done
+    | '(' -> push LPAREN; incr i
+    | ')' -> push RPAREN; incr i
+    | '{' -> push LBRACE; incr i
+    | '}' -> push RBRACE; incr i
+    | '[' -> push LBRACKET; incr i
+    | ']' -> push RBRACKET; incr i
+    | ',' -> push COMMA; incr i
+    | ';' -> push SEMI; incr i
+    | '+' -> push PLUS; incr i
+    | '-' -> push MINUS; incr i
+    | '*' -> push STAR; incr i
+    | '/' -> push SLASH; incr i
+    | '%' -> push PERCENT; incr i
+    | '^' -> push BXOR; incr i
+    | '!' ->
+        if peek () = Some '=' then begin push NE; i := !i + 2 end
+        else begin push BANG; incr i end
+    | '=' ->
+        if peek () = Some '=' then begin push EQ; i := !i + 2 end
+        else begin push ASSIGN; incr i end
+    | '<' -> (
+        match peek () with
+        | Some '=' -> push LE; i := !i + 2
+        | Some '<' -> push SHL; i := !i + 2
+        | _ -> push LT; incr i)
+    | '>' -> (
+        match peek () with
+        | Some '=' -> push GE; i := !i + 2
+        | Some '>' -> push SHR; i := !i + 2
+        | _ -> push GT; incr i)
+    | '&' ->
+        if peek () = Some '&' then begin push ANDAND; i := !i + 2 end
+        else begin push BAND; incr i end
+    | '|' ->
+        if peek () = Some '|' then begin push OROR; i := !i + 2 end
+        else begin push BOR; incr i end
+    | '"' ->
+        let buf = Buffer.create 16 in
+        incr i;
+        let rec scan () =
+          if !i >= n then lex_error !line "unterminated string"
+          else
+            match source.[!i] with
+            | '"' -> incr i
+            | '\\' -> (
+                incr i;
+                if !i >= n then lex_error !line "unterminated escape";
+                (match source.[!i] with
+                | 'n' -> Buffer.add_char buf '\n'
+                | 't' -> Buffer.add_char buf '\t'
+                | '\\' -> Buffer.add_char buf '\\'
+                | '"' -> Buffer.add_char buf '"'
+                | c -> lex_error !line "bad escape \\%c" c);
+                incr i;
+                scan ())
+            | c ->
+                Buffer.add_char buf c;
+                incr i;
+                scan ()
+        in
+        scan ();
+        push (STRING (Buffer.contents buf))
+    | c when is_digit c ->
+        let start = !i in
+        while !i < n && (is_digit source.[!i] || source.[!i] = 'x'
+                         || (source.[!i] >= 'a' && source.[!i] <= 'f')
+                         || (source.[!i] >= 'A' && source.[!i] <= 'F')) do
+          incr i
+        done;
+        let text = String.sub source start (!i - start) in
+        (match Int64.of_string_opt text with
+        | Some v -> push (INT v)
+        | None -> lex_error !line "bad number %S" text)
+    | c when is_ident_start c ->
+        let start = !i in
+        while !i < n && is_ident_char source.[!i] do incr i done;
+        let text = String.sub source start (!i - start) in
+        (match List.assoc_opt text keywords with
+        | Some kw -> push kw
+        | None -> push (IDENT text))
+    | c -> lex_error !line "unexpected character %C" c)
+  done;
+  push EOF;
+  List.rev !tokens

@@ -1,0 +1,284 @@
+(* MiniScript recursive-descent / Pratt parser. *)
+
+open Ast
+
+exception Parse_error of { line : int; message : string }
+
+let parse_error line fmt =
+  Format.kasprintf (fun message -> raise (Parse_error { line; message })) fmt
+
+type state = { mutable tokens : (Lexer.token * int) list }
+
+let peek s = match s.tokens with (t, _) :: _ -> t | [] -> Lexer.EOF
+let line s = match s.tokens with (_, l) :: _ -> l | [] -> 0
+
+let advance s =
+  match s.tokens with
+  | _ :: rest -> s.tokens <- rest
+  | [] -> ()
+
+let expect s token what =
+  if peek s = token then advance s
+  else parse_error (line s) "expected %s" what
+
+let expect_ident s what =
+  match peek s with
+  | Lexer.IDENT name ->
+      advance s;
+      name
+  | _ -> parse_error (line s) "expected %s" what
+
+(* Binding powers, loosest to tightest. *)
+let infix_power = function
+  | Lexer.OROR -> Some (1, Or_else)
+  | Lexer.ANDAND -> Some (2, And_also)
+  | Lexer.BOR -> Some (3, Bor)
+  | Lexer.BXOR -> Some (4, Bxor)
+  | Lexer.BAND -> Some (5, Band)
+  | Lexer.EQ -> Some (6, Eq)
+  | Lexer.NE -> Some (6, Ne)
+  | Lexer.LT -> Some (7, Lt)
+  | Lexer.LE -> Some (7, Le)
+  | Lexer.GT -> Some (7, Gt)
+  | Lexer.GE -> Some (7, Ge)
+  | Lexer.SHL -> Some (8, Shl)
+  | Lexer.SHR -> Some (8, Shr)
+  | Lexer.PLUS -> Some (9, Add)
+  | Lexer.MINUS -> Some (9, Sub)
+  | Lexer.STAR -> Some (10, Mul)
+  | Lexer.SLASH -> Some (10, Div)
+  | Lexer.PERCENT -> Some (10, Mod)
+  | _ -> None
+
+let rec parse_expr s min_power =
+  let left = ref (parse_prefix s) in
+  let continue = ref true in
+  while !continue do
+    match infix_power (peek s) with
+    | Some (power, op) when power >= min_power ->
+        advance s;
+        let right = parse_expr s (power + 1) in
+        left := Binary (op, !left, right)
+    | _ -> continue := false
+  done;
+  !left
+
+and parse_prefix s =
+  match peek s with
+  | Lexer.INT v ->
+      advance s;
+      parse_postfix s (Int v)
+  | Lexer.STRING str ->
+      advance s;
+      parse_postfix s (Str str)
+  | Lexer.KW_TRUE ->
+      advance s;
+      Bool true
+  | Lexer.KW_FALSE ->
+      advance s;
+      Bool false
+  | Lexer.KW_NIL ->
+      advance s;
+      Nil
+  | Lexer.MINUS ->
+      advance s;
+      Unary (Neg, parse_expr s 11)
+  | Lexer.BANG ->
+      advance s;
+      Unary (Not, parse_expr s 11)
+  | Lexer.LPAREN ->
+      advance s;
+      let e = parse_expr s 0 in
+      expect s Lexer.RPAREN "')'";
+      parse_postfix s e
+  | Lexer.LBRACKET ->
+      advance s;
+      let rec items acc =
+        if peek s = Lexer.RBRACKET then List.rev acc
+        else begin
+          let e = parse_expr s 0 in
+          if peek s = Lexer.COMMA then begin
+            advance s;
+            items (e :: acc)
+          end
+          else List.rev (e :: acc)
+        end
+      in
+      let elements = items [] in
+      expect s Lexer.RBRACKET "']'";
+      parse_postfix s (Array_lit elements)
+  | Lexer.IDENT name -> (
+      advance s;
+      match peek s with
+      | Lexer.LPAREN ->
+          advance s;
+          let rec args acc =
+            if peek s = Lexer.RPAREN then List.rev acc
+            else begin
+              let e = parse_expr s 0 in
+              if peek s = Lexer.COMMA then begin
+                advance s;
+                args (e :: acc)
+              end
+              else List.rev (e :: acc)
+            end
+          in
+          let arguments = args [] in
+          expect s Lexer.RPAREN "')'";
+          parse_postfix s (Call (name, arguments))
+      | _ -> parse_postfix s (Var name))
+  | _ -> parse_error (line s) "expected expression"
+
+and parse_postfix s expr =
+  match peek s with
+  | Lexer.LBRACKET ->
+      advance s;
+      let index = parse_expr s 0 in
+      expect s Lexer.RBRACKET "']'";
+      parse_postfix s (Index (expr, index))
+  | _ -> expr
+
+let rec parse_block s =
+  expect s Lexer.LBRACE "'{'";
+  let rec stmts acc =
+    if peek s = Lexer.RBRACE then begin
+      advance s;
+      List.rev acc
+    end
+    else stmts (parse_stmt s :: acc)
+  in
+  stmts []
+
+and parse_stmt s =
+  match peek s with
+  | Lexer.KW_LET ->
+      advance s;
+      let name = expect_ident s "variable name" in
+      expect s Lexer.ASSIGN "'='";
+      let value = parse_expr s 0 in
+      expect s Lexer.SEMI "';'";
+      Let (name, value)
+  | Lexer.KW_IF ->
+      advance s;
+      expect s Lexer.LPAREN "'('";
+      let cond = parse_expr s 0 in
+      expect s Lexer.RPAREN "')'";
+      let then_ = parse_block s in
+      let else_ =
+        if peek s = Lexer.KW_ELSE then begin
+          advance s;
+          if peek s = Lexer.KW_IF then [ parse_stmt s ] else parse_block s
+        end
+        else []
+      in
+      If (cond, then_, else_)
+  | Lexer.KW_WHILE ->
+      advance s;
+      expect s Lexer.LPAREN "'('";
+      let cond = parse_expr s 0 in
+      expect s Lexer.RPAREN "')'";
+      While (cond, parse_block s)
+  | Lexer.KW_FOR ->
+      advance s;
+      expect s Lexer.LPAREN "'('";
+      let init =
+        if peek s = Lexer.SEMI then begin
+          advance s;
+          None
+        end
+        else Some (parse_stmt s) (* parse_stmt consumes the ';' *)
+      in
+      let cond =
+        if peek s = Lexer.SEMI then None else Some (parse_expr s 0)
+      in
+      expect s Lexer.SEMI "';'";
+      let step =
+        if peek s = Lexer.RPAREN then None else Some (parse_for_step s)
+      in
+      expect s Lexer.RPAREN "')'";
+      For (init, cond, step, parse_block s)
+  | Lexer.KW_BREAK ->
+      advance s;
+      expect s Lexer.SEMI "';'";
+      Break
+  | Lexer.KW_CONTINUE ->
+      advance s;
+      expect s Lexer.SEMI "';'";
+      Continue
+  | Lexer.KW_RETURN ->
+      advance s;
+      if peek s = Lexer.SEMI then begin
+        advance s;
+        Return None
+      end
+      else begin
+        let value = parse_expr s 0 in
+        expect s Lexer.SEMI "';'";
+        Return (Some value)
+      end
+  | Lexer.IDENT name when (match s.tokens with
+                           | _ :: (Lexer.ASSIGN, _) :: _ -> true
+                           | _ -> false) ->
+      advance s;
+      advance s;
+      let value = parse_expr s 0 in
+      expect s Lexer.SEMI "';'";
+      Assign (name, value)
+  | _ -> (
+      let e = parse_expr s 0 in
+      match (e, peek s) with
+      | Index (target, index), Lexer.ASSIGN ->
+          advance s;
+          let value = parse_expr s 0 in
+          expect s Lexer.SEMI "';'";
+          Assign_index (target, index, value)
+      | _, _ ->
+          expect s Lexer.SEMI "';'";
+          Expr_stmt e)
+
+(* The step clause of a for loop: an assignment or expression, with no
+   trailing ';'. *)
+and parse_for_step s =
+  match (peek s, s.tokens) with
+  | Lexer.IDENT name, _ :: (Lexer.ASSIGN, _) :: _ ->
+      advance s;
+      advance s;
+      Assign (name, parse_expr s 0)
+  | _ -> (
+      let e = parse_expr s 0 in
+      match (e, peek s) with
+      | Index (target, index), Lexer.ASSIGN ->
+          advance s;
+          Assign_index (target, index, parse_expr s 0)
+      | _ -> Expr_stmt e)
+
+let parse_func s =
+  expect s Lexer.KW_FN "'fn'";
+  let name = expect_ident s "function name" in
+  expect s Lexer.LPAREN "'('";
+  let rec params acc =
+    match peek s with
+    | Lexer.RPAREN -> List.rev acc
+    | Lexer.IDENT p ->
+        advance s;
+        if peek s = Lexer.COMMA then begin
+          advance s;
+          params (p :: acc)
+        end
+        else List.rev (p :: acc)
+    | _ -> parse_error (line s) "expected parameter"
+  in
+  let parameters = params [] in
+  expect s Lexer.RPAREN "')'";
+  let body = parse_block s in
+  { name; params = parameters; body }
+
+let parse source =
+  let s = { tokens = Lexer.tokenize source } in
+  let rec loop funcs top =
+    match peek s with
+    | Lexer.EOF -> { funcs = List.rev funcs; top = List.rev top }
+    | Lexer.KW_FN -> loop (parse_func s :: funcs) top
+    | _ -> loop funcs (parse_stmt s :: top)
+  in
+  loop [] []

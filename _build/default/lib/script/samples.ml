@@ -1,0 +1,32 @@
+(* MiniScript sample programs for benchmarks and tests. *)
+
+(* fletcher32 over a byte array, same deferred-reduction algorithm as the
+   native/eBPF/wasm implementations — results are bit-identical. *)
+let fletcher32_source =
+  {|
+    fn fletcher32(data, words) {
+      let sum1 = 65535;
+      let sum2 = 65535;
+      let i = 0;
+      while (i < words) {
+        let w = data[2 * i] + data[2 * i + 1] * 256;
+        sum1 = sum1 + w;
+        sum2 = sum2 + sum1;
+        i = i + 1;
+      }
+      sum1 = (sum1 & 65535) + (sum1 >> 16);
+      sum1 = (sum1 & 65535) + (sum1 >> 16);
+      sum2 = (sum2 & 65535) + (sum2 >> 16);
+      sum2 = (sum2 & 65535) + (sum2 >> 16);
+      return (sum2 << 16) | sum1;
+    }
+  |}
+
+(* Wrap input bytes as a MiniScript array value. *)
+let bytes_to_value data =
+  Value.Array
+    (ref (Array.init (Bytes.length data) (fun i ->
+              Value.Int (Int64.of_int (Bytes.get_uint8 data i)))))
+
+let fletcher32_args data =
+  [ bytes_to_value data; Value.Int (Int64.of_int (Bytes.length data / 2)) ]

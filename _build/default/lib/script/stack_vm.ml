@@ -1,0 +1,132 @@
+(* MiniScript bytecode interpreter — the MicroPython-style back half:
+   a straight fetch/dispatch loop over compiled stack ops, with boxed
+   values and global lookups through a hashtable. *)
+
+open Compile
+
+type t = {
+  compiled : Compile.compiled;
+  globals : (string, Value.t) Hashtbl.t;
+  mutable steps : int;
+  max_steps : int;
+}
+
+let load ?(max_steps = 50_000_000) source =
+  { compiled = Compile.compile source; globals = Hashtbl.create 8; steps = 0;
+    max_steps }
+
+let of_compiled ?(max_steps = 50_000_000) compiled =
+  { compiled; globals = Hashtbl.create 8; steps = 0; max_steps }
+
+exception Returned of Value.t
+
+let rec exec_code t code slots =
+  let stack = ref [] in
+  let push v = stack := v :: !stack in
+  let pop () =
+    match !stack with
+    | v :: rest ->
+        stack := rest;
+        v
+    | [] -> Value.runtime_error "operand stack underflow"
+  in
+  let pc = ref 0 in
+  let len = Array.length code in
+  (try
+     while !pc < len do
+       t.steps <- t.steps + 1;
+       if t.steps > t.max_steps then Value.runtime_error "step budget exhausted";
+       let op = Array.unsafe_get code !pc in
+       incr pc;
+       match op with
+       | Push_int v -> push (Value.Int v)
+       | Push_bool b -> push (Value.Bool b)
+       | Push_str s -> push (Value.Str s)
+       | Push_nil -> push Value.Nil
+       | Load slot -> push slots.(slot)
+       | Store slot -> slots.(slot) <- pop ()
+       | Load_global name -> (
+           match Hashtbl.find_opt t.globals name with
+           | Some v -> push v
+           | None -> Value.runtime_error "unbound global %s" name)
+       | Store_global name -> Hashtbl.replace t.globals name (pop ())
+       | Bin op ->
+           let b = pop () in
+           let a = pop () in
+           push (Value.binop op a b)
+       | Un op -> push (Value.unop op (pop ()))
+       | Make_array n ->
+           let items = Array.make n Value.Nil in
+           for i = n - 1 downto 0 do
+             items.(i) <- pop ()
+           done;
+           push (Value.Array (ref items))
+       | Index_get ->
+           let index = pop () in
+           let target = pop () in
+           push (Value.index_get target index)
+       | Index_set ->
+           let value = pop () in
+           let index = pop () in
+           let target = pop () in
+           Value.index_set target index value
+       | Jump target -> pc := target
+       | Jump_if_false target -> if not (Value.truthy (pop ())) then pc := target
+       | Jump_if_true target -> if Value.truthy (pop ()) then pc := target
+       | Call_fn (name, argc) -> (
+           let rec take n acc =
+             if n = 0 then acc else take (n - 1) (pop () :: acc)
+           in
+           let args = take argc [] in
+           match Value.builtin name args with
+           | Some result -> push result
+           | None -> (
+               match Hashtbl.find_opt t.compiled.functions name with
+               | None -> Value.runtime_error "unknown function %s" name
+               | Some f ->
+                   if f.arity <> argc then
+                     Value.runtime_error "%s expects %d arguments" name f.arity;
+                   push (call_compiled t f args)))
+       | Ret -> raise (Returned (pop ()))
+       | Pop -> ignore (pop ())
+       | Dup -> (
+           match !stack with
+           | v :: _ -> push v
+           | [] -> Value.runtime_error "dup on empty stack")
+     done;
+     Value.Nil
+   with Returned v -> v)
+
+and call_compiled t f args =
+  let slots = Array.make (max f.nslots 1) Value.Nil in
+  List.iteri (fun i v -> slots.(i) <- v) args;
+  exec_code t f.code slots
+
+(* Run top-level code, then optionally an entry function. *)
+let run ?entry ?(args = []) t =
+  t.steps <- 0;
+  match exec_code t t.compiled.top [||] with
+  | exception Value.Runtime_error m -> Error m
+  | _ -> (
+      match entry with
+      | None -> Ok Value.Nil
+      | Some name -> (
+          match Hashtbl.find_opt t.compiled.functions name with
+          | None -> Error (Printf.sprintf "unknown function %s" name)
+          | Some f -> (
+              if f.arity <> List.length args then
+                Error (Printf.sprintf "%s expects %d arguments" name f.arity)
+              else
+                try Ok (call_compiled t f args)
+                with Value.Runtime_error m -> Error m)))
+
+let call t name args =
+  t.steps <- 0;
+  match Hashtbl.find_opt t.compiled.functions name with
+  | None -> Error (Printf.sprintf "unknown function %s" name)
+  | Some f -> (
+      if f.arity <> List.length args then
+        Error (Printf.sprintf "%s expects %d arguments" name f.arity)
+      else
+        try Ok (call_compiled t f args)
+        with Value.Runtime_error m -> Error m)

@@ -1,0 +1,14 @@
+(** MiniScript bytecode interpreter — the MicroPython-style profile:
+    source is parsed and compiled to stack bytecode once at load (the
+    dominant cold-start cost), then executed by a fetch/dispatch loop. *)
+
+type t
+
+val load : ?max_steps:int -> string -> t
+(** Parse and compile [source]; raises [Parser.Parse_error],
+    [Lexer.Lex_error] or [Compile.Compile_error]. *)
+
+val of_compiled : ?max_steps:int -> Compile.compiled -> t
+
+val call : t -> string -> Value.t list -> (Value.t, string) result
+val run : ?entry:string -> ?args:Value.t list -> t -> (Value.t, string) result

@@ -1,0 +1,29 @@
+(** MiniScript -> eBPF compiler.
+
+    The paper notes that any language able to target the eBPF ISA can
+    program Femto-Containers (§8; they use C via LLVM).  This compiler is
+    that story for MiniScript: containers are written at high level and
+    compiled to bytecode that passes the pre-flight verifier and runs in
+    the sandbox at rBPF cost.
+
+    Supported: integer arithmetic and comparisons (eBPF semantics: 64-bit
+    wraparound, {e unsigned} division/modulo), booleans as 0/1,
+    let/assign, if/else, while/for/break/continue, return, calls to
+    [bpf_*] helpers (≤ 5 arguments), the inline builtins
+    [min]/[max]/[abs], and raw memory access through
+    [load8/load16/load32/load64] and [store64] (checked against the
+    container's allow-list at run time).  Strings, arrays, maps and
+    user-function calls have no eBPF representation and raise
+    {!Unsupported}. *)
+
+exception Unsupported of string
+
+val no_helpers : string -> int option
+
+val compile_function :
+  ?helpers:(string -> int option) -> string -> string -> Femto_ebpf.Program.t
+(** [compile_function ?helpers source name] compiles function [name] from
+    [source]; up to five parameters arrive in r1..r5.  [helpers] resolves
+    helper names ([Femto_core.Syscall.resolve_name] covers the standard
+    ABI).  The generated code always terminates with [exit] and never
+    exceeds the 512 B VM stack (checked at compile time). *)

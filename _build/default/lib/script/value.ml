@@ -1,0 +1,175 @@
+(* MiniScript runtime values — boxed and heap-allocated, as in MicroPython
+   and the JS micro-engines; this boxing is a root cause of the RAM and
+   speed profile Table 1/2 measure for script runtimes. *)
+
+type t =
+  | Int of int64
+  | Bool of bool
+  | Str of string
+  | Array of t array ref (* mutable, growable via push *)
+  | Map of (t, t) Hashtbl.t (* dictionaries with int/string/bool keys *)
+  | Nil
+
+exception Runtime_error of string
+
+let runtime_error fmt = Format.kasprintf (fun m -> raise (Runtime_error m)) fmt
+
+let type_name = function
+  | Int _ -> "int"
+  | Bool _ -> "bool"
+  | Str _ -> "string"
+  | Array _ -> "array"
+  | Map _ -> "map"
+  | Nil -> "nil"
+
+let truthy = function
+  | Bool b -> b
+  | Nil -> false
+  | Int v -> not (Int64.equal v 0L)
+  | Str s -> s <> ""
+  | Array a -> Array.length !a > 0
+  | Map m -> Hashtbl.length m > 0
+
+let as_int = function
+  | Int v -> v
+  | v -> runtime_error "expected int, got %s" (type_name v)
+
+let rec equal a b =
+  match (a, b) with
+  | Int x, Int y -> Int64.equal x y
+  | Bool x, Bool y -> Bool.equal x y
+  | Str x, Str y -> String.equal x y
+  | Nil, Nil -> true
+  | Array x, Array y ->
+      Array.length !x = Array.length !y
+      && Array.for_all2 equal !x !y
+  | Map x, Map y -> x == y (* maps compare by identity, like JS objects *)
+  | _ -> false
+
+let rec to_string = function
+  | Int v -> Int64.to_string v
+  | Bool b -> string_of_bool b
+  | Str s -> s
+  | Nil -> "nil"
+  | Array a ->
+      "[" ^ String.concat ", " (Array.to_list (Array.map to_string !a)) ^ "]"
+  | Map m ->
+      let entries =
+        Hashtbl.fold (fun k v acc -> (to_string k ^ ": " ^ to_string v) :: acc) m []
+      in
+      "{" ^ String.concat ", " (List.sort compare entries) ^ "}"
+
+(* Shared arithmetic/comparison semantics for both execution profiles. *)
+let binop (op : Ast.binop) a b =
+  let int_op f =
+    match (a, b) with
+    | Int x, Int y -> Int (f x y)
+    | _ -> runtime_error "arithmetic on %s and %s" (type_name a) (type_name b)
+  in
+  let cmp_op f =
+    match (a, b) with
+    | Int x, Int y -> Bool (f (Int64.compare x y) 0)
+    | Str x, Str y -> Bool (f (String.compare x y) 0)
+    | _ -> runtime_error "comparison on %s and %s" (type_name a) (type_name b)
+  in
+  match op with
+  | Ast.Add -> (
+      match (a, b) with
+      | Str x, Str y -> Str (x ^ y)
+      | Array x, Array y -> Array (ref (Array.append !x !y))
+      | _ -> int_op Int64.add)
+  | Ast.Sub -> int_op Int64.sub
+  | Ast.Mul -> int_op Int64.mul
+  | Ast.Div ->
+      int_op (fun x y ->
+          if Int64.equal y 0L then runtime_error "division by zero"
+          else Int64.div x y)
+  | Ast.Mod ->
+      int_op (fun x y ->
+          if Int64.equal y 0L then runtime_error "modulo by zero"
+          else Int64.rem x y)
+  | Ast.Band -> int_op Int64.logand
+  | Ast.Bor -> int_op Int64.logor
+  | Ast.Bxor -> int_op Int64.logxor
+  | Ast.Shl -> int_op (fun x y -> Int64.shift_left x (Int64.to_int y land 63))
+  | Ast.Shr -> int_op (fun x y -> Int64.shift_right_logical x (Int64.to_int y land 63))
+  | Ast.Eq -> Bool (equal a b)
+  | Ast.Ne -> Bool (not (equal a b))
+  | Ast.Lt -> cmp_op ( < )
+  | Ast.Le -> cmp_op ( <= )
+  | Ast.Gt -> cmp_op ( > )
+  | Ast.Ge -> cmp_op ( >= )
+  | Ast.And_also | Ast.Or_else ->
+      (* short-circuit forms are handled by the evaluators *)
+      runtime_error "internal: logical op reached binop"
+
+let unop op v =
+  match ((op : Ast.unop), v) with
+  | Ast.Neg, Int x -> Int (Int64.neg x)
+  | Ast.Not, v -> Bool (not (truthy v))
+  | Ast.Neg, v -> runtime_error "cannot negate %s" (type_name v)
+
+(* Map keys are restricted to immutable scalar values. *)
+let check_map_key = function
+  | (Int _ | Str _ | Bool _) as k -> k
+  | k -> runtime_error "%s cannot be a map key" (type_name k)
+
+let index_get target index =
+  match (target, index) with
+  | Map m, key -> (
+      match Hashtbl.find_opt m (check_map_key key) with
+      | Some v -> v
+      | None -> Nil)
+  | Array a, Int i ->
+      let i = Int64.to_int i in
+      if i < 0 || i >= Array.length !a then runtime_error "index %d out of bounds" i
+      else !a.(i)
+  | Str s, Int i ->
+      let i = Int64.to_int i in
+      if i < 0 || i >= String.length s then runtime_error "index %d out of bounds" i
+      else Int (Int64.of_int (Char.code s.[i]))
+  | _ -> runtime_error "cannot index %s with %s" (type_name target) (type_name index)
+
+let index_set target index value =
+  match (target, index) with
+  | Map m, key -> Hashtbl.replace m (check_map_key key) value
+  | Array a, Int i ->
+      let i = Int64.to_int i in
+      if i < 0 || i >= Array.length !a then runtime_error "index %d out of bounds" i
+      else !a.(i) <- value
+  | _ -> runtime_error "cannot assign into %s" (type_name target)
+
+(* Builtins shared by both profiles. *)
+let builtin name args =
+  match (name, args) with
+  | "len", [ Array a ] -> Some (Int (Int64.of_int (Array.length !a)))
+  | "len", [ Str s ] -> Some (Int (Int64.of_int (String.length s)))
+  | "push", [ Array a; v ] ->
+      a := Array.append !a [| v |];
+      Some Nil
+  | "byte", [ Str s; Int i ] ->
+      let i = Int64.to_int i in
+      if i < 0 || i >= String.length s then runtime_error "byte index out of bounds"
+      else Some (Int (Int64.of_int (Char.code s.[i])))
+  | "map", [] -> Some (Map (Hashtbl.create 8))
+  | "mhas", [ Map m; k ] -> Some (Bool (Hashtbl.mem m (check_map_key k)))
+  | "mdel", [ Map m; k ] ->
+      Hashtbl.remove m (check_map_key k);
+      Some Nil
+  | "keys", [ Map m ] ->
+      let ks = Hashtbl.fold (fun k _ acc -> k :: acc) m [] in
+      Some (Array (ref (Array.of_list (List.sort compare ks))))
+  | "len", [ Map m ] -> Some (Int (Int64.of_int (Hashtbl.length m)))
+  | ("map" | "mhas" | "mdel" | "keys"), _ ->
+      runtime_error "bad arguments to %s" name
+  | "min", [ Int a; Int b ] -> Some (Int (if Int64.compare a b <= 0 then a else b))
+  | "max", [ Int a; Int b ] -> Some (Int (if Int64.compare a b >= 0 then a else b))
+  | "abs", [ Int a ] -> Some (Int (Int64.abs a))
+  | "str", [ v ] -> Some (Str (to_string v))
+  | "chr", [ Int c ] ->
+      let c = Int64.to_int c in
+      if c < 0 || c > 255 then runtime_error "chr out of range"
+      else Some (Str (String.make 1 (Char.chr c)))
+  | ("len" | "push" | "byte" | "min" | "max" | "abs" | "str" | "chr"), _ ->
+      runtime_error "bad arguments to %s" name
+  | _ -> None

@@ -1,0 +1,38 @@
+(** MiniScript runtime values — boxed and heap-allocated, as in
+    MicroPython and the JS micro-engines; this boxing drives the RAM and
+    speed profile the paper's Table 1/2 measures for script runtimes. *)
+
+type t =
+  | Int of int64
+  | Bool of bool
+  | Str of string
+  | Array of t array ref  (** mutable, growable via [push] *)
+  | Map of (t, t) Hashtbl.t  (** dictionaries with int/string/bool keys *)
+  | Nil
+
+exception Runtime_error of string
+
+val runtime_error : ('a, Format.formatter, unit, 'b) format4 -> 'a
+
+val type_name : t -> string
+val truthy : t -> bool
+val as_int : t -> int64
+
+val equal : t -> t -> bool
+(** Structural, except maps which compare by identity (like JS objects). *)
+
+val to_string : t -> string
+
+val binop : Ast.binop -> t -> t -> t
+(** Shared arithmetic/comparison semantics for both execution profiles;
+    the short-circuit forms are handled by the evaluators and raise
+    here. *)
+
+val unop : Ast.unop -> t -> t
+val index_get : t -> t -> t
+val index_set : t -> t -> t -> unit
+
+val builtin : string -> t list -> t option
+(** The built-in functions both profiles share ([len], [push], [byte],
+    [map], [mhas], [mdel], [keys], [min], [max], [abs], [str], [chr]);
+    [None] when [name] is not a builtin. *)

@@ -1,0 +1,1 @@
+lib/shell/shell.ml: Femto_certfc Femto_core Femto_device Femto_ebpf Femto_flash Femto_rtos Femto_vm Int32 Int64 List Printf String

@@ -1,0 +1,20 @@
+(** Device shell, in the spirit of RIOT's `shell` module: a line-oriented
+    command interpreter over the device composition.  Commands are pure
+    string -> string, so the shell is equally usable from a UART
+    simulator, tests, or an interactive loop.
+
+    Commands: [help], [ps], [fc list], [fc run <hook-uuid>],
+    [fc disasm <hook-uuid>], [kv get <key>], [kv set <key> <value>],
+    [suit seq], [slots], [free], [uptime], [history]. *)
+
+type t
+
+val create : Femto_device.Device.t -> t
+
+val exec : t -> string -> string
+(** Run one command line; returns its output (never raises on bad
+    input — unknown commands answer with a usage hint). *)
+
+val script : t -> string -> string
+(** Run a newline-separated command script, echoing each command with its
+    output. *)

@@ -1,0 +1,1 @@
+lib/suit/suit.ml: Femto_cbor Femto_cose Femto_crypto Int64 List Printf Result String

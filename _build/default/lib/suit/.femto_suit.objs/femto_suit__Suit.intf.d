@@ -1,0 +1,1 @@
+lib/suit/suit.mli: Femto_cbor Femto_cose

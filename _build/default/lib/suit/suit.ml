@@ -1,0 +1,253 @@
+(* SUIT manifests and the device-side update processor.
+
+   Implements the paper's secure-update primitives (§5): a CBOR manifest
+   carrying a monotonically increasing sequence number and, per component,
+   the storage-location UUID (the hook to attach to), the payload's
+   SHA-256 digest and size; the manifest travels inside a COSE_Sign1
+   envelope.  The device verifies signature, rollback protection and
+   payload digest before handing the bytecode to the hosting engine —
+   which then runs its own pre-flight verification.  Five independent
+   gates between the network and execution. *)
+
+module Cbor = Femto_cbor.Cbor
+module Cose = Femto_cose.Cose
+module Crypto = Femto_crypto.Crypto
+
+(* Manifest map keys (after draft-ietf-suit-manifest's structure,
+   simplified to the fields the paper's flow uses). *)
+let key_version = Cbor.Int 1L
+let key_sequence = Cbor.Int 2L
+let key_components = Cbor.Int 3L
+let key_vendor_id = Cbor.Int 4L
+let key_class_id = Cbor.Int 5L
+let key_storage = Cbor.Int 1L
+let key_digest = Cbor.Int 2L
+let key_size = Cbor.Int 3L
+
+let manifest_version = 1L
+
+type component = {
+  storage_uuid : string; (* hook UUID, the manifest's storage location *)
+  digest : string; (* SHA-256 of the payload *)
+  size : int;
+}
+
+type t = {
+  sequence : int64;
+  vendor_id : string option; (* condition-vendor-identifier *)
+  class_id : string option; (* condition-class-identifier *)
+  components : component list;
+}
+
+let make ?vendor_id ?class_id ~sequence components =
+  { sequence; vendor_id; class_id; components }
+
+let component_for ~storage_uuid payload =
+  {
+    storage_uuid;
+    digest = Crypto.sha256 payload;
+    size = String.length payload;
+  }
+
+(* --- serialization --- *)
+
+let component_to_cbor c =
+  Cbor.Map
+    [
+      (key_storage, Cbor.Text c.storage_uuid);
+      (key_digest, Cbor.Bytes c.digest);
+      (key_size, Cbor.Int (Int64.of_int c.size));
+    ]
+
+let to_cbor t =
+  Cbor.Map
+    ([
+       (key_version, Cbor.Int manifest_version);
+       (key_sequence, Cbor.Int t.sequence);
+       (key_components, Cbor.Array (List.map component_to_cbor t.components));
+     ]
+    @ (match t.vendor_id with
+      | Some v -> [ (key_vendor_id, Cbor.Text v) ]
+      | None -> [])
+    @
+    match t.class_id with
+    | Some v -> [ (key_class_id, Cbor.Text v) ]
+    | None -> [])
+
+let encode t = Cbor.encode (to_cbor t)
+
+type error =
+  | Malformed of string
+  | Unsupported_version of int64
+  | Signature of Cose.error
+  | Rollback of { manifest : int64; device : int64 }
+  | Digest_mismatch of string (* storage uuid *)
+  | Unknown_storage of string
+  | Wrong_vendor of { manifest : string; device : string }
+  | Wrong_class of { manifest : string; device : string }
+  | Install_failed of string
+
+let error_to_string = function
+  | Malformed m -> Printf.sprintf "malformed manifest: %s" m
+  | Unsupported_version v -> Printf.sprintf "unsupported manifest version %Ld" v
+  | Signature e -> Printf.sprintf "envelope rejected: %s" (Cose.error_to_string e)
+  | Rollback { manifest; device } ->
+      Printf.sprintf "rollback: manifest seq %Ld <= device seq %Ld" manifest device
+  | Digest_mismatch uuid -> Printf.sprintf "payload digest mismatch for %s" uuid
+  | Unknown_storage uuid -> Printf.sprintf "unknown storage location %s" uuid
+  | Wrong_vendor { manifest; device } ->
+      Printf.sprintf "vendor condition failed: manifest %s, device %s" manifest
+        device
+  | Wrong_class { manifest; device } ->
+      Printf.sprintf "class condition failed: manifest %s, device %s" manifest
+        device
+  | Install_failed m -> Printf.sprintf "install failed: %s" m
+
+let ( let* ) = Result.bind
+
+let component_of_cbor value =
+  let* storage_uuid =
+    match Cbor.find_map_entry value key_storage with
+    | Some (Cbor.Text s) -> Ok s
+    | _ -> Error (Malformed "component missing storage location")
+  in
+  let* digest =
+    match Cbor.find_map_entry value key_digest with
+    | Some (Cbor.Bytes d) when String.length d = 32 -> Ok d
+    | _ -> Error (Malformed "component missing sha256 digest")
+  in
+  let* size =
+    match Cbor.find_map_entry value key_size with
+    | Some (Cbor.Int n) when Int64.compare n 0L >= 0 -> Ok (Int64.to_int n)
+    | _ -> Error (Malformed "component missing size")
+  in
+  Ok { storage_uuid; digest; size }
+
+let decode data =
+  match Cbor.decode data with
+  | exception Cbor.Decode_error m -> Error (Malformed m)
+  | value ->
+      let* () =
+        match Cbor.find_map_entry value key_version with
+        | Some (Cbor.Int v) when Int64.equal v manifest_version -> Ok ()
+        | Some (Cbor.Int v) -> Error (Unsupported_version v)
+        | _ -> Error (Malformed "missing version")
+      in
+      let* sequence =
+        match Cbor.find_map_entry value key_sequence with
+        | Some (Cbor.Int s) -> Ok s
+        | _ -> Error (Malformed "missing sequence number")
+      in
+      let* components =
+        match Cbor.find_map_entry value key_components with
+        | Some (Cbor.Array items) ->
+            List.fold_left
+              (fun acc item ->
+                let* acc = acc in
+                let* c = component_of_cbor item in
+                Ok (c :: acc))
+              (Ok []) items
+            |> Result.map List.rev
+        | _ -> Error (Malformed "missing components")
+      in
+      let text_field key =
+        match Cbor.find_map_entry value key with
+        | Some (Cbor.Text s) -> Some s
+        | Some _ | None -> None
+      in
+      if components = [] then Error (Malformed "no components")
+      else
+        Ok
+          {
+            sequence;
+            vendor_id = text_field key_vendor_id;
+            class_id = text_field key_class_id;
+            components;
+          }
+
+(* [sign t key] wraps the encoded manifest in a COSE_Sign1 envelope. *)
+let sign t key = Cose.sign key (encode t)
+
+(* --- device-side processor --- *)
+
+type device = {
+  key : Cose.key;
+  vendor_id : string; (* the device's immutable vendor identity *)
+  class_id : string; (* the hardware class identity *)
+  mutable sequence : int64; (* highest accepted sequence number *)
+  (* [install ~sequence ~storage_uuid payload] hands verified bytecode to
+     the hosting engine (and persistent storage); returns an error message
+     on attach failure. *)
+  install : sequence:int64 -> storage_uuid:string -> string -> (unit, string) result;
+  known_storage : string -> bool;
+  mutable accepted : int;
+  mutable rejected : int;
+}
+
+let create_device ?(vendor_id = "") ?(class_id = "") ~key ~install
+    ~known_storage () =
+  { key; vendor_id; class_id; sequence = 0L; install; known_storage;
+    accepted = 0; rejected = 0 }
+
+(* [process device ~envelope ~payloads] runs the full verification
+   pipeline.  [payloads] maps storage uuid -> downloaded payload bytes. *)
+let process device ~envelope ~payloads =
+  let reject e =
+    device.rejected <- device.rejected + 1;
+    Error e
+  in
+  match Cose.verify device.key envelope with
+  | Error e -> reject (Signature e)
+  | Ok manifest_bytes -> (
+      match decode manifest_bytes with
+      | Error e -> reject e
+      | Ok manifest ->
+          if Int64.compare manifest.sequence device.sequence <= 0 then
+            reject (Rollback { manifest = manifest.sequence; device = device.sequence })
+          else
+            (* identity conditions: a manifest built for another product or
+               hardware class must not install, even when correctly signed *)
+            match (manifest.vendor_id, manifest.class_id) with
+            | Some v, _ when v <> device.vendor_id ->
+                reject (Wrong_vendor { manifest = v; device = device.vendor_id })
+            | _, Some c when c <> device.class_id ->
+                reject (Wrong_class { manifest = c; device = device.class_id })
+            | _, _ ->
+            let verify_component acc component =
+              let* () = acc in
+              if not (device.known_storage component.storage_uuid) then
+                Error (Unknown_storage component.storage_uuid)
+              else
+                match List.assoc_opt component.storage_uuid payloads with
+                | None -> Error (Digest_mismatch component.storage_uuid)
+                | Some payload ->
+                    if
+                      String.length payload = component.size
+                      && Crypto.constant_time_equal (Crypto.sha256 payload)
+                           component.digest
+                    then Ok ()
+                    else Error (Digest_mismatch component.storage_uuid)
+            in
+            let all_verified =
+              List.fold_left verify_component (Ok ()) manifest.components
+            in
+            (match all_verified with
+            | Error e -> reject e
+            | Ok () -> (
+                (* install all components; first failure aborts *)
+                let install_component acc component =
+                  let* () = acc in
+                  let payload = List.assoc component.storage_uuid payloads in
+                  Result.map_error
+                    (fun m -> Install_failed m)
+                    (device.install ~sequence:manifest.sequence
+                       ~storage_uuid:component.storage_uuid payload)
+                in
+                match
+                  List.fold_left install_component (Ok ()) manifest.components
+                with
+                | Error e -> reject e
+                | Ok () ->
+                    device.sequence <- manifest.sequence;
+                    device.accepted <- device.accepted + 1;
+                    Ok manifest)))

@@ -1,0 +1,81 @@
+(** SUIT manifests and the device-side update processor (paper §5).
+
+    A CBOR manifest carries a monotonically increasing sequence number,
+    optional vendor/class identity conditions and, per component, the
+    storage-location UUID (the hook to attach to), the payload's SHA-256
+    digest and size.  The manifest travels inside a COSE_Sign1 envelope.
+    The device verifies signature, version, rollback, identity and digest
+    before handing bytecode to the hosting engine — which then runs its
+    own pre-flight verification. *)
+
+module Cbor = Femto_cbor.Cbor
+module Cose = Femto_cose.Cose
+
+type component = {
+  storage_uuid : string;  (** hook UUID, the manifest's storage location *)
+  digest : string;  (** SHA-256 of the payload *)
+  size : int;
+}
+
+type t = {
+  sequence : int64;
+  vendor_id : string option;  (** condition-vendor-identifier *)
+  class_id : string option;  (** condition-class-identifier *)
+  components : component list;
+}
+
+val make :
+  ?vendor_id:string -> ?class_id:string -> sequence:int64 -> component list -> t
+
+val component_for : storage_uuid:string -> string -> component
+(** Build a component entry (digest and size) for a payload. *)
+
+type error =
+  | Malformed of string
+  | Unsupported_version of int64
+  | Signature of Cose.error
+  | Rollback of { manifest : int64; device : int64 }
+  | Digest_mismatch of string
+  | Unknown_storage of string
+  | Wrong_vendor of { manifest : string; device : string }
+  | Wrong_class of { manifest : string; device : string }
+  | Install_failed of string
+
+val error_to_string : error -> string
+
+val to_cbor : t -> Cbor.t
+val encode : t -> string
+val decode : string -> (t, error) result
+
+val sign : t -> Cose.key -> string
+(** Serialized COSE_Sign1 envelope around the encoded manifest. *)
+
+(** {2 Device-side processor} *)
+
+type device = {
+  key : Cose.key;
+  vendor_id : string;
+  class_id : string;
+  mutable sequence : int64;  (** highest accepted sequence number *)
+  install :
+    sequence:int64 -> storage_uuid:string -> string -> (unit, string) result;
+  known_storage : string -> bool;
+  mutable accepted : int;
+  mutable rejected : int;
+}
+
+val create_device :
+  ?vendor_id:string ->
+  ?class_id:string ->
+  key:Cose.key ->
+  install:
+    (sequence:int64 -> storage_uuid:string -> string -> (unit, string) result) ->
+  known_storage:(string -> bool) ->
+  unit ->
+  device
+
+val process :
+  device -> envelope:string -> payloads:(string * string) list -> (t, error) result
+(** Run the full verification pipeline; [payloads] maps storage uuid to
+    downloaded payload bytes.  The sequence number only advances when
+    every component installed successfully. *)

@@ -1,0 +1,1 @@
+lib/vm/helper.ml: Hashtbl List Mem Option Printf

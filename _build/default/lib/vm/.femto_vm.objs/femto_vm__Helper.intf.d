@@ -1,0 +1,1 @@
+lib/vm/helper.mli: Mem

@@ -1,0 +1,1 @@
+lib/vm/interp.ml: Array Bytes Config Fault Femto_ebpf Helper Insn Int32 Int64 List Mem Opcode Program Region Sys

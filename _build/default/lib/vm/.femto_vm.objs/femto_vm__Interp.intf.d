@@ -1,0 +1,1 @@
+lib/vm/interp.mli: Config Fault Femto_ebpf Helper Mem Region

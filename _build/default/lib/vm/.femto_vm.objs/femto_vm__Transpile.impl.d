@@ -1,0 +1,1 @@
+lib/vm/transpile.ml: Array Bytes Config Fault Femto_ebpf Helper Insn Int32 Int64 Interp Mem Opcode Program Region Verifier

@@ -1,0 +1,1 @@
+lib/vm/transpile.mli: Config Fault Femto_ebpf Helper Region

@@ -1,0 +1,1 @@
+lib/vm/verifier.ml: Array Config Fault Femto_ebpf Helper Insn Int32 List Opcode Program Result

@@ -1,0 +1,1 @@
+lib/vm/verifier.mli: Config Fault Femto_ebpf Helper

@@ -1,0 +1,1 @@
+lib/vm/vm.ml: Config Fault Helper Interp Mem Region Verifier

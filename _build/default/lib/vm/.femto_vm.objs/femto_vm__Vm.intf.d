@@ -1,0 +1,1 @@
+lib/vm/vm.mli: Config Fault Femto_ebpf Helper Interp Mem Region Verifier

@@ -1,0 +1,27 @@
+(* VM configuration.
+
+   The defaults mirror the paper's implementation: a 512 B stack dictated
+   by the eBPF specification, and finite-execution budgets N_i (static
+   instruction count) and N_b (taken branches) so a single execution runs
+   at most N_i * N_b instructions. *)
+
+type t = {
+  stack_size : int;
+  stack_vaddr : int64; (* virtual address of the stack's first byte *)
+  max_insns : int; (* N_i: maximum program length in slots *)
+  max_branches : int; (* N_b: maximum taken branches per execution *)
+}
+
+let default =
+  {
+    stack_size = 512;
+    stack_vaddr = 0x1000_0000L;
+    max_insns = 4096;
+    max_branches = 8192;
+  }
+
+(* rBPF-compatible configuration: identical budgets; kept distinct so the
+   benchmark harness can label the two engines separately. *)
+let rbpf_compat = default
+
+let dynamic_instruction_limit t = t.max_insns * t.max_branches

@@ -1,0 +1,22 @@
+(** VM configuration.
+
+    Defaults mirror the paper's implementation: a 512 B stack (dictated by
+    the eBPF specification) and finite-execution budgets N_i (static
+    instruction count) and N_b (taken branches), bounding one execution to
+    at most N_i * N_b instructions. *)
+
+type t = {
+  stack_size : int;  (** bytes of VM stack (default 512) *)
+  stack_vaddr : int64;  (** virtual address of the stack's first byte *)
+  max_insns : int;  (** N_i: maximum program length in slots *)
+  max_branches : int;  (** N_b: maximum taken branches per execution *)
+}
+
+val default : t
+
+val rbpf_compat : t
+(** The plain-rBPF baseline configuration (identical budgets; kept
+    distinct so benchmarks can label the engines separately). *)
+
+val dynamic_instruction_limit : t -> int
+(** [max_insns * max_branches], the hard per-execution instruction cap. *)

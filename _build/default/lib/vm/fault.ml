@@ -1,0 +1,61 @@
+(* Faults a Femto-Container VM can raise.  Every fault aborts the current
+   execution and is reported to the hosting engine; the host OS and other
+   containers are unaffected (the paper's fault-isolation property). *)
+
+type t =
+  | Invalid_opcode of { pc : int; opcode : int }
+  | Invalid_register of { pc : int; reg : int }
+  | Readonly_register of { pc : int } (* write to r10 *)
+  | Bad_jump of { pc : int; target : int }
+  | Jump_to_lddw_tail of { pc : int; target : int }
+  | Truncated_lddw of { pc : int }
+  | Malformed_lddw_tail of { pc : int }
+  | Division_by_zero of { pc : int }
+  | Memory_access of { pc : int; addr : int64; size : int; write : bool }
+  | Unknown_helper of { pc : int; id : int }
+  | Helper_error of { pc : int; id : int; message : string }
+  | Instruction_budget_exhausted of { executed : int }
+  | Branch_budget_exhausted of { taken : int }
+  | Fall_off_end of { pc : int }
+  | Program_too_long of { len : int; max : int }
+  | Empty_program
+  | Nonzero_field of { pc : int; field : string }
+  | Bad_end_instruction of { pc : int }
+
+let to_string = function
+  | Invalid_opcode { pc; opcode } ->
+      Printf.sprintf "pc=%d: invalid opcode 0x%02x" pc opcode
+  | Invalid_register { pc; reg } ->
+      Printf.sprintf "pc=%d: register r%d out of range" pc reg
+  | Readonly_register { pc } ->
+      Printf.sprintf "pc=%d: write to read-only register r10" pc
+  | Bad_jump { pc; target } ->
+      Printf.sprintf "pc=%d: jump target %d outside program" pc target
+  | Jump_to_lddw_tail { pc; target } ->
+      Printf.sprintf "pc=%d: jump target %d lands inside an lddw pair" pc target
+  | Truncated_lddw { pc } -> Printf.sprintf "pc=%d: lddw misses its second slot" pc
+  | Malformed_lddw_tail { pc } ->
+      Printf.sprintf "pc=%d: malformed lddw second slot" pc
+  | Division_by_zero { pc } -> Printf.sprintf "pc=%d: division by zero" pc
+  | Memory_access { pc; addr; size; write } ->
+      Printf.sprintf "pc=%d: illegal %d-byte %s at 0x%Lx" pc size
+        (if write then "store" else "load")
+        addr
+  | Unknown_helper { pc; id } -> Printf.sprintf "pc=%d: unknown helper %d" pc id
+  | Helper_error { pc; id; message } ->
+      Printf.sprintf "pc=%d: helper %d failed: %s" pc id message
+  | Instruction_budget_exhausted { executed } ->
+      Printf.sprintf "instruction budget exhausted after %d instructions" executed
+  | Branch_budget_exhausted { taken } ->
+      Printf.sprintf "branch budget exhausted after %d taken branches" taken
+  | Fall_off_end { pc } ->
+      Printf.sprintf "pc=%d: execution fell off the end of the program" pc
+  | Program_too_long { len; max } ->
+      Printf.sprintf "program has %d slots, budget allows %d" len max
+  | Empty_program -> "empty program"
+  | Nonzero_field { pc; field } ->
+      Printf.sprintf "pc=%d: reserved field %s must be zero" pc field
+  | Bad_end_instruction { pc } ->
+      Printf.sprintf "pc=%d: program must end with exit or ja" pc
+
+let pp ppf fault = Format.pp_print_string ppf (to_string fault)

@@ -1,0 +1,30 @@
+(** Faults a Femto-Container VM can raise.
+
+    Every fault aborts the current execution only; the host OS and other
+    containers are unaffected — the paper's fault-isolation property. *)
+
+type t =
+  | Invalid_opcode of { pc : int; opcode : int }
+  | Invalid_register of { pc : int; reg : int }
+  | Readonly_register of { pc : int }  (** write to r10 *)
+  | Bad_jump of { pc : int; target : int }
+  | Jump_to_lddw_tail of { pc : int; target : int }
+  | Truncated_lddw of { pc : int }
+  | Malformed_lddw_tail of { pc : int }
+  | Division_by_zero of { pc : int }
+  | Memory_access of { pc : int; addr : int64; size : int; write : bool }
+      (** access outside the allow-list *)
+  | Unknown_helper of { pc : int; id : int }
+  | Helper_error of { pc : int; id : int; message : string }
+  | Instruction_budget_exhausted of { executed : int }
+  | Branch_budget_exhausted of { taken : int }
+  | Fall_off_end of { pc : int }
+  | Program_too_long of { len : int; max : int }
+  | Empty_program
+  | Nonzero_field of { pc : int; field : string }
+      (** reserved instruction field was not zero (pre-flight) *)
+  | Bad_end_instruction of { pc : int }
+      (** last instruction is not [exit] or [ja] (pre-flight) *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

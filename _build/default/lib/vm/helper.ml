@@ -1,0 +1,48 @@
+(* Helper (system call) registry.
+
+   Containers reach OS facilities only through helpers invoked with the
+   eBPF [call] instruction — the paper's "simple containerization"
+   interface.  A helper receives the five argument registers r1..r5 and the
+   container's memory map (so pointer arguments are checked against the
+   same allow-list as VM loads/stores), and returns the new r0. *)
+
+type args = { a1 : int64; a2 : int64; a3 : int64; a4 : int64; a5 : int64 }
+
+type fn = Mem.t -> args -> (int64, string) result
+
+type entry = {
+  id : int;
+  name : string;
+  cost_cycles : int; (* cycle-model cost charged per invocation *)
+  fn : fn;
+}
+
+type t = {
+  by_id : (int, entry) Hashtbl.t;
+  by_name : (string, entry) Hashtbl.t;
+}
+
+let create () = { by_id = Hashtbl.create 16; by_name = Hashtbl.create 16 }
+
+let register t ?(cost_cycles = 50) ~id ~name fn =
+  if Hashtbl.mem t.by_id id then
+    invalid_arg (Printf.sprintf "helper id %d already registered" id);
+  if Hashtbl.mem t.by_name name then
+    invalid_arg (Printf.sprintf "helper name %s already registered" name);
+  let entry = { id; name; cost_cycles; fn } in
+  Hashtbl.replace t.by_id id entry;
+  Hashtbl.replace t.by_name name entry
+
+let find t id = Hashtbl.find_opt t.by_id id
+let find_by_name t name = Hashtbl.find_opt t.by_name name
+let id_of_name t name = Option.map (fun e -> e.id) (find_by_name t name)
+let name_of_id t id = Option.map (fun e -> e.name) (find t id)
+let mem t id = Hashtbl.mem t.by_id id
+let count t = Hashtbl.length t.by_id
+
+(* Assembler plug: resolves `call <name>` mnemonics. *)
+let asm_resolver t name = id_of_name t name
+
+let iter t f =
+  let entries = Hashtbl.fold (fun _ e acc -> e :: acc) t.by_id [] in
+  List.iter f (List.sort (fun a b -> compare a.id b.id) entries)

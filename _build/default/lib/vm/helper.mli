@@ -1,0 +1,40 @@
+(** Helper (system call) registry.
+
+    Containers reach OS facilities only through helpers invoked with the
+    eBPF [call] instruction.  A helper receives the five argument
+    registers and the container's memory map, so pointer arguments are
+    checked against the same allow-list as VM loads and stores. *)
+
+type args = { a1 : int64; a2 : int64; a3 : int64; a4 : int64; a5 : int64 }
+(** The argument registers r1..r5 at the call site. *)
+
+type fn = Mem.t -> args -> (int64, string) result
+(** A helper body: returns the new r0, or an error message that faults
+    the calling container ({!Fault.Helper_error}). *)
+
+type entry = {
+  id : int;
+  name : string;
+  cost_cycles : int;  (** cycle-model cost charged per invocation *)
+  fn : fn;
+}
+
+type t
+
+val create : unit -> t
+
+val register : t -> ?cost_cycles:int -> id:int -> name:string -> fn -> unit
+(** Adds a helper; raises [Invalid_argument] on duplicate id or name. *)
+
+val find : t -> int -> entry option
+val find_by_name : t -> string -> entry option
+val id_of_name : t -> string -> int option
+val name_of_id : t -> int -> string option
+val mem : t -> int -> bool
+val count : t -> int
+
+val asm_resolver : t -> string -> int option
+(** Plug for {!Femto_ebpf.Asm.assemble}'s [~helpers] argument. *)
+
+val iter : t -> (entry -> unit) -> unit
+(** Iterate in increasing id order. *)

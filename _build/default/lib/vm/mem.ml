@@ -1,0 +1,76 @@
+(* Runtime memory-access checking against a container's allow-list.
+
+   Every load/store computed by the VM resolves its (possibly
+   register-computed) address against the list; an access that no region
+   permits aborts execution — Figure 4 of the paper. *)
+
+type t = { mutable regions : Region.t array }
+
+let create regions = { regions = Array.of_list regions }
+let regions t = Array.to_list t.regions
+let add_region t region = t.regions <- Array.append t.regions [| region |]
+
+let find t ~addr ~size ~write =
+  let n = Array.length t.regions in
+  let rec scan i =
+    if i >= n then None
+    else
+      let region = t.regions.(i) in
+      let allowed =
+        if write then Region.writable region.Region.perm
+        else Region.readable region.Region.perm
+      in
+      if allowed && Region.contains region addr size then Some region
+      else scan (i + 1)
+  in
+  scan 0
+
+(* Loads zero-extend to 64 bits, as eBPF LDX does. *)
+let load_raw data off size =
+  match size with
+  | 1 -> Int64.of_int (Bytes.get_uint8 data off)
+  | 2 -> Int64.of_int (Bytes.get_uint16_le data off)
+  | 4 -> Int64.logand (Int64.of_int32 (Bytes.get_int32_le data off)) 0xFFFF_FFFFL
+  | 8 -> Bytes.get_int64_le data off
+  | _ -> invalid_arg "Mem.load_raw: size"
+
+let store_raw data off size value =
+  match size with
+  | 1 -> Bytes.set_uint8 data off (Int64.to_int (Int64.logand value 0xFFL))
+  | 2 -> Bytes.set_uint16_le data off (Int64.to_int (Int64.logand value 0xFFFFL))
+  | 4 -> Bytes.set_int32_le data off (Int64.to_int32 value)
+  | 8 -> Bytes.set_int64_le data off value
+  | _ -> invalid_arg "Mem.store_raw: size"
+
+let load t ~addr ~size =
+  match find t ~addr ~size ~write:false with
+  | Some region -> Ok (load_raw region.Region.data (Region.offset_of region addr) size)
+  | None -> Error ()
+
+let store t ~addr ~size value =
+  match find t ~addr ~size ~write:true with
+  | Some region ->
+      store_raw region.Region.data (Region.offset_of region addr) size value;
+      Ok ()
+  | None -> Error ()
+
+(* Helper-facing accessors: helpers receive guest pointers as int64 and must
+   obey the same allow-list as VM instructions. *)
+
+let load_bytes t ~addr ~len =
+  if len = 0 then Ok Bytes.empty
+  else
+    match find t ~addr ~size:len ~write:false with
+    | Some region ->
+        Ok (Bytes.sub region.Region.data (Region.offset_of region addr) len)
+    | None -> Error ()
+
+let store_bytes t ~addr src =
+  let len = Bytes.length src in
+  if len = 0 then Ok ()
+  else
+    match find t ~addr ~size:len ~write:true with
+    | Some region ->
+        Bytes.blit src 0 region.Region.data (Region.offset_of region addr) len;
+        Ok ()
+    | None -> Error ()

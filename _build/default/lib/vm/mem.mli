@@ -1,0 +1,27 @@
+(** Runtime memory-access checks against a container's allow-list.
+
+    Every load/store computed by the VM — including register-computed
+    addresses — resolves against the region list; an access no region
+    permits aborts execution (Figure 4 of the paper). *)
+
+type t
+
+val create : Region.t list -> t
+val regions : t -> Region.t list
+val add_region : t -> Region.t -> unit
+
+val find : t -> addr:int64 -> size:int -> write:bool -> Region.t option
+(** First region permitting the access, scanning in list order. *)
+
+val load : t -> addr:int64 -> size:int -> (int64, unit) result
+(** Checked little-endian load of 1, 2, 4 or 8 bytes, zero-extended as
+    eBPF LDX requires.  [Error ()] when no region allows the read. *)
+
+val store : t -> addr:int64 -> size:int -> int64 -> (unit, unit) result
+(** Checked little-endian store (value truncated to [size]). *)
+
+val load_bytes : t -> addr:int64 -> len:int -> (bytes, unit) result
+(** Helper-facing bulk read obeying the same allow-list. *)
+
+val store_bytes : t -> addr:int64 -> bytes -> (unit, unit) result
+(** Helper-facing bulk write obeying the same allow-list. *)

@@ -1,0 +1,44 @@
+(* A memory region in a container's allow-list.
+
+   Each region maps a contiguous virtual address window onto a backing
+   [bytes] buffer, with independent read/write flags — the paper's
+   allow-list entries ("memory regions can have individual flags for
+   allowing read/write access"). *)
+
+type perm = Read_only | Write_only | Read_write
+
+let readable = function Read_only | Read_write -> true | Write_only -> false
+let writable = function Write_only | Read_write -> true | Read_only -> false
+
+let perm_to_string = function
+  | Read_only -> "r-"
+  | Write_only -> "-w"
+  | Read_write -> "rw"
+
+type t = {
+  name : string;
+  vaddr : int64; (* first valid virtual address *)
+  data : bytes; (* backing store; region length = Bytes.length data *)
+  perm : perm;
+}
+
+let make ~name ~vaddr ~perm data = { name; vaddr; data; perm }
+let length t = Bytes.length t.data
+
+(* [contains t addr size] holds when the [size]-byte access starting at
+   [addr] lies entirely within the region.  Addresses are compared as
+   unsigned 64-bit values; region lengths are small so overflow of
+   [addr + size] only happens for hostile addresses, which we reject. *)
+let contains t addr size =
+  let open Int64 in
+  let last = add addr (of_int (size - 1)) in
+  unsigned_compare addr t.vaddr >= 0
+  && unsigned_compare last addr >= 0 (* no wraparound *)
+  && unsigned_compare last (add t.vaddr (of_int (length t - 1))) <= 0
+  && length t > 0
+
+let offset_of t addr = Int64.to_int (Int64.sub addr t.vaddr)
+
+let pp ppf t =
+  Format.fprintf ppf "%s@0x%Lx+%d[%s]" t.name t.vaddr (length t)
+    (perm_to_string t.perm)

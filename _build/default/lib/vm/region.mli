@@ -1,0 +1,33 @@
+(** Memory regions of a container's allow-list.
+
+    Each region maps a contiguous virtual-address window onto a backing
+    [bytes] buffer with independent read/write permission — the entries
+    of the paper's per-container access lists. *)
+
+type perm = Read_only | Write_only | Read_write
+
+val readable : perm -> bool
+val writable : perm -> bool
+val perm_to_string : perm -> string
+
+type t = {
+  name : string;  (** for diagnostics *)
+  vaddr : int64;  (** first valid virtual address *)
+  data : bytes;  (** backing store; its length is the region length *)
+  perm : perm;
+}
+
+val make : name:string -> vaddr:int64 -> perm:perm -> bytes -> t
+
+val length : t -> int
+
+val contains : t -> int64 -> int -> bool
+(** [contains t addr size] holds when the [size]-byte access at [addr]
+    lies entirely inside the region (unsigned address comparison, no
+    wraparound). *)
+
+val offset_of : t -> int64 -> int
+(** Byte offset of [addr] into the backing buffer; only meaningful after
+    {!contains} succeeded. *)
+
+val pp : Format.formatter -> t -> unit

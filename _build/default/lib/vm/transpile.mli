@@ -1,0 +1,26 @@
+(** Install-time transpilation — the optimization the paper proposes in
+    §11 ("Install Time vs Execution Time"): convert the application once,
+    at install time, so execution no longer pays per-instruction
+    fetch/decode.
+
+    Each verified instruction is compiled to a closure over the VM state
+    (the host-language analogue of transpiling to native code).  All
+    defensive runtime checks are compiled into the closures, so the
+    isolation guarantees are identical to the interpreter's — asserted on
+    random programs by the test suite. *)
+
+type t
+
+val load :
+  ?config:Config.t ->
+  helpers:Helper.t ->
+  regions:Region.t list ->
+  Femto_ebpf.Program.t ->
+  (t, Fault.t) result
+(** Verify, then transpile.  The install-time cost is the point: a longer
+    cold start buys faster executions. *)
+
+val run : ?args:int64 array -> t -> (int64, Fault.t) result
+
+val insns_executed : t -> int
+(** Instructions executed by the most recent [run]. *)

@@ -1,0 +1,167 @@
+(* Pre-flight instruction checker.
+
+   Runs once, before a program is executed for the first time (paper §7,
+   "Pre-flight instruction checks").  After a program passes, the
+   interpreter can trust:
+     - every opcode decodes to a known instruction;
+     - register fields are in range and r10 is never written;
+     - every jump lands on a real instruction inside the program (never on
+       the second slot of an lddw pair);
+     - every lddw pair is complete and well formed;
+     - execution cannot fall off the end (last slot is exit or ja);
+     - reserved fields are zero (catches relocation/toolchain bugs and
+       removes hidden state from the bytecode);
+     - the program fits the static instruction budget N_i. *)
+
+open Femto_ebpf
+
+type ok = { insn_count : int; branch_count : int; call_ids : int list }
+
+let writes_dst = function
+  | Insn.Alu _ | Insn.Load _ | Insn.Lddw_head | Insn.End _ -> true
+  | Insn.Store_imm _ | Insn.Store_reg _ | Insn.Ja | Insn.Jcond _ | Insn.Call
+  | Insn.Exit | Insn.Lddw_tail | Insn.Invalid _ ->
+      false
+
+let is_branch = function
+  | Insn.Ja | Insn.Jcond _ -> true
+  | Insn.Alu _ | Insn.Load _ | Insn.Store_imm _ | Insn.Store_reg _
+  | Insn.Lddw_head | Insn.Lddw_tail | Insn.End _ | Insn.Call | Insn.Exit
+  | Insn.Invalid _ ->
+      false
+
+let check_registers pc (insn : Insn.t) kind =
+  if insn.dst > 10 then Error (Fault.Invalid_register { pc; reg = insn.dst })
+  else if insn.src > 10 then Error (Fault.Invalid_register { pc; reg = insn.src })
+  else if insn.dst = 10 && writes_dst kind then Error (Fault.Readonly_register { pc })
+  else Ok ()
+
+(* Reserved fields must be zero: offset on ALU/call/exit, src on
+   immediate-source forms, imm on register-source forms. *)
+let check_reserved pc (insn : Insn.t) kind =
+  let fail field = Error (Fault.Nonzero_field { pc; field }) in
+  match kind with
+  | Insn.Alu (_, _, Opcode.Src_imm) ->
+      if insn.offset <> 0 then fail "offset"
+      else if insn.src <> 0 then fail "src"
+      else Ok ()
+  | Insn.Alu (_, _, Opcode.Src_reg) ->
+      if insn.offset <> 0 then fail "offset"
+      else if insn.imm <> 0l then fail "imm"
+      else Ok ()
+  | Insn.Jcond (_, _, Opcode.Src_imm) -> if insn.src <> 0 then fail "src" else Ok ()
+  | Insn.Jcond (_, _, Opcode.Src_reg) -> if insn.imm <> 0l then fail "imm" else Ok ()
+  | Insn.Ja ->
+      if insn.dst <> 0 then fail "dst"
+      else if insn.src <> 0 then fail "src"
+      else if insn.imm <> 0l then fail "imm"
+      else Ok ()
+  | Insn.Call ->
+      if insn.dst <> 0 then fail "dst"
+      else if insn.src <> 0 then fail "src"
+      else if insn.offset <> 0 then fail "offset"
+      else Ok ()
+  | Insn.Exit ->
+      if insn.dst <> 0 then fail "dst"
+      else if insn.src <> 0 then fail "src"
+      else if insn.offset <> 0 then fail "offset"
+      else if insn.imm <> 0l then fail "imm"
+      else Ok ()
+  | Insn.End _ ->
+      if insn.offset <> 0 then fail "offset"
+      else if insn.src <> 0 then fail "src"
+      else if not (List.mem insn.imm [ 16l; 32l; 64l ]) then fail "end width"
+      else Ok ()
+  | Insn.Load _ -> if insn.imm <> 0l then fail "imm" else Ok ()
+  | Insn.Store_imm _ -> if insn.src <> 0 then fail "src" else Ok ()
+  | Insn.Store_reg _ -> if insn.imm <> 0l then fail "imm" else Ok ()
+  | Insn.Lddw_head -> if insn.offset <> 0 || insn.src <> 0 then fail "lddw head" else Ok ()
+  | Insn.Lddw_tail | Insn.Invalid _ -> Ok ()
+
+let ( let* ) = Result.bind
+
+(* [verify ?helpers config program] returns static counts on success or the
+   first fault found. *)
+let verify ?helpers (config : Config.t) program =
+  let len = Program.length program in
+  if len = 0 then Error Fault.Empty_program
+  else if len > config.max_insns then
+    Error (Fault.Program_too_long { len; max = config.max_insns })
+  else begin
+    (* First sweep: identify lddw tails so jump-target checks can refuse
+       them. *)
+    let is_tail = Array.make len false in
+    let rec mark pc =
+      if pc >= len then Ok ()
+      else
+        let insn = Program.get program pc in
+        match Insn.kind insn with
+        | Insn.Lddw_head ->
+            if pc + 1 >= len then Error (Fault.Truncated_lddw { pc })
+            else
+              let tail = Program.get program (pc + 1) in
+              if tail.Insn.opcode <> 0 || tail.Insn.dst <> 0 || tail.Insn.src <> 0
+                 || tail.Insn.offset <> 0
+              then Error (Fault.Malformed_lddw_tail { pc = pc + 1 })
+              else begin
+                is_tail.(pc + 1) <- true;
+                mark (pc + 2)
+              end
+        | _ -> mark (pc + 1)
+    in
+    let* () = mark 0 in
+    let branch_count = ref 0 in
+    let call_ids = ref [] in
+    let check_jump pc offset =
+      let target = pc + 1 + offset in
+      if target < 0 || target >= len then Error (Fault.Bad_jump { pc; target })
+      else if is_tail.(target) then Error (Fault.Jump_to_lddw_tail { pc; target })
+      else Ok ()
+    in
+    let rec check pc =
+      if pc >= len then Ok ()
+      else if is_tail.(pc) then check (pc + 1)
+      else
+        let insn = Program.get program pc in
+        let kind = Insn.kind insn in
+        let* () =
+          match kind with
+          | Insn.Invalid opcode -> Error (Fault.Invalid_opcode { pc; opcode })
+          | _ -> Ok ()
+        in
+        let* () = check_registers pc insn kind in
+        let* () = check_reserved pc insn kind in
+        let* () =
+          match kind with
+          | Insn.Ja | Insn.Jcond _ ->
+              incr branch_count;
+              check_jump pc insn.offset
+          | Insn.Call -> (
+              let id = Int32.to_int insn.imm in
+              call_ids := id :: !call_ids;
+              match helpers with
+              | None -> Ok ()
+              | Some registry ->
+                  if Helper.mem registry id then Ok ()
+                  else Error (Fault.Unknown_helper { pc; id }))
+          | _ -> Ok ()
+        in
+        check (pc + 1)
+    in
+    let* () = check 0 in
+    (* No fall-through past the end: the last executable slot must be exit
+       or an unconditional jump. *)
+    let last = len - 1 in
+    let last_exec = if is_tail.(last) then last - 1 else last in
+    let* () =
+      match Insn.kind (Program.get program last_exec) with
+      | Insn.Exit | Insn.Ja -> Ok ()
+      | _ -> Error (Fault.Bad_end_instruction { pc = last_exec })
+    in
+    Ok
+      {
+        insn_count = len;
+        branch_count = !branch_count;
+        call_ids = List.rev !call_ids;
+      }
+  end

@@ -1,0 +1,38 @@
+(* Facade for the Femto-Container virtual machine.
+
+   Typical use:
+
+     let helpers = Vm.Helper.create () in
+     let program = Femto_ebpf.Asm.assemble source in
+     match Vm.load ~helpers ~regions program with
+     | Error fault -> ...
+     | Ok vm -> Vm.run vm ~args:[| ctx_ptr |] *)
+
+module Fault = Fault
+module Region = Region
+module Mem = Mem
+module Helper = Helper
+module Config = Config
+module Verifier = Verifier
+module Interp = Interp
+
+type t = Interp.t
+
+(* [load] verifies then pre-decodes; a program that fails pre-flight checks
+   is never instantiated. *)
+let load ?(config = Config.default) ?cycle_cost ~helpers ~regions program =
+  match Verifier.verify ~helpers config program with
+  | Error fault -> Error fault
+  | Ok (_ : Verifier.ok) ->
+      Ok (Interp.create ~config ?cycle_cost ~helpers ~regions program)
+
+(* [load_unverified] skips pre-flight checks; used by tests and benchmarks
+   to demonstrate that the interpreter's defensive checks still hold. *)
+let load_unverified ?(config = Config.default) ?cycle_cost ~helpers ~regions
+    program =
+  Interp.create ~config ?cycle_cost ~helpers ~regions program
+
+let run = Interp.run
+let stats = Interp.stats
+let mem = Interp.mem
+let registers = Interp.registers

@@ -1,0 +1,46 @@
+(** Facade for the Femto-Container virtual machine.
+
+    {[
+      let helpers = Vm.Helper.create () in
+      let program = Femto_ebpf.Asm.assemble source in
+      match Vm.load ~helpers ~regions program with
+      | Error fault -> ...
+      | Ok vm -> Vm.run vm ~args:[| ctx_ptr |]
+    ]} *)
+
+module Fault = Fault
+module Region = Region
+module Mem = Mem
+module Helper = Helper
+module Config = Config
+module Verifier = Verifier
+module Interp = Interp
+
+type t = Interp.t
+
+val load :
+  ?config:Config.t ->
+  ?cycle_cost:(Femto_ebpf.Insn.kind -> int) ->
+  helpers:Helper.t ->
+  regions:Region.t list ->
+  Femto_ebpf.Program.t ->
+  (t, Fault.t) result
+(** Verify then pre-decode; a program that fails pre-flight checks is
+    never instantiated.  [cycle_cost] plugs a platform cycle model in. *)
+
+val load_unverified :
+  ?config:Config.t ->
+  ?cycle_cost:(Femto_ebpf.Insn.kind -> int) ->
+  helpers:Helper.t ->
+  regions:Region.t list ->
+  Femto_ebpf.Program.t ->
+  t
+(** Skip pre-flight checks (tests/benchmarks only): the interpreter's
+    defensive checks still contain any fault. *)
+
+val run : ?args:int64 array -> t -> (int64, Fault.t) result
+(** Execute from slot 0 with r1..r5 preloaded from [args]; returns r0. *)
+
+val stats : t -> Interp.stats
+val mem : t -> Mem.t
+val registers : t -> int64 array

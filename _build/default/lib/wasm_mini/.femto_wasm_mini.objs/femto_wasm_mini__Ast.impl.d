@@ -1,0 +1,1 @@
+lib/wasm_mini/ast.ml:

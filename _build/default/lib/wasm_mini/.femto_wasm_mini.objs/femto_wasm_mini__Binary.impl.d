@@ -1,0 +1,1 @@
+lib/wasm_mini/binary.ml: Array Ast Buffer Char Format Int32 Int64 List String

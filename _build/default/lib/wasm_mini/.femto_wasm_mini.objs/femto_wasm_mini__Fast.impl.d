@@ -1,0 +1,1 @@
+lib/wasm_mini/fast.ml: Array Ast Bytes Flatten Int32 Int64 Interp List String

@@ -1,0 +1,1 @@
+lib/wasm_mini/flatten.ml: Array Ast Int64 List

@@ -1,0 +1,1 @@
+lib/wasm_mini/interp.ml: Array Ast Bytes Int32 Int64 List Printf String

@@ -1,0 +1,1 @@
+lib/wasm_mini/samples.ml: Ast Binary Bytes Int32 Int64 Interp

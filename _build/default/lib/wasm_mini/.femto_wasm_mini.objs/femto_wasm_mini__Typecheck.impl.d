@@ -1,0 +1,1 @@
+lib/wasm_mini/typecheck.ml: Array Ast Format List Result

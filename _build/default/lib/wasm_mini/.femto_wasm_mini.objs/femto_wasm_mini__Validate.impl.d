@@ -1,0 +1,1 @@
+lib/wasm_mini/validate.ml: Array Ast Format List Printf Result String

@@ -1,0 +1,1 @@
+lib/wasm_mini/validate.mli: Ast

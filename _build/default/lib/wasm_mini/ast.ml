@@ -1,0 +1,105 @@
+(* Abstract syntax of the WebAssembly subset implemented by wasm_mini.
+
+   This baseline reproduces the architecture of WASM3 in the paper's §6
+   micro-benchmarks: a stack machine with structured control flow and a
+   linear memory in 64 KiB pages — the page granularity being exactly what
+   drives WASM's large RAM footprint in Table 1. *)
+
+type value_type = I32 | I64
+
+type value = V_i32 of int32 | V_i64 of int64
+
+let type_of_value = function V_i32 _ -> I32 | V_i64 _ -> I64
+
+let value_type_code = function I32 -> 0x7f | I64 -> 0x7e
+
+let value_type_of_code = function
+  | 0x7f -> Some I32
+  | 0x7e -> Some I64
+  | _ -> None
+
+type ibinop =
+  | Add
+  | Sub
+  | Mul
+  | Div_u
+  | Div_s
+  | Rem_u
+  | And
+  | Or
+  | Xor
+  | Shl
+  | Shr_u
+  | Shr_s
+  | Rotl
+  | Rotr
+
+type iunop = Clz | Ctz | Popcnt
+
+type irelop = Eq | Ne | Lt_u | Lt_s | Gt_u | Gt_s | Le_u | Le_s | Ge_u | Ge_s
+
+type instr =
+  | Unreachable
+  | Nop
+  | Block of instr list
+  | Loop of instr list
+  | If of instr list * instr list
+  | Br of int
+  | Br_if of int
+  | Return
+  | Call of int
+  | Drop
+  | Local_get of int
+  | Local_set of int
+  | Local_tee of int
+  | Global_get of int
+  | Global_set of int
+  | I32_const of int32
+  | I64_const of int64
+  | Binop of value_type * ibinop
+  | Unop of value_type * iunop
+  | Relop of value_type * irelop (* pushes i32 0/1 *)
+  | I32_eqz
+  | I64_eqz
+  | I32_wrap_i64
+  | I64_extend_i32_u
+  | I32_load of int (* static offset *)
+  | I64_load of int
+  | I32_load8_u of int
+  | I32_load16_u of int
+  | I32_store of int
+  | I64_store of int
+  | I32_store8 of int
+  | I32_store16 of int
+  | Memory_size
+  | Memory_grow
+
+type func_type = { params : value_type list; results : value_type list }
+
+type func = {
+  ftype : func_type;
+  locals : value_type list; (* additional locals beyond params *)
+  body : instr list;
+}
+
+type export = { name : string; func_index : int }
+
+type global = { gtype : value_type; mutable_ : bool; init : int64 }
+
+(* A data segment initializing linear memory at instantiation. *)
+type data_segment = { offset : int; bytes : string }
+
+type modul = {
+  types : func_type array;
+  funcs : func array; (* funcs.(i).ftype must appear in types *)
+  memory_pages : int; (* minimum pages; 0 = no memory *)
+  globals : global array;
+  data : data_segment list;
+  exports : export list;
+}
+
+let empty_module =
+  { types = [||]; funcs = [||]; memory_pages = 0; globals = [||]; data = [];
+    exports = [] }
+
+let page_size = 65536

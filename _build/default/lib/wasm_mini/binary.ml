@@ -1,0 +1,511 @@
+(* WebAssembly binary format (subset) encoder/decoder.
+
+   Real wasm framing — magic, version, LEB128, sections 1/3/5/7/10 — so
+   that the baseline's cold-start cost includes genuine decode work, as
+   WASM3's does. *)
+
+open Ast
+
+exception Format_error of string
+
+let format_error fmt = Format.kasprintf (fun m -> raise (Format_error m)) fmt
+
+(* --- LEB128 --- *)
+
+let add_u32 buf v =
+  let rec loop v =
+    let byte = v land 0x7f in
+    let rest = v lsr 7 in
+    if rest = 0 then Buffer.add_char buf (Char.chr byte)
+    else begin
+      Buffer.add_char buf (Char.chr (byte lor 0x80));
+      loop rest
+    end
+  in
+  if v < 0 then invalid_arg "add_u32: negative";
+  loop v
+
+let add_s64 buf v =
+  let rec loop v =
+    let byte = Int64.to_int (Int64.logand v 0x7fL) in
+    let rest = Int64.shift_right v 7 in
+    let sign_clear = Int64.equal rest 0L && byte land 0x40 = 0 in
+    let sign_set = Int64.equal rest (-1L) && byte land 0x40 <> 0 in
+    if sign_clear || sign_set then Buffer.add_char buf (Char.chr byte)
+    else begin
+      Buffer.add_char buf (Char.chr (byte lor 0x80));
+      loop rest
+    end
+  in
+  loop v
+
+let add_s32 buf (v : int32) = add_s64 buf (Int64.of_int32 v)
+
+type reader = { data : string; mutable pos : int }
+
+let byte r =
+  if r.pos >= String.length r.data then format_error "truncated at %d" r.pos
+  else begin
+    let c = Char.code r.data.[r.pos] in
+    r.pos <- r.pos + 1;
+    c
+  end
+
+let read_u32 r =
+  let rec loop shift acc =
+    if shift > 35 then format_error "u32 LEB too long";
+    let b = byte r in
+    let acc = acc lor ((b land 0x7f) lsl shift) in
+    if b land 0x80 = 0 then acc else loop (shift + 7) acc
+  in
+  loop 0 0
+
+let read_s64 r =
+  let rec loop shift acc =
+    if shift > 70 then format_error "s64 LEB too long";
+    let b = byte r in
+    let acc = Int64.logor acc (Int64.shift_left (Int64.of_int (b land 0x7f)) shift) in
+    if b land 0x80 = 0 then
+      if shift + 7 < 64 && b land 0x40 <> 0 then
+        Int64.logor acc (Int64.shift_left (-1L) (shift + 7))
+      else acc
+    else loop (shift + 7) acc
+  in
+  loop 0 0L
+
+let read_s32 r = Int64.to_int32 (read_s64 r)
+
+(* --- instruction opcodes --- *)
+
+let encode_instr buf instr =
+  let rec go instr =
+    let op c = Buffer.add_char buf (Char.chr c) in
+    match instr with
+    | Unreachable -> op 0x00
+    | Nop -> op 0x01
+    | Block body ->
+        op 0x02;
+        op 0x40 (* empty block type *);
+        List.iter go body;
+        op 0x0b
+    | Loop body ->
+        op 0x03;
+        op 0x40;
+        List.iter go body;
+        op 0x0b
+    | If (then_, else_) ->
+        op 0x04;
+        op 0x40;
+        List.iter go then_;
+        if else_ <> [] then begin
+          op 0x05;
+          List.iter go else_
+        end;
+        op 0x0b
+    | Br depth -> op 0x0c; add_u32 buf depth
+    | Br_if depth -> op 0x0d; add_u32 buf depth
+    | Return -> op 0x0f
+    | Call f -> op 0x10; add_u32 buf f
+    | Drop -> op 0x1a
+    | Local_get i -> op 0x20; add_u32 buf i
+    | Local_set i -> op 0x21; add_u32 buf i
+    | Local_tee i -> op 0x22; add_u32 buf i
+    | Global_get i -> op 0x23; add_u32 buf i
+    | Global_set i -> op 0x24; add_u32 buf i
+    | I32_load off -> op 0x28; add_u32 buf 2; add_u32 buf off
+    | I64_load off -> op 0x29; add_u32 buf 3; add_u32 buf off
+    | I32_load8_u off -> op 0x2d; add_u32 buf 0; add_u32 buf off
+    | I32_load16_u off -> op 0x2f; add_u32 buf 1; add_u32 buf off
+    | I32_store off -> op 0x36; add_u32 buf 2; add_u32 buf off
+    | I64_store off -> op 0x37; add_u32 buf 3; add_u32 buf off
+    | I32_store8 off -> op 0x3a; add_u32 buf 0; add_u32 buf off
+    | I32_store16 off -> op 0x3b; add_u32 buf 1; add_u32 buf off
+    | Memory_size -> op 0x3f; op 0x00
+    | Memory_grow -> op 0x40; op 0x00
+    | I32_const v -> op 0x41; add_s32 buf v
+    | I64_const v -> op 0x42; add_s64 buf v
+    | I32_eqz -> op 0x45
+    | I64_eqz -> op 0x50
+    | Relop (I32, rel) ->
+        op
+          (match rel with
+          | Eq -> 0x46 | Ne -> 0x47 | Lt_s -> 0x48 | Lt_u -> 0x49
+          | Gt_s -> 0x4a | Gt_u -> 0x4b | Le_s -> 0x4c | Le_u -> 0x4d
+          | Ge_s -> 0x4e | Ge_u -> 0x4f)
+    | Relop (I64, rel) ->
+        op
+          (match rel with
+          | Eq -> 0x51 | Ne -> 0x52 | Lt_s -> 0x53 | Lt_u -> 0x54
+          | Gt_s -> 0x55 | Gt_u -> 0x56 | Le_s -> 0x57 | Le_u -> 0x58
+          | Ge_s -> 0x59 | Ge_u -> 0x5a)
+    | Binop (I32, bin) ->
+        op
+          (match bin with
+          | Add -> 0x6a | Sub -> 0x6b | Mul -> 0x6c | Div_s -> 0x6d
+          | Div_u -> 0x6e | Rem_u -> 0x70 | And -> 0x71 | Or -> 0x72
+          | Xor -> 0x73 | Shl -> 0x74 | Shr_s -> 0x75 | Shr_u -> 0x76
+          | Rotl -> 0x77 | Rotr -> 0x78)
+    | Binop (I64, bin) ->
+        op
+          (match bin with
+          | Add -> 0x7c | Sub -> 0x7d | Mul -> 0x7e | Div_s -> 0x7f
+          | Div_u -> 0x80 | Rem_u -> 0x82 | And -> 0x83 | Or -> 0x84
+          | Xor -> 0x85 | Shl -> 0x86 | Shr_s -> 0x87 | Shr_u -> 0x88
+          | Rotl -> 0x89 | Rotr -> 0x8a)
+    | Unop (I32, un) ->
+        op (match un with Clz -> 0x67 | Ctz -> 0x68 | Popcnt -> 0x69)
+    | Unop (I64, un) ->
+        op (match un with Clz -> 0x79 | Ctz -> 0x7a | Popcnt -> 0x7b)
+    | I32_wrap_i64 -> op 0xa7
+    | I64_extend_i32_u -> op 0xad
+  in
+  go instr
+
+let rec decode_instrs r ~stop_on_else =
+  let instrs = ref [] in
+  let push i = instrs := i :: !instrs in
+  let rec loop () =
+    let op = byte r in
+    match op with
+    | 0x0b -> `End
+    | 0x05 when stop_on_else -> `Else
+    | _ ->
+        (match op with
+        | 0x00 -> push Unreachable
+        | 0x01 -> push Nop
+        | 0x02 ->
+            expect_blocktype r;
+            let body = decode_block r in
+            push (Block body)
+        | 0x03 ->
+            expect_blocktype r;
+            let body = decode_block r in
+            push (Loop body)
+        | 0x04 ->
+            expect_blocktype r;
+            let then_, has_else = decode_then r in
+            let else_ = if has_else then decode_block r else [] in
+            push (If (then_, else_))
+        | 0x0c -> push (Br (read_u32 r))
+        | 0x0d -> push (Br_if (read_u32 r))
+        | 0x0f -> push Return
+        | 0x10 -> push (Call (read_u32 r))
+        | 0x1a -> push Drop
+        | 0x20 -> push (Local_get (read_u32 r))
+        | 0x21 -> push (Local_set (read_u32 r))
+        | 0x22 -> push (Local_tee (read_u32 r))
+        | 0x23 -> push (Global_get (read_u32 r))
+        | 0x24 -> push (Global_set (read_u32 r))
+        | 0x28 -> ignore (read_u32 r); push (I32_load (read_u32 r))
+        | 0x29 -> ignore (read_u32 r); push (I64_load (read_u32 r))
+        | 0x2d -> ignore (read_u32 r); push (I32_load8_u (read_u32 r))
+        | 0x2f -> ignore (read_u32 r); push (I32_load16_u (read_u32 r))
+        | 0x36 -> ignore (read_u32 r); push (I32_store (read_u32 r))
+        | 0x37 -> ignore (read_u32 r); push (I64_store (read_u32 r))
+        | 0x3a -> ignore (read_u32 r); push (I32_store8 (read_u32 r))
+        | 0x3b -> ignore (read_u32 r); push (I32_store16 (read_u32 r))
+        | 0x3f -> ignore (byte r); push Memory_size
+        | 0x40 -> ignore (byte r); push Memory_grow
+        | 0x41 -> push (I32_const (read_s32 r))
+        | 0x42 -> push (I64_const (read_s64 r))
+        | 0x45 -> push I32_eqz
+        | 0x50 -> push I64_eqz
+        | op when op >= 0x46 && op <= 0x4f ->
+            let rel =
+              match op with
+              | 0x46 -> Eq | 0x47 -> Ne | 0x48 -> Lt_s | 0x49 -> Lt_u
+              | 0x4a -> Gt_s | 0x4b -> Gt_u | 0x4c -> Le_s | 0x4d -> Le_u
+              | 0x4e -> Ge_s | _ -> Ge_u
+            in
+            push (Relop (I32, rel))
+        | op when op >= 0x51 && op <= 0x5a ->
+            let rel =
+              match op with
+              | 0x51 -> Eq | 0x52 -> Ne | 0x53 -> Lt_s | 0x54 -> Lt_u
+              | 0x55 -> Gt_s | 0x56 -> Gt_u | 0x57 -> Le_s | 0x58 -> Le_u
+              | 0x59 -> Ge_s | _ -> Ge_u
+            in
+            push (Relop (I64, rel))
+        | 0x67 -> push (Unop (I32, Clz))
+        | 0x68 -> push (Unop (I32, Ctz))
+        | 0x69 -> push (Unop (I32, Popcnt))
+        | 0x79 -> push (Unop (I64, Clz))
+        | 0x7a -> push (Unop (I64, Ctz))
+        | 0x7b -> push (Unop (I64, Popcnt))
+        | op when op >= 0x6a && op <= 0x78 && op <> 0x6f ->
+            let bin =
+              match op with
+              | 0x6a -> Add | 0x6b -> Sub | 0x6c -> Mul | 0x6d -> Div_s
+              | 0x6e -> Div_u | 0x70 -> Rem_u | 0x71 -> And | 0x72 -> Or
+              | 0x73 -> Xor | 0x74 -> Shl | 0x75 -> Shr_s | 0x76 -> Shr_u
+              | 0x77 -> Rotl | 0x78 -> Rotr
+              | _ -> format_error "unhandled i32 binop 0x%02x" op
+            in
+            push (Binop (I32, bin))
+        | op when op >= 0x7c && op <= 0x8a && op <> 0x81 ->
+            let bin =
+              match op with
+              | 0x7c -> Add | 0x7d -> Sub | 0x7e -> Mul | 0x7f -> Div_s
+              | 0x80 -> Div_u | 0x82 -> Rem_u | 0x83 -> And | 0x84 -> Or
+              | 0x85 -> Xor | 0x86 -> Shl | 0x87 -> Shr_s | 0x88 -> Shr_u
+              | 0x89 -> Rotl | 0x8a -> Rotr
+              | _ -> format_error "unhandled i64 binop 0x%02x" op
+            in
+            push (Binop (I64, bin))
+        | 0xa7 -> push I32_wrap_i64
+        | 0xad -> push I64_extend_i32_u
+        | op -> format_error "unknown opcode 0x%02x" op);
+        loop ()
+  in
+  let terminator = loop () in
+  (List.rev !instrs, terminator)
+
+and expect_blocktype r =
+  let bt = byte r in
+  if bt <> 0x40 then format_error "only empty block types are supported"
+
+and decode_block r =
+  let instrs, _ = decode_instrs r ~stop_on_else:false in
+  instrs
+
+and decode_then r =
+  let instrs, terminator = decode_instrs r ~stop_on_else:true in
+  (instrs, terminator = `Else)
+
+(* --- module encoding --- *)
+
+let add_section buf id body =
+  Buffer.add_char buf (Char.chr id);
+  add_u32 buf (String.length body);
+  Buffer.add_string buf body
+
+let encode_func_type buf (ft : func_type) =
+  Buffer.add_char buf '\x60';
+  add_u32 buf (List.length ft.params);
+  List.iter (fun t -> Buffer.add_char buf (Char.chr (value_type_code t))) ft.params;
+  add_u32 buf (List.length ft.results);
+  List.iter (fun t -> Buffer.add_char buf (Char.chr (value_type_code t))) ft.results
+
+let encode (m : modul) =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "\x00asm\x01\x00\x00\x00";
+  (* type section *)
+  let types = Buffer.create 64 in
+  add_u32 types (Array.length m.types);
+  Array.iter (encode_func_type types) m.types;
+  add_section buf 1 (Buffer.contents types);
+  (* function section: type index per function *)
+  let type_index ft =
+    let found = ref (-1) in
+    Array.iteri (fun i t -> if !found < 0 && t = ft then found := i) m.types;
+    if !found < 0 then invalid_arg "encode: function type not in type table";
+    !found
+  in
+  let funcs = Buffer.create 16 in
+  add_u32 funcs (Array.length m.funcs);
+  Array.iter (fun f -> add_u32 funcs (type_index f.ftype)) m.funcs;
+  add_section buf 3 (Buffer.contents funcs);
+  (* memory section *)
+  if m.memory_pages > 0 then begin
+    let mem = Buffer.create 8 in
+    add_u32 mem 1;
+    Buffer.add_char mem '\x00' (* min only *);
+    add_u32 mem m.memory_pages;
+    add_section buf 5 (Buffer.contents mem)
+  end;
+  (* global section *)
+  if Array.length m.globals > 0 then begin
+    let globals = Buffer.create 32 in
+    add_u32 globals (Array.length m.globals);
+    Array.iter
+      (fun g ->
+        Buffer.add_char globals (Char.chr (value_type_code g.gtype));
+        Buffer.add_char globals (if g.mutable_ then '\x01' else '\x00');
+        (match g.gtype with
+        | I32 -> encode_instr globals (I32_const (Int64.to_int32 g.init))
+        | I64 -> encode_instr globals (I64_const g.init));
+        Buffer.add_char globals '\x0b')
+      m.globals;
+    add_section buf 6 (Buffer.contents globals)
+  end;
+  (* export section *)
+  let exports = Buffer.create 32 in
+  add_u32 exports (List.length m.exports);
+  List.iter
+    (fun e ->
+      add_u32 exports (String.length e.name);
+      Buffer.add_string exports e.name;
+      Buffer.add_char exports '\x00' (* func export *);
+      add_u32 exports e.func_index)
+    m.exports;
+  add_section buf 7 (Buffer.contents exports);
+  (* code section *)
+  let code = Buffer.create 256 in
+  add_u32 code (Array.length m.funcs);
+  Array.iter
+    (fun f ->
+      let body = Buffer.create 64 in
+      (* locals: one run per type, compressed *)
+      let rec runs = function
+        | [] -> []
+        | t :: rest ->
+            let same, others = List.partition (fun u -> u = t) rest in
+            (List.length same + 1, t) :: runs others
+      in
+      let local_runs = runs f.locals in
+      add_u32 body (List.length local_runs);
+      List.iter
+        (fun (count, t) ->
+          add_u32 body count;
+          Buffer.add_char body (Char.chr (value_type_code t)))
+        local_runs;
+      List.iter (encode_instr body) f.body;
+      Buffer.add_char body '\x0b';
+      add_u32 code (Buffer.length body);
+      Buffer.add_buffer code body)
+    m.funcs;
+  add_section buf 10 (Buffer.contents code);
+  (* data section *)
+  if m.data <> [] then begin
+    let data = Buffer.create 64 in
+    add_u32 data (List.length m.data);
+    List.iter
+      (fun seg ->
+        add_u32 data 0 (* memory index *);
+        encode_instr data (I32_const (Int32.of_int seg.offset));
+        Buffer.add_char data '\x0b';
+        add_u32 data (String.length seg.bytes);
+        Buffer.add_string data seg.bytes)
+      m.data;
+    add_section buf 11 (Buffer.contents data)
+  end;
+  Buffer.contents buf
+
+(* --- module decoding --- *)
+
+let decode data =
+  let r = { data; pos = 0 } in
+  if String.length data < 8 then format_error "too short for a module";
+  if String.sub data 0 4 <> "\x00asm" then format_error "bad magic";
+  r.pos <- 4;
+  let version = read_u32 r in
+  ignore (byte r);
+  ignore (byte r);
+  ignore (byte r);
+  if version land 0xff <> 1 then format_error "unsupported version";
+  let types = ref [||] in
+  let func_type_indices = ref [||] in
+  let memory_pages = ref 0 in
+  let globals = ref [||] in
+  let data_segments = ref [] in
+  let exports = ref [] in
+  let bodies = ref [||] in
+  while r.pos < String.length data do
+    let id = byte r in
+    let size = read_u32 r in
+    let section_end = r.pos + size in
+    (match id with
+    | 1 ->
+        let count = read_u32 r in
+        types :=
+          Array.init count (fun _ ->
+              if byte r <> 0x60 then format_error "expected func type";
+              let nparams = read_u32 r in
+              let params =
+                List.init nparams (fun _ ->
+                    match value_type_of_code (byte r) with
+                    | Some t -> t
+                    | None -> format_error "bad value type")
+              in
+              let nresults = read_u32 r in
+              let results =
+                List.init nresults (fun _ ->
+                    match value_type_of_code (byte r) with
+                    | Some t -> t
+                    | None -> format_error "bad value type")
+              in
+              { params; results })
+    | 3 ->
+        let count = read_u32 r in
+        func_type_indices := Array.init count (fun _ -> read_u32 r)
+    | 5 ->
+        let count = read_u32 r in
+        if count > 1 then format_error "at most one memory";
+        if count = 1 then begin
+          let flags = byte r in
+          memory_pages := read_u32 r;
+          if flags land 1 = 1 then ignore (read_u32 r)
+        end
+    | 6 ->
+        let count = read_u32 r in
+        globals :=
+          Array.init count (fun _ ->
+              let gtype =
+                match value_type_of_code (byte r) with
+                | Some t -> t
+                | None -> format_error "bad global type"
+              in
+              let mutable_ = byte r = 1 in
+              let init =
+                match decode_block r with
+                | [ I32_const v ] -> Int64.logand (Int64.of_int32 v) 0xFFFF_FFFFL
+                | [ I64_const v ] -> v
+                | _ -> format_error "unsupported global initializer"
+              in
+              { gtype; mutable_; init })
+    | 11 ->
+        let count = read_u32 r in
+        for _ = 1 to count do
+          let memidx = read_u32 r in
+          if memidx <> 0 then format_error "bad data memory index";
+          let offset =
+            match decode_block r with
+            | [ I32_const v ] -> Int32.to_int v
+            | _ -> format_error "unsupported data offset expression"
+          in
+          let len = read_u32 r in
+          let bytes = String.init len (fun _ -> Char.chr (byte r)) in
+          data_segments := { offset; bytes } :: !data_segments
+        done
+    | 7 ->
+        let count = read_u32 r in
+        for _ = 1 to count do
+          let len = read_u32 r in
+          let name =
+            String.init len (fun _ -> Char.chr (byte r))
+          in
+          let kind = byte r in
+          let index = read_u32 r in
+          if kind = 0 then exports := { name; func_index = index } :: !exports
+        done
+    | 10 ->
+        let count = read_u32 r in
+        bodies :=
+          Array.init count (fun _ ->
+              let _body_size = read_u32 r in
+              let nruns = read_u32 r in
+              let locals =
+                List.concat
+                  (List.init nruns (fun _ ->
+                       let n = read_u32 r in
+                       match value_type_of_code (byte r) with
+                       | Some t -> List.init n (fun _ -> t)
+                       | None -> format_error "bad local type"))
+              in
+              let body = decode_block r in
+              (locals, body))
+    | _ -> r.pos <- section_end (* skip unknown sections *));
+    if r.pos <> section_end then format_error "section %d size mismatch" id
+  done;
+  let types = !types in
+  if Array.length !func_type_indices <> Array.length !bodies then
+    format_error "function/code section mismatch";
+  let funcs =
+    Array.map2
+      (fun type_index (locals, body) ->
+        if type_index >= Array.length types then format_error "bad type index";
+        { ftype = types.(type_index); locals; body })
+      !func_type_indices !bodies
+  in
+  { types; funcs; memory_pages = !memory_pages; globals = !globals;
+    data = List.rev !data_segments; exports = List.rev !exports }

@@ -1,0 +1,11 @@
+(** WebAssembly binary format (subset) encoder/decoder.
+
+    Real wasm framing — magic, version, LEB128, sections 1/3/5/6/7/10/11 —
+    so the baseline's cold-start cost includes genuine decode work, as
+    WASM3's does. *)
+
+exception Format_error of string
+
+val encode : Ast.modul -> string
+val decode : string -> Ast.modul
+(** Raises {!Format_error} on malformed input. *)

@@ -1,0 +1,354 @@
+(* Threaded-code interpreter over [Flatten] output — the WASM3-style fast
+   path.
+
+   Values live untyped in an int64 operand stack (i32 values occupy the
+   low 32 bits, zero-extended); validation happened at load, so the typed
+   reference interpreter ([Interp]) and this one agree on valid modules —
+   a property the test suite checks.  No per-push allocation, no
+   exception-driven control flow: this is where the paper's observation
+   that WASM3 out-runs rBPF (at the price of far more RAM and startup
+   work) comes from. *)
+
+open Flatten
+
+type t = {
+  flat : flat_module;
+  memory : bytes;
+  globals : int64 array; (* untyped, like the operand stack *)
+  stack : int64 array; (* shared operand stack *)
+  mutable sp : int;
+  mutable fuel : int;
+}
+
+exception Trap of Interp.trap
+
+let instantiate ?(fuel = 50_000_000) (flat : flat_module) =
+  let memory = Bytes.make (flat.memory_pages * Ast.page_size) '\000' in
+  List.iter
+    (fun seg ->
+      if seg.Ast.offset < 0
+         || seg.Ast.offset + String.length seg.Ast.bytes > Bytes.length memory
+      then invalid_arg "instantiate: data segment out of bounds"
+      else
+        Bytes.blit_string seg.Ast.bytes 0 memory seg.Ast.offset
+          (String.length seg.Ast.bytes))
+    flat.data;
+  {
+    flat;
+    memory;
+    globals =
+      Array.map
+        (fun g ->
+          match g.Ast.gtype with
+          | Ast.I32 -> Int64.logand g.Ast.init 0xFFFF_FFFFL
+          | Ast.I64 -> g.Ast.init)
+        flat.globals;
+    stack = Array.make 1024 0L;
+    sp = 0;
+    fuel;
+  }
+
+let of_module ?fuel m = instantiate ?fuel (Flatten.flatten m)
+
+let load_memory t ~offset data =
+  if offset + Bytes.length data > Bytes.length t.memory then
+    invalid_arg "load_memory: does not fit";
+  Bytes.blit data 0 t.memory offset (Bytes.length data)
+
+let mask32 v = Int64.logand v 0xFFFF_FFFFL
+
+let binop32 op a b =
+  let a = Int64.to_int32 a and b = Int64.to_int32 b in
+  let open Int32 in
+  let r =
+    match (op : Ast.ibinop) with
+    | Ast.Add -> add a b
+    | Ast.Sub -> sub a b
+    | Ast.Mul -> mul a b
+    | Ast.Div_u ->
+        if equal b 0l then raise (Trap Interp.Division_by_zero)
+        else unsigned_div a b
+    | Ast.Div_s ->
+        if equal b 0l then raise (Trap Interp.Division_by_zero) else div a b
+    | Ast.Rem_u ->
+        if equal b 0l then raise (Trap Interp.Division_by_zero)
+        else unsigned_rem a b
+    | Ast.And -> logand a b
+    | Ast.Or -> logor a b
+    | Ast.Xor -> logxor a b
+    | Ast.Shl -> shift_left a (to_int b land 31)
+    | Ast.Shr_u -> shift_right_logical a (to_int b land 31)
+    | Ast.Shr_s -> shift_right a (to_int b land 31)
+    | Ast.Rotl ->
+        let n = to_int b land 31 in
+        if n = 0 then a else logor (shift_left a n) (shift_right_logical a (32 - n))
+    | Ast.Rotr ->
+        let n = to_int b land 31 in
+        if n = 0 then a else logor (shift_right_logical a n) (shift_left a (32 - n))
+  in
+  mask32 (Int64.of_int32 r)
+
+let binop64 op a b =
+  let open Int64 in
+  match (op : Ast.ibinop) with
+  | Ast.Add -> add a b
+  | Ast.Sub -> sub a b
+  | Ast.Mul -> mul a b
+  | Ast.Div_u ->
+      if equal b 0L then raise (Trap Interp.Division_by_zero)
+      else unsigned_div a b
+  | Ast.Div_s ->
+      if equal b 0L then raise (Trap Interp.Division_by_zero) else div a b
+  | Ast.Rem_u ->
+      if equal b 0L then raise (Trap Interp.Division_by_zero)
+      else unsigned_rem a b
+  | Ast.And -> logand a b
+  | Ast.Or -> logor a b
+  | Ast.Xor -> logxor a b
+  | Ast.Shl -> shift_left a (to_int b land 63)
+  | Ast.Shr_u -> shift_right_logical a (to_int b land 63)
+  | Ast.Shr_s -> shift_right a (to_int b land 63)
+  | Ast.Rotl ->
+      let n = to_int b land 63 in
+      if n = 0 then a else logor (shift_left a n) (shift_right_logical a (64 - n))
+  | Ast.Rotr ->
+      let n = to_int b land 63 in
+      if n = 0 then a else logor (shift_right_logical a n) (shift_left a (64 - n))
+
+let relop32 op a b =
+  let a = Int64.to_int32 a and b = Int64.to_int32 b in
+  let c = Int32.compare a b and u = Int32.unsigned_compare a b in
+  match (op : Ast.irelop) with
+  | Ast.Eq -> c = 0
+  | Ast.Ne -> c <> 0
+  | Ast.Lt_u -> u < 0
+  | Ast.Lt_s -> c < 0
+  | Ast.Gt_u -> u > 0
+  | Ast.Gt_s -> c > 0
+  | Ast.Le_u -> u <= 0
+  | Ast.Le_s -> c <= 0
+  | Ast.Ge_u -> u >= 0
+  | Ast.Ge_s -> c >= 0
+
+let relop64 op a b =
+  let c = Int64.compare a b and u = Int64.unsigned_compare a b in
+  match (op : Ast.irelop) with
+  | Ast.Eq -> c = 0
+  | Ast.Ne -> c <> 0
+  | Ast.Lt_u -> u < 0
+  | Ast.Lt_s -> c < 0
+  | Ast.Gt_u -> u > 0
+  | Ast.Gt_s -> c > 0
+  | Ast.Le_u -> u <= 0
+  | Ast.Le_s -> c <= 0
+  | Ast.Ge_u -> u >= 0
+  | Ast.Ge_s -> c >= 0
+
+let max_call_depth = 64
+
+let rec exec t ~depth (f : flat_func) locals =
+  if depth > max_call_depth then raise (Trap Interp.Call_stack_exhausted);
+  let ops = f.fused in
+  let stack = t.stack in
+  let memory = t.memory in
+  let mem_len = Bytes.length memory in
+  let pc = ref 0 in
+  let continue = ref true in
+  let pop () =
+    t.sp <- t.sp - 1;
+    if t.sp < 0 then raise (Trap Interp.Stack_underflow);
+    Array.unsafe_get stack t.sp
+  in
+  let push v =
+    if t.sp >= Array.length stack then raise (Trap Interp.Call_stack_exhausted);
+    Array.unsafe_set stack t.sp v;
+    t.sp <- t.sp + 1
+  in
+  let addr offset base size =
+    let a = Int64.to_int (mask32 base) + offset in
+    if a < 0 || a + size > mem_len then
+      raise (Trap (Interp.Out_of_bounds { addr = a; size }));
+    a
+  in
+  let operand = function
+    | Op_slot s -> locals.(s)
+    | Op_const v -> v
+    | Op_load8 (s, off) ->
+        Int64.of_int (Bytes.get_uint8 memory (addr off locals.(s) 1))
+    | Op_load16 (s, off) ->
+        Int64.of_int (Bytes.get_uint16_le memory (addr off locals.(s) 2))
+    | Op_load32 (s, off) ->
+        mask32 (Int64.of_int32 (Bytes.get_int32_le memory (addr off locals.(s) 4)))
+    | Op_load64 (s, off) -> Bytes.get_int64_le memory (addr off locals.(s) 8)
+  in
+  (* i32 fused operands as native ints (zero-extended, exact in 63 bits):
+     the allocation-free hot path. *)
+  let operand_int = function
+    | Op_slot s -> Int64.to_int locals.(s) land 0xFFFF_FFFF
+    | Op_const v -> Int64.to_int v land 0xFFFF_FFFF
+    | Op_load8 (s, off) -> Bytes.get_uint8 memory (addr off locals.(s) 1)
+    | Op_load16 (s, off) -> Bytes.get_uint16_le memory (addr off locals.(s) 2)
+    | Op_load32 (s, off) ->
+        Int32.to_int (Bytes.get_int32_le memory (addr off locals.(s) 4))
+        land 0xFFFF_FFFF
+    | Op_load64 (s, off) ->
+        Int64.to_int (Bytes.get_int64_le memory (addr off locals.(s) 8))
+        land 0xFFFF_FFFF
+  in
+  let sext32 v = (v lxor 0x8000_0000) - 0x8000_0000 in
+  let bin32_int op a b =
+    match (op : Ast.ibinop) with
+    | Ast.Add -> a + b
+    | Ast.Sub -> a - b
+    | Ast.Mul -> a * b
+    | Ast.Div_u -> if b = 0 then raise (Trap Interp.Division_by_zero) else a / b
+    | Ast.Div_s ->
+        if b = 0 then raise (Trap Interp.Division_by_zero)
+        else sext32 a / sext32 b
+    | Ast.Rem_u -> if b = 0 then raise (Trap Interp.Division_by_zero) else a mod b
+    | Ast.And -> a land b
+    | Ast.Or -> a lor b
+    | Ast.Xor -> a lxor b
+    | Ast.Shl -> a lsl (b land 31)
+    | Ast.Shr_u -> a lsr (b land 31)
+    | Ast.Shr_s -> sext32 a asr (b land 31)
+    | Ast.Rotl ->
+        let n = b land 31 in
+        if n = 0 then a else ((a lsl n) lor (a lsr (32 - n))) land 0xFFFF_FFFF
+    | Ast.Rotr ->
+        let n = b land 31 in
+        if n = 0 then a else ((a lsr n) lor (a lsl (32 - n))) land 0xFFFF_FFFF
+  in
+  let rel32_int op a b =
+    match (op : Ast.irelop) with
+    | Ast.Eq -> a = b
+    | Ast.Ne -> a <> b
+    | Ast.Lt_u -> a < b
+    | Ast.Lt_s -> sext32 a < sext32 b
+    | Ast.Gt_u -> a > b
+    | Ast.Gt_s -> sext32 a > sext32 b
+    | Ast.Le_u -> a <= b
+    | Ast.Le_s -> sext32 a <= sext32 b
+    | Ast.Ge_u -> a >= b
+    | Ast.Ge_s -> sext32 a >= sext32 b
+  in
+  while !continue do
+    t.fuel <- t.fuel - 1;
+    if t.fuel <= 0 then raise (Trap Interp.Fuel_exhausted);
+    let fused_op = Array.unsafe_get ops !pc in
+    incr pc;
+    match fused_op with
+    | F_bin (false, op, a, b, dst) ->
+        let r = bin32_int op (operand_int a) (operand_int b) in
+        locals.(dst) <- Int64.of_int (r land 0xFFFF_FFFF)
+    | F_bin (true, op, a, b, dst) ->
+        locals.(dst) <- binop64 op (operand a) (operand b)
+    | F_cmp_br (false, op, a, b, sense, target) ->
+        if rel32_int op (operand_int a) (operand_int b) = sense then pc := target
+    | F_cmp_br (true, op, a, b, sense, target) ->
+        if relop64 op (operand a) (operand b) = sense then pc := target
+    | F_plain op ->
+    match op with
+    | F_unreachable -> raise (Trap Interp.Unreachable_executed)
+    | F_nop -> ()
+    | F_jump target -> pc := target
+    | F_jump_if_false target -> if Int64.equal (pop ()) 0L then pc := target
+    | F_jump_if_true target -> if not (Int64.equal (pop ()) 0L) then pc := target
+    | F_return -> continue := false
+    | F_call index ->
+        let callee = t.flat.funcs.(index) in
+        let callee_locals = Array.make (max callee.nlocals 1) 0L in
+        for i = callee.arity - 1 downto 0 do
+          callee_locals.(i) <- pop ()
+        done;
+        exec t ~depth:(depth + 1) callee callee_locals
+    | F_drop -> ignore (pop ())
+    | F_local_get i -> push locals.(i)
+    | F_local_set i -> locals.(i) <- pop ()
+    | F_local_tee i -> locals.(i) <- stack.(t.sp - 1)
+    | F_global_get i -> push t.globals.(i)
+    | F_global_set i -> t.globals.(i) <- pop ()
+    | F_i32_const v -> push (mask32 (Int64.of_int32 v))
+    | F_i64_const v -> push v
+    | F_binop_32 op ->
+        let b = pop () in
+        let a = pop () in
+        push (binop32 op a b)
+    | F_binop_64 op ->
+        let b = pop () in
+        let a = pop () in
+        push (binop64 op a b)
+    | F_unop_32 op ->
+        let a = Int64.to_int32 (pop ()) in
+        push (mask32 (Int64.of_int32 (Interp.eval_i32_unop op a)))
+    | F_unop_64 op -> push (Interp.eval_i64_unop op (pop ()))
+    | F_relop_32 op ->
+        let b = pop () in
+        let a = pop () in
+        push (if relop32 op a b then 1L else 0L)
+    | F_relop_64 op ->
+        let b = pop () in
+        let a = pop () in
+        push (if relop64 op a b then 1L else 0L)
+    | F_i32_eqz -> push (if Int64.equal (mask32 (pop ())) 0L then 1L else 0L)
+    | F_i64_eqz -> push (if Int64.equal (pop ()) 0L then 1L else 0L)
+    | F_i32_wrap_i64 -> push (mask32 (pop ()))
+    | F_i64_extend_i32_u -> push (mask32 (pop ()))
+    | F_i32_load off ->
+        let a = addr off (pop ()) 4 in
+        push (mask32 (Int64.of_int32 (Bytes.get_int32_le memory a)))
+    | F_i64_load off ->
+        let a = addr off (pop ()) 8 in
+        push (Bytes.get_int64_le memory a)
+    | F_i32_load8_u off ->
+        let a = addr off (pop ()) 1 in
+        push (Int64.of_int (Bytes.get_uint8 memory a))
+    | F_i32_load16_u off ->
+        let a = addr off (pop ()) 2 in
+        push (Int64.of_int (Bytes.get_uint16_le memory a))
+    | F_i32_store off ->
+        let v = pop () in
+        let a = addr off (pop ()) 4 in
+        Bytes.set_int32_le memory a (Int64.to_int32 v)
+    | F_i64_store off ->
+        let v = pop () in
+        let a = addr off (pop ()) 8 in
+        Bytes.set_int64_le memory a v
+    | F_i32_store8 off ->
+        let v = pop () in
+        let a = addr off (pop ()) 1 in
+        Bytes.set_uint8 memory a (Int64.to_int v land 0xff)
+    | F_i32_store16 off ->
+        let v = pop () in
+        let a = addr off (pop ()) 2 in
+        Bytes.set_uint16_le memory a (Int64.to_int v land 0xffff)
+    | F_memory_size -> push (Int64.of_int (mem_len / Ast.page_size))
+    | F_memory_grow ->
+        ignore (pop ());
+        push (mask32 (-1L))
+  done
+
+(* [call t ~name args] invokes an exported function; args and the result
+   use the untyped int64 representation. *)
+let call t ~name args =
+  match List.assoc_opt name t.flat.export_table with
+  | None -> Error (Interp.No_such_export name)
+  | Some index -> (
+      let f = t.flat.funcs.(index) in
+      let locals = Array.make (max f.nlocals 1) 0L in
+      List.iteri (fun i v -> if i < f.arity then locals.(i) <- v) args;
+      t.sp <- 0;
+      try
+        exec t ~depth:0 f locals;
+        if f.returns_value then
+          if t.sp > 0 then Ok (Some t.stack.(t.sp - 1))
+          else Error Interp.Stack_underflow
+        else Ok None
+      with Trap trap -> Error trap)
+
+let run_fletcher32 t data =
+  load_memory t ~offset:0 data;
+  match call t ~name:"fletcher32" [ Int64.of_int (Bytes.length data / 2) ] with
+  | Ok (Some v) -> Ok (mask32 v)
+  | Ok None -> Error Interp.Type_mismatch
+  | Error trap -> Error trap

@@ -1,0 +1,306 @@
+(* Structured AST -> flat threaded code.
+
+   WASM3 achieves its speed by transpiling the structured wasm body into a
+   linear array of pre-resolved operations ("M3 ops") at load time; this
+   module is that step.  Structured control (block/loop/if/br/br_if) is
+   compiled into absolute jumps, so the interpreter in [Fast] is a plain
+   fetch/dispatch loop with no exception-based unwinding. *)
+
+open Ast
+
+type flatop =
+  | F_unreachable
+  | F_nop
+  | F_jump of int
+  | F_jump_if_false of int (* pops condition *)
+  | F_jump_if_true of int
+  | F_return
+  | F_call of int
+  | F_drop
+  | F_local_get of int
+  | F_local_set of int
+  | F_local_tee of int
+  | F_global_get of int
+  | F_global_set of int
+  | F_i32_const of int32
+  | F_i64_const of int64
+  | F_binop_32 of ibinop
+  | F_binop_64 of ibinop
+  | F_unop_32 of iunop
+  | F_unop_64 of iunop
+  | F_relop_32 of irelop
+  | F_relop_64 of irelop
+  | F_i32_eqz
+  | F_i64_eqz
+  | F_i32_wrap_i64
+  | F_i64_extend_i32_u
+  | F_i32_load of int
+  | F_i64_load of int
+  | F_i32_load8_u of int
+  | F_i32_load16_u of int
+  | F_i32_store of int
+  | F_i64_store of int
+  | F_i32_store8 of int
+  | F_i32_store16 of int
+  | F_memory_size
+  | F_memory_grow
+
+(* Fused superinstructions — WASM3's "operation fusion": frequent
+   push/push/op/set and push/push/cmp/branch sequences collapse into one
+   dispatch that reads its operands straight from local slots, constants
+   or memory.  This is what lets a stack machine execute register-machine
+   op counts. *)
+type operand =
+  | Op_slot of int
+  | Op_const of int64
+  | Op_load8 of int * int (* base slot, static offset *)
+  | Op_load16 of int * int
+  | Op_load32 of int * int
+  | Op_load64 of int * int
+
+type flatop_fused =
+  | F_plain of flatop
+  | F_bin of bool * Ast.ibinop * operand * operand * int (* is64, dst slot *)
+  | F_cmp_br of bool * Ast.irelop * operand * operand * bool * int
+    (* is64, jump-if-result, target *)
+
+type flat_func = {
+  arity : int;
+  nlocals : int; (* params + declared locals *)
+  returns_value : bool;
+  ops : flatop array;
+  fused : flatop_fused array; (* same program after operation fusion *)
+}
+
+type flat_module = { funcs : flat_func array; memory_pages : int;
+                     globals : Ast.global array;
+                     data : Ast.data_segment list;
+                     export_table : (string * int) list }
+
+(* Growable op buffer with jump patching. *)
+type emitter = { mutable ops : flatop array; mutable len : int }
+
+let emit e op =
+  if e.len >= Array.length e.ops then begin
+    let capacity = max 32 (2 * Array.length e.ops) in
+    let ops = Array.make capacity F_nop in
+    Array.blit e.ops 0 ops 0 e.len;
+    e.ops <- ops
+  end;
+  e.ops.(e.len) <- op;
+  e.len <- e.len + 1
+
+(* --- operation fusion --- *)
+
+let mask32 v = Int64.logand v 0xFFFF_FFFFL
+
+(* Parse a "push" starting at [i]: a local/const push, optionally fused
+   with an immediately following load.  Returns the operand and the index
+   after it. *)
+let parse_push ops len is_target i =
+  if i >= len then None
+  else
+    match ops.(i) with
+    | F_local_get s ->
+        if i + 1 < len && not is_target.(i + 1) then (
+          match ops.(i + 1) with
+          | F_i32_load8_u off -> Some (Op_load8 (s, off), i + 2)
+          | F_i32_load16_u off -> Some (Op_load16 (s, off), i + 2)
+          | F_i32_load off -> Some (Op_load32 (s, off), i + 2)
+          | F_i64_load off -> Some (Op_load64 (s, off), i + 2)
+          | _ -> Some (Op_slot s, i + 1))
+        else Some (Op_slot s, i + 1)
+    | F_i32_const v -> Some (Op_const (mask32 (Int64.of_int32 v)), i + 1)
+    | F_i64_const v -> Some (Op_const v, i + 1)
+    | _ -> None
+
+(* Try to fuse a window starting at [i]; returns the fused op and the
+   index after the window. *)
+let parse_window ops len is_target i =
+  match parse_push ops len is_target i with
+  | None -> None
+  | Some (a, j) when j < len && not is_target.(j) -> (
+      match parse_push ops len is_target j with
+      | Some (b, k) when k < len && not is_target.(k) -> (
+          match ops.(k) with
+          | F_binop_32 op when k + 1 < len && not is_target.(k + 1) -> (
+              match ops.(k + 1) with
+              | F_local_set d -> Some (F_bin (false, op, a, b, d), k + 2)
+              | _ -> None)
+          | F_binop_64 op when k + 1 < len && not is_target.(k + 1) -> (
+              match ops.(k + 1) with
+              | F_local_set d -> Some (F_bin (true, op, a, b, d), k + 2)
+              | _ -> None)
+          | F_relop_32 op when k + 1 < len && not is_target.(k + 1) -> (
+              match ops.(k + 1) with
+              | F_jump_if_true t -> Some (F_cmp_br (false, op, a, b, true, t), k + 2)
+              | F_jump_if_false t -> Some (F_cmp_br (false, op, a, b, false, t), k + 2)
+              | _ -> None)
+          | F_relop_64 op when k + 1 < len && not is_target.(k + 1) -> (
+              match ops.(k + 1) with
+              | F_jump_if_true t -> Some (F_cmp_br (true, op, a, b, true, t), k + 2)
+              | F_jump_if_false t -> Some (F_cmp_br (true, op, a, b, false, t), k + 2)
+              | _ -> None)
+          | _ -> None)
+      | _ -> None)
+  | Some _ -> None
+
+(* Ensure no jump lands strictly inside [start+1, stop). *)
+let window_clear is_target start stop =
+  let rec check p = p >= stop || ((not is_target.(p)) && check (p + 1)) in
+  check (start + 1)
+
+let fuse ops =
+  let len = Array.length ops in
+  let is_target = Array.make (len + 1) false in
+  Array.iter
+    (function
+      | F_jump t | F_jump_if_false t | F_jump_if_true t -> is_target.(t) <- true
+      | _ -> ())
+    ops;
+  let out = ref [] in
+  let out_len = ref 0 in
+  let index_map = Array.make (len + 1) (-1) in
+  let push_out op =
+    out := op :: !out;
+    incr out_len
+  in
+  let i = ref 0 in
+  while !i < len do
+    index_map.(!i) <- !out_len;
+    (match parse_window ops len is_target !i with
+    | Some (fused_op, stop) when window_clear is_target !i stop ->
+        push_out fused_op;
+        i := stop
+    | Some _ | None ->
+        push_out (F_plain ops.(!i));
+        incr i)
+  done;
+  index_map.(len) <- !out_len;
+  let remap target =
+    let t = index_map.(target) in
+    assert (t >= 0);
+    t
+  in
+  Array.of_list
+    (List.rev_map
+       (function
+         | F_plain (F_jump t) -> F_plain (F_jump (remap t))
+         | F_plain (F_jump_if_false t) -> F_plain (F_jump_if_false (remap t))
+         | F_plain (F_jump_if_true t) -> F_plain (F_jump_if_true (remap t))
+         | F_cmp_br (w, op, a, b, sense, t) -> F_cmp_br (w, op, a, b, sense, remap t)
+         | other -> other)
+       !out)
+
+(* A control frame a branch may target: loops branch to their start,
+   blocks/ifs branch to their end (patched once known). *)
+type frame = Loop_start of int | Block_end of int list ref
+
+let flatten_func (func : Ast.func) =
+  let e = { ops = [||]; len = 0 } in
+  let patch at target =
+    e.ops.(at) <-
+      (match e.ops.(at) with
+      | F_jump _ -> F_jump target
+      | F_jump_if_false _ -> F_jump_if_false target
+      | F_jump_if_true _ -> F_jump_if_true target
+      | _ -> assert false)
+  in
+  let branch_target frames depth =
+    match List.nth_opt frames depth with
+    | Some frame -> frame
+    | None -> invalid_arg "flatten: branch depth out of range"
+  in
+  let rec go frames instr =
+    match instr with
+    | Unreachable -> emit e F_unreachable
+    | Nop -> emit e F_nop
+    | Block body ->
+        let pending = ref [] in
+        List.iter (go (Block_end pending :: frames)) body;
+        List.iter (fun at -> patch at e.len) !pending
+    | Loop body ->
+        let start = e.len in
+        List.iter (go (Loop_start start :: frames)) body
+    | If (then_, else_) ->
+        let to_else = e.len in
+        emit e (F_jump_if_false 0);
+        let pending = ref [] in
+        List.iter (go (Block_end pending :: frames)) then_;
+        if else_ = [] then begin
+          patch to_else e.len;
+          List.iter (fun at -> patch at e.len) !pending
+        end
+        else begin
+          let skip_else = e.len in
+          emit e (F_jump 0);
+          patch to_else e.len;
+          List.iter (go (Block_end pending :: frames)) else_;
+          patch skip_else e.len;
+          List.iter (fun at -> patch at e.len) !pending
+        end
+    | Br depth -> (
+        match branch_target frames depth with
+        | Loop_start start -> emit e (F_jump start)
+        | Block_end pending ->
+            pending := e.len :: !pending;
+            emit e (F_jump 0))
+    | Br_if depth -> (
+        match branch_target frames depth with
+        | Loop_start start -> emit e (F_jump_if_true start)
+        | Block_end pending ->
+            pending := e.len :: !pending;
+            emit e (F_jump_if_true 0))
+    | Return -> emit e F_return
+    | Call index -> emit e (F_call index)
+    | Drop -> emit e F_drop
+    | Local_get i -> emit e (F_local_get i)
+    | Local_set i -> emit e (F_local_set i)
+    | Local_tee i -> emit e (F_local_tee i)
+    | Global_get i -> emit e (F_global_get i)
+    | Global_set i -> emit e (F_global_set i)
+    | I32_const v -> emit e (F_i32_const v)
+    | I64_const v -> emit e (F_i64_const v)
+    | Binop (I32, op) -> emit e (F_binop_32 op)
+    | Binop (I64, op) -> emit e (F_binop_64 op)
+    | Unop (I32, op) -> emit e (F_unop_32 op)
+    | Unop (I64, op) -> emit e (F_unop_64 op)
+    | Relop (I32, op) -> emit e (F_relop_32 op)
+    | Relop (I64, op) -> emit e (F_relop_64 op)
+    | I32_eqz -> emit e F_i32_eqz
+    | I64_eqz -> emit e F_i64_eqz
+    | I32_wrap_i64 -> emit e F_i32_wrap_i64
+    | I64_extend_i32_u -> emit e F_i64_extend_i32_u
+    | I32_load off -> emit e (F_i32_load off)
+    | I64_load off -> emit e (F_i64_load off)
+    | I32_load8_u off -> emit e (F_i32_load8_u off)
+    | I32_load16_u off -> emit e (F_i32_load16_u off)
+    | I32_store off -> emit e (F_i32_store off)
+    | I64_store off -> emit e (F_i64_store off)
+    | I32_store8 off -> emit e (F_i32_store8 off)
+    | I32_store16 off -> emit e (F_i32_store16 off)
+    | Memory_size -> emit e F_memory_size
+    | Memory_grow -> emit e F_memory_grow
+  in
+  (* the function body is one implicit block *)
+  let pending = ref [] in
+  List.iter (go [ Block_end pending ]) func.body;
+  List.iter (fun at -> patch at e.len) !pending;
+  emit e F_return;
+  let ops = Array.sub e.ops 0 e.len in
+  {
+    arity = List.length func.ftype.params;
+    nlocals = List.length func.ftype.params + List.length func.locals;
+    returns_value = func.ftype.results <> [];
+    ops;
+    fused = fuse ops;
+  }
+
+let flatten (m : modul) =
+  {
+    funcs = Array.map flatten_func m.funcs;
+    memory_pages = m.memory_pages;
+    globals = m.globals;
+    data = m.data;
+    export_table = List.map (fun e -> (e.name, e.func_index)) m.exports;
+  }

@@ -1,0 +1,395 @@
+(* wasm_mini interpreter: structured-control stack machine over a linear
+   memory, in the style of WASM3's continuation-less interpreter core. *)
+
+open Ast
+
+type trap =
+  | Unreachable_executed
+  | Stack_underflow
+  | Type_mismatch
+  | Out_of_bounds of { addr : int; size : int }
+  | Division_by_zero
+  | Call_stack_exhausted
+  | Fuel_exhausted
+  | No_such_export of string
+
+let trap_to_string = function
+  | Unreachable_executed -> "unreachable executed"
+  | Stack_underflow -> "operand stack underflow"
+  | Type_mismatch -> "operand type mismatch"
+  | Out_of_bounds { addr; size } ->
+      Printf.sprintf "out-of-bounds %d-byte access at %d" size addr
+  | Division_by_zero -> "division by zero"
+  | Call_stack_exhausted -> "call stack exhausted"
+  | Fuel_exhausted -> "fuel exhausted"
+  | No_such_export name -> Printf.sprintf "no export %S" name
+
+exception Trap of trap
+
+type instance = {
+  modul : modul;
+  memory : bytes; (* memory_pages * 64 KiB, the Table 1 RAM driver *)
+  globals : value array;
+  mutable fuel : int; (* finite-execution budget, like the VM's N_i*N_b *)
+  mutable instrs_executed : int;
+}
+
+let global_value g =
+  match g.gtype with
+  | I32 -> V_i32 (Int64.to_int32 g.init)
+  | I64 -> V_i64 g.init
+
+let instantiate ?(fuel = 50_000_000) (m : modul) =
+  let memory = Bytes.make (m.memory_pages * page_size) '\000' in
+  List.iter
+    (fun seg ->
+      if seg.offset < 0 || seg.offset + String.length seg.bytes > Bytes.length memory
+      then invalid_arg "instantiate: data segment out of bounds"
+      else Bytes.blit_string seg.bytes 0 memory seg.offset (String.length seg.bytes))
+    m.data;
+  {
+    modul = m;
+    memory;
+    globals = Array.map global_value m.globals;
+    fuel;
+    instrs_executed = 0;
+  }
+
+let memory_size_bytes t = Bytes.length t.memory
+
+let load_memory t ~offset data =
+  if offset + Bytes.length data > Bytes.length t.memory then
+    invalid_arg "load_memory: does not fit";
+  Bytes.blit data 0 t.memory offset (Bytes.length data)
+
+(* Branches unwind [n] nested blocks: implemented with exceptions carrying
+   the remaining depth. *)
+exception Branch of int
+exception Returning of value option
+
+let pop = function
+  | v :: rest -> (v, rest)
+  | [] -> raise (Trap Stack_underflow)
+
+let pop_i32 stack =
+  match pop stack with
+  | V_i32 v, rest -> (v, rest)
+  | V_i64 _, _ -> raise (Trap Type_mismatch)
+
+let pop_i64 stack =
+  match pop stack with
+  | V_i64 v, rest -> (v, rest)
+  | V_i32 _, _ -> raise (Trap Type_mismatch)
+
+let eval_i32_binop op a b =
+  let open Int32 in
+  match (op : ibinop) with
+  | Add -> add a b
+  | Sub -> sub a b
+  | Mul -> mul a b
+  | Div_u -> if equal b 0l then raise (Trap Division_by_zero) else unsigned_div a b
+  | Div_s -> if equal b 0l then raise (Trap Division_by_zero) else div a b
+  | Rem_u -> if equal b 0l then raise (Trap Division_by_zero) else unsigned_rem a b
+  | And -> logand a b
+  | Or -> logor a b
+  | Xor -> logxor a b
+  | Shl -> shift_left a (to_int b land 31)
+  | Shr_u -> shift_right_logical a (to_int b land 31)
+  | Shr_s -> shift_right a (to_int b land 31)
+  | Rotl ->
+      let n = to_int b land 31 in
+      if n = 0 then a else logor (shift_left a n) (shift_right_logical a (32 - n))
+  | Rotr ->
+      let n = to_int b land 31 in
+      if n = 0 then a else logor (shift_right_logical a n) (shift_left a (32 - n))
+
+let eval_i64_binop op a b =
+  let open Int64 in
+  match (op : ibinop) with
+  | Add -> add a b
+  | Sub -> sub a b
+  | Mul -> mul a b
+  | Div_u -> if equal b 0L then raise (Trap Division_by_zero) else unsigned_div a b
+  | Div_s -> if equal b 0L then raise (Trap Division_by_zero) else div a b
+  | Rem_u -> if equal b 0L then raise (Trap Division_by_zero) else unsigned_rem a b
+  | And -> logand a b
+  | Or -> logor a b
+  | Xor -> logxor a b
+  | Shl -> shift_left a (to_int b land 63)
+  | Shr_u -> shift_right_logical a (to_int b land 63)
+  | Shr_s -> shift_right a (to_int b land 63)
+  | Rotl ->
+      let n = to_int b land 63 in
+      if n = 0 then a else logor (shift_left a n) (shift_right_logical a (64 - n))
+  | Rotr ->
+      let n = to_int b land 63 in
+      if n = 0 then a else logor (shift_right_logical a n) (shift_left a (64 - n))
+
+(* Bit-counting unops, shared by reference and fast engines via the i64
+   form (the i32 form masks and adjusts). *)
+let count_leading_zeros_64 v =
+  if Int64.equal v 0L then 64
+  else begin
+    let n = ref 0 in
+    let v = ref v in
+    (* shift left until the top bit is set *)
+    while Int64.equal (Int64.shift_right_logical !v 63) 0L do
+      incr n;
+      v := Int64.shift_left !v 1
+    done;
+    !n
+  end
+
+let count_trailing_zeros_64 v =
+  if Int64.equal v 0L then 64
+  else begin
+    let n = ref 0 in
+    let v = ref v in
+    while Int64.equal (Int64.logand !v 1L) 0L do
+      incr n;
+      v := Int64.shift_right_logical !v 1
+    done;
+    !n
+  end
+
+let popcount_64 v =
+  let n = ref 0 in
+  for i = 0 to 63 do
+    if not (Int64.equal (Int64.logand (Int64.shift_right_logical v i) 1L) 0L) then
+      incr n
+  done;
+  !n
+
+let eval_i32_unop op a =
+  let wide = Int64.logand (Int64.of_int32 a) 0xFFFF_FFFFL in
+  match (op : iunop) with
+  | Clz -> Int32.of_int (count_leading_zeros_64 wide - 32)
+  | Ctz -> Int32.of_int (min 32 (count_trailing_zeros_64 wide))
+  | Popcnt -> Int32.of_int (popcount_64 wide)
+
+let eval_i64_unop op a =
+  match (op : iunop) with
+  | Clz -> Int64.of_int (count_leading_zeros_64 a)
+  | Ctz -> Int64.of_int (count_trailing_zeros_64 a)
+  | Popcnt -> Int64.of_int (popcount_64 a)
+
+let eval_i32_relop op a b =
+  let c = Int32.compare a b and u = Int32.unsigned_compare a b in
+  match (op : irelop) with
+  | Eq -> c = 0
+  | Ne -> c <> 0
+  | Lt_u -> u < 0
+  | Lt_s -> c < 0
+  | Gt_u -> u > 0
+  | Gt_s -> c > 0
+  | Le_u -> u <= 0
+  | Le_s -> c <= 0
+  | Ge_u -> u >= 0
+  | Ge_s -> c >= 0
+
+let eval_i64_relop op a b =
+  let c = Int64.compare a b and u = Int64.unsigned_compare a b in
+  match (op : irelop) with
+  | Eq -> c = 0
+  | Ne -> c <> 0
+  | Lt_u -> u < 0
+  | Lt_s -> c < 0
+  | Gt_u -> u > 0
+  | Gt_s -> c > 0
+  | Le_u -> u <= 0
+  | Le_s -> c <= 0
+  | Ge_u -> u >= 0
+  | Ge_s -> c >= 0
+
+let bool_i32 b = V_i32 (if b then 1l else 0l)
+
+let check_bounds t addr size =
+  if addr < 0 || addr + size > Bytes.length t.memory then
+    raise (Trap (Out_of_bounds { addr; size }))
+
+let effective_addr base offset =
+  let addr = Int32.to_int base + offset in
+  addr
+
+let max_call_depth = 64
+
+let rec exec_body t ~call_depth locals body stack =
+  List.fold_left (fun stack instr -> exec t ~call_depth locals instr stack) stack body
+
+and exec t ~call_depth locals instr stack =
+  t.fuel <- t.fuel - 1;
+  t.instrs_executed <- t.instrs_executed + 1;
+  if t.fuel <= 0 then raise (Trap Fuel_exhausted);
+  match instr with
+  | Unreachable -> raise (Trap Unreachable_executed)
+  | Nop -> stack
+  | Block body -> (
+      try exec_body t ~call_depth locals body stack
+      with Branch 0 -> stack (* branch to a block: exit it *))
+  | Loop body -> (
+      let rec iterate stack =
+        match exec_body t ~call_depth locals body stack with
+        | stack' -> stack'
+        | exception Branch 0 -> iterate stack (* branch to a loop: restart *)
+      in
+      iterate stack)
+  | If (then_, else_) -> (
+      let cond, stack = pop_i32 stack in
+      let body = if Int32.equal cond 0l then else_ else then_ in
+      try exec_body t ~call_depth locals body stack
+      with Branch 0 -> stack)
+  | Br depth -> raise (Branch depth)
+  | Br_if depth ->
+      let cond, stack = pop_i32 stack in
+      if Int32.equal cond 0l then stack else raise (Branch depth)
+  | Return ->
+      raise (Returning (match stack with v :: _ -> Some v | [] -> None))
+  | Call index ->
+      let callee = t.modul.funcs.(index) in
+      let nparams = List.length callee.ftype.params in
+      let rec take n stack acc =
+        if n = 0 then (acc, stack)
+        else
+          let v, stack = pop stack in
+          take (n - 1) stack (v :: acc)
+      in
+      let args, stack = take nparams stack [] in
+      let result = invoke t ~call_depth:(call_depth + 1) index args in
+      (match result with Some v -> v :: stack | None -> stack)
+  | Drop ->
+      let _, stack = pop stack in
+      stack
+  | Local_get i -> locals.(i) :: stack
+  | Local_set i ->
+      let v, stack = pop stack in
+      locals.(i) <- v;
+      stack
+  | Local_tee i ->
+      let v, _ = pop stack in
+      locals.(i) <- v;
+      stack
+  | Global_get i -> t.globals.(i) :: stack
+  | Global_set i ->
+      let v, stack = pop stack in
+      t.globals.(i) <- v;
+      stack
+  | I32_const v -> V_i32 v :: stack
+  | I64_const v -> V_i64 v :: stack
+  | Binop (I32, op) ->
+      let b, stack = pop_i32 stack in
+      let a, stack = pop_i32 stack in
+      V_i32 (eval_i32_binop op a b) :: stack
+  | Binop (I64, op) ->
+      let b, stack = pop_i64 stack in
+      let a, stack = pop_i64 stack in
+      V_i64 (eval_i64_binop op a b) :: stack
+  | Unop (I32, op) ->
+      let a, stack = pop_i32 stack in
+      V_i32 (eval_i32_unop op a) :: stack
+  | Unop (I64, op) ->
+      let a, stack = pop_i64 stack in
+      V_i64 (eval_i64_unop op a) :: stack
+  | Relop (I32, op) ->
+      let b, stack = pop_i32 stack in
+      let a, stack = pop_i32 stack in
+      bool_i32 (eval_i32_relop op a b) :: stack
+  | Relop (I64, op) ->
+      let b, stack = pop_i64 stack in
+      let a, stack = pop_i64 stack in
+      bool_i32 (eval_i64_relop op a b) :: stack
+  | I32_eqz ->
+      let v, stack = pop_i32 stack in
+      bool_i32 (Int32.equal v 0l) :: stack
+  | I64_eqz ->
+      let v, stack = pop_i64 stack in
+      bool_i32 (Int64.equal v 0L) :: stack
+  | I32_wrap_i64 ->
+      let v, stack = pop_i64 stack in
+      V_i32 (Int64.to_int32 v) :: stack
+  | I64_extend_i32_u ->
+      let v, stack = pop_i32 stack in
+      V_i64 (Int64.logand (Int64.of_int32 v) 0xFFFF_FFFFL) :: stack
+  | I32_load offset ->
+      let base, stack = pop_i32 stack in
+      let addr = effective_addr base offset in
+      check_bounds t addr 4;
+      V_i32 (Bytes.get_int32_le t.memory addr) :: stack
+  | I64_load offset ->
+      let base, stack = pop_i32 stack in
+      let addr = effective_addr base offset in
+      check_bounds t addr 8;
+      V_i64 (Bytes.get_int64_le t.memory addr) :: stack
+  | I32_load8_u offset ->
+      let base, stack = pop_i32 stack in
+      let addr = effective_addr base offset in
+      check_bounds t addr 1;
+      V_i32 (Int32.of_int (Bytes.get_uint8 t.memory addr)) :: stack
+  | I32_load16_u offset ->
+      let base, stack = pop_i32 stack in
+      let addr = effective_addr base offset in
+      check_bounds t addr 2;
+      V_i32 (Int32.of_int (Bytes.get_uint16_le t.memory addr)) :: stack
+  | I32_store offset ->
+      let v, stack = pop_i32 stack in
+      let base, stack = pop_i32 stack in
+      let addr = effective_addr base offset in
+      check_bounds t addr 4;
+      Bytes.set_int32_le t.memory addr v;
+      stack
+  | I64_store offset ->
+      let v, stack = pop_i64 stack in
+      let base, stack = pop_i32 stack in
+      let addr = effective_addr base offset in
+      check_bounds t addr 8;
+      Bytes.set_int64_le t.memory addr v;
+      stack
+  | I32_store8 offset ->
+      let v, stack = pop_i32 stack in
+      let base, stack = pop_i32 stack in
+      let addr = effective_addr base offset in
+      check_bounds t addr 1;
+      Bytes.set_uint8 t.memory addr (Int32.to_int v land 0xff);
+      stack
+  | I32_store16 offset ->
+      let v, stack = pop_i32 stack in
+      let base, stack = pop_i32 stack in
+      let addr = effective_addr base offset in
+      check_bounds t addr 2;
+      Bytes.set_uint16_le t.memory addr (Int32.to_int v land 0xffff);
+      stack
+  | Memory_size -> V_i32 (Int32.of_int (Bytes.length t.memory / page_size)) :: stack
+  | Memory_grow ->
+      (* fixed-size memory in this subset: growing fails (-1), as it would
+         on a microcontroller without spare RAM *)
+      let _, stack = pop_i32 stack in
+      V_i32 (-1l) :: stack
+
+and invoke t ~call_depth index args =
+  if call_depth > max_call_depth then raise (Trap Call_stack_exhausted);
+  let func = t.modul.funcs.(index) in
+  let default_value = function I32 -> V_i32 0l | I64 -> V_i64 0L in
+  let locals =
+    Array.of_list (args @ List.map default_value func.locals)
+  in
+  let result =
+    try
+      let stack = exec_body t ~call_depth locals func.body [] in
+      (match (stack, func.ftype.results) with
+      | v :: _, _ :: _ -> Some v
+      | _, [] -> None
+      | [], _ :: _ -> raise (Trap Stack_underflow))
+    with
+    | Returning v -> v
+    | Branch _ -> None (* branch out of the function body: return *)
+  in
+  result
+
+(* [call t ~name args] invokes an exported function. *)
+let call t ~name args =
+  match
+    List.find_opt (fun e -> String.equal e.name name) t.modul.exports
+  with
+  | None -> Error (No_such_export name)
+  | Some export -> (
+      try Ok (invoke t ~call_depth:0 export.func_index args)
+      with Trap trap -> Error trap)

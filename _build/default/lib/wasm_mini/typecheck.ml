@@ -1,0 +1,251 @@
+(* Stack-typing validator for wasm_mini.
+
+   Implements the WebAssembly validation algorithm for this subset: a
+   typed operand stack checked instruction by instruction, with the
+   standard polymorphic-stack treatment of unreachable code after
+   [unreachable], [br] and [return].  Blocks in this subset have the empty
+   type ([] -> []), so every block body must leave the operand stack where
+   it found it.
+
+   The [Fast] engine runs untyped (int64 slots); this checker is what
+   justifies that: a module that passes [check] cannot confuse i32 and i64
+   operands at run time, so the untyped execution agrees with the typed
+   reference interpreter. *)
+
+open Ast
+
+type error = { func : int; message : string }
+
+let error func fmt = Format.kasprintf (fun message -> Error { func; message }) fmt
+
+let ( let* ) = Result.bind
+
+let type_name = function I32 -> "i32" | I64 -> "i64"
+
+(* The typing state of one block: the operand types it pushed (on top of
+   the enclosing blocks' operands, which it must not touch), plus the
+   unreachable flag making the remainder polymorphic. *)
+type block_state = { mutable operands : value_type list; mutable unreachable : bool }
+
+let check_func ~m ~index (func : Ast.func) =
+  let locals = Array.of_list (func.ftype.params @ func.locals) in
+  let check_local i =
+    if i < 0 || i >= Array.length locals then error index "local %d out of range" i
+    else Ok locals.(i)
+  in
+  let check_global i =
+    if i < 0 || i >= Array.length m.globals then
+      error index "global %d out of range" i
+    else Ok m.globals.(i)
+  in
+  let pop (state : block_state) expected =
+    match state.operands with
+    | top :: rest ->
+        if top = expected then begin
+          state.operands <- rest;
+          Ok ()
+        end
+        else
+          error index "expected %s on the stack, found %s" (type_name expected)
+            (type_name top)
+    | [] ->
+        if state.unreachable then Ok () (* polymorphic stack *)
+        else error index "stack underflow: needed %s" (type_name expected)
+  in
+  let push (state : block_state) ty = state.operands <- ty :: state.operands in
+  let require_memory () =
+    if m.memory_pages = 0 then error index "memory instruction without memory"
+    else Ok ()
+  in
+  (* [check_block] types one block body under [depth] enclosing labels.
+     All labels have the empty type in this subset, so a branch requires
+     nothing on the stack. *)
+  let rec check_block ~depth body =
+    let state = { operands = []; unreachable = false } in
+    let* () =
+      List.fold_left
+        (fun acc instr ->
+          let* () = acc in
+          check_instr ~depth state instr)
+        (Ok ()) body
+    in
+    (* the block must not leave operands behind (empty block type) *)
+    if state.operands = [] || state.unreachable then Ok ()
+    else error index "block leaves %d operand(s) on the stack" (List.length state.operands)
+
+  and check_label ~depth d =
+    if d < 0 || d >= depth then error index "branch depth %d exceeds %d" d depth
+    else Ok ()
+
+  and check_instr ~depth state instr =
+    match instr with
+    | Unreachable ->
+        state.unreachable <- true;
+        state.operands <- [];
+        Ok ()
+    | Nop -> Ok ()
+    | Block body | Loop body -> check_block ~depth:(depth + 1) body
+    | If (then_, else_) ->
+        let* () = pop state I32 in
+        let* () = check_block ~depth:(depth + 1) then_ in
+        check_block ~depth:(depth + 1) else_
+    | Br d ->
+        let* () = check_label ~depth d in
+        state.unreachable <- true;
+        state.operands <- [];
+        Ok ()
+    | Br_if d ->
+        let* () = pop state I32 in
+        check_label ~depth d
+    | Return ->
+        let* () =
+          match func.ftype.results with
+          | [] -> Ok ()
+          | [ ty ] -> pop state ty
+          | _ -> error index "multi-value results are not supported"
+        in
+        state.unreachable <- true;
+        state.operands <- [];
+        Ok ()
+    | Call f ->
+        if f < 0 || f >= Array.length m.funcs then
+          error index "call to %d out of range" f
+        else begin
+          let callee = m.funcs.(f).ftype in
+          let* () =
+            List.fold_left
+              (fun acc ty ->
+                let* () = acc in
+                pop state ty)
+              (Ok ())
+              (List.rev callee.params)
+          in
+          List.iter (push state) callee.results;
+          Ok ()
+        end
+    | Drop -> (
+        match state.operands with
+        | _ :: rest ->
+            state.operands <- rest;
+            Ok ()
+        | [] -> if state.unreachable then Ok () else error index "drop on empty stack")
+    | Local_get i ->
+        let* ty = check_local i in
+        push state ty;
+        Ok ()
+    | Local_set i ->
+        let* ty = check_local i in
+        pop state ty
+    | Local_tee i -> (
+        let* ty = check_local i in
+        match state.operands with
+        | top :: _ when top = ty -> Ok ()
+        | top :: _ ->
+            error index "tee expects %s, found %s" (type_name ty) (type_name top)
+        | [] -> if state.unreachable then Ok () else error index "tee on empty stack")
+    | Global_get i ->
+        let* g = check_global i in
+        push state g.gtype;
+        Ok ()
+    | Global_set i ->
+        let* g = check_global i in
+        if not g.mutable_ then error index "global %d is immutable" i
+        else pop state g.gtype
+    | I32_const _ ->
+        push state I32;
+        Ok ()
+    | I64_const _ ->
+        push state I64;
+        Ok ()
+    | Binop (ty, _) ->
+        let* () = pop state ty in
+        let* () = pop state ty in
+        push state ty;
+        Ok ()
+    | Unop (ty, _) ->
+        let* () = pop state ty in
+        push state ty;
+        Ok ()
+    | Relop (ty, _) ->
+        let* () = pop state ty in
+        let* () = pop state ty in
+        push state I32;
+        Ok ()
+    | I32_eqz ->
+        let* () = pop state I32 in
+        push state I32;
+        Ok ()
+    | I64_eqz ->
+        let* () = pop state I64 in
+        push state I32;
+        Ok ()
+    | I32_wrap_i64 ->
+        let* () = pop state I64 in
+        push state I32;
+        Ok ()
+    | I64_extend_i32_u ->
+        let* () = pop state I32 in
+        push state I64;
+        Ok ()
+    | I32_load _ | I32_load8_u _ | I32_load16_u _ ->
+        let* () = require_memory () in
+        let* () = pop state I32 in
+        push state I32;
+        Ok ()
+    | I64_load _ ->
+        let* () = require_memory () in
+        let* () = pop state I32 in
+        push state I64;
+        Ok ()
+    | I32_store _ | I32_store8 _ | I32_store16 _ ->
+        let* () = require_memory () in
+        let* () = pop state I32 in
+        pop state I32
+    | I64_store _ ->
+        let* () = require_memory () in
+        let* () = pop state I64 in
+        pop state I32
+    | Memory_size ->
+        let* () = require_memory () in
+        push state I32;
+        Ok ()
+    | Memory_grow ->
+        let* () = require_memory () in
+        let* () = pop state I32 in
+        push state I32;
+        Ok ()
+  in
+  (* the function body: one label; its result must match the signature *)
+  let state = { operands = []; unreachable = false } in
+  let* () =
+    List.fold_left
+      (fun acc instr ->
+        let* () = acc in
+        check_instr ~depth:1 state instr)
+      (Ok ()) func.body
+  in
+  if state.unreachable then Ok () (* ends unreachable: polymorphic *)
+  else
+    match (func.ftype.results, state.operands) with
+    | [], [] -> Ok ()
+    | [], _ :: _ -> error index "void function leaves operands"
+    | [ ty ], [ top ] ->
+        if top = ty then Ok ()
+        else
+          error index "body yields %s, signature says %s" (type_name top)
+            (type_name ty)
+    | [ _ ], stack ->
+        error index "body leaves %d operands, expected exactly 1"
+          (List.length stack)
+    | _ :: _ :: _, _ -> error index "multi-value results are not supported"
+
+(* [check m] type-checks every function.  Run after the structural
+   [Validate.validate]. *)
+let check (m : modul) =
+  let rec loop i =
+    if i >= Array.length m.funcs then Ok ()
+    else
+      let* () = check_func ~m ~index:i m.funcs.(i) in
+      loop (i + 1)
+  in
+  loop 0

@@ -1,0 +1,12 @@
+(** Stack-typing validator: the WebAssembly validation algorithm for this
+    subset, with the standard polymorphic-stack treatment of unreachable
+    code.
+
+    A module that passes [check] cannot confuse i32 and i64 operands at
+    run time — which is what justifies the untyped int64 slots of the
+    {!Fast} engine agreeing with the typed reference interpreter. *)
+
+type error = { func : int; message : string }
+
+val check : Ast.modul -> (unit, error) result
+(** Run after {!Validate.validate}. *)

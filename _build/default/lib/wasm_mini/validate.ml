@@ -1,0 +1,93 @@
+(* Structural validation of a decoded module: indices in range, branch
+   depths valid, memory instructions only when a memory exists.  Runs at
+   load time, contributing (together with binary decoding) the cold-start
+   cost Table 2 measures for WASM. *)
+
+open Ast
+
+type error = { where : string; message : string }
+
+let error where fmt =
+  Format.kasprintf (fun message -> Error { where; message }) fmt
+
+let ( let* ) = Result.bind
+
+let rec check_instrs ~where ~m ~func ~depth instrs =
+  List.fold_left
+    (fun acc instr ->
+      let* () = acc in
+      check_instr ~where ~m ~func ~depth instr)
+    (Ok ()) instrs
+
+and check_instr ~where ~m ~func ~depth instr =
+  let nlocals = List.length func.ftype.params + List.length func.locals in
+  let check_local i =
+    if i < 0 || i >= nlocals then error where "local %d out of range (%d)" i nlocals
+    else Ok ()
+  in
+  let check_mem () =
+    if m.memory_pages = 0 then error where "memory instruction without memory"
+    else Ok ()
+  in
+  match instr with
+  | Block body | Loop body -> check_instrs ~where ~m ~func ~depth:(depth + 1) body
+  | If (then_, else_) ->
+      let* () = check_instrs ~where ~m ~func ~depth:(depth + 1) then_ in
+      check_instrs ~where ~m ~func ~depth:(depth + 1) else_
+  | Br d | Br_if d ->
+      if d < 0 || d >= depth then error where "branch depth %d exceeds %d" d depth
+      else Ok ()
+  | Call f ->
+      if f < 0 || f >= Array.length m.funcs then error where "call to %d out of range" f
+      else Ok ()
+  | Local_get i | Local_set i | Local_tee i -> check_local i
+  | Global_get i ->
+      if i < 0 || i >= Array.length m.globals then
+        error where "global %d out of range" i
+      else Ok ()
+  | Global_set i ->
+      if i < 0 || i >= Array.length m.globals then
+        error where "global %d out of range" i
+      else if not m.globals.(i).mutable_ then
+        error where "global %d is immutable" i
+      else Ok ()
+  | I32_load _ | I64_load _ | I32_load8_u _ | I32_load16_u _ | I32_store _
+  | I64_store _ | I32_store8 _ | I32_store16 _ | Memory_size | Memory_grow ->
+      check_mem ()
+  | Unreachable | Nop | Return | Drop | I32_const _ | I64_const _ | Binop _
+  | Unop _ | Relop _ | I32_eqz | I64_eqz | I32_wrap_i64 | I64_extend_i32_u ->
+      Ok ()
+
+let validate (m : modul) =
+  let* () =
+    if Array.length m.funcs = 0 then error "module" "no functions" else Ok ()
+  in
+  let* () =
+    List.fold_left
+      (fun acc e ->
+        let* () = acc in
+        if e.func_index < 0 || e.func_index >= Array.length m.funcs then
+          error "exports" "export %S references function %d" e.name e.func_index
+        else Ok ())
+      (Ok ()) m.exports
+  in
+  let* () =
+    List.fold_left
+      (fun acc seg ->
+        let* () = acc in
+        if seg.offset < 0
+           || seg.offset + String.length seg.bytes > m.memory_pages * page_size
+        then error "data" "segment at %d overruns memory" seg.offset
+        else Ok ())
+      (Ok ()) m.data
+  in
+  let rec check_funcs i =
+    if i >= Array.length m.funcs then Ok ()
+    else
+      let func = m.funcs.(i) in
+      let where = Printf.sprintf "func %d" i in
+      (* the function body is one implicit block: depth 1 *)
+      let* () = check_instrs ~where ~m ~func ~depth:1 func.body in
+      check_funcs (i + 1)
+  in
+  check_funcs 0

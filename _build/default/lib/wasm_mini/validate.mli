@@ -1,0 +1,8 @@
+(** Structural validation of a decoded module: indices in range, branch
+    depths valid, memory instructions only with a memory, immutable
+    globals never written, data segments in bounds.  Run at load time;
+    see {!Typecheck} for the stack-typing pass. *)
+
+type error = { where : string; message : string }
+
+val validate : Ast.modul -> (unit, error) result

@@ -1,0 +1,1 @@
+lib/workloads/apps.ml: Femto_core Femto_ebpf Int64

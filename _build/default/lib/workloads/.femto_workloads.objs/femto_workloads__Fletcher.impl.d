@@ -1,0 +1,1 @@
+lib/workloads/fletcher.ml: Bytes Char Femto_ebpf Femto_vm Int32 Int64 String

@@ -1,0 +1,227 @@
+(* The paper's §8 example applications, as eBPF assembly for the
+   Femto-Container syscall ABI. *)
+
+let resolve = Femto_core.Syscall.resolve_name
+let assemble source = Femto_ebpf.Asm.assemble ~helpers:resolve source
+
+(* §8.2 Kernel debug code (Listing 2): attached to the scheduler's
+   context-switch hook; counts activations per thread in the global
+   key-value store.  Context struct: [0] previous tid, [8] next tid.
+   Key = 0x100 + tid. *)
+let thread_counter_source =
+  {|
+      ldxdw r6, [r1+8]        ; next thread id
+      jeq   r6, 0, done       ; zero pid means no next thread
+      mov   r7, r6
+      add   r7, 0x100         ; thread_key = THREAD_START_KEY + next
+      ; bpf_fetch_global(thread_key, r10-8)
+      mov   r1, r7
+      mov   r2, r10
+      sub   r2, 8
+      call  bpf_fetch_global
+      ldxdw r3, [r10-8]
+      add   r3, 1             ; counter++
+      ; bpf_store_global(thread_key, counter)
+      mov   r1, r7
+      mov   r2, r3
+      call  bpf_store_global
+    done:
+      mov   r0, 0
+      exit
+  |}
+
+let thread_counter () = assemble thread_counter_source
+
+let thread_key_base = 0x100l
+
+(* §8.3 first container: timer-triggered sensor read and processing.
+   Reads SAUL sensor 1, keeps an exponential moving average
+   avg' = (3*avg + sample) / 4 in its local store (key 1), and publishes
+   the average to the tenant store (key 0x200) for the CoAP responder. *)
+let sensor_process_source =
+  {|
+      ; bpf_saul_read(1, r10-8)
+      mov   r1, 1
+      mov   r2, r10
+      sub   r2, 8
+      call  bpf_saul_read
+      ldxdw r6, [r10-8]       ; fresh sample
+      ; bpf_fetch_local(1, r10-16) -> running average
+      mov   r1, 1
+      mov   r2, r10
+      sub   r2, 16
+      call  bpf_fetch_local
+      ldxdw r7, [r10-16]
+      jne   r7, 0, smooth
+      mov   r8, r6            ; first sample seeds the average
+      ja    publish
+    smooth:
+      mov   r8, r7
+      mul   r8, 3
+      add   r8, r6
+      div   r8, 4
+    publish:
+      mov   r1, 1
+      mov   r2, r8
+      call  bpf_store_local
+      mov   r1, 0x200
+      mov   r2, r8
+      call  bpf_store_tenant
+      mov   r0, r8
+      exit
+  |}
+
+let sensor_process () = assemble sensor_process_source
+
+let sensor_value_key = 0x200l
+
+(* §8.3 second container: CoAP response formatter.  Triggered by a CoAP
+   GET; fetches the published average from the tenant store and formats a
+   text/plain response through the CoAP helpers.  r1 = packet context. *)
+let coap_formatter_source =
+  {|
+      mov   r6, r1            ; save packet context pointer
+      ; fetch the published sensor average
+      mov   r1, 0x200
+      mov   r2, r10
+      sub   r2, 8
+      call  bpf_fetch_tenant
+      ldxdw r7, [r10-8]
+      ; gcoap_resp_init(pkt, COAP_CODE_CONTENT = 69)
+      mov   r1, r6
+      mov   r2, 69
+      call  bpf_gcoap_resp_init
+      ; coap_add_format(pkt, 0)   ; text/plain
+      mov   r1, r6
+      mov   r2, 0
+      call  bpf_coap_add_format
+      ; coap_opt_finish(pkt) -> payload pointer
+      mov   r1, r6
+      call  bpf_coap_opt_finish
+      ; fmt_s16_dfp(payload, value, scale=0) -> length
+      mov   r1, r0
+      mov   r2, r7
+      mov   r3, 0
+      call  bpf_fmt_s16_dfp
+      ; coap_set_payload_len(pkt, length)
+      mov   r2, r0
+      mov   r1, r6
+      call  bpf_coap_set_payload_len
+      mov   r0, 0
+      exit
+  |}
+
+let coap_formatter () = assemble coap_formatter_source
+
+(* Minimal container: the "hosting minimal logic" of the paper's Table 3
+   footprint measurements. *)
+let minimal_source = "mov r0, 0\nexit"
+let minimal () = assemble minimal_source
+
+(* "More complex post-processing" (paper §8.3 suggests e.g. differential
+   privacy or federated-learning logic): streaming statistics over sensor
+   samples.  Each trigger reads the sensor and updates count, sum, sum of
+   squares, min and max in the local store; returns the running mean.
+   Exercises a longer helper-heavy path than the EMA app. *)
+let stats_source =
+  {|
+      ; read a fresh sample into r6
+      mov   r1, 1
+      mov   r2, r10
+      sub   r2, 8
+      call  bpf_saul_read
+      ldxdw r6, [r10-8]
+      ; count (key 1) += 1
+      mov   r1, 1
+      mov   r2, r10
+      sub   r2, 16
+      call  bpf_fetch_local
+      ldxdw r7, [r10-16]
+      add   r7, 1
+      mov   r1, 1
+      mov   r2, r7
+      call  bpf_store_local
+      ; sum (key 2) += sample
+      mov   r1, 2
+      mov   r2, r10
+      sub   r2, 16
+      call  bpf_fetch_local
+      ldxdw r8, [r10-16]
+      add   r8, r6
+      mov   r1, 2
+      mov   r2, r8
+      call  bpf_store_local
+      ; sumsq (key 3) += sample^2
+      mov   r1, 3
+      mov   r2, r10
+      sub   r2, 16
+      call  bpf_fetch_local
+      ldxdw r9, [r10-16]
+      mov   r4, r6
+      mul   r4, r6
+      add   r9, r4
+      mov   r1, 3
+      mov   r2, r9
+      call  bpf_store_local
+      ; min (key 4): first sample initializes
+      mov   r1, 4
+      mov   r2, r10
+      sub   r2, 16
+      call  bpf_fetch_local
+      ldxdw r3, [r10-16]
+      jeq   r7, 1, set_min        ; first sample
+      jle   r3, r6, min_done
+    set_min:
+      mov   r1, 4
+      mov   r2, r6
+      call  bpf_store_local
+    min_done:
+      ; max (key 5)
+      mov   r1, 5
+      mov   r2, r10
+      sub   r2, 16
+      call  bpf_fetch_local
+      ldxdw r3, [r10-16]
+      jge   r3, r6, max_done
+      mov   r1, 5
+      mov   r2, r6
+      call  bpf_store_local
+    max_done:
+      ; publish mean = sum / count to the tenant store (key 0x201)
+      mov   r3, r8
+      div   r3, r7
+      mov   r1, 0x201
+      mov   r2, r3
+      call  bpf_store_tenant
+      mov   r0, r3
+      exit
+  |}
+
+let stats () = assemble stats_source
+
+let stats_count_key = 1l
+let stats_sum_key = 2l
+let stats_sumsq_key = 3l
+let stats_min_key = 4l
+let stats_max_key = 5l
+let stats_mean_key = 0x201l
+
+(* Native reference for the equivalence tests. *)
+type stats_state = {
+  mutable count : int64;
+  mutable sum : int64;
+  mutable sumsq : int64;
+  mutable min : int64;
+  mutable max : int64;
+}
+
+let stats_init () = { count = 0L; sum = 0L; sumsq = 0L; min = 0L; max = 0L }
+
+let stats_feed state sample =
+  state.count <- Int64.add state.count 1L;
+  state.sum <- Int64.add state.sum sample;
+  state.sumsq <- Int64.add state.sumsq (Int64.mul sample sample);
+  if Int64.equal state.count 1L || Int64.unsigned_compare sample state.min < 0
+  then state.min <- sample;
+  if Int64.unsigned_compare sample state.max > 0 then state.max <- sample;
+  Int64.unsigned_div state.sum state.count

@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Array Astring Buffer Bytes Femto_script Femto_vm Femto_wasm_mini Femto_workloads Gen Int32 Int64 List Printf QCheck QCheck_alcotest String

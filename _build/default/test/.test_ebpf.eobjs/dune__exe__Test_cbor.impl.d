@@ -1,0 +1,1 @@
+test/test_cbor.ml: Alcotest Femto_cbor Femto_crypto Gen Int64 Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_certfc.ml: Alcotest Asm Bytes Femto_certfc Femto_ebpf Femto_vm Gen Insn Int32 Int64 Opcode Program QCheck QCheck_alcotest Result String

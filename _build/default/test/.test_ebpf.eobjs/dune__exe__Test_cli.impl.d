@@ -1,0 +1,1 @@
+test/test_cli.ml: Alcotest Astring Filename List Printf String Sys

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Bytes Femto_certfc Femto_core Femto_ebpf Femto_platform Femto_rtos Femto_vm Femto_workloads Gen Int32 Int64 List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_crypto.ml: Alcotest Bytes Char Femto_cose Femto_crypto Gen List QCheck QCheck_alcotest String

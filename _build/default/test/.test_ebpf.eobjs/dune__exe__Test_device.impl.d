@@ -1,0 +1,1 @@
+test/test_device.ml: Alcotest Astring Bytes Femto_coap Femto_core Femto_cose Femto_device Femto_ebpf Femto_flash Femto_net Femto_rtos Femto_suit List Option String

@@ -1,0 +1,1 @@
+test/test_ebpf.ml: Alcotest Asm Bytes Disasm Femto_ebpf Insn Int32 Opcode Program QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Asm Compact Femto_ebpf Femto_vm Femto_workloads Insn Int32 Int64 List Opcode Printf Program QCheck QCheck_alcotest String

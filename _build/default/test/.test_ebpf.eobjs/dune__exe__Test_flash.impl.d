@@ -1,0 +1,1 @@
+test/test_flash.ml: Alcotest Bytes Femto_core Femto_ebpf Femto_flash Gen Int64 List QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Bytes Femto_coap Femto_core Femto_cose Femto_ebpf Femto_eval Femto_net Femto_platform Femto_rtos Femto_suit Femto_workloads Float Fun Int64 List Printf Result Unix

@@ -1,0 +1,1 @@
+test/test_net_coap.ml: Alcotest Bytes Char Femto_coap Femto_net Femto_rtos Gen List Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_rtos.ml: Alcotest Femto_rtos Hashtbl Int64 List Option

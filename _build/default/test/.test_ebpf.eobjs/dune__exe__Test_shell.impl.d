@@ -1,0 +1,1 @@
+test/test_shell.ml: Alcotest Astring Bytes Femto_cose Femto_device Femto_ebpf Femto_flash Femto_net Femto_rtos Femto_shell Femto_suit Printf

@@ -1,0 +1,1 @@
+test/test_suit.ml: Alcotest Femto_cbor Femto_cose Femto_crypto Femto_suit Int64 List Printf QCheck QCheck_alcotest String

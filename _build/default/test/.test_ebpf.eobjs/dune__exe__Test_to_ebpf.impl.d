@@ -1,0 +1,1 @@
+test/test_to_ebpf.ml: Alcotest Array Bytes Femto_script Femto_vm Int64 List Printf QCheck QCheck_alcotest Result

@@ -1,0 +1,1 @@
+test/test_vm.ml: Alcotest Asm Bytes Femto_ebpf Femto_vm Gen Insn Int32 Int64 List Opcode Program QCheck QCheck_alcotest

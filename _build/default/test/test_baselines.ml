@@ -1,0 +1,893 @@
+(* Tests for the baseline runtimes (wasm_mini, MiniScript in both
+   profiles), culminating in the cross-runtime fletcher32 equivalence the
+   paper's Table 2 relies on. *)
+
+module Ast = Femto_wasm_mini.Ast
+module Binary = Femto_wasm_mini.Binary
+module Validate = Femto_wasm_mini.Validate
+module Winterp = Femto_wasm_mini.Interp
+module Wsamples = Femto_wasm_mini.Samples
+module Eval_tree = Femto_script.Eval_tree
+module Stack_vm = Femto_script.Stack_vm
+module Compile = Femto_script.Compile
+module Value = Femto_script.Value
+module Ssamples = Femto_script.Samples
+module Fletcher = Femto_workloads.Fletcher
+
+(* tiny literal string replacement used by a test below *)
+module Str_replace = struct
+  let replace haystack needle replacement =
+    let nlen = String.length needle in
+    let buf = Buffer.create (String.length haystack) in
+    let i = ref 0 in
+    while !i < String.length haystack do
+      if
+        !i + nlen <= String.length haystack
+        && String.sub haystack !i nlen = needle
+      then begin
+        Buffer.add_string buf replacement;
+        i := !i + nlen
+      end
+      else begin
+        Buffer.add_char buf haystack.[!i];
+        incr i
+      end
+    done;
+    Buffer.contents buf
+end
+module Fast = Femto_wasm_mini.Fast
+module Flatten = Femto_wasm_mini.Flatten
+
+(* --- wasm --- *)
+
+let simple_module body ~results =
+  let ftype = { Ast.params = [ Ast.I32 ]; results } in
+  {
+    Ast.types = [| ftype |];
+    funcs = [| { Ast.ftype; locals = [ Ast.I32 ]; body } |];
+    memory_pages = 1;
+    globals = [||];
+    data = [];
+    exports = [ { Ast.name = "f"; func_index = 0 } ];
+  }
+
+let run_simple m args =
+  match Validate.validate m with
+  | Error e -> Alcotest.failf "validate: %s: %s" e.Validate.where e.Validate.message
+  | Ok () -> (
+      let instance = Winterp.instantiate m in
+      match Winterp.call instance ~name:"f" args with
+      | Ok v -> v
+      | Error trap -> Alcotest.failf "trap: %s" (Winterp.trap_to_string trap))
+
+let test_wasm_arithmetic () =
+  let body =
+    Ast.[ Local_get 0; I32_const 10l; Binop (I32, Add) ]
+  in
+  match run_simple (simple_module body ~results:[ Ast.I32 ]) [ Ast.V_i32 32l ] with
+  | Some (Ast.V_i32 42l) -> ()
+  | _ -> Alcotest.fail "expected 42"
+
+let test_wasm_loop_and_branch () =
+  (* sum 1..n with a loop *)
+  let n = 0 and acc = 1 in
+  let body =
+    Ast.[
+      I32_const 0l; Local_set acc;
+      Block
+        [
+          Local_get n; I32_eqz; Br_if 0;
+          Loop
+            [
+              Local_get acc; Local_get n; Binop (I32, Add); Local_set acc;
+              Local_get n; I32_const 1l; Binop (I32, Sub); Local_set n;
+              Local_get n; I32_const 0l; Relop (I32, Ne); Br_if 0;
+            ];
+        ];
+      Local_get acc;
+    ]
+  in
+  match run_simple (simple_module body ~results:[ Ast.I32 ]) [ Ast.V_i32 10l ] with
+  | Some (Ast.V_i32 55l) -> ()
+  | other ->
+      Alcotest.failf "expected 55, got %s"
+        (match other with
+        | Some (Ast.V_i32 v) -> Int32.to_string v
+        | _ -> "non-i32")
+
+let test_wasm_memory_roundtrip () =
+  let body =
+    Ast.[
+      I32_const 8l; Local_get 0; I32_store 0;
+      I32_const 8l; I32_load 0;
+    ]
+  in
+  match run_simple (simple_module body ~results:[ Ast.I32 ]) [ Ast.V_i32 77l ] with
+  | Some (Ast.V_i32 77l) -> ()
+  | _ -> Alcotest.fail "expected 77"
+
+let test_wasm_oob_traps () =
+  let body = Ast.[ Local_get 0; I32_load 0 ] in
+  let m = simple_module body ~results:[ Ast.I32 ] in
+  let instance = Winterp.instantiate m in
+  match Winterp.call instance ~name:"f" [ Ast.V_i32 (Int32.of_int Ast.page_size) ] with
+  | Error (Winterp.Out_of_bounds _) -> ()
+  | _ -> Alcotest.fail "expected OOB trap"
+
+let test_wasm_div_by_zero_traps () =
+  let body = Ast.[ Local_get 0; I32_const 0l; Binop (I32, Div_u) ] in
+  let m = simple_module body ~results:[ Ast.I32 ] in
+  let instance = Winterp.instantiate m in
+  match Winterp.call instance ~name:"f" [ Ast.V_i32 1l ] with
+  | Error Winterp.Division_by_zero -> ()
+  | _ -> Alcotest.fail "expected division trap"
+
+let test_wasm_fuel_exhaustion () =
+  let body = Ast.[ Loop [ Br 0 ] ] in
+  let m = simple_module body ~results:[] in
+  let instance = Winterp.instantiate ~fuel:10_000 m in
+  match Winterp.call instance ~name:"f" [ Ast.V_i32 0l ] with
+  | Error Winterp.Fuel_exhausted -> ()
+  | _ -> Alcotest.fail "expected fuel exhaustion"
+
+let test_wasm_binary_roundtrip () =
+  let m = Wsamples.fletcher32_module in
+  let encoded = Binary.encode m in
+  let decoded = Binary.decode encoded in
+  Alcotest.(check int) "memory pages" m.Ast.memory_pages decoded.Ast.memory_pages;
+  Alcotest.(check int) "funcs" (Array.length m.Ast.funcs) (Array.length decoded.Ast.funcs);
+  Alcotest.(check bool) "bodies equal" true
+    (decoded.Ast.funcs.(0).Ast.body = m.Ast.funcs.(0).Ast.body);
+  Alcotest.(check string) "re-encoding is stable" encoded (Binary.encode decoded)
+
+let test_wasm_binary_rejects_garbage () =
+  (match Binary.decode "garbage!" with
+  | exception Binary.Format_error _ -> ()
+  | _ -> Alcotest.fail "garbage accepted");
+  match Binary.decode "\x00asm\x02\x00\x00\x00" with
+  | exception Binary.Format_error _ -> ()
+  | _ -> Alcotest.fail "bad version accepted"
+
+let test_wasm_validate_rejects_bad_indices () =
+  let bad_local = simple_module Ast.[ Local_get 9 ] ~results:[] in
+  (match Validate.validate bad_local with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "bad local accepted");
+  let bad_call = simple_module Ast.[ Call 3 ] ~results:[] in
+  (match Validate.validate bad_call with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "bad call accepted");
+  let bad_branch = simple_module Ast.[ Br 5 ] ~results:[] in
+  match Validate.validate bad_branch with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "bad branch accepted"
+
+let test_wasm_fletcher () =
+  let data = Fletcher.input_360 in
+  let instance = Winterp.instantiate Wsamples.fletcher32_module in
+  match Wsamples.run_fletcher32 instance data with
+  | Ok v ->
+      Alcotest.(check int64) "matches native"
+        (Int64.of_int (Fletcher.checksum data)) v
+  | Error trap -> Alcotest.failf "trap: %s" (Winterp.trap_to_string trap)
+
+(* --- type checker, globals, data segments, numeric extensions --- *)
+
+module Typecheck = Femto_wasm_mini.Typecheck
+
+let expect_typecheck_ok m =
+  match Typecheck.check m with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "typecheck rejected: %s" e.Typecheck.message
+
+let expect_typecheck_error m =
+  match Typecheck.check m with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "typecheck accepted an ill-typed module"
+
+let test_typecheck_accepts_fletcher () =
+  expect_typecheck_ok Wsamples.fletcher32_module
+
+let test_typecheck_rejects_type_confusion () =
+  (* i64 operand fed to an i32 add *)
+  expect_typecheck_error
+    (simple_module Ast.[ Local_get 0; I64_const 1L; Binop (I32, Add) ]
+       ~results:[ Ast.I32 ]);
+  (* i32 result declared as function returning nothing *)
+  expect_typecheck_error (simple_module Ast.[ I32_const 1l ] ~results:[]);
+  (* block leaving an operand behind *)
+  expect_typecheck_error
+    (simple_module Ast.[ Block [ I32_const 1l ]; I32_const 0l ] ~results:[ Ast.I32 ]);
+  (* stack underflow *)
+  expect_typecheck_error (simple_module Ast.[ Binop (I32, Add) ] ~results:[ Ast.I32 ])
+
+let test_typecheck_unreachable_is_polymorphic () =
+  expect_typecheck_ok
+    (simple_module Ast.[ Unreachable; Binop (I32, Add) ] ~results:[ Ast.I32 ])
+
+let global_module ~mutable_ body ~results =
+  let m = simple_module body ~results in
+  { m with Ast.globals = [| { Ast.gtype = Ast.I32; mutable_; init = 40L } |] }
+
+let test_globals_roundtrip_and_exec () =
+  let body = Ast.[ Global_get 0; I32_const 2l; Binop (I32, Add);
+                   Global_set 0; Global_get 0 ] in
+  let m = global_module ~mutable_:true body ~results:[ Ast.I32 ] in
+  expect_typecheck_ok m;
+  (* binary roundtrip preserves globals *)
+  let decoded = Femto_wasm_mini.Binary.decode (Femto_wasm_mini.Binary.encode m) in
+  Alcotest.(check int) "globals survive" 1 (Array.length decoded.Ast.globals);
+  (* both engines agree: 40 + 2 = 42, and the global persists *)
+  let reference = Winterp.instantiate m in
+  (match Winterp.call reference ~name:"f" [ Ast.V_i32 0l ] with
+  | Ok (Some (Ast.V_i32 42l)) -> ()
+  | _ -> Alcotest.fail "reference: expected 42");
+  (match Winterp.call reference ~name:"f" [ Ast.V_i32 0l ] with
+  | Ok (Some (Ast.V_i32 44l)) -> () (* state persisted across calls *)
+  | _ -> Alcotest.fail "reference: expected 44");
+  let fast = Fast.of_module m in
+  (match Fast.call fast ~name:"f" [ 0L ] with
+  | Ok (Some 42L) -> ()
+  | _ -> Alcotest.fail "fast: expected 42");
+  match Fast.call fast ~name:"f" [ 0L ] with
+  | Ok (Some 44L) -> ()
+  | _ -> Alcotest.fail "fast: expected 44"
+
+let test_immutable_global_rejected () =
+  let body = Ast.[ I32_const 1l; Global_set 0 ] in
+  let m = global_module ~mutable_:false body ~results:[] in
+  (match Validate.validate m with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "validate accepted write to immutable global");
+  expect_typecheck_error m
+
+let test_data_segments_initialize_memory () =
+  let body = Ast.[ Local_get 0; I32_load8_u 0 ] in
+  let m =
+    { (simple_module body ~results:[ Ast.I32 ]) with
+      Ast.data = [ { Ast.offset = 10; bytes = "AB" } ] }
+  in
+  let decoded = Femto_wasm_mini.Binary.decode (Femto_wasm_mini.Binary.encode m) in
+  Alcotest.(check int) "data survives" 1 (List.length decoded.Ast.data);
+  let check_engine name call =
+    match call 10L with
+    | Some 65L -> (
+        match call 11L with
+        | Some 66L -> (
+            match call 12L with
+            | Some 0L -> ()
+            | _ -> Alcotest.failf "%s: expected zero past segment" name)
+        | _ -> Alcotest.failf "%s: expected 'B'" name)
+    | _ -> Alcotest.failf "%s: expected 'A'" name
+  in
+  let reference = Winterp.instantiate decoded in
+  check_engine "reference" (fun arg ->
+      match Winterp.call reference ~name:"f" [ Ast.V_i32 (Int64.to_int32 arg) ] with
+      | Ok (Some (Ast.V_i32 v)) -> Some (Int64.logand (Int64.of_int32 v) 0xFFL)
+      | _ -> None);
+  let fast = Fast.of_module decoded in
+  check_engine "fast" (fun arg ->
+      match Fast.call fast ~name:"f" [ arg ] with
+      | Ok (Some v) -> Some (Int64.logand v 0xFFL)
+      | _ -> None)
+
+let test_data_segment_bounds_checked () =
+  let m =
+    { (simple_module Ast.[ I32_const 0l ] ~results:[ Ast.I32 ]) with
+      Ast.data = [ { Ast.offset = Ast.page_size - 1; bytes = "too long" } ] }
+  in
+  match Validate.validate m with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "out-of-bounds data segment accepted"
+
+let test_numeric_extensions () =
+  let eval body arg =
+    let m = simple_module body ~results:[ Ast.I32 ] in
+    expect_typecheck_ok m;
+    let reference =
+      match run_simple m [ Ast.V_i32 arg ] with
+      | Some (Ast.V_i32 v) -> Int64.logand (Int64.of_int32 v) 0xFFFF_FFFFL
+      | _ -> Alcotest.fail "reference failed"
+    in
+    let fast = Fast.of_module m in
+    (match Fast.call fast ~name:"f" [ Int64.logand (Int64.of_int32 arg) 0xFFFF_FFFFL ] with
+    | Ok (Some v) ->
+        Alcotest.(check int64) "fast agrees with reference" reference v
+    | _ -> Alcotest.fail "fast failed");
+    reference
+  in
+  Alcotest.(check int64) "clz(1) = 31" 31L
+    (eval Ast.[ Local_get 0; Unop (I32, Clz) ] 1l);
+  Alcotest.(check int64) "clz(0) = 32" 32L
+    (eval Ast.[ Local_get 0; Unop (I32, Clz) ] 0l);
+  Alcotest.(check int64) "ctz(8) = 3" 3L
+    (eval Ast.[ Local_get 0; Unop (I32, Ctz) ] 8l);
+  Alcotest.(check int64) "popcnt(0xF0F0) = 8" 8L
+    (eval Ast.[ Local_get 0; Unop (I32, Popcnt) ] 0xF0F0l);
+  Alcotest.(check int64) "rotl(0x80000001, 1) = 3" 3L
+    (eval Ast.[ Local_get 0; I32_const 1l; Binop (I32, Rotl) ] 0x80000001l);
+  Alcotest.(check int64) "rotr(1, 1) = 0x80000000" 0x80000000L
+    (eval Ast.[ Local_get 0; I32_const 1l; Binop (I32, Rotr) ] 1l)
+
+(* --- fast (threaded, fused) wasm engine --- *)
+
+let test_fast_fletcher () =
+  let data = Fletcher.input_360 in
+  let fast = Fast.of_module Wsamples.fletcher32_module in
+  match Fast.run_fletcher32 fast data with
+  | Ok v ->
+      Alcotest.(check int64) "fast = native"
+        (Int64.of_int (Fletcher.checksum data)) v
+  | Error trap -> Alcotest.failf "trap: %s" (Winterp.trap_to_string trap)
+
+let test_fast_matches_reference_on_simple_bodies () =
+  (* the fast engine and the typed reference interpreter must agree *)
+  let cases =
+    [
+      Ast.[ Local_get 0; I32_const 10l; Binop (I32, Add) ];
+      Ast.[ Local_get 0; I32_const 3l; Binop (I32, Mul);
+            Local_set 1; Local_get 1; I32_const 1l; Binop (I32, Sub) ];
+      Ast.[
+        I32_const 0l; Local_set 1;
+        Block [ Local_get 0; I32_eqz; Br_if 0;
+                Loop [ Local_get 1; Local_get 0; Binop (I32, Add); Local_set 1;
+                       Local_get 0; I32_const 1l; Binop (I32, Sub); Local_set 0;
+                       Local_get 0; I32_const 0l; Relop (I32, Ne); Br_if 0 ] ];
+        Local_get 1 ];
+      Ast.[ Local_get 0; I32_const (-1l); Binop (I32, Xor) ];
+      Ast.[ Local_get 0; If ([ I32_const 7l ], [ I32_const 9l ]) ];
+      Ast.[ I32_const 4l; Local_get 0; I32_store 0; I32_const 4l; I32_load 0 ];
+    ]
+  in
+  List.iteri
+    (fun i body ->
+      let m = simple_module body ~results:[ Ast.I32 ] in
+      List.iter
+        (fun input ->
+          let reference =
+            let inst = Winterp.instantiate m in
+            match Winterp.call inst ~name:"f" [ Ast.V_i32 (Int32.of_int input) ] with
+            | Ok (Some (Ast.V_i32 v)) ->
+                Ok (Int64.logand (Int64.of_int32 v) 0xFFFF_FFFFL)
+            | Ok _ -> Error "shape"
+            | Error trap -> Error (Winterp.trap_to_string trap)
+          in
+          let fast =
+            let inst = Fast.of_module m in
+            match Fast.call inst ~name:"f" [ Int64.of_int input ] with
+            | Ok (Some v) -> Ok v
+            | Ok None -> Error "shape"
+            | Error trap -> Error (Winterp.trap_to_string trap)
+          in
+          match (reference, fast) with
+          | Ok a, Ok b ->
+              Alcotest.(check int64) (Printf.sprintf "case %d input %d" i input) a b
+          | Error _, Error _ -> ()
+          | _ -> Alcotest.failf "case %d input %d: engines disagree" i input)
+        [ 0; 1; 5; 255; -1 ])
+    cases
+
+let test_fast_traps_contained () =
+  let oob = simple_module Ast.[ Local_get 0; I32_load 0 ] ~results:[ Ast.I32 ] in
+  let inst = Fast.of_module oob in
+  (match Fast.call inst ~name:"f" [ Int64.of_int Ast.page_size ] with
+  | Error (Winterp.Out_of_bounds _) -> ()
+  | _ -> Alcotest.fail "expected OOB trap");
+  let div0 =
+    simple_module Ast.[ Local_get 0; I32_const 0l; Binop (I32, Div_u) ]
+      ~results:[ Ast.I32 ]
+  in
+  let inst = Fast.of_module div0 in
+  (match Fast.call inst ~name:"f" [ 1L ] with
+  | Error Winterp.Division_by_zero -> ()
+  | _ -> Alcotest.fail "expected div0 trap");
+  let spin = simple_module Ast.[ Loop [ Br 0 ] ] ~results:[] in
+  let inst = Fast.instantiate ~fuel:5_000 (Flatten.flatten spin) in
+  match Fast.call inst ~name:"f" [ 0L ] with
+  | Error Winterp.Fuel_exhausted -> ()
+  | _ -> Alcotest.fail "expected fuel trap"
+
+let test_fusion_preserves_fused_div_trap () =
+  (* a fused quad with a constant zero divisor must still trap *)
+  let body =
+    Ast.[ Local_get 0; I32_const 0l; Binop (I32, Div_u); Local_set 1;
+          Local_get 1 ]
+  in
+  let m = simple_module body ~results:[ Ast.I32 ] in
+  let inst = Fast.of_module m in
+  match Fast.call inst ~name:"f" [ 7L ] with
+  | Error Winterp.Division_by_zero -> ()
+  | _ -> Alcotest.fail "expected trap through fused op"
+
+(* Differential fuzzing: random well-typed module bodies must evaluate
+   identically in the typed reference interpreter and the untyped fused
+   fast engine. *)
+let gen_wasm_module =
+  let open QCheck.Gen in
+  let slot = int_range 0 3 in (* local 0 = the i32 parameter *)
+  let stmt =
+    frequency
+      [
+        ( 4,
+          map3
+            (fun (a, b) op c ->
+              Ast.[ Local_get a; Local_get b; Binop (I32, op); Local_set c ])
+            (pair slot slot)
+            (oneofl Ast.[ Add; Sub; Mul; And; Or; Xor; Shl; Shr_u; Shr_s; Rotl; Rotr ])
+            slot );
+        ( 3,
+          map3
+            (fun a k c ->
+              Ast.[ Local_get a; I32_const (Int32.of_int k); Binop (I32, Add);
+                    Local_set c ])
+            slot (int_range (-1000) 1000) slot );
+        ( 2,
+          map3
+            (fun a op c -> Ast.[ Local_get a; Unop (I32, op); Local_set c ])
+            slot
+            (oneofl Ast.[ Clz; Ctz; Popcnt ])
+            slot );
+        ( 2,
+          map3
+            (fun (a, b) op c ->
+              Ast.[ Local_get a; Local_get b; Relop (I32, op); Local_set c ])
+            (pair slot slot)
+            (oneofl Ast.[ Eq; Ne; Lt_u; Lt_s; Gt_u; Gt_s; Le_u; Le_s ])
+            slot );
+        ( 2,
+          map2
+            (fun addr a ->
+              Ast.[ I32_const (Int32.of_int (addr * 4)); Local_get a; I32_store 0 ])
+            (int_range 0 64) slot );
+        ( 2,
+          map2
+            (fun addr c ->
+              Ast.[ I32_const (Int32.of_int (addr * 4)); I32_load 0; Local_set c ])
+            (int_range 0 64) slot );
+        ( 1,
+          map2
+            (fun a inner ->
+              Ast.[ Block (Local_get a :: I32_eqz :: Br_if 0 :: List.concat inner) ])
+            slot
+            (list_size (int_range 0 3)
+               (map2
+                  (fun (a, b) c ->
+                    Ast.[ Local_get a; Local_get b; Binop (I32, Add); Local_set c ])
+                  (pair slot slot) slot)) );
+      ]
+  in
+  map2
+    (fun stmts input ->
+      let body = List.concat stmts @ [ Ast.Local_get 0 ] in
+      let ftype = { Ast.params = [ Ast.I32 ]; results = [ Ast.I32 ] } in
+      let m =
+        {
+          Ast.types = [| ftype |];
+          funcs = [| { Ast.ftype; locals = [ Ast.I32; Ast.I32; Ast.I32 ]; body } |];
+          memory_pages = 1;
+          globals = [||];
+          data = [];
+          exports = [ { Ast.name = "f"; func_index = 0 } ];
+        }
+      in
+      (m, Int32.of_int input))
+    (QCheck.Gen.list_size (QCheck.Gen.int_range 1 12) stmt)
+    (QCheck.Gen.int_range (-1000) 1000)
+
+let prop_fast_equals_reference =
+  QCheck.Test.make ~name:"fast wasm = reference on random typed modules"
+    ~count:300 (QCheck.make gen_wasm_module) (fun (m, input) ->
+      (* generated modules must be fully valid *)
+      match (Validate.validate m, Typecheck.check m) with
+      | Ok (), Ok () -> (
+          let reference =
+            let inst = Winterp.instantiate m in
+            match Winterp.call inst ~name:"f" [ Ast.V_i32 input ] with
+            | Ok (Some (Ast.V_i32 v)) ->
+                Ok (Int64.logand (Int64.of_int32 v) 0xFFFF_FFFFL)
+            | Ok _ -> Error "shape"
+            | Error trap -> Error (Winterp.trap_to_string trap)
+          in
+          let fast =
+            let inst = Fast.of_module m in
+            match
+              Fast.call inst ~name:"f"
+                [ Int64.logand (Int64.of_int32 input) 0xFFFF_FFFFL ]
+            with
+            | Ok (Some v) -> Ok v
+            | Ok None -> Error "shape"
+            | Error trap -> Error (Winterp.trap_to_string trap)
+          in
+          match (reference, fast) with
+          | Ok a, Ok b -> Int64.equal a b
+          | Error _, Error _ -> true
+          | _ -> false)
+      | _ -> false)
+
+(* --- MiniScript --- *)
+
+let run_jsish source entry args =
+  let t = Eval_tree.load source in
+  match Eval_tree.run t with
+  | Error m -> Alcotest.failf "top-level: %s" m
+  | Ok _ -> (
+      match Eval_tree.call t entry args with
+      | Ok v -> v
+      | Error m -> Alcotest.failf "jsish: %s" m)
+
+let run_pyish source entry args =
+  let t = Stack_vm.load source in
+  match Stack_vm.run t with
+  | Error m -> Alcotest.failf "top-level: %s" m
+  | Ok _ -> (
+      match Stack_vm.call t entry args with
+      | Ok v -> v
+      | Error m -> Alcotest.failf "pyish: %s" m)
+
+let both_profiles source entry args =
+  (run_jsish source entry args, run_pyish source entry args)
+
+let check_value what expected actual =
+  Alcotest.(check string) what (Value.to_string expected) (Value.to_string actual)
+
+let test_script_arithmetic () =
+  let source = "fn f(x) { return (x + 3) * 2 - 1; }" in
+  let a, b = both_profiles source "f" [ Value.Int 10L ] in
+  check_value "jsish" (Value.Int 25L) a;
+  check_value "pyish" (Value.Int 25L) b
+
+let test_script_control_flow () =
+  let source =
+    {|
+      fn fib(n) {
+        if (n < 2) { return n; }
+        return fib(n - 1) + fib(n - 2);
+      }
+    |}
+  in
+  let a, b = both_profiles source "fib" [ Value.Int 15L ] in
+  check_value "jsish fib" (Value.Int 610L) a;
+  check_value "pyish fib" (Value.Int 610L) b
+
+let test_script_while_and_arrays () =
+  let source =
+    {|
+      fn f(n) {
+        let acc = [];
+        let i = 0;
+        while (i < n) {
+          push(acc, i * i);
+          i = i + 1;
+        }
+        return acc[n - 1] + len(acc);
+      }
+    |}
+  in
+  let a, b = both_profiles source "f" [ Value.Int 5L ] in
+  check_value "jsish" (Value.Int 21L) a;
+  check_value "pyish" (Value.Int 21L) b
+
+let test_script_strings () =
+  let source = {| fn f(s) { return byte(s, 0) + len(s); } |} in
+  let a, b = both_profiles source "f" [ Value.Str "Az" ] in
+  check_value "jsish" (Value.Int 67L) a;
+  check_value "pyish" (Value.Int 67L) b
+
+let test_script_short_circuit () =
+  (* the right operand must not run when short-circuited: division by zero
+     would error *)
+  let source = "fn f(x) { return x == 0 || 10 / x > 1; }" in
+  let a, b = both_profiles source "f" [ Value.Int 0L ] in
+  check_value "jsish" (Value.Bool true) a;
+  check_value "pyish" (Value.Bool true) b
+
+let test_script_globals () =
+  let source =
+    {|
+      let counter = 100;
+      fn f(n) {
+        counter = counter + n;
+        return counter;
+      }
+    |}
+  in
+  let a, b = both_profiles source "f" [ Value.Int 5L ] in
+  check_value "jsish" (Value.Int 105L) a;
+  check_value "pyish" (Value.Int 105L) b
+
+let test_script_runtime_errors () =
+  let cases =
+    [
+      ("fn f(x) { return 1 / 0; }", "division by zero");
+      ("fn f(x) { return y; }", "unbound");
+      ("fn f(x) { let a = [1]; return a[5]; }", "out of bounds");
+      ("fn f(x) { return x + \"s\"; }", "arithmetic");
+    ]
+  in
+  List.iter
+    (fun (source, _hint) ->
+      let t = Eval_tree.load source in
+      (match Eval_tree.call t "f" [ Value.Int 1L ] with
+      | Error _ -> ()
+      | Ok v -> Alcotest.failf "jsish accepted %s -> %s" source (Value.to_string v));
+      let t = Stack_vm.load source in
+      match Stack_vm.call t "f" [ Value.Int 1L ] with
+      | Error _ -> ()
+      | Ok v -> Alcotest.failf "pyish accepted %s -> %s" source (Value.to_string v))
+    cases
+
+let test_script_step_budget () =
+  let source = "fn f(x) { while (true) { x = x + 1; } return x; }" in
+  let t = Eval_tree.load ~max_steps:10_000 source in
+  (match Eval_tree.call t "f" [ Value.Int 0L ] with
+  | Error m ->
+      Alcotest.(check bool) "budget error" true
+        (Astring.String.is_infix ~affix:"budget" m)
+  | Ok _ -> Alcotest.fail "infinite loop terminated");
+  let t = Stack_vm.load ~max_steps:10_000 source in
+  match Stack_vm.call t "f" [ Value.Int 0L ] with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "infinite loop terminated"
+
+let test_script_parse_errors () =
+  let bad = [ "fn f( { }"; "let x = ;"; "fn f(x) { if x { } }"; "1 +" ] in
+  List.iter
+    (fun source ->
+      match Femto_script.Parser.parse source with
+      | exception Femto_script.Parser.Parse_error _ -> ()
+      | exception Femto_script.Lexer.Lex_error _ -> ()
+      | _ -> Alcotest.failf "parsed %S" source)
+    bad
+
+let test_script_for_loop () =
+  let source =
+    {|
+      fn f(n) {
+        let acc = 0;
+        for (let i = 1; i <= n; i = i + 1) {
+          acc = acc + i;
+        }
+        return acc;
+      }
+    |}
+  in
+  let a, b = both_profiles source "f" [ Value.Int 100L ] in
+  check_value "jsish for" (Value.Int 5050L) a;
+  check_value "pyish for" (Value.Int 5050L) b
+
+let test_script_break_continue () =
+  let source =
+    {|
+      fn f(n) {
+        let acc = 0;
+        for (let i = 0; i < n; i = i + 1) {
+          if (i % 2 == 0) { continue; }
+          if (i > 10) { break; }
+          acc = acc + i;
+        }
+        return acc;
+      }
+    |}
+  in
+  (* odd numbers 1..9: 1+3+5+7+9 = 25 *)
+  let a, b = both_profiles source "f" [ Value.Int 100L ] in
+  check_value "jsish break/continue" (Value.Int 25L) a;
+  check_value "pyish break/continue" (Value.Int 25L) b
+
+let test_script_while_break_continue () =
+  let source =
+    {|
+      fn f(n) {
+        let acc = 0;
+        let i = 0;
+        while (true) {
+          i = i + 1;
+          if (i > n) { break; }
+          if (i % 3 == 0) { continue; }
+          acc = acc + i;
+        }
+        return acc;
+      }
+    |}
+  in
+  (* 1..10 without multiples of 3: 55 - (3+6+9) = 37 *)
+  let a, b = both_profiles source "f" [ Value.Int 10L ] in
+  check_value "jsish while break" (Value.Int 37L) a;
+  check_value "pyish while break" (Value.Int 37L) b
+
+let test_script_nested_loops_break_inner () =
+  let source =
+    {|
+      fn f(n) {
+        let count = 0;
+        for (let i = 0; i < n; i = i + 1) {
+          for (let j = 0; j < n; j = j + 1) {
+            if (j == 2) { break; }
+            count = count + 1;
+          }
+        }
+        return count;
+      }
+    |}
+  in
+  (* inner loop always runs twice *)
+  let a, b = both_profiles source "f" [ Value.Int 5L ] in
+  check_value "jsish nested" (Value.Int 10L) a;
+  check_value "pyish nested" (Value.Int 10L) b
+
+let test_script_new_builtins () =
+  let source =
+    {|
+      fn f(x) {
+        return min(x, 3) + max(x, 3) + abs(0 - x) + len(str(x)) + byte(chr(65), 0);
+      }
+    |}
+  in
+  (* x=7: 3 + 7 + 7 + 1 + 65 = 83 *)
+  let a, b = both_profiles source "f" [ Value.Int 7L ] in
+  check_value "jsish builtins" (Value.Int 83L) a;
+  check_value "pyish builtins" (Value.Int 83L) b
+
+let test_script_maps () =
+  let source =
+    {|
+      fn f(n) {
+        let counts = map();
+        for (let i = 0; i < n; i = i + 1) {
+          let k = i % 3;
+          counts[k] = counts[k] + 1;
+        }
+        if (!mhas(counts, 0)) { return 0 - 1; }
+        mdel(counts, 2);
+        return counts[0] * 100 + counts[1] * 10 + len(counts);
+      }
+    |}
+  in
+  (* counts[k] starts as nil; nil + 1 would error — guard with a seed *)
+  let source =
+    Str_replace.replace source "counts[k] = counts[k] + 1;"
+      "if (mhas(counts, k)) { counts[k] = counts[k] + 1; } else { counts[k] = 1; }"
+  in
+  (* n=9: keys 0,1,2 each 3 times; after mdel: {0:3, 1:3} -> 3*100+3*10+2 *)
+  let a, b = both_profiles source "f" [ Value.Int 9L ] in
+  check_value "jsish maps" (Value.Int 332L) a;
+  check_value "pyish maps" (Value.Int 332L) b
+
+let test_script_map_string_keys_and_keys_builtin () =
+  let source =
+    {|
+      fn f(x) {
+        let m = map();
+        m["alpha"] = 1;
+        m["beta"] = 2;
+        m[true] = 3;
+        let ks = len(keys(m));
+        return ks * 10 + m["beta"];
+      }
+    |}
+  in
+  let a, b = both_profiles source "f" [ Value.Int 0L ] in
+  check_value "jsish" (Value.Int 32L) a;
+  check_value "pyish" (Value.Int 32L) b
+
+let test_script_map_key_errors () =
+  let source = "fn f(x) { let m = map(); m[[1]] = 2; return 0; }" in
+  let t = Eval_tree.load source in
+  (match Eval_tree.call t "f" [ Value.Int 0L ] with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "array key accepted");
+  let missing = "fn f(x) { let m = map(); return m[9] == nil; }" in
+  let a, b = both_profiles missing "f" [ Value.Int 0L ] in
+  check_value "jsish missing is nil" (Value.Bool true) a;
+  check_value "pyish missing is nil" (Value.Bool true) b
+
+let test_script_break_outside_loop_rejected () =
+  (match Femto_script.Stack_vm.load "fn f(x) { break; }" with
+  | exception Compile.Compile_error _ -> ()
+  | _ -> Alcotest.fail "pyish accepted break outside loop");
+  (* tree profile reports a runtime error, never an escaped exception *)
+  let t = Eval_tree.load "fn f(x) { break; }" in
+  match Eval_tree.call t "f" [ Value.Int 0L ] with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "jsish ran break outside loop"
+
+let test_script_fletcher_both_profiles () =
+  let data = Fletcher.input_360 in
+  let expected = Value.Int (Int64.of_int (Fletcher.checksum data)) in
+  let args = Ssamples.fletcher32_args data in
+  let a = run_jsish Ssamples.fletcher32_source "fletcher32" args in
+  let b = run_pyish Ssamples.fletcher32_source "fletcher32" args in
+  check_value "jsish fletcher" expected a;
+  check_value "pyish fletcher" expected b
+
+(* --- the headline cross-runtime property --- *)
+
+let prop_fletcher_equivalence_all_runtimes =
+  QCheck.Test.make ~name:"fletcher32 equal across native/eBPF/wasm/script"
+    ~count:25
+    QCheck.(make Gen.(string_size ~gen:char (int_range 0 256)))
+    (fun s ->
+      let data = Bytes.of_string (String.sub s 0 (String.length s - String.length s mod 2)) in
+      let expected = Int64.of_int (Fletcher.checksum data) in
+      (* eBPF *)
+      let ebpf =
+        let helpers = Femto_vm.Helper.create () in
+        let regions = Fletcher.regions ~ctx_vaddr:0x2000_0000L data in
+        match Femto_vm.Vm.load ~helpers ~regions (Fletcher.ebpf_program ()) with
+        | Ok vm -> (
+            match Femto_vm.Vm.run vm ~args:[| 0x2000_0000L |] with
+            | Ok v -> v
+            | Error _ -> -1L)
+        | Error _ -> -1L
+      in
+      (* wasm *)
+      let wasm =
+        let instance = Winterp.instantiate Wsamples.fletcher32_module in
+        match Wsamples.run_fletcher32 instance data with Ok v -> v | Error _ -> -1L
+      in
+      (* script, both profiles *)
+      let args = Ssamples.fletcher32_args data in
+      let jsish =
+        let t = Eval_tree.load Ssamples.fletcher32_source in
+        match Eval_tree.call t "fletcher32" args with
+        | Ok (Value.Int v) -> v
+        | _ -> -1L
+      in
+      let pyish =
+        let t = Stack_vm.load Ssamples.fletcher32_source in
+        match Stack_vm.call t "fletcher32" args with
+        | Ok (Value.Int v) -> v
+        | _ -> -1L
+      in
+      List.for_all (Int64.equal expected) [ ebpf; wasm; jsish; pyish ])
+
+let suite =
+  [
+    Alcotest.test_case "wasm arithmetic" `Quick test_wasm_arithmetic;
+    Alcotest.test_case "wasm loop/branch" `Quick test_wasm_loop_and_branch;
+    Alcotest.test_case "wasm memory" `Quick test_wasm_memory_roundtrip;
+    Alcotest.test_case "wasm OOB trap" `Quick test_wasm_oob_traps;
+    Alcotest.test_case "wasm div0 trap" `Quick test_wasm_div_by_zero_traps;
+    Alcotest.test_case "wasm fuel" `Quick test_wasm_fuel_exhaustion;
+    Alcotest.test_case "wasm binary roundtrip" `Quick test_wasm_binary_roundtrip;
+    Alcotest.test_case "wasm binary garbage" `Quick test_wasm_binary_rejects_garbage;
+    Alcotest.test_case "wasm validate indices" `Quick test_wasm_validate_rejects_bad_indices;
+    Alcotest.test_case "wasm fletcher" `Quick test_wasm_fletcher;
+    Alcotest.test_case "typecheck fletcher" `Quick test_typecheck_accepts_fletcher;
+    Alcotest.test_case "typecheck confusion" `Quick test_typecheck_rejects_type_confusion;
+    Alcotest.test_case "typecheck unreachable" `Quick test_typecheck_unreachable_is_polymorphic;
+    Alcotest.test_case "globals" `Quick test_globals_roundtrip_and_exec;
+    Alcotest.test_case "immutable global" `Quick test_immutable_global_rejected;
+    Alcotest.test_case "data segments" `Quick test_data_segments_initialize_memory;
+    Alcotest.test_case "data bounds" `Quick test_data_segment_bounds_checked;
+    Alcotest.test_case "numeric extensions" `Quick test_numeric_extensions;
+    Alcotest.test_case "fast wasm fletcher" `Quick test_fast_fletcher;
+    Alcotest.test_case "fast = reference" `Quick test_fast_matches_reference_on_simple_bodies;
+    Alcotest.test_case "fast traps contained" `Quick test_fast_traps_contained;
+    Alcotest.test_case "fused div0 trap" `Quick test_fusion_preserves_fused_div_trap;
+    Alcotest.test_case "script arithmetic" `Quick test_script_arithmetic;
+    Alcotest.test_case "script control flow" `Quick test_script_control_flow;
+    Alcotest.test_case "script arrays" `Quick test_script_while_and_arrays;
+    Alcotest.test_case "script strings" `Quick test_script_strings;
+    Alcotest.test_case "script short-circuit" `Quick test_script_short_circuit;
+    Alcotest.test_case "script globals" `Quick test_script_globals;
+    Alcotest.test_case "script runtime errors" `Quick test_script_runtime_errors;
+    Alcotest.test_case "script step budget" `Quick test_script_step_budget;
+    Alcotest.test_case "script parse errors" `Quick test_script_parse_errors;
+    Alcotest.test_case "script for loop" `Quick test_script_for_loop;
+    Alcotest.test_case "script break/continue" `Quick test_script_break_continue;
+    Alcotest.test_case "script while break" `Quick test_script_while_break_continue;
+    Alcotest.test_case "script nested loops" `Quick test_script_nested_loops_break_inner;
+    Alcotest.test_case "script new builtins" `Quick test_script_new_builtins;
+    Alcotest.test_case "script maps" `Quick test_script_maps;
+    Alcotest.test_case "script map string keys" `Quick
+      test_script_map_string_keys_and_keys_builtin;
+    Alcotest.test_case "script map key errors" `Quick test_script_map_key_errors;
+    Alcotest.test_case "script break outside loop" `Quick
+      test_script_break_outside_loop_rejected;
+    Alcotest.test_case "script fletcher" `Quick test_script_fletcher_both_profiles;
+    QCheck_alcotest.to_alcotest prop_fletcher_equivalence_all_runtimes;
+    QCheck_alcotest.to_alcotest prop_fast_equals_reference;
+  ]
+
+let () = Alcotest.run "femto_baselines" [ ("baselines", suite) ]

@@ -1,0 +1,163 @@
+(* CBOR codec tests, including RFC 8949 Appendix A vectors and round-trip
+   properties. *)
+
+module Cbor = Femto_cbor.Cbor
+
+let hex = Femto_crypto.Crypto.of_hex
+
+let check_encodes value expected_hex =
+  Alcotest.(check string)
+    (Printf.sprintf "encode %s" expected_hex)
+    expected_hex
+    (Femto_crypto.Crypto.to_hex (Cbor.encode value))
+
+let check_decodes input_hex expected =
+  let decoded = Cbor.decode (hex input_hex) in
+  Alcotest.(check bool)
+    (Printf.sprintf "decode %s" input_hex)
+    true (Cbor.equal decoded expected)
+
+(* RFC 8949 Appendix A test vectors. *)
+let test_rfc_vectors_ints () =
+  check_encodes (Cbor.Int 0L) "00";
+  check_encodes (Cbor.Int 1L) "01";
+  check_encodes (Cbor.Int 10L) "0a";
+  check_encodes (Cbor.Int 23L) "17";
+  check_encodes (Cbor.Int 24L) "1818";
+  check_encodes (Cbor.Int 25L) "1819";
+  check_encodes (Cbor.Int 100L) "1864";
+  check_encodes (Cbor.Int 1000L) "1903e8";
+  check_encodes (Cbor.Int 1000000L) "1a000f4240";
+  check_encodes (Cbor.Int 1000000000000L) "1b000000e8d4a51000";
+  check_encodes (Cbor.Int (-1L)) "20";
+  check_encodes (Cbor.Int (-10L)) "29";
+  check_encodes (Cbor.Int (-100L)) "3863";
+  check_encodes (Cbor.Int (-1000L)) "3903e7"
+
+let test_rfc_vectors_strings () =
+  check_encodes (Cbor.Text "") "60";
+  check_encodes (Cbor.Text "a") "6161";
+  check_encodes (Cbor.Text "IETF") "6449455446";
+  check_encodes (Cbor.Bytes "\x01\x02\x03\x04") "4401020304"
+
+let test_rfc_vectors_structures () =
+  check_encodes (Cbor.Array []) "80";
+  check_encodes (Cbor.Array [ Cbor.Int 1L; Cbor.Int 2L; Cbor.Int 3L ]) "83010203";
+  check_encodes (Cbor.Map []) "a0";
+  check_encodes
+    (Cbor.Map [ (Cbor.Int 1L, Cbor.Int 2L); (Cbor.Int 3L, Cbor.Int 4L) ])
+    "a201020304";
+  check_encodes
+    (Cbor.Array
+       [ Cbor.Int 1L; Cbor.Array [ Cbor.Int 2L; Cbor.Int 3L ];
+         Cbor.Array [ Cbor.Int 4L; Cbor.Int 5L ] ])
+    "8301820203820405"
+
+let test_rfc_vectors_simple () =
+  check_encodes (Cbor.Bool false) "f4";
+  check_encodes (Cbor.Bool true) "f5";
+  check_encodes Cbor.Null "f6";
+  check_encodes Cbor.Undefined "f7";
+  check_encodes (Cbor.Simple 16) "f0";
+  check_encodes (Cbor.Simple 255) "f8ff"
+
+let test_rfc_vectors_floats () =
+  check_encodes (Cbor.Float 1.1) "fb3ff199999999999a";
+  check_encodes (Cbor.Float (-4.1)) "fbc010666666666666";
+  check_decodes "f93c00" (Cbor.Float 1.0);
+  check_decodes "f97c00" (Cbor.Float infinity);
+  check_decodes "fa47c35000" (Cbor.Float 100000.0)
+
+let test_rfc_vectors_tags () =
+  check_encodes
+    (Cbor.Tag (1L, Cbor.Int 1363896240L))
+    "c11a514b67b0"
+
+let test_decode_indefinite () =
+  (* (_ 1, 2) indefinite array *)
+  check_decodes "9f0102ff" (Cbor.Array [ Cbor.Int 1L; Cbor.Int 2L ]);
+  (* {_ "a": 1} indefinite map *)
+  check_decodes "bf616101ff" (Cbor.Map [ (Cbor.Text "a", Cbor.Int 1L) ]);
+  (* (_ h'0102', h'0304') indefinite bytes *)
+  check_decodes "5f42010243030405ff" (Cbor.Bytes "\x01\x02\x03\x04\x05")
+
+let expect_decode_error input_hex =
+  match Cbor.decode (hex input_hex) with
+  | exception Cbor.Decode_error _ -> ()
+  | _ -> Alcotest.failf "expected decode error for %s" input_hex
+
+let test_decode_errors () =
+  expect_decode_error ""; (* empty *)
+  expect_decode_error "18"; (* truncated uint8 argument *)
+  expect_decode_error "4403"; (* truncated bytes body *)
+  expect_decode_error "8301"; (* truncated array *)
+  expect_decode_error "ff"; (* lone break *)
+  expect_decode_error "0001"; (* trailing garbage *)
+  expect_decode_error "1c" (* reserved additional info 28 *)
+
+let test_negative_int_roundtrip () =
+  let value = Cbor.Int Int64.min_int in
+  Alcotest.(check bool) "min_int" true
+    (Cbor.equal value (Cbor.decode (Cbor.encode value)))
+
+(* Round-trip property over a structured generator. *)
+let gen_cbor =
+  let open QCheck.Gen in
+  let leaf =
+    oneof
+      [
+        map (fun v -> Cbor.Int v) (map Int64.of_int int);
+        map (fun s -> Cbor.Bytes s) (string_size (int_range 0 32));
+        map (fun s -> Cbor.Text s) (string_size (int_range 0 32));
+        oneofl [ Cbor.Bool true; Cbor.Bool false; Cbor.Null; Cbor.Undefined ];
+        map (fun f -> Cbor.Float f) (float_bound_exclusive 1e9);
+      ]
+  in
+  let rec node depth =
+    if depth = 0 then leaf
+    else
+      frequency
+        [
+          (3, leaf);
+          (1, map (fun items -> Cbor.Array items) (list_size (int_range 0 5) (node (depth - 1))));
+          ( 1,
+            map
+              (fun pairs -> Cbor.Map pairs)
+              (list_size (int_range 0 5)
+                 (pair (map (fun v -> Cbor.Int (Int64.of_int v)) int) (node (depth - 1)))) );
+          ( 1,
+            map2
+              (fun tag v -> Cbor.Tag (Int64.of_int (abs tag), v))
+              int (node (depth - 1)) );
+        ]
+  in
+  node 3
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"cbor roundtrip" ~count:500 (QCheck.make gen_cbor)
+    (fun value -> Cbor.equal value (Cbor.decode (Cbor.encode value)))
+
+let prop_decoder_total =
+  QCheck.Test.make ~name:"decoder never crashes" ~count:500
+    QCheck.(make Gen.(string_size ~gen:char (int_range 0 128)))
+    (fun junk ->
+      match Cbor.decode junk with
+      | _ -> true
+      | exception Cbor.Decode_error _ -> true)
+
+let suite =
+  [
+    Alcotest.test_case "rfc ints" `Quick test_rfc_vectors_ints;
+    Alcotest.test_case "rfc strings" `Quick test_rfc_vectors_strings;
+    Alcotest.test_case "rfc structures" `Quick test_rfc_vectors_structures;
+    Alcotest.test_case "rfc simple" `Quick test_rfc_vectors_simple;
+    Alcotest.test_case "rfc floats" `Quick test_rfc_vectors_floats;
+    Alcotest.test_case "rfc tags" `Quick test_rfc_vectors_tags;
+    Alcotest.test_case "indefinite" `Quick test_decode_indefinite;
+    Alcotest.test_case "decode errors" `Quick test_decode_errors;
+    Alcotest.test_case "negative roundtrip" `Quick test_negative_int_roundtrip;
+    QCheck_alcotest.to_alcotest prop_roundtrip;
+    QCheck_alcotest.to_alcotest prop_decoder_total;
+  ]
+
+let () = Alcotest.run "femto_cbor" [ ("cbor", suite) ]

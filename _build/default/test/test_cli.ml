@@ -1,0 +1,137 @@
+(* Integration tests for the fc command-line tool: drives the installed
+   binary end to end through temp files. *)
+
+let fc_exe =
+  (* dune places the binary next to the test executable's tree *)
+  Filename.concat (Filename.dirname Sys.executable_name) "../bin/fc.exe"
+
+let tmp name = Filename.concat (Filename.get_temp_dir_name ()) ("fc-test-" ^ name)
+
+let write path contents =
+  let oc = open_out_bin path in
+  output_string oc contents;
+  close_out oc
+
+let read path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+(* Run fc with args; return (exit_code, stdout). *)
+let run_fc args =
+  let out = tmp "stdout" in
+  let command =
+    Printf.sprintf "%s %s > %s 2>/dev/null" (Filename.quote fc_exe)
+      (String.concat " " (List.map Filename.quote args))
+      (Filename.quote out)
+  in
+  let code = Sys.command command in
+  (code, read out)
+
+let check_exe () =
+  if not (Sys.file_exists fc_exe) then
+    Alcotest.skip ()
+
+let contains haystack needle = Astring.String.is_infix ~affix:needle haystack
+
+let test_asm_run_roundtrip () =
+  check_exe ();
+  let src = tmp "prog.S" and bin = tmp "prog.bin" in
+  write src "mov r1, 6\nmul r1, 7\nmov r0, r1\nexit\n";
+  let code, out = run_fc [ "asm"; src; "-o"; bin ] in
+  Alcotest.(check int) "asm exit" 0 code;
+  Alcotest.(check bool) "asm report" true (contains out "4 instructions");
+  let code, out = run_fc [ "run"; bin ] in
+  Alcotest.(check int) "run exit" 0 code;
+  Alcotest.(check bool) "result" true (contains out "r0 = 42")
+
+let test_verify_rejects () =
+  check_exe ();
+  let src = tmp "bad.S" and bin = tmp "bad.bin" in
+  write src "mov r0, 1\nadd r0, 1\n";
+  ignore (run_fc [ "asm"; src; "-o"; bin ]);
+  let code, out = run_fc [ "verify"; bin ] in
+  Alcotest.(check int) "nonzero exit" 1 code;
+  Alcotest.(check bool) "reason" true (contains out "must end with exit")
+
+let test_disasm () =
+  check_exe ();
+  let src = tmp "d.S" and bin = tmp "d.bin" in
+  write src "mov r0, 5\nexit\n";
+  ignore (run_fc [ "asm"; src; "-o"; bin ]);
+  let code, out = run_fc [ "disasm"; bin ] in
+  Alcotest.(check int) "exit" 0 code;
+  Alcotest.(check bool) "mov" true (contains out "mov r0, 5")
+
+let test_compact_expand () =
+  check_exe ();
+  let src = tmp "c.S" and bin = tmp "c.bin" in
+  let fcz = tmp "c.fcz" and bin2 = tmp "c2.bin" in
+  write src "mov r1, 1\nadd r1, 2\nmov r0, r1\nexit\n";
+  ignore (run_fc [ "asm"; src; "-o"; bin ]);
+  let code, out = run_fc [ "compact"; bin; "-o"; fcz ] in
+  Alcotest.(check int) "compact exit" 0 code;
+  Alcotest.(check bool) "ratio shown" true (contains out "ratio");
+  let code, _ = run_fc [ "expand"; fcz; "-o"; bin2 ] in
+  Alcotest.(check int) "expand exit" 0 code;
+  Alcotest.(check string) "roundtrip identical" (read bin) (read bin2)
+
+let test_compile_and_run () =
+  check_exe ();
+  let src = tmp "app.fcs" and bin = tmp "app.bin" in
+  write src "fn main(x) { let acc = 0; let i = 0; while (i <= x) { acc = acc + i; i = i + 1; } return acc; }\n";
+  let code, out = run_fc [ "compile"; src; "-o"; bin ] in
+  Alcotest.(check int) "compile exit" 0 code;
+  Alcotest.(check bool) "report" true (contains out "compiled 'main'");
+  let code, out = run_fc [ "run"; bin; "--arg"; "10" ] in
+  Alcotest.(check int) "run exit" 0 code;
+  Alcotest.(check bool) "sum" true (contains out "r0 = 55")
+
+let test_suit_sign_verify () =
+  check_exe ();
+  let payload = tmp "payload.bin" and manifest = tmp "m.suit" in
+  write payload "container bytes";
+  let code, _ =
+    run_fc
+      [ "suit-sign"; "--key"; "s3cret"; "--uuid"; "hook-1"; "--seq"; "5";
+        payload; "-o"; manifest ]
+  in
+  Alcotest.(check int) "sign exit" 0 code;
+  let code, out =
+    run_fc
+      [ "suit-verify"; "--key"; "s3cret"; "--uuid"; "hook-1"; manifest;
+        "--payload"; payload ]
+  in
+  Alcotest.(check int) "verify exit" 0 code;
+  Alcotest.(check bool) "seq reported" true (contains out "seq 5");
+  let code, out =
+    run_fc
+      [ "suit-verify"; "--key"; "wrong"; "--uuid"; "hook-1"; manifest;
+        "--payload"; payload ]
+  in
+  Alcotest.(check int) "wrong key exit" 1 code;
+  Alcotest.(check bool) "rejection" true (contains out "REJECTED")
+
+let test_run_reports_faults () =
+  check_exe ();
+  let src = tmp "f.S" and bin = tmp "f.bin" in
+  write src "mov r1, 0\nldxdw r0, [r1]\nexit\n";
+  ignore (run_fc [ "asm"; src; "-o"; bin ]);
+  let code, out = run_fc [ "run"; bin ] in
+  Alcotest.(check int) "fault exit" 1 code;
+  Alcotest.(check bool) "fault message" true (contains out "FAULT")
+
+let suite =
+  [
+    Alcotest.test_case "asm + run" `Quick test_asm_run_roundtrip;
+    Alcotest.test_case "verify rejects" `Quick test_verify_rejects;
+    Alcotest.test_case "disasm" `Quick test_disasm;
+    Alcotest.test_case "compact/expand" `Quick test_compact_expand;
+    Alcotest.test_case "compile + run" `Quick test_compile_and_run;
+    Alcotest.test_case "suit sign/verify" `Quick test_suit_sign_verify;
+    Alcotest.test_case "fault reporting" `Quick test_run_reports_faults;
+  ]
+
+let () = Alcotest.run "femto_cli" [ ("cli", suite) ]

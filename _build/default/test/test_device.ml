@@ -1,0 +1,220 @@
+(* Tests for the femto_device composition: boot, network install,
+   persistence across reboot, rollback-counter persistence, identity
+   conditions, and management endpoints. *)
+
+module Device = Femto_device.Device
+module Engine = Femto_core.Engine
+module Kernel = Femto_rtos.Kernel
+module Network = Femto_net.Network
+module Client = Femto_coap.Client
+module Message = Femto_coap.Message
+module Suit = Femto_suit.Suit
+module Cose = Femto_cose.Cose
+module Flash = Femto_flash.Flash
+module Slots = Femto_flash.Slots
+
+let hook_a = "0a6e1a80-aaaa-4222-8333-444444444444"
+let hook_b = "0a6e1a80-bbbb-4222-8333-444444444444"
+let device_addr = 1
+
+let key = Cose.make_key ~key_id:"fleet" ~secret:"fleet secret"
+
+let identity =
+  { Device.vendor_id = "acme"; class_id = "m4-sensor"; update_key = key }
+
+let hooks =
+  [
+    Device.hook_spec ~uuid:hook_a ~name:"task-a" ~ctx_size:16 ();
+    Device.hook_spec ~uuid:hook_b ~name:"task-b" ~ctx_size:16 ();
+  ]
+
+type rig = {
+  kernel : Kernel.t;
+  network : Network.t;
+  flash : Flash.t;
+  client : Client.t;
+  mutable device : Device.t;
+}
+
+let make_rig () =
+  let kernel = Kernel.create () in
+  let network = Network.create ~kernel () in
+  let flash = Flash.create ~page_size:256 ~pages:64 () in
+  let client = Client.create ~network ~kernel ~addr:9 in
+  let device =
+    Device.boot ~identity ~hooks ~flash ~slot_count:4 ~network
+      ~addr:device_addr ()
+  in
+  { kernel; network; flash; client; device }
+
+let reboot rig =
+  Network.remove_node rig.network ~addr:device_addr;
+  rig.device <-
+    Device.boot ~identity ~hooks ~flash:rig.flash ~slot_count:4
+      ~network:rig.network ~addr:device_addr ()
+
+let run_hook rig uuid =
+  match Engine.trigger_by_uuid (Device.engine rig.device) ~uuid () with
+  | Ok [ { Engine.result = Ok v; _ } ] -> Some v
+  | Ok [] -> None
+  | Ok _ | Error _ -> Alcotest.fail "unexpected trigger outcome"
+
+let deploy ?vendor_id ?class_id ?(key = key) rig ~sequence ~uuid source =
+  let payload =
+    Bytes.to_string (Femto_ebpf.Program.to_bytes (Femto_ebpf.Asm.assemble source))
+  in
+  let manifest =
+    Suit.make
+      ~vendor_id:(Option.value vendor_id ~default:identity.Device.vendor_id)
+      ~class_id:(Option.value class_id ~default:identity.Device.class_id)
+      ~sequence
+      [ Suit.component_for ~storage_uuid:uuid payload ]
+  in
+  let envelope = Suit.sign manifest key in
+  let outcome = ref None in
+  Client.post_blockwise rig.client ~dst:device_addr ~path:"/suit/slot" ~payload
+    (fun _ ->
+      Client.post rig.client ~dst:device_addr ~path:"/suit/install"
+        ~payload:envelope (fun result ->
+          outcome :=
+            match result with
+            | Ok r -> Some r.Message.code
+            | Error `Timeout -> None));
+  ignore (Kernel.run rig.kernel ());
+  !outcome
+
+let test_factory_boot_is_empty () =
+  let rig = make_rig () in
+  Alcotest.(check (option int64)) "nothing on hook a" None (run_hook rig hook_a);
+  Alcotest.(check int) "no containers" 0 (List.length (Device.containers rig.device))
+
+let test_network_install_and_run () =
+  let rig = make_rig () in
+  let code = deploy rig ~sequence:1L ~uuid:hook_a "mov r0, 11\nexit" in
+  Alcotest.(check bool) "2.04" true (code = Some Message.code_changed);
+  Alcotest.(check (option int64)) "runs" (Some 11L) (run_hook rig hook_a)
+
+let test_persistence_across_reboot () =
+  let rig = make_rig () in
+  ignore (deploy rig ~sequence:1L ~uuid:hook_a "mov r0, 11\nexit");
+  ignore (deploy rig ~sequence:2L ~uuid:hook_b "mov r0, 22\nexit");
+  reboot rig;
+  Alcotest.(check (option int64)) "a restored" (Some 11L) (run_hook rig hook_a);
+  Alcotest.(check (option int64)) "b restored" (Some 22L) (run_hook rig hook_b)
+
+let test_newest_version_wins_after_reboot () =
+  let rig = make_rig () in
+  ignore (deploy rig ~sequence:1L ~uuid:hook_a "mov r0, 1\nexit");
+  ignore (deploy rig ~sequence:2L ~uuid:hook_a "mov r0, 2\nexit");
+  ignore (deploy rig ~sequence:3L ~uuid:hook_a "mov r0, 3\nexit");
+  reboot rig;
+  Alcotest.(check (option int64)) "v3 active" (Some 3L) (run_hook rig hook_a)
+
+let test_rollback_counter_survives_reboot () =
+  let rig = make_rig () in
+  ignore (deploy rig ~sequence:5L ~uuid:hook_a "mov r0, 5\nexit");
+  reboot rig;
+  let code = deploy rig ~sequence:5L ~uuid:hook_a "mov r0, 666\nexit" in
+  Alcotest.(check bool) "replay rejected after reboot" true
+    (code = Some Message.code_unauthorized);
+  Alcotest.(check (option int64)) "v5 intact" (Some 5L) (run_hook rig hook_a)
+
+let test_identity_conditions_enforced () =
+  let rig = make_rig () in
+  let code =
+    deploy rig ~vendor_id:"someone-else" ~sequence:1L ~uuid:hook_a
+      "mov r0, 666\nexit"
+  in
+  Alcotest.(check bool) "wrong vendor rejected" true
+    (code = Some Message.code_unauthorized);
+  let code =
+    deploy rig ~class_id:"esp32-board" ~sequence:1L ~uuid:hook_a
+      "mov r0, 666\nexit"
+  in
+  Alcotest.(check bool) "wrong class rejected" true
+    (code = Some Message.code_unauthorized);
+  Alcotest.(check (option int64)) "nothing installed" None (run_hook rig hook_a)
+
+let test_wrong_key_rejected () =
+  let rig = make_rig () in
+  let attacker = Cose.make_key ~key_id:"fleet" ~secret:"guessed" in
+  let code = deploy ~key:attacker rig ~sequence:1L ~uuid:hook_a "mov r0, 1\nexit" in
+  Alcotest.(check bool) "rejected" true (code = Some Message.code_unauthorized)
+
+let test_broken_program_rejected_not_persisted () =
+  let rig = make_rig () in
+  (* passes SUIT but fails pre-flight: must not reach the flash *)
+  let payload =
+    Bytes.to_string
+      (Femto_ebpf.Program.to_bytes
+         (Femto_ebpf.Program.of_insns [ Femto_ebpf.Insn.make 0xb7 ]))
+  in
+  let manifest =
+    Suit.make ~vendor_id:identity.Device.vendor_id
+      ~class_id:identity.Device.class_id ~sequence:1L
+      [ Suit.component_for ~storage_uuid:hook_a payload ]
+  in
+  let envelope = Suit.sign manifest key in
+  let outcome = ref None in
+  Client.post_blockwise rig.client ~dst:device_addr ~path:"/suit/slot" ~payload
+    (fun _ ->
+      Client.post rig.client ~dst:device_addr ~path:"/suit/install"
+        ~payload:envelope (fun result ->
+          outcome := match result with Ok r -> Some r.Message.code | _ -> None));
+  ignore (Kernel.run rig.kernel ());
+  Alcotest.(check bool) "rejected" true (!outcome = Some Message.code_unauthorized);
+  Alcotest.(check int) "flash untouched" 0
+    (List.length (Slots.scan (Device.slots rig.device)))
+
+let test_management_endpoints () =
+  let rig = make_rig () in
+  ignore (deploy rig ~sequence:1L ~uuid:hook_a "mov r0, 1\nexit");
+  ignore (run_hook rig hook_a);
+  let listing = ref "" in
+  Client.get_blockwise rig.client ~dst:device_addr ~path:"/fc/containers"
+    (function
+      | Ok r -> listing := r.Message.payload
+      | Error `Timeout -> ());
+  ignore (Kernel.run rig.kernel ());
+  Alcotest.(check bool) "lists the container" true
+    (Astring.String.is_infix ~affix:hook_a !listing);
+  Alcotest.(check bool) "reports runs" true
+    (Astring.String.is_infix ~affix:"runs=1" !listing)
+
+let test_corrupt_slot_skipped_on_boot () =
+  let rig = make_rig () in
+  ignore (deploy rig ~sequence:1L ~uuid:hook_a "mov r0, 1\nexit");
+  ignore (deploy rig ~sequence:2L ~uuid:hook_b "mov r0, 2\nexit");
+  (* corrupt hook_a's image behind the manager's back *)
+  let slot_a, _ =
+    List.find
+      (fun (_, image) -> String.equal image.Slots.hook_uuid hook_a)
+      (Slots.scan (Device.slots rig.device))
+  in
+  (* clear the first payload byte (the 0xb7 opcode), guaranteed nonzero *)
+  let offset = (slot_a * (Flash.size rig.flash / 4)) + 84 in
+  (match Flash.write rig.flash ~offset (Bytes.of_string "\x00") with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail (Flash.error_to_string e));
+  reboot rig;
+  Alcotest.(check (option int64)) "corrupt image skipped" None (run_hook rig hook_a);
+  Alcotest.(check (option int64)) "healthy image restored" (Some 2L)
+    (run_hook rig hook_b)
+
+let suite =
+  [
+    Alcotest.test_case "factory boot empty" `Quick test_factory_boot_is_empty;
+    Alcotest.test_case "network install" `Quick test_network_install_and_run;
+    Alcotest.test_case "persistence" `Quick test_persistence_across_reboot;
+    Alcotest.test_case "newest wins" `Quick test_newest_version_wins_after_reboot;
+    Alcotest.test_case "rollback survives reboot" `Quick
+      test_rollback_counter_survives_reboot;
+    Alcotest.test_case "identity conditions" `Quick test_identity_conditions_enforced;
+    Alcotest.test_case "wrong key" `Quick test_wrong_key_rejected;
+    Alcotest.test_case "broken program not persisted" `Quick
+      test_broken_program_rejected_not_persisted;
+    Alcotest.test_case "management endpoints" `Quick test_management_endpoints;
+    Alcotest.test_case "corrupt slot skipped" `Quick test_corrupt_slot_skipped_on_boot;
+  ]
+
+let () = Alcotest.run "femto_device" [ ("device", suite) ]

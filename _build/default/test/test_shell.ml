@@ -1,0 +1,123 @@
+(* Tests for the device shell. *)
+
+module Device = Femto_device.Device
+module Shell = Femto_shell.Shell
+module Kernel = Femto_rtos.Kernel
+module Network = Femto_net.Network
+module Flash = Femto_flash.Flash
+module Cose = Femto_cose.Cose
+module Suit = Femto_suit.Suit
+module Slots = Femto_flash.Slots
+
+let hook = "11110000-aaaa-4bbb-8ccc-dddddddddddd"
+let key = Cose.make_key ~key_id:"k" ~secret:"s"
+
+let make_shell () =
+  let kernel = Kernel.create () in
+  let network = Network.create ~kernel () in
+  let flash = Flash.create ~page_size:256 ~pages:32 () in
+  let device =
+    Device.boot
+      ~identity:{ Device.vendor_id = "v"; class_id = "c"; update_key = key }
+      ~hooks:[ Device.hook_spec ~uuid:hook ~name:"task" ~ctx_size:8 () ]
+      ~flash ~slot_count:2 ~network ~addr:1 ()
+  in
+  (* install directly through the SUIT processor (no network needed) *)
+  let payload =
+    Bytes.to_string
+      (Femto_ebpf.Program.to_bytes (Femto_ebpf.Asm.assemble "mov r0, 5\nexit"))
+  in
+  let manifest =
+    Suit.make ~sequence:1L [ Suit.component_for ~storage_uuid:hook payload ]
+  in
+  (match
+     Suit.process (Device.suit_processor device) ~envelope:(Suit.sign manifest key)
+       ~payloads:[ (hook, payload) ]
+   with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail (Suit.error_to_string e));
+  Shell.create device
+
+let contains haystack needle = Astring.String.is_infix ~affix:needle haystack
+
+let test_help () =
+  let shell = make_shell () in
+  Alcotest.(check bool) "lists fc" true (contains (Shell.exec shell "help") "fc list")
+
+let test_fc_list () =
+  let shell = make_shell () in
+  let out = Shell.exec shell "fc list" in
+  Alcotest.(check bool) "hook uuid" true (contains out hook);
+  Alcotest.(check bool) "stats" true (contains out "runs=0")
+
+let test_fc_run () =
+  let shell = make_shell () in
+  let out = Shell.exec shell (Printf.sprintf "fc run %s" hook) in
+  Alcotest.(check bool) "result" true (contains out "-> 5");
+  let out = Shell.exec shell "fc list" in
+  Alcotest.(check bool) "run counted" true (contains out "runs=1")
+
+let test_fc_run_unknown_hook () =
+  let shell = make_shell () in
+  Alcotest.(check bool) "error" true
+    (contains (Shell.exec shell "fc run nope") "no hook")
+
+let test_fc_disasm () =
+  let shell = make_shell () in
+  let out = Shell.exec shell (Printf.sprintf "fc disasm %s" hook) in
+  Alcotest.(check bool) "mov" true (contains out "mov r0, 5");
+  Alcotest.(check bool) "exit" true (contains out "exit")
+
+let test_kv_roundtrip () =
+  let shell = make_shell () in
+  Alcotest.(check string) "set" "ok" (Shell.exec shell "kv set 7 99");
+  Alcotest.(check bool) "get" true (contains (Shell.exec shell "kv get 7") "7 = 99");
+  Alcotest.(check bool) "missing reads zero" true
+    (contains (Shell.exec shell "kv get 8") "8 = 0");
+  Alcotest.(check bool) "usage" true
+    (contains (Shell.exec shell "kv set x y") "usage")
+
+let test_suit_seq () =
+  let shell = make_shell () in
+  Alcotest.(check bool) "sequence" true
+    (contains (Shell.exec shell "suit seq") "sequence: 1")
+
+let test_slots () =
+  let shell = make_shell () in
+  let out = Shell.exec shell "slots" in
+  Alcotest.(check bool) "one image" true (contains out "slot ");
+  Alcotest.(check bool) "summary" true (contains out "1/2 slots used")
+
+let test_free_and_uptime () =
+  let shell = make_shell () in
+  Alcotest.(check bool) "free" true
+    (contains (Shell.exec shell "free") "container instances");
+  Alcotest.(check bool) "uptime" true (contains (Shell.exec shell "uptime") "cycles")
+
+let test_unknown_command () =
+  let shell = make_shell () in
+  Alcotest.(check bool) "unknown" true
+    (contains (Shell.exec shell "frobnicate") "unknown command")
+
+let test_script_echoes () =
+  let shell = make_shell () in
+  let out = Shell.script shell "help\nslots" in
+  Alcotest.(check bool) "echoes commands" true (contains out "> help");
+  Alcotest.(check bool) "second command" true (contains out "> slots")
+
+let suite =
+  [
+    Alcotest.test_case "help" `Quick test_help;
+    Alcotest.test_case "fc list" `Quick test_fc_list;
+    Alcotest.test_case "fc run" `Quick test_fc_run;
+    Alcotest.test_case "fc run unknown" `Quick test_fc_run_unknown_hook;
+    Alcotest.test_case "fc disasm" `Quick test_fc_disasm;
+    Alcotest.test_case "kv" `Quick test_kv_roundtrip;
+    Alcotest.test_case "suit seq" `Quick test_suit_seq;
+    Alcotest.test_case "slots" `Quick test_slots;
+    Alcotest.test_case "free/uptime" `Quick test_free_and_uptime;
+    Alcotest.test_case "unknown command" `Quick test_unknown_command;
+    Alcotest.test_case "script" `Quick test_script_echoes;
+  ]
+
+let () = Alcotest.run "femto_shell" [ ("shell", suite) ]

@@ -1,0 +1,258 @@
+(* SUIT update-pipeline tests: manifest codec, the five verification gates
+   (signature, version, rollback, digest, storage location), and install
+   dispatch. *)
+
+module Suit = Femto_suit.Suit
+module Cose = Femto_cose.Cose
+module Crypto = Femto_crypto.Crypto
+module Cbor = Femto_cbor.Cbor
+
+let key = Cose.make_key ~key_id:"fleet-key" ~secret:"manifest signing secret"
+let attacker_key = Cose.make_key ~key_id:"fleet-key" ~secret:"attacker secret"
+
+let payload_a = "bytecode-for-hook-a (pretend this is eBPF)"
+let uuid_a = "c2b7f6ac-0001-4000-8000-000000000001"
+let uuid_b = "c2b7f6ac-0002-4000-8000-000000000002"
+
+let manifest ?(sequence = 1L) ?(uuid = uuid_a) ?(payload = payload_a) () =
+  Suit.make ~sequence [ Suit.component_for ~storage_uuid:uuid payload ]
+
+let test_manifest_roundtrip () =
+  let m =
+    Suit.make ~sequence:42L
+      [
+        Suit.component_for ~storage_uuid:uuid_a payload_a;
+        Suit.component_for ~storage_uuid:uuid_b "other payload";
+      ]
+  in
+  match Suit.decode (Suit.encode m) with
+  | Ok decoded ->
+      Alcotest.(check int64) "sequence" 42L decoded.Suit.sequence;
+      Alcotest.(check int) "components" 2 (List.length decoded.Suit.components);
+      let c = List.hd decoded.Suit.components in
+      Alcotest.(check string) "uuid" uuid_a c.Suit.storage_uuid;
+      Alcotest.(check string) "digest" (Crypto.sha256 payload_a) c.Suit.digest;
+      Alcotest.(check int) "size" (String.length payload_a) c.Suit.size
+  | Error e -> Alcotest.fail (Suit.error_to_string e)
+
+let test_decode_rejects_garbage () =
+  (match Suit.decode "junk" with
+  | Error (Suit.Malformed _) -> ()
+  | _ -> Alcotest.fail "garbage accepted");
+  (* valid CBOR, wrong shape *)
+  match Suit.decode (Cbor.encode (Cbor.Array [ Cbor.Int 1L ])) with
+  | Error (Suit.Malformed _) -> ()
+  | _ -> Alcotest.fail "wrong shape accepted"
+
+let test_decode_rejects_bad_version () =
+  let bad =
+    Cbor.encode
+      (Cbor.Map
+         [
+           (Cbor.Int 1L, Cbor.Int 99L);
+           (Cbor.Int 2L, Cbor.Int 1L);
+           (Cbor.Int 3L, Cbor.Array []);
+         ])
+  in
+  match Suit.decode bad with
+  | Error (Suit.Unsupported_version 99L) -> ()
+  | _ -> Alcotest.fail "bad version accepted"
+
+let make_device ?(installed = ref []) () =
+  let device =
+    Suit.create_device ~key
+      ~install:(fun ~sequence:_ ~storage_uuid payload ->
+        installed := (storage_uuid, payload) :: !installed;
+        Ok ())
+      ~known_storage:(fun uuid -> uuid = uuid_a || uuid = uuid_b)
+      ()
+  in
+  (device, installed)
+
+let process device m ~payloads =
+  Suit.process device ~envelope:(Suit.sign m key) ~payloads
+
+let test_happy_path () =
+  let device, installed = make_device () in
+  (match process device (manifest ()) ~payloads:[ (uuid_a, payload_a) ] with
+  | Ok m -> Alcotest.(check int64) "seq" 1L m.Suit.sequence
+  | Error e -> Alcotest.fail (Suit.error_to_string e));
+  Alcotest.(check (list (pair string string))) "installed"
+    [ (uuid_a, payload_a) ] !installed;
+  Alcotest.(check int64) "device sequence updated" 1L device.Suit.sequence
+
+let test_wrong_signature_rejected () =
+  let device, installed = make_device () in
+  let envelope = Suit.sign (manifest ()) attacker_key in
+  (match Suit.process device ~envelope ~payloads:[ (uuid_a, payload_a) ] with
+  | Error (Suit.Signature Cose.Bad_signature) -> ()
+  | Ok _ -> Alcotest.fail "attacker manifest accepted"
+  | Error e -> Alcotest.fail (Suit.error_to_string e));
+  Alcotest.(check (list (pair string string))) "nothing installed" [] !installed
+
+let test_rollback_rejected () =
+  let device, _ = make_device () in
+  (match process device (manifest ~sequence:5L ()) ~payloads:[ (uuid_a, payload_a) ] with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail (Suit.error_to_string e));
+  (* replaying the same sequence number must fail *)
+  (match process device (manifest ~sequence:5L ()) ~payloads:[ (uuid_a, payload_a) ] with
+  | Error (Suit.Rollback { manifest = 5L; device = 5L }) -> ()
+  | Ok _ -> Alcotest.fail "replay accepted"
+  | Error e -> Alcotest.fail (Suit.error_to_string e));
+  (* and an older one too *)
+  match process device (manifest ~sequence:3L ()) ~payloads:[ (uuid_a, payload_a) ] with
+  | Error (Suit.Rollback _) -> ()
+  | Ok _ -> Alcotest.fail "rollback accepted"
+  | Error e -> Alcotest.fail (Suit.error_to_string e)
+
+let test_digest_mismatch_rejected () =
+  let device, installed = make_device () in
+  (* manifest says payload_a, attacker swaps the payload in transit *)
+  (match process device (manifest ()) ~payloads:[ (uuid_a, "evil payload") ] with
+  | Error (Suit.Digest_mismatch uuid) -> Alcotest.(check string) "uuid" uuid_a uuid
+  | Ok _ -> Alcotest.fail "swapped payload accepted"
+  | Error e -> Alcotest.fail (Suit.error_to_string e));
+  Alcotest.(check (list (pair string string))) "nothing installed" [] !installed
+
+let test_missing_payload_rejected () =
+  let device, _ = make_device () in
+  match process device (manifest ()) ~payloads:[] with
+  | Error (Suit.Digest_mismatch _) -> ()
+  | Ok _ -> Alcotest.fail "missing payload accepted"
+  | Error e -> Alcotest.fail (Suit.error_to_string e)
+
+let test_unknown_storage_rejected () =
+  let device, _ = make_device () in
+  let m = manifest ~uuid:"not-a-hook" () in
+  match process device m ~payloads:[ ("not-a-hook", payload_a) ] with
+  | Error (Suit.Unknown_storage "not-a-hook") -> ()
+  | Ok _ -> Alcotest.fail "unknown storage accepted"
+  | Error e -> Alcotest.fail (Suit.error_to_string e)
+
+let test_install_failure_propagates () =
+  let device =
+    Suit.create_device ~key
+      ~install:(fun ~sequence:_ ~storage_uuid:_ _ -> Error "verifier said no")
+      ~known_storage:(fun _ -> true)
+      ()
+  in
+  match process device (manifest ()) ~payloads:[ (uuid_a, payload_a) ] with
+  | Error (Suit.Install_failed "verifier said no") ->
+      (* sequence must NOT advance on a failed install *)
+      Alcotest.(check int64) "seq unchanged" 0L device.Suit.sequence
+  | Ok _ -> Alcotest.fail "failed install accepted"
+  | Error e -> Alcotest.fail (Suit.error_to_string e)
+
+let test_multi_component_update () =
+  let device, installed = make_device () in
+  let m =
+    Suit.make ~sequence:1L
+      [
+        Suit.component_for ~storage_uuid:uuid_a payload_a;
+        Suit.component_for ~storage_uuid:uuid_b "second app";
+      ]
+  in
+  (match
+     process device m ~payloads:[ (uuid_a, payload_a); (uuid_b, "second app") ]
+   with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail (Suit.error_to_string e));
+  Alcotest.(check int) "both installed" 2 (List.length !installed)
+
+let test_vendor_class_conditions () =
+  let installed = ref [] in
+  let device =
+    Suit.create_device ~vendor_id:"vendor-A" ~class_id:"nrf52840" ~key
+      ~install:(fun ~sequence:_ ~storage_uuid payload ->
+        installed := (storage_uuid, payload) :: !installed;
+        Ok ())
+      ~known_storage:(fun _ -> true)
+      ()
+  in
+  (* manifest without identity conditions installs (backwards compatible) *)
+  (match process device (manifest ~sequence:1L ()) ~payloads:[ (uuid_a, payload_a) ] with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail (Suit.error_to_string e));
+  (* wrong vendor rejected, even correctly signed *)
+  let wrong_vendor =
+    Suit.make ~vendor_id:"vendor-B" ~sequence:2L
+      [ Suit.component_for ~storage_uuid:uuid_a payload_a ]
+  in
+  (match process device wrong_vendor ~payloads:[ (uuid_a, payload_a) ] with
+  | Error (Suit.Wrong_vendor { manifest = "vendor-B"; device = "vendor-A" }) -> ()
+  | Ok _ -> Alcotest.fail "wrong vendor accepted"
+  | Error e -> Alcotest.fail (Suit.error_to_string e));
+  (* wrong class rejected *)
+  let wrong_class =
+    Suit.make ~vendor_id:"vendor-A" ~class_id:"esp32" ~sequence:2L
+      [ Suit.component_for ~storage_uuid:uuid_a payload_a ]
+  in
+  (match process device wrong_class ~payloads:[ (uuid_a, payload_a) ] with
+  | Error (Suit.Wrong_class _) -> ()
+  | Ok _ -> Alcotest.fail "wrong class accepted"
+  | Error e -> Alcotest.fail (Suit.error_to_string e));
+  (* matching identities install *)
+  let matching =
+    Suit.make ~vendor_id:"vendor-A" ~class_id:"nrf52840" ~sequence:2L
+      [ Suit.component_for ~storage_uuid:uuid_a payload_a ]
+  in
+  (match process device matching ~payloads:[ (uuid_a, payload_a) ] with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail (Suit.error_to_string e));
+  (* identity fields survive the codec *)
+  match Suit.decode (Suit.encode matching) with
+  | Ok decoded ->
+      Alcotest.(check (option string)) "vendor" (Some "vendor-A") decoded.Suit.vendor_id;
+      Alcotest.(check (option string)) "class" (Some "nrf52840") decoded.Suit.class_id
+  | Error e -> Alcotest.fail (Suit.error_to_string e)
+
+let test_stats_counters () =
+  let device, _ = make_device () in
+  ignore (process device (manifest ()) ~payloads:[ (uuid_a, payload_a) ]);
+  ignore (process device (manifest ()) ~payloads:[ (uuid_a, payload_a) ]);
+  Alcotest.(check int) "accepted" 1 device.Suit.accepted;
+  Alcotest.(check int) "rejected" 1 device.Suit.rejected
+
+let prop_manifest_roundtrip =
+  let gen =
+    QCheck.Gen.(
+      map2
+        (fun seq payloads ->
+          Suit.make ~sequence:(Int64.of_int (abs seq + 1))
+            (List.mapi
+               (fun i p ->
+                 Suit.component_for
+                   ~storage_uuid:(Printf.sprintf "uuid-%d" i)
+                   p)
+               payloads))
+        int
+        (list_size (int_range 1 4) (string_size (int_range 0 64))))
+  in
+  QCheck.Test.make ~name:"manifest roundtrip" ~count:200 (QCheck.make gen)
+    (fun m ->
+      match Suit.decode (Suit.encode m) with
+      | Ok decoded ->
+          Int64.equal decoded.Suit.sequence m.Suit.sequence
+          && decoded.Suit.components = m.Suit.components
+      | Error _ -> false)
+
+let suite =
+  [
+    Alcotest.test_case "manifest roundtrip" `Quick test_manifest_roundtrip;
+    Alcotest.test_case "rejects garbage" `Quick test_decode_rejects_garbage;
+    Alcotest.test_case "rejects bad version" `Quick test_decode_rejects_bad_version;
+    Alcotest.test_case "happy path" `Quick test_happy_path;
+    Alcotest.test_case "wrong signature" `Quick test_wrong_signature_rejected;
+    Alcotest.test_case "rollback" `Quick test_rollback_rejected;
+    Alcotest.test_case "digest mismatch" `Quick test_digest_mismatch_rejected;
+    Alcotest.test_case "missing payload" `Quick test_missing_payload_rejected;
+    Alcotest.test_case "unknown storage" `Quick test_unknown_storage_rejected;
+    Alcotest.test_case "install failure" `Quick test_install_failure_propagates;
+    Alcotest.test_case "multi-component" `Quick test_multi_component_update;
+    Alcotest.test_case "vendor/class conditions" `Quick test_vendor_class_conditions;
+    Alcotest.test_case "stats counters" `Quick test_stats_counters;
+    QCheck_alcotest.to_alcotest prop_manifest_roundtrip;
+  ]
+
+let () = Alcotest.run "femto_suit" [ ("suit", suite) ]
