@@ -3,13 +3,22 @@
    paper-vs-measured record), then optionally runs the Bechamel
    microbenchmark suite with statistically-fitted ns/run estimates.
 
-     dune exec bench/main.exe              # all experiments
-     dune exec bench/main.exe -- --quick   # skip the Bechamel suite
-     dune exec bench/main.exe -- --bechamel-only *)
+     dune exec bench/main.exe                      # all experiments
+     dune exec bench/main.exe -- --quick           # skip the Bechamel suite
+     dune exec bench/main.exe -- --bechamel-only
+     dune exec bench/main.exe -- --bechamel-only --quota 0.05 --json b.json
+
+   --json FILE writes a machine-readable femto-bench/1 document (the
+   Bechamel ns/run estimates plus the observability-metrics snapshot) —
+   the artifact CI uploads to seed the bench trajectory.  Any workload
+   failure exits non-zero with a one-line diagnosis instead of an
+   uncaught exception, so CI failures are clean. *)
 
 open Bechamel
 module Fletcher = Femto_workloads.Fletcher
 module Experiments = Femto_eval.Experiments
+module Jsonx = Femto_obs.Jsonx
+module Obs = Femto_obs.Obs
 
 let data = Fletcher.input_360
 
@@ -79,29 +88,111 @@ let bechamel_tests () =
             fun () -> ignore (trigger ())));
     ]
 
-let run_bechamel () =
+(* Run the suite and return (name, ns/run OLS estimate) rows. *)
+let run_bechamel ~quota () =
   let tests = bechamel_tests () in
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
   in
   let instances = Toolkit.Instance.[ monotonic_clock ] in
-  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~kde:(Some 10) () in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second quota) ~kde:(Some 10) () in
   let raw = Benchmark.all cfg instances tests in
   let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let rows = Hashtbl.fold (fun name result acc -> (name, result) :: acc) results [] in
+  let rows = List.sort compare rows in
   Printf.printf "\nBechamel microbenchmarks (ns/run, OLS fit)\n%s\n"
     (String.make 44 '-');
-  let rows = Hashtbl.fold (fun name result acc -> (name, result) :: acc) results [] in
-  List.iter
-    (fun (name, result) ->
-      match Analyze.OLS.estimates result with
-      | Some [ est ] -> Printf.printf "  %-40s %12.1f\n" name est
-      | _ -> Printf.printf "  %-40s (no estimate)\n" name)
-    (List.sort compare rows);
-  flush stdout
+  let estimates =
+    List.map
+      (fun (name, result) ->
+        match Analyze.OLS.estimates result with
+        | Some [ est ] ->
+            Printf.printf "  %-40s %12.1f\n" name est;
+            (name, Some est)
+        | _ ->
+            Printf.printf "  %-40s (no estimate)\n" name;
+            (name, None))
+      rows
+  in
+  flush stdout;
+  estimates
+
+(* --- machine-readable output (femto-bench/1) --- *)
+
+let iso8601_utc seconds =
+  let tm = Unix.gmtime seconds in
+  Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02dZ" (tm.Unix.tm_year + 1900)
+    (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min
+    tm.Unix.tm_sec
+
+let bench_json ~quota estimates =
+  Jsonx.Obj
+    [
+      ("schema", Jsonx.String "femto-bench/1");
+      ("generated_at", Jsonx.String (iso8601_utc (Unix.time ())));
+      ("ocaml_version", Jsonx.String Sys.ocaml_version);
+      ("word_size", Jsonx.Int Sys.word_size);
+      ("quota_s", Jsonx.Float quota);
+      ( "bechamel",
+        Jsonx.List
+          (List.map
+             (fun (name, estimate) ->
+               Jsonx.Obj
+                 [
+                   ("name", Jsonx.String name);
+                   ( "ns_per_run",
+                     match estimate with
+                     | Some ns -> Jsonx.Float ns
+                     | None -> Jsonx.Null );
+                 ])
+             estimates) );
+      (* process-wide observability snapshot: how much VM/engine work the
+         bench run itself performed — free regression context *)
+      ("metrics", Obs.metrics_json ());
+    ]
+
+let write_json ~quota estimates path =
+  let oc = open_out path in
+  output_string oc (Jsonx.to_string_pretty (bench_json ~quota estimates));
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote %s\n" path
+
+(* --- entry point --- *)
+
+let opt_value args flag =
+  let rec find = function
+    | a :: value :: _ when String.equal a flag -> Some value
+    | _ :: rest -> find rest
+    | [] -> None
+  in
+  find args
 
 let () =
   let args = Array.to_list Sys.argv in
   let quick = List.mem "--quick" args in
   let bechamel_only = List.mem "--bechamel-only" args in
-  if not bechamel_only then Experiments.run_all ();
-  if not quick then run_bechamel ()
+  let json_file = opt_value args "--json" in
+  let quota =
+    match opt_value args "--quota" with
+    | None -> 0.25
+    | Some raw -> (
+        match float_of_string_opt raw with
+        | Some q when q > 0.0 -> q
+        | Some _ | None ->
+            Printf.eprintf "bench: invalid --quota %S\n" raw;
+            exit 2)
+  in
+  match
+    if not bechamel_only then Experiments.run_all ();
+    if not quick then begin
+      let estimates = run_bechamel ~quota () in
+      Option.iter (write_json ~quota estimates) json_file
+    end
+  with
+  | () -> exit 0
+  | exception e ->
+      (* a workload failure (wrong checksum, verifier rejection, ...)
+         must fail the CI job cleanly, not abort with a raw backtrace *)
+      Printf.eprintf "bench: workload failure: %s\n" (Printexc.to_string e);
+      exit 1

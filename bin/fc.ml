@@ -144,6 +144,70 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc:"Verify and execute bytecode in a sandbox")
     Term.(const run $ input_arg $ engine_arg $ args_arg)
 
+(* --- metrics / trace: run under observability, dump JSON --- *)
+
+let obs_engine_arg =
+  Arg.(value & opt (enum [ ("fc", `Fc); ("certfc", `Certfc) ]) `Fc
+       & info [ "engine" ] ~doc:"Interpreter: fc (optimized) or certfc (verified-style).")
+
+let obs_args_arg =
+  Arg.(value & opt_all int64 [] & info [ "arg" ] ~docv:"N"
+       ~doc:"Argument register value (r1..r5), repeatable.")
+
+(* Verify + execute [input] with the observability layer switched on;
+   returns the process exit code.  Shared by `fc metrics` and `fc trace`. *)
+let observed_run input engine args =
+  Femto_obs.Obs.set_enabled true;
+  Femto_obs.Obs.set_tracing true;
+  Femto_obs.Obs.reset ();
+  let program = load_program input in
+  let helpers = Femto_vm.Helper.create () in
+  let args = Array.of_list args in
+  let outcome =
+    match engine with
+    | `Fc -> (
+        match Femto_vm.Vm.load ~helpers ~regions:[] program with
+        | Error fault -> Error fault
+        | Ok vm -> Femto_vm.Vm.run vm ~args)
+    | `Certfc -> (
+        match Femto_certfc.Certfc.load ~helpers ~regions:[] program with
+        | Error fault -> Error fault
+        | Ok vm -> Femto_certfc.Certfc.run vm ~args)
+  in
+  match outcome with
+  | Ok _ -> 0
+  | Error fault ->
+      Printf.eprintf "FAULT: %s\n" (Femto_vm.Fault.to_string fault);
+      1
+
+let metrics_cmd =
+  let run input engine args =
+    let code = observed_run input engine args in
+    print_endline
+      (Femto_obs.Jsonx.to_string_pretty (Femto_obs.Obs.metrics_json ()));
+    code
+  in
+  Cmd.v
+    (Cmd.info "metrics"
+       ~doc:
+         "Execute bytecode with the observability layer enabled and dump \
+          the metrics registry as JSON")
+    Term.(const run $ input_arg $ obs_engine_arg $ obs_args_arg)
+
+let trace_cmd =
+  let run input engine args =
+    let code = observed_run input engine args in
+    print_endline
+      (Femto_obs.Jsonx.to_string_pretty (Femto_obs.Obs.trace_json ()));
+    code
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Execute bytecode with event tracing enabled and dump the trace \
+          ring as JSON")
+    Term.(const run $ input_arg $ obs_engine_arg $ obs_args_arg)
+
 (* --- inspect --- *)
 
 let inspect_cmd =
@@ -398,5 +462,5 @@ let () =
     (Cmd.eval'
        (Cmd.group ~default info
           [ asm_cmd; disasm_cmd; verify_cmd; run_cmd; inspect_cmd;
-            compile_cmd; compact_cmd; expand_cmd; suit_sign_cmd;
-            suit_verify_cmd; shell_cmd ]))
+            metrics_cmd; trace_cmd; compile_cmd; compact_cmd; expand_cmd;
+            suit_sign_cmd; suit_verify_cmd; shell_cmd ]))

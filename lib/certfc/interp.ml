@@ -15,6 +15,19 @@ module Config = Femto_vm.Config
 module Mem = Femto_vm.Mem
 module Region = Femto_vm.Region
 module Helper = Femto_vm.Helper
+module Obs = Femto_obs.Obs
+module Ometrics = Femto_obs.Metrics
+module Otrace = Femto_obs.Trace
+
+(* CertFC feeds the same process-wide vm.* metrics as the optimized
+   interpreter, so `fc metrics --engine certfc` reports comparably. *)
+let m_runs = Obs.counter "vm.runs"
+let m_faults = Obs.counter "vm.faults"
+let m_insns = Obs.counter "vm.insns"
+let m_branches = Obs.counter "vm.branches"
+let m_helper_calls = Obs.counter "vm.helper_calls"
+let m_cycles = Obs.counter "vm.cycles"
+let m_run_ns = Obs.histogram "vm.run_ns"
 
 let ( let* ) = Result.bind
 
@@ -240,6 +253,7 @@ let initial_state t ~args =
   }
 
 let run ?(args = [||]) t =
+  let t0 = if Obs.enabled () then Obs.now_ns () else 0.0 in
   Bytes.fill t.stack_data 0 (Bytes.length t.stack_data) '\000';
   let rec loop state =
     match step t state with
@@ -251,4 +265,31 @@ let run ?(args = [||]) t =
         t.last_stats <- Some state;
         Error fault
   in
-  loop (initial_state t ~args)
+  let outcome = loop (initial_state t ~args) in
+  (if Obs.enabled () then
+     match t.last_stats with
+     | None -> ()
+     | Some s ->
+         Ometrics.incr m_runs;
+         Ometrics.add m_insns s.insns_executed;
+         Ometrics.add m_branches s.branches_taken;
+         Ometrics.add m_helper_calls s.helper_calls;
+         Ometrics.add m_cycles s.cycles;
+         Ometrics.observe m_run_ns (Obs.now_ns () -. t0);
+         (match outcome with
+         | Ok _ -> ()
+         | Error f ->
+             Ometrics.incr m_faults;
+             Obs.event (fun () ->
+                 Otrace.Fault
+                   { kind = Fault.kind f; detail = Fault.to_string f }));
+         Obs.event (fun () ->
+             Otrace.Vm_run
+               {
+                 insns = s.insns_executed;
+                 branches = s.branches_taken;
+                 helpers = s.helper_calls;
+                 cycles = s.cycles;
+                 ok = Result.is_ok outcome;
+               }));
+  outcome

@@ -6,6 +6,17 @@
    Femto-Container through the [Gcoap] glue. *)
 
 module Network = Femto_net.Network
+module Obs = Femto_obs.Obs
+module Ometrics = Femto_obs.Metrics
+module Otrace = Femto_obs.Trace
+
+(* CoAP-server metrics across all server instances; per-request outcome
+   detail goes to the trace ring as Coap_request events. *)
+let m_requests = Obs.counter "coap.requests"
+let m_not_found = Obs.counter "coap.not_found"
+let m_handler_errors = Obs.counter "coap.handler_errors"
+let m_retransmissions = Obs.counter "coap.retransmissions"
+let m_notifications = Obs.counter "coap.notifications"
 
 type response = { code : int * int; options : (int * string) list; payload : string }
 
@@ -62,6 +73,7 @@ and handle t ~src request =
       let key = (src, request.Message.message_id) in
       match Hashtbl.find_opt t.recent key with
       | Some cached ->
+          if Obs.enabled () then Ometrics.incr m_retransmissions;
           Network.send t.network ~src:t.node.Network.addr ~dst:src
             (Message.encode cached)
       | None ->
@@ -174,14 +186,30 @@ and handle_observe t ~src request =
 
 and run_handler t ~src request =
   let path = Message.path_string request in
+  let trace outcome response =
+    if Obs.enabled () then
+      Obs.event (fun () ->
+          let major, minor = response.code in
+          Otrace.Coap_request
+            { path; code = Printf.sprintf "%d.%02d" major minor; outcome });
+    response
+  in
   match Hashtbl.find_opt t.resources path with
   | Some handler ->
       t.requests_served <- t.requests_served + 1;
-      (try handler ~src request
-       with _ -> respond Message.code_internal_error)
+      if Obs.enabled () then Ometrics.incr m_requests;
+      (match handler ~src request with
+      | response -> trace "ok" response
+      | exception _ ->
+          if Obs.enabled () then Ometrics.incr m_handler_errors;
+          trace "handler_error" (respond Message.code_internal_error))
   | None ->
       t.not_found <- t.not_found + 1;
-      respond Message.code_not_found
+      if Obs.enabled () then begin
+        Ometrics.incr m_requests;
+        Ometrics.incr m_not_found
+      end;
+      trace "not_found" (respond Message.code_not_found)
 
 and dispatch t ~src request =
   match Block.of_message ~number:Block.opt_block1 request with
@@ -230,6 +258,7 @@ let notify t ~path =
   | None -> 0
   | Some entry ->
       t.observe_seq <- t.observe_seq + 1;
+      if Obs.enabled () then Ometrics.add m_notifications (List.length !entry);
       List.iter
         (fun (dst, token) ->
           let synthetic =

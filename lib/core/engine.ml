@@ -12,6 +12,18 @@ module Region = Femto_vm.Region
 module Helper = Femto_vm.Helper
 module Platform = Femto_platform.Platform
 module Kernel = Femto_rtos.Kernel
+module Obs = Femto_obs.Obs
+module Ometrics = Femto_obs.Metrics
+module Otrace = Femto_obs.Trace
+
+(* Engine-level metrics: hook dispatch counts and latency (Table 4's
+   subject), and container faults as seen by the isolation boundary. *)
+let m_hook_fires = Obs.counter "engine.hook_fires"
+let m_container_runs = Obs.counter "engine.container_runs"
+let m_container_faults = Obs.counter "engine.container_faults"
+let m_attaches = Obs.counter "engine.attaches"
+let m_attach_rejected = Obs.counter "engine.attach_rejected"
+let m_hook_ns = Obs.histogram "engine.hook_ns"
 
 type t = {
   platform : Platform.t;
@@ -161,8 +173,11 @@ let attach t ~hook_uuid ?(extra_regions = []) container =
                 | Error fault -> Error fault)
           in
           match load with
-          | Error fault -> Error (Verification_failed fault)
+          | Error fault ->
+              if Obs.enabled () then Ometrics.incr m_attach_rejected;
+              Error (Verification_failed fault)
           | Ok instance ->
+              if Obs.enabled () then Ometrics.incr m_attaches;
               container.Container.instance <- Some instance;
               container.Container.attached_to <- Some hook_uuid;
               hook.Hook.attached <- hook.Hook.attached @ [ container ];
@@ -231,6 +246,7 @@ type exec_report = {
    r1 = context pointer.  Cycle costs (dispatch + setup + interpreted
    instructions) are charged to the RTOS clock when one is attached. *)
 let trigger t hook ?ctx () =
+  let t0 = if Obs.enabled () then Obs.now_ns () else 0.0 in
   (match ctx with Some bytes -> Hook.set_ctx hook bytes | None -> ());
   hook.Hook.triggers <- hook.Hook.triggers + 1;
   let charge cycles =
@@ -239,22 +255,44 @@ let trigger t hook ?ctx () =
     | None -> ()
   in
   charge t.platform.Platform.empty_hook_cycles;
-  List.map
-    (fun container ->
-      charge
-        (Platform.hook_setup_cycles t.platform container.Container.runtime);
-      let result =
-        Container.run_instance container ~args:[| Hook.ctx_vaddr |]
-      in
-      container.Container.executions <- container.Container.executions + 1;
-      (match result with
-      | Ok _ -> ()
-      | Error _ -> container.Container.faults <- container.Container.faults + 1);
-      container.Container.last_result <- Some result;
-      let vm_cycles = Container.last_run_cycles container in
-      charge vm_cycles;
-      { container; result; vm_cycles })
-    hook.Hook.attached
+  let reports =
+    List.map
+      (fun container ->
+        charge
+          (Platform.hook_setup_cycles t.platform container.Container.runtime);
+        let result =
+          Container.run_instance container ~args:[| Hook.ctx_vaddr |]
+        in
+        container.Container.executions <- container.Container.executions + 1;
+        (match result with
+        | Ok _ -> ()
+        | Error _ -> container.Container.faults <- container.Container.faults + 1);
+        container.Container.last_result <- Some result;
+        let vm_cycles = Container.last_run_cycles container in
+        charge vm_cycles;
+        { container; result; vm_cycles })
+      hook.Hook.attached
+  in
+  if Obs.enabled () then begin
+    let faults =
+      List.fold_left
+        (fun acc r -> match r.result with Error _ -> acc + 1 | Ok _ -> acc)
+        0 reports
+    in
+    Ometrics.incr m_hook_fires;
+    Ometrics.add m_container_runs (List.length reports);
+    Ometrics.add m_container_faults faults;
+    Ometrics.observe m_hook_ns (Obs.now_ns () -. t0);
+    Obs.event (fun () ->
+        Otrace.Hook_fired
+          {
+            uuid = hook.Hook.uuid;
+            name = hook.Hook.name;
+            containers = List.length reports;
+            faults;
+          })
+  end;
+  reports
 
 let trigger_by_uuid t ~uuid ?ctx () =
   match find_hook t uuid with

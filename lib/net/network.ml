@@ -8,6 +8,14 @@
    virtual clock. *)
 
 module Kernel = Femto_rtos.Kernel
+module Obs = Femto_obs.Obs
+module Ometrics = Femto_obs.Metrics
+
+(* Radio-level metrics across all simulated networks. *)
+let m_datagrams_sent = Obs.counter "net.datagrams_sent"
+let m_datagrams_delivered = Obs.counter "net.datagrams_delivered"
+let m_frames_sent = Obs.counter "net.frames_sent"
+let m_frames_dropped = Obs.counter "net.frames_dropped"
 
 type node = {
   addr : int;
@@ -74,6 +82,7 @@ let deliver_frame t ~src ~dst frame =
       match Frag.accept node.reassembler ~src frame with
       | Some datagram ->
           t.stats.datagrams_delivered <- t.stats.datagrams_delivered + 1;
+          if Obs.enabled () then Ometrics.incr m_datagrams_delivered;
           node.on_datagram ~src datagram
       | None -> ())
 
@@ -82,14 +91,18 @@ let deliver_frame t ~src ~dst frame =
    probability. *)
 let send t ~src ~dst payload =
   t.stats.datagrams_sent <- t.stats.datagrams_sent + 1;
+  if Obs.enabled () then Ometrics.incr m_datagrams_sent;
   let tag = t.next_tag in
   t.next_tag <- (t.next_tag + 1) land 0xFFFF;
   let frames = Frag.fragment ~tag payload in
   List.iteri
     (fun i frame ->
       t.stats.frames_sent <- t.stats.frames_sent + 1;
-      if Random.State.int t.rng 1000 < t.loss_permille then
-        t.stats.frames_dropped <- t.stats.frames_dropped + 1
+      if Obs.enabled () then Ometrics.incr m_frames_sent;
+      if Random.State.int t.rng 1000 < t.loss_permille then begin
+        t.stats.frames_dropped <- t.stats.frames_dropped + 1;
+        if Obs.enabled () then Ometrics.incr m_frames_dropped
+      end
       else
         (* frames serialize on the radio: stagger them by index *)
         Kernel.after_us t.kernel

@@ -1,0 +1,287 @@
+(* Minimal JSON for the observability layer.
+
+   The repo deliberately carries no third-party JSON dependency (the
+   target class of device wouldn't either), so this is a small,
+   self-contained value type with a writer and a strict-enough parser —
+   the parser exists so the bench pipeline and the tests can round-trip
+   the documents the writer emits. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+(* --- writer --- *)
+
+let escape_string s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* Floats print round-trippably; whole floats keep a ".0" so the parser
+   can't silently narrow them to Int on the way back. *)
+let float_repr f =
+  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.1f" f
+  else Printf.sprintf "%.17g" f
+
+let rec write buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float f ->
+      if Float.is_nan f || Float.abs f = infinity then
+        Buffer.add_string buf "null"
+      else Buffer.add_string buf (float_repr f)
+  | String s ->
+      Buffer.add_char buf '"';
+      Buffer.add_string buf (escape_string s);
+      Buffer.add_char buf '"'
+  | List items ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i item ->
+          if i > 0 then Buffer.add_char buf ',';
+          write buf item)
+        items;
+      Buffer.add_char buf ']'
+  | Obj fields ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (key, value) ->
+          if i > 0 then Buffer.add_char buf ',';
+          write buf (String key);
+          Buffer.add_char buf ':';
+          write buf value)
+        fields;
+      Buffer.add_char buf '}'
+
+let to_string value =
+  let buf = Buffer.create 256 in
+  write buf value;
+  Buffer.contents buf
+
+(* Pretty writer for the CLI surfaces: two-space indent. *)
+let rec write_pretty buf indent = function
+  | List (_ :: _ as items) ->
+      let pad = String.make indent ' ' in
+      Buffer.add_string buf "[\n";
+      List.iteri
+        (fun i item ->
+          if i > 0 then Buffer.add_string buf ",\n";
+          Buffer.add_string buf pad;
+          Buffer.add_string buf "  ";
+          write_pretty buf (indent + 2) item)
+        items;
+      Buffer.add_char buf '\n';
+      Buffer.add_string buf pad;
+      Buffer.add_char buf ']'
+  | Obj (_ :: _ as fields) ->
+      let pad = String.make indent ' ' in
+      Buffer.add_string buf "{\n";
+      List.iteri
+        (fun i (key, value) ->
+          if i > 0 then Buffer.add_string buf ",\n";
+          Buffer.add_string buf pad;
+          Buffer.add_string buf "  ";
+          write buf (String key);
+          Buffer.add_string buf ": ";
+          write_pretty buf (indent + 2) value)
+        fields;
+      Buffer.add_char buf '\n';
+      Buffer.add_string buf pad;
+      Buffer.add_char buf '}'
+  | value -> write buf value
+
+let to_string_pretty value =
+  let buf = Buffer.create 512 in
+  write_pretty buf 0 value;
+  Buffer.contents buf
+
+(* --- parser --- *)
+
+type cursor = { text : string; mutable pos : int }
+
+let fail cursor message =
+  raise (Parse_error (Printf.sprintf "offset %d: %s" cursor.pos message))
+
+let peek cursor =
+  if cursor.pos < String.length cursor.text then Some cursor.text.[cursor.pos]
+  else None
+
+let advance cursor = cursor.pos <- cursor.pos + 1
+
+let skip_ws cursor =
+  let continue = ref true in
+  while !continue do
+    match peek cursor with
+    | Some (' ' | '\t' | '\n' | '\r') -> advance cursor
+    | _ -> continue := false
+  done
+
+let expect cursor c =
+  match peek cursor with
+  | Some got when got = c -> advance cursor
+  | Some got -> fail cursor (Printf.sprintf "expected %c, got %c" c got)
+  | None -> fail cursor (Printf.sprintf "expected %c, got end of input" c)
+
+let parse_literal cursor word value =
+  String.iter (fun c -> expect cursor c) word;
+  value
+
+let parse_string_body cursor =
+  let buf = Buffer.create 16 in
+  let rec loop () =
+    match peek cursor with
+    | None -> fail cursor "unterminated string"
+    | Some '"' -> advance cursor
+    | Some '\\' -> (
+        advance cursor;
+        match peek cursor with
+        | None -> fail cursor "unterminated escape"
+        | Some c ->
+            advance cursor;
+            (match c with
+            | '"' -> Buffer.add_char buf '"'
+            | '\\' -> Buffer.add_char buf '\\'
+            | '/' -> Buffer.add_char buf '/'
+            | 'n' -> Buffer.add_char buf '\n'
+            | 'r' -> Buffer.add_char buf '\r'
+            | 't' -> Buffer.add_char buf '\t'
+            | 'b' -> Buffer.add_char buf '\b'
+            | 'f' -> Buffer.add_char buf '\012'
+            | 'u' ->
+                if cursor.pos + 4 > String.length cursor.text then
+                  fail cursor "truncated \\u escape";
+                let hex = String.sub cursor.text cursor.pos 4 in
+                cursor.pos <- cursor.pos + 4;
+                let code =
+                  try int_of_string ("0x" ^ hex)
+                  with _ -> fail cursor "bad \\u escape"
+                in
+                (* ASCII range only — all the writer ever emits *)
+                if code < 0x80 then Buffer.add_char buf (Char.chr code)
+                else fail cursor "non-ASCII \\u escape unsupported"
+            | c -> fail cursor (Printf.sprintf "bad escape \\%c" c));
+            loop ())
+    | Some c ->
+        advance cursor;
+        Buffer.add_char buf c;
+        loop ()
+  in
+  loop ();
+  Buffer.contents buf
+
+let parse_number cursor =
+  let start = cursor.pos in
+  let is_number_char = function
+    | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+    | _ -> false
+  in
+  while match peek cursor with Some c -> is_number_char c | None -> false do
+    advance cursor
+  done;
+  let repr = String.sub cursor.text start (cursor.pos - start) in
+  match int_of_string_opt repr with
+  | Some i -> Int i
+  | None -> (
+      match float_of_string_opt repr with
+      | Some f -> Float f
+      | None -> fail cursor (Printf.sprintf "bad number %S" repr))
+
+let rec parse_value cursor =
+  skip_ws cursor;
+  match peek cursor with
+  | None -> fail cursor "unexpected end of input"
+  | Some 'n' -> parse_literal cursor "null" Null
+  | Some 't' -> parse_literal cursor "true" (Bool true)
+  | Some 'f' -> parse_literal cursor "false" (Bool false)
+  | Some '"' ->
+      advance cursor;
+      String (parse_string_body cursor)
+  | Some '[' ->
+      advance cursor;
+      skip_ws cursor;
+      if peek cursor = Some ']' then (
+        advance cursor;
+        List [])
+      else
+        let rec items acc =
+          let item = parse_value cursor in
+          skip_ws cursor;
+          match peek cursor with
+          | Some ',' ->
+              advance cursor;
+              items (item :: acc)
+          | Some ']' ->
+              advance cursor;
+              List.rev (item :: acc)
+          | _ -> fail cursor "expected , or ] in array"
+        in
+        List (items [])
+  | Some '{' ->
+      advance cursor;
+      skip_ws cursor;
+      if peek cursor = Some '}' then (
+        advance cursor;
+        Obj [])
+      else
+        let field () =
+          skip_ws cursor;
+          expect cursor '"';
+          let key = parse_string_body cursor in
+          skip_ws cursor;
+          expect cursor ':';
+          (key, parse_value cursor)
+        in
+        let rec fields acc =
+          let f = field () in
+          skip_ws cursor;
+          match peek cursor with
+          | Some ',' ->
+              advance cursor;
+              fields (f :: acc)
+          | Some '}' ->
+              advance cursor;
+              List.rev (f :: acc)
+          | _ -> fail cursor "expected , or } in object"
+        in
+        Obj (fields [])
+  | Some _ -> parse_number cursor
+
+let of_string text =
+  let cursor = { text; pos = 0 } in
+  let value = parse_value cursor in
+  skip_ws cursor;
+  if cursor.pos <> String.length text then fail cursor "trailing garbage";
+  value
+
+(* --- accessors (for tests and the bench pipeline) --- *)
+
+let member key = function Obj fields -> List.assoc_opt key fields | _ -> None
+
+let to_list = function List items -> Some items | _ -> None
+
+let to_float = function
+  | Float f -> Some f
+  | Int i -> Some (float_of_int i)
+  | _ -> None
+
+let to_int = function Int i -> Some i | _ -> None
+let to_str = function String s -> Some s | _ -> None

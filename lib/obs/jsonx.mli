@@ -1,0 +1,25 @@
+(* Minimal dependency-free JSON: value type, writer, strict parser. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+val to_string : t -> string
+val to_string_pretty : t -> string
+
+(* [of_string s] parses the subset the writer emits (numbers, strings
+   with ASCII escapes, arrays, objects).  Raises [Parse_error]. *)
+val of_string : string -> t
+
+val member : string -> t -> t option
+val to_list : t -> t list option
+val to_float : t -> float option
+val to_int : t -> int option
+val to_str : t -> string option

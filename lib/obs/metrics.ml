@@ -1,0 +1,190 @@
+(* Metrics registry: monotonic counters, gauges, and latency histograms
+   with fixed log2-scale buckets.
+
+   Everything is allocation-free on the update path — a counter bump is
+   one mutable-field increment, a histogram observation is one array
+   store — so the instrumented hot paths (the VM dispatch loop, the hook
+   trigger path) stay cheap enough to leave compiled in. *)
+
+type counter = { c_name : string; mutable c_value : int }
+type gauge = { g_name : string; mutable g_value : float }
+
+(* Bucket [i] counts observations v with 2^i <= v < 2^(i+1); bucket 0
+   also absorbs everything below 2.  63 buckets cover the full positive
+   int range, so nanosecond latencies up to centuries fit. *)
+let bucket_count = 63
+
+type histogram = {
+  h_name : string;
+  buckets : int array;
+  mutable h_count : int;
+  mutable h_sum : float;
+  mutable h_min : float;
+  mutable h_max : float;
+}
+
+type metric =
+  | Counter of counter
+  | Gauge of gauge
+  | Histogram of histogram
+
+type t = {
+  table : (string, metric) Hashtbl.t;
+  mutable order : string list; (* registration order, newest first *)
+}
+
+let create () = { table = Hashtbl.create 32; order = [] }
+
+let find_or_add t name build =
+  match Hashtbl.find_opt t.table name with
+  | Some metric -> metric
+  | None ->
+      let metric = build () in
+      Hashtbl.replace t.table name metric;
+      t.order <- name :: t.order;
+      metric
+
+let type_clash name =
+  invalid_arg (Printf.sprintf "metric %s already registered with another type" name)
+
+let counter t name =
+  match find_or_add t name (fun () -> Counter { c_name = name; c_value = 0 }) with
+  | Counter c -> c
+  | _ -> type_clash name
+
+let gauge t name =
+  match find_or_add t name (fun () -> Gauge { g_name = name; g_value = 0.0 }) with
+  | Gauge g -> g
+  | _ -> type_clash name
+
+let histogram t name =
+  match
+    find_or_add t name (fun () ->
+        Histogram
+          {
+            h_name = name;
+            buckets = Array.make bucket_count 0;
+            h_count = 0;
+            h_sum = 0.0;
+            h_min = infinity;
+            h_max = neg_infinity;
+          })
+  with
+  | Histogram h -> h
+  | _ -> type_clash name
+
+let incr c = c.c_value <- c.c_value + 1
+let add c n = c.c_value <- c.c_value + n
+let value c = c.c_value
+let set g v = g.g_value <- v
+let gauge_value g = g.g_value
+
+let bucket_index v =
+  if v < 2.0 then 0
+  else
+    let i = int_of_float (Float.log2 v) in
+    if i >= bucket_count then bucket_count - 1 else i
+
+let observe h v =
+  let i = bucket_index v in
+  h.buckets.(i) <- h.buckets.(i) + 1;
+  h.h_count <- h.h_count + 1;
+  h.h_sum <- h.h_sum +. v;
+  if v < h.h_min then h.h_min <- v;
+  if v > h.h_max then h.h_max <- v
+
+let count h = h.h_count
+let sum h = h.h_sum
+let mean h = if h.h_count = 0 then 0.0 else h.h_sum /. float_of_int h.h_count
+
+(* [quantile h q] from the bucket counts: the upper bound of the bucket
+   holding the q-th observation — log2-granular, which is plenty for
+   order-of-magnitude latency tracking. *)
+let quantile h q =
+  if h.h_count = 0 then 0.0
+  else begin
+    let rank =
+      let r = int_of_float (Float.of_int h.h_count *. q) in
+      if r >= h.h_count then h.h_count - 1 else r
+    in
+    let acc = ref 0 in
+    let result = ref h.h_max in
+    (try
+       for i = 0 to bucket_count - 1 do
+         acc := !acc + h.buckets.(i);
+         if !acc > rank then begin
+           result := Float.pow 2.0 (float_of_int (i + 1));
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    Float.min !result h.h_max
+  end
+
+let reset t =
+  Hashtbl.iter
+    (fun _ metric ->
+      match metric with
+      | Counter c -> c.c_value <- 0
+      | Gauge g -> g.g_value <- 0.0
+      | Histogram h ->
+          Array.fill h.buckets 0 bucket_count 0;
+          h.h_count <- 0;
+          h.h_sum <- 0.0;
+          h.h_min <- infinity;
+          h.h_max <- neg_infinity)
+    t.table
+
+(* --- export --- *)
+
+let histogram_to_json h =
+  let nonempty =
+    List.filter
+      (fun (_, n) -> n > 0)
+      (List.init bucket_count (fun i -> (i, h.buckets.(i))))
+  in
+  Jsonx.Obj
+    ([
+       ("type", Jsonx.String "histogram");
+       ("count", Jsonx.Int h.h_count);
+       ("sum", Jsonx.Float h.h_sum);
+       ("mean", Jsonx.Float (mean h));
+     ]
+    @ (if h.h_count = 0 then []
+       else
+         [
+           ("min", Jsonx.Float h.h_min);
+           ("max", Jsonx.Float h.h_max);
+           ("p50", Jsonx.Float (quantile h 0.5));
+           ("p99", Jsonx.Float (quantile h 0.99));
+         ])
+    @ [
+        ( "buckets",
+          Jsonx.Obj
+            (List.map
+               (fun (i, n) ->
+                 (Printf.sprintf "lt_2e%d" (i + 1), Jsonx.Int n))
+               nonempty) );
+      ])
+
+let metric_to_json = function
+  | Counter c ->
+      Jsonx.Obj [ ("type", Jsonx.String "counter"); ("value", Jsonx.Int c.c_value) ]
+  | Gauge g ->
+      Jsonx.Obj [ ("type", Jsonx.String "gauge"); ("value", Jsonx.Float g.g_value) ]
+  | Histogram h -> histogram_to_json h
+
+let metric_name = function
+  | Counter c -> c.c_name
+  | Gauge g -> g.g_name
+  | Histogram h -> h.h_name
+
+let to_json t =
+  let names = List.rev t.order in
+  Jsonx.Obj
+    (List.filter_map
+       (fun name ->
+         Option.map
+           (fun metric -> (metric_name metric, metric_to_json metric))
+           (Hashtbl.find_opt t.table name))
+       names)

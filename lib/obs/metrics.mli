@@ -1,0 +1,39 @@
+(* Metrics registry: counters, gauges, log2-bucket latency histograms.
+   Update operations are allocation-free; lookups by name go through a
+   hashtable, so hot paths should hold on to the returned handle. *)
+
+type counter
+type gauge
+type histogram
+type t
+
+val create : unit -> t
+
+(* [counter t name] returns the existing counter of that name or
+   registers a fresh one (idempotent).  Raises [Invalid_argument] when
+   [name] is already registered as a different metric type; likewise for
+   [gauge] and [histogram]. *)
+val counter : t -> string -> counter
+val gauge : t -> string -> gauge
+val histogram : t -> string -> histogram
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+val value : counter -> int
+
+val set : gauge -> float -> unit
+val gauge_value : gauge -> float
+
+val observe : histogram -> float -> unit
+val count : histogram -> int
+val sum : histogram -> float
+val mean : histogram -> float
+
+(* Log2-granular quantile estimate (upper bucket bound, clamped to the
+   observed max). *)
+val quantile : histogram -> float -> float
+
+(* Zero every metric, keeping registrations (handles stay valid). *)
+val reset : t -> unit
+
+val to_json : t -> Jsonx.t

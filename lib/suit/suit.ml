@@ -12,6 +12,28 @@
 module Cbor = Femto_cbor.Cbor
 module Cose = Femto_cose.Cose
 module Crypto = Femto_crypto.Crypto
+module Obs = Femto_obs.Obs
+module Ometrics = Femto_obs.Metrics
+module Otrace = Femto_obs.Trace
+
+(* Update-pipeline metrics: manifest outcomes and end-to-end processing
+   latency; each gate additionally traces a Suit_step event. *)
+let m_accepted = Obs.counter "suit.accepted"
+let m_rejected = Obs.counter "suit.rejected"
+let m_process_ns = Obs.histogram "suit.process_ns"
+
+(* [timed step f] runs one verification gate and traces its duration
+   and outcome as a [Suit_step] event. *)
+let timed step f =
+  if not (Obs.enabled ()) then f ()
+  else begin
+    let t0 = Obs.now_ns () in
+    let result = f () in
+    let ns = Obs.now_ns () -. t0 in
+    Obs.event (fun () ->
+        Otrace.Suit_step { step; ok = Result.is_ok result; ns });
+    result
+  end
 
 (* Manifest map keys (after draft-ietf-suit-manifest's structure,
    simplified to the fields the paper's flow uses). *)
@@ -190,64 +212,81 @@ let create_device ?(vendor_id = "") ?(class_id = "") ~key ~install
     accepted = 0; rejected = 0 }
 
 (* [process device ~envelope ~payloads] runs the full verification
-   pipeline.  [payloads] maps storage uuid -> downloaded payload bytes. *)
+   pipeline.  [payloads] maps storage uuid -> downloaded payload bytes.
+   Each gate is individually timed into the trace ring (Suit_step); the
+   whole pipeline feeds the suit.process_ns histogram. *)
 let process device ~envelope ~payloads =
-  let reject e =
-    device.rejected <- device.rejected + 1;
-    Error e
-  in
-  match Cose.verify device.key envelope with
-  | Error e -> reject (Signature e)
-  | Ok manifest_bytes -> (
-      match decode manifest_bytes with
-      | Error e -> reject e
-      | Ok manifest ->
+  let t0 = if Obs.enabled () then Obs.now_ns () else 0.0 in
+  let pipeline () =
+    let* manifest_bytes =
+      timed "signature" (fun () ->
+          Result.map_error (fun e -> Signature e) (Cose.verify device.key envelope))
+    in
+    let* manifest = timed "decode" (fun () -> decode manifest_bytes) in
+    let* () =
+      timed "rollback" (fun () ->
           if Int64.compare manifest.sequence device.sequence <= 0 then
-            reject (Rollback { manifest = manifest.sequence; device = device.sequence })
-          else
-            (* identity conditions: a manifest built for another product or
-               hardware class must not install, even when correctly signed *)
-            match (manifest.vendor_id, manifest.class_id) with
-            | Some v, _ when v <> device.vendor_id ->
-                reject (Wrong_vendor { manifest = v; device = device.vendor_id })
-            | _, Some c when c <> device.class_id ->
-                reject (Wrong_class { manifest = c; device = device.class_id })
-            | _, _ ->
-            let verify_component acc component =
-              let* () = acc in
-              if not (device.known_storage component.storage_uuid) then
-                Error (Unknown_storage component.storage_uuid)
-              else
-                match List.assoc_opt component.storage_uuid payloads with
-                | None -> Error (Digest_mismatch component.storage_uuid)
-                | Some payload ->
-                    if
-                      String.length payload = component.size
-                      && Crypto.constant_time_equal (Crypto.sha256 payload)
-                           component.digest
-                    then Ok ()
-                    else Error (Digest_mismatch component.storage_uuid)
-            in
-            let all_verified =
-              List.fold_left verify_component (Ok ()) manifest.components
-            in
-            (match all_verified with
-            | Error e -> reject e
-            | Ok () -> (
-                (* install all components; first failure aborts *)
-                let install_component acc component =
-                  let* () = acc in
-                  let payload = List.assoc component.storage_uuid payloads in
-                  Result.map_error
-                    (fun m -> Install_failed m)
-                    (device.install ~sequence:manifest.sequence
-                       ~storage_uuid:component.storage_uuid payload)
-                in
-                match
-                  List.fold_left install_component (Ok ()) manifest.components
-                with
-                | Error e -> reject e
-                | Ok () ->
-                    device.sequence <- manifest.sequence;
-                    device.accepted <- device.accepted + 1;
-                    Ok manifest)))
+            Error
+              (Rollback { manifest = manifest.sequence; device = device.sequence })
+          else Ok ())
+    in
+    (* identity conditions: a manifest built for another product or
+       hardware class must not install, even when correctly signed *)
+    let* () =
+      timed "identity" (fun () ->
+          match (manifest.vendor_id, manifest.class_id) with
+          | Some v, _ when v <> device.vendor_id ->
+              Error (Wrong_vendor { manifest = v; device = device.vendor_id })
+          | _, Some c when c <> device.class_id ->
+              Error (Wrong_class { manifest = c; device = device.class_id })
+          | _, _ -> Ok ())
+    in
+    let verify_component acc component =
+      let* () = acc in
+      if not (device.known_storage component.storage_uuid) then
+        Error (Unknown_storage component.storage_uuid)
+      else
+        match List.assoc_opt component.storage_uuid payloads with
+        | None -> Error (Digest_mismatch component.storage_uuid)
+        | Some payload ->
+            if
+              String.length payload = component.size
+              && Crypto.constant_time_equal (Crypto.sha256 payload)
+                   component.digest
+            then Ok ()
+            else Error (Digest_mismatch component.storage_uuid)
+    in
+    let* () =
+      timed "digest" (fun () ->
+          List.fold_left verify_component (Ok ()) manifest.components)
+    in
+    (* install all components; first failure aborts *)
+    let install_component acc component =
+      let* () = acc in
+      let payload = List.assoc component.storage_uuid payloads in
+      Result.map_error
+        (fun m -> Install_failed m)
+        (device.install ~sequence:manifest.sequence
+           ~storage_uuid:component.storage_uuid payload)
+    in
+    let* () =
+      timed "install" (fun () ->
+          List.fold_left install_component (Ok ()) manifest.components)
+    in
+    device.sequence <- manifest.sequence;
+    device.accepted <- device.accepted + 1;
+    Ok manifest
+  in
+  let outcome =
+    match pipeline () with
+    | Ok manifest -> Ok manifest
+    | Error e ->
+        device.rejected <- device.rejected + 1;
+        Error e
+  in
+  if Obs.enabled () then begin
+    Ometrics.observe m_process_ns (Obs.now_ns () -. t0);
+    Ometrics.incr
+      (match outcome with Ok _ -> m_accepted | Error _ -> m_rejected)
+  end;
+  outcome

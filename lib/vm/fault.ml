@@ -59,3 +59,25 @@ let to_string = function
       Printf.sprintf "pc=%d: program must end with exit or ja" pc
 
 let pp ppf fault = Format.pp_print_string ppf (to_string fault)
+
+(* Stable machine-readable discriminator, used by the trace layer and
+   any metrics label that must not carry free-form text. *)
+let kind = function
+  | Invalid_opcode _ -> "invalid_opcode"
+  | Invalid_register _ -> "invalid_register"
+  | Readonly_register _ -> "readonly_register"
+  | Bad_jump _ -> "bad_jump"
+  | Jump_to_lddw_tail _ -> "jump_to_lddw_tail"
+  | Truncated_lddw _ -> "truncated_lddw"
+  | Malformed_lddw_tail _ -> "malformed_lddw_tail"
+  | Division_by_zero _ -> "division_by_zero"
+  | Memory_access _ -> "memory_access"
+  | Unknown_helper _ -> "unknown_helper"
+  | Helper_error _ -> "helper_error"
+  | Instruction_budget_exhausted _ -> "instruction_budget_exhausted"
+  | Branch_budget_exhausted _ -> "branch_budget_exhausted"
+  | Fall_off_end _ -> "fall_off_end"
+  | Program_too_long _ -> "program_too_long"
+  | Empty_program -> "empty_program"
+  | Nonzero_field _ -> "nonzero_field"
+  | Bad_end_instruction _ -> "bad_end_instruction"

@@ -28,3 +28,7 @@ type t =
 
 val to_string : t -> string
 val pp : Format.formatter -> t -> unit
+
+(** Stable machine-readable discriminator (snake_case constructor name)
+    for trace events and metric labels. *)
+val kind : t -> string

@@ -9,6 +9,19 @@
    division by zero, and the finite-execution budgets. *)
 
 open Femto_ebpf
+module Obs = Femto_obs.Obs
+module Ometrics = Femto_obs.Metrics
+module Otrace = Femto_obs.Trace
+
+(* Process-wide VM metrics, aggregated across all instances.  Handles
+   are resolved once; per-run updates are plain mutable stores. *)
+let m_runs = Obs.counter "vm.runs"
+let m_faults = Obs.counter "vm.faults"
+let m_insns = Obs.counter "vm.insns"
+let m_branches = Obs.counter "vm.branches"
+let m_helper_calls = Obs.counter "vm.helper_calls"
+let m_cycles = Obs.counter "vm.cycles"
+let m_run_ns = Obs.histogram "vm.run_ns"
 
 type stats = {
   mutable insns_executed : int;
@@ -191,10 +204,10 @@ let condition cond is64 (dst : int64) (src : int64) =
 
 exception Abort of Fault.t
 
-(* [run t ~args] executes the program from slot 0 with r1..r5 preloaded
+(* [exec t ~args] executes the program from slot 0 with r1..r5 preloaded
    from [args] and returns r0.  The container context pointer of the paper
    arrives in r1. *)
-let run ?(args = [||]) t =
+let exec ~args t =
   reset t;
   Array.iteri (fun i v -> if i < 5 then t.regs.(i + 1) <- v) args;
   let regs = t.regs in
@@ -296,6 +309,8 @@ let run ?(args = [||]) t =
           | None -> fault (Fault.Unknown_helper { pc = !pc; id })
           | Some entry -> (
               stats.helper_calls <- stats.helper_calls + 1;
+              Obs.event (fun () ->
+                  Otrace.Helper_call { id; name = entry.Helper.name });
               stats.cycles <- stats.cycles + entry.Helper.cost_cycles;
               let args =
                 {
@@ -316,3 +331,36 @@ let run ?(args = [||]) t =
     done;
     match !result with Some r0 -> Ok r0 | None -> assert false
   with Abort f -> Error f
+
+(* [run] = [exec] plus observability: per-run counters fed from the
+   stats record, a run-latency histogram, and (when tracing) Vm_run /
+   Fault events into the global ring. *)
+let run ?(args = [||]) t =
+  if not (Obs.enabled ()) then exec ~args t
+  else begin
+    let t0 = Obs.now_ns () in
+    let outcome = exec ~args t in
+    let stats = t.stats in
+    Ometrics.incr m_runs;
+    Ometrics.add m_insns stats.insns_executed;
+    Ometrics.add m_branches stats.branches_taken;
+    Ometrics.add m_helper_calls stats.helper_calls;
+    Ometrics.add m_cycles stats.cycles;
+    Ometrics.observe m_run_ns (Obs.now_ns () -. t0);
+    (match outcome with
+    | Ok _ -> ()
+    | Error f ->
+        Ometrics.incr m_faults;
+        Obs.event (fun () ->
+            Otrace.Fault { kind = Fault.kind f; detail = Fault.to_string f }));
+    Obs.event (fun () ->
+        Otrace.Vm_run
+          {
+            insns = stats.insns_executed;
+            branches = stats.branches_taken;
+            helpers = stats.helper_calls;
+            cycles = stats.cycles;
+            ok = Result.is_ok outcome;
+          });
+    outcome
+  end

@@ -318,6 +318,43 @@ let test_certfc_slower_than_fc () =
   Alcotest.(check bool) "certfc at least 1.5x fc cycles" true
     (Container.last_run_cycles c_cert > 3 * Container.last_run_cycles c_fc / 2)
 
+let test_hook_fire_records_event () =
+  let module Obs = Femto_obs.Obs in
+  let module Ometrics = Femto_obs.Metrics in
+  let module Otrace = Femto_obs.Trace in
+  let kernel = Kernel.create () in
+  let engine = Engine.create ~kernel () in
+  let uuid = "99999999-2222-4333-8444-555555555555" in
+  let hook = Engine.register_hook engine ~uuid ~name:"obs-hook" ~ctx_size:8 () in
+  let tenant = Engine.add_tenant engine "acme" in
+  let container =
+    Container.create ~name:"obs-app" ~tenant ~contract:(Contract.require [])
+      (Femto_ebpf.Asm.assemble "mov r0, 7\nexit")
+  in
+  attach_or_fail engine ~hook_uuid:uuid container;
+  Obs.set_enabled true;
+  Obs.set_tracing true;
+  let fires = Ometrics.counter Obs.registry "engine.hook_fires" in
+  let before_fires = Ometrics.value fires in
+  let before_seq = Otrace.total Obs.ring in
+  (match Engine.trigger engine hook () with
+  | [ { Engine.result = Ok 7L; _ } ] -> ()
+  | _ -> Alcotest.fail "trigger failed");
+  Obs.set_tracing false;
+  Alcotest.(check int) "hook fire counted" (before_fires + 1)
+    (Ometrics.value fires);
+  let fired =
+    List.exists
+      (fun r ->
+        r.Otrace.seq >= before_seq
+        &&
+        match r.Otrace.event with
+        | Otrace.Hook_fired { name = "obs-hook"; containers = 1; _ } -> true
+        | _ -> false)
+      (Otrace.events Obs.ring)
+  in
+  Alcotest.(check bool) "hook fire traced" true fired
+
 let suite =
   [
     Alcotest.test_case "suit update happy path" `Quick test_update_happy_path;
@@ -328,6 +365,8 @@ let suite =
     Alcotest.test_case "table4 shape" `Quick test_table4_shape;
     Alcotest.test_case "fc ~ rbpf cycles" `Quick test_fc_rbpf_within_few_percent;
     Alcotest.test_case "certfc slower" `Quick test_certfc_slower_than_fc;
+    Alcotest.test_case "hook fire records event" `Quick
+      test_hook_fire_records_event;
   ]
 
 let () = Alcotest.run "femto_integration" [ ("integration", suite) ]

@@ -1,0 +1,174 @@
+(* Tests for the observability layer: metric semantics, ring-buffer
+   wraparound, JSON round-trips, and the global facade switches. *)
+
+module Jsonx = Femto_obs.Jsonx
+module Metrics = Femto_obs.Metrics
+module Trace = Femto_obs.Trace
+module Obs = Femto_obs.Obs
+
+(* --- counters / gauges --- *)
+
+let test_counter_semantics () =
+  let reg = Metrics.create () in
+  let c = Metrics.counter reg "test.counter" in
+  Alcotest.(check int) "starts at zero" 0 (Metrics.value c);
+  Metrics.incr c;
+  Metrics.incr c;
+  Metrics.add c 40;
+  Alcotest.(check int) "incr and add accumulate" 42 (Metrics.value c);
+  (* lookup by the same name returns the same counter *)
+  let c' = Metrics.counter reg "test.counter" in
+  Metrics.incr c';
+  Alcotest.(check int) "idempotent registration" 43 (Metrics.value c);
+  Metrics.reset reg;
+  Alcotest.(check int) "reset zeroes" 0 (Metrics.value c)
+
+let test_metric_type_clash () =
+  let reg = Metrics.create () in
+  ignore (Metrics.counter reg "clash");
+  Alcotest.check_raises "gauge on a counter name"
+    (Invalid_argument "metric clash already registered with another type")
+    (fun () -> ignore (Metrics.gauge reg "clash"))
+
+let test_gauge_semantics () =
+  let reg = Metrics.create () in
+  let g = Metrics.gauge reg "test.gauge" in
+  Metrics.set g 3.5;
+  Alcotest.(check (float 1e-9)) "set" 3.5 (Metrics.gauge_value g);
+  Metrics.set g (-1.0);
+  Alcotest.(check (float 1e-9)) "overwrite" (-1.0) (Metrics.gauge_value g)
+
+(* --- histograms --- *)
+
+let test_histogram_semantics () =
+  let reg = Metrics.create () in
+  let h = Metrics.histogram reg "test.hist" in
+  Alcotest.(check int) "empty count" 0 (Metrics.count h);
+  List.iter (fun v -> Metrics.observe h v) [ 1.0; 4.0; 4.0; 1000.0 ];
+  Alcotest.(check int) "count" 4 (Metrics.count h);
+  Alcotest.(check (float 1e-9)) "sum" 1009.0 (Metrics.sum h);
+  Alcotest.(check (float 1e-9)) "mean" 252.25 (Metrics.mean h);
+  (* p50 falls in the 2^2..2^3 bucket holding the two 4.0 samples *)
+  Alcotest.(check (float 1e-9)) "p50 bucket bound" 8.0 (Metrics.quantile h 0.5);
+  (* quantiles clamp to the observed max *)
+  Alcotest.(check (float 1e-9)) "p99 clamped to max" 1000.0
+    (Metrics.quantile h 0.99)
+
+(* --- ring buffer --- *)
+
+let test_ring_wraparound () =
+  let ring = Trace.create ~capacity:4 () in
+  for i = 0 to 9 do
+    Trace.record ring ~t_ns:(float_of_int i)
+      (Trace.Helper_call { id = i; name = Printf.sprintf "h%d" i })
+  done;
+  Alcotest.(check int) "total counts every record" 10 (Trace.total ring);
+  Alcotest.(check int) "dropped = total - capacity" 6 (Trace.dropped ring);
+  let events = Trace.events ring in
+  Alcotest.(check int) "window is capacity-sized" 4 (List.length events);
+  Alcotest.(check (list int)) "oldest first, newest retained" [ 6; 7; 8; 9 ]
+    (List.map (fun r -> r.Trace.seq) events);
+  Trace.clear ring;
+  Alcotest.(check int) "clear empties" 0 (Trace.total ring);
+  Alcotest.(check int) "clear drops nothing" 0
+    (List.length (Trace.events ring))
+
+let test_ring_partial_fill () =
+  let ring = Trace.create ~capacity:8 () in
+  Trace.record ring ~t_ns:1.0 (Trace.Fault { kind = "k"; detail = "d" });
+  Alcotest.(check int) "one event" 1 (List.length (Trace.events ring));
+  Alcotest.(check int) "nothing dropped" 0 (Trace.dropped ring)
+
+(* --- JSON --- *)
+
+let test_json_round_trip () =
+  let doc =
+    Jsonx.Obj
+      [
+        ("name", Jsonx.String "hello \"quoted\"\nline");
+        ("count", Jsonx.Int (-42));
+        ("ns", Jsonx.Float 1234.5);
+        ("whole", Jsonx.Float 2.0);
+        ("ok", Jsonx.Bool true);
+        ("nothing", Jsonx.Null);
+        ("items", Jsonx.List [ Jsonx.Int 1; Jsonx.String "two"; Jsonx.Obj [] ]);
+      ]
+  in
+  let round_tripped = Jsonx.of_string (Jsonx.to_string doc) in
+  Alcotest.(check bool) "compact round-trip" true (doc = round_tripped);
+  let pretty = Jsonx.of_string (Jsonx.to_string_pretty doc) in
+  Alcotest.(check bool) "pretty round-trip" true (doc = pretty)
+
+let test_json_rejects_garbage () =
+  List.iter
+    (fun text ->
+      match Jsonx.of_string text with
+      | exception Jsonx.Parse_error _ -> ()
+      | _ -> Alcotest.failf "accepted %S" text)
+    [ ""; "{"; "[1,]"; "{\"a\":}"; "tru"; "\"unterminated"; "1 2" ]
+
+let test_metrics_json_shape () =
+  let reg = Metrics.create () in
+  let c = Metrics.counter reg "vm.test" in
+  Metrics.add c 7;
+  let h = Metrics.histogram reg "lat" in
+  Metrics.observe h 100.0;
+  let json = Jsonx.of_string (Jsonx.to_string (Metrics.to_json reg)) in
+  let counter_value =
+    Option.bind (Jsonx.member "vm.test" json) (fun m ->
+        Option.bind (Jsonx.member "value" m) Jsonx.to_int)
+  in
+  Alcotest.(check (option int)) "counter exported" (Some 7) counter_value;
+  let hist_count =
+    Option.bind (Jsonx.member "lat" json) (fun m ->
+        Option.bind (Jsonx.member "count" m) Jsonx.to_int)
+  in
+  Alcotest.(check (option int)) "histogram exported" (Some 1) hist_count
+
+let test_trace_json_shape () =
+  let ring = Trace.create ~capacity:2 () in
+  Trace.record ring ~t_ns:5.0
+    (Trace.Suit_step { step = "signature"; ok = true; ns = 12.0 });
+  let json = Jsonx.of_string (Jsonx.to_string (Trace.to_json ring)) in
+  let first_kind =
+    Option.bind (Jsonx.member "events" json) Jsonx.to_list
+    |> Option.map List.hd
+    |> Fun.flip Option.bind (Jsonx.member "event")
+    |> Fun.flip Option.bind (fun e -> Jsonx.to_str e)
+  in
+  Alcotest.(check (option string)) "event kind" (Some "suit_step") first_kind
+
+(* --- facade --- *)
+
+let test_facade_switches () =
+  Obs.reset ();
+  Obs.set_enabled true;
+  Obs.set_tracing false;
+  let before = Trace.total Obs.ring in
+  Obs.event (fun () -> Trace.Fault { kind = "k"; detail = "" });
+  Alcotest.(check int) "no event while tracing off" before (Trace.total Obs.ring);
+  Obs.set_tracing true;
+  Obs.event (fun () -> Trace.Fault { kind = "k"; detail = "" });
+  Alcotest.(check int) "event recorded while tracing on" (before + 1)
+    (Trace.total Obs.ring);
+  Obs.set_tracing false;
+  let snapshot = Jsonx.of_string (Jsonx.to_string (Obs.snapshot_json ())) in
+  Alcotest.(check (option string)) "snapshot schema" (Some "femto-obs/1")
+    (Option.bind (Jsonx.member "schema" snapshot) Jsonx.to_str)
+
+let suite =
+  [
+    Alcotest.test_case "counter semantics" `Quick test_counter_semantics;
+    Alcotest.test_case "metric type clash" `Quick test_metric_type_clash;
+    Alcotest.test_case "gauge semantics" `Quick test_gauge_semantics;
+    Alcotest.test_case "histogram semantics" `Quick test_histogram_semantics;
+    Alcotest.test_case "ring wraparound" `Quick test_ring_wraparound;
+    Alcotest.test_case "ring partial fill" `Quick test_ring_partial_fill;
+    Alcotest.test_case "json round trip" `Quick test_json_round_trip;
+    Alcotest.test_case "json rejects garbage" `Quick test_json_rejects_garbage;
+    Alcotest.test_case "metrics json shape" `Quick test_metrics_json_shape;
+    Alcotest.test_case "trace json shape" `Quick test_trace_json_shape;
+    Alcotest.test_case "facade switches" `Quick test_facade_switches;
+  ]
+
+let () = Alcotest.run "femto_obs" [ ("obs", suite) ]

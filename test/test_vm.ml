@@ -8,6 +8,9 @@ module Region = Femto_vm.Region
 module Helper = Femto_vm.Helper
 module Config = Femto_vm.Config
 module Verifier = Femto_vm.Verifier
+module Obs = Femto_obs.Obs
+module Ometrics = Femto_obs.Metrics
+module Otrace = Femto_obs.Trace
 
 let no_helpers = Helper.create ()
 
@@ -436,6 +439,54 @@ let prop_verified_programs_contained =
       | Error _ -> true (* rejected statically: fine *)
       | Ok vm -> ( match Vm.run vm with Ok _ | Error _ -> true))
 
+(* --- observability: a VM run must leave a metric and trace record --- *)
+
+let fresh_events since =
+  List.filter (fun r -> r.Otrace.seq >= since) (Otrace.events Obs.ring)
+
+let test_obs_records_run () =
+  Obs.set_enabled true;
+  Obs.set_tracing true;
+  let runs = Ometrics.value (Obs.counter "vm.runs") in
+  let insns = Ometrics.value (Obs.counter "vm.insns") in
+  let since = Otrace.total Obs.ring in
+  check64 "program result" 3L (expect_ok "mov r0, 1\nadd r0, 2\nexit");
+  Obs.set_tracing false;
+  Alcotest.(check int) "vm.runs incremented" (runs + 1)
+    (Ometrics.value (Obs.counter "vm.runs"));
+  Alcotest.(check int) "vm.insns counted 3 instructions" (insns + 3)
+    (Ometrics.value (Obs.counter "vm.insns"));
+  let recorded =
+    List.exists
+      (fun r ->
+        match r.Otrace.event with
+        | Otrace.Vm_run { insns = n; ok = true; _ } -> n = 3
+        | _ -> false)
+      (fresh_events since)
+  in
+  Alcotest.(check bool) "Vm_run event recorded" true recorded
+
+let test_obs_records_fault () =
+  Obs.set_enabled true;
+  Obs.set_tracing true;
+  let faults = Ometrics.value (Obs.counter "vm.faults") in
+  let since = Otrace.total Obs.ring in
+  expect_fault "mov r0, 1\nmov r1, 0\ndiv r0, r1\nexit" (function
+    | Fault.Division_by_zero _ -> true
+    | _ -> false);
+  Obs.set_tracing false;
+  Alcotest.(check int) "vm.faults incremented" (faults + 1)
+    (Ometrics.value (Obs.counter "vm.faults"));
+  let recorded =
+    List.exists
+      (fun r ->
+        match r.Otrace.event with
+        | Otrace.Fault { kind = "division_by_zero"; _ } -> true
+        | _ -> false)
+      (fresh_events since)
+  in
+  Alcotest.(check bool) "Fault event recorded" true recorded
+
 let suite =
   [
     Alcotest.test_case "mov/add" `Quick test_mov_and_add;
@@ -494,6 +545,8 @@ let suite =
       test_verifier_rejects_long_program;
     Alcotest.test_case "verifier rejects unknown helper" `Quick
       test_verifier_rejects_unknown_helper;
+    Alcotest.test_case "obs records run" `Quick test_obs_records_run;
+    Alcotest.test_case "obs records fault" `Quick test_obs_records_fault;
     Alcotest.test_case "helper call" `Quick test_helper_call;
     Alcotest.test_case "helper error" `Quick test_helper_error_faults;
     Alcotest.test_case "helper pointer checked" `Quick test_helper_pointer_checked;
