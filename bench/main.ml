@@ -16,6 +16,7 @@
 
 open Bechamel
 module Fletcher = Femto_workloads.Fletcher
+module Dagsum = Femto_workloads.Dagsum
 module Experiments = Femto_eval.Experiments
 module Jsonx = Femto_obs.Jsonx
 module Obs = Femto_obs.Obs
@@ -41,6 +42,35 @@ let bechamel_tests () =
     | Ok vm -> vm
     | Error fault -> failwith (Femto_vm.Fault.to_string fault)
   in
+  let dag_checked, dag_trimmed =
+    (* Same unrolled DAG program twice: once on the fully checked
+       interpreter, once through the static analyzer (which must grant
+       the trimmed fast path — asserted below, along with agreement on
+       the native reference result). *)
+    let program = Dagsum.ebpf_program () in
+    let regions () = Dagsum.regions data in
+    let checked =
+      match Femto_vm.Vm.load ~helpers:(Femto_vm.Helper.create ()) ~regions:(regions ()) program with
+      | Ok vm -> vm
+      | Error fault -> failwith (Femto_vm.Fault.to_string fault)
+    in
+    let trimmed =
+      match
+        Femto_analysis.Analysis.load ~helpers:(Femto_vm.Helper.create ())
+          ~regions:(regions ()) program
+      with
+      | Ok vm -> vm
+      | Error fault -> failwith (Femto_vm.Fault.to_string fault)
+    in
+    if not (Femto_vm.Interp.fastpath_active trimmed) then
+      failwith "dagsum: analyzer did not grant the fast path";
+    let expect = Ok (Dagsum.reference data) in
+    if Femto_vm.Vm.run checked ~args:[| Dagsum.data_vaddr |] <> expect then
+      failwith "dagsum: checked interpreter disagrees with native reference";
+    if Femto_vm.Vm.run trimmed ~args:[| Dagsum.data_vaddr |] <> expect then
+      failwith "dagsum: trimmed interpreter disagrees with native reference";
+    (checked, trimmed)
+  in
   let wasm = Femto_wasm_mini.Fast.of_module Femto_wasm_mini.Samples.fletcher32_module in
   let jsish = Femto_script.Eval_tree.load Femto_script.Samples.fletcher32_source in
   let pyish = Femto_script.Stack_vm.load Femto_script.Samples.fletcher32_source in
@@ -57,6 +87,14 @@ let bechamel_tests () =
       Test.make ~name:"fig8/certfc-fletcher32"
         (Staged.stage (fun () ->
              ignore (Femto_certfc.Certfc.run certfc ~args:[| 0x2000_0000L |])));
+      (* Static-analysis dividend: identical DAG program, budget-checked
+         loop vs the analyzer-trimmed loop. *)
+      Test.make ~name:"analysis/dagsum-checked"
+        (Staged.stage (fun () ->
+             ignore (Femto_vm.Vm.run dag_checked ~args:[| Dagsum.data_vaddr |])));
+      Test.make ~name:"analysis/dagsum-trimmed"
+        (Staged.stage (fun () ->
+             ignore (Femto_vm.Vm.run dag_trimmed ~args:[| Dagsum.data_vaddr |])));
       (* Table 1/2 row: WASM *)
       Test.make ~name:"table2/wasm-fletcher32"
         (Staged.stage (fun () ->

@@ -82,15 +82,68 @@ let verify_cmd =
     let program = load_program input in
     match Femto_vm.Verifier.verify Femto_vm.Config.default program with
     | Ok ok ->
-        Printf.printf "OK: %d instructions, %d branches, %d helper calls\n"
+        (* Output format (documented in README): one OK line with the
+           static counts — instruction slots, branch instructions, and
+           the distinct helper ids called (listed in ascending order when
+           there are any). *)
+        let distinct =
+          List.sort_uniq compare ok.Femto_vm.Verifier.call_ids
+        in
+        Printf.printf "OK: %d instructions, %d branches, %d distinct helper ids%s\n"
           ok.Femto_vm.Verifier.insn_count ok.Femto_vm.Verifier.branch_count
-          (List.length ok.Femto_vm.Verifier.call_ids);
+          (List.length distinct)
+          (match distinct with
+          | [] -> ""
+          | ids ->
+              Printf.sprintf " [%s]"
+                (String.concat ", " (List.map string_of_int ids)));
         0
     | Error fault ->
         Printf.printf "REJECTED: %s\n" (Femto_vm.Fault.to_string fault);
         1
   in
   Cmd.v (Cmd.info "verify" ~doc:"Run the pre-flight instruction checker")
+    Term.(const run $ input_arg)
+
+(* --- analyze --- *)
+
+(* A fully populated helper registry (every capability granted, inert
+   facilities) so the analyzer can check call ids and arities for any
+   program that uses the standard syscall ABI. *)
+let analysis_helpers () =
+  let facilities =
+    {
+      Femto_core.Syscall.local_store = Femto_core.Kvstore.create "local";
+      tenant_store = Femto_core.Kvstore.create "tenant";
+      global_store = Femto_core.Kvstore.create "global";
+      now_ms = (fun () -> 0L);
+      ticks = (fun () -> 0L);
+      read_sensor = (fun _ -> Error "no sensor");
+      trace = ignore;
+    }
+  in
+  Femto_core.Syscall.build ~granted:Femto_core.Contract.all facilities
+
+let analyze_cmd =
+  let run input =
+    let program = load_program input in
+    let helpers = analysis_helpers () in
+    let report =
+      Femto_analysis.Analysis.analyze ~helpers Femto_vm.Config.default program
+    in
+    print_endline
+      (Femto_obs.Jsonx.to_string_pretty
+         (Femto_analysis.Analysis.report_to_json report));
+    match report with
+    | Ok outcome when Femto_analysis.Analysis.accepted outcome -> 0
+    | Ok _ | Error _ -> 1
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "Run the abstract-interpretation analyzer (CFG, register \
+          initialization, static stack bounds, termination) and emit JSON \
+          diagnostics; exits non-zero on error-severity findings")
     Term.(const run $ input_arg)
 
 (* --- run --- *)
@@ -461,6 +514,6 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group ~default info
-          [ asm_cmd; disasm_cmd; verify_cmd; run_cmd; inspect_cmd;
+          [ asm_cmd; disasm_cmd; verify_cmd; analyze_cmd; run_cmd; inspect_cmd;
             metrics_cmd; trace_cmd; compile_cmd; compact_cmd; expand_cmd;
             suit_sign_cmd; suit_verify_cmd; shell_cmd ]))

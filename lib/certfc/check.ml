@@ -34,7 +34,7 @@ let rec tails_from program pc len acc =
 
 let is_tail tails target = List.nth_opt tails target = Some true
 
-let check_one tails len pc (insn : Insn.t) =
+let check_one program tails len pc (insn : Insn.t) =
   let kind = Insn.kind insn in
   let* () =
     match kind with
@@ -58,6 +58,9 @@ let check_one tails len pc (insn : Insn.t) =
       if target < 0 || target >= len then Error (Fault.Bad_jump { pc; target })
       else if is_tail tails target then
         Error (Fault.Jump_to_lddw_tail { pc; target })
+      else if (Program.get program target).Insn.opcode = 0 then
+        (* orphan tail-shaped slot: same guard as Femto_vm.Verifier *)
+        Error (Fault.Jump_to_lddw_tail { pc; target })
       else Ok `Branch
   | _ -> Ok `Straight
 
@@ -65,7 +68,7 @@ let rec check_from program tails len pc branches =
   if pc >= len then Ok branches
   else if is_tail tails pc then check_from program tails len (pc + 1) branches
   else
-    let* outcome = check_one tails len pc (Program.get program pc) in
+    let* outcome = check_one program tails len pc (Program.get program pc) in
     let branches = match outcome with `Branch -> branches + 1 | `Straight -> branches in
     check_from program tails len (pc + 1) branches
 

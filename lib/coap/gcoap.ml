@@ -64,24 +64,24 @@ let fmt_s16_dfp value scale =
 (* Install the CoAP helper set; gated behind the Net_coap capability by
    the engine.  All helpers treat a1 as the packet-context token. *)
 let install builder helpers =
-  Helper.register helpers ~id:Syscall.id_gcoap_resp_init ~cost_cycles:150
+  Helper.register helpers ~id:Syscall.id_gcoap_resp_init ~cost_cycles:150 ~arity:2
     ~name:"bpf_gcoap_resp_init"
     (fun _mem args ->
       builder.code <- Int64.to_int args.Helper.a2 land 0xff;
       Ok 0L);
-  Helper.register helpers ~id:Syscall.id_coap_add_format ~cost_cycles:60
+  Helper.register helpers ~id:Syscall.id_coap_add_format ~cost_cycles:60 ~arity:2
     ~name:"bpf_coap_add_format"
     (fun _mem args ->
       builder.format <- Some (Int64.to_int args.Helper.a2 land 0xffff);
       Ok 0L);
-  Helper.register helpers ~id:Syscall.id_coap_opt_finish ~cost_cycles:60
+  Helper.register helpers ~id:Syscall.id_coap_opt_finish ~cost_cycles:60 ~arity:1
     ~name:"bpf_coap_opt_finish"
     (fun _mem _args ->
       builder.finished <- true;
       (* options are framed host-side; the payload starts at the beginning
          of the packet buffer region *)
       Ok pkt_vaddr);
-  Helper.register helpers ~id:Syscall.id_fmt_s16_dfp ~cost_cycles:120
+  Helper.register helpers ~id:Syscall.id_fmt_s16_dfp ~cost_cycles:120 ~arity:3
     ~name:"bpf_fmt_s16_dfp"
     (fun mem args ->
       let scale =
@@ -93,7 +93,7 @@ let install builder helpers =
       match Mem.store_bytes mem ~addr:args.Helper.a1 (Bytes.of_string text) with
       | Ok () -> Ok (Int64.of_int (String.length text))
       | Error () -> Error "fmt destination outside allow-list");
-  Helper.register helpers ~id:Syscall.id_coap_set_payload_len ~cost_cycles:30
+  Helper.register helpers ~id:Syscall.id_coap_set_payload_len ~cost_cycles:30 ~arity:2
     ~name:"bpf_coap_set_payload_len"
     (fun _mem args ->
       let len = Int64.to_int args.Helper.a2 in

@@ -139,6 +139,35 @@ let attach_error_to_string = function
   | Already_attached uuid -> Printf.sprintf "already attached to hook %s" uuid
   | No_such_hook uuid -> Printf.sprintf "no hook %s" uuid
 
+(* Instantiate a container's program for its runtime.  The Fc runtime
+   loads through the static analyzer so fast-path-eligible programs get
+   the trimmed interpreter; acceptance is unchanged (analysis diagnostics
+   never reject — only structural verifier faults do).  Rbpf stays on the
+   plain checked loader so the two engines remain comparable in the
+   benchmarks. *)
+let load_instance t ~cycle_cost ~helpers ~regions runtime program =
+  match runtime with
+  | Platform.Fc -> (
+      match
+        Femto_analysis.Analysis.load ~config:t.config ~cycle_cost ~helpers
+          ~regions program
+      with
+      | Ok vm -> Ok (Container.Fc_instance vm)
+      | Error fault -> Error fault)
+  | Platform.Rbpf -> (
+      match
+        Femto_vm.Vm.load ~config:t.config ~cycle_cost ~helpers ~regions program
+      with
+      | Ok vm -> Ok (Container.Fc_instance vm)
+      | Error fault -> Error fault)
+  | Platform.Certfc -> (
+      match
+        Femto_certfc.Certfc.load ~config:t.config ~cycle_cost ~helpers ~regions
+          program
+      with
+      | Ok vm -> Ok (Container.Certfc_instance vm)
+      | Error fault -> Error fault)
+
 (* [attach] is the paper's install step: build the helper table, run the
    pre-flight checker, and only then instantiate the VM.  Extra regions
    (e.g. a shared packet buffer) may be granted by the launchpad. *)
@@ -156,21 +185,8 @@ let attach t ~hook_uuid ?(extra_regions = []) container =
           in
           let program = Container.program container in
           let load =
-            match container.Container.runtime with
-            | Platform.Fc | Platform.Rbpf -> (
-                match
-                  Femto_vm.Vm.load ~config:t.config ~cycle_cost ~helpers
-                    ~regions program
-                with
-                | Ok vm -> Ok (Container.Fc_instance vm)
-                | Error fault -> Error fault)
-            | Platform.Certfc -> (
-                match
-                  Femto_certfc.Certfc.load ~config:t.config ~cycle_cost
-                    ~helpers ~regions program
-                with
-                | Ok vm -> Ok (Container.Certfc_instance vm)
-                | Error fault -> Error fault)
+            load_instance t ~cycle_cost ~helpers ~regions
+              container.Container.runtime program
           in
           match load with
           | Error fault ->
@@ -211,21 +227,8 @@ let update_program t container program =
             Platform.cycle_cost t.platform container.Container.runtime
           in
           let load =
-            match container.Container.runtime with
-            | Platform.Fc | Platform.Rbpf -> (
-                match
-                  Femto_vm.Vm.load ~config:t.config ~cycle_cost ~helpers
-                    ~regions program
-                with
-                | Ok vm -> Ok (Container.Fc_instance vm)
-                | Error fault -> Error fault)
-            | Platform.Certfc -> (
-                match
-                  Femto_certfc.Certfc.load ~config:t.config ~cycle_cost
-                    ~helpers ~regions program
-                with
-                | Ok vm -> Ok (Container.Certfc_instance vm)
-                | Error fault -> Error fault)
+            load_instance t ~cycle_cost ~helpers ~regions
+              container.Container.runtime program
           in
           match load with
           | Error fault -> Error (Verification_failed fault)

@@ -71,13 +71,13 @@ type facilities = {
 let key_of args_value = Int64.to_int32 (Int64.logand args_value 0xFFFF_FFFFL)
 
 let register_kv helpers ~store ~store_id ~fetch_id ~suffix =
-  Helper.register helpers ~id:store_id ~cost_cycles:80
+  Helper.register helpers ~id:store_id ~cost_cycles:80 ~arity:2
     ~name:("bpf_store_" ^ suffix)
     (fun _mem args ->
       match Kvstore.store store (key_of args.Helper.a1) args.Helper.a2 with
       | Ok () -> Ok 0L
       | Error (`Store_full name) -> Error (Printf.sprintf "store %s full" name));
-  Helper.register helpers ~id:fetch_id ~cost_cycles:80
+  Helper.register helpers ~id:fetch_id ~cost_cycles:80 ~arity:2
     ~name:("bpf_fetch_" ^ suffix)
     (fun mem args ->
       let value = Kvstore.fetch store (key_of args.Helper.a1) in
@@ -94,7 +94,8 @@ let build ?(extra = []) ~granted facilities =
   let helpers = Helper.create () in
   let has cap = List.mem cap granted in
   (* always available: pure memory move within the allow-list *)
-  Helper.register helpers ~id:id_memcpy ~cost_cycles:30 ~name:"bpf_memcpy"
+  Helper.register helpers ~id:id_memcpy ~cost_cycles:30 ~arity:3
+    ~name:"bpf_memcpy"
     (fun mem args ->
       let len = Int64.to_int args.Helper.a3 in
       if len < 0 || len > 1024 then Error "memcpy length out of range"
@@ -106,14 +107,17 @@ let build ?(extra = []) ~granted facilities =
             | Ok () -> Ok args.Helper.a1
             | Error () -> Error "memcpy destination outside allow-list"));
   if has Contract.Debug then
-    Helper.register helpers ~id:id_trace ~cost_cycles:40 ~name:"bpf_trace"
+    Helper.register helpers ~id:id_trace ~cost_cycles:40 ~arity:1
+      ~name:"bpf_trace"
       (fun _mem args ->
         facilities.trace args.Helper.a1;
         Ok 0L);
   if has Contract.Time then begin
-    Helper.register helpers ~id:id_now_ms ~cost_cycles:25 ~name:"bpf_now_ms"
+    Helper.register helpers ~id:id_now_ms ~cost_cycles:25 ~arity:0
+      ~name:"bpf_now_ms"
       (fun _mem _args -> Ok (facilities.now_ms ()));
-    Helper.register helpers ~id:id_ticks ~cost_cycles:20 ~name:"bpf_ticks"
+    Helper.register helpers ~id:id_ticks ~cost_cycles:20 ~arity:0
+      ~name:"bpf_ticks"
       (fun _mem _args -> Ok (facilities.ticks ()))
   end;
   if has Contract.Kv_local then
@@ -126,7 +130,7 @@ let build ?(extra = []) ~granted facilities =
     register_kv helpers ~store:facilities.global_store
       ~store_id:id_store_global ~fetch_id:id_fetch_global ~suffix:"global";
   if has Contract.Sensors then
-    Helper.register helpers ~id:id_saul_read ~cost_cycles:500
+    Helper.register helpers ~id:id_saul_read ~cost_cycles:500 ~arity:2
       ~name:"bpf_saul_read"
       (fun mem args ->
         match facilities.read_sensor (Int64.to_int args.Helper.a1) with

@@ -26,6 +26,14 @@ type event =
     }
   | Suit_step of { step : string; ok : bool; ns : float }
   | Coap_request of { path : string; code : string; outcome : string }
+  | Analysis_done of {
+      insns : int;
+      blocks : int;
+      loops : bool;
+      errors : int;
+      warnings : int;
+      fastpath : bool;
+    }
 
 type record = { seq : int; t_ns : float; event : event }
 
@@ -68,6 +76,7 @@ let event_kind = function
   | Hook_fired _ -> "hook_fired"
   | Suit_step _ -> "suit_step"
   | Coap_request _ -> "coap_request"
+  | Analysis_done _ -> "analysis_done"
 
 let event_fields = function
   | Vm_run { insns; branches; helpers; cycles; ok } ->
@@ -96,6 +105,15 @@ let event_fields = function
         ("path", Jsonx.String path);
         ("code", Jsonx.String code);
         ("outcome", Jsonx.String outcome);
+      ]
+  | Analysis_done { insns; blocks; loops; errors; warnings; fastpath } ->
+      [
+        ("insns", Jsonx.Int insns);
+        ("blocks", Jsonx.Int blocks);
+        ("loops", Jsonx.Bool loops);
+        ("errors", Jsonx.Int errors);
+        ("warnings", Jsonx.Int warnings);
+        ("fastpath", Jsonx.Bool fastpath);
       ]
 
 let record_to_json { seq; t_ns; event } =

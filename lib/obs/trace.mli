@@ -18,6 +18,14 @@ type event =
     }
   | Suit_step of { step : string; ok : bool; ns : float }
   | Coap_request of { path : string; code : string; outcome : string }
+  | Analysis_done of {
+      insns : int;
+      blocks : int;
+      loops : bool;
+      errors : int;
+      warnings : int;
+      fastpath : bool;
+    }
 
 type record = { seq : int; t_ns : float; event : event }
 type ring

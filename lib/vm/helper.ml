@@ -14,6 +14,7 @@ type entry = {
   id : int;
   name : string;
   cost_cycles : int; (* cycle-model cost charged per invocation *)
+  arity : int option; (* argument registers r1..rN consumed, when declared *)
   fn : fn;
 }
 
@@ -24,12 +25,16 @@ type t = {
 
 let create () = { by_id = Hashtbl.create 16; by_name = Hashtbl.create 16 }
 
-let register t ?(cost_cycles = 50) ~id ~name fn =
+let register t ?(cost_cycles = 50) ?arity ~id ~name fn =
   if Hashtbl.mem t.by_id id then
     invalid_arg (Printf.sprintf "helper id %d already registered" id);
   if Hashtbl.mem t.by_name name then
     invalid_arg (Printf.sprintf "helper name %s already registered" name);
-  let entry = { id; name; cost_cycles; fn } in
+  (match arity with
+  | Some n when n < 0 || n > 5 ->
+      invalid_arg (Printf.sprintf "helper %s arity %d outside r1..r5" name n)
+  | _ -> ());
+  let entry = { id; name; cost_cycles; arity; fn } in
   Hashtbl.replace t.by_id id entry;
   Hashtbl.replace t.by_name name entry
 

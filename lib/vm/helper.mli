@@ -16,6 +16,9 @@ type entry = {
   id : int;
   name : string;
   cost_cycles : int;  (** cycle-model cost charged per invocation *)
+  arity : int option;
+      (** number of argument registers r1..rN the helper consumes, when
+          declared; used by the static analyzer's call-signature check *)
   fn : fn;
 }
 
@@ -23,8 +26,10 @@ type t
 
 val create : unit -> t
 
-val register : t -> ?cost_cycles:int -> id:int -> name:string -> fn -> unit
-(** Adds a helper; raises [Invalid_argument] on duplicate id or name. *)
+val register :
+  t -> ?cost_cycles:int -> ?arity:int -> id:int -> name:string -> fn -> unit
+(** Adds a helper; raises [Invalid_argument] on duplicate id or name, or
+    an [arity] outside 0..5. *)
 
 val find : t -> int -> entry option
 val find_by_name : t -> string -> entry option

@@ -16,17 +16,29 @@ type stats = {
 
 type t
 
+type fastpath = { proven_stack : bool array }
+(** Static proofs from [Femto_analysis]: [proven_stack.(pc)] marks a
+    stack access proven in-bounds on every path.  Granting a fastpath
+    also asserts the program is a verified DAG within both static
+    budgets, so the trimmed loop drops the budget counters and the
+    defensive per-instruction checks. *)
+
 val no_cost : Femto_ebpf.Insn.kind -> int
 
 val create :
   ?config:Config.t ->
   ?cycle_cost:(Femto_ebpf.Insn.kind -> int) ->
+  ?fastpath:fastpath ->
   helpers:Helper.t ->
   regions:Region.t list ->
   Femto_ebpf.Program.t ->
   t
 (** Pre-decode a program.  Callers should verify first; [run] still never
-    crashes the host on an unverified program — it faults instead. *)
+    crashes the host on an unverified program — it faults instead.
+    [fastpath] must only be passed for analyzer-approved programs. *)
+
+val fastpath_active : t -> bool
+(** True when this instance runs on the trimmed interpreter loop. *)
 
 val mem : t -> Mem.t
 val stats : t -> stats

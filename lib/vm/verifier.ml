@@ -116,6 +116,13 @@ let verify ?helpers (config : Config.t) program =
       let target = pc + 1 + offset in
       if target < 0 || target >= len then Error (Fault.Bad_jump { pc; target })
       else if is_tail.(target) then Error (Fault.Jump_to_lddw_tail { pc; target })
+      else if (Program.get program target).Insn.opcode = 0 then
+        (* Orphan tail-shaped slot (opcode 0, any imm): not marked by the
+           lddw sweep because no head precedes it, so [is_tail] misses it —
+           notably when it sits at [len-1] and the jump is the last
+           executable slot.  Reject at the jump site rather than relying on
+           the later per-slot sweep to flag the slot itself. *)
+        Error (Fault.Jump_to_lddw_tail { pc; target })
       else Ok ()
     in
     let rec check pc =

@@ -114,6 +114,45 @@ let test_suit_sign_verify () =
   Alcotest.(check int) "wrong key exit" 1 code;
   Alcotest.(check bool) "rejection" true (contains out "REJECTED")
 
+let test_verify_reports_static_counts () =
+  check_exe ();
+  let src = tmp "v.S" and bin = tmp "v.bin" in
+  write src "mov r1, 1\ncall bpf_now_ms\ncall bpf_now_ms\nmov r0, 0\nexit\n";
+  ignore (run_fc [ "asm"; src; "-o"; bin ]);
+  let code, out = run_fc [ "verify"; bin ] in
+  Alcotest.(check int) "exit" 0 code;
+  Alcotest.(check bool) "instruction count" true (contains out "5 instructions");
+  Alcotest.(check bool) "branch count" true (contains out "0 branches");
+  (* two calls to the same helper are one distinct id *)
+  Alcotest.(check bool) "distinct helper ids" true
+    (contains out "1 distinct helper id")
+
+let test_analyze_accepts () =
+  check_exe ();
+  let src = tmp "a.S" and bin = tmp "a.bin" in
+  write src "mov r2, r10\nsub r2, 16\nstdw [r2+0], 9\nldxdw r0, [r2+0]\nexit\n";
+  ignore (run_fc [ "asm"; src; "-o"; bin ]);
+  let code, out = run_fc [ "analyze"; bin ] in
+  Alcotest.(check int) "exit" 0 code;
+  Alcotest.(check bool) "verdict" true (contains out "\"verdict\": \"accepted\"");
+  Alcotest.(check bool) "dag" true (contains out "\"termination\": \"dag\"");
+  Alcotest.(check bool) "fast path" true
+    (contains out "\"fastpath_eligible\": true")
+
+let test_analyze_rejects_uninit () =
+  check_exe ();
+  let src = tmp "u.S" and bin = tmp "u.bin" in
+  write src "mov r0, r6\nexit\n";
+  ignore (run_fc [ "asm"; src; "-o"; bin ]);
+  (* the shape-only verifier is happy... *)
+  let code, _ = run_fc [ "verify"; bin ] in
+  Alcotest.(check int) "verify exit" 0 code;
+  (* ...but the analyzer is not *)
+  let code, out = run_fc [ "analyze"; bin ] in
+  Alcotest.(check int) "analyze exit" 1 code;
+  Alcotest.(check bool) "verdict" true (contains out "\"verdict\": \"rejected\"");
+  Alcotest.(check bool) "diagnostic kind" true (contains out "uninit_read")
+
 let test_run_reports_faults () =
   check_exe ();
   let src = tmp "f.S" and bin = tmp "f.bin" in
@@ -132,6 +171,11 @@ let suite =
     Alcotest.test_case "compile + run" `Quick test_compile_and_run;
     Alcotest.test_case "suit sign/verify" `Quick test_suit_sign_verify;
     Alcotest.test_case "fault reporting" `Quick test_run_reports_faults;
+    Alcotest.test_case "verify static counts" `Quick
+      test_verify_reports_static_counts;
+    Alcotest.test_case "analyze accepts" `Quick test_analyze_accepts;
+    Alcotest.test_case "analyze rejects uninit" `Quick
+      test_analyze_rejects_uninit;
   ]
 
 let () = Alcotest.run "femto_cli" [ ("cli", suite) ]

@@ -156,6 +156,47 @@ let test_facade_switches () =
   Alcotest.(check (option string)) "snapshot schema" (Some "femto-obs/1")
     (Option.bind (Jsonx.member "schema" snapshot) Jsonx.to_str)
 
+(* --- analysis instrumentation --- *)
+
+let test_analysis_counters_and_event () =
+  Obs.reset ();
+  Obs.set_enabled true;
+  Obs.set_tracing true;
+  let value name = Metrics.value (Obs.counter name) in
+  let analyze source =
+    Femto_analysis.Analysis.analyze Femto_vm.Config.default
+      (Femto_ebpf.Asm.assemble source)
+  in
+  (* accepted straight-line program: accepted and fastpath counters bump *)
+  (match analyze "mov r0, 1\nexit" with
+  | Ok o ->
+      Alcotest.(check bool) "accepted" true (Femto_analysis.Analysis.accepted o)
+  | Error _ -> Alcotest.fail "structural fault");
+  Alcotest.(check int) "analysis.accepted" 1 (value "analysis.accepted");
+  Alcotest.(check int) "analysis.fastpath_eligible" 1
+    (value "analysis.fastpath_eligible");
+  Alcotest.(check int) "analysis.rejected untouched" 0
+    (value "analysis.rejected");
+  (* uninitialized-read program: rejected counter bumps *)
+  ignore (analyze "mov r0, r6\nexit");
+  Alcotest.(check int) "analysis.rejected" 1 (value "analysis.rejected");
+  Alcotest.(check int) "accepted unchanged" 1 (value "analysis.accepted");
+  (* both runs left an Analysis_done event in the ring *)
+  let dones =
+    List.filter
+      (fun r ->
+        match r.Trace.event with Trace.Analysis_done _ -> true | _ -> false)
+      (Trace.events Obs.ring)
+  in
+  Alcotest.(check int) "two analysis_done events" 2 (List.length dones);
+  (match (List.nth dones 1).Trace.event with
+  | Trace.Analysis_done { errors; fastpath; _ } ->
+      Alcotest.(check bool) "rejected run reports errors" true (errors > 0);
+      Alcotest.(check bool) "rejected run has no fast path" false fastpath
+  | _ -> assert false);
+  Obs.set_tracing false;
+  Obs.reset ()
+
 let suite =
   [
     Alcotest.test_case "counter semantics" `Quick test_counter_semantics;
@@ -169,6 +210,8 @@ let suite =
     Alcotest.test_case "metrics json shape" `Quick test_metrics_json_shape;
     Alcotest.test_case "trace json shape" `Quick test_trace_json_shape;
     Alcotest.test_case "facade switches" `Quick test_facade_switches;
+    Alcotest.test_case "analysis counters and event" `Quick
+      test_analysis_counters_and_event;
   ]
 
 let () = Alcotest.run "femto_obs" [ ("obs", suite) ]

@@ -303,6 +303,24 @@ let test_verifier_rejects_jump_into_lddw () =
     | Fault.Jump_to_lddw_tail _ -> true
     | _ -> false)
 
+let test_verifier_rejects_jump_to_orphan_tail () =
+  (* regression: a jump whose target slot holds opcode 0 — an lddw tail
+     with no preceding head, so the tail-marking sweep never flags it —
+     must fault at the jump as Jump_to_lddw_tail rather than surfacing
+     later as a generic Invalid_opcode at the target *)
+  let program =
+    Program.of_insns
+      [
+        Insn.make Opcode.ja ~offset:1;
+        Insn.make Opcode.exit';
+        Insn.make 0 ~imm:7l;
+      ]
+  in
+  match Verifier.verify Config.default program with
+  | Error (Fault.Jump_to_lddw_tail { pc = 0; target = 2 }) -> ()
+  | Ok _ -> Alcotest.fail "accepted jump to orphan tail slot"
+  | Error fault -> Alcotest.failf "wrong fault: %s" (Fault.to_string fault)
+
 let test_verifier_rejects_fallthrough () =
   expect_verify_fault "mov r0, 1\nadd r0, 1" (function
     | Fault.Bad_end_instruction _ -> true
@@ -532,6 +550,8 @@ let suite =
     Alcotest.test_case "verifier rejects jump out" `Quick test_verifier_rejects_jump_out;
     Alcotest.test_case "verifier rejects jump into lddw" `Quick
       test_verifier_rejects_jump_into_lddw;
+    Alcotest.test_case "verifier rejects jump to orphan tail" `Quick
+      test_verifier_rejects_jump_to_orphan_tail;
     Alcotest.test_case "verifier rejects fallthrough" `Quick
       test_verifier_rejects_fallthrough;
     Alcotest.test_case "verifier rejects empty" `Quick test_verifier_rejects_empty;
