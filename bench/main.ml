@@ -17,11 +17,112 @@
 open Bechamel
 module Fletcher = Femto_workloads.Fletcher
 module Dagsum = Femto_workloads.Dagsum
+module Loop_sum = Femto_workloads.Loop_sum
+module Hotcall = Femto_workloads.Hotcall
+module Analysis = Femto_analysis.Analysis
 module Experiments = Femto_eval.Experiments
 module Jsonx = Femto_obs.Jsonx
 module Obs = Femto_obs.Obs
 
 let data = Fletcher.input_360
+
+(* --- dispatch ablation: decoded vs trimmed vs compiled tiers --- *)
+
+(* Each case is one VM instance pinned to a tier, pre-checked against the
+   workload's native reference so a semantics regression can never be
+   reported as a performance number. *)
+type dispatch_case = {
+  case_name : string;
+  vm : Femto_vm.Vm.t;
+  args : int64 array;
+}
+
+let dispatch_cases () =
+  let mk name vm args expect =
+    (match Femto_vm.Vm.run vm ~args with
+    | Ok v when Int64.equal v expect -> ()
+    | Ok v ->
+        failwith
+          (Printf.sprintf "%s: got %Ld, reference says %Ld" name v expect)
+    | Error fault ->
+        failwith (name ^ ": " ^ Femto_vm.Fault.to_string fault));
+    { case_name = "dispatch/" ^ name; vm; args }
+  in
+  let vm_load ~tier ?fuse ?(helpers = Femto_vm.Helper.create ()) ~regions
+      program =
+    match Femto_vm.Vm.load ~tier ?fuse ~helpers ~regions program with
+    | Ok vm -> vm
+    | Error fault -> failwith (Femto_vm.Fault.to_string fault)
+  in
+  let analysis_load ~tier ?fuse ?(helpers = Femto_vm.Helper.create ())
+      ~regions program =
+    match Analysis.load ~tier ?fuse ~helpers ~regions program with
+    | Ok vm -> vm
+    | Error fault -> failwith (Femto_vm.Fault.to_string fault)
+  in
+  let dag = Dagsum.ebpf_program () in
+  let dag_args = [| Dagsum.data_vaddr |] in
+  let dag_expect = Dagsum.reference data in
+  let loop = Loop_sum.ebpf_program () in
+  let loop_args = [| Loop_sum.data_vaddr |] in
+  let loop_expect = Loop_sum.reference data in
+  let hot = Hotcall.ebpf_program () in
+  [
+    (* dagsum: straight-line DAG, analyzer proofs available *)
+    mk "dagsum-decoded"
+      (vm_load ~tier:Femto_vm.Vm.Decoded ~regions:(Dagsum.regions data) dag)
+      dag_args dag_expect;
+    mk "dagsum-trimmed"
+      (analysis_load ~tier:Femto_vm.Vm.Trimmed ~regions:(Dagsum.regions data)
+         dag)
+      dag_args dag_expect;
+    mk "dagsum-compiled"
+      (analysis_load ~tier:Femto_vm.Vm.Compiled ~fuse:false
+         ~regions:(Dagsum.regions data) dag)
+      dag_args dag_expect;
+    mk "dagsum-compiled-fused"
+      (analysis_load ~tier:Femto_vm.Vm.Compiled ~regions:(Dagsum.regions data)
+         dag)
+      dag_args dag_expect;
+    (* loop_sum: back edge, no analyzer fast path — the compiled tier
+       runs fully checked; fusion still collapses the loop body *)
+    mk "loop-sum-decoded"
+      (vm_load ~tier:Femto_vm.Vm.Decoded ~regions:(Loop_sum.regions data)
+         loop)
+      loop_args loop_expect;
+    mk "loop-sum-compiled"
+      (vm_load ~tier:Femto_vm.Vm.Compiled ~fuse:false
+         ~regions:(Loop_sum.regions data) loop)
+      loop_args loop_expect;
+    mk "loop-sum-compiled-fused"
+      (vm_load ~tier:Femto_vm.Vm.Compiled ~fuse:true
+         ~regions:(Loop_sum.regions data) loop)
+      loop_args loop_expect;
+    (* hotcall: helper-call-bound straight line *)
+    mk "hotcall-decoded"
+      (vm_load ~tier:Femto_vm.Vm.Decoded ~helpers:(Hotcall.helpers ())
+         ~regions:[] hot)
+      [||] Hotcall.reference;
+    mk "hotcall-trimmed"
+      (analysis_load ~tier:Femto_vm.Vm.Trimmed ~helpers:(Hotcall.helpers ())
+         ~regions:[] hot)
+      [||] Hotcall.reference;
+    mk "hotcall-compiled"
+      (analysis_load ~tier:Femto_vm.Vm.Compiled ~fuse:false
+         ~helpers:(Hotcall.helpers ()) ~regions:[] hot)
+      [||] Hotcall.reference;
+    mk "hotcall-compiled-fused"
+      (analysis_load ~tier:Femto_vm.Vm.Compiled ~helpers:(Hotcall.helpers ())
+         ~regions:[] hot)
+      [||] Hotcall.reference;
+  ]
+
+let dispatch_tests () =
+  List.map
+    (fun { case_name; vm; args } ->
+      Test.make ~name:case_name
+        (Staged.stage (fun () -> ignore (Femto_vm.Vm.run vm ~args))))
+    (dispatch_cases ())
 
 (* One Bechamel test per table/figure workload: the statistically robust
    counterpart of the wall-clock medians used in the tables. *)
@@ -62,7 +163,7 @@ let bechamel_tests () =
       | Ok vm -> vm
       | Error fault -> failwith (Femto_vm.Fault.to_string fault)
     in
-    if not (Femto_vm.Interp.fastpath_active trimmed) then
+    if not (Femto_vm.Vm.fastpath_active trimmed) then
       failwith "dagsum: analyzer did not grant the fast path";
     let expect = Ok (Dagsum.reference data) in
     if Femto_vm.Vm.run checked ~args:[| Dagsum.data_vaddr |] <> expect then
@@ -76,7 +177,7 @@ let bechamel_tests () =
   let pyish = Femto_script.Stack_vm.load Femto_script.Samples.fletcher32_source in
   let script_args = Femto_script.Samples.fletcher32_args data in
   Test.make_grouped ~name:"femto-containers"
-    [
+    ([
       (* Table 2 row: native baseline *)
       Test.make ~name:"table2/native-fletcher32"
         (Staged.stage (fun () -> ignore (Fletcher.checksum data)));
@@ -125,6 +226,7 @@ let bechamel_tests () =
             in
             fun () -> ignore (trigger ())));
     ]
+    @ dispatch_tests ())
 
 (* Run the suite and return (name, ns/run OLS estimate) rows. *)
 let run_bechamel ~quota () =
@@ -189,12 +291,90 @@ let bench_json ~quota estimates =
       ("metrics", Obs.metrics_json ());
     ]
 
-let write_json ~quota estimates path =
+let write_doc doc path =
   let oc = open_out path in
-  output_string oc (Jsonx.to_string_pretty (bench_json ~quota estimates));
+  output_string oc (Jsonx.to_string_pretty doc);
   output_char oc '\n';
   close_out oc;
   Printf.printf "wrote %s\n" path
+
+let write_json ~quota estimates path = write_doc (bench_json ~quota estimates) path
+
+(* --- dispatch smoke: the per-push CI gate --- *)
+
+(* Wall-clock ns/run, best of 3 trials: crude next to Bechamel's OLS fit
+   but fast enough to run on every push, and monotonic enough to catch
+   "the compiled tier got slower than the decoded interpreter". *)
+let wall_ns_per_run f =
+  let iters = 2000 and trials = 3 in
+  for _ = 1 to 200 do
+    f ()
+  done;
+  let best = ref infinity in
+  for _ = 1 to trials do
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to iters do
+      f ()
+    done;
+    let dt = Unix.gettimeofday () -. t0 in
+    if dt < !best then best := dt
+  done;
+  !best *. 1e9 /. float_of_int iters
+
+let dispatch_smoke_json rows speedups =
+  Jsonx.Obj
+    [
+      ("schema", Jsonx.String "femto-bench/1");
+      ("generated_at", Jsonx.String (iso8601_utc (Unix.time ())));
+      ("ocaml_version", Jsonx.String Sys.ocaml_version);
+      ("word_size", Jsonx.Int Sys.word_size);
+      ( "dispatch",
+        Jsonx.List
+          (List.map
+             (fun (name, ns) ->
+               Jsonx.Obj
+                 [ ("name", Jsonx.String name); ("ns_per_run", Jsonx.Float ns) ])
+             rows) );
+      ( "dispatch_speedups",
+        Jsonx.Obj
+          (List.map (fun (w, s) -> (w, Jsonx.Float s)) speedups) );
+      ("metrics", Obs.metrics_json ());
+    ]
+
+let run_dispatch_smoke ~json_file () =
+  let cases = dispatch_cases () in
+  let rows =
+    List.map
+      (fun { case_name; vm; args } ->
+        ( case_name,
+          wall_ns_per_run (fun () -> ignore (Femto_vm.Vm.run vm ~args)) ))
+      cases
+  in
+  Printf.printf "\nDispatch smoke (wall-clock ns/run, best of 3)\n%s\n"
+    (String.make 45 '-');
+  List.iter (fun (name, ns) -> Printf.printf "  %-40s %12.1f\n" name ns) rows;
+  let find name = List.assoc ("dispatch/" ^ name) rows in
+  let speedup workload decoded compiled =
+    let s = find decoded /. find compiled in
+    Printf.printf "  %-40s %11.2fx\n" (workload ^ " compiled speedup") s;
+    (workload, s)
+  in
+  let s_dag = speedup "dagsum" "dagsum-decoded" "dagsum-compiled-fused" in
+  let s_loop = speedup "loop_sum" "loop-sum-decoded" "loop-sum-compiled-fused" in
+  let s_hot = speedup "hotcall" "hotcall-decoded" "hotcall-compiled-fused" in
+  let speedups = [ s_dag; s_loop; s_hot ] in
+  flush stdout;
+  Option.iter (write_doc (dispatch_smoke_json rows speedups)) json_file;
+  let slow = List.filter (fun (_, s) -> s < 1.0) speedups in
+  if slow <> [] then begin
+    List.iter
+      (fun (w, s) ->
+        Printf.eprintf
+          "dispatch smoke: compiled tier slower than decoded on %s (%.2fx)\n" w
+          s)
+      slow;
+    exit 1
+  end
 
 (* --- entry point --- *)
 
@@ -210,6 +390,7 @@ let () =
   let args = Array.to_list Sys.argv in
   let quick = List.mem "--quick" args in
   let bechamel_only = List.mem "--bechamel-only" args in
+  let dispatch_smoke = List.mem "--dispatch-smoke" args in
   let json_file = opt_value args "--json" in
   let quota =
     match opt_value args "--quota" with
@@ -222,10 +403,13 @@ let () =
             exit 2)
   in
   match
-    if not bechamel_only then Experiments.run_all ();
-    if not quick then begin
-      let estimates = run_bechamel ~quota () in
-      Option.iter (write_json ~quota estimates) json_file
+    if dispatch_smoke then run_dispatch_smoke ~json_file ()
+    else begin
+      if not bechamel_only then Experiments.run_all ();
+      if not quick then begin
+        let estimates = run_bechamel ~quota () in
+        Option.iter (write_json ~quota estimates) json_file
+      end
     end
   with
   | () -> exit 0

@@ -156,14 +156,31 @@ let run_cmd =
   let args_arg =
     Arg.(value & opt_all int64 [] & info [ "arg" ] ~docv:"N" ~doc:"Argument register value (r1..r5), repeatable.")
   in
-  let run input engine args =
+  let tier_arg =
+    Arg.(value
+         & opt (enum [ ("decoded", Femto_vm.Vm.Decoded);
+                       ("trimmed", Femto_vm.Vm.Trimmed);
+                       ("compiled", Femto_vm.Vm.Compiled) ])
+             Femto_vm.Vm.Compiled
+         & info [ "tier" ]
+             ~doc:"Execution tier for the fc engine: decoded (defensive \
+                   interpreter), trimmed (analyzer-gated interpreter fast \
+                   path), or compiled (closure-threaded, the default).  \
+                   Proof-bearing tiers degrade gracefully when the analyzer \
+                   withholds its proofs.")
+  in
+  let run input engine tier args =
     let program = load_program input in
     let helpers = Femto_vm.Helper.create () in
     let args = Array.of_list args in
     let outcome =
       match engine with
       | `Fc -> (
-          match Femto_vm.Vm.load ~helpers ~regions:[] program with
+          (* route through the analyzer so --tier=trimmed/compiled gets
+             the per-pc proofs those tiers specialize on *)
+          match
+            Femto_analysis.Analysis.load ~tier ~helpers ~regions:[] program
+          with
           | Error fault -> Error fault
           | Ok vm -> (
               match Femto_vm.Vm.run vm ~args with
@@ -195,7 +212,7 @@ let run_cmd =
         1
   in
   Cmd.v (Cmd.info "run" ~doc:"Verify and execute bytecode in a sandbox")
-    Term.(const run $ input_arg $ engine_arg $ args_arg)
+    Term.(const run $ input_arg $ engine_arg $ tier_arg $ args_arg)
 
 (* --- metrics / trace: run under observability, dump JSON --- *)
 

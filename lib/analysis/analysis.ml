@@ -21,6 +21,7 @@ module Config = Femto_vm.Config
 module Helper = Femto_vm.Helper
 module Verifier = Femto_vm.Verifier
 module Interp = Femto_vm.Interp
+module Vm = Femto_vm.Vm
 module Obs = Femto_obs.Obs
 module Metrics = Femto_obs.Metrics
 module Trace = Femto_obs.Trace
@@ -432,17 +433,18 @@ let analyze ?helpers (config : Config.t) program :
           unreachable;
         }
 
-let load ?(config = Config.default) ?cycle_cost ~helpers ~regions program =
+let load ?(config = Config.default) ?cycle_cost ?(tier = Vm.Compiled) ?fuse
+    ~helpers ~regions program =
   match analyze ~helpers config program with
   | Result.Error fault -> Result.Error fault
   | Result.Ok outcome ->
-      let fastpath =
-        Option.map
-          (fun proofs -> { Interp.proven_stack = proofs })
-          outcome.fastpath
-      in
+      (* [analyze] already ran pre-flight verification; hand the per-pc
+         proofs (when eligibility granted them) to the tier constructor
+         so the compiled tier specializes proven stack accesses and the
+         trimmed loop keeps working as before. *)
       Result.Ok
-        (Interp.create ~config ?cycle_cost ?fastpath ~helpers ~regions program)
+        (Vm.load_analyzed ~config ?cycle_cost ~tier ?fuse
+           ?proofs:outcome.fastpath ~helpers ~regions program)
 
 (* ------------------------------------------------------------------ *)
 (* JSON rendering (schema femto-analysis/1).                          *)

@@ -64,14 +64,19 @@ val warnings : outcome -> int
 val load :
   ?config:Femto_vm.Config.t ->
   ?cycle_cost:(Femto_ebpf.Insn.kind -> int) ->
+  ?tier:Femto_vm.Vm.tier ->
+  ?fuse:bool ->
   helpers:Femto_vm.Helper.t ->
   regions:Femto_vm.Region.t list ->
   Femto_ebpf.Program.t ->
   (Femto_vm.Vm.t, Femto_vm.Fault.t) result
 (** Analysis-aware replacement for {!Femto_vm.Vm.load}: same acceptance
-    (only structural faults reject), but fast-path-eligible programs get
-    the trimmed interpreter.  Programs with analysis diagnostics still
-    load and run fully checked. *)
+    (only structural faults reject), but fast-path-eligible programs
+    hand their per-pc proofs to the selected tier — the compiled tier
+    (default) specializes proven stack accesses and fuses
+    superinstructions, the trimmed tier keeps the PR 2 interpreter fast
+    path.  Programs with analysis diagnostics still load and run fully
+    checked. *)
 
 val fault_diag : Femto_vm.Fault.t -> diag
 (** Render a structural verifier fault as an [Error] diagnostic. *)

@@ -24,6 +24,8 @@ let m_container_faults = Obs.counter "engine.container_faults"
 let m_attaches = Obs.counter "engine.attaches"
 let m_attach_rejected = Obs.counter "engine.attach_rejected"
 let m_hook_ns = Obs.histogram "engine.hook_ns"
+let m_pool_hits = Obs.counter "engine.pool_hits"
+let m_pool_resets = Obs.counter "engine.pool_resets"
 
 type t = {
   platform : Platform.t;
@@ -155,8 +157,11 @@ let load_instance t ~cycle_cost ~helpers ~regions runtime program =
       | Ok vm -> Ok (Container.Fc_instance vm)
       | Error fault -> Error fault)
   | Platform.Rbpf -> (
+      (* Rbpf models the paper's switch-dispatch baseline: pin it to the
+         decoded tier so the two engines stay comparable in benchmarks. *)
       match
-        Femto_vm.Vm.load ~config:t.config ~cycle_cost ~helpers ~regions program
+        Femto_vm.Vm.load ~config:t.config ~cycle_cost
+          ~tier:Femto_vm.Vm.Decoded ~helpers ~regions program
       with
       | Ok vm -> Ok (Container.Fc_instance vm)
       | Error fault -> Error fault)
@@ -196,7 +201,7 @@ let attach t ~hook_uuid ?(extra_regions = []) container =
               if Obs.enabled () then Ometrics.incr m_attaches;
               container.Container.instance <- Some instance;
               container.Container.attached_to <- Some hook_uuid;
-              hook.Hook.attached <- hook.Hook.attached @ [ container ];
+              Hook.append_attached hook container;
               Ok hook))
 
 let detach t container =
@@ -204,9 +209,7 @@ let detach t container =
   | None -> ()
   | Some uuid ->
       (match Hashtbl.find_opt t.hooks uuid with
-      | Some hook ->
-          hook.Hook.attached <-
-            List.filter (fun c -> c != container) hook.Hook.attached
+      | Some hook -> Hook.remove_attached hook container
       | None -> ());
       container.Container.attached_to <- None;
       container.Container.instance <- None
@@ -274,7 +277,7 @@ let trigger t hook ?ctx () =
         let vm_cycles = Container.last_run_cycles container in
         charge vm_cycles;
         { container; result; vm_cycles })
-      hook.Hook.attached
+      (Hook.attached hook)
   in
   if Obs.enabled () then begin
     let faults =
@@ -301,3 +304,73 @@ let trigger_by_uuid t ~uuid ?ctx () =
   match find_hook t uuid with
   | None -> Error (No_such_hook uuid)
   | Some hook -> Ok (trigger t hook ?ctx ())
+
+(* --- warm-pool fire path --- *)
+
+(* Pre-allocated argv for [fire]: every container receives the same
+   context pointer in r1, and the array's contents never change. *)
+let fire_args = [| Hook.ctx_vaddr |]
+
+let[@inline] charge_cycles t cycles =
+  match t.kernel with
+  | Some kernel -> Femto_rtos.Clock.advance (Kernel.clock kernel) cycles
+  | None -> ()
+
+let fire_container t container =
+  charge_cycles t
+    (Platform.hook_setup_cycles t.platform container.Container.runtime);
+  let ok =
+    match container.Container.instance with
+    | Some (Container.Fc_instance vm) -> (
+        match Femto_vm.Vm.compiled vm with
+        | Some cc ->
+            if Obs.enabled () then begin
+              Ometrics.incr m_pool_hits;
+              if Femto_vm.Compile.runs cc > 0 then Ometrics.incr m_pool_resets
+            end;
+            let ok = Femto_vm.Compile.fire cc ~args:fire_args in
+            container.Container.total_vm_cycles <-
+              container.Container.total_vm_cycles
+              + (Femto_vm.Vm.stats vm).Femto_vm.Interp.cycles;
+            ok
+        | None -> (
+            match Container.run_instance container ~args:fire_args with
+            | Ok _ -> true
+            | Error _ -> false))
+    | _ -> (
+        match Container.run_instance container ~args:fire_args with
+        | Ok _ -> true
+        | Error _ -> false)
+  in
+  container.Container.executions <- container.Container.executions + 1;
+  if not ok then container.Container.faults <- container.Container.faults + 1;
+  charge_cycles t (Container.last_run_cycles container);
+  ok
+
+let rec fire_loop t hook n i faults =
+  if i >= n then faults
+  else
+    match Hook.attached_get hook i with
+    | None -> fire_loop t hook n (i + 1) faults
+    | Some container ->
+        let ok = fire_container t container in
+        fire_loop t hook n (i + 1) (if ok then faults else faults + 1)
+
+(* [fire] is [trigger] minus the report list: the steady-state dispatch
+   path for a warmed pool.  Every attached container runs on its warm
+   instance (compiled instances reset via the dirty high-water mark);
+   no reports or [last_result] are built and only counters — plain
+   mutable stores — are updated, so with no kernel clock attached a
+   fire over allocation-free compiled programs performs zero minor-heap
+   allocation.  Returns the number of faulting containers. *)
+let fire t hook =
+  hook.Hook.triggers <- hook.Hook.triggers + 1;
+  charge_cycles t t.platform.Platform.empty_hook_cycles;
+  let n = Hook.attached_count hook in
+  let faults = fire_loop t hook n 0 0 in
+  if Obs.enabled () then begin
+    Ometrics.incr m_hook_fires;
+    Ometrics.add m_container_runs n;
+    if faults > 0 then Ometrics.add m_container_faults faults
+  end;
+  faults

@@ -24,7 +24,12 @@ type t = {
      privilege set per hook and needs a second hook when two tenants
      differ; per-tenant overrides lift that limitation *)
   mutable tenant_policies : (string * Contract.policy) list;
-  mutable attached : Container.t list; (* in attach order *)
+  (* Attached containers in attach order, array-backed so attach is
+     amortized O(1) (the list-append version rebuilt the list per
+     attach) and the fire path can iterate without allocating.  Slots
+     [0, attached_n) hold [Some c]; the tail is [None]. *)
+  mutable slots : Container.t option array;
+  mutable attached_n : int;
   mutable triggers : int;
 }
 
@@ -38,7 +43,8 @@ let create ~uuid ~name ~ctx_size ?(ctx_perm = Region.Read_only)
     ctx_data = Bytes.make ctx_size '\000';
     policy;
     tenant_policies = [];
-    attached = [];
+    slots = [||];
+    attached_n = 0;
     triggers = 0;
   }
 
@@ -57,7 +63,38 @@ let policy_for t ~tenant_id =
   match List.assoc_opt tenant_id t.tenant_policies with
   | Some policy -> policy
   | None -> t.policy
-let attached t = t.attached
+(* Attach-order list view (compat for shell/tests); the engine's hot
+   path uses [attached_count]/[attached_get] to avoid building it. *)
+let attached t =
+  List.init t.attached_n (fun i ->
+      match t.slots.(i) with Some c -> c | None -> assert false)
+
+let attached_count t = t.attached_n
+let attached_get t i = t.slots.(i)
+
+let append_attached t container =
+  let cap = Array.length t.slots in
+  if t.attached_n = cap then begin
+    let grown = Array.make (max 4 (2 * cap)) None in
+    Array.blit t.slots 0 grown 0 cap;
+    t.slots <- grown
+  end;
+  t.slots.(t.attached_n) <- Some container;
+  t.attached_n <- t.attached_n + 1
+
+let remove_attached t container =
+  let n = t.attached_n in
+  let j = ref 0 in
+  for i = 0 to n - 1 do
+    match t.slots.(i) with
+    | Some c when c == container -> ()
+    | slot ->
+        t.slots.(!j) <- slot;
+        incr j
+  done;
+  Array.fill t.slots !j (n - !j) None;
+  t.attached_n <- !j
+
 let triggers t = t.triggers
 let ctx_data t = t.ctx_data
 

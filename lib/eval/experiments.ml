@@ -233,7 +233,7 @@ let table3 () =
         ignore (Engine.trigger fixture.Setup.engine fixture.Setup.bench_hook ());
         let ram =
           match container.Container.instance with
-          | Some (Container.Fc_instance vm) -> Femto_vm.Interp.ram_bytes vm
+          | Some (Container.Fc_instance vm) -> Femto_vm.Vm.ram_bytes vm
           | Some (Container.Certfc_instance vm) ->
               Femto_certfc.Interp.ram_bytes vm
           | None -> 0
@@ -458,7 +458,7 @@ let multi_instance () =
   let containers = [ counter; sensor; formatter ] in
   let instance_bytes container =
     match container.Container.instance with
-    | Some (Container.Fc_instance vm) -> Femto_vm.Interp.ram_bytes vm
+    | Some (Container.Fc_instance vm) -> Femto_vm.Vm.ram_bytes vm
     | Some (Container.Certfc_instance vm) -> Femto_certfc.Interp.ram_bytes vm
     | None -> 0
   in

@@ -34,6 +34,7 @@ type event =
       warnings : int;
       fastpath : bool;
     }
+  | Tier_selected of { tier : string; fused : int; proven : int }
 
 type record = { seq : int; t_ns : float; event : event }
 
@@ -77,6 +78,7 @@ let event_kind = function
   | Suit_step _ -> "suit_step"
   | Coap_request _ -> "coap_request"
   | Analysis_done _ -> "analysis_done"
+  | Tier_selected _ -> "tier_selected"
 
 let event_fields = function
   | Vm_run { insns; branches; helpers; cycles; ok } ->
@@ -114,6 +116,12 @@ let event_fields = function
         ("errors", Jsonx.Int errors);
         ("warnings", Jsonx.Int warnings);
         ("fastpath", Jsonx.Bool fastpath);
+      ]
+  | Tier_selected { tier; fused; proven } ->
+      [
+        ("tier", Jsonx.String tier);
+        ("fused", Jsonx.Int fused);
+        ("proven", Jsonx.Int proven);
       ]
 
 let record_to_json { seq; t_ns; event } =

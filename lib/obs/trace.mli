@@ -26,6 +26,7 @@ type event =
       warnings : int;
       fastpath : bool;
     }
+  | Tier_selected of { tier : string; fused : int; proven : int }
 
 type record = { seq : int; t_ns : float; event : event }
 type ring

@@ -154,7 +154,7 @@ let free t =
         acc
         +
         match container.Container.instance with
-        | Some (Container.Fc_instance vm) -> Femto_vm.Interp.ram_bytes vm
+        | Some (Container.Fc_instance vm) -> Femto_vm.Vm.ram_bytes vm
         | Some (Container.Certfc_instance vm) -> Femto_certfc.Interp.ram_bytes vm
         | None -> 0)
       0

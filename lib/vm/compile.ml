@@ -1,0 +1,870 @@
+(* Closure-threaded execution tier: direct-threaded code for OCaml.
+
+   [compile] translates the pre-decoded [Insn.kind array] into an array
+   of mutually tail-calling closures, one per instruction slot — the
+   decode/dispatch work the interpreter repeats on every step (fetch the
+   instruction view, switch on its constructor, fetch operand fields) is
+   done exactly once, at load time.  Each closure is specialized on its
+   static operands: register indices become constant byte offsets into
+   an unboxed register file, immediates are pre-sign-extended into
+   captured [int64] constants, branch targets become captured indices
+   into the code array, helper ids are resolved against the table once.
+
+   Isolation semantics are unchanged.  In [Checked] mode every memory
+   access still resolves through the allow-list and both finite-execution
+   budgets are enforced, bit-for-bit like [Interp.exec_checked]
+   (including fault identity and the stats visible at the fault point).
+   [Proven] mode consumes the static analyzer's per-pc facts exactly like
+   [Interp.exec_trimmed]: proven stack accesses compile to direct [Bytes]
+   reads at one-subtraction offsets, budgets cannot fire (the analyzer
+   only grants proofs to DAGs inside both static budgets) so their
+   compares are compiled out, and a violated proof (analyzer bug) is
+   contained as a memory fault rather than crashing the host.
+
+   The register file is a flat 88-byte buffer accessed through the
+   unboxed bytes-load/store primitives, so straight-line ALU chains run
+   without minor-heap allocation — the property the engine's warm pool
+   relies on.  Stores additionally maintain a dirty high-water mark over
+   the stack so [reset] zeroes only the bytes the previous run touched.
+
+   A superinstruction fusion pass (on for proof-bearing instances, or on
+   request) merges the hot pairs the workloads emit — ALU-imm chains,
+   compare+jump, load+ALU, and the spill/reload idiom — into single
+   closures, eliminating the indirect dispatch between the two halves.
+   [lddw] absorption is inherent to this tier: the pair becomes one
+   closure holding the reassembled 64-bit constant. *)
+
+open Femto_ebpf
+module Obs = Femto_obs.Obs
+module Ometrics = Femto_obs.Metrics
+module Otrace = Femto_obs.Trace
+
+(* Same process-wide VM metric names as [Interp]: the registry hands back
+   the same handles, so "vm.runs" etc. aggregate across tiers. *)
+let m_runs = Obs.counter "vm.runs"
+let m_faults = Obs.counter "vm.faults"
+let m_insns = Obs.counter "vm.insns"
+let m_branches = Obs.counter "vm.branches"
+let m_helper_calls = Obs.counter "vm.helper_calls"
+let m_cycles = Obs.counter "vm.cycles"
+let m_run_ns = Obs.histogram "vm.run_ns"
+let m_compile_ns = Obs.histogram "vm.compile_ns"
+let m_fused = Obs.counter "vm.fused_insns"
+
+(* Unboxed native-endian 64-bit access into the register file and the
+   stack.  The host is assumed little endian, like the interpreter's
+   direct stack accessors; all register-file access goes through these
+   two primitives so the representation is internally consistent. *)
+external get64 : bytes -> int -> int64 = "%caml_bytes_get64u"
+external set64 : bytes -> int -> int64 -> unit = "%caml_bytes_set64u"
+
+type state = {
+  rf : bytes; (* 11 registers x 8 bytes *)
+  stack : bytes; (* shared with the paired Interp instance *)
+  mem : Mem.t;
+  mutable dirty_lo : int; (* dirty stack window [dirty_lo, dirty_hi) *)
+  mutable dirty_hi : int;
+}
+
+type t = {
+  code : (state -> unit) array;
+  st : state;
+  stats : Interp.stats; (* shared with the paired Interp instance *)
+  stack_top : int64; (* pre-boxed r10 reset value *)
+  stack_size : int;
+  fused : int; (* superinstructions installed by the fusion pass *)
+  proven : int; (* accesses compiled against analyzer proofs *)
+  compile_ns : float;
+  mutable runs : int;
+}
+
+type mode = Checked | Proven of bool array
+
+exception Vm_fault of Fault.t
+
+(* Pre-allocated containment fault for a violated analyzer proof — the
+   same sentinel [Interp.exec_trimmed] reports. *)
+let proof_trap =
+  Vm_fault (Fault.Memory_access { pc = 0; addr = 0L; size = 0; write = false })
+
+let[@inline always] reg st i = get64 st.rf (i lsl 3)
+let[@inline always] set_reg st i v = set64 st.rf (i lsl 3) v
+
+(* One 64-bit ALU step over the non-faulting operation subset; fused
+   bodies switch on the captured (per-closure constant) operation tag. *)
+let[@inline always] alu_step (op : Opcode.alu_op) (d : int64) (s : int64) =
+  match op with
+  | Opcode.Add -> Int64.add d s
+  | Opcode.Sub -> Int64.sub d s
+  | Opcode.Mul -> Int64.mul d s
+  | Opcode.Or -> Int64.logor d s
+  | Opcode.And -> Int64.logand d s
+  | Opcode.Xor -> Int64.logxor d s
+  | Opcode.Lsh -> Int64.shift_left d (Int64.to_int (Int64.logand s 63L))
+  | Opcode.Rsh -> Int64.shift_right_logical d (Int64.to_int (Int64.logand s 63L))
+  | Opcode.Arsh -> Int64.shift_right d (Int64.to_int (Int64.logand s 63L))
+  | Opcode.Mov -> s
+  | Opcode.Neg -> Int64.neg d
+  | Opcode.Div | Opcode.Mod -> assert false (* excluded by [simple_alu] *)
+
+let simple_alu (op : Opcode.alu_op) =
+  match op with Opcode.Div | Opcode.Mod -> false | _ -> true
+
+(* Little-endian direct stack access, identical to the interpreter's
+   trimmed-loop accessors. *)
+let load_direct data o nbytes =
+  match nbytes with
+  | 1 -> Int64.of_int (Bytes.get_uint8 data o)
+  | 2 -> Int64.of_int (Bytes.get_uint16_le data o)
+  | 4 -> Int64.logand (Int64.of_int32 (Bytes.get_int32_le data o)) 0xFFFF_FFFFL
+  | _ -> Bytes.get_int64_le data o
+
+let store_direct data o nbytes v =
+  match nbytes with
+  | 1 -> Bytes.set_uint8 data o (Int64.to_int v land 0xff)
+  | 2 -> Bytes.set_uint16_le data o (Int64.to_int v land 0xffff)
+  | 4 -> Bytes.set_int32_le data o (Int64.to_int32 v)
+  | _ -> Bytes.set_int64_le data o v
+
+let compile ?(fuse = false) ~mode interp =
+  let t0 = Obs.now_ns () in
+  let program = Interp.program interp in
+  let config = Interp.config interp in
+  let helpers = Interp.helpers interp in
+  let cost = Interp.cycle_cost interp in
+  let stats = Interp.stats interp in
+  let mem = Interp.mem interp in
+  let stack = Interp.stack_data interp in
+  let insns = Program.insns program in
+  let kinds = Array.map Insn.kind insns in
+  let len = Array.length kinds in
+  let stack_size = config.Config.stack_size in
+  let stack_vaddr = config.Config.stack_vaddr in
+  let is_proven pc =
+    match mode with
+    | Checked -> false
+    | Proven p -> pc < Array.length p && Array.unsafe_get p pc
+  in
+  (* In [Proven] mode the analyzer guarantees a DAG within both static
+     budgets, so neither limit can be reached: compile the compares to
+     always-false against [max_int], mirroring the trimmed loop. *)
+  let ilimit, blimit =
+    match mode with
+    | Checked -> (Config.dynamic_instruction_limit config, config.Config.max_branches)
+    | Proven _ -> (max_int, max_int)
+  in
+  (* The code array has one closure per slot, a fall-off trap at index
+     [len], and one trap per out-of-range branch target (unreachable in
+     verified programs, kept for exact decoded-tier fault parity). *)
+  let trap_targets = ref [] in
+  Array.iteri
+    (fun pc k ->
+      match k with
+      | Insn.Ja | Insn.Jcond _ ->
+          let target = pc + 1 + (Array.unsafe_get insns pc).Insn.offset in
+          if (target < 0 || target > len) && not (List.mem target !trap_targets)
+          then trap_targets := target :: !trap_targets
+      | _ -> ())
+    kinds;
+  let traps = List.mapi (fun i target -> (target, len + 1 + i)) !trap_targets in
+  let stub (_ : state) = () in
+  let code = Array.make (len + 1 + List.length traps) stub in
+  code.(len) <- (fun _ -> raise (Vm_fault (Fault.Fall_off_end { pc = len })));
+  List.iter
+    (fun (target, slot) ->
+      code.(slot) <-
+        (fun _ -> raise (Vm_fault (Fault.Fall_off_end { pc = target }))))
+    traps;
+  let resolve target =
+    if target >= 0 && target <= len then target else List.assoc target traps
+  in
+  let[@inline] continue st i = (Array.unsafe_get code i) st in
+  (* Per-original-instruction bookkeeping, in the decoded tier's exact
+     order: count, budget-check, charge the cycle model. *)
+  let[@inline] acct c =
+    let n = stats.Interp.insns_executed + 1 in
+    stats.Interp.insns_executed <- n;
+    if n > ilimit then
+      raise (Vm_fault (Fault.Instruction_budget_exhausted { executed = n }));
+    stats.Interp.cycles <- stats.Interp.cycles + c
+  in
+  let[@inline] take_branch () =
+    let b = stats.Interp.branches_taken + 1 in
+    stats.Interp.branches_taken <- b;
+    if b > blimit then
+      raise (Vm_fault (Fault.Branch_budget_exhausted { taken = b }))
+  in
+  let[@inline] mark_dirty st lo hi =
+    if lo < st.dirty_lo then st.dirty_lo <- lo;
+    if hi > st.dirty_hi then st.dirty_hi <- hi
+  in
+  (* Post-hoc watermark maintenance for allow-list stores that landed in
+     the stack region (the stack is the first region in the map, so an
+     accepted access at a stack address is a stack access). *)
+  let mark_checked_store st addr nbytes =
+    let o = Int64.to_int (Int64.sub addr stack_vaddr) in
+    if o >= 0 && o < stack_size then
+      mark_dirty st (max 0 o) (min stack_size (o + nbytes))
+  in
+  (* --- specialized single-instruction generators --- *)
+  let gen_alu64_imm ~pc ~c ~dst ~v ~next (op : Opcode.alu_op) =
+    match op with
+    | Opcode.Add ->
+        fun st ->
+          acct c;
+          set_reg st dst (Int64.add (reg st dst) v);
+          continue st next
+    | Opcode.Sub ->
+        fun st ->
+          acct c;
+          set_reg st dst (Int64.sub (reg st dst) v);
+          continue st next
+    | Opcode.Mul ->
+        fun st ->
+          acct c;
+          set_reg st dst (Int64.mul (reg st dst) v);
+          continue st next
+    | Opcode.Div ->
+        if Int64.equal v 0L then fun _ ->
+          acct c;
+          raise (Vm_fault (Fault.Division_by_zero { pc }))
+        else
+          fun st ->
+            acct c;
+            set_reg st dst (Int64.unsigned_div (reg st dst) v);
+            continue st next
+    | Opcode.Mod ->
+        if Int64.equal v 0L then fun _ ->
+          acct c;
+          raise (Vm_fault (Fault.Division_by_zero { pc }))
+        else
+          fun st ->
+            acct c;
+            set_reg st dst (Int64.unsigned_rem (reg st dst) v);
+            continue st next
+    | Opcode.Or ->
+        fun st ->
+          acct c;
+          set_reg st dst (Int64.logor (reg st dst) v);
+          continue st next
+    | Opcode.And ->
+        fun st ->
+          acct c;
+          set_reg st dst (Int64.logand (reg st dst) v);
+          continue st next
+    | Opcode.Xor ->
+        fun st ->
+          acct c;
+          set_reg st dst (Int64.logxor (reg st dst) v);
+          continue st next
+    | Opcode.Lsh ->
+        let sh = Int64.to_int (Int64.logand v 63L) in
+        fun st ->
+          acct c;
+          set_reg st dst (Int64.shift_left (reg st dst) sh);
+          continue st next
+    | Opcode.Rsh ->
+        let sh = Int64.to_int (Int64.logand v 63L) in
+        fun st ->
+          acct c;
+          set_reg st dst (Int64.shift_right_logical (reg st dst) sh);
+          continue st next
+    | Opcode.Arsh ->
+        let sh = Int64.to_int (Int64.logand v 63L) in
+        fun st ->
+          acct c;
+          set_reg st dst (Int64.shift_right (reg st dst) sh);
+          continue st next
+    | Opcode.Neg ->
+        fun st ->
+          acct c;
+          set_reg st dst (Int64.neg (reg st dst));
+          continue st next
+    | Opcode.Mov ->
+        fun st ->
+          acct c;
+          set_reg st dst v;
+          continue st next
+  in
+  let gen_alu64_reg ~pc ~c ~dst ~src ~next (op : Opcode.alu_op) =
+    match op with
+    | Opcode.Add ->
+        fun st ->
+          acct c;
+          set_reg st dst (Int64.add (reg st dst) (reg st src));
+          continue st next
+    | Opcode.Sub ->
+        fun st ->
+          acct c;
+          set_reg st dst (Int64.sub (reg st dst) (reg st src));
+          continue st next
+    | Opcode.Mul ->
+        fun st ->
+          acct c;
+          set_reg st dst (Int64.mul (reg st dst) (reg st src));
+          continue st next
+    | Opcode.Div ->
+        fun st ->
+          acct c;
+          let s = reg st src in
+          if Int64.equal s 0L then
+            raise (Vm_fault (Fault.Division_by_zero { pc }));
+          set_reg st dst (Int64.unsigned_div (reg st dst) s);
+          continue st next
+    | Opcode.Mod ->
+        fun st ->
+          acct c;
+          let s = reg st src in
+          if Int64.equal s 0L then
+            raise (Vm_fault (Fault.Division_by_zero { pc }));
+          set_reg st dst (Int64.unsigned_rem (reg st dst) s);
+          continue st next
+    | Opcode.Or ->
+        fun st ->
+          acct c;
+          set_reg st dst (Int64.logor (reg st dst) (reg st src));
+          continue st next
+    | Opcode.And ->
+        fun st ->
+          acct c;
+          set_reg st dst (Int64.logand (reg st dst) (reg st src));
+          continue st next
+    | Opcode.Xor ->
+        fun st ->
+          acct c;
+          set_reg st dst (Int64.logxor (reg st dst) (reg st src));
+          continue st next
+    | Opcode.Lsh ->
+        fun st ->
+          acct c;
+          set_reg st dst
+            (Int64.shift_left (reg st dst)
+               (Int64.to_int (Int64.logand (reg st src) 63L)));
+          continue st next
+    | Opcode.Rsh ->
+        fun st ->
+          acct c;
+          set_reg st dst
+            (Int64.shift_right_logical (reg st dst)
+               (Int64.to_int (Int64.logand (reg st src) 63L)));
+          continue st next
+    | Opcode.Arsh ->
+        fun st ->
+          acct c;
+          set_reg st dst
+            (Int64.shift_right (reg st dst)
+               (Int64.to_int (Int64.logand (reg st src) 63L)));
+          continue st next
+    | Opcode.Neg ->
+        fun st ->
+          acct c;
+          set_reg st dst (Int64.neg (reg st dst));
+          continue st next
+    | Opcode.Mov ->
+        fun st ->
+          acct c;
+          set_reg st dst (reg st src);
+          continue st next
+  in
+  let gen_solo pc =
+    let insn = Array.unsafe_get insns pc in
+    let kind = Array.unsafe_get kinds pc in
+    let dst = insn.Insn.dst and src = insn.Insn.src in
+    let off64 = Int64.of_int insn.Insn.offset in
+    let imm = insn.Insn.imm in
+    let c = cost kind in
+    let next = pc + 1 in
+    (* The verifier guarantees register fields <= 10; these compile-time
+       traps keep even unverified garbage contained, with the decoded
+       tier's fault (raised before any accounting, like its check). *)
+    if dst > 10 then fun _ ->
+      raise (Vm_fault (Fault.Invalid_register { pc; reg = dst }))
+    else if src > 10 then fun _ ->
+      raise (Vm_fault (Fault.Invalid_register { pc; reg = src }))
+    else
+      match kind with
+      | Insn.Alu (true, op, Opcode.Src_imm) ->
+          gen_alu64_imm ~pc ~c ~dst ~v:(Int64.of_int32 imm) ~next op
+      | Insn.Alu (true, op, Opcode.Src_reg) ->
+          gen_alu64_reg ~pc ~c ~dst ~src ~next op
+      | Insn.Alu (false, op, Opcode.Src_imm) ->
+          (* 32-bit ALU is rare in our workloads: route through the
+             shared semantics for exact parity with the other engines. *)
+          let v = Int64.of_int32 imm in
+          fun st ->
+            acct c;
+            (match Interp.alu32 pc op (reg st dst) v with
+            | Ok r -> set_reg st dst r
+            | Error f -> raise (Vm_fault f));
+            continue st next
+      | Insn.Alu (false, op, Opcode.Src_reg) ->
+          fun st ->
+            acct c;
+            (match Interp.alu32 pc op (reg st dst) (reg st src) with
+            | Ok r -> set_reg st dst r
+            | Error f -> raise (Vm_fault f));
+            continue st next
+      | Insn.Load size ->
+          let nbytes = Opcode.size_bytes size in
+          if is_proven pc then
+            if size = Opcode.DW then fun st ->
+              acct c;
+              let o =
+                Int64.to_int
+                  (Int64.sub (Int64.add (reg st src) off64) stack_vaddr)
+              in
+              if o < 0 || o > stack_size - 8 then raise proof_trap;
+              set_reg st dst (get64 st.stack o);
+              continue st next
+            else fun st ->
+              acct c;
+              let o =
+                Int64.to_int
+                  (Int64.sub (Int64.add (reg st src) off64) stack_vaddr)
+              in
+              if o < 0 || o + nbytes > stack_size then raise proof_trap;
+              set_reg st dst (load_direct st.stack o nbytes);
+              continue st next
+          else fun st ->
+            acct c;
+            let addr = Int64.add (reg st src) off64 in
+            (match Mem.load st.mem ~addr ~size:nbytes with
+            | Ok v -> set_reg st dst v
+            | Error () ->
+                raise
+                  (Vm_fault
+                     (Fault.Memory_access
+                        { pc; addr; size = nbytes; write = false })));
+            continue st next
+      | Insn.Store_imm size ->
+          let nbytes = Opcode.size_bytes size in
+          let v = Int64.of_int32 imm in
+          if is_proven pc then fun st ->
+            acct c;
+            let o =
+              Int64.to_int (Int64.sub (Int64.add (reg st dst) off64) stack_vaddr)
+            in
+            if o < 0 || o + nbytes > stack_size then raise proof_trap;
+            mark_dirty st o (o + nbytes);
+            store_direct st.stack o nbytes v;
+            continue st next
+          else fun st ->
+            acct c;
+            let addr = Int64.add (reg st dst) off64 in
+            (match Mem.store st.mem ~addr ~size:nbytes v with
+            | Ok () -> mark_checked_store st addr nbytes
+            | Error () ->
+                raise
+                  (Vm_fault
+                     (Fault.Memory_access
+                        { pc; addr; size = nbytes; write = true })));
+            continue st next
+      | Insn.Store_reg size ->
+          let nbytes = Opcode.size_bytes size in
+          if is_proven pc then
+            if size = Opcode.DW then fun st ->
+              acct c;
+              let o =
+                Int64.to_int
+                  (Int64.sub (Int64.add (reg st dst) off64) stack_vaddr)
+              in
+              if o < 0 || o > stack_size - 8 then raise proof_trap;
+              if o < st.dirty_lo then st.dirty_lo <- o;
+              if o + 8 > st.dirty_hi then st.dirty_hi <- o + 8;
+              set64 st.stack o (reg st src);
+              continue st next
+            else fun st ->
+              acct c;
+              let o =
+                Int64.to_int
+                  (Int64.sub (Int64.add (reg st dst) off64) stack_vaddr)
+              in
+              if o < 0 || o + nbytes > stack_size then raise proof_trap;
+              mark_dirty st o (o + nbytes);
+              store_direct st.stack o nbytes (reg st src);
+              continue st next
+          else fun st ->
+            acct c;
+            let addr = Int64.add (reg st dst) off64 in
+            (match Mem.store st.mem ~addr ~size:nbytes (reg st src) with
+            | Ok () -> mark_checked_store st addr nbytes
+            | Error () ->
+                raise
+                  (Vm_fault
+                     (Fault.Memory_access
+                        { pc; addr; size = nbytes; write = true })));
+            continue st next
+      | Insn.Lddw_head ->
+          (* lddw absorption: the pair collapses into one closure holding
+             the reassembled constant; the tail slot keeps its own trap
+             closure in case a (necessarily unverified) jump lands on it. *)
+          if pc + 1 >= len then fun _ ->
+            acct c;
+            raise (Vm_fault (Fault.Truncated_lddw { pc }))
+          else
+            let tail = Array.unsafe_get insns (pc + 1) in
+            let v = Insn.lddw_imm ~head:insn ~tail in
+            let next2 = pc + 2 in
+            fun st ->
+              acct c;
+              set_reg st dst v;
+              continue st next2
+      | Insn.Lddw_tail ->
+          fun _ ->
+            acct c;
+            raise (Vm_fault (Fault.Invalid_opcode { pc; opcode = 0 }))
+      | Insn.End endianness ->
+          fun st ->
+            acct c;
+            (match Interp.byte_swap pc endianness imm (reg st dst) with
+            | Ok v -> set_reg st dst v
+            | Error f -> raise (Vm_fault f));
+            continue st next
+      | Insn.Ja ->
+          let target = resolve (pc + 1 + insn.Insn.offset) in
+          fun st ->
+            acct c;
+            take_branch ();
+            continue st target
+      | Insn.Jcond (is64, cond, source) -> (
+          let target = resolve (pc + 1 + insn.Insn.offset) in
+          match source with
+          | Opcode.Src_imm ->
+              let v = Int64.of_int32 imm in
+              fun st ->
+                acct c;
+                if Interp.condition cond is64 (reg st dst) v then begin
+                  take_branch ();
+                  continue st target
+                end
+                else continue st next
+          | Opcode.Src_reg ->
+              fun st ->
+                acct c;
+                if Interp.condition cond is64 (reg st dst) (reg st src) then begin
+                  take_branch ();
+                  continue st target
+                end
+                else continue st next)
+      | Insn.Call -> (
+          let id = Int32.to_int imm in
+          match Helper.find helpers id with
+          | None ->
+              fun _ ->
+                acct c;
+                raise (Vm_fault (Fault.Unknown_helper { pc; id }))
+          | Some entry ->
+              let name = entry.Helper.name in
+              let hcost = entry.Helper.cost_cycles in
+              let fn = entry.Helper.fn in
+              fun st ->
+                acct c;
+                stats.Interp.helper_calls <- stats.Interp.helper_calls + 1;
+                if Obs.tracing () then
+                  Obs.event (fun () -> Otrace.Helper_call { id; name });
+                stats.Interp.cycles <- stats.Interp.cycles + hcost;
+                let a =
+                  {
+                    Helper.a1 = reg st 1;
+                    a2 = reg st 2;
+                    a3 = reg st 3;
+                    a4 = reg st 4;
+                    a5 = reg st 5;
+                  }
+                in
+                (match fn st.mem a with
+                | Ok r0 -> set_reg st 0 r0
+                | Error message ->
+                    raise (Vm_fault (Fault.Helper_error { pc; id; message })));
+                (* The helper may have written anywhere its allow-list
+                   permits, including the stack: conservatively mark the
+                   whole frame dirty. *)
+                st.dirty_lo <- 0;
+                st.dirty_hi <- stack_size;
+                continue st next)
+      | Insn.Exit -> fun _ -> acct c
+      | Insn.Invalid opcode ->
+          fun _ ->
+            acct c;
+            raise (Vm_fault (Fault.Invalid_opcode { pc; opcode }))
+  in
+  for pc = len - 1 downto 0 do
+    code.(pc) <- gen_solo pc
+  done;
+  (* --- superinstruction fusion ---
+
+     A fused closure at [pc] performs both instructions and continues at
+     [pc + 2]; the solo closure at [pc + 1] stays in place, so a branch
+     landing between the pair still executes correctly.  Bookkeeping is
+     performed per original instruction, in order, so stats and fault
+     identity stay bit-identical to the unfused tier. *)
+  let fused = ref 0 in
+  if fuse then
+    for pc = 0 to len - 2 do
+      let i1 = Array.unsafe_get insns pc in
+      let i2 = Array.unsafe_get insns (pc + 1) in
+      let k1 = Array.unsafe_get kinds pc in
+      let k2 = Array.unsafe_get kinds (pc + 1) in
+      if i1.Insn.dst <= 10 && i1.Insn.src <= 10 && i2.Insn.dst <= 10
+         && i2.Insn.src <= 10
+      then begin
+        let c1 = cost k1 and c2 = cost k2 in
+        let nn = pc + 2 in
+        match (k1, k2) with
+        (* spill/reload: a proven store immediately re-read through the
+           same base register, offset and width becomes one bounds check,
+           one store and a register move. *)
+        | Insn.Store_reg Opcode.DW, Insn.Load Opcode.DW
+          when is_proven pc
+               && is_proven (pc + 1)
+               && i2.Insn.src = i1.Insn.dst
+               && i2.Insn.offset = i1.Insn.offset ->
+            let base = i1.Insn.dst
+            and v_src = i1.Insn.src
+            and l_dst = i2.Insn.dst in
+            let off64 = Int64.of_int i1.Insn.offset in
+            code.(pc) <-
+              (fun st ->
+                acct c1;
+                let o =
+                  Int64.to_int
+                    (Int64.sub (Int64.add (reg st base) off64) stack_vaddr)
+                in
+                if o < 0 || o > stack_size - 8 then raise proof_trap;
+                if o < st.dirty_lo then st.dirty_lo <- o;
+                if o + 8 > st.dirty_hi then st.dirty_hi <- o + 8;
+                let v = reg st v_src in
+                set64 st.stack o v;
+                acct c2;
+                set_reg st l_dst v;
+                continue st nn);
+            incr fused
+        (* proven load feeding a 64-bit ALU op through its destination *)
+        | Insn.Load Opcode.DW, Insn.Alu (true, op2, Opcode.Src_reg)
+          when is_proven pc && simple_alu op2 && i2.Insn.src = i1.Insn.dst ->
+            let l_src = i1.Insn.src and l_dst = i1.Insn.dst in
+            let d2 = i2.Insn.dst in
+            let off64 = Int64.of_int i1.Insn.offset in
+            code.(pc) <-
+              (fun st ->
+                acct c1;
+                let o =
+                  Int64.to_int
+                    (Int64.sub (Int64.add (reg st l_src) off64) stack_vaddr)
+                in
+                if o < 0 || o > stack_size - 8 then raise proof_trap;
+                let v = get64 st.stack o in
+                set_reg st l_dst v;
+                acct c2;
+                set_reg st d2 (alu_step op2 (reg st d2) v);
+                continue st nn);
+            incr fused
+        (* compare-and-jump: ALU-imm followed by a conditional jump *)
+        | Insn.Alu (true, op1, Opcode.Src_imm), Insn.Jcond (is64, cond, source)
+          when simple_alu op1 ->
+            let d1 = i1.Insn.dst in
+            let v1 = Int64.of_int32 i1.Insn.imm in
+            let d2 = i2.Insn.dst and s2 = i2.Insn.src in
+            let target = resolve (pc + 2 + i2.Insn.offset) in
+            (match source with
+            | Opcode.Src_imm ->
+                let v2 = Int64.of_int32 i2.Insn.imm in
+                code.(pc) <-
+                  (fun st ->
+                    acct c1;
+                    set_reg st d1 (alu_step op1 (reg st d1) v1);
+                    acct c2;
+                    if Interp.condition cond is64 (reg st d2) v2 then begin
+                      take_branch ();
+                      continue st target
+                    end
+                    else continue st nn)
+            | Opcode.Src_reg ->
+                code.(pc) <-
+                  (fun st ->
+                    acct c1;
+                    set_reg st d1 (alu_step op1 (reg st d1) v1);
+                    acct c2;
+                    if Interp.condition cond is64 (reg st d2) (reg st s2)
+                    then begin
+                      take_branch ();
+                      continue st target
+                    end
+                    else continue st nn));
+            incr fused
+        (* ALU-imm chain *)
+        | Insn.Alu (true, op1, Opcode.Src_imm), Insn.Alu (true, op2, Opcode.Src_imm)
+          when simple_alu op1 && simple_alu op2 ->
+            let d1 = i1.Insn.dst and d2 = i2.Insn.dst in
+            let v1 = Int64.of_int32 i1.Insn.imm in
+            let v2 = Int64.of_int32 i2.Insn.imm in
+            code.(pc) <-
+              (fun st ->
+                acct c1;
+                set_reg st d1 (alu_step op1 (reg st d1) v1);
+                acct c2;
+                set_reg st d2 (alu_step op2 (reg st d2) v2);
+                continue st nn);
+            incr fused
+        | _ -> ()
+      end
+    done;
+  let proven =
+    match mode with
+    | Checked -> 0
+    | Proven p -> Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 p
+  in
+  let st =
+    { rf = Bytes.make 88 '\000'; stack; mem; dirty_lo = max_int; dirty_hi = 0 }
+  in
+  let compile_ns = Obs.now_ns () -. t0 in
+  if Obs.enabled () then begin
+    Ometrics.observe m_compile_ns compile_ns;
+    Ometrics.add m_fused !fused
+  end;
+  {
+    code;
+    st;
+    stats;
+    stack_top =
+      Int64.add config.Config.stack_vaddr (Int64.of_int config.Config.stack_size);
+    stack_size;
+    fused = !fused;
+    proven;
+    compile_ns;
+    runs = 0;
+  }
+
+let fused_count t = t.fused
+let proven_count t = t.proven
+let compile_ns t = t.compile_ns
+let runs t = t.runs
+
+(* [reset] is the warm pool's dividend: instead of zeroing the whole
+   frame it zeroes only the dirty window the previous run's stores
+   produced, then re-arms r10.  The register file is 88 bytes, cleared
+   unconditionally. *)
+let reset t =
+  let st = t.st in
+  Bytes.fill st.rf 0 88 '\000';
+  if st.dirty_hi > st.dirty_lo then
+    Bytes.fill st.stack st.dirty_lo (st.dirty_hi - st.dirty_lo) '\000';
+  st.dirty_lo <- max_int;
+  st.dirty_hi <- 0;
+  set64 st.rf 80 t.stack_top
+
+let[@inline] load_args st (args : int64 array) =
+  let n = Array.length args in
+  if n > 0 then set64 st.rf 8 (Array.unsafe_get args 0);
+  if n > 1 then set64 st.rf 16 (Array.unsafe_get args 1);
+  if n > 2 then set64 st.rf 24 (Array.unsafe_get args 2);
+  if n > 3 then set64 st.rf 32 (Array.unsafe_get args 3);
+  if n > 4 then set64 st.rf 40 (Array.unsafe_get args 4)
+
+let exec_exn ~args t =
+  t.runs <- t.runs + 1;
+  reset t;
+  load_args t.st args;
+  let stats = t.stats in
+  stats.Interp.insns_executed <- 0;
+  stats.Interp.branches_taken <- 0;
+  stats.Interp.helper_calls <- 0;
+  stats.Interp.cycles <- 0;
+  (Array.unsafe_get t.code 0) t.st
+
+let exec ?(args = [||]) t =
+  match exec_exn ~args t with
+  | () -> Ok (get64 t.st.rf 0)
+  | exception Vm_fault f -> Error f
+  | exception Invalid_argument _ ->
+      (* A violated analyzer proof or unsafe escape: contain it as a
+         memory fault, like the trimmed interpreter. *)
+      Error (Fault.Memory_access { pc = 0; addr = 0L; size = 0; write = false })
+
+(* [run] mirrors [Interp.run]'s observability envelope so engine-level
+   accounting is identical whichever tier a container runs on. *)
+let run ?(args = [||]) t =
+  if not (Obs.enabled ()) then exec ~args t
+  else begin
+    let t0 = Obs.now_ns () in
+    let outcome = exec ~args t in
+    let stats = t.stats in
+    Ometrics.incr m_runs;
+    Ometrics.add m_insns stats.Interp.insns_executed;
+    Ometrics.add m_branches stats.Interp.branches_taken;
+    Ometrics.add m_helper_calls stats.Interp.helper_calls;
+    Ometrics.add m_cycles stats.Interp.cycles;
+    Ometrics.observe m_run_ns (Obs.now_ns () -. t0);
+    (match outcome with
+    | Ok _ -> ()
+    | Error f ->
+        Ometrics.incr m_faults;
+        Obs.event (fun () ->
+            Otrace.Fault { kind = Fault.kind f; detail = Fault.to_string f }));
+    Obs.event (fun () ->
+        Otrace.Vm_run
+          {
+            insns = stats.Interp.insns_executed;
+            branches = stats.Interp.branches_taken;
+            helpers = stats.Interp.helper_calls;
+            cycles = stats.Interp.cycles;
+            ok = Result.is_ok outcome;
+          });
+    outcome
+  end
+
+(* [fire] is the engine's steady-state dispatch entry: no result value is
+   constructed and only counters (plain mutable stores) are updated, so a
+   successful run of an allocation-free program performs zero minor-heap
+   allocation.  Returns [false] when the run faulted. *)
+let fire ~args t =
+  match exec_exn ~args t with
+  | () ->
+      if Obs.enabled () then begin
+        let stats = t.stats in
+        Ometrics.incr m_runs;
+        Ometrics.add m_insns stats.Interp.insns_executed;
+        Ometrics.add m_branches stats.Interp.branches_taken;
+        Ometrics.add m_helper_calls stats.Interp.helper_calls;
+        Ometrics.add m_cycles stats.Interp.cycles
+      end;
+      true
+  | exception Vm_fault f ->
+      if Obs.enabled () then begin
+        let stats = t.stats in
+        Ometrics.incr m_runs;
+        Ometrics.add m_insns stats.Interp.insns_executed;
+        Ometrics.add m_branches stats.Interp.branches_taken;
+        Ometrics.add m_helper_calls stats.Interp.helper_calls;
+        Ometrics.add m_cycles stats.Interp.cycles;
+        Ometrics.incr m_faults;
+        Obs.event (fun () ->
+            Otrace.Fault { kind = Fault.kind f; detail = Fault.to_string f })
+      end;
+      false
+  | exception Invalid_argument _ ->
+      if Obs.enabled () then begin
+        Ometrics.incr m_runs;
+        Ometrics.incr m_faults
+      end;
+      false
+
+let result t = get64 t.st.rf 0
+
+let copy_registers t dst =
+  for i = 0 to 10 do
+    dst.(i) <- get64 t.st.rf (i lsl 3)
+  done
+
+(* Test-facing views of the pooled instance's private state. *)
+let registers t =
+  let a = Array.make 11 0L in
+  copy_registers t a;
+  a
+
+let stack_bytes t = t.st.stack
+let dirty_window t = (t.st.dirty_lo, t.st.dirty_hi)
+
+let ram_bytes t =
+  let word = Sys.word_size / 8 in
+  88 (* register file *) + (Array.length t.code * word)

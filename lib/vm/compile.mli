@@ -1,0 +1,67 @@
+(** Closure-threaded execution tier.
+
+    [compile] translates a pre-decoded program into an array of mutually
+    tail-calling closures (direct-threaded code), specialized on each
+    instruction's static operands, with optional superinstruction fusion
+    of hot pairs.  Isolation semantics match the interpreter bit-for-bit:
+    [Checked] mode keeps the allow-list and both execution budgets;
+    [Proven] mode consumes the analyzer's per-pc facts exactly like the
+    trimmed interpreter loop, compiling proven stack accesses to direct
+    byte-buffer access and compiling the budget compares out.
+
+    The instance is a warm pool entry: registers live in an unboxed byte
+    buffer, stores maintain a dirty high-water mark over the stack, and
+    [reset] zeroes only what the previous run touched — so [fire] on an
+    allocation-free program performs zero minor-heap allocation. *)
+
+type t
+
+type mode =
+  | Checked  (** full defensive checks, like [Interp.exec_checked] *)
+  | Proven of bool array
+      (** analyzer facts: [p.(pc)] marks a proven in-frame stack access;
+          granting them also asserts DAG-within-budgets eligibility *)
+
+exception Vm_fault of Fault.t
+
+val compile : ?fuse:bool -> mode:mode -> Interp.t -> t
+(** Build the closure array from [interp]'s pre-decoded program.  The
+    instance shares the interpreter's memory map, stack buffer and stats
+    record.  [fuse] (default false) enables the superinstruction pass.
+    Helper ids are resolved against the table once, at compile time. *)
+
+val run : ?args:int64 array -> t -> (int64, Fault.t) result
+(** Execute with [Interp.run]'s exact observability envelope. *)
+
+val fire : args:int64 array -> t -> bool
+(** Steady-state dispatch entry for the engine's warm pool: no result
+    value is constructed; returns [false] when the run faulted.  Zero
+    minor-heap allocation on success for allocation-free programs. *)
+
+val result : t -> int64
+(** r0 as left by the most recent execution. *)
+
+val fused_count : t -> int
+(** Superinstructions installed by the fusion pass. *)
+
+val proven_count : t -> int
+(** Instructions compiled against analyzer proofs. *)
+
+val compile_ns : t -> float
+val runs : t -> int
+
+val registers : t -> int64 array
+(** Fresh snapshot of the 11-register file. *)
+
+val copy_registers : t -> int64 array -> unit
+(** Copy the register file into [dst] (length >= 11) without allocating. *)
+
+val stack_bytes : t -> bytes
+(** The shared stack buffer (test-facing). *)
+
+val dirty_window : t -> int * int
+(** Current dirty stack window [(lo, hi)); empty when [lo >= hi]. *)
+
+val ram_bytes : t -> int
+(** Additional per-instance state owned by this tier: register file plus
+    the closure table. *)

@@ -85,6 +85,15 @@ let stats t = t.stats
 let registers t = t.regs
 let fastpath_active t = t.fastpath <> None
 
+(* Structural accessors for the closure-threaded compiler (Compile),
+   which shares this instance's memory map, stack buffer and stats
+   record so both tiers observe identical state. *)
+let program t = t.program
+let config t = t.config
+let helpers t = t.helpers
+let stack_data t = t.stack_data
+let cycle_cost t = t.cycle_cost
+
 (* Per-instance RAM in the paper's Table 3 sense: the state one container
    instance owns — VM stack, register file, statistics, and its memory
    region table — excluding the shared bytecode and helper tables.

@@ -44,6 +44,17 @@ val mem : t -> Mem.t
 val stats : t -> stats
 val registers : t -> int64 array
 
+(** {2 Structural accessors}
+
+    Used by the closure-threaded compiler ([Compile]), which shares this
+    instance's memory map, stack buffer and stats record. *)
+
+val program : t -> Femto_ebpf.Program.t
+val config : t -> Config.t
+val helpers : t -> Helper.t
+val stack_data : t -> bytes
+val cycle_cost : t -> Femto_ebpf.Insn.kind -> int
+
 val ram_bytes : t -> int
 (** Per-instance RAM in the paper's Table 3 sense: stack + register file
     + statistics + region table, from actual buffer sizes. *)

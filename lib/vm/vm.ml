@@ -6,7 +6,20 @@
      let program = Femto_ebpf.Asm.assemble source in
      match Vm.load ~helpers ~regions program with
      | Error fault -> ...
-     | Ok vm -> Vm.run vm ~args:[| ctx_ptr |] *)
+     | Ok vm -> Vm.run vm ~args:[| ctx_ptr |]
+
+   An instance carries one of three execution tiers:
+
+   - Decoded:  the pre-decoded defensive interpreter loop.
+   - Trimmed:  the analyzer-gated interpreter fast path (granted only by
+               [Femto_analysis.Analysis.load], which owns the proofs).
+   - Compiled: the closure-threaded tier — the default for verified
+               programs.  With analyzer proofs it additionally fuses
+               superinstructions and drops proven stack checks,
+               mirroring the trimmed loop's trust model.
+
+   Whatever the tier, isolation semantics, fault identity and statistics
+   are bit-identical; the differential test suite pins this. *)
 
 module Fault = Fault
 module Region = Region
@@ -15,24 +28,146 @@ module Helper = Helper
 module Config = Config
 module Verifier = Verifier
 module Interp = Interp
+module Compile = Compile
+module Obs = Femto_obs.Obs
+module Otrace = Femto_obs.Trace
 
-type t = Interp.t
+type tier = Decoded | Trimmed | Compiled
 
-(* [load] verifies then pre-decodes; a program that fails pre-flight checks
-   is never instantiated. *)
-let load ?(config = Config.default) ?cycle_cost ~helpers ~regions program =
+let tier_name = function
+  | Decoded -> "decoded"
+  | Trimmed -> "trimmed"
+  | Compiled -> "compiled"
+
+let tier_of_name = function
+  | "decoded" -> Some Decoded
+  | "trimmed" -> Some Trimmed
+  | "compiled" -> Some Compiled
+  | _ -> None
+
+type t = {
+  interp : Interp.t;
+  compiled : Compile.t option;
+  tier : tier;
+  proven : int; (* analyzer-proven accesses engaged by this instance *)
+}
+
+let emit_tier t =
+  Obs.event (fun () ->
+      Otrace.Tier_selected
+        {
+          tier = tier_name t.tier;
+          fused =
+            (match t.compiled with
+            | Some c -> Compile.fused_count c
+            | None -> 0);
+          proven = t.proven;
+        })
+
+(* Shared constructor: the caller certifies [program] already passed
+   pre-flight verification.  [proofs] are the analyzer's per-pc facts;
+   without them the Trimmed tier has nothing to trim and degrades to
+   Decoded, and the Compiled tier keeps every defensive check.  [fuse]
+   defaults to fusing only proof-bearing instances, mirroring the
+   trust boundary: superinstructions ride with the analyzer's dividend
+   unless explicitly requested. *)
+let make_verified ~config ~cycle_cost ~tier ~fuse ~proofs ~helpers ~regions
+    program =
+  let create ?fastpath () =
+    match cycle_cost with
+    | Some cycle_cost ->
+        Interp.create ~config ~cycle_cost ?fastpath ~helpers ~regions program
+    | None -> Interp.create ~config ?fastpath ~helpers ~regions program
+  in
+  let t =
+    match (tier, proofs) with
+    | Decoded, _ | Trimmed, None ->
+        { interp = create (); compiled = None; tier = Decoded; proven = 0 }
+    | Trimmed, Some proven_stack ->
+        {
+          interp = create ~fastpath:{ Interp.proven_stack } ();
+          compiled = None;
+          tier = Trimmed;
+          proven =
+            Array.fold_left (fun n b -> if b then n + 1 else n) 0 proven_stack;
+        }
+    | Compiled, _ ->
+        let mode =
+          match proofs with
+          | Some p -> Compile.Proven p
+          | None -> Compile.Checked
+        in
+        let fuse =
+          match fuse with Some f -> f | None -> proofs <> None
+        in
+        let interp = create () in
+        let compiled = Compile.compile ~fuse ~mode interp in
+        {
+          interp;
+          compiled = Some compiled;
+          tier = Compiled;
+          proven = Compile.proven_count compiled;
+        }
+  in
+  emit_tier t;
+  t
+
+(* [load] verifies then compiles (or pre-decodes, per [tier]); a program
+   that fails pre-flight checks is never instantiated. *)
+let load ?(config = Config.default) ?cycle_cost ?(tier = Compiled) ?fuse
+    ~helpers ~regions program =
   match Verifier.verify ~helpers config program with
   | Error fault -> Error fault
   | Ok (_ : Verifier.ok) ->
-      Ok (Interp.create ~config ?cycle_cost ~helpers ~regions program)
+      Ok
+        (make_verified ~config ~cycle_cost ~tier ~fuse ~proofs:None ~helpers
+           ~regions program)
+
+let load_analyzed ?(config = Config.default) ?cycle_cost ?(tier = Compiled)
+    ?fuse ?proofs ~helpers ~regions program =
+  make_verified ~config ~cycle_cost ~tier ~fuse ~proofs ~helpers ~regions
+    program
 
 (* [load_unverified] skips pre-flight checks; used by tests and benchmarks
-   to demonstrate that the interpreter's defensive checks still hold. *)
+   to demonstrate that the interpreter's defensive checks still hold.
+   Always decoded: the compiled tier assumes verifier invariants. *)
 let load_unverified ?(config = Config.default) ?cycle_cost ~helpers ~regions
     program =
-  Interp.create ~config ?cycle_cost ~helpers ~regions program
+  let interp =
+    match cycle_cost with
+    | Some cycle_cost ->
+        Interp.create ~config ~cycle_cost ~helpers ~regions program
+    | None -> Interp.create ~config ~helpers ~regions program
+  in
+  { interp; compiled = None; tier = Decoded; proven = 0 }
 
-let run = Interp.run
-let stats = Interp.stats
-let mem = Interp.mem
-let registers = Interp.registers
+let run ?(args = [||]) t =
+  match t.compiled with
+  | Some c -> Compile.run ~args c
+  | None -> Interp.run ~args t.interp
+
+let stats t = Interp.stats t.interp
+let mem t = Interp.mem t.interp
+let tier t = t.tier
+let compiled t = t.compiled
+let interp t = t.interp
+
+let fastpath_active t = t.tier <> Decoded && (t.tier = Trimmed || t.proven > 0)
+let proven_count t = t.proven
+
+let fused_count t =
+  match t.compiled with Some c -> Compile.fused_count c | None -> 0
+
+(* The register file of whichever tier executes; for the compiled tier
+   the interpreter's array doubles as the snapshot buffer. *)
+let registers t =
+  match t.compiled with
+  | Some c ->
+      let regs = Interp.registers t.interp in
+      Compile.copy_registers c regs;
+      regs
+  | None -> Interp.registers t.interp
+
+let ram_bytes t =
+  Interp.ram_bytes t.interp
+  + (match t.compiled with Some c -> Compile.ram_bytes c | None -> 0)

@@ -6,7 +6,13 @@
       match Vm.load ~helpers ~regions program with
       | Error fault -> ...
       | Ok vm -> Vm.run vm ~args:[| ctx_ptr |]
-    ]} *)
+    ]}
+
+    An instance carries one of three execution tiers — the decoded
+    defensive interpreter, the analyzer-gated trimmed interpreter, or
+    the closure-threaded compiled tier (the default for verified
+    programs).  Results, fault identity and statistics are bit-identical
+    across tiers. *)
 
 module Fault = Fault
 module Region = Region
@@ -15,18 +21,44 @@ module Helper = Helper
 module Config = Config
 module Verifier = Verifier
 module Interp = Interp
+module Compile = Compile
 
-type t = Interp.t
+type tier = Decoded | Trimmed | Compiled
+
+val tier_name : tier -> string
+val tier_of_name : string -> tier option
+
+type t
 
 val load :
   ?config:Config.t ->
   ?cycle_cost:(Femto_ebpf.Insn.kind -> int) ->
+  ?tier:tier ->
+  ?fuse:bool ->
   helpers:Helper.t ->
   regions:Region.t list ->
   Femto_ebpf.Program.t ->
   (t, Fault.t) result
-(** Verify then pre-decode; a program that fails pre-flight checks is
-    never instantiated.  [cycle_cost] plugs a platform cycle model in. *)
+(** Verify then instantiate; a program that fails pre-flight checks is
+    never instantiated.  [cycle_cost] plugs a platform cycle model in.
+    [tier] defaults to [Compiled]; requesting [Trimmed] here degrades to
+    [Decoded] because only {!Femto_analysis.Analysis.load} owns the
+    proofs the trimmed loop consumes.  [fuse] overrides the fusion
+    default (fuse only proof-bearing instances). *)
+
+val load_analyzed :
+  ?config:Config.t ->
+  ?cycle_cost:(Femto_ebpf.Insn.kind -> int) ->
+  ?tier:tier ->
+  ?fuse:bool ->
+  ?proofs:bool array ->
+  helpers:Helper.t ->
+  regions:Region.t list ->
+  Femto_ebpf.Program.t ->
+  t
+(** For {!Femto_analysis.Analysis.load}: instantiate an
+    already-verified program, engaging proof-bearing tiers when
+    [proofs] (the analyzer's per-pc facts) are present. *)
 
 val load_unverified :
   ?config:Config.t ->
@@ -35,8 +67,8 @@ val load_unverified :
   regions:Region.t list ->
   Femto_ebpf.Program.t ->
   t
-(** Skip pre-flight checks (tests/benchmarks only): the interpreter's
-    defensive checks still contain any fault. *)
+(** Skip pre-flight checks (tests/benchmarks only): always decoded, the
+    interpreter's defensive checks still contain any fault. *)
 
 val run : ?args:int64 array -> t -> (int64, Fault.t) result
 (** Execute from slot 0 with r1..r5 preloaded from [args]; returns r0. *)
@@ -44,3 +76,18 @@ val run : ?args:int64 array -> t -> (int64, Fault.t) result
 val stats : t -> Interp.stats
 val mem : t -> Mem.t
 val registers : t -> int64 array
+
+val tier : t -> tier
+val compiled : t -> Compile.t option
+val interp : t -> Interp.t
+
+val fastpath_active : t -> bool
+(** True when analyzer proofs are engaged (trimmed loop, or compiled
+    with proven accesses). *)
+
+val proven_count : t -> int
+val fused_count : t -> int
+
+val ram_bytes : t -> int
+(** Per-instance RAM (paper Table 3 sense), including the compiled
+    tier's closure table when present. *)

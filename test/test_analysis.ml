@@ -305,7 +305,7 @@ let test_dagsum_trimmed_matches_reference () =
     | Error fault -> Alcotest.failf "load: %s" (Fault.to_string fault)
   in
   Alcotest.(check bool) "fast path engaged" true
-    (Interp.fastpath_active trimmed);
+    (Vm.fastpath_active trimmed);
   (match Vm.run trimmed ~args:[| Dagsum.data_vaddr |] with
   | Ok v -> Alcotest.(check int64) "trimmed result" expect v
   | Error fault -> Alcotest.failf "trimmed run: %s" (Fault.to_string fault));
@@ -318,7 +318,7 @@ let test_dagsum_trimmed_matches_reference () =
     | Error fault -> Alcotest.failf "load: %s" (Fault.to_string fault)
   in
   Alcotest.(check bool) "checked loader stays plain" false
-    (Interp.fastpath_active checked);
+    (Vm.fastpath_active checked);
   match Vm.run checked ~args:[| Dagsum.data_vaddr |] with
   | Ok v -> Alcotest.(check int64) "checked result" expect v
   | Error fault -> Alcotest.failf "checked run: %s" (Fault.to_string fault)

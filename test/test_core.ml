@@ -72,6 +72,47 @@ let test_attach_and_trigger () =
   | [ { Engine.result = Ok v; _ } ] -> Alcotest.(check int64) "r0" 7L v
   | _ -> Alcotest.fail "expected one successful report"
 
+(* The array-backed slot storage must keep arrival order — the list
+   append it replaced was order-preserving, and trigger reports as well
+   as per-tenant accounting rely on it — and stay ordered across a
+   detach from the middle. *)
+let test_attach_preserves_order () =
+  let engine = make_engine () in
+  let hook =
+    Engine.register_hook engine ~uuid:"ho" ~name:"order" ~ctx_size:8 ()
+  in
+  let containers =
+    List.init 17 (fun i ->
+        let c =
+          simple_container ~name:(Printf.sprintf "c%02d" i) engine
+            (Printf.sprintf "mov r0, %d\nexit" i)
+            ~contract:(Contract.require [])
+        in
+        (match Engine.attach engine ~hook_uuid:"ho" c with
+        | Ok _ -> ()
+        | Error e -> Alcotest.fail (Engine.attach_error_to_string e));
+        c)
+  in
+  Alcotest.(check int) "count" 17 (Hook.attached_count hook);
+  Alcotest.(check (list string)) "attach order"
+    (List.map Container.name containers)
+    (List.map Container.name (Hook.attached hook));
+  let reports = Engine.trigger engine hook () in
+  let results =
+    List.map
+      (fun r ->
+        match r.Engine.result with Ok v -> Int64.to_int v | Error _ -> -1)
+      reports
+  in
+  Alcotest.(check (list int)) "report order follows attach order"
+    (List.init 17 Fun.id) results;
+  (* detaching from the middle compacts without reordering survivors *)
+  Engine.detach engine (List.nth containers 5);
+  Alcotest.(check int) "one fewer" 16 (Hook.attached_count hook);
+  Alcotest.(check (list string)) "stable after removal"
+    (List.filteri (fun i _ -> i <> 5) (List.map Container.name containers))
+    (List.map Container.name (Hook.attached hook))
+
 let test_attach_rejects_bad_program () =
   let engine = make_engine () in
   let _hook = Engine.register_hook engine ~uuid:"hook-1" ~name:"test" ~ctx_size:16 () in
@@ -560,12 +601,16 @@ let test_multiple_hooks_independent () =
 
 let test_certfc_ram_slightly_larger () =
   (* Table 3's CertFC row: the pure engine retains its machine state, so
-     per-instance RAM is a little higher than the optimized engine's *)
+     per-instance RAM is a little higher than the optimized engine's.
+     The comparison is between interpreters, so pin the decoded tier —
+     the compiled tier trades RAM (closure table) for dispatch speed. *)
   let helpers = Femto_vm.Helper.create () in
   let program = assemble "mov r0, 0\nexit" in
   let fc =
-    match Femto_vm.Vm.load ~helpers ~regions:[] program with
-    | Ok vm -> Femto_vm.Interp.ram_bytes vm
+    match
+      Femto_vm.Vm.load ~tier:Femto_vm.Vm.Decoded ~helpers ~regions:[] program
+    with
+    | Ok vm -> Femto_vm.Vm.ram_bytes vm
     | Error _ -> Alcotest.fail "fc load"
   in
   let cert =
@@ -615,6 +660,8 @@ let suite =
     Alcotest.test_case "kvstore bounded" `Quick test_kvstore_bounded;
     Alcotest.test_case "contract intersection" `Quick test_contract_grant_is_intersection;
     Alcotest.test_case "attach and trigger" `Quick test_attach_and_trigger;
+    Alcotest.test_case "attach preserves order" `Quick
+      test_attach_preserves_order;
     Alcotest.test_case "attach rejects bad program" `Quick test_attach_rejects_bad_program;
     Alcotest.test_case "attach unknown hook" `Quick test_attach_unknown_hook;
     Alcotest.test_case "double attach rejected" `Quick test_double_attach_rejected;

@@ -197,6 +197,68 @@ let test_analysis_counters_and_event () =
   Obs.set_tracing false;
   Obs.reset ()
 
+(* The compiled tier and the engine's warm pool surface their work:
+   compile time and fusion gains at load, pool hits/resets per fire,
+   and a Tier_selected trace event naming the tier that was engaged. *)
+let test_tier_and_pool_observability () =
+  Obs.reset ();
+  Obs.set_enabled true;
+  Obs.set_tracing true;
+  let module Engine = Femto_core.Engine in
+  let module Container = Femto_core.Container in
+  let module Contract = Femto_core.Contract in
+  let source = "mov r6, 1\nadd r6, 2\nstxdw [r10-8], r6\nldxdw r0, [r10-8]\nexit" in
+  let program = Femto_ebpf.Asm.assemble source in
+  (match
+     Femto_analysis.Analysis.load ~helpers:(Femto_vm.Helper.create ())
+       ~regions:[] program
+   with
+  | Ok vm ->
+      Alcotest.(check bool) "compiled tier" true
+        (Femto_vm.Vm.tier vm = Femto_vm.Vm.Compiled)
+  | Error _ -> Alcotest.fail "load");
+  Alcotest.(check bool) "vm.compile_ns observed" true
+    (Metrics.count (Obs.histogram "vm.compile_ns") >= 1);
+  Alcotest.(check bool) "vm.fused_insns counted" true
+    (Metrics.value (Obs.counter "vm.fused_insns") > 0);
+  (let tiers =
+     List.filter_map
+       (fun r ->
+         match r.Trace.event with
+         | Trace.Tier_selected { tier; fused; proven } ->
+             Some (tier, fused, proven)
+         | _ -> None)
+       (Trace.events Obs.ring)
+   in
+   match tiers with
+   | [ (tier, fused, proven) ] ->
+       Alcotest.(check string) "tier named" "compiled" tier;
+       Alcotest.(check bool) "fused reported" true (fused > 0);
+       Alcotest.(check bool) "proofs reported" true (proven > 0)
+   | _ -> Alcotest.fail "expected exactly one tier_selected event");
+  (* warm-pool fire path: every fire on a compiled instance is a pool
+     hit; every fire after the first reuses (resets) the instance *)
+  let engine = Engine.create () in
+  let hook =
+    Engine.register_hook engine ~uuid:"obs" ~name:"obs" ~ctx_size:8 ()
+  in
+  let tenant = Engine.add_tenant engine "acme" in
+  let container =
+    Container.create ~name:"obs" ~tenant ~contract:(Contract.require [])
+      program
+  in
+  (match Engine.attach engine ~hook_uuid:"obs" container with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail (Engine.attach_error_to_string e));
+  Alcotest.(check int) "no faults" 0 (Engine.fire engine hook);
+  Alcotest.(check int) "no faults" 0 (Engine.fire engine hook);
+  Alcotest.(check int) "pool hits" 2
+    (Metrics.value (Obs.counter "engine.pool_hits"));
+  Alcotest.(check int) "pool resets" 1
+    (Metrics.value (Obs.counter "engine.pool_resets"));
+  Obs.set_tracing false;
+  Obs.reset ()
+
 let suite =
   [
     Alcotest.test_case "counter semantics" `Quick test_counter_semantics;
@@ -210,6 +272,8 @@ let suite =
     Alcotest.test_case "metrics json shape" `Quick test_metrics_json_shape;
     Alcotest.test_case "trace json shape" `Quick test_trace_json_shape;
     Alcotest.test_case "facade switches" `Quick test_facade_switches;
+    Alcotest.test_case "tier and pool observability" `Quick
+      test_tier_and_pool_observability;
     Alcotest.test_case "analysis counters and event" `Quick
       test_analysis_counters_and_event;
   ]
