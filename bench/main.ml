@@ -7,6 +7,8 @@
      dune exec bench/main.exe -- --quick           # skip the Bechamel suite
      dune exec bench/main.exe -- --bechamel-only
      dune exec bench/main.exe -- --bechamel-only --quota 0.05 --json b.json
+     dune exec bench/main.exe -- --update-smoke --json u.json \
+                                 --baseline bench/update-baseline.json
 
    --json FILE writes a machine-readable femto-bench/1 document (the
    Bechamel ns/run estimates plus the observability-metrics snapshot) —
@@ -391,7 +393,9 @@ let () =
   let quick = List.mem "--quick" args in
   let bechamel_only = List.mem "--bechamel-only" args in
   let dispatch_smoke = List.mem "--dispatch-smoke" args in
+  let update_smoke = List.mem "--update-smoke" args in
   let json_file = opt_value args "--json" in
+  let baseline_file = opt_value args "--baseline" in
   let quota =
     match opt_value args "--quota" with
     | None -> 0.25
@@ -403,7 +407,8 @@ let () =
             exit 2)
   in
   match
-    if dispatch_smoke then run_dispatch_smoke ~json_file ()
+    if update_smoke then Update_bench.run_smoke ~json_file ~baseline_file ()
+    else if dispatch_smoke then run_dispatch_smoke ~json_file ()
     else begin
       if not bechamel_only then Experiments.run_all ();
       if not quick then begin

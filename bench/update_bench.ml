@@ -1,0 +1,470 @@
+(* update/* bench family: the secure-update pipeline ablation (PR 5).
+
+   Four workloads, each measured against the reconstructed pre-PR-5
+   sequential path in {!Legacy_path}:
+
+     update/parse_manifest      COSE verify + manifest decode (zero-copy
+                                views vs tree decode + re-encoded MAC)
+     update/digest_32k          payload digest, streamed in 1 KiB chunks
+                                (untagged-int SHA-256 vs boxed Int32)
+     update/e2e_single          one full update: verify, decode, digest
+                                gate, flash persist (streaming slot vs
+                                store-time re-hash)
+     update/concurrent_4tenant  4 tenants x 4 updates through the domain
+                                pool vs the legacy sequential loop
+                                (aggregate updates/s)
+
+   Every fast-path result is checked against the legacy path before
+   timing starts, so a semantics break can never be reported as a
+   speedup.  --update-smoke runs wall-clock trials with femto-bench/1
+   JSON output and hard speedup gates. *)
+
+module Cbor = Femto_cbor.Cbor
+module Slice = Femto_cbor.Slice
+module Cose = Femto_cose.Cose
+module Crypto = Femto_crypto.Crypto
+module Sha256 = Femto_crypto.Sha256
+module Suit = Femto_suit.Suit
+module Pipeline = Femto_suit.Pipeline
+module Flash = Femto_flash.Flash
+module Slots = Femto_flash.Slots
+module Jsonx = Femto_obs.Jsonx
+module Obs = Femto_obs.Obs
+
+let hook_uuid = "bench000-0000-4000-8000-000000000001"
+let vendor = "bench-vendor"
+let class_id = "bench-class"
+let key = Cose.make_key ~key_id:"bench-key" ~secret:"bench-update-secret"
+let chunk_size = 1024
+
+(* Deterministic pseudo-random payload. *)
+let make_payload n =
+  String.init n (fun i -> Char.chr ((i * 131) lxor (i lsr 3) land 0xff))
+
+let payload_32k = make_payload (32 * 1024)
+
+let envelope_for ~sequence payload =
+  Suit.sign
+    (Suit.make ~vendor_id:vendor ~class_id ~sequence
+       [ Suit.component_for ~storage_uuid:hook_uuid payload ])
+    key
+
+let ok_or ~what = function
+  | Ok v -> v
+  | Error e -> failwith (what ^ ": " ^ Suit.error_to_string e)
+
+let streamed_digest payload =
+  let ctx = Sha256.init () in
+  let len = String.length payload in
+  let pos = ref 0 in
+  while !pos < len do
+    let n = min chunk_size (len - !pos) in
+    Sha256.update_substring ctx payload !pos n;
+    pos := !pos + n
+  done;
+  Sha256.finalize ctx
+
+(* --- the two sequential paths under test --- *)
+
+(* Pre-PR: tree COSE verify, tree manifest decode, one-shot digest gate,
+   then the store-time re-hash — the payload is hashed twice, with the
+   boxed-Int32 SHA-256. *)
+let legacy_parse envelope =
+  match Legacy_path.cose_verify key envelope with
+  | Error e -> Error (Suit.Signature e)
+  | Ok payload -> Suit.decode_tree payload
+
+let legacy_gates (manifest : Suit.t) ~sequence payload =
+  if Int64.compare manifest.Suit.sequence sequence <= 0 then
+    Error
+      (Suit.Rollback { manifest = manifest.Suit.sequence; device = sequence })
+  else if manifest.Suit.vendor_id <> Some vendor then
+    Error (Suit.Wrong_vendor { manifest = "?"; device = vendor })
+  else
+    match manifest.Suit.components with
+    | [ c ] ->
+        if
+          String.length payload = c.Suit.size
+          && Crypto.constant_time_equal (Legacy_path.sha256 payload)
+               c.Suit.digest
+        then Ok manifest
+        else Error (Suit.Digest_mismatch c.Suit.storage_uuid)
+    | _ -> Error (Suit.Malformed "expected one component")
+
+let legacy_process envelope ~sequence payload =
+  match legacy_parse envelope with
+  | Error e -> Error e
+  | Ok manifest -> legacy_gates manifest ~sequence payload
+
+let slice_parse envelope =
+  match Cose.verify_slice key (Slice.of_string envelope) with
+  | Error e -> Error (Suit.Signature e)
+  | Ok payload -> Suit.decode_slice payload
+
+(* --- fixtures --- *)
+
+type e2e_fixture = {
+  envelope : string;
+  payload : string;
+  slots : Slots.t;
+  device : Suit.device;
+  (* the new path's in-flight upload: stream + its streaming digest *)
+  stream : (Slots.stream * string) option ref;
+}
+
+let make_e2e_fixture () =
+  let payload = payload_32k in
+  let envelope = envelope_for ~sequence:1L payload in
+  let flash = Flash.create ~page_size:256 ~pages:512 () in
+  let slots = Slots.create ~flash ~count:2 in
+  let stream = ref None in
+  let device =
+    Suit.create_device ~vendor_id:vendor ~class_id ~key
+      ~install:(fun ~sequence ~storage_uuid _payload ->
+        match !stream with
+        | Some (s, digest) ->
+            stream := None;
+            Result.map_error Slots.error_to_string
+              (Slots.finish_stream s ~sequence ~hook_uuid:storage_uuid ~digest)
+        | None -> Error "no stream")
+      ~known_storage:(fun uuid -> String.equal uuid hook_uuid)
+      ()
+  in
+  { envelope; payload; slots; device; stream }
+
+(* Pre-PR end-to-end: parse + gates + whole-slot store with its own
+   payload re-hash. *)
+let legacy_e2e f () =
+  let manifest =
+    ok_or ~what:"legacy e2e" (legacy_process f.envelope ~sequence:0L f.payload)
+  in
+  let digest = Legacy_path.sha256 f.payload in
+  match
+    Slots.store ~digest f.slots ~slot:0
+      {
+        Slots.sequence = manifest.Suit.sequence;
+        hook_uuid;
+        payload = f.payload;
+      }
+  with
+  | Ok () -> ()
+  | Error e -> failwith (Slots.error_to_string e)
+
+let ok_or_slot = function
+  | Ok v -> v
+  | Error e -> failwith (Slots.error_to_string e)
+
+(* New end-to-end: the upload streams chunk-by-chunk into flash with the
+   incremental digest running alongside (both costs included here, as
+   they would be paid during the CoAP transfer), then the verification
+   pipeline runs with the digest hint and install only programs the slot
+   header. *)
+let streaming_e2e f () =
+  f.device.Suit.sequence <- 0L;
+  let s = ok_or_slot (Slots.begin_stream f.slots ~slot:0) in
+  let ctx = Sha256.init () in
+  let len = String.length f.payload in
+  let pos = ref 0 in
+  while !pos < len do
+    let n = min chunk_size (len - !pos) in
+    Sha256.update_substring ctx f.payload !pos n;
+    ok_or_slot (Slots.stream_write s (String.sub f.payload !pos n));
+    pos := !pos + n
+  done;
+  let digest = Sha256.finalize ctx in
+  f.stream := Some (s, digest);
+  ignore
+    (ok_or ~what:"streaming e2e"
+       (Suit.process
+          ~digests:[ (hook_uuid, { Suit.streamed = digest; bytes = len }) ]
+          f.device ~envelope:f.envelope
+          ~payloads:[ (hook_uuid, f.payload) ]))
+
+(* --- multi-tenant fixture --- *)
+
+type tenant_jobs = {
+  devices : Suit.device array;
+  (* (tenant index, envelope, digest hint) in global submission order *)
+  jobs : (int * string * Suit.digest_hint) list;
+  payload : string;
+}
+
+let updates_per_tenant = 4
+let tenant_count = 4
+
+let make_tenant_jobs () =
+  let payload = make_payload (16 * 1024) in
+  let hint =
+    { Suit.streamed = streamed_digest payload; bytes = String.length payload }
+  in
+  let devices =
+    Array.init tenant_count (fun _ ->
+        Suit.create_device ~vendor_id:vendor ~class_id ~key
+          ~install:(fun ~sequence:_ ~storage_uuid:_ _ -> Ok ())
+          ~known_storage:(fun uuid -> String.equal uuid hook_uuid)
+          ())
+  in
+  (* interleave tenants round-robin, sequences rising per tenant *)
+  let jobs =
+    List.concat_map
+      (fun seq ->
+        List.map
+          (fun tenant ->
+            (tenant, envelope_for ~sequence:(Int64.of_int seq) payload, hint))
+          (List.init tenant_count Fun.id))
+      (List.init updates_per_tenant (fun i -> i + 1))
+  in
+  { devices; jobs; payload }
+
+let reset_tenants t = Array.iter (fun d -> d.Suit.sequence <- 0L) t.devices
+
+let legacy_concurrent t () =
+  reset_tenants t;
+  List.iter
+    (fun (tenant, envelope, _) ->
+      let device = t.devices.(tenant) in
+      let manifest =
+        ok_or ~what:"legacy concurrent"
+          (legacy_process envelope ~sequence:device.Suit.sequence t.payload)
+      in
+      device.Suit.sequence <- manifest.Suit.sequence)
+    t.jobs
+
+(* The new sequential path (zero-copy + digest hints), no domain pool:
+   the middle column of the ablation. *)
+let streaming_concurrent t () =
+  reset_tenants t;
+  List.iter
+    (fun (tenant, envelope, hint) ->
+      ignore
+        (ok_or ~what:"streaming concurrent"
+           (Suit.process
+              ~digests:[ (hook_uuid, hint) ]
+              t.devices.(tenant) ~envelope
+              ~payloads:[ (hook_uuid, t.payload) ])))
+    t.jobs
+
+let pipeline_concurrent pool t () =
+  reset_tenants t;
+  List.iter
+    (fun (tenant, envelope, hint) ->
+      Pipeline.submit pool
+        ~digests:[ (hook_uuid, hint) ]
+        ~tenant:(Printf.sprintf "tenant-%d" tenant)
+        ~device:t.devices.(tenant) ~envelope
+        ~payloads:[ (hook_uuid, t.payload) ]
+        ())
+    t.jobs;
+  List.iter
+    (fun (_, outcome) -> ignore (ok_or ~what:"pipeline concurrent" outcome))
+    (Pipeline.drain pool)
+
+(* --- correctness cross-checks before any timing --- *)
+
+let self_check () =
+  let payload = payload_32k in
+  let envelope = envelope_for ~sequence:7L payload in
+  (* digest agreement: streamed fast path = boxed legacy path *)
+  if not (String.equal (streamed_digest payload) (Legacy_path.sha256 payload))
+  then failwith "update bench: streaming digest <> legacy digest";
+  (* parse agreement, accept case *)
+  let legacy = ok_or ~what:"legacy parse" (legacy_parse envelope) in
+  let fast = ok_or ~what:"slice parse" (slice_parse envelope) in
+  if legacy <> fast then failwith "update bench: slice parse <> tree parse";
+  (* parse agreement, reject case: flipped signature byte *)
+  let tampered = Bytes.of_string envelope in
+  let last = Bytes.length tampered - 1 in
+  Bytes.set tampered last (Char.chr (Char.code (Bytes.get tampered last) lxor 1));
+  let tampered = Bytes.to_string tampered in
+  (match (legacy_parse tampered, slice_parse tampered) with
+  | Error _, Error _ -> ()
+  | _ -> failwith "update bench: tamper rejection disagreement");
+  (* pipeline = sequential on the tenant job set *)
+  let t = make_tenant_jobs () in
+  legacy_concurrent t ();
+  let legacy_seqs = Array.map (fun d -> d.Suit.sequence) t.devices in
+  let pool = Pipeline.create ~domains:2 ~queue_depth:8 () in
+  pipeline_concurrent pool t ();
+  ignore (Pipeline.shutdown pool);
+  let pipeline_seqs = Array.map (fun d -> d.Suit.sequence) t.devices in
+  if legacy_seqs <> pipeline_seqs then
+    failwith "update bench: pipeline outcomes <> sequential outcomes"
+
+(* --- wall-clock measurement (small-iteration variant of the dispatch
+   smoke: these workloads run milliseconds, not nanoseconds) --- *)
+
+let wall_ns ?(warmup = 2) ?(iters = 5) ?(trials = 3) f =
+  for _ = 1 to warmup do
+    f ()
+  done;
+  let best = ref infinity in
+  for _ = 1 to trials do
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to iters do
+      f ()
+    done;
+    let dt = Unix.gettimeofday () -. t0 in
+    if dt < !best then best := dt
+  done;
+  !best *. 1e9 /. float_of_int iters
+
+type row = { name : string; legacy_ns : float; fast_ns : float }
+
+let speedup r = r.legacy_ns /. r.fast_ns
+
+let measure_rows () =
+  self_check ();
+  let parse_env = envelope_for ~sequence:1L payload_32k in
+  let parse =
+    {
+      name = "parse_manifest";
+      legacy_ns =
+        wall_ns ~iters:200 (fun () -> ignore (legacy_parse parse_env));
+      fast_ns = wall_ns ~iters:200 (fun () -> ignore (slice_parse parse_env));
+    }
+  in
+  let digest =
+    {
+      name = "digest_32k";
+      legacy_ns =
+        wall_ns ~iters:20 (fun () -> ignore (Legacy_path.sha256 payload_32k));
+      fast_ns =
+        wall_ns ~iters:20 (fun () -> ignore (streamed_digest payload_32k));
+    }
+  in
+  let e2e =
+    let lf = make_e2e_fixture () and sf = make_e2e_fixture () in
+    {
+      name = "e2e_single";
+      legacy_ns = wall_ns ~iters:10 (legacy_e2e lf);
+      fast_ns = wall_ns ~iters:10 (streaming_e2e sf);
+    }
+  in
+  let concurrent, streaming_seq_ns =
+    let t = make_tenant_jobs () in
+    let legacy_ns = wall_ns ~iters:5 (legacy_concurrent t) in
+    let streaming_ns = wall_ns ~iters:5 (streaming_concurrent t) in
+    let pool = Pipeline.create ~queue_depth:16 () in
+    let pipeline_ns = wall_ns ~iters:5 (pipeline_concurrent pool t) in
+    ignore (Pipeline.shutdown pool);
+    ({ name = "concurrent_4tenant"; legacy_ns; fast_ns = pipeline_ns },
+     streaming_ns)
+  in
+  ([ parse; digest; e2e; concurrent ], streaming_seq_ns)
+
+(* --- smoke mode: per-push CI gate + femto-bench/1 JSON --- *)
+
+(* Minimum speedups vs the reconstructed pre-PR path (ISSUE 5 acceptance
+   criteria).  These are floors, not targets: measured ratios land far
+   above them; see bench/update-baseline.json for the committed record. *)
+let gates =
+  [ ("parse_manifest", 1.5); ("e2e_single", 1.5); ("concurrent_4tenant", 2.0) ]
+
+let iso8601_utc seconds =
+  let tm = Unix.gmtime seconds in
+  Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02dZ" (tm.Unix.tm_year + 1900)
+    (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min
+    tm.Unix.tm_sec
+
+let smoke_json rows ~streaming_seq_ns =
+  Jsonx.Obj
+    [
+      ("schema", Jsonx.String "femto-bench/1");
+      ("generated_at", Jsonx.String (iso8601_utc (Unix.time ())));
+      ("ocaml_version", Jsonx.String Sys.ocaml_version);
+      ("word_size", Jsonx.Int Sys.word_size);
+      ( "update",
+        Jsonx.List
+          (List.map
+             (fun r ->
+               Jsonx.Obj
+                 [
+                   ("name", Jsonx.String ("update/" ^ r.name));
+                   ("legacy_ns_per_run", Jsonx.Float r.legacy_ns);
+                   ("ns_per_run", Jsonx.Float r.fast_ns);
+                 ])
+             rows) );
+      ( "update_speedups",
+        Jsonx.Obj (List.map (fun r -> (r.name, Jsonx.Float (speedup r))) rows)
+      );
+      ("concurrent_streaming_seq_ns", Jsonx.Float streaming_seq_ns);
+      ("metrics", Obs.metrics_json ());
+    ]
+
+(* Regression gate against the committed baseline: speedup *ratios* are
+   compared (robust to absolute machine speed).  Fails when a current
+   ratio drops below 60% of the committed one, or below 1.0 outright. *)
+let check_baseline rows path =
+  match
+    let ic = open_in path in
+    let n = in_channel_length ic in
+    let raw = really_input_string ic n in
+    close_in ic;
+    Jsonx.of_string raw
+  with
+  | exception Sys_error m ->
+      Printf.eprintf "update smoke: baseline %s unreadable (%s); skipping\n"
+        path m;
+      []
+  | exception Jsonx.Parse_error m ->
+      Printf.eprintf "update smoke: baseline %s malformed (%s); skipping\n" path
+        m;
+      []
+  | doc ->
+      let committed name =
+        Option.bind (Jsonx.member "update_speedups" doc) (fun o ->
+            Option.bind (Jsonx.member name o) Jsonx.to_float)
+      in
+      List.filter_map
+        (fun r ->
+          match committed r.name with
+          | None -> None
+          | Some was ->
+              let now = speedup r in
+              if now < was *. 0.6 || now < 1.0 then
+                Some
+                  (Printf.sprintf
+                     "update/%s speedup regressed: %.2fx now vs %.2fx committed"
+                     r.name now was)
+              else None)
+        rows
+
+let run_smoke ~json_file ~baseline_file () =
+  let rows, streaming_seq_ns = measure_rows () in
+  Printf.printf
+    "\nUpdate-pipeline smoke (wall-clock ns/run, best of 3)\n%s\n"
+    (String.make 52 '-');
+  List.iter
+    (fun r ->
+      Printf.printf "  update/%-24s legacy %12.0f   fast %12.0f   %6.2fx\n"
+        r.name r.legacy_ns r.fast_ns (speedup r))
+    rows;
+  Printf.printf "  %-30s %12.0f ns (sequential, no pool)\n"
+    "concurrent_4tenant streaming" streaming_seq_ns;
+  flush stdout;
+  (match json_file with
+  | None -> ()
+  | Some path ->
+      let oc = open_out path in
+      output_string oc (Jsonx.to_string_pretty (smoke_json rows ~streaming_seq_ns));
+      output_char oc '\n';
+      close_out oc;
+      Printf.printf "wrote %s\n" path);
+  let failures =
+    List.filter_map
+      (fun (name, floor) ->
+        match List.find_opt (fun r -> r.name = name) rows with
+        | None -> Some (Printf.sprintf "update/%s: row missing" name)
+        | Some r ->
+            if speedup r < floor then
+              Some
+                (Printf.sprintf "update/%s speedup %.2fx below floor %.2fx"
+                   name (speedup r) floor)
+            else None)
+      gates
+    @ match baseline_file with None -> [] | Some p -> check_baseline rows p
+  in
+  if failures <> [] then begin
+    List.iter (fun m -> Printf.eprintf "update smoke: %s\n" m) failures;
+    exit 1
+  end

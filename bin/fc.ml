@@ -371,6 +371,85 @@ let suit_verify_cmd =
   Cmd.v (Cmd.info "suit-verify" ~doc:"Verify a SUIT manifest against a payload")
     Term.(const run $ key_args $ uuid $ input_arg $ payload_file)
 
+(* --- pipeline: N-tenant parallel update verification --- *)
+
+let pipeline_cmd =
+  let tenants_arg =
+    Arg.(value & opt int 4 & info [ "tenants" ] ~doc:"Number of tenant devices.")
+  in
+  let updates_arg =
+    Arg.(value & opt int 8 & info [ "updates" ] ~doc:"Updates per tenant.")
+  in
+  let domains_arg =
+    Arg.(value & opt int Femto_suit.Pipeline.default_domains
+         & info [ "domains" ] ~doc:"Worker domains for the verification pool.")
+  in
+  let size_arg =
+    Arg.(value & opt int 4096
+         & info [ "payload-bytes" ] ~doc:"Payload size of each update.")
+  in
+  let run tenants updates domains payload_bytes =
+    Femto_obs.Obs.set_enabled true;
+    Femto_obs.Obs.set_tracing true;
+    Femto_obs.Obs.reset ();
+    let key = Femto_cose.Cose.make_key ~key_id:"cli" ~secret:"cli" in
+    let uuid = "pipeline-0000-4000-8000-000000000001" in
+    let devices =
+      List.init tenants (fun i ->
+          ( Printf.sprintf "tenant-%d" i,
+            Femto_suit.Suit.create_device ~key
+              ~install:(fun ~sequence:_ ~storage_uuid:_ _ -> Ok ())
+              ~known_storage:(fun u -> String.equal u uuid)
+              () ))
+    in
+    let pool = Femto_suit.Pipeline.create ~domains () in
+    let t0 = Unix.gettimeofday () in
+    for seq = 1 to updates do
+      List.iter
+        (fun (tenant, device) ->
+          let payload =
+            Printf.sprintf "%s update %d %s" tenant seq
+              (String.make payload_bytes 'p')
+          in
+          let manifest =
+            Femto_suit.Suit.make ~sequence:(Int64.of_int seq)
+              [ Femto_suit.Suit.component_for ~storage_uuid:uuid payload ]
+          in
+          (* digest hint as the streaming CoAP path would hand it over *)
+          let hint =
+            {
+              Femto_suit.Suit.streamed = Femto_crypto.Crypto.sha256 payload;
+              bytes = String.length payload;
+            }
+          in
+          Femto_suit.Pipeline.submit pool ~digests:[ (uuid, hint) ] ~tenant
+            ~device
+            ~envelope:(Femto_suit.Suit.sign manifest key)
+            ~payloads:[ (uuid, payload) ] ())
+        devices
+    done;
+    let results = Femto_suit.Pipeline.shutdown pool in
+    let elapsed_ms = (Unix.gettimeofday () -. t0) *. 1000. in
+    let accepted =
+      List.length (List.filter (fun (_, r) -> Result.is_ok r) results)
+    in
+    Printf.printf
+      "%d updates across %d tenants on %d domain(s): %d accepted, %d \
+       rejected in %.1f ms\n"
+      (List.length results) tenants domains accepted
+      (List.length results - accepted)
+      elapsed_ms;
+    print_endline
+      (Femto_obs.Jsonx.to_string_pretty (Femto_obs.Obs.metrics_json ()));
+    if accepted = List.length results then 0 else 1
+  in
+  Cmd.v
+    (Cmd.info "pipeline"
+       ~doc:
+         "Drive the parallel multi-tenant update-verification pool and dump \
+          the suit.pipeline.* metrics as JSON")
+    Term.(const run $ tenants_arg $ updates_arg $ domains_arg $ size_arg)
+
 (* --- compile: MiniScript -> eBPF --- *)
 
 let compile_cmd =
@@ -532,5 +611,5 @@ let () =
     (Cmd.eval'
        (Cmd.group ~default info
           [ asm_cmd; disasm_cmd; verify_cmd; analyze_cmd; run_cmd; inspect_cmd;
-            metrics_cmd; trace_cmd; compile_cmd; compact_cmd; expand_cmd;
-            suit_sign_cmd; suit_verify_cmd; shell_cmd ]))
+            metrics_cmd; trace_cmd; pipeline_cmd; compile_cmd; compact_cmd;
+            expand_cmd; suit_sign_cmd; suit_verify_cmd; shell_cmd ]))

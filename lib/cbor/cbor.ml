@@ -100,6 +100,10 @@ let encode value =
   encode_into buf value;
   Buffer.contents buf
 
+(* Exposed for builders (COSE Sig_structure) that frame raw byte runs
+   around existing buffers without going through the tree. *)
+let write_head = add_head
+
 (* --- decoding --- *)
 
 type reader = { data : string; mutable pos : int }
@@ -269,6 +273,229 @@ let decode data =
     decode_error "trailing garbage: %d of %d bytes consumed" consumed
       (String.length data)
   else value
+
+(* --- zero-copy view decoder ---
+
+   The tree decoder above copies every byte/text string out of the input
+   (String.sub in [take]).  The view decoder walks the same grammar over a
+   cursor into the original buffer and returns byte/text strings as
+   {!Slice.t} windows — no payload copies; [Slice.to_string] materialises
+   lazily.  Structure (arrays/maps) still allocates spine nodes, but a
+   view is a strictly cheaper decode.  [view_to_tree] recovers the exact
+   tree the old decoder would have produced; the test suite checks the
+   two decoders differentially. *)
+
+type view =
+  | V_int of int64
+  | V_bytes of Slice.t
+  | V_text of Slice.t
+  | V_array of view list
+  | V_map of (view * view) list
+  | V_tag of int64 * view
+  | V_bool of bool
+  | V_null
+  | V_undefined
+  | V_simple of int
+  | V_float of float
+
+type cursor = { cbase : string; mutable cpos : int; climit : int }
+
+let cbyte c =
+  if c.cpos >= c.climit then decode_error "truncated at %d" c.cpos
+  else begin
+    let v = Char.code (String.unsafe_get c.cbase c.cpos) in
+    c.cpos <- c.cpos + 1;
+    v
+  end
+
+let ctake c n =
+  if c.cpos + n > c.climit then
+    decode_error "truncated: need %d bytes at %d" n c.cpos
+  else begin
+    let s = Slice.make c.cbase ~off:c.cpos ~len:n in
+    c.cpos <- c.cpos + n;
+    s
+  end
+
+let cuint c n =
+  let rec loop acc remaining =
+    if remaining = 0 then acc
+    else
+      loop
+        (Int64.logor (Int64.shift_left acc 8) (Int64.of_int (cbyte c)))
+        (remaining - 1)
+  in
+  loop 0L n
+
+let cread_head c =
+  let initial = cbyte c in
+  let major = initial lsr 5 in
+  let info = initial land 0x1f in
+  if info < 24 then (major, info, Int64.of_int info, false)
+  else
+    match info with
+    | 24 -> (major, info, Int64.of_int (cbyte c), false)
+    | 25 -> (major, info, cuint c 2, false)
+    | 26 -> (major, info, cuint c 4, false)
+    | 27 -> (major, info, cuint c 8, false)
+    | 31 -> (major, info, 0L, true)
+    | _ -> decode_error "reserved additional info %d" info
+
+let clength_of c arg =
+  if
+    Int64.compare arg 0L < 0
+    || Int64.compare arg (Int64.of_int Sys.max_string_length) > 0
+  then decode_error "length %Ld too large" arg
+  else
+    let n = Int64.to_int arg in
+    if c.cpos + n > c.climit then decode_error "truncated body" else n
+
+let rec decode_view_item c depth =
+  if depth > 64 then decode_error "nesting too deep";
+  let major, info, arg, indefinite = cread_head c in
+  match major with
+  | 0 ->
+      if indefinite then decode_error "indefinite uint";
+      V_int arg
+  | 1 ->
+      if indefinite then decode_error "indefinite negative int";
+      V_int (Int64.sub (Int64.neg arg) 1L)
+  | 2 ->
+      if indefinite then V_bytes (decode_view_chunks c 2)
+      else V_bytes (ctake c (clength_of c arg))
+  | 3 ->
+      if indefinite then V_text (decode_view_chunks c 3)
+      else V_text (ctake c (clength_of c arg))
+  | 4 ->
+      if indefinite then V_array (decode_view_indefinite_array c depth)
+      else
+        V_array
+          (List.init (clength_of c arg) (fun _ -> decode_view_item c (depth + 1)))
+  | 5 ->
+      if indefinite then V_map (decode_view_indefinite_map c depth)
+      else
+        V_map
+          (List.init (clength_of c arg) (fun _ ->
+               let k = decode_view_item c (depth + 1) in
+               let v = decode_view_item c (depth + 1) in
+               (k, v)))
+  | 6 -> V_tag (arg, decode_view_item c (depth + 1))
+  | 7 -> (
+      if indefinite then decode_error "lone break";
+      match info with
+      | 25 -> V_float (half_to_float (Int64.to_int arg))
+      | 26 -> V_float (Int32.float_of_bits (Int64.to_int32 arg))
+      | 27 -> V_float (Int64.float_of_bits arg)
+      | _ -> (
+          match Int64.to_int arg with
+          | 20 -> V_bool false
+          | 21 -> V_bool true
+          | 22 -> V_null
+          | 23 -> V_undefined
+          | v when v < 256 -> V_simple v
+          | v -> decode_error "bad simple value %d" v))
+  | _ -> decode_error "bad major type %d" major
+
+(* Indefinite-length strings are the one case a view cannot stay
+   zero-copy: the chunks are concatenated into an owned string and the
+   result is a whole-string slice over it. *)
+and decode_view_chunks c major =
+  let buf = Buffer.create 32 in
+  let rec loop () =
+    let initial = cbyte c in
+    if initial = 0xff then Slice.of_string (Buffer.contents buf)
+    else begin
+      let m = initial lsr 5 in
+      let info = initial land 0x1f in
+      if m <> major then decode_error "mixed chunk types"
+      else begin
+        let len =
+          if info < 24 then info
+          else
+            match info with
+            | 24 -> cbyte c
+            | 25 -> Int64.to_int (cuint c 2)
+            | 26 -> Int64.to_int (cuint c 4)
+            | _ -> decode_error "bad chunk length"
+        in
+        Slice.add_to_buffer buf (ctake c len);
+        loop ()
+      end
+    end
+  in
+  loop ()
+
+and decode_view_indefinite_array c depth =
+  let rec loop acc =
+    if c.cpos < c.climit && Char.code c.cbase.[c.cpos] = 0xff then begin
+      c.cpos <- c.cpos + 1;
+      List.rev acc
+    end
+    else loop (decode_view_item c (depth + 1) :: acc)
+  in
+  loop []
+
+and decode_view_indefinite_map c depth =
+  let rec loop acc =
+    if c.cpos < c.climit && Char.code c.cbase.[c.cpos] = 0xff then begin
+      c.cpos <- c.cpos + 1;
+      List.rev acc
+    end
+    else
+      let k = decode_view_item c (depth + 1) in
+      let v = decode_view_item c (depth + 1) in
+      loop ((k, v) :: acc)
+  in
+  loop []
+
+let decode_view_slice slice =
+  let c =
+    {
+      cbase = Slice.base slice;
+      cpos = Slice.offset slice;
+      climit = Slice.offset slice + Slice.length slice;
+    }
+  in
+  let value = decode_view_item c 0 in
+  if c.cpos <> c.climit then
+    decode_error "trailing garbage: %d of %d bytes consumed"
+      (c.cpos - Slice.offset slice)
+      (Slice.length slice)
+  else value
+
+let decode_view data = decode_view_slice (Slice.of_string data)
+
+let rec view_to_tree = function
+  | V_int v -> Int v
+  | V_bytes s -> Bytes (Slice.to_string s)
+  | V_text s -> Text (Slice.to_string s)
+  | V_array items -> Array (List.map view_to_tree items)
+  | V_map pairs ->
+      Map (List.map (fun (k, v) -> (view_to_tree k, view_to_tree v)) pairs)
+  | V_tag (tag, v) -> Tag (tag, view_to_tree v)
+  | V_bool b -> Bool b
+  | V_null -> Null
+  | V_undefined -> Undefined
+  | V_simple v -> Simple v
+  | V_float f -> Float f
+
+(* --- view accessors (mirror the tree ones, used by COSE/SUIT) --- *)
+
+let vfind_int map key =
+  match map with
+  | V_map pairs ->
+      List.find_map
+        (fun (k, v) ->
+          match k with
+          | V_int k when Int64.equal k key -> Some v
+          | _ -> None)
+        pairs
+  | _ -> None
+
+let vas_int = function V_int v -> Some v | _ -> None
+let vas_bytes = function V_bytes s -> Some s | _ -> None
+let vas_text = function V_text s -> Some s | _ -> None
+let vas_array = function V_array items -> Some items | _ -> None
 
 (* --- accessors used by SUIT/COSE --- *)
 

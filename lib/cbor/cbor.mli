@@ -23,6 +23,11 @@ exception Decode_error of string
 val encode : t -> string
 (** Deterministic serialization (shortest-form heads, definite lengths). *)
 
+val write_head : Buffer.t -> int -> int64 -> unit
+(** [write_head buf major arg] appends one shortest-form CBOR head.  For
+    builders (e.g. the COSE Sig_structure) that frame raw byte runs
+    around existing buffers without building a tree. *)
+
 val decode : string -> t
 (** Decode a complete item; raises {!Decode_error} on malformed input or
     trailing bytes. *)
@@ -42,3 +47,43 @@ val as_int : t -> int64 option
 val as_bytes : t -> string option
 val as_text : t -> string option
 val as_array : t -> t list option
+
+(** {2 Zero-copy view decoder}
+
+    Decodes the same grammar as {!decode} over a cursor into the original
+    buffer: byte and text strings come back as {!Slice.t} windows (no
+    copy; indefinite-length strings are the one materialised exception).
+    The update path (COSE/SUIT) parses through views; {!view_to_tree}
+    recovers exactly the tree {!decode} would produce, which the tests
+    check differentially. *)
+
+type view =
+  | V_int of int64
+  | V_bytes of Slice.t
+  | V_text of Slice.t
+  | V_array of view list
+  | V_map of (view * view) list
+  | V_tag of int64 * view
+  | V_bool of bool
+  | V_null
+  | V_undefined
+  | V_simple of int
+  | V_float of float
+
+val decode_view : string -> view
+(** Decode a complete item; raises {!Decode_error} on malformed input or
+    trailing bytes, exactly as {!decode} does. *)
+
+val decode_view_slice : Slice.t -> view
+(** Decode a complete item out of a window of a larger buffer; returned
+    slices alias that same buffer. *)
+
+val view_to_tree : view -> t
+
+val vfind_int : view -> int64 -> view option
+(** Look up an [Int]-keyed entry in a [V_map]. *)
+
+val vas_int : view -> int64 option
+val vas_bytes : view -> Slice.t option
+val vas_text : view -> Slice.t option
+val vas_array : view -> view list option

@@ -1,0 +1,61 @@
+(* A read-only view into a string: offset + length, no copy.
+
+   The secure-update path decodes CBOR directly out of the CoAP request
+   buffer; slices let byte/text strings, COSE payloads and SUIT manifest
+   fields reference the original buffer and materialise (to_string) only
+   when a caller actually needs an owned copy. *)
+
+type t = { base : string; off : int; len : int }
+
+let make base ~off ~len =
+  if off < 0 || len < 0 || off + len > String.length base then
+    invalid_arg "Slice.make: out of bounds"
+  else { base; off; len }
+
+let of_string s = { base = s; off = 0; len = String.length s }
+
+let base t = t.base
+let offset t = t.off
+let length t = t.len
+let is_empty t = t.len = 0
+
+let get t i =
+  if i < 0 || i >= t.len then invalid_arg "Slice.get: index out of bounds"
+  else String.unsafe_get t.base (t.off + i)
+
+let sub t ~off ~len =
+  if off < 0 || len < 0 || off + len > t.len then
+    invalid_arg "Slice.sub: out of bounds"
+  else { base = t.base; off = t.off + off; len }
+
+(* The only copying operation; a whole-string slice returns the base
+   unchanged. *)
+let to_string t =
+  if t.off = 0 && t.len = String.length t.base then t.base
+  else String.sub t.base t.off t.len
+
+let equal_string t s =
+  t.len = String.length s
+  && begin
+       let rec loop i =
+         i >= t.len
+         || Char.equal (String.unsafe_get t.base (t.off + i)) (String.unsafe_get s i)
+            && loop (i + 1)
+       in
+       loop 0
+     end
+
+let equal a b =
+  a.len = b.len
+  && begin
+       let rec loop i =
+         i >= a.len
+         || Char.equal
+              (String.unsafe_get a.base (a.off + i))
+              (String.unsafe_get b.base (b.off + i))
+            && loop (i + 1)
+       in
+       loop 0
+     end
+
+let add_to_buffer buf t = Buffer.add_substring buf t.base t.off t.len

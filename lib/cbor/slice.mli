@@ -1,0 +1,34 @@
+(** A read-only view into a string: offset + length, no copy.
+
+    The zero-copy decode path of the secure-update pipeline returns byte
+    and text strings as slices of the original request buffer; callers
+    materialise an owned copy only via {!to_string}. *)
+
+type t = private { base : string; off : int; len : int }
+
+val make : string -> off:int -> len:int -> t
+(** Raises [Invalid_argument] when the window is out of bounds. *)
+
+val of_string : string -> t
+(** The whole string as a slice (no copy). *)
+
+val base : t -> string
+val offset : t -> int
+val length : t -> int
+val is_empty : t -> bool
+
+val get : t -> int -> char
+(** Raises [Invalid_argument] out of bounds. *)
+
+val sub : t -> off:int -> len:int -> t
+(** A sub-view; no copy.  Raises [Invalid_argument] out of bounds. *)
+
+val to_string : t -> string
+(** Materialise.  A whole-string slice returns the base unchanged;
+    otherwise this is the one copying operation on slices. *)
+
+val equal_string : t -> string -> bool
+(** Content equality against an owned string, without materialising. *)
+
+val equal : t -> t -> bool
+val add_to_buffer : Buffer.t -> t -> unit

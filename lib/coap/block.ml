@@ -26,11 +26,22 @@ let szx_of_size size =
   | 1024 -> 6
   | _ -> invalid_arg "Block.szx_of_size: not a valid block size"
 
-let make ~num ~more ~size = { num; more; szx = szx_of_size size }
+(* The option value is at most 3 bytes, so after the 4-bit shift the
+   block number has 20 bits of room. *)
+let max_num = 0xFFFFF
+
+let make ~num ~more ~size =
+  if num < 0 || num > max_num then
+    invalid_arg "Block.make: num must fit 20 bits";
+  { num; more; szx = szx_of_size size }
 
 (* --- option value codec: big-endian uint, 0-3 bytes --- *)
 
 let encode t =
+  if t.num < 0 || t.num > max_num then
+    invalid_arg "Block.encode: num must fit 20 bits";
+  if t.szx < 0 || t.szx > 6 then
+    invalid_arg "Block.encode: szx must be in 0..6";
   let v = (t.num lsl 4) lor ((if t.more then 1 else 0) lsl 3) lor t.szx in
   if v = 0 then ""
   else if v < 0x100 then String.make 1 (Char.chr v)
@@ -74,10 +85,34 @@ let slice ~num ~size payload =
     Some (chunk, start + len < total)
   end
 
-(* Reassembly buffer for one block-wise upload. *)
-type assembly = { buffer : Buffer.t; mutable expected_num : int }
+(* Reassembly buffer for one block-wise upload.  With [~digest:true] an
+   incremental SHA-256 runs alongside: each chunk is hashed as it
+   arrives, so the payload digest is ready the moment the last block
+   lands — the update pipeline's digest gate then needs no second pass
+   over the payload. *)
+type assembly = {
+  buffer : Buffer.t;
+  mutable expected_num : int;
+  mutable digest : Femto_crypto.Sha256.ctx option;
+}
 
-let create_assembly () = { buffer = Buffer.create 256; expected_num = 0 }
+let create_assembly ?(digest = false) () =
+  {
+    buffer = Buffer.create 256;
+    expected_num = 0;
+    digest = (if digest then Some (Femto_crypto.Sha256.init ()) else None);
+  }
+
+let assembled_bytes assembly = Buffer.length assembly.buffer
+
+(* Finalize and return the streaming digest (once; the context is
+   consumed).  None when the assembly was created without [~digest]. *)
+let finalize_digest assembly =
+  match assembly.digest with
+  | None -> None
+  | Some ctx ->
+      assembly.digest <- None;
+      Some (Femto_crypto.Sha256.finalize ctx)
 
 type feed_result =
   | Continue (* block stored, awaiting the next *)
@@ -88,6 +123,9 @@ let feed assembly block chunk =
   if block.num <> assembly.expected_num then Out_of_order
   else begin
     Buffer.add_string assembly.buffer chunk;
+    Option.iter
+      (fun ctx -> Femto_crypto.Sha256.update_string ctx chunk)
+      assembly.digest;
     assembly.expected_num <- assembly.expected_num + 1;
     if block.more then Continue else Complete (Buffer.contents assembly.buffer)
   end

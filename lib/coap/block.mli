@@ -13,11 +13,18 @@ type t = { num : int; more : bool; szx : int }
 val size : t -> int
 (** Block size in bytes, [2^(szx+4)]. *)
 
+val max_num : int
+(** Largest encodable block number (20 bits: the 3-byte option value
+    minus the 4 control bits), [0xFFFFF]. *)
+
 val make : num:int -> more:bool -> size:int -> t
-(** Raises [Invalid_argument] when [size] is not 16, 32, ..., 1024. *)
+(** Raises [Invalid_argument] when [size] is not 16, 32, ..., 1024 or
+    [num] is outside [0..max_num]. *)
 
 val encode : t -> string
-(** The option value (0-3 byte big-endian uint). *)
+(** The option value (0-3 byte big-endian uint).  Raises
+    [Invalid_argument] when the fields are out of range rather than
+    silently truncating the block number. *)
 
 val decode : string -> t option
 
@@ -32,7 +39,18 @@ val slice : num:int -> size:int -> string -> (string * bool) option
 
 type assembly
 
-val create_assembly : unit -> assembly
+val create_assembly : ?digest:bool -> unit -> assembly
+(** With [~digest:true], an incremental SHA-256 runs alongside
+    reassembly: each chunk is hashed as it arrives, so the payload
+    digest is available the moment the final block lands. *)
+
+val assembled_bytes : assembly -> int
+(** Bytes received so far. *)
+
+val finalize_digest : assembly -> string option
+(** The streaming digest of everything fed so far; consumes the digest
+    context (at most one call returns [Some]).  [None] when the assembly
+    was created without [~digest] or the digest was already taken. *)
 
 type feed_result =
   | Continue  (** block stored, awaiting the next *)

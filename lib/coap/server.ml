@@ -24,10 +24,25 @@ let respond ?(options = []) ?(payload = "") code = { code; options; payload }
 
 type handler = src:int -> Message.t -> response
 
+(* A streaming upload consumer: Block1 chunks are pushed into [chunk] as
+   they arrive (so flash programming and digest work overlap the
+   transfer), and [finish] runs when the final block lands, with the
+   streaming SHA-256 and total size already computed.  [abort] must be
+   idempotent: it also fires for out-of-order restarts that never saw
+   [start]. *)
+type sink = {
+  start : unit -> unit;
+  chunk : string -> unit;
+  finish : src:int -> digest:string -> size:int -> Message.t -> response;
+  abort : unit -> unit;
+}
+
+type resource = Plain of handler | Upload of sink
+
 type t = {
   network : Network.t;
   node : Network.node;
-  resources : (string, handler) Hashtbl.t;
+  resources : (string, resource) Hashtbl.t;
   mutable requests_served : int;
   mutable not_found : int;
   (* message-id deduplication: CON retransmissions of a request we already
@@ -93,32 +108,69 @@ and handle t ~src request =
           Network.send t.network ~src:t.node.Network.addr ~dst:src
             (Message.encode reply))
 
-(* Block1: accumulate upload blocks; the resource handler only runs when
-   the final block arrives, with the reassembled payload. *)
+(* Block1: accumulate upload blocks.  For Plain resources the handler
+   only runs when the final block arrives, with the reassembled payload;
+   for Upload sinks every chunk is pushed as it lands (streaming flash
+   writes) with an incremental SHA-256 running alongside, and [finish]
+   fires together with the last block — digest and storage writes
+   complete with the transfer. *)
 and handle_block1 t ~src request block =
   let path = Message.path_string request in
   let key = (src, path) in
+  let sink =
+    match Hashtbl.find_opt t.resources path with
+    | Some (Upload s) -> Some s
+    | Some (Plain _) | None -> None
+  in
   let assembly =
     match Hashtbl.find_opt t.uploads key with
     | Some a when block.Block.num > 0 -> a
     | _ ->
-        let a = Block.create_assembly () in
+        let a = Block.create_assembly ~digest:(sink <> None) () in
         Hashtbl.replace t.uploads key a;
+        if block.Block.num = 0 then
+          Option.iter (fun s -> s.start ()) sink;
         a
   in
   match Block.feed assembly block request.Message.payload with
-  | Block.Continue ->
-      respond
-        ~options:[ Block.to_option ~number:Block.opt_block1 block ]
-        Message.code_continue
+  | Block.Continue -> (
+      match sink with
+      | None ->
+          respond
+            ~options:[ Block.to_option ~number:Block.opt_block1 block ]
+            Message.code_continue
+      | Some s -> (
+          match s.chunk request.Message.payload with
+          | () ->
+              respond
+                ~options:[ Block.to_option ~number:Block.opt_block1 block ]
+                Message.code_continue
+          | exception _ ->
+              (try s.abort () with _ -> ());
+              Hashtbl.remove t.uploads key;
+              if Obs.enabled () then Ometrics.incr m_handler_errors;
+              respond Message.code_internal_error))
   | Block.Complete payload ->
       Hashtbl.remove t.uploads key;
       let full = { request with Message.payload } in
-      let response = run_handler t ~src full in
+      let response =
+        match sink with
+        | None -> run_handler t ~src full
+        | Some s ->
+            run_resource t ~src ~path (Upload s) (fun () ->
+                s.chunk request.Message.payload;
+                let digest =
+                  match Block.finalize_digest assembly with
+                  | Some d -> d
+                  | None -> Femto_crypto.Crypto.sha256 payload
+                in
+                s.finish ~src ~digest ~size:(String.length payload) full)
+      in
       { response with
         options =
           Block.to_option ~number:Block.opt_block1 block :: response.options }
   | Block.Out_of_order ->
+      Option.iter (fun s -> try s.abort () with _ -> ()) sink;
       Hashtbl.remove t.uploads key;
       respond Message.code_request_entity_incomplete
 
@@ -184,8 +236,9 @@ and handle_observe t ~src request =
       `Deregistered
   | _, _ -> `Not_observe
 
-and run_handler t ~src request =
-  let path = Message.path_string request in
+(* Shared accounting for Plain handlers and Upload completions: request
+   metrics, trace events, exceptions to 5.00 (with sink abort). *)
+and run_resource t ~src:_ ~path resource run =
   let trace outcome response =
     if Obs.enabled () then
       Obs.event (fun () ->
@@ -194,22 +247,41 @@ and run_handler t ~src request =
             { path; code = Printf.sprintf "%d.%02d" major minor; outcome });
     response
   in
+  t.requests_served <- t.requests_served + 1;
+  if Obs.enabled () then Ometrics.incr m_requests;
+  match run () with
+  | response -> trace "ok" response
+  | exception _ ->
+      (match resource with
+      | Upload sink -> ( try sink.abort () with _ -> ())
+      | Plain _ -> ());
+      if Obs.enabled () then Ometrics.incr m_handler_errors;
+      trace "handler_error" (respond Message.code_internal_error)
+
+and run_handler t ~src request =
+  let path = Message.path_string request in
   match Hashtbl.find_opt t.resources path with
-  | Some handler ->
-      t.requests_served <- t.requests_served + 1;
-      if Obs.enabled () then Ometrics.incr m_requests;
-      (match handler ~src request with
-      | response -> trace "ok" response
-      | exception _ ->
-          if Obs.enabled () then Ometrics.incr m_handler_errors;
-          trace "handler_error" (respond Message.code_internal_error))
+  | Some (Plain handler) ->
+      run_resource t ~src ~path (Plain handler) (fun () -> handler ~src request)
+  | Some (Upload sink) ->
+      (* single-datagram upload (no Block1): drive the sink in one shot *)
+      run_resource t ~src ~path (Upload sink) (fun () ->
+          sink.start ();
+          sink.chunk request.Message.payload;
+          sink.finish ~src
+            ~digest:(Femto_crypto.Crypto.sha256 request.Message.payload)
+            ~size:(String.length request.Message.payload)
+            request)
   | None ->
       t.not_found <- t.not_found + 1;
       if Obs.enabled () then begin
         Ometrics.incr m_requests;
         Ometrics.incr m_not_found
       end;
-      trace "not_found" (respond Message.code_not_found)
+      if Obs.enabled () then
+        Obs.event (fun () ->
+            Otrace.Coap_request { path; code = "4.04"; outcome = "not_found" });
+      respond Message.code_not_found
 
 and dispatch t ~src request =
   match Block.of_message ~number:Block.opt_block1 request with
@@ -246,7 +318,8 @@ and dispatch t ~src request =
           end
           else response)
 
-let register t ~path handler = Hashtbl.replace t.resources path handler
+let register t ~path handler = Hashtbl.replace t.resources path (Plain handler)
+let register_upload t ~path sink = Hashtbl.replace t.resources path (Upload sink)
 let addr t = t.node.Network.addr
 let requests_served t = t.requests_served
 

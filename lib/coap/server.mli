@@ -20,6 +20,20 @@ type handler = src:int -> Message.t -> response
 (** Handlers see the complete request (block-wise uploads arrive
     reassembled); exceptions become 5.00 responses. *)
 
+type sink = {
+  start : unit -> unit;  (** first block of a transfer *)
+  chunk : string -> unit;  (** each payload chunk, in arrival order *)
+  finish : src:int -> digest:string -> size:int -> Message.t -> response;
+      (** final block: the reassembled request plus the streaming SHA-256
+          and total byte count, computed while blocks arrived *)
+  abort : unit -> unit;
+      (** transfer failed (out-of-order block or sink exception); must be
+          idempotent and tolerate firing without a matching [start] *)
+}
+(** A streaming upload consumer.  Registering one instead of a plain
+    handler lets storage writes and digest work overlap the block-wise
+    transfer instead of starting after reassembly. *)
+
 type t
 
 val create : ?block_size:int -> network:Network.t -> addr:int -> unit -> t
@@ -27,6 +41,11 @@ val create : ?block_size:int -> network:Network.t -> addr:int -> unit -> t
     the RFC 7959 chunk size for large transfers. *)
 
 val register : t -> path:string -> handler -> unit
+
+val register_upload : t -> path:string -> sink -> unit
+(** Register a streaming upload consumer at [path].  Block1 chunks are
+    pushed into the sink as they arrive; single-datagram requests drive
+    [start]/[chunk]/[finish] in one shot. *)
 
 val addr : t -> int
 val requests_served : t -> int

@@ -16,9 +16,16 @@ module Cbor = Femto_cbor.Cbor
    ed25519 would be -8 (EdDSA). *)
 let alg_hmac_sha256 = 5L
 
-type key = { key_id : string; secret : string }
+type key = {
+  key_id : string;
+  secret : string;
+  mac : Femto_crypto.Crypto.hmac_key;
+      (* pad midstates precomputed once per key; sign/verify clone them
+         instead of re-hashing the pads on every envelope *)
+}
 
-let make_key ~key_id ~secret = { key_id; secret }
+let make_key ~key_id ~secret =
+  { key_id; secret; mac = Femto_crypto.Crypto.hmac_key secret }
 
 type envelope = {
   protected : Cbor.t; (* decoded protected header map *)
@@ -47,7 +54,7 @@ let sig_structure ~protected_bytes ~external_aad ~payload =
 let sign ?(external_aad = "") key payload =
   let protected_bytes = Cbor.encode (protected_header key) in
   let to_sign = sig_structure ~protected_bytes ~external_aad ~payload in
-  let signature = Femto_crypto.Crypto.hmac_sha256 ~key:key.secret to_sign in
+  let signature = Femto_crypto.Crypto.hmac_sha256_with key.mac to_sign in
   Cbor.encode
     (Cbor.Tag
        ( 18L (* COSE_Sign1 *),
@@ -85,31 +92,74 @@ let parse data =
           | protected -> Ok { protected; unprotected; payload; signature })
       | _ -> Error (Malformed "expected 4-element COSE_Sign1 array"))
 
+(* --- zero-copy verification ---
+
+   [verify_slice] walks the envelope through the CBOR view decoder:
+   protected bytes, payload and signature stay windows of the original
+   request buffer, and the Sig_structure is framed straight into one
+   buffer (the original protected bytes are authenticated, rather than a
+   re-encoding of their decoded form).  The authenticated payload is
+   returned as a slice — the SUIT manifest parse that follows reads it
+   in place. *)
+
+module Slice = Femto_cbor.Slice
+
+let sig_structure_into buf ~protected ~external_aad ~payload =
+  Cbor.write_head buf 4 4L;
+  Cbor.write_head buf 3 10L;
+  Buffer.add_string buf "Signature1";
+  Cbor.write_head buf 2 (Int64.of_int (Slice.length protected));
+  Slice.add_to_buffer buf protected;
+  Cbor.write_head buf 2 (Int64.of_int (String.length external_aad));
+  Buffer.add_string buf external_aad;
+  Cbor.write_head buf 2 (Int64.of_int (Slice.length payload));
+  Slice.add_to_buffer buf payload
+
+let verify_slice ?(external_aad = "") key data =
+  match Cbor.decode_view_slice data with
+  | exception Cbor.Decode_error m -> Error (Malformed m)
+  | decoded -> (
+      let body =
+        match decoded with Cbor.V_tag (18L, body) -> body | other -> other
+      in
+      match body with
+      | Cbor.V_array
+          [ Cbor.V_bytes protected_bytes; Cbor.V_map _; Cbor.V_bytes payload;
+            Cbor.V_bytes signature ] -> (
+          match Cbor.decode_view_slice protected_bytes with
+          | exception Cbor.Decode_error m -> Error (Malformed m)
+          | protected -> (
+              match Option.bind (Cbor.vfind_int protected 1L) Cbor.vas_int with
+              | Some alg when Int64.equal alg alg_hmac_sha256 -> (
+                  match
+                    Option.bind (Cbor.vfind_int protected 4L) Cbor.vas_text
+                  with
+                  | Some kid when Slice.equal_string kid key.key_id ->
+                      let buf =
+                        Buffer.create
+                          (32 + Slice.length protected_bytes
+                         + Slice.length payload)
+                      in
+                      sig_structure_into buf ~protected:protected_bytes
+                        ~external_aad ~payload;
+                      let expected =
+                        Femto_crypto.Crypto.hmac_sha256_with key.mac
+                          (Buffer.contents buf)
+                      in
+                      if
+                        Femto_crypto.Crypto.constant_time_equal
+                          (Slice.to_string signature)
+                          expected
+                      then Ok payload
+                      else Error Bad_signature
+                  | Some kid -> Error (Wrong_key_id (Slice.to_string kid))
+                  | None -> Error (Malformed "missing key id"))
+              | Some alg -> Error (Unknown_algorithm alg)
+              | None -> Error (Malformed "missing algorithm")))
+      | _ -> Error (Malformed "expected 4-element COSE_Sign1 array"))
+
 (* [verify key data] checks the envelope and returns the authenticated
-   payload. *)
-let verify ?(external_aad = "") key data =
-  match parse data with
-  | Error e -> Error e
-  | Ok envelope -> (
-      match Cbor.find_map_entry envelope.protected header_alg with
-      | Some (Cbor.Int alg) when Int64.equal alg alg_hmac_sha256 -> (
-          match Cbor.find_map_entry envelope.protected header_kid with
-          | Some (Cbor.Text kid) when String.equal kid key.key_id ->
-              let protected_bytes =
-                (* re-encode exactly the bytes that were signed *)
-                Cbor.encode envelope.protected
-              in
-              let to_sign =
-                sig_structure ~protected_bytes ~external_aad
-                  ~payload:envelope.payload
-              in
-              let expected =
-                Femto_crypto.Crypto.hmac_sha256 ~key:key.secret to_sign
-              in
-              if Femto_crypto.Crypto.constant_time_equal expected envelope.signature
-              then Ok envelope.payload
-              else Error Bad_signature
-          | Some (Cbor.Text kid) -> Error (Wrong_key_id kid)
-          | _ -> Error (Malformed "missing key id"))
-      | Some (Cbor.Int alg) -> Error (Unknown_algorithm alg)
-      | _ -> Error (Malformed "missing algorithm"))
+   payload (owned). *)
+let verify ?external_aad key data =
+  Result.map Slice.to_string
+    (verify_slice ?external_aad key (Slice.of_string data))

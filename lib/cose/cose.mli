@@ -10,7 +10,12 @@ module Cbor = Femto_cbor.Cbor
 val alg_hmac_sha256 : int64
 (** Algorithm identifier carried in the protected header. *)
 
-type key = { key_id : string; secret : string }
+type key = private {
+  key_id : string;
+  secret : string;
+  mac : Femto_crypto.Crypto.hmac_key;
+      (** precomputed HMAC pad midstates — built by [make_key] *)
+}
 
 val make_key : key_id:string -> secret:string -> key
 
@@ -34,6 +39,16 @@ val error_to_string : error -> string
 
 val parse : string -> (envelope, error) result
 (** Structural parse without signature verification. *)
+
+val verify_slice :
+  ?external_aad:string ->
+  key ->
+  Femto_cbor.Slice.t ->
+  (Femto_cbor.Slice.t, error) result
+(** Zero-copy verification: the envelope is decoded through CBOR views,
+    the Sig_structure covers the original protected bytes in place, and
+    the authenticated payload is returned as a window of the input
+    buffer (materialise with [Slice.to_string] if needed). *)
 
 val verify : ?external_aad:string -> key -> string -> (string, error) result
 (** [verify key data] checks the envelope and returns the authenticated

@@ -13,18 +13,40 @@ module Sha256 = Sha256
 let sha256 = Sha256.digest_string
 let sha256_bytes = Sha256.digest_bytes
 
-let hmac_sha256 ~key message =
+(* Precomputed HMAC midstates: the inner/outer key pads are each exactly
+   one SHA-256 block, so their compressions can be done once per key.
+   Each MAC then clones the midstate and feeds only the message — two
+   block compressions and two pad constructions cheaper per call, which
+   is most of the cost of authenticating a small manifest.  The contexts
+   are never mutated after [hmac_key]; cloning is safe from any domain. *)
+type hmac_key = { inner : Sha256.ctx; outer : Sha256.ctx }
+
+let hmac_key secret =
   let block_size = 64 in
-  let key =
-    if String.length key > block_size then Sha256.digest_string key else key
+  let secret =
+    if String.length secret > block_size then Sha256.digest_string secret
+    else secret
   in
   let pad c =
     String.init block_size (fun i ->
-        let k = if i < String.length key then Char.code key.[i] else 0 in
+        let k = if i < String.length secret then Char.code secret.[i] else 0 in
         Char.chr (k lxor c))
   in
-  let inner = Sha256.digest_string (pad 0x36 ^ message) in
-  Sha256.digest_string (pad 0x5c ^ inner)
+  let inner = Sha256.init () in
+  Sha256.update_string inner (pad 0x36);
+  let outer = Sha256.init () in
+  Sha256.update_string outer (pad 0x5c);
+  { inner; outer }
+
+let hmac_sha256_with hk message =
+  let ctx = Sha256.copy hk.inner in
+  Sha256.update_string ctx message;
+  let inner_digest = Sha256.finalize ctx in
+  let ctx = Sha256.copy hk.outer in
+  Sha256.update_string ctx inner_digest;
+  Sha256.finalize ctx
+
+let hmac_sha256 ~key message = hmac_sha256_with (hmac_key key) message
 
 (* Constant-time equality: scans both strings fully regardless of where
    they differ. *)

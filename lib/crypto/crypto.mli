@@ -15,6 +15,14 @@ val sha256_bytes : bytes -> string
 val hmac_sha256 : key:string -> string -> string
 (** RFC 2104 HMAC-SHA256; 32-byte binary MAC. *)
 
+type hmac_key
+(** Per-key precomputed pad midstates.  Immutable once built — safe to
+    share across domains; each MAC clones the midstate, so repeated
+    verification under one key skips the two key-pad compressions. *)
+
+val hmac_key : string -> hmac_key
+val hmac_sha256_with : hmac_key -> string -> string
+
 val constant_time_equal : string -> string -> bool
 (** Equality that scans both strings fully regardless of where they
     differ. *)

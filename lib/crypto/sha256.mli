@@ -4,7 +4,19 @@
 type ctx
 
 val init : unit -> ctx
+
+val copy : ctx -> ctx
+(** Snapshot of a context; extending the copy leaves the original
+    untouched.  Lets HMAC keep per-key pad midstates and clone them per
+    message instead of re-hashing the pads. *)
+
 val update : ctx -> bytes -> int -> int -> unit
+
+val update_substring : ctx -> string -> int -> int -> unit
+(** [update_substring ctx s off len] feeds a window of [s] without
+    copying it — the streaming-digest path of the update pipeline hashes
+    CoAP block payloads in place. *)
+
 val update_string : ctx -> string -> unit
 
 val finalize : ctx -> string

@@ -26,6 +26,7 @@ module Suit = Femto_suit.Suit
 module Cose = Femto_cose.Cose
 module Slots = Femto_flash.Slots
 module Flash = Femto_flash.Flash
+module Crypto = Femto_crypto.Crypto
 
 (* The static firmware hook table: what launchpads this device build
    provides (paper Listing 1 — hooks are compiled in). *)
@@ -57,6 +58,11 @@ type t = {
   tenant : Femto_core.Tenant.t; (* owner of network-installed containers *)
   mutable installed : (string * Container.t) list; (* hook uuid -> container *)
   mutable pending_payload : string;
+  (* streaming-upload state: the payload digest/size computed while
+     Block1 chunks arrived, and the flash stream the chunks were
+     programmed into (finalized at install time) *)
+  mutable pending_digest : Suit.digest_hint option;
+  mutable pending_stream : Slots.stream option;
   mutable boots : int64;
 }
 
@@ -96,30 +102,66 @@ let attach_image t ~hook_uuid payload =
               Ok ()
           | Error e -> Error (Engine.attach_error_to_string e)))
 
-(* The SUIT install callback: verify-then-persist-then-attach.  The flash
-   write happens only after the engine's pre-flight verification passed,
-   so a slot never holds a program the device would refuse to run. *)
+(* The SUIT install callback: verify-then-persist-then-attach.  The slot
+   header is written only after the engine's pre-flight verification
+   passed, so a slot never holds a program the device would refuse to
+   run.
+
+   When the payload streamed in over Block1, its bytes are already
+   programmed into a flash slot ([pending_stream]); install then only
+   writes the header (the commit point) — no second pass over the
+   payload.  Otherwise it falls back to a whole-slot [Slots.store]. *)
 let install_image t ~sequence ~storage_uuid payload =
   match attach_image t ~hook_uuid:storage_uuid payload with
   | Error m -> Error m
   | Ok () -> (
-      (* overwrite the slot already holding this hook's image, so stale
-         versions never linger; otherwise take the usual victim slot *)
-      let slot =
-        match
-          List.find_opt
-            (fun (_, image) -> String.equal image.Slots.hook_uuid storage_uuid)
-            (Slots.scan t.slots)
-        with
-        | Some (slot, _) -> slot
-        | None -> Slots.victim_slot t.slots
+      let stale_slots () =
+        (* drop older images of this hook so stale versions never linger *)
+        List.filter_map
+          (fun (slot, image) ->
+            if
+              String.equal image.Slots.hook_uuid storage_uuid
+              && Int64.compare image.Slots.sequence sequence < 0
+            then Some slot
+            else None)
+          (Slots.scan t.slots)
       in
-      match
-        Slots.store t.slots ~slot
-          { Slots.sequence; hook_uuid = storage_uuid; payload }
-      with
-      | Ok () -> Ok ()
-      | Error e -> Error (Slots.error_to_string e))
+      let digest =
+        match t.pending_digest with
+        | Some hint when hint.Suit.bytes = String.length payload ->
+            Some hint.Suit.streamed
+        | Some _ | None -> None
+      in
+      match t.pending_stream with
+      | Some stream when Slots.stream_written stream = String.length payload -> (
+          t.pending_stream <- None;
+          let digest =
+            match digest with Some d -> d | None -> Crypto.sha256 payload
+          in
+          match Slots.finish_stream stream ~sequence ~hook_uuid:storage_uuid ~digest with
+          | Ok () ->
+              List.iter (fun slot -> ignore (Slots.erase t.slots ~slot)) (stale_slots ());
+              Ok ()
+          | Error e -> Error (Slots.error_to_string e))
+      | Some _ | None -> (
+          (* overwrite the slot already holding this hook's image, else
+             the usual victim slot *)
+          let slot =
+            match
+              List.find_opt
+                (fun (_, image) ->
+                  String.equal image.Slots.hook_uuid storage_uuid)
+                (Slots.scan t.slots)
+            with
+            | Some (slot, _) -> slot
+            | None -> Slots.victim_slot t.slots
+          in
+          match
+            Slots.store ?digest t.slots ~slot
+              { Slots.sequence; hook_uuid = storage_uuid; payload }
+          with
+          | Ok () -> Ok ()
+          | Error e -> Error (Slots.error_to_string e)))
 
 let containers_report t =
   String.concat "\n"
@@ -133,12 +175,49 @@ let containers_report t =
        t.installed)
 
 let register_management_endpoints t =
-  Server.register t.server ~path:"/suit/slot" (fun ~src:_ request ->
-      t.pending_payload <- request.Message.payload;
-      Server.respond Message.code_changed);
+  (* streaming upload: each Block1 chunk is programmed straight into the
+     victim flash slot while an incremental SHA-256 runs in the CoAP
+     layer; by the time the last block is acknowledged the payload is on
+     flash (headerless, so not yet committed) and its digest is known *)
+  Server.register_upload t.server ~path:"/suit/slot"
+    {
+      Server.start =
+        (fun () ->
+          t.pending_digest <- None;
+          let slot = Slots.victim_slot t.slots in
+          match Slots.begin_stream t.slots ~slot with
+          | Ok stream -> t.pending_stream <- Some stream
+          | Error e -> failwith (Slots.error_to_string e));
+      chunk =
+        (fun data ->
+          match t.pending_stream with
+          | None -> ()
+          | Some stream -> (
+              match Slots.stream_write stream data with
+              | Ok () -> ()
+              | Error e -> failwith (Slots.error_to_string e)));
+      finish =
+        (fun ~src:_ ~digest ~size request ->
+          t.pending_payload <- request.Message.payload;
+          t.pending_digest <- Some { Suit.streamed = digest; bytes = size };
+          Server.respond Message.code_changed);
+      abort =
+        (fun () ->
+          t.pending_stream <- None;
+          t.pending_digest <- None);
+    };
   Server.register t.server ~path:"/suit/install" (fun ~src:_ request ->
+      let hints =
+        match t.pending_digest with
+        | None -> None
+        | Some hint ->
+            Some
+              (List.map
+                 (fun hook -> (Femto_core.Hook.uuid hook, hint))
+                 (Engine.hooks t.engine))
+      in
       match
-        Suit.process t.suit ~envelope:request.Message.payload
+        Suit.process ?digests:hints t.suit ~envelope:request.Message.payload
           ~payloads:
             (List.map
                (fun hook -> (Femto_core.Hook.uuid hook, t.pending_payload))
@@ -196,6 +275,8 @@ let boot ?(platform = Femto_platform.Platform.cortex_m4) ~identity ~hooks
       tenant;
       installed = [];
       pending_payload = "";
+      pending_digest = None;
+      pending_stream = None;
       boots = 0L;
     }
   in

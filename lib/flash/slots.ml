@@ -59,8 +59,19 @@ type image = { sequence : int64; hook_uuid : string; payload : string }
 
 let ( let* ) = Result.bind
 
-(* [store t ~slot image] erases the slot then programs header + payload. *)
-let store t ~slot image =
+let build_header ~sequence ~hook_uuid ~payload_len ~digest =
+  let header = Bytes.make header_size '\x00' in
+  Bytes.blit_string magic 0 header 0 4;
+  Bytes.set_int64_le header 4 sequence;
+  Bytes.set_int32_le header 12 (Int32.of_int payload_len);
+  Bytes.blit_string hook_uuid 0 header 16 (String.length hook_uuid);
+  Bytes.blit_string digest 0 header 52 32;
+  header
+
+(* [store t ~slot image] erases the slot then programs header + payload.
+   [digest], when the caller already holds the payload's SHA-256 (e.g.
+   computed while it streamed in), skips the re-hash here. *)
+let store ?digest t ~slot image =
   let* () = check_slot t slot in
   let payload_len = String.length image.payload in
   if payload_len > capacity t then
@@ -73,17 +84,68 @@ let store t ~slot image =
         (fun e -> Flash_error e)
         (Flash.erase_range t.flash ~offset:(offset t slot) ~length:t.slot_size)
     in
-    let header = Bytes.make header_size '\x00' in
-    Bytes.blit_string magic 0 header 0 4;
-    Bytes.set_int64_le header 4 image.sequence;
-    Bytes.set_int32_le header 12 (Int32.of_int payload_len);
-    Bytes.blit_string image.hook_uuid 0 header 16 (String.length image.hook_uuid);
-    Bytes.blit_string (Crypto.sha256 image.payload) 0 header 52 32;
+    let digest =
+      match digest with Some d -> d | None -> Crypto.sha256 image.payload
+    in
+    let header =
+      build_header ~sequence:image.sequence ~hook_uuid:image.hook_uuid
+        ~payload_len ~digest
+    in
     let blob = Bytes.cat header (Bytes.of_string image.payload) in
     Result.map_error
       (fun e -> Flash_error e)
       (Flash.write t.flash ~offset:(offset t slot) blob)
   end
+
+(* --- streaming installs ---
+
+   [begin_stream] erases the slot up front; [stream_write] programs each
+   chunk into the payload area as it arrives (so flash work overlaps the
+   block-wise transfer); [finish_stream] programs the header last.  Until
+   the header lands the slot has no magic and scans as empty, so an
+   aborted or rejected transfer needs no cleanup — write-the-header-last
+   is the commit point. *)
+
+type stream = { owner : t; slot : int; mutable written : int }
+
+let begin_stream t ~slot =
+  let* () = check_slot t slot in
+  let* () =
+    Result.map_error
+      (fun e -> Flash_error e)
+      (Flash.erase_range t.flash ~offset:(offset t slot) ~length:t.slot_size)
+  in
+  Ok { owner = t; slot; written = 0 }
+
+let stream_written stream = stream.written
+
+let stream_write stream chunk =
+  let t = stream.owner in
+  let len = String.length chunk in
+  if stream.written + len > capacity t then
+    Error (Image_too_large { bytes = stream.written + len; capacity = capacity t })
+  else begin
+    let* () =
+      Result.map_error
+        (fun e -> Flash_error e)
+        (Flash.write t.flash
+           ~offset:(offset t stream.slot + header_size + stream.written)
+           (Bytes.of_string chunk))
+    in
+    stream.written <- stream.written + len;
+    Ok ()
+  end
+
+let finish_stream stream ~sequence ~hook_uuid ~digest =
+  let t = stream.owner in
+  if String.length hook_uuid > uuid_size then Error (Uuid_too_long hook_uuid)
+  else if String.length digest <> 32 then
+    Error (Corrupt_slot { slot = stream.slot; reason = "bad digest length" })
+  else
+    Result.map_error
+      (fun e -> Flash_error e)
+      (Flash.write t.flash ~offset:(offset t stream.slot)
+         (build_header ~sequence ~hook_uuid ~payload_len:stream.written ~digest))
 
 (* [load t ~slot] reads and integrity-checks one slot. *)
 let load t ~slot =

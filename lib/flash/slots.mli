@@ -28,8 +28,29 @@ val capacity : t -> int
 
 type image = { sequence : int64; hook_uuid : string; payload : string }
 
-val store : t -> slot:int -> image -> (unit, slot_error) result
-(** Erase the slot, then program header + payload. *)
+val store : ?digest:string -> t -> slot:int -> image -> (unit, slot_error) result
+(** Erase the slot, then program header + payload.  [digest], when the
+    caller already holds the payload's SHA-256 (e.g. streamed in), skips
+    the re-hash. *)
+
+(** {2 Streaming installs}
+
+    [begin_stream] erases the slot; [stream_write] programs each chunk
+    into the payload area as it arrives; [finish_stream] programs the
+    header last, which is the commit point — until then the slot scans
+    as empty, so aborted transfers need no cleanup. *)
+
+type stream
+
+val begin_stream : t -> slot:int -> (stream, slot_error) result
+val stream_write : stream -> string -> (unit, slot_error) result
+
+val stream_written : stream -> int
+(** Payload bytes programmed so far. *)
+
+val finish_stream :
+  stream -> sequence:int64 -> hook_uuid:string -> digest:string ->
+  (unit, slot_error) result
 
 val load : t -> slot:int -> (image, slot_error) result
 (** Read and integrity-check one slot (magic + digest). *)

@@ -35,6 +35,7 @@ type event =
       fastpath : bool;
     }
   | Tier_selected of { tier : string; fused : int; proven : int }
+  | Pipeline_update of { tenant : string; ok : bool; ns : float }
 
 type record = { seq : int; t_ns : float; event : event }
 
@@ -79,6 +80,7 @@ let event_kind = function
   | Coap_request _ -> "coap_request"
   | Analysis_done _ -> "analysis_done"
   | Tier_selected _ -> "tier_selected"
+  | Pipeline_update _ -> "pipeline_update"
 
 let event_fields = function
   | Vm_run { insns; branches; helpers; cycles; ok } ->
@@ -122,6 +124,12 @@ let event_fields = function
         ("tier", Jsonx.String tier);
         ("fused", Jsonx.Int fused);
         ("proven", Jsonx.Int proven);
+      ]
+  | Pipeline_update { tenant; ok; ns } ->
+      [
+        ("tenant", Jsonx.String tenant);
+        ("ok", Jsonx.Bool ok);
+        ("ns", Jsonx.Float ns);
       ]
 
 let record_to_json { seq; t_ns; event } =

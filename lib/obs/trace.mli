@@ -27,6 +27,7 @@ type event =
       fastpath : bool;
     }
   | Tier_selected of { tier : string; fused : int; proven : int }
+  | Pipeline_update of { tenant : string; ok : bool; ns : float }
 
 type record = { seq : int; t_ns : float; event : event }
 type ring

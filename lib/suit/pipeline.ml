@@ -1,0 +1,197 @@
+(* Parallel multi-tenant update verification (PR 5 tentpole, part 3).
+
+   A pool of OCaml 5 worker domains runs the pure half of the update
+   pipeline ({!Suit.prepare}: signature check, manifest decode, payload
+   digests) for different tenants concurrently; the stateful half
+   ({!Suit.commit}: rollback, identity, install, sequence advance) only
+   ever runs on the domain that owns the pool, inside [drain].
+
+   Invariants:
+
+   - Per-tenant ordering.  A tenant's jobs are assigned to a worker by
+     tenant hash, so one tenant's updates are always prepared by the same
+     worker in submission order — a tenant can never observe its own
+     sequence numbers out of order.
+   - Global commit order.  [drain] applies commits strictly in global
+     submission order, so the pool accepts and rejects exactly the same
+     update sets as a sequential [Suit.process] loop over the same jobs
+     (asserted differentially in the tests).
+   - Main-domain effects.  Worker domains touch no device state, no
+     hosting-engine state, and no Obs registry; metrics and trace events
+     are recorded from the submitting domain only.
+   - Backpressure.  At most [queue_depth] jobs may be awaiting a worker;
+     [submit] blocks (and counts a backpressure_wait) until space frees
+     up, bounding memory on a flood of updates. *)
+
+module Obs = Femto_obs.Obs
+module Ometrics = Femto_obs.Metrics
+module Otrace = Femto_obs.Trace
+
+let m_submitted = Obs.counter "suit.pipeline.submitted"
+let m_committed = Obs.counter "suit.pipeline.committed"
+let m_accepted = Obs.counter "suit.pipeline.accepted"
+let m_rejected = Obs.counter "suit.pipeline.rejected"
+let m_backpressure = Obs.counter "suit.pipeline.backpressure_waits"
+let m_latency_ns = Obs.histogram "suit.pipeline.latency_ns"
+let g_inflight = Obs.gauge "suit.pipeline.inflight"
+
+type task = {
+  seq : int; (* global submission order *)
+  tenant : string;
+  device : Suit.device;
+  t_submit : float;
+  run : unit -> (Suit.prepared, Suit.error) result;
+}
+
+type t = {
+  mutex : Mutex.t;
+  work_ready : Condition.t; (* workers wait for queued tasks *)
+  space_ready : Condition.t; (* submit waits for backpressure room *)
+  task_done : Condition.t; (* drain waits for prepared results *)
+  queues : task Queue.t array; (* one FIFO per worker: per-tenant order *)
+  prepared : (int, task * (Suit.prepared, Suit.error) result) Hashtbl.t;
+  queue_depth : int;
+  mutable queued : int; (* tasks submitted but not yet prepared *)
+  mutable next_seq : int;
+  mutable next_commit : int;
+  mutable stopping : bool;
+  mutable workers : unit Domain.t array;
+}
+
+let default_domains = max 1 (Domain.recommended_domain_count () - 1)
+let default_queue_depth = 32
+
+let worker_loop pool index =
+  let queue = pool.queues.(index) in
+  let rec loop () =
+    Mutex.lock pool.mutex;
+    while Queue.is_empty queue && not pool.stopping do
+      Condition.wait pool.work_ready pool.mutex
+    done;
+    if Queue.is_empty queue then (* stopping and drained *)
+      Mutex.unlock pool.mutex
+    else begin
+      let task = Queue.pop queue in
+      Mutex.unlock pool.mutex;
+      let result =
+        try task.run ()
+        with exn -> Error (Suit.Malformed (Printexc.to_string exn))
+      in
+      Mutex.lock pool.mutex;
+      Hashtbl.replace pool.prepared task.seq (task, result);
+      pool.queued <- pool.queued - 1;
+      Condition.broadcast pool.task_done;
+      Condition.broadcast pool.space_ready;
+      Mutex.unlock pool.mutex;
+      loop ()
+    end
+  in
+  loop ()
+
+let create ?(domains = default_domains) ?(queue_depth = default_queue_depth)
+    () =
+  if domains < 1 then invalid_arg "Pipeline.create: domains must be >= 1";
+  if queue_depth < 1 then
+    invalid_arg "Pipeline.create: queue_depth must be >= 1";
+  let pool =
+    {
+      mutex = Mutex.create ();
+      work_ready = Condition.create ();
+      space_ready = Condition.create ();
+      task_done = Condition.create ();
+      queues = Array.init domains (fun _ -> Queue.create ());
+      prepared = Hashtbl.create 64;
+      queue_depth;
+      queued = 0;
+      next_seq = 0;
+      next_commit = 0;
+      stopping = false;
+      workers = [||];
+    }
+  in
+  pool.workers <-
+    Array.init domains (fun i -> Domain.spawn (fun () -> worker_loop pool i));
+  pool
+
+let domains pool = Array.length pool.queues
+
+(* Stable tenant -> worker assignment: per-tenant FIFO order. *)
+let worker_for pool tenant = Hashtbl.hash tenant mod Array.length pool.queues
+
+let submit pool ?digests ~tenant ~device ~envelope ~payloads () =
+  let key = device.Suit.key in
+  let run () = Suit.prepare ~key ?digests ~envelope ~payloads () in
+  Mutex.lock pool.mutex;
+  if pool.stopping then begin
+    Mutex.unlock pool.mutex;
+    invalid_arg "Pipeline.submit: pool is shut down"
+  end;
+  let waited = ref false in
+  while pool.queued >= pool.queue_depth do
+    waited := true;
+    Condition.wait pool.space_ready pool.mutex
+  done;
+  let task =
+    {
+      seq = pool.next_seq;
+      tenant;
+      device;
+      t_submit = (if Obs.enabled () then Obs.now_ns () else 0.0);
+      run;
+    }
+  in
+  pool.next_seq <- pool.next_seq + 1;
+  pool.queued <- pool.queued + 1;
+  Queue.push task pool.queues.(worker_for pool tenant);
+  Condition.broadcast pool.work_ready;
+  Mutex.unlock pool.mutex;
+  if Obs.enabled () then begin
+    Ometrics.incr m_submitted;
+    if !waited then Ometrics.incr m_backpressure;
+    Ometrics.set g_inflight (float_of_int (pool.next_seq - pool.next_commit))
+  end
+
+(* [drain pool] commits every submitted job, in global submission order,
+   on the calling (owner) domain; returns [(tenant, outcome)] pairs in
+   that same order. *)
+let drain pool =
+  let rec take_ready acc =
+    Mutex.lock pool.mutex;
+    if pool.next_commit >= pool.next_seq then begin
+      Mutex.unlock pool.mutex;
+      List.rev acc
+    end
+    else begin
+      while not (Hashtbl.mem pool.prepared pool.next_commit) do
+        Condition.wait pool.task_done pool.mutex
+      done;
+      let task, result = Hashtbl.find pool.prepared pool.next_commit in
+      Hashtbl.remove pool.prepared pool.next_commit;
+      pool.next_commit <- pool.next_commit + 1;
+      Mutex.unlock pool.mutex;
+      let outcome = Suit.commit task.device result in
+      if Obs.enabled () then begin
+        Ometrics.incr m_committed;
+        Ometrics.incr
+          (match outcome with Ok _ -> m_accepted | Error _ -> m_rejected);
+        let ns = Obs.now_ns () -. task.t_submit in
+        Ometrics.observe m_latency_ns ns;
+        Ometrics.set g_inflight
+          (float_of_int (pool.next_seq - pool.next_commit));
+        Obs.event (fun () ->
+            Otrace.Pipeline_update
+              { tenant = task.tenant; ok = Result.is_ok outcome; ns })
+      end;
+      take_ready ((task.tenant, outcome) :: acc)
+    end
+  in
+  take_ready []
+
+let shutdown pool =
+  let pending = drain pool in
+  Mutex.lock pool.mutex;
+  pool.stopping <- true;
+  Condition.broadcast pool.work_ready;
+  Mutex.unlock pool.mutex;
+  Array.iter Domain.join pool.workers;
+  pending

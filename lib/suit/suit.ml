@@ -7,9 +7,25 @@
    envelope.  The device verifies signature, rollback protection and
    payload digest before handing the bytecode to the hosting engine —
    which then runs its own pre-flight verification.  Five independent
-   gates between the network and execution. *)
+   gates between the network and execution.
+
+   The verification path is split in two (PR 5):
+
+     prepare   — the pure gates (signature, manifest decode, payload
+                 digests).  Reads no device state, so the domain pool in
+                 {!Pipeline} runs it concurrently for different tenants.
+                 Decoding goes through the zero-copy CBOR view decoder,
+                 and a streaming digest computed while CoAP blocks
+                 arrived can stand in for re-hashing the payload.
+     commit    — the stateful gates (rollback, identity, install) plus
+                 the sequence-number advance; always on the main domain.
+
+   [process] composes the two, so the sequential path and the parallel
+   pipeline share every gate — they accept and reject identical update
+   sets by construction (also asserted differentially in the tests). *)
 
 module Cbor = Femto_cbor.Cbor
+module Slice = Femto_cbor.Slice
 module Cose = Femto_cose.Cose
 module Crypto = Femto_crypto.Crypto
 module Obs = Femto_obs.Obs
@@ -127,6 +143,8 @@ let error_to_string = function
 
 let ( let* ) = Result.bind
 
+(* --- tree decoder (pre-PR-5 path, kept as the differential baseline) --- *)
+
 let component_of_cbor value =
   let* storage_uuid =
     match Cbor.find_map_entry value key_storage with
@@ -145,7 +163,7 @@ let component_of_cbor value =
   in
   Ok { storage_uuid; digest; size }
 
-let decode data =
+let decode_tree data =
   match Cbor.decode data with
   | exception Cbor.Decode_error m -> Error (Malformed m)
   | value ->
@@ -187,6 +205,77 @@ let decode data =
             components;
           }
 
+(* --- slice decoder (the zero-copy default) ---
+
+   Walks the CBOR views straight out of the (envelope) buffer; the only
+   materialised strings are the small per-component fields (uuid, 32-byte
+   digest) and the optional identity conditions. *)
+
+let component_of_view value =
+  let* storage_uuid =
+    match Option.bind (Cbor.vfind_int value 1L) Cbor.vas_text with
+    | Some s -> Ok (Slice.to_string s)
+    | None -> Error (Malformed "component missing storage location")
+  in
+  let* digest =
+    match Option.bind (Cbor.vfind_int value 2L) Cbor.vas_bytes with
+    | Some d when Slice.length d = 32 -> Ok (Slice.to_string d)
+    | _ -> Error (Malformed "component missing sha256 digest")
+  in
+  let* size =
+    match Option.bind (Cbor.vfind_int value 3L) Cbor.vas_int with
+    | Some n when Int64.compare n 0L >= 0 -> Ok (Int64.to_int n)
+    | _ -> Error (Malformed "component missing size")
+  in
+  Ok { storage_uuid; digest; size }
+
+let decode_slice data =
+  match Cbor.decode_view_slice data with
+  | exception Cbor.Decode_error m -> Error (Malformed m)
+  | value ->
+      let* () =
+        match Option.bind (Cbor.vfind_int value 1L) Cbor.vas_int with
+        | Some v when Int64.equal v manifest_version -> Ok ()
+        | Some v -> Error (Unsupported_version v)
+        | None -> (
+            (* distinguish "key missing" from "key present, not an int",
+               matching the tree decoder's Malformed in both cases *)
+            match Cbor.vfind_int value 1L with
+            | Some _ | None -> Error (Malformed "missing version"))
+      in
+      let* sequence =
+        match Option.bind (Cbor.vfind_int value 2L) Cbor.vas_int with
+        | Some s -> Ok s
+        | None -> Error (Malformed "missing sequence number")
+      in
+      let* components =
+        match Option.bind (Cbor.vfind_int value 3L) Cbor.vas_array with
+        | Some items ->
+            List.fold_left
+              (fun acc item ->
+                let* acc = acc in
+                let* c = component_of_view item in
+                Ok (c :: acc))
+              (Ok []) items
+            |> Result.map List.rev
+        | None -> Error (Malformed "missing components")
+      in
+      let text_field key =
+        Option.map Slice.to_string
+          (Option.bind (Cbor.vfind_int value key) Cbor.vas_text)
+      in
+      if components = [] then Error (Malformed "no components")
+      else
+        Ok
+          {
+            sequence;
+            vendor_id = text_field 4L;
+            class_id = text_field 5L;
+            components;
+          }
+
+let decode data = decode_slice (Slice.of_string data)
+
 (* [sign t key] wraps the encoded manifest in a COSE_Sign1 envelope. *)
 let sign t key = Cose.sign key (encode t)
 
@@ -211,74 +300,94 @@ let create_device ?(vendor_id = "") ?(class_id = "") ~key ~install
   { key; vendor_id; class_id; sequence = 0L; install; known_storage;
     accepted = 0; rejected = 0 }
 
-(* [process device ~envelope ~payloads] runs the full verification
-   pipeline.  [payloads] maps storage uuid -> downloaded payload bytes.
-   Each gate is individually timed into the trace ring (Suit_step); the
-   whole pipeline feeds the suit.process_ns histogram. *)
-let process device ~envelope ~payloads =
-  let t0 = if Obs.enabled () then Obs.now_ns () else 0.0 in
-  let pipeline () =
-    let* manifest_bytes =
-      timed "signature" (fun () ->
-          Result.map_error (fun e -> Signature e) (Cose.verify device.key envelope))
-    in
-    let* manifest = timed "decode" (fun () -> decode manifest_bytes) in
-    let* () =
-      timed "rollback" (fun () ->
-          if Int64.compare manifest.sequence device.sequence <= 0 then
-            Error
-              (Rollback { manifest = manifest.sequence; device = device.sequence })
-          else Ok ())
-    in
-    (* identity conditions: a manifest built for another product or
-       hardware class must not install, even when correctly signed *)
-    let* () =
-      timed "identity" (fun () ->
-          match (manifest.vendor_id, manifest.class_id) with
-          | Some v, _ when v <> device.vendor_id ->
-              Error (Wrong_vendor { manifest = v; device = device.vendor_id })
-          | _, Some c when c <> device.class_id ->
-              Error (Wrong_class { manifest = c; device = device.class_id })
-          | _, _ -> Ok ())
-    in
-    let verify_component acc component =
-      let* () = acc in
-      if not (device.known_storage component.storage_uuid) then
-        Error (Unknown_storage component.storage_uuid)
-      else
-        match List.assoc_opt component.storage_uuid payloads with
-        | None -> Error (Digest_mismatch component.storage_uuid)
-        | Some payload ->
-            if
-              String.length payload = component.size
-              && Crypto.constant_time_equal (Crypto.sha256 payload)
-                   component.digest
-            then Ok ()
-            else Error (Digest_mismatch component.storage_uuid)
-    in
-    let* () =
-      timed "digest" (fun () ->
-          List.fold_left verify_component (Ok ()) manifest.components)
-    in
-    (* install all components; first failure aborts *)
-    let install_component acc component =
-      let* () = acc in
-      let payload = List.assoc component.storage_uuid payloads in
-      Result.map_error
-        (fun m -> Install_failed m)
-        (device.install ~sequence:manifest.sequence
-           ~storage_uuid:component.storage_uuid payload)
-    in
-    let* () =
-      timed "install" (fun () ->
-          List.fold_left install_component (Ok ()) manifest.components)
-    in
-    device.sequence <- manifest.sequence;
-    device.accepted <- device.accepted + 1;
-    Ok manifest
+(* A digest computed while the payload streamed in (CoAP Block1 +
+   incremental SHA-256): the digest gate verifies it against the manifest
+   instead of re-hashing the payload. *)
+type digest_hint = { streamed : string; bytes : int }
+
+(* The digest-gate outcome for one component, computed without touching
+   device state (the storage-location check stays in commit, preserving
+   the sequential gate order). *)
+let digest_check ?digests ~payloads component =
+  let hint =
+    Option.bind digests (List.assoc_opt component.storage_uuid)
   in
+  match hint with
+  | Some { streamed; bytes } ->
+      if
+        List.mem_assoc component.storage_uuid payloads
+        && bytes = component.size
+        && Crypto.constant_time_equal streamed component.digest
+      then Ok ()
+      else Error (Digest_mismatch component.storage_uuid)
+  | None -> (
+      match List.assoc_opt component.storage_uuid payloads with
+      | None -> Error (Digest_mismatch component.storage_uuid)
+      | Some payload ->
+          if
+            String.length payload = component.size
+            && Crypto.constant_time_equal (Crypto.sha256 payload)
+                 component.digest
+          then Ok ()
+          else Error (Digest_mismatch component.storage_uuid))
+
+(* --- shared gates ---
+
+   [digest_pairs] carries, per component, a thunk for the digest-gate
+   outcome: the sequential path computes it lazily inside the fold (so a
+   storage-location failure short-circuits the hashing, as before), the
+   parallel pipeline passes results a worker domain already computed. *)
+
+let run_gates device (manifest : t) ~payloads ~digest_pairs =
+  let* () =
+    timed "rollback" (fun () ->
+        if Int64.compare manifest.sequence device.sequence <= 0 then
+          Error
+            (Rollback { manifest = manifest.sequence; device = device.sequence })
+        else Ok ())
+  in
+  (* identity conditions: a manifest built for another product or
+     hardware class must not install, even when correctly signed *)
+  let* () =
+    timed "identity" (fun () ->
+        match (manifest.vendor_id, manifest.class_id) with
+        | Some v, _ when v <> device.vendor_id ->
+            Error (Wrong_vendor { manifest = v; device = device.vendor_id })
+        | _, Some c when c <> device.class_id ->
+            Error (Wrong_class { manifest = c; device = device.class_id })
+        | _, _ -> Ok ())
+  in
+  let* () =
+    timed "digest" (fun () ->
+        List.fold_left
+          (fun acc (component, outcome) ->
+            let* () = acc in
+            if not (device.known_storage component.storage_uuid) then
+              Error (Unknown_storage component.storage_uuid)
+            else outcome ())
+          (Ok ()) digest_pairs)
+  in
+  (* install all components; first failure aborts *)
+  let* () =
+    timed "install" (fun () ->
+        List.fold_left
+          (fun acc component ->
+            let* () = acc in
+            let payload = List.assoc component.storage_uuid payloads in
+            Result.map_error
+              (fun m -> Install_failed m)
+              (device.install ~sequence:manifest.sequence
+                 ~storage_uuid:component.storage_uuid payload))
+          (Ok ()) manifest.components)
+  in
+  device.sequence <- manifest.sequence;
+  device.accepted <- device.accepted + 1;
+  Ok manifest
+
+(* Outcome accounting shared by [process] and [commit]. *)
+let finish device t0 outcome =
   let outcome =
-    match pipeline () with
+    match outcome with
     | Ok manifest -> Ok manifest
     | Error e ->
         device.rejected <- device.rejected + 1;
@@ -290,3 +399,70 @@ let process device ~envelope ~payloads =
       (match outcome with Ok _ -> m_accepted | Error _ -> m_rejected)
   end;
   outcome
+
+(* [process device ~envelope ~payloads] runs the full verification
+   pipeline.  [payloads] maps storage uuid -> downloaded payload bytes;
+   [digests] optionally maps storage uuid -> streaming digest, letting
+   the digest gate skip re-hashing.  Each gate is individually timed into
+   the trace ring (Suit_step); the whole pipeline feeds the
+   suit.process_ns histogram. *)
+let process ?digests device ~envelope ~payloads =
+  let t0 = if Obs.enabled () then Obs.now_ns () else 0.0 in
+  let result =
+    let* payload =
+      timed "signature" (fun () ->
+          Result.map_error
+            (fun e -> Signature e)
+            (Cose.verify_slice device.key (Slice.of_string envelope)))
+    in
+    let* manifest = timed "decode" (fun () -> decode_slice payload) in
+    run_gates device manifest ~payloads
+      ~digest_pairs:
+        (List.map
+           (fun c -> (c, fun () -> digest_check ?digests ~payloads c))
+           manifest.components)
+  in
+  finish device t0 result
+
+(* --- prepare/commit: the split the domain pool runs on --- *)
+
+type prepared = {
+  manifest : t;
+  checked : (component * (unit, error) result) list;
+  payloads : (string * string) list;
+}
+
+(* The pure gates: signature, manifest decode, payload digests.  Reads no
+   device state beyond the (immutable) verification key, so it is safe to
+   run on a worker domain while other updates commit. *)
+let prepare ~key ?digests ~envelope ~payloads () =
+  let* payload =
+    Result.map_error
+      (fun e -> Signature e)
+      (Cose.verify_slice key (Slice.of_string envelope))
+  in
+  let* manifest = decode_slice payload in
+  Ok
+    {
+      manifest;
+      checked =
+        List.map
+          (fun c -> (c, digest_check ?digests ~payloads c))
+          manifest.components;
+      payloads;
+    }
+
+(* The stateful tail: rollback, identity, digest replay (with the
+   storage-location check), install, sequence advance.  Main domain
+   only. *)
+let commit device prepared_result =
+  let t0 = if Obs.enabled () then Obs.now_ns () else 0.0 in
+  let result =
+    match prepared_result with
+    | Error e -> Error e
+    | Ok { manifest; checked; payloads } ->
+        run_gates device manifest ~payloads
+          ~digest_pairs:
+            (List.map (fun (c, outcome) -> (c, fun () -> outcome)) checked)
+  in
+  finish device t0 result

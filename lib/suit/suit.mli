@@ -6,9 +6,16 @@
     digest and size.  The manifest travels inside a COSE_Sign1 envelope.
     The device verifies signature, version, rollback, identity and digest
     before handing bytecode to the hosting engine — which then runs its
-    own pre-flight verification. *)
+    own pre-flight verification.
+
+    The verification path is split into a pure [prepare] (signature,
+    decode, payload digests — safe on a worker domain) and a stateful
+    [commit] (rollback, identity, install — main domain); [process]
+    composes the two, so both paths share every gate and accept/reject
+    identical update sets. *)
 
 module Cbor = Femto_cbor.Cbor
+module Slice = Femto_cbor.Slice
 module Cose = Femto_cose.Cose
 
 type component = {
@@ -45,7 +52,19 @@ val error_to_string : error -> string
 
 val to_cbor : t -> Cbor.t
 val encode : t -> string
+
 val decode : string -> (t, error) result
+(** Parses through the zero-copy CBOR view decoder (equivalent to
+    [decode_slice] over the whole string). *)
+
+val decode_slice : Slice.t -> (t, error) result
+(** Parse a manifest from a window of a larger buffer (typically the
+    COSE payload slice) without copying it first. *)
+
+val decode_tree : string -> (t, error) result
+(** The pre-PR-5 tree-based decoder, kept as the differential-testing
+    and benchmark baseline.  [decode] and [decode_tree] agree on every
+    input. *)
 
 val sign : t -> Cose.key -> string
 (** Serialized COSE_Sign1 envelope around the encoded manifest. *)
@@ -74,8 +93,41 @@ val create_device :
   unit ->
   device
 
+type digest_hint = { streamed : string; bytes : int }
+(** A digest computed incrementally while the payload streamed in (CoAP
+    Block1 + streaming SHA-256): the digest gate verifies it against the
+    manifest instead of re-hashing the payload. *)
+
 val process :
-  device -> envelope:string -> payloads:(string * string) list -> (t, error) result
+  ?digests:(string * digest_hint) list ->
+  device ->
+  envelope:string ->
+  payloads:(string * string) list ->
+  (t, error) result
 (** Run the full verification pipeline; [payloads] maps storage uuid to
-    downloaded payload bytes.  The sequence number only advances when
-    every component installed successfully. *)
+    downloaded payload bytes and [digests] optionally maps storage uuid
+    to a streaming digest.  The sequence number only advances when every
+    component installed successfully. *)
+
+(** {2 Prepare/commit split (used by {!Pipeline})} *)
+
+type prepared
+(** Outcome of the pure gates for one update, ready to commit. *)
+
+val prepare :
+  key:Cose.key ->
+  ?digests:(string * digest_hint) list ->
+  envelope:string ->
+  payloads:(string * string) list ->
+  unit ->
+  (prepared, error) result
+(** Signature check, manifest decode and payload-digest computation.
+    Touches no mutable device state — safe to run on a worker domain. *)
+
+val commit : device -> (prepared, error) result -> (t, error) result
+(** Rollback, identity, storage-location and install gates plus the
+    sequence-number advance, replaying the digest results from
+    [prepare].  Must run on the domain that owns [device].  Passing an
+    [Error] from [prepare] records the rejection and returns it, so
+    [commit device (prepare ~key:device.key ... ())] behaves exactly
+    like [process]. *)

@@ -145,6 +145,74 @@ let prop_decoder_total =
       | _ -> true
       | exception Cbor.Decode_error _ -> true)
 
+(* --- zero-copy view decoder vs the tree decoder ---
+
+   The slice decoder is the fast path of the secure-update pipeline; these
+   differentials are the proof that switching to it changes no outcome:
+   on every input either both decoders reject, or both accept with equal
+   trees. *)
+
+(* Both decoders run on [input]; agreement is required.  Returns false on
+   any divergence, raises (failing the property) if a decoder throws
+   something other than [Decode_error]. *)
+let decoders_agree input =
+  let tree = match Cbor.decode input with
+    | t -> Ok t
+    | exception Cbor.Decode_error _ -> Error ()
+  in
+  let view = match Cbor.decode_view input with
+    | v -> Ok (Cbor.view_to_tree v)
+    | exception Cbor.Decode_error _ -> Error ()
+  in
+  match (tree, view) with
+  | Ok t, Ok v -> Cbor.equal t v
+  | Error (), Error () -> true
+  | Ok _, Error () | Error (), Ok _ -> false
+
+let prop_view_differential =
+  QCheck.Test.make ~name:"view = tree on valid encodings" ~count:500
+    (QCheck.make gen_cbor)
+    (fun value -> decoders_agree (Cbor.encode value))
+
+(* Corrupt one byte of a valid encoding: the decoders must still agree
+   (both reject, or both accept the same reinterpretation). *)
+let prop_view_differential_mutated =
+  QCheck.Test.make ~name:"view = tree on mutated encodings" ~count:500
+    QCheck.(make Gen.(triple gen_cbor (int_bound 1000) (int_bound 255)))
+    (fun (value, pos, byte) ->
+      let encoded = Bytes.of_string (Cbor.encode value) in
+      let pos = pos mod Bytes.length encoded in
+      Bytes.set encoded pos (Char.chr byte);
+      decoders_agree (Bytes.to_string encoded))
+
+let prop_view_total =
+  QCheck.Test.make ~name:"view decoder never crashes" ~count:500
+    QCheck.(make Gen.(string_size ~gen:char (int_range 0 128)))
+    (fun junk -> decoders_agree junk)
+
+let test_view_indefinite () =
+  (* indefinite-length items materialise in views but must decode to the
+     same trees as the strict decoder *)
+  List.iter
+    (fun input_hex ->
+      let input = hex input_hex in
+      Alcotest.(check bool)
+        (Printf.sprintf "view agrees on %s" input_hex)
+        true
+        (Cbor.equal (Cbor.decode input)
+           (Cbor.view_to_tree (Cbor.decode_view input))))
+    [ "9f0102ff"; "bf616101ff"; "5f42010243030405ff"; "7f61616162ff" ]
+
+let test_view_slices_window_input () =
+  (* V_bytes/V_text are windows of the input buffer, not copies *)
+  let module Slice = Femto_cbor.Slice in
+  let input = Cbor.encode (Cbor.Bytes "payload") in
+  match Cbor.decode_view input with
+  | Cbor.V_bytes s ->
+      Alcotest.(check bool) "same backing buffer" true (Slice.base s == input);
+      Alcotest.(check string) "contents" "payload" (Slice.to_string s)
+  | _ -> Alcotest.fail "expected V_bytes"
+
 let suite =
   [
     Alcotest.test_case "rfc ints" `Quick test_rfc_vectors_ints;
@@ -156,8 +224,13 @@ let suite =
     Alcotest.test_case "indefinite" `Quick test_decode_indefinite;
     Alcotest.test_case "decode errors" `Quick test_decode_errors;
     Alcotest.test_case "negative roundtrip" `Quick test_negative_int_roundtrip;
+    Alcotest.test_case "view indefinite" `Quick test_view_indefinite;
+    Alcotest.test_case "view zero-copy" `Quick test_view_slices_window_input;
     QCheck_alcotest.to_alcotest prop_roundtrip;
     QCheck_alcotest.to_alcotest prop_decoder_total;
+    QCheck_alcotest.to_alcotest prop_view_differential;
+    QCheck_alcotest.to_alcotest prop_view_differential_mutated;
+    QCheck_alcotest.to_alcotest prop_view_total;
   ]
 
 let () = Alcotest.run "femto_cbor" [ ("cbor", suite) ]

@@ -14,6 +14,9 @@ let test_sha256_vectors () =
   check_sha "abc" "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad";
   check_sha "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"
     "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1";
+  (* FIPS 180-4 896-bit two-block message *)
+  check_sha "abcdefghbcdefghicdefghijdefghijkefghijklfghijklmghijklmnhijklmnoijklmnopjklmnopqklmnopqrlmnopqrsmnopqrstnopqrstu"
+    "cf5b16a778af8380036ce59e7b0492370b249b11e8f07a51afac45037afee9d1";
   (* one million 'a': the classic long-message vector *)
   check_sha (String.make 1_000_000 'a')
     "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
@@ -47,6 +50,46 @@ let test_sha256_incremental () =
   feed 0 1;
   Alcotest.(check string) "incremental = one-shot"
     (Crypto.to_hex (Crypto.sha256 message))
+    (Crypto.to_hex (Sha256.finalize ctx))
+
+(* Arbitrary chunkings of arbitrary messages: the streaming digest the
+   CoAP Block1 path drives must equal one-shot hashing no matter how the
+   transfer is split. *)
+let prop_sha256_chunking =
+  QCheck.Test.make ~name:"incremental = one-shot under any chunking"
+    ~count:200
+    QCheck.(
+      make
+        Gen.(
+          pair
+            (string_size ~gen:char (int_range 0 600))
+            (list_size (int_range 0 20) (int_range 1 100))))
+    (fun (message, cuts) ->
+      let ctx = Sha256.init () in
+      let pos = ref 0 in
+      List.iter
+        (fun step ->
+          let n = min step (String.length message - !pos) in
+          if n > 0 then begin
+            Sha256.update_substring ctx message !pos n;
+            pos := !pos + n
+          end)
+        cuts;
+      Sha256.update_substring ctx message !pos (String.length message - !pos);
+      String.equal (Crypto.sha256 message) (Sha256.finalize ctx))
+
+let test_sha256_copy_independent () =
+  (* extending a copied midstate must not disturb the original *)
+  let ctx = Sha256.init () in
+  Sha256.update_string ctx "common prefix ";
+  let branch = Sha256.copy ctx in
+  Sha256.update_string branch "left";
+  Sha256.update_string ctx "right";
+  Alcotest.(check string) "branch"
+    (Crypto.to_hex (Crypto.sha256 "common prefix left"))
+    (Crypto.to_hex (Sha256.finalize branch));
+  Alcotest.(check string) "original"
+    (Crypto.to_hex (Crypto.sha256 "common prefix right"))
     (Crypto.to_hex (Sha256.finalize ctx))
 
 (* RFC 4231 HMAC-SHA256 test cases. *)
@@ -156,6 +199,7 @@ let suite =
     Alcotest.test_case "sha256 vectors" `Quick test_sha256_vectors;
     Alcotest.test_case "sha256 block boundaries" `Quick test_sha256_block_boundaries;
     Alcotest.test_case "sha256 incremental" `Quick test_sha256_incremental;
+    Alcotest.test_case "sha256 copy" `Quick test_sha256_copy_independent;
     Alcotest.test_case "hmac vectors" `Quick test_hmac_vectors;
     Alcotest.test_case "constant-time equal" `Quick test_constant_time_equal;
     Alcotest.test_case "hex roundtrip" `Quick test_hex_roundtrip;
@@ -164,6 +208,7 @@ let suite =
     Alcotest.test_case "cose wrong key" `Quick test_cose_wrong_key_rejected;
     Alcotest.test_case "cose wrong key id" `Quick test_cose_wrong_key_id_rejected;
     Alcotest.test_case "cose garbage" `Quick test_cose_garbage_rejected;
+    QCheck_alcotest.to_alcotest prop_sha256_chunking;
     QCheck_alcotest.to_alcotest prop_cose_roundtrip;
     QCheck_alcotest.to_alcotest prop_cose_bitflip_rejected;
   ]

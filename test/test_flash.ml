@@ -117,6 +117,75 @@ let test_scan_and_victim () =
   (* all full: the oldest sequence (slot 0, seq 5) is the victim *)
   Alcotest.(check int) "victim is oldest" 0 (Slots.victim_slot slots)
 
+(* --- streaming installs --- *)
+
+let test_stream_install () =
+  let slots = Slots.create ~flash:(make_flash ()) ~count:4 in
+  let payload = String.init 300 (fun i -> Char.chr ((i * 13) mod 256)) in
+  let stream = slots_ok "begin" (Slots.begin_stream slots ~slot:1) in
+  (* chunked exactly as a block-wise transfer would deliver it *)
+  let rec feed pos =
+    if pos < String.length payload then begin
+      let n = min 64 (String.length payload - pos) in
+      slots_ok "chunk" (Slots.stream_write stream (String.sub payload pos n));
+      feed (pos + n)
+    end
+  in
+  feed 0;
+  Alcotest.(check int) "written" (String.length payload)
+    (Slots.stream_written stream);
+  (* header not yet programmed: the slot still scans as empty *)
+  Alcotest.(check int) "uncommitted scans empty" 0
+    (List.length (Slots.scan slots));
+  slots_ok "finish"
+    (Slots.finish_stream stream ~sequence:7L ~hook_uuid:uuid
+       ~digest:(Femto_crypto.Crypto.sha256 payload));
+  let loaded = slots_ok "load" (Slots.load slots ~slot:1) in
+  Alcotest.(check string) "payload" payload loaded.Slots.payload;
+  Alcotest.(check int64) "sequence" 7L loaded.Slots.sequence;
+  Alcotest.(check string) "uuid" uuid loaded.Slots.hook_uuid
+
+let test_stream_abandoned_leaves_slot_empty () =
+  (* dropping a stream mid-transfer must not leave a half image behind *)
+  let slots = Slots.create ~flash:(make_flash ()) ~count:4 in
+  slots_ok "existing" (Slots.store slots ~slot:0 (image ~sequence:1L "keep me"));
+  let stream = slots_ok "begin" (Slots.begin_stream slots ~slot:2) in
+  slots_ok "partial" (Slots.stream_write stream "half an ima");
+  (* no finish_stream: simulated transfer failure *)
+  (match Slots.load slots ~slot:2 with
+  | Error (Slots.Empty_slot 2) -> ()
+  | Ok _ -> Alcotest.fail "abandoned stream produced a loadable image"
+  | Error e -> Alcotest.failf "wrong error: %s" (Slots.error_to_string e));
+  Alcotest.(check int) "only the committed image scans" 1
+    (List.length (Slots.scan slots))
+
+let test_stream_capacity_enforced () =
+  let slots = Slots.create ~flash:(make_flash ()) ~count:4 in
+  let stream = slots_ok "begin" (Slots.begin_stream slots ~slot:0) in
+  let chunk = String.make 1024 'x' in
+  let rec fill () =
+    match Slots.stream_write stream chunk with
+    | Ok () -> fill ()
+    | Error (Slots.Image_too_large _) -> ()
+    | Error e -> Alcotest.failf "wrong error: %s" (Slots.error_to_string e)
+  in
+  fill ();
+  Alcotest.(check bool) "stopped at capacity" true
+    (Slots.stream_written stream <= Slots.capacity slots)
+
+let test_stream_bad_header_rejected () =
+  let slots = Slots.create ~flash:(make_flash ()) ~count:4 in
+  let stream = slots_ok "begin" (Slots.begin_stream slots ~slot:0) in
+  slots_ok "chunk" (Slots.stream_write stream "payload");
+  (* a 37-char uuid cannot fit the fixed header field *)
+  match
+    Slots.finish_stream stream ~sequence:1L
+      ~hook_uuid:(String.make 37 'u')
+      ~digest:(Femto_crypto.Crypto.sha256 "payload")
+  with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "oversized uuid accepted"
+
 let test_persistence_across_reboot () =
   (* store a container image, simulate a reboot by re-creating the slot
      manager over the same flash, verify the engine can re-attach it *)
@@ -182,6 +251,10 @@ let suite =
     Alcotest.test_case "corruption detected" `Quick test_corruption_detected;
     Alcotest.test_case "image too large" `Quick test_image_too_large;
     Alcotest.test_case "scan and victim" `Quick test_scan_and_victim;
+    Alcotest.test_case "stream install" `Quick test_stream_install;
+    Alcotest.test_case "stream abandoned" `Quick test_stream_abandoned_leaves_slot_empty;
+    Alcotest.test_case "stream capacity" `Quick test_stream_capacity_enforced;
+    Alcotest.test_case "stream bad header" `Quick test_stream_bad_header_rejected;
     Alcotest.test_case "persistence across reboot" `Quick test_persistence_across_reboot;
     QCheck_alcotest.to_alcotest prop_slot_roundtrip;
   ]

@@ -309,6 +309,51 @@ let test_block_option_codec () =
     cases;
   Alcotest.(check bool) "reserved szx rejected" true (Block.decode "\x07" = None)
 
+let test_block_codec_exhaustive () =
+  (* every encodable (num, more, szx) triple — the full 3-byte option
+     space — round-trips exactly *)
+  for szx = 0 to 6 do
+    let size = 1 lsl (szx + 4) in
+    List.iter
+      (fun more ->
+        for num = 0 to Block.max_num do
+          let block = Block.make ~num ~more ~size in
+          match Block.decode (Block.encode block) with
+          | Some d
+            when d.Block.num = num && d.Block.more = more
+                 && Block.size d = size ->
+              ()
+          | _ ->
+              Alcotest.failf "roundtrip failed at num=%d more=%b szx=%d" num
+                more szx
+        done)
+      [ false; true ]
+  done;
+  (* value 0 encodes as the RFC 7959 zero-length option *)
+  Alcotest.(check string) "v=0 is empty" ""
+    (Block.encode (Block.make ~num:0 ~more:false ~size:16));
+  (match Block.decode "" with
+  | Some d ->
+      Alcotest.(check int) "empty num" 0 d.Block.num;
+      Alcotest.(check bool) "empty more" false d.Block.more;
+      Alcotest.(check int) "empty size" 16 (Block.size d)
+  | None -> Alcotest.fail "empty option value must decode");
+  (* out-of-range fields raise instead of truncating *)
+  List.iter
+    (fun f ->
+      match f () with
+      | exception Invalid_argument _ -> ()
+      | (_ : Block.t) -> Alcotest.fail "out-of-range accepted")
+    [
+      (fun () -> Block.make ~num:(Block.max_num + 1) ~more:false ~size:16);
+      (fun () -> Block.make ~num:(-1) ~more:false ~size:16);
+      (fun () -> Block.make ~num:0 ~more:false ~size:17);
+      (fun () -> Block.make ~num:0 ~more:false ~size:2048);
+    ];
+  (match Block.encode { Block.num = Block.max_num + 1; more = false; szx = 0 } with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "encode must reject an unencodable num")
+
 let test_block_slice () =
   let payload = String.init 150 (fun i -> Char.chr (i mod 256)) in
   (match Block.slice ~num:0 ~size:64 payload with
@@ -381,6 +426,66 @@ let test_plain_get_of_large_resource_gets_first_block () =
       Alcotest.(check bool) "block2 present" true
         (Block.of_message ~number:Block.opt_block2 response <> None)
   | _ -> Alcotest.fail "no response"
+
+let test_streaming_upload_sink () =
+  (* a registered sink sees chunks in order while blocks arrive, and the
+     streaming digest handed to [finish] matches the whole payload *)
+  let kernel, _network, server, client = setup () in
+  let payload = String.init 500 (fun i -> Char.chr ((i * 11) mod 256)) in
+  let started = ref 0 and chunks = ref [] and finished = ref None in
+  Server.register_upload server ~path:"/stream"
+    {
+      Server.start = (fun () -> incr started);
+      chunk = (fun c -> chunks := c :: !chunks);
+      finish =
+        (fun ~src:_ ~digest ~size _request ->
+          finished := Some (digest, size);
+          Server.respond Message.code_changed);
+      abort = (fun () -> Alcotest.fail "abort on a clean transfer");
+    };
+  let final = ref None in
+  Client.post_blockwise client ~dst:1 ~path:"/stream" ~payload (fun result ->
+      final := Some result);
+  ignore (Kernel.run kernel ());
+  (match !final with
+  | Some (Ok response) ->
+      Alcotest.(check bool) "2.04" true
+        (response.Message.code = Message.code_changed)
+  | _ -> Alcotest.fail "upload failed");
+  Alcotest.(check int) "start once" 1 !started;
+  Alcotest.(check string) "chunks arrive in order" payload
+    (String.concat "" (List.rev !chunks));
+  match !finished with
+  | Some (digest, size) ->
+      Alcotest.(check int) "size" (String.length payload) size;
+      Alcotest.(check string) "streaming digest"
+        (Femto_crypto.Crypto.sha256 payload) digest
+  | None -> Alcotest.fail "finish not called"
+
+let test_streaming_upload_sink_failure_aborts () =
+  (* a sink that throws mid-transfer gets aborted and the client sees a
+     5.00 rather than a wedged transfer *)
+  let kernel, _network, server, client = setup () in
+  let aborted = ref 0 in
+  Server.register_upload server ~path:"/failing"
+    {
+      Server.start = (fun () -> ());
+      chunk = (fun _ -> failwith "flash full");
+      finish =
+        (fun ~src:_ ~digest:_ ~size:_ _ -> Server.respond Message.code_changed);
+      abort = (fun () -> incr aborted);
+    };
+  let payload = String.make 300 'z' in
+  let final = ref None in
+  Client.post_blockwise client ~dst:1 ~path:"/failing" ~payload (fun result ->
+      final := Some result);
+  ignore (Kernel.run kernel ());
+  (match !final with
+  | Some (Ok response) ->
+      Alcotest.(check bool) "5.00" true
+        (response.Message.code = Message.code_internal_error)
+  | _ -> Alcotest.fail "no response");
+  Alcotest.(check bool) "aborted" true (!aborted >= 1)
 
 (* --- RFC 7641 observe --- *)
 
@@ -476,6 +581,10 @@ let suite =
     Alcotest.test_case "CON deduplication" `Quick test_server_deduplicates_retransmissions;
     Alcotest.test_case "fmt_s16_dfp" `Quick test_fmt_s16_dfp;
     Alcotest.test_case "block option codec" `Quick test_block_option_codec;
+    Alcotest.test_case "block codec exhaustive" `Slow test_block_codec_exhaustive;
+    Alcotest.test_case "streaming upload sink" `Quick test_streaming_upload_sink;
+    Alcotest.test_case "upload sink failure aborts" `Quick
+      test_streaming_upload_sink_failure_aborts;
     Alcotest.test_case "block slice" `Quick test_block_slice;
     Alcotest.test_case "blockwise upload" `Quick test_blockwise_upload;
     Alcotest.test_case "blockwise upload under loss" `Quick

@@ -237,6 +237,155 @@ let prop_manifest_roundtrip =
           && decoded.Suit.components = m.Suit.components
       | Error _ -> false)
 
+(* --- slice decoder vs tree decoder ---
+
+   [Suit.decode] now runs on CBOR views; these differentials pin it to
+   the original tree decoder: same accepted manifests, same rejection
+   class on any input. *)
+
+let same_outcome a b =
+  match (a, b) with
+  | Ok (m1 : Suit.t), Ok (m2 : Suit.t) ->
+      Int64.equal m1.Suit.sequence m2.Suit.sequence
+      && m1.Suit.components = m2.Suit.components
+      && m1.Suit.vendor_id = m2.Suit.vendor_id
+      && m1.Suit.class_id = m2.Suit.class_id
+  | Error (Suit.Malformed _), Error (Suit.Malformed _) -> true
+  | Error (Suit.Unsupported_version v1), Error (Suit.Unsupported_version v2)
+    -> Int64.equal v1 v2
+  | _ -> false
+
+let prop_decode_differential =
+  let gen =
+    QCheck.Gen.(
+      map2
+        (fun seq payloads ->
+          Suit.encode
+            (Suit.make ~sequence:(Int64.of_int (abs seq + 1))
+               (List.mapi
+                  (fun i p ->
+                    Suit.component_for ~storage_uuid:(Printf.sprintf "u%d" i) p)
+                  payloads)))
+        int
+        (list_size (int_range 1 4) (string_size (int_range 0 64))))
+  in
+  QCheck.Test.make ~name:"slice decode = tree decode" ~count:200
+    (QCheck.make gen)
+    (fun encoded -> same_outcome (Suit.decode encoded) (Suit.decode_tree encoded))
+
+let prop_decode_differential_mutated =
+  let gen =
+    QCheck.Gen.(
+      triple
+        (map
+           (fun p ->
+             Suit.encode
+               (Suit.make ~sequence:1L
+                  [ Suit.component_for ~storage_uuid:uuid_a p ]))
+           (string_size (int_range 0 64)))
+        (int_bound 10_000) (int_bound 255))
+  in
+  QCheck.Test.make ~name:"slice decode = tree decode on mutated bytes"
+    ~count:300 (QCheck.make gen)
+    (fun (encoded, pos, byte) ->
+      let b = Bytes.of_string encoded in
+      Bytes.set b (pos mod Bytes.length b) (Char.chr byte);
+      let mutated = Bytes.to_string b in
+      same_outcome (Suit.decode mutated) (Suit.decode_tree mutated))
+
+(* --- streamed digest hints --- *)
+
+let test_digest_hints () =
+  let streamed = Crypto.sha256 payload_a in
+  let hint = { Suit.streamed; bytes = String.length payload_a } in
+  (* a correct hint is accepted without rehashing the payload *)
+  let device, installed = make_device () in
+  (match
+     Suit.process ~digests:[ (uuid_a, hint) ] device
+       ~envelope:(Suit.sign (manifest ()) key)
+       ~payloads:[ (uuid_a, payload_a) ]
+   with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail (Suit.error_to_string e));
+  Alcotest.(check int) "installed" 1 (List.length !installed);
+  (* a hint that does not match the manifest digest is rejected *)
+  let device, _ = make_device () in
+  let bad = { Suit.streamed = Crypto.sha256 "evil"; bytes = String.length payload_a } in
+  (match
+     Suit.process ~digests:[ (uuid_a, bad) ] device
+       ~envelope:(Suit.sign (manifest ()) key)
+       ~payloads:[ (uuid_a, payload_a) ]
+   with
+  | Error (Suit.Digest_mismatch _) -> ()
+  | Ok _ -> Alcotest.fail "bad streamed digest accepted"
+  | Error e -> Alcotest.fail (Suit.error_to_string e));
+  (* a hint whose byte count disagrees with the manifest is rejected even
+     with the right digest value *)
+  let device, _ = make_device () in
+  let short = { Suit.streamed; bytes = String.length payload_a - 1 } in
+  (match
+     Suit.process ~digests:[ (uuid_a, short) ] device
+       ~envelope:(Suit.sign (manifest ()) key)
+       ~payloads:[ (uuid_a, payload_a) ]
+   with
+  | Error (Suit.Digest_mismatch _) -> ()
+  | Ok _ -> Alcotest.fail "short streamed digest accepted"
+  | Error e -> Alcotest.fail (Suit.error_to_string e));
+  (* a hint cannot stand in for a payload that never arrived *)
+  let device, _ = make_device () in
+  match
+    Suit.process ~digests:[ (uuid_a, hint) ] device
+      ~envelope:(Suit.sign (manifest ()) key)
+      ~payloads:[]
+  with
+  | Error (Suit.Digest_mismatch _) -> ()
+  | Ok _ -> Alcotest.fail "hint without payload accepted"
+  | Error e -> Alcotest.fail (Suit.error_to_string e)
+
+(* --- prepare/commit vs process ---
+
+   The pipeline runs [prepare] on worker domains and [commit] on the
+   owner; splitting must not change any outcome or any device state
+   transition relative to the one-call [process]. *)
+
+let test_prepare_commit_equals_process () =
+  let scenarios =
+    [
+      ("happy", Suit.sign (manifest ()) key, [ (uuid_a, payload_a) ]);
+      ("bad signature", Suit.sign (manifest ()) attacker_key,
+       [ (uuid_a, payload_a) ]);
+      ("digest mismatch", Suit.sign (manifest ()) key,
+       [ (uuid_a, "evil payload") ]);
+      ("missing payload", Suit.sign (manifest ()) key, []);
+      ("unknown storage", Suit.sign (manifest ~uuid:"not-a-hook" ()) key,
+       [ ("not-a-hook", payload_a) ]);
+      ("garbage", "not an envelope", [ (uuid_a, payload_a) ]);
+    ]
+  in
+  List.iter
+    (fun (name, envelope, payloads) ->
+      let d1, i1 = make_device () in
+      let r1 = Suit.process d1 ~envelope ~payloads in
+      let d2, i2 = make_device () in
+      let prepared = Suit.prepare ~key ~envelope ~payloads () in
+      let r2 = Suit.commit d2 prepared in
+      Alcotest.(check bool)
+        (name ^ ": same outcome") true
+        (match (r1, r2) with
+        | Ok m1, Ok m2 -> Int64.equal m1.Suit.sequence m2.Suit.sequence
+        | Error e1, Error e2 ->
+            Suit.error_to_string e1 = Suit.error_to_string e2
+        | _ -> false);
+      Alcotest.(check int64) (name ^ ": same sequence") d1.Suit.sequence
+        d2.Suit.sequence;
+      Alcotest.(check int) (name ^ ": same accepted") d1.Suit.accepted
+        d2.Suit.accepted;
+      Alcotest.(check int) (name ^ ": same rejected") d1.Suit.rejected
+        d2.Suit.rejected;
+      Alcotest.(check (list (pair string string)))
+        (name ^ ": same installs") !i1 !i2)
+    scenarios
+
 let suite =
   [
     Alcotest.test_case "manifest roundtrip" `Quick test_manifest_roundtrip;
@@ -252,7 +401,12 @@ let suite =
     Alcotest.test_case "multi-component" `Quick test_multi_component_update;
     Alcotest.test_case "vendor/class conditions" `Quick test_vendor_class_conditions;
     Alcotest.test_case "stats counters" `Quick test_stats_counters;
+    Alcotest.test_case "digest hints" `Quick test_digest_hints;
+    Alcotest.test_case "prepare/commit = process" `Quick
+      test_prepare_commit_equals_process;
     QCheck_alcotest.to_alcotest prop_manifest_roundtrip;
+    QCheck_alcotest.to_alcotest prop_decode_differential;
+    QCheck_alcotest.to_alcotest prop_decode_differential_mutated;
   ]
 
 let () = Alcotest.run "femto_suit" [ ("suit", suite) ]
