@@ -1,0 +1,290 @@
+(* corpus/* bench family: the three-layer cross-runtime shootout
+   (ROADMAP item 5; EXPERIMENTS.md "Corpus").
+
+   L1/L2 workloads come from Femto_workloads.Corpus: every (runtime,
+   tier) expression of a kernel is checked for result equivalence with
+   the native reference *before* it is timed — then one wall-clock row is
+   emitted per impl.  L3 is the multi-tenant update storm, reusing the
+   PR 5 pipeline fixtures from {!Update_bench} (sequential zero-copy path
+   vs the domain pool).
+
+   The femto-bench/1 document carries absolute ns rows plus
+   "corpus_ratios": per-workload speed relative to the workload's
+   reference row (rbpf/decoded for guest programs, update/sequential for
+   the storm).  Ratios are what the CI gate compares against the
+   committed bench/corpus-baseline.json — robust to absolute machine
+   speed, sensitive to any one runtime regressing relative to the
+   others. *)
+
+module Jsonx = Femto_obs.Jsonx
+module Harness = Femto_workloads.Harness
+module Corpus_reg = Femto_workloads.Corpus
+module Measure = Femto_eval.Measure
+module Pipeline = Femto_suit.Pipeline
+
+type row = {
+  wname : string;
+  layer : string;
+  runtime : string;
+  tier : string;
+  ns : float;
+  result : int64;
+}
+
+let row_key r = Printf.sprintf "%s:%s/%s" r.wname r.runtime r.tier
+
+(* Tolerance of the ratio gate: a workload/impl may lose up to half its
+   committed relative speed before the job fails.  Wide on purpose — CI
+   runners are noisy and the corpus rows are short smoke timings; a real
+   regression (a tier losing its fast path, an interpreter de-optimized)
+   shifts ratios by integer factors, not tens of percent. *)
+let tolerance = 0.5
+
+(* --- L3: the update storm, expressed as a corpus workload ----------- *)
+
+let storm_checksum (t : Update_bench.tenant_jobs) =
+  let acc = ref 0L in
+  Array.iteri
+    (fun i d ->
+      acc :=
+        Int64.add !acc
+          (Int64.mul (Int64.of_int (i + 1)) d.Femto_suit.Suit.sequence))
+    t.Update_bench.devices;
+  !acc
+
+let update_storm () =
+  let expected =
+    let t = Update_bench.make_tenant_jobs () in
+    Update_bench.legacy_concurrent t ();
+    storm_checksum t
+  in
+  {
+    Harness.wname = "l3/update-storm";
+    layer = "l3";
+    expected;
+    impls =
+      [
+        {
+          Harness.runtime = "update";
+          tier = "sequential";
+          mk =
+            (fun () ->
+              let t = Update_bench.make_tenant_jobs () in
+              Harness.instance (fun () ->
+                  Update_bench.streaming_concurrent t ();
+                  storm_checksum t));
+        };
+        {
+          Harness.runtime = "update";
+          tier = "pipeline";
+          mk =
+            (fun () ->
+              let t = Update_bench.make_tenant_jobs () in
+              let pool = Pipeline.create ~queue_depth:16 () in
+              {
+                Harness.run =
+                  (fun () ->
+                    Update_bench.pipeline_concurrent pool t ();
+                    storm_checksum t);
+                dispose = (fun () -> ignore (Pipeline.shutdown pool));
+              });
+        };
+      ];
+  }
+
+(* --- workload selection --------------------------------------------- *)
+
+let layer_names = [ "l1"; "l2"; "l3" ]
+
+let workloads ~layers ~only () =
+  let wanted l = List.mem l layers in
+  let by_layer =
+    (if wanted "l1" then Corpus_reg.l1 () else [])
+    @ (if wanted "l2" then Corpus_reg.l2 () else [])
+    @ if wanted "l3" then [ update_storm () ] else []
+  in
+  match only with
+  | None -> by_layer
+  | Some needle ->
+      List.filter
+        (fun (w : Harness.workload) ->
+          Astring.String.is_infix ~affix:needle w.wname)
+        by_layer
+
+(* --- measurement ---------------------------------------------------- *)
+
+(* Per-layer batching: L1 kernels run in µs, L2 hooks in tens of µs, L3
+   storms in ms.  Smoke mode trades statistical niceness for wall-clock
+   budget — the gate compares ratios of identically-batched rows, so the
+   estimator bias cancels. *)
+let timing ~smoke layer =
+  match (smoke, layer) with
+  | true, "l1" -> (1, 10, 2)
+  | true, "l2" -> (1, 5, 2)
+  | true, _ -> (1, 2, 2)
+  | false, "l1" -> (5, 100, 3)
+  | false, "l2" -> (3, 30, 3)
+  | false, _ -> (2, 5, 3)
+
+exception Divergence of string
+
+let measure_workload ~smoke (w : Harness.workload) =
+  let warmup, iters, trials = timing ~smoke w.layer in
+  List.map
+    (fun (impl : Harness.impl) ->
+      let inst = impl.mk () in
+      let check what =
+        let got = inst.run () in
+        if not (Int64.equal got w.expected) then
+          raise
+            (Divergence
+               (Printf.sprintf "%s %s/%s: %s returned %Ld, reference %Ld"
+                  w.wname impl.runtime impl.tier what got w.expected))
+      in
+      (* equivalence gate: first run and a repeat (catches instance state
+         leaking between runs) must match the native reference *)
+      check "first run";
+      check "rerun";
+      let ns =
+        Measure.wall_ns ~warmup ~iters ~trials (fun () -> ignore (inst.run ()))
+      in
+      let result = inst.run () in
+      inst.dispose ();
+      {
+        wname = w.wname;
+        layer = w.layer;
+        runtime = impl.runtime;
+        tier = impl.tier;
+        ns;
+        result;
+      })
+    w.impls
+
+(* --- ratios + JSON --------------------------------------------------- *)
+
+(* Speed of every impl relative to its workload's reference row (the
+   first impl listed — rbpf/decoded for L1/L2, update/sequential for
+   L3).  > 1 means faster than the reference. *)
+let ratios rows =
+  let by_workload = Hashtbl.create 16 in
+  List.iter
+    (fun r ->
+      if not (Hashtbl.mem by_workload r.wname) then
+        Hashtbl.add by_workload r.wname r.ns)
+    rows;
+  List.map
+    (fun r -> (row_key r, Hashtbl.find by_workload r.wname /. r.ns))
+    rows
+
+let doc_of_rows rows =
+  Schema.doc
+    [
+      ( "corpus",
+        Jsonx.List
+          (List.map
+             (fun r ->
+               Jsonx.Obj
+                 [
+                   ("name", Jsonx.String (row_key r));
+                   ("workload", Jsonx.String r.wname);
+                   ("layer", Jsonx.String r.layer);
+                   ("runtime", Jsonx.String r.runtime);
+                   ("tier", Jsonx.String r.tier);
+                   ("ns_per_run", Jsonx.Float r.ns);
+                   ("result", Jsonx.String (Int64.to_string r.result));
+                 ])
+             rows) );
+      ( "corpus_ratios",
+        Jsonx.Obj (List.map (fun (k, v) -> (k, Jsonx.Float v)) (ratios rows))
+      );
+    ]
+
+(* --- the baseline gate (pure: exercised directly by tests) ----------- *)
+
+(* Compare current ratios against a committed femto-bench/1 baseline.
+   Every committed workload/impl must still exist and must not have lost
+   more than [tolerance] of its committed relative speed.  Extra current
+   rows (new workloads) are fine — they only gate once committed. *)
+let check_baseline_doc ~ratios:current doc =
+  match Jsonx.member "corpus_ratios" doc with
+  | Some (Jsonx.Obj committed) ->
+      List.filter_map
+        (fun (key, v) ->
+          match Jsonx.to_float v with
+          | None -> Some (Printf.sprintf "%s: committed ratio unreadable" key)
+          | Some was -> (
+              match List.assoc_opt key current with
+              | None ->
+                  Some
+                    (Printf.sprintf "%s: row missing (present in baseline)" key)
+              | Some now ->
+                  if now < was *. tolerance then
+                    Some
+                      (Printf.sprintf
+                         "%s regressed: %.3fx of reference now vs %.3fx \
+                          committed (tolerance %.0f%%)"
+                         key now was (tolerance *. 100.))
+                  else None))
+        committed
+  | _ -> [ "baseline has no corpus_ratios section" ]
+
+let check_baseline ~ratios path =
+  match
+    let ic = open_in path in
+    let n = in_channel_length ic in
+    let raw = really_input_string ic n in
+    close_in ic;
+    Jsonx.of_string raw
+  with
+  | exception Sys_error m ->
+      [ Printf.sprintf "baseline %s unreadable: %s" path m ]
+  | exception Jsonx.Parse_error m ->
+      [ Printf.sprintf "baseline %s malformed: %s" path m ]
+  | doc -> check_baseline_doc ~ratios doc
+
+(* --- driver ---------------------------------------------------------- *)
+
+let run ?(layers = layer_names) ?only ~smoke ~json_file ~baseline_file () =
+  match
+    let selected = workloads ~layers ~only () in
+    if selected = [] then begin
+      Printf.eprintf "corpus: no workloads selected\n";
+      2
+    end
+    else begin
+      let rows = List.concat_map (measure_workload ~smoke) selected in
+      Printf.printf "\nCorpus %s(%d workloads, wall-clock ns/run)\n%s\n"
+        (if smoke then "smoke " else "")
+        (List.length selected) (String.make 58 '-');
+      let last_w = ref "" in
+      List.iter
+        (fun r ->
+          if r.wname <> !last_w then begin
+            Printf.printf "  %s\n" r.wname;
+            last_w := r.wname
+          end;
+          Printf.printf "    %-24s %14.1f\n"
+            (r.runtime ^ "/" ^ r.tier)
+            r.ns)
+        rows;
+      flush stdout;
+      Option.iter (Schema.write_doc (doc_of_rows rows)) json_file;
+      let failures =
+        match baseline_file with
+        | None -> []
+        | Some path -> check_baseline ~ratios:(ratios rows) path
+      in
+      if failures <> [] then begin
+        List.iter (fun m -> Printf.eprintf "corpus gate: %s\n" m) failures;
+        1
+      end
+      else 0
+    end
+  with
+  | code -> code
+  | exception Divergence m ->
+      Printf.eprintf "corpus: EQUIVALENCE FAILURE: %s\n" m;
+      1
+  | exception e ->
+      Printf.eprintf "corpus: workload failure: %s\n" (Printexc.to_string e);
+      1

@@ -1,0 +1,155 @@
+(* dispatch/* bench family: the execution-tier ablation (decoded vs
+   trimmed vs compiled vs compiled+fused) over the three hook workloads
+   whose instruction mix the tiers were designed around.  Each case is
+   one VM instance pinned to a tier, pre-checked against the workload's
+   native reference so a semantics regression can never be reported as a
+   performance number.  --dispatch-smoke is the per-push CI gate: the
+   compiled tier must never fall behind the decoded interpreter. *)
+
+module Analysis = Femto_analysis.Analysis
+module Fletcher = Femto_workloads.Fletcher
+module Dagsum = Femto_workloads.Dagsum
+module Loop_sum = Femto_workloads.Loop_sum
+module Hotcall = Femto_workloads.Hotcall
+module Jsonx = Femto_obs.Jsonx
+module Measure = Femto_eval.Measure
+
+let data = Fletcher.input_360
+
+type dispatch_case = {
+  case_name : string;
+  vm : Femto_vm.Vm.t;
+  args : int64 array;
+}
+
+let dispatch_cases () =
+  let mk name vm args expect =
+    (match Femto_vm.Vm.run vm ~args with
+    | Ok v when Int64.equal v expect -> ()
+    | Ok v ->
+        failwith
+          (Printf.sprintf "%s: got %Ld, reference says %Ld" name v expect)
+    | Error fault ->
+        failwith (name ^ ": " ^ Femto_vm.Fault.to_string fault));
+    { case_name = "dispatch/" ^ name; vm; args }
+  in
+  let vm_load ~tier ?fuse ?(helpers = Femto_vm.Helper.create ()) ~regions
+      program =
+    match Femto_vm.Vm.load ~tier ?fuse ~helpers ~regions program with
+    | Ok vm -> vm
+    | Error fault -> failwith (Femto_vm.Fault.to_string fault)
+  in
+  let analysis_load ~tier ?fuse ?(helpers = Femto_vm.Helper.create ())
+      ~regions program =
+    match Analysis.load ~tier ?fuse ~helpers ~regions program with
+    | Ok vm -> vm
+    | Error fault -> failwith (Femto_vm.Fault.to_string fault)
+  in
+  let dag = Dagsum.ebpf_program () in
+  let dag_args = [| Dagsum.data_vaddr |] in
+  let dag_expect = Dagsum.reference data in
+  let loop = Loop_sum.ebpf_program () in
+  let loop_args = [| Loop_sum.data_vaddr |] in
+  let loop_expect = Loop_sum.reference data in
+  let hot = Hotcall.ebpf_program () in
+  [
+    (* dagsum: straight-line DAG, analyzer proofs available *)
+    mk "dagsum-decoded"
+      (vm_load ~tier:Femto_vm.Vm.Decoded ~regions:(Dagsum.regions data) dag)
+      dag_args dag_expect;
+    mk "dagsum-trimmed"
+      (analysis_load ~tier:Femto_vm.Vm.Trimmed ~regions:(Dagsum.regions data)
+         dag)
+      dag_args dag_expect;
+    mk "dagsum-compiled"
+      (analysis_load ~tier:Femto_vm.Vm.Compiled ~fuse:false
+         ~regions:(Dagsum.regions data) dag)
+      dag_args dag_expect;
+    mk "dagsum-compiled-fused"
+      (analysis_load ~tier:Femto_vm.Vm.Compiled ~regions:(Dagsum.regions data)
+         dag)
+      dag_args dag_expect;
+    (* loop_sum: back edge, no analyzer fast path — the compiled tier
+       runs fully checked; fusion still collapses the loop body *)
+    mk "loop-sum-decoded"
+      (vm_load ~tier:Femto_vm.Vm.Decoded ~regions:(Loop_sum.regions data)
+         loop)
+      loop_args loop_expect;
+    mk "loop-sum-compiled"
+      (vm_load ~tier:Femto_vm.Vm.Compiled ~fuse:false
+         ~regions:(Loop_sum.regions data) loop)
+      loop_args loop_expect;
+    mk "loop-sum-compiled-fused"
+      (vm_load ~tier:Femto_vm.Vm.Compiled ~fuse:true
+         ~regions:(Loop_sum.regions data) loop)
+      loop_args loop_expect;
+    (* hotcall: helper-call-bound straight line *)
+    mk "hotcall-decoded"
+      (vm_load ~tier:Femto_vm.Vm.Decoded ~helpers:(Hotcall.helpers ())
+         ~regions:[] hot)
+      [||] Hotcall.reference;
+    mk "hotcall-trimmed"
+      (analysis_load ~tier:Femto_vm.Vm.Trimmed ~helpers:(Hotcall.helpers ())
+         ~regions:[] hot)
+      [||] Hotcall.reference;
+    mk "hotcall-compiled"
+      (analysis_load ~tier:Femto_vm.Vm.Compiled ~fuse:false
+         ~helpers:(Hotcall.helpers ()) ~regions:[] hot)
+      [||] Hotcall.reference;
+    mk "hotcall-compiled-fused"
+      (analysis_load ~tier:Femto_vm.Vm.Compiled ~helpers:(Hotcall.helpers ())
+         ~regions:[] hot)
+      [||] Hotcall.reference;
+  ]
+
+(* Micro-kernel batching: these cases run tens of ns to a few µs. *)
+let wall_ns_per_run f = Measure.wall_ns ~warmup:200 ~iters:2000 ~trials:3 f
+
+let dispatch_smoke_json rows speedups =
+  Schema.doc
+    [
+      ( "dispatch",
+        Jsonx.List
+          (List.map
+             (fun (name, ns) ->
+               Jsonx.Obj
+                 [ ("name", Jsonx.String name); ("ns_per_run", Jsonx.Float ns) ])
+             rows) );
+      ( "dispatch_speedups",
+        Jsonx.Obj (List.map (fun (w, s) -> (w, Jsonx.Float s)) speedups) );
+    ]
+
+let run_dispatch_smoke ~json_file () =
+  let cases = dispatch_cases () in
+  let rows =
+    List.map
+      (fun { case_name; vm; args } ->
+        ( case_name,
+          wall_ns_per_run (fun () -> ignore (Femto_vm.Vm.run vm ~args)) ))
+      cases
+  in
+  Printf.printf "\nDispatch smoke (wall-clock ns/run, best of 3)\n%s\n"
+    (String.make 45 '-');
+  List.iter (fun (name, ns) -> Printf.printf "  %-40s %12.1f\n" name ns) rows;
+  let find name = List.assoc ("dispatch/" ^ name) rows in
+  let speedup workload decoded compiled =
+    let s = find decoded /. find compiled in
+    Printf.printf "  %-40s %11.2fx\n" (workload ^ " compiled speedup") s;
+    (workload, s)
+  in
+  let s_dag = speedup "dagsum" "dagsum-decoded" "dagsum-compiled-fused" in
+  let s_loop = speedup "loop_sum" "loop-sum-decoded" "loop-sum-compiled-fused" in
+  let s_hot = speedup "hotcall" "hotcall-decoded" "hotcall-compiled-fused" in
+  let speedups = [ s_dag; s_loop; s_hot ] in
+  flush stdout;
+  Option.iter (Schema.write_doc (dispatch_smoke_json rows speedups)) json_file;
+  let slow = List.filter (fun (_, s) -> s < 1.0) speedups in
+  if slow <> [] then begin
+    List.iter
+      (fun (w, s) ->
+        Printf.eprintf
+          "dispatch smoke: compiled tier slower than decoded on %s (%.2fx)\n" w
+          s)
+      slow;
+    exit 1
+  end

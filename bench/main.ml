@@ -1,130 +1,45 @@
-(* Benchmark harness: regenerates every table and figure of the paper's
-   evaluation (prints paper-style tables; see EXPERIMENTS.md for the
-   paper-vs-measured record), then optionally runs the Bechamel
-   microbenchmark suite with statistically-fitted ns/run estimates.
+(* Benchmark harness entry point: regenerates every table and figure of
+   the paper's evaluation (prints paper-style tables; see EXPERIMENTS.md
+   for the paper-vs-measured record), then optionally runs the Bechamel
+   microbenchmark suite with statistically-fitted ns/run estimates.  The
+   per-push CI smokes (dispatch, update, corpus) live in the femto_bench
+   library and are selected by flag:
 
      dune exec bench/main.exe                      # all experiments
      dune exec bench/main.exe -- --quick           # skip the Bechamel suite
-     dune exec bench/main.exe -- --bechamel-only
      dune exec bench/main.exe -- --bechamel-only --quota 0.05 --json b.json
+     dune exec bench/main.exe -- --dispatch-smoke --json d.json
      dune exec bench/main.exe -- --update-smoke --json u.json \
                                  --baseline bench/update-baseline.json
+     dune exec bench/main.exe -- --corpus --json corpus.json
+     dune exec bench/main.exe -- --corpus-smoke --json corpus.json \
+                                 --baseline bench/corpus-baseline.json
+     dune exec bench/main.exe -- --corpus-smoke --layer l1,l2 --only fib
 
-   --json FILE writes a machine-readable femto-bench/1 document (the
-   Bechamel ns/run estimates plus the observability-metrics snapshot) —
-   the artifact CI uploads to seed the bench trajectory.  Any workload
-   failure exits non-zero with a one-line diagnosis instead of an
-   uncaught exception, so CI failures are clean. *)
+   --json FILE writes a machine-readable femto-bench/1 document — the
+   artifact CI uploads to extend the bench trajectory (BENCH_*.json).
+   Any workload failure exits non-zero with a one-line diagnosis instead
+   of an uncaught exception, so CI failures are clean. *)
 
 open Bechamel
 module Fletcher = Femto_workloads.Fletcher
 module Dagsum = Femto_workloads.Dagsum
-module Loop_sum = Femto_workloads.Loop_sum
-module Hotcall = Femto_workloads.Hotcall
 module Analysis = Femto_analysis.Analysis
 module Experiments = Femto_eval.Experiments
 module Jsonx = Femto_obs.Jsonx
-module Obs = Femto_obs.Obs
+module Schema = Femto_bench.Schema
+module Dispatch_bench = Femto_bench.Dispatch_bench
+module Update_bench = Femto_bench.Update_bench
+module Corpus = Femto_bench.Corpus
 
 let data = Fletcher.input_360
 
-(* --- dispatch ablation: decoded vs trimmed vs compiled tiers --- *)
-
-(* Each case is one VM instance pinned to a tier, pre-checked against the
-   workload's native reference so a semantics regression can never be
-   reported as a performance number. *)
-type dispatch_case = {
-  case_name : string;
-  vm : Femto_vm.Vm.t;
-  args : int64 array;
-}
-
-let dispatch_cases () =
-  let mk name vm args expect =
-    (match Femto_vm.Vm.run vm ~args with
-    | Ok v when Int64.equal v expect -> ()
-    | Ok v ->
-        failwith
-          (Printf.sprintf "%s: got %Ld, reference says %Ld" name v expect)
-    | Error fault ->
-        failwith (name ^ ": " ^ Femto_vm.Fault.to_string fault));
-    { case_name = "dispatch/" ^ name; vm; args }
-  in
-  let vm_load ~tier ?fuse ?(helpers = Femto_vm.Helper.create ()) ~regions
-      program =
-    match Femto_vm.Vm.load ~tier ?fuse ~helpers ~regions program with
-    | Ok vm -> vm
-    | Error fault -> failwith (Femto_vm.Fault.to_string fault)
-  in
-  let analysis_load ~tier ?fuse ?(helpers = Femto_vm.Helper.create ())
-      ~regions program =
-    match Analysis.load ~tier ?fuse ~helpers ~regions program with
-    | Ok vm -> vm
-    | Error fault -> failwith (Femto_vm.Fault.to_string fault)
-  in
-  let dag = Dagsum.ebpf_program () in
-  let dag_args = [| Dagsum.data_vaddr |] in
-  let dag_expect = Dagsum.reference data in
-  let loop = Loop_sum.ebpf_program () in
-  let loop_args = [| Loop_sum.data_vaddr |] in
-  let loop_expect = Loop_sum.reference data in
-  let hot = Hotcall.ebpf_program () in
-  [
-    (* dagsum: straight-line DAG, analyzer proofs available *)
-    mk "dagsum-decoded"
-      (vm_load ~tier:Femto_vm.Vm.Decoded ~regions:(Dagsum.regions data) dag)
-      dag_args dag_expect;
-    mk "dagsum-trimmed"
-      (analysis_load ~tier:Femto_vm.Vm.Trimmed ~regions:(Dagsum.regions data)
-         dag)
-      dag_args dag_expect;
-    mk "dagsum-compiled"
-      (analysis_load ~tier:Femto_vm.Vm.Compiled ~fuse:false
-         ~regions:(Dagsum.regions data) dag)
-      dag_args dag_expect;
-    mk "dagsum-compiled-fused"
-      (analysis_load ~tier:Femto_vm.Vm.Compiled ~regions:(Dagsum.regions data)
-         dag)
-      dag_args dag_expect;
-    (* loop_sum: back edge, no analyzer fast path — the compiled tier
-       runs fully checked; fusion still collapses the loop body *)
-    mk "loop-sum-decoded"
-      (vm_load ~tier:Femto_vm.Vm.Decoded ~regions:(Loop_sum.regions data)
-         loop)
-      loop_args loop_expect;
-    mk "loop-sum-compiled"
-      (vm_load ~tier:Femto_vm.Vm.Compiled ~fuse:false
-         ~regions:(Loop_sum.regions data) loop)
-      loop_args loop_expect;
-    mk "loop-sum-compiled-fused"
-      (vm_load ~tier:Femto_vm.Vm.Compiled ~fuse:true
-         ~regions:(Loop_sum.regions data) loop)
-      loop_args loop_expect;
-    (* hotcall: helper-call-bound straight line *)
-    mk "hotcall-decoded"
-      (vm_load ~tier:Femto_vm.Vm.Decoded ~helpers:(Hotcall.helpers ())
-         ~regions:[] hot)
-      [||] Hotcall.reference;
-    mk "hotcall-trimmed"
-      (analysis_load ~tier:Femto_vm.Vm.Trimmed ~helpers:(Hotcall.helpers ())
-         ~regions:[] hot)
-      [||] Hotcall.reference;
-    mk "hotcall-compiled"
-      (analysis_load ~tier:Femto_vm.Vm.Compiled ~fuse:false
-         ~helpers:(Hotcall.helpers ()) ~regions:[] hot)
-      [||] Hotcall.reference;
-    mk "hotcall-compiled-fused"
-      (analysis_load ~tier:Femto_vm.Vm.Compiled ~helpers:(Hotcall.helpers ())
-         ~regions:[] hot)
-      [||] Hotcall.reference;
-  ]
-
 let dispatch_tests () =
   List.map
-    (fun { case_name; vm; args } ->
+    (fun { Dispatch_bench.case_name; vm; args } ->
       Test.make ~name:case_name
         (Staged.stage (fun () -> ignore (Femto_vm.Vm.run vm ~args))))
-    (dispatch_cases ())
+    (Dispatch_bench.dispatch_cases ())
 
 (* One Bechamel test per table/figure workload: the statistically robust
    counterpart of the wall-clock medians used in the tables. *)
@@ -153,13 +68,18 @@ let bechamel_tests () =
     let program = Dagsum.ebpf_program () in
     let regions () = Dagsum.regions data in
     let checked =
-      match Femto_vm.Vm.load ~helpers:(Femto_vm.Helper.create ()) ~regions:(regions ()) program with
+      match
+        Femto_vm.Vm.load
+          ~helpers:(Femto_vm.Helper.create ())
+          ~regions:(regions ()) program
+      with
       | Ok vm -> vm
       | Error fault -> failwith (Femto_vm.Fault.to_string fault)
     in
     let trimmed =
       match
-        Femto_analysis.Analysis.load ~helpers:(Femto_vm.Helper.create ())
+        Femto_analysis.Analysis.load
+          ~helpers:(Femto_vm.Helper.create ())
           ~regions:(regions ()) program
       with
       | Ok vm -> vm
@@ -174,60 +94,69 @@ let bechamel_tests () =
       failwith "dagsum: trimmed interpreter disagrees with native reference";
     (checked, trimmed)
   in
-  let wasm = Femto_wasm_mini.Fast.of_module Femto_wasm_mini.Samples.fletcher32_module in
-  let jsish = Femto_script.Eval_tree.load Femto_script.Samples.fletcher32_source in
-  let pyish = Femto_script.Stack_vm.load Femto_script.Samples.fletcher32_source in
+  let wasm =
+    Femto_wasm_mini.Fast.of_module Femto_wasm_mini.Samples.fletcher32_module
+  in
+  let jsish =
+    Femto_script.Eval_tree.load Femto_script.Samples.fletcher32_source
+  in
+  let pyish =
+    Femto_script.Stack_vm.load Femto_script.Samples.fletcher32_source
+  in
   let script_args = Femto_script.Samples.fletcher32_args data in
   Test.make_grouped ~name:"femto-containers"
     ([
-      (* Table 2 row: native baseline *)
-      Test.make ~name:"table2/native-fletcher32"
-        (Staged.stage (fun () -> ignore (Fletcher.checksum data)));
-      (* Table 2 / Figure 9 row: rBPF VM *)
-      Test.make ~name:"table2/rbpf-fletcher32"
-        (Staged.stage (fun () -> ignore (Femto_vm.Vm.run ebpf ~args:[| 0x2000_0000L |])));
-      (* Figure 8 / Table 3 row: CertFC *)
-      Test.make ~name:"fig8/certfc-fletcher32"
-        (Staged.stage (fun () ->
-             ignore (Femto_certfc.Certfc.run certfc ~args:[| 0x2000_0000L |])));
-      (* Static-analysis dividend: identical DAG program, budget-checked
-         loop vs the analyzer-trimmed loop. *)
-      Test.make ~name:"analysis/dagsum-checked"
-        (Staged.stage (fun () ->
-             ignore (Femto_vm.Vm.run dag_checked ~args:[| Dagsum.data_vaddr |])));
-      Test.make ~name:"analysis/dagsum-trimmed"
-        (Staged.stage (fun () ->
-             ignore (Femto_vm.Vm.run dag_trimmed ~args:[| Dagsum.data_vaddr |])));
-      (* Table 1/2 row: WASM *)
-      Test.make ~name:"table2/wasm-fletcher32"
-        (Staged.stage (fun () ->
-             ignore (Femto_wasm_mini.Fast.run_fletcher32 wasm data)));
-      (* Table 1/2 rows: script profiles *)
-      Test.make ~name:"table2/jsish-fletcher32"
-        (Staged.stage (fun () ->
-             ignore (Femto_script.Eval_tree.call jsish "fletcher32" script_args)));
-      Test.make ~name:"table2/pyish-fletcher32"
-        (Staged.stage (fun () ->
-             ignore (Femto_script.Stack_vm.call pyish "fletcher32" script_args)));
-      (* Table 2 column: cold starts *)
-      Test.make ~name:"table2/rbpf-cold-start"
-        (Staged.stage
-           (let program = Fletcher.ebpf_program () in
-            let helpers = Femto_vm.Helper.create () in
-            let regions = Fletcher.regions ~ctx_vaddr:0x2000_0000L data in
-            fun () -> ignore (Femto_vm.Vm.load ~helpers ~regions program)));
-      Test.make ~name:"table2/pyish-cold-start"
-        (Staged.stage (fun () ->
-             ignore (Femto_script.Stack_vm.load Femto_script.Samples.fletcher32_source)));
-      (* Table 4 workload: engine trigger with the thread-counter app *)
-      Test.make ~name:"table4/hook-with-app"
-        (Staged.stage
-           (let fixture = Femto_eval.Setup.make_fixture () in
-            let _container, trigger =
-              Femto_eval.Setup.thread_counter_container fixture
-            in
-            fun () -> ignore (trigger ())));
-    ]
+       (* Table 2 row: native baseline *)
+       Test.make ~name:"table2/native-fletcher32"
+         (Staged.stage (fun () -> ignore (Fletcher.checksum data)));
+       (* Table 2 / Figure 9 row: rBPF VM *)
+       Test.make ~name:"table2/rbpf-fletcher32"
+         (Staged.stage (fun () ->
+              ignore (Femto_vm.Vm.run ebpf ~args:[| 0x2000_0000L |])));
+       (* Figure 8 / Table 3 row: CertFC *)
+       Test.make ~name:"fig8/certfc-fletcher32"
+         (Staged.stage (fun () ->
+              ignore (Femto_certfc.Certfc.run certfc ~args:[| 0x2000_0000L |])));
+       (* Static-analysis dividend: identical DAG program, budget-checked
+          loop vs the analyzer-trimmed loop. *)
+       Test.make ~name:"analysis/dagsum-checked"
+         (Staged.stage (fun () ->
+              ignore (Femto_vm.Vm.run dag_checked ~args:[| Dagsum.data_vaddr |])));
+       Test.make ~name:"analysis/dagsum-trimmed"
+         (Staged.stage (fun () ->
+              ignore (Femto_vm.Vm.run dag_trimmed ~args:[| Dagsum.data_vaddr |])));
+       (* Table 1/2 row: WASM *)
+       Test.make ~name:"table2/wasm-fletcher32"
+         (Staged.stage (fun () ->
+              ignore (Femto_wasm_mini.Fast.run_fletcher32 wasm data)));
+       (* Table 1/2 rows: script profiles *)
+       Test.make ~name:"table2/jsish-fletcher32"
+         (Staged.stage (fun () ->
+              ignore (Femto_script.Eval_tree.call jsish "fletcher32" script_args)));
+       Test.make ~name:"table2/pyish-fletcher32"
+         (Staged.stage (fun () ->
+              ignore (Femto_script.Stack_vm.call pyish "fletcher32" script_args)));
+       (* Table 2 column: cold starts *)
+       Test.make ~name:"table2/rbpf-cold-start"
+         (Staged.stage
+            (let program = Fletcher.ebpf_program () in
+             let helpers = Femto_vm.Helper.create () in
+             let regions = Fletcher.regions ~ctx_vaddr:0x2000_0000L data in
+             fun () -> ignore (Femto_vm.Vm.load ~helpers ~regions program)));
+       Test.make ~name:"table2/pyish-cold-start"
+         (Staged.stage (fun () ->
+              ignore
+                (Femto_script.Stack_vm.load
+                   Femto_script.Samples.fletcher32_source)));
+       (* Table 4 workload: engine trigger with the thread-counter app *)
+       Test.make ~name:"table4/hook-with-app"
+         (Staged.stage
+            (let fixture = Femto_eval.Setup.make_fixture () in
+             let _container, trigger =
+               Femto_eval.Setup.thread_counter_container fixture
+             in
+             fun () -> ignore (trigger ())));
+     ]
     @ dispatch_tests ())
 
 (* Run the suite and return (name, ns/run OLS estimate) rows. *)
@@ -237,10 +166,14 @@ let run_bechamel ~quota () =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
   in
   let instances = Toolkit.Instance.[ monotonic_clock ] in
-  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second quota) ~kde:(Some 10) () in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second quota) ~kde:(Some 10) ()
+  in
   let raw = Benchmark.all cfg instances tests in
   let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
-  let rows = Hashtbl.fold (fun name result acc -> (name, result) :: acc) results [] in
+  let rows =
+    Hashtbl.fold (fun name result acc -> (name, result) :: acc) results []
+  in
   let rows = List.sort compare rows in
   Printf.printf "\nBechamel microbenchmarks (ns/run, OLS fit)\n%s\n"
     (String.make 44 '-');
@@ -259,21 +192,9 @@ let run_bechamel ~quota () =
   flush stdout;
   estimates
 
-(* --- machine-readable output (femto-bench/1) --- *)
-
-let iso8601_utc seconds =
-  let tm = Unix.gmtime seconds in
-  Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02dZ" (tm.Unix.tm_year + 1900)
-    (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min
-    tm.Unix.tm_sec
-
 let bench_json ~quota estimates =
-  Jsonx.Obj
+  Schema.doc
     [
-      ("schema", Jsonx.String "femto-bench/1");
-      ("generated_at", Jsonx.String (iso8601_utc (Unix.time ())));
-      ("ocaml_version", Jsonx.String Sys.ocaml_version);
-      ("word_size", Jsonx.Int Sys.word_size);
       ("quota_s", Jsonx.Float quota);
       ( "bechamel",
         Jsonx.List
@@ -288,95 +209,10 @@ let bench_json ~quota estimates =
                      | None -> Jsonx.Null );
                  ])
              estimates) );
-      (* process-wide observability snapshot: how much VM/engine work the
-         bench run itself performed — free regression context *)
-      ("metrics", Obs.metrics_json ());
     ]
 
-let write_doc doc path =
-  let oc = open_out path in
-  output_string oc (Jsonx.to_string_pretty doc);
-  output_char oc '\n';
-  close_out oc;
-  Printf.printf "wrote %s\n" path
-
-let write_json ~quota estimates path = write_doc (bench_json ~quota estimates) path
-
-(* --- dispatch smoke: the per-push CI gate --- *)
-
-(* Wall-clock ns/run, best of 3 trials: crude next to Bechamel's OLS fit
-   but fast enough to run on every push, and monotonic enough to catch
-   "the compiled tier got slower than the decoded interpreter". *)
-let wall_ns_per_run f =
-  let iters = 2000 and trials = 3 in
-  for _ = 1 to 200 do
-    f ()
-  done;
-  let best = ref infinity in
-  for _ = 1 to trials do
-    let t0 = Unix.gettimeofday () in
-    for _ = 1 to iters do
-      f ()
-    done;
-    let dt = Unix.gettimeofday () -. t0 in
-    if dt < !best then best := dt
-  done;
-  !best *. 1e9 /. float_of_int iters
-
-let dispatch_smoke_json rows speedups =
-  Jsonx.Obj
-    [
-      ("schema", Jsonx.String "femto-bench/1");
-      ("generated_at", Jsonx.String (iso8601_utc (Unix.time ())));
-      ("ocaml_version", Jsonx.String Sys.ocaml_version);
-      ("word_size", Jsonx.Int Sys.word_size);
-      ( "dispatch",
-        Jsonx.List
-          (List.map
-             (fun (name, ns) ->
-               Jsonx.Obj
-                 [ ("name", Jsonx.String name); ("ns_per_run", Jsonx.Float ns) ])
-             rows) );
-      ( "dispatch_speedups",
-        Jsonx.Obj
-          (List.map (fun (w, s) -> (w, Jsonx.Float s)) speedups) );
-      ("metrics", Obs.metrics_json ());
-    ]
-
-let run_dispatch_smoke ~json_file () =
-  let cases = dispatch_cases () in
-  let rows =
-    List.map
-      (fun { case_name; vm; args } ->
-        ( case_name,
-          wall_ns_per_run (fun () -> ignore (Femto_vm.Vm.run vm ~args)) ))
-      cases
-  in
-  Printf.printf "\nDispatch smoke (wall-clock ns/run, best of 3)\n%s\n"
-    (String.make 45 '-');
-  List.iter (fun (name, ns) -> Printf.printf "  %-40s %12.1f\n" name ns) rows;
-  let find name = List.assoc ("dispatch/" ^ name) rows in
-  let speedup workload decoded compiled =
-    let s = find decoded /. find compiled in
-    Printf.printf "  %-40s %11.2fx\n" (workload ^ " compiled speedup") s;
-    (workload, s)
-  in
-  let s_dag = speedup "dagsum" "dagsum-decoded" "dagsum-compiled-fused" in
-  let s_loop = speedup "loop_sum" "loop-sum-decoded" "loop-sum-compiled-fused" in
-  let s_hot = speedup "hotcall" "hotcall-decoded" "hotcall-compiled-fused" in
-  let speedups = [ s_dag; s_loop; s_hot ] in
-  flush stdout;
-  Option.iter (write_doc (dispatch_smoke_json rows speedups)) json_file;
-  let slow = List.filter (fun (_, s) -> s < 1.0) speedups in
-  if slow <> [] then begin
-    List.iter
-      (fun (w, s) ->
-        Printf.eprintf
-          "dispatch smoke: compiled tier slower than decoded on %s (%.2fx)\n" w
-          s)
-      slow;
-    exit 1
-  end
+let write_json ~quota estimates path =
+  Schema.write_doc (bench_json ~quota estimates) path
 
 (* --- entry point --- *)
 
@@ -388,14 +224,32 @@ let opt_value args flag =
   in
   find args
 
+let parse_layers raw =
+  let layers = String.split_on_char ',' raw in
+  let bad = List.filter (fun l -> not (List.mem l Corpus.layer_names)) layers in
+  if bad <> [] then begin
+    Printf.eprintf "bench: unknown corpus layer(s): %s\n"
+      (String.concat ", " bad);
+    exit 2
+  end;
+  layers
+
 let () =
   let args = Array.to_list Sys.argv in
   let quick = List.mem "--quick" args in
   let bechamel_only = List.mem "--bechamel-only" args in
   let dispatch_smoke = List.mem "--dispatch-smoke" args in
   let update_smoke = List.mem "--update-smoke" args in
+  let corpus = List.mem "--corpus" args in
+  let corpus_smoke = List.mem "--corpus-smoke" args in
   let json_file = opt_value args "--json" in
   let baseline_file = opt_value args "--baseline" in
+  let layers =
+    match opt_value args "--layer" with
+    | None -> Corpus.layer_names
+    | Some raw -> parse_layers raw
+  in
+  let only = opt_value args "--only" in
   let quota =
     match opt_value args "--quota" with
     | None -> 0.25
@@ -407,8 +261,12 @@ let () =
             exit 2)
   in
   match
-    if update_smoke then Update_bench.run_smoke ~json_file ~baseline_file ()
-    else if dispatch_smoke then run_dispatch_smoke ~json_file ()
+    if corpus || corpus_smoke then
+      exit
+        (Corpus.run ~layers ?only ~smoke:corpus_smoke ~json_file ~baseline_file
+           ())
+    else if update_smoke then Update_bench.run_smoke ~json_file ~baseline_file ()
+    else if dispatch_smoke then Dispatch_bench.run_dispatch_smoke ~json_file ()
     else begin
       if not bechamel_only then Experiments.run_all ();
       if not quick then begin

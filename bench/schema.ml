@@ -1,0 +1,136 @@
+(* femto-bench/1: the one JSON envelope every bench emitter shares.
+
+   A document is an object with the schema tag, a UTC timestamp, the
+   producing toolchain, any number of *section* keys, and the process
+   observability snapshot.  Row sections ("bechamel", "dispatch",
+   "update", "corpus") are lists of objects with a "name" and ns
+   measurements; ratio sections ("dispatch_speedups", "update_speedups",
+   "corpus_ratios") are flat objects of positive floats — the
+   machine-speed-robust numbers the CI gates compare against committed
+   baselines.  [validate] is the single checker test_bench_schema runs
+   against every emitter and every committed baseline. *)
+
+module Jsonx = Femto_obs.Jsonx
+module Obs = Femto_obs.Obs
+
+let tag = "femto-bench/1"
+
+let iso8601_utc seconds =
+  let tm = Unix.gmtime seconds in
+  Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02dZ" (tm.Unix.tm_year + 1900)
+    (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min
+    tm.Unix.tm_sec
+
+(* Inverse of [iso8601_utc], for monotonicity checks. *)
+let parse_timestamp s =
+  match
+    Scanf.sscanf s "%04d-%02d-%02dT%02d:%02d:%02dZ%!"
+      (fun y mo d h mi sec -> (y, mo, d, h, mi, sec))
+  with
+  | exception _ -> None
+  | y, mo, d, h, mi, sec ->
+      if mo < 1 || mo > 12 || d < 1 || d > 31 || h > 23 || mi > 59 || sec > 60
+      then None
+      else
+        (* days-since-epoch arithmetic is overkill here: a lexicographic
+           tuple compares correctly for a fixed-width UTC stamp, so return
+           a sortable float built the same way *)
+        Some
+          (((((float_of_int y *. 12. +. float_of_int mo) *. 31.
+             +. float_of_int d)
+             *. 24.
+            +. float_of_int h)
+            *. 60.
+           +. float_of_int mi)
+           *. 61.
+          +. float_of_int sec)
+
+(* Assemble a document: the shared envelope around [sections]. *)
+let doc sections =
+  Jsonx.Obj
+    ([
+       ("schema", Jsonx.String tag);
+       ("generated_at", Jsonx.String (iso8601_utc (Unix.time ())));
+       ("ocaml_version", Jsonx.String Sys.ocaml_version);
+       ("word_size", Jsonx.Int Sys.word_size);
+     ]
+    @ sections
+    @ [ ("metrics", Obs.metrics_json ()) ])
+
+let write_doc doc path =
+  let oc = open_out path in
+  output_string oc (Jsonx.to_string_pretty doc);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote %s\n" path
+
+let row_sections = [ "bechamel"; "dispatch"; "update"; "corpus" ]
+let ratio_sections = [ "dispatch_speedups"; "update_speedups"; "corpus_ratios" ]
+
+let is_ns_key key =
+  key = "ns_per_run" || key = "legacy_ns_per_run"
+  || Astring.String.is_suffix ~affix:"_ns" key
+
+(* [validate doc] returns every problem found ([] = conformant). *)
+let validate doc =
+  let problems = ref [] in
+  let bad fmt = Printf.ksprintf (fun m -> problems := m :: !problems) fmt in
+  (match Jsonx.member "schema" doc with
+  | Some (Jsonx.String s) when s = tag -> ()
+  | Some (Jsonx.String s) -> bad "schema is %S, want %S" s tag
+  | _ -> bad "schema tag missing");
+  (match Jsonx.member "generated_at" doc with
+  | Some (Jsonx.String s) -> (
+      match parse_timestamp s with
+      | Some _ -> ()
+      | None -> bad "generated_at %S is not an ISO-8601 UTC stamp" s)
+  | _ -> bad "generated_at missing");
+  (match Jsonx.member "ocaml_version" doc with
+  | Some (Jsonx.String s) when s <> "" -> ()
+  | _ -> bad "ocaml_version missing or empty");
+  (match Jsonx.member "word_size" doc with
+  | Some (Jsonx.Int n) when n > 0 -> ()
+  | _ -> bad "word_size missing or non-positive");
+  List.iter
+    (fun section ->
+      match Jsonx.member section doc with
+      | None -> ()
+      | Some (Jsonx.List rows) ->
+          let seen = Hashtbl.create 16 in
+          List.iteri
+            (fun i row ->
+              match row with
+              | Jsonx.Obj fields ->
+                  (match List.assoc_opt "name" fields with
+                  | Some (Jsonx.String name) when name <> "" ->
+                      if Hashtbl.mem seen name then
+                        bad "%s: duplicate row name %S" section name;
+                      Hashtbl.replace seen name ()
+                  | _ -> bad "%s[%d]: name missing or empty" section i);
+                  List.iter
+                    (fun (key, v) ->
+                      if is_ns_key key then
+                        match v with
+                        | Jsonx.Float ns when ns >= 0.0 && ns = ns -> ()
+                        | Jsonx.Null when section = "bechamel" ->
+                            () (* an OLS fit may fail to converge *)
+                        | _ -> bad "%s[%d]: %s not a non-negative float" section i key)
+                    fields
+              | _ -> bad "%s[%d]: row is not an object" section i)
+            rows
+      | Some _ -> bad "%s: not a list" section)
+    row_sections;
+  List.iter
+    (fun section ->
+      match Jsonx.member section doc with
+      | None -> ()
+      | Some (Jsonx.Obj fields) ->
+          List.iter
+            (fun (key, v) ->
+              match v with
+              | Jsonx.Float r when r > 0.0 && r = r && r <> infinity -> ()
+              | _ -> bad "%s: ratio %S not a positive finite float" section key)
+            fields
+      | Some _ -> bad "%s: not an object" section)
+    ratio_sections;
+  List.rev !problems

@@ -29,7 +29,6 @@ module Pipeline = Femto_suit.Pipeline
 module Flash = Femto_flash.Flash
 module Slots = Femto_flash.Slots
 module Jsonx = Femto_obs.Jsonx
-module Obs = Femto_obs.Obs
 
 let hook_uuid = "bench000-0000-4000-8000-000000000001"
 let vendor = "bench-vendor"
@@ -293,20 +292,7 @@ let self_check () =
 (* --- wall-clock measurement (small-iteration variant of the dispatch
    smoke: these workloads run milliseconds, not nanoseconds) --- *)
 
-let wall_ns ?(warmup = 2) ?(iters = 5) ?(trials = 3) f =
-  for _ = 1 to warmup do
-    f ()
-  done;
-  let best = ref infinity in
-  for _ = 1 to trials do
-    let t0 = Unix.gettimeofday () in
-    for _ = 1 to iters do
-      f ()
-    done;
-    let dt = Unix.gettimeofday () -. t0 in
-    if dt < !best then best := dt
-  done;
-  !best *. 1e9 /. float_of_int iters
+let wall_ns = Femto_eval.Measure.wall_ns
 
 type row = { name : string; legacy_ns : float; fast_ns : float }
 
@@ -360,19 +346,9 @@ let measure_rows () =
 let gates =
   [ ("parse_manifest", 1.5); ("e2e_single", 1.5); ("concurrent_4tenant", 2.0) ]
 
-let iso8601_utc seconds =
-  let tm = Unix.gmtime seconds in
-  Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02dZ" (tm.Unix.tm_year + 1900)
-    (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min
-    tm.Unix.tm_sec
-
 let smoke_json rows ~streaming_seq_ns =
-  Jsonx.Obj
+  Schema.doc
     [
-      ("schema", Jsonx.String "femto-bench/1");
-      ("generated_at", Jsonx.String (iso8601_utc (Unix.time ())));
-      ("ocaml_version", Jsonx.String Sys.ocaml_version);
-      ("word_size", Jsonx.Int Sys.word_size);
       ( "update",
         Jsonx.List
           (List.map
@@ -388,7 +364,6 @@ let smoke_json rows ~streaming_seq_ns =
         Jsonx.Obj (List.map (fun r -> (r.name, Jsonx.Float (speedup r))) rows)
       );
       ("concurrent_streaming_seq_ns", Jsonx.Float streaming_seq_ns);
-      ("metrics", Obs.metrics_json ());
     ]
 
 (* Regression gate against the committed baseline: speedup *ratios* are
@@ -442,14 +417,7 @@ let run_smoke ~json_file ~baseline_file () =
   Printf.printf "  %-30s %12.0f ns (sequential, no pool)\n"
     "concurrent_4tenant streaming" streaming_seq_ns;
   flush stdout;
-  (match json_file with
-  | None -> ()
-  | Some path ->
-      let oc = open_out path in
-      output_string oc (Jsonx.to_string_pretty (smoke_json rows ~streaming_seq_ns));
-      output_char oc '\n';
-      close_out oc;
-      Printf.printf "wrote %s\n" path);
+  Option.iter (Schema.write_doc (smoke_json rows ~streaming_seq_ns)) json_file;
   let failures =
     List.filter_map
       (fun (name, floor) ->

@@ -1,0 +1,17 @@
+#!/bin/sh
+# Single source of truth for the opam packages CI jobs need to build and
+# test the repo.  Keep this list in sync with the dune `libraries`
+# fields; the ocamlformat pin used by the fmt job lives in ci.yml (it is
+# version-pinned and only that job wants it).
+set -eu
+
+opam install --yes \
+  dune \
+  alcotest \
+  qcheck \
+  qcheck-alcotest \
+  bechamel \
+  cmdliner \
+  fmt \
+  logs \
+  astring

@@ -42,6 +42,25 @@ let time_ns_batched ?(batch = 1000) ?(warmup = 2) ?(repetitions = 9) f =
   in
   time_ns ~warmup ~repetitions run_batch /. float_of_int batch
 
+(* Wall-clock ns/run, best of [trials] batches: the cheap per-push
+   counterpart of a statistical fit, shared by every bench smoke (the
+   dispatch, update and corpus gates all divide two of these, so only the
+   batching — not the estimator — needs to match). *)
+let wall_ns ?(warmup = 2) ?(iters = 5) ?(trials = 3) f =
+  for _ = 1 to warmup do
+    f ()
+  done;
+  let best = ref infinity in
+  for _ = 1 to trials do
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to iters do
+      f ()
+    done;
+    let dt = Unix.gettimeofday () -. t0 in
+    if dt < !best then best := dt
+  done;
+  !best *. 1e9 /. float_of_int iters
+
 let us_of_ns ns = ns /. 1000.0
 let ms_of_ns ns = ns /. 1_000_000.0
 

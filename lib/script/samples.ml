@@ -30,3 +30,26 @@ let bytes_to_value data =
 
 let fletcher32_args data =
   [ bytes_to_value data; Value.Int (Int64.of_int (Bytes.length data / 2)) ]
+
+(* Raw-memory flavour of the same kernel for the to_ebpf backend: reads
+   16-bit words straight out of a mapped VM region instead of a script
+   array, so the compiled form races the handwritten eBPF program on the
+   exact same buffer (the corpus "script/to-ebpf" row). *)
+let fletcher32_mem_source =
+  {|
+    fn run(mem, words) {
+      let sum1 = 65535;
+      let sum2 = 65535;
+      let i = 0;
+      while (i < words) {
+        sum1 = sum1 + load16(mem + (2 * i));
+        sum2 = sum2 + sum1;
+        i = i + 1;
+      }
+      sum1 = (sum1 & 65535) + (sum1 >> 16);
+      sum1 = (sum1 & 65535) + (sum1 >> 16);
+      sum2 = (sum2 & 65535) + (sum2 >> 16);
+      sum2 = (sum2 & 65535) + (sum2 >> 16);
+      return (sum2 << 16) | sum1;
+    }
+  |}

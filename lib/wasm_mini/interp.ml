@@ -224,20 +224,22 @@ and exec t ~call_depth locals instr stack =
   | Unreachable -> raise (Trap Unreachable_executed)
   | Nop -> stack
   | Block body -> (
-      try exec_body t ~call_depth locals body stack
-      with Branch 0 -> stack (* branch to a block: exit it *))
+      try exec_body t ~call_depth locals body stack with
+      | Branch 0 -> stack (* branch to a block: exit it *)
+      | Branch n -> raise (Branch (n - 1)) (* outer label: unwind one level *))
   | Loop body -> (
       let rec iterate stack =
         match exec_body t ~call_depth locals body stack with
         | stack' -> stack'
         | exception Branch 0 -> iterate stack (* branch to a loop: restart *)
       in
-      iterate stack)
+      try iterate stack with Branch n -> raise (Branch (n - 1)))
   | If (then_, else_) -> (
       let cond, stack = pop_i32 stack in
       let body = if Int32.equal cond 0l then else_ else then_ in
-      try exec_body t ~call_depth locals body stack
-      with Branch 0 -> stack)
+      try exec_body t ~call_depth locals body stack with
+      | Branch 0 -> stack
+      | Branch n -> raise (Branch (n - 1)))
   | Br depth -> raise (Branch depth)
   | Br_if depth ->
       let cond, stack = pop_i32 stack in

@@ -1,0 +1,246 @@
+(* l2/anomaly — sliding-window anomaly detection over a kv-store history.
+
+   96 historical values (u64 words, each < 2^16) in a read-only buffer.
+   A 16-wide running window tracks the local sum; once the window is
+   full, each new value's absolute deviation (W*h[i] - wsum) is compared
+   against a fixed threshold.  Outliers bump a counter and fold their
+   deviation (weighted by position) into a 32-bit checksum.  Result packs
+   (count << 32) | checksum. *)
+
+let n_values = 96
+let window = 16
+let threshold = window * 1200
+let seed = 0x33
+
+(* History values derive from 16-bit reads of the synth stream; the VM
+   region stores them as little-endian u64 words (the load width the
+   script backend shares with the handwritten assembly). *)
+let values () =
+  let raw = Harness.synth_bytes ~seed (n_values * 2) in
+  Array.init n_values (fun i -> Bytes.get_uint16_le raw (i * 2))
+
+let input () =
+  let v = values () in
+  let b = Bytes.create (n_values * 8) in
+  Array.iteri (fun i x -> Bytes.set_int64_le b (i * 8) (Int64.of_int x)) v;
+  b
+
+let reference () =
+  let h = values () in
+  let wsum = ref 0 and count = ref 0 and chk = ref 0 in
+  for i = 0 to n_values - 1 do
+    wsum := !wsum + h.(i);
+    if i >= window then wsum := !wsum - h.(i - window);
+    if i >= window - 1 then begin
+      let dev = (h.(i) * window) - !wsum in
+      let dev = if dev < 0 then -dev else dev in
+      if dev > threshold then begin
+        incr count;
+        chk := (!chk + (dev * (i + 1))) land 0xFFFFFFFF
+      end
+    end
+  done;
+  Int64.logor (Int64.shift_left (Int64.of_int !count) 32) (Int64.of_int !chk)
+
+(* r1 = history base (u64 words). *)
+let ebpf_source =
+  {|
+      ; 16-wide sliding-window anomaly detector over 96 u64 values
+      mov   r2, 0              ; i
+      mov   r3, 0              ; wsum
+      mov   r4, 0              ; count
+      mov   r5, 0              ; chk
+      lddw  r9, 0xffffffff
+    an_loop:
+      jsgt  r2, 95, an_done
+      mov   r6, r2
+      lsh   r6, 3
+      add   r6, r1
+      ldxdw r7, [r6]           ; h[i]
+      add   r3, r7
+      jslt  r2, 16, no_evict
+      mov   r6, r2
+      sub   r6, 16
+      lsh   r6, 3
+      add   r6, r1
+      ldxdw r8, [r6]
+      sub   r3, r8
+    no_evict:
+      jslt  r2, 15, an_next    ; window not yet full
+      mov   r8, r7
+      lsh   r8, 4              ; W * h[i]
+      sub   r8, r3             ; dev
+      jsge  r8, 0, dev_pos
+      neg   r8
+    dev_pos:
+      jsle  r8, 19200, an_next
+      add   r4, 1
+      mov   r6, r2
+      add   r6, 1
+      mul   r6, r8
+      add   r5, r6
+      and   r5, r9
+    an_next:
+      add   r2, 1
+      ja    an_loop
+    an_done:
+      mov   r0, r4
+      lsh   r0, 32
+      or    r0, r5
+      exit
+  |}
+
+let ebpf_program () = Femto_ebpf.Asm.assemble ebpf_source
+
+let data_vaddr = 0x3800_0000L
+
+let regions () =
+  [
+    Femto_vm.Region.make ~name:"history" ~vaddr:data_vaddr
+      ~perm:Femto_vm.Region.Read_only (input ());
+  ]
+
+let ebpf_args = [| data_vaddr |]
+
+let script_source =
+  {|
+    fn run(h) {
+      let wsum = 0;
+      let count = 0;
+      let chk = 0;
+      let i = 0;
+      while (i < 96) {
+        wsum = wsum + h[i];
+        if (i > 15) { wsum = wsum - h[i - 16]; }
+        if (i > 14) {
+          let dev = (h[i] * 16) - wsum;
+          if (dev < 0) { dev = 0 - dev; }
+          if (dev > 19200) {
+            count = count + 1;
+            chk = (chk + (dev * (i + 1))) & 4294967295;
+          }
+        }
+        i = i + 1;
+      }
+      return (count << 32) | chk;
+    }
+  |}
+
+let mem_source =
+  {|
+    fn run(mem) {
+      let wsum = 0;
+      let count = 0;
+      let chk = 0;
+      let i = 0;
+      while (i < 96) {
+        wsum = wsum + load64(mem + (i * 8));
+        if (i > 15) { wsum = wsum - load64(mem + ((i - 16) * 8)); }
+        if (i > 14) {
+          let dev = (load64(mem + (i * 8)) * 16) - wsum;
+          if (dev < 0) { dev = 0 - dev; }
+          if (dev > 19200) {
+            count = count + 1;
+            chk = (chk + (dev * (i + 1))) & 4294967295;
+          }
+        }
+        i = i + 1;
+      }
+      return (count << 32) | chk;
+    }
+  |}
+
+let script_args () =
+  [
+    Femto_script.Value.Array
+      (ref
+         (Array.map
+            (fun x -> Femto_script.Value.Int (Int64.of_int x))
+            (values ())));
+  ]
+
+let wasm_module =
+  let open Femto_wasm_mini.Ast in
+  let i = 0 in
+  let wsum = 1 and count = 2 and chk = 3 and h = 4 and dev = 5 in
+  let body =
+    [
+      Block
+        [
+          Loop
+            [
+              Local_get i; I32_const 95l; Relop (I32, Gt_s); Br_if 1;
+              Local_get i; I32_const 3l; Binop (I32, Shl); I64_load 0;
+              Local_set h;
+              Local_get wsum; Local_get h; Binop (I64, Add); Local_set wsum;
+              Local_get i; I32_const 16l; Relop (I32, Ge_s);
+              If
+                ( [
+                    Local_get wsum;
+                    Local_get i; I32_const 16l; Binop (I32, Sub);
+                    I32_const 3l; Binop (I32, Shl); I64_load 0;
+                    Binop (I64, Sub); Local_set wsum;
+                  ],
+                  [] );
+              Local_get i; I32_const 15l; Relop (I32, Ge_s);
+              If
+                ( [
+                    Local_get h; I64_const 4L; Binop (I64, Shl);
+                    Local_get wsum; Binop (I64, Sub); Local_set dev;
+                    Local_get dev; I64_const 0L; Relop (I64, Lt_s);
+                    If
+                      ( [
+                          I64_const 0L; Local_get dev; Binop (I64, Sub);
+                          Local_set dev;
+                        ],
+                        [] );
+                    Local_get dev; I64_const 19200L; Relop (I64, Gt_s);
+                    If
+                      ( [
+                          Local_get count; I64_const 1L; Binop (I64, Add);
+                          Local_set count;
+                          Local_get chk; Local_get dev;
+                          Local_get i; I32_const 1l; Binop (I32, Add);
+                          I64_extend_i32_u; Binop (I64, Mul);
+                          Binop (I64, Add);
+                          I64_const 0xFFFF_FFFFL; Binop (I64, And);
+                          Local_set chk;
+                        ],
+                        [] );
+                  ],
+                  [] );
+              Local_get i; I32_const 1l; Binop (I32, Add); Local_set i;
+              Br 0;
+            ];
+        ];
+      Local_get count; I64_const 32L; Binop (I64, Shl);
+      Local_get chk; Binop (I64, Or);
+    ]
+  in
+  let ftype = { params = []; results = [ I64 ] } in
+  {
+    types = [| ftype |];
+    funcs =
+      [| { ftype; locals = [ I32; I64; I64; I64; I64; I64 ]; body } |];
+    memory_pages = 1;
+    globals = [||];
+    data = [];
+    exports = [ { name = "run"; func_index = 0 } ];
+  }
+
+let workload () =
+  {
+    Harness.wname = "l2/anomaly";
+    layer = "l2";
+    expected = reference ();
+    impls =
+      Harness.rbpf_impls ~program:ebpf_program ~regions ~args:ebpf_args ()
+      @ Harness.wasm_impls ~modul:wasm_module ~entry:"run" ~input:(input ())
+          ~args:[] ()
+      @ Harness.script_impls ~source:script_source ~entry:"run"
+          ~args:script_args ()
+      @ [
+          Harness.to_ebpf_impl ~source:mem_source ~entry:"run" ~regions
+            ~args:ebpf_args ();
+        ];
+  }

@@ -1,0 +1,68 @@
+(* The cross-runtime corpus registry (ROADMAP item 5, EXPERIMENTS.md
+   "Corpus").
+
+   Layer 1 are micro kernels isolating one instruction pattern each:
+   fib (ALU + branch), tak (calls), sieve (memory stride), fletcher32
+   (the paper's checksum), nbody-lite (straight-line arithmetic).
+   Layer 2 are realistic hook programs: a CoAP-ish packet filter, sensor
+   aggregation, and a kv-history anomaly detector.  Layer 3 — the
+   multi-tenant update storm — lives in bench/corpus.ml because it
+   exercises the SUIT pipeline rather than a guest program.
+
+   Adding a workload: write a module with a native [reference], one
+   expression per runtime, and a [workload ()] assembling Harness impls;
+   then list it here.  The corpus driver refuses to time any impl whose
+   result diverges from [expected]. *)
+
+(* l1/fletcher32 reuses the paper's reference workload: the handwritten
+   eBPF program reads a (ptr, words) context struct, wasm and the script
+   profiles use the shared sample programs, and the to_ebpf row compiles
+   the raw-memory sample against the same buffer as the rBPF rows. *)
+let fletcher_ctx_vaddr = 0x2000_0000L
+
+let fletcher_workload () =
+  let data = Fletcher.input_360 in
+  let words = Int64.of_int (Bytes.length data / 2) in
+  let to_ebpf_regions () =
+    [
+      Femto_vm.Region.make ~name:"fletcher-data" ~vaddr:Fletcher.data_vaddr
+        ~perm:Femto_vm.Region.Read_only (Bytes.copy data);
+    ]
+  in
+  {
+    Harness.wname = "l1/fletcher32";
+    layer = "l1";
+    expected = Int64.of_int (Fletcher.checksum data);
+    impls =
+      Harness.rbpf_impls ~program:Fletcher.ebpf_program
+        ~regions:(fun () -> Fletcher.regions ~ctx_vaddr:fletcher_ctx_vaddr data)
+        ~args:[| fletcher_ctx_vaddr |] ()
+      @ Harness.wasm_impls ~modul:Femto_wasm_mini.Samples.fletcher32_module
+          ~entry:"fletcher32" ~input:data
+          ~args:
+            [ Femto_wasm_mini.Ast.V_i32 (Int32.of_int (Bytes.length data / 2)) ]
+          ()
+      @ Harness.script_impls ~source:Femto_script.Samples.fletcher32_source
+          ~entry:"fletcher32"
+          ~args:(fun () -> Femto_script.Samples.fletcher32_args data)
+          ()
+      @ [
+          Harness.to_ebpf_impl
+            ~source:Femto_script.Samples.fletcher32_mem_source ~entry:"run"
+            ~regions:to_ebpf_regions
+            ~args:[| Fletcher.data_vaddr; words |] ();
+        ];
+  }
+
+let l1 () =
+  [
+    Fib.workload ();
+    Tak.workload ();
+    Sieve.workload ();
+    fletcher_workload ();
+    Nbody.workload ();
+  ]
+
+let l2 () = [ Packet_filter.workload (); Sensor_agg.workload (); Anomaly.workload () ]
+
+let all () = l1 () @ l2 ()

@@ -1,0 +1,110 @@
+(* l1/fib — iterative Fibonacci, the corpus's pure ALU-and-branch kernel.
+
+   One tight loop of register moves, adds and a conditional back edge: no
+   memory traffic, no helper calls.  What the runtimes race on is raw
+   dispatch of the three cheapest operations they have.  All runtimes
+   compute fib(80) over int64 (no wraparound: fib(80) < 2^63). *)
+
+let n = 80
+
+let reference () =
+  let a = ref 0L and b = ref 1L in
+  for _ = 1 to n do
+    let t = !b in
+    b := Int64.add !a !b;
+    a := t
+  done;
+  !a
+
+(* r1 = n, result in r0. *)
+let ebpf_source =
+  {|
+      ; iterative fibonacci: r1 = n
+      mov   r2, 0             ; a
+      mov   r3, 1             ; b
+      jeq   r1, 0, done
+    fib_loop:
+      mov   r4, r3            ; t = b
+      add   r3, r2            ; b = a + b
+      mov   r2, r4            ; a = t
+      sub   r1, 1
+      jne   r1, 0, fib_loop
+    done:
+      mov   r0, r2
+      exit
+  |}
+
+let ebpf_program () = Femto_ebpf.Asm.assemble ebpf_source
+
+(* Pure-integer MiniScript: the same source serves the tree evaluator,
+   the stack VM and the to_ebpf backend. *)
+let script_source =
+  {|
+    fn run(n) {
+      let a = 0;
+      let b = 1;
+      let i = 0;
+      while (i < n) {
+        let t = b;
+        b = a + b;
+        a = t;
+        i = i + 1;
+      }
+      return a;
+    }
+  |}
+
+let wasm_module =
+  let open Femto_wasm_mini.Ast in
+  let n = 0 and a = 1 and b = 2 and t = 3 in
+  let body =
+    [
+      I64_const 0L; Local_set a;
+      I64_const 1L; Local_set b;
+      Block
+        [
+          Loop
+            [
+              Local_get n; I64_eqz; Br_if 1;
+              Local_get b; Local_set t;
+              Local_get a; Local_get b; Binop (I64, Add); Local_set b;
+              Local_get t; Local_set a;
+              Local_get n; I64_const 1L; Binop (I64, Sub); Local_set n;
+              Br 0;
+            ];
+        ];
+      Local_get a;
+    ]
+  in
+  let ftype = { params = [ I64 ]; results = [ I64 ] } in
+  {
+    types = [| ftype |];
+    funcs = [| { ftype; locals = [ I64; I64; I64 ]; body } |];
+    memory_pages = 1;
+    globals = [||];
+    data = [];
+    exports = [ { name = "run"; func_index = 0 } ];
+  }
+
+let workload () =
+  let arg = Int64.of_int n in
+  {
+    Harness.wname = "l1/fib";
+    layer = "l1";
+    expected = reference ();
+    impls =
+      Harness.rbpf_impls ~program:ebpf_program
+        ~regions:(fun () -> [])
+        ~args:[| arg |] ()
+      @ Harness.wasm_impls ~modul:wasm_module ~entry:"run"
+          ~args:[ Femto_wasm_mini.Ast.V_i64 arg ]
+          ()
+      @ Harness.script_impls ~source:script_source ~entry:"run"
+          ~args:(fun () -> [ Femto_script.Value.Int arg ])
+          ()
+      @ [
+          Harness.to_ebpf_impl ~source:script_source ~entry:"run"
+            ~regions:(fun () -> [])
+            ~args:[| arg |] ();
+        ];
+  }

@@ -1,0 +1,268 @@
+(* l1/nbody-lite — three bodies on a 1-D 20-bit ring, 64 integrator
+   steps.  The corpus's straight-line-arithmetic kernel: long dependency
+   chains of mul/shift/mask with a single loop back edge, no memory
+   traffic at all.
+
+   Everything is computed in the 20-bit masked domain so each operation
+   is exact in int64 on every runtime (no overflow, no signed shifts, no
+   division), making bit-identical cross-runtime results possible.  The
+   "pull" each body feels from another is ((dx & M) * 3) >> 9; velocity
+   and position wrap on the ring; a masked kinetic-energy accumulator
+   folds every step into the final packed result. *)
+
+let mask = (1 lsl 20) - 1
+let steps = 64
+
+let reference () =
+  let x0 = ref 1000 and x1 = ref 200000 and x2 = ref 700000 in
+  let v0 = ref 3 and v1 = ref 5 and v2 = ref 7 in
+  let e = ref 0 in
+  let pull a b = (((b - a) land mask) * 3) lsr 9 in
+  for _ = 1 to steps do
+    v0 := (!v0 + pull !x0 !x1 + pull !x0 !x2) land mask;
+    v1 := (!v1 + pull !x1 !x0 + pull !x1 !x2) land mask;
+    v2 := (!v2 + pull !x2 !x0 + pull !x2 !x1) land mask;
+    x0 := (!x0 + !v0) land mask;
+    x1 := (!x1 + !v1) land mask;
+    x2 := (!x2 + !v2) land mask;
+    e := (!e + (((!v0 * !v0) + (!v1 * !v1) + (!v2 * !v2)) lsr 5)) land mask
+  done;
+  let r = ((((!e lsl 20) lor !x0) lsl 20) lor !x1) in
+  let r = r + (!x2 lsl 10) + (!v0 lsl 5) + !v1 + (!v2 lsl 15) in
+  Int64.of_int r
+
+(* No inputs: constants inline.  x0..x2 in r1..r3, v0..v2 in r4..r6,
+   energy in r7, step counter in r8, scratch in r9/r0. *)
+let ebpf_source =
+  {|
+      ; nbody-lite: 3 bodies, 1-D 20-bit ring, 64 steps
+      mov   r1, 1000           ; x0
+      mov   r2, 200000         ; x1
+      mov   r3, 700000         ; x2
+      mov   r4, 3              ; v0
+      mov   r5, 5              ; v1
+      mov   r6, 7              ; v2
+      mov   r7, 0              ; e
+      mov   r8, 64             ; steps
+    step:
+      ; v0 += pull(x0,x1) + pull(x0,x2)
+      mov   r9, r2
+      sub   r9, r1
+      and   r9, 0xfffff
+      mul   r9, 3
+      rsh   r9, 9
+      add   r4, r9
+      mov   r9, r3
+      sub   r9, r1
+      and   r9, 0xfffff
+      mul   r9, 3
+      rsh   r9, 9
+      add   r4, r9
+      and   r4, 0xfffff
+      ; v1 += pull(x1,x0) + pull(x1,x2)
+      mov   r9, r1
+      sub   r9, r2
+      and   r9, 0xfffff
+      mul   r9, 3
+      rsh   r9, 9
+      add   r5, r9
+      mov   r9, r3
+      sub   r9, r2
+      and   r9, 0xfffff
+      mul   r9, 3
+      rsh   r9, 9
+      add   r5, r9
+      and   r5, 0xfffff
+      ; v2 += pull(x2,x0) + pull(x2,x1)
+      mov   r9, r1
+      sub   r9, r3
+      and   r9, 0xfffff
+      mul   r9, 3
+      rsh   r9, 9
+      add   r6, r9
+      mov   r9, r2
+      sub   r9, r3
+      and   r9, 0xfffff
+      mul   r9, 3
+      rsh   r9, 9
+      add   r6, r9
+      and   r6, 0xfffff
+      ; positions advance on the ring
+      add   r1, r4
+      and   r1, 0xfffff
+      add   r2, r5
+      and   r2, 0xfffff
+      add   r3, r6
+      and   r3, 0xfffff
+      ; e = (e + ((v0^2 + v1^2 + v2^2) >> 5)) & M
+      mov   r9, r4
+      mul   r9, r4
+      mov   r0, r9
+      mov   r9, r5
+      mul   r9, r5
+      add   r0, r9
+      mov   r9, r6
+      mul   r9, r6
+      add   r0, r9
+      rsh   r0, 5
+      add   r7, r0
+      and   r7, 0xfffff
+      sub   r8, 1
+      jne   r8, 0, step
+      ; pack: (((e<<20)|x0)<<20)|x1 then fold x2/v0/v1/v2 in
+      mov   r0, r7
+      lsh   r0, 20
+      or    r0, r1
+      lsh   r0, 20
+      or    r0, r2
+      mov   r9, r3
+      lsh   r9, 10
+      add   r0, r9
+      mov   r9, r4
+      lsh   r9, 5
+      add   r0, r9
+      add   r0, r5
+      mov   r9, r6
+      lsh   r9, 15
+      add   r0, r9
+      exit
+  |}
+
+let ebpf_program () = Femto_ebpf.Asm.assemble ebpf_source
+
+(* Pure-integer MiniScript: serves tree, stack and to_ebpf alike. *)
+let script_source =
+  {|
+    fn run() {
+      let x0 = 1000;
+      let x1 = 200000;
+      let x2 = 700000;
+      let v0 = 3;
+      let v1 = 5;
+      let v2 = 7;
+      let e = 0;
+      let s = 0;
+      while (s < 64) {
+        v0 = (v0 + ((((x1 - x0) & 1048575) * 3) >> 9)
+                 + ((((x2 - x0) & 1048575) * 3) >> 9)) & 1048575;
+        v1 = (v1 + ((((x0 - x1) & 1048575) * 3) >> 9)
+                 + ((((x2 - x1) & 1048575) * 3) >> 9)) & 1048575;
+        v2 = (v2 + ((((x0 - x2) & 1048575) * 3) >> 9)
+                 + ((((x1 - x2) & 1048575) * 3) >> 9)) & 1048575;
+        x0 = (x0 + v0) & 1048575;
+        x1 = (x1 + v1) & 1048575;
+        x2 = (x2 + v2) & 1048575;
+        e = (e + (((v0 * v0) + (v1 * v1) + (v2 * v2)) >> 5)) & 1048575;
+        s = s + 1;
+      }
+      let r = (((e << 20) | x0) << 20) | x1;
+      r = r + (x2 << 10) + (v0 << 5) + v1 + (v2 << 15);
+      return r;
+    }
+  |}
+
+let wasm_module =
+  let open Femto_wasm_mini.Ast in
+  let x0 = 0 and x1 = 1 and x2 = 2 in
+  let v0 = 3 and v1 = 4 and v2 = 5 in
+  let e = 6 and s = 7 and r = 8 in
+  let m = 1048575L in
+  (* ((xb - xa) & M) * 3 >> 9, left on the stack *)
+  let pull xa xb =
+    [
+      Local_get xb; Local_get xa; Binop (I64, Sub);
+      I64_const m; Binop (I64, And);
+      I64_const 3L; Binop (I64, Mul);
+      I64_const 9L; Binop (I64, Shr_u);
+    ]
+  in
+  let vel v xa xb xc =
+    [ Local_get v ] @ pull xa xb
+    @ [ Binop (I64, Add) ]
+    @ pull xa xc
+    @ [
+        Binop (I64, Add); I64_const m; Binop (I64, And); Local_set v;
+      ]
+  in
+  let advance x v =
+    [
+      Local_get x; Local_get v; Binop (I64, Add);
+      I64_const m; Binop (I64, And); Local_set x;
+    ]
+  in
+  let sq v = [ Local_get v; Local_get v; Binop (I64, Mul) ] in
+  let body =
+    [
+      I64_const 1000L; Local_set x0;
+      I64_const 200000L; Local_set x1;
+      I64_const 700000L; Local_set x2;
+      I64_const 3L; Local_set v0;
+      I64_const 5L; Local_set v1;
+      I64_const 7L; Local_set v2;
+      Block
+        [
+          Loop
+            ([
+               Local_get s; I64_const 64L; Relop (I64, Ge_s); Br_if 1;
+             ]
+            @ vel v0 x0 x1 x2 @ vel v1 x1 x0 x2 @ vel v2 x2 x0 x1
+            @ advance x0 v0 @ advance x1 v1 @ advance x2 v2
+            @ [ Local_get e ]
+            @ sq v0
+            @ sq v1 @ [ Binop (I64, Add) ]
+            @ sq v2 @ [ Binop (I64, Add) ]
+            @ [
+                I64_const 5L; Binop (I64, Shr_u); Binop (I64, Add);
+                I64_const m; Binop (I64, And); Local_set e;
+                Local_get s; I64_const 1L; Binop (I64, Add); Local_set s;
+                Br 0;
+              ]);
+        ];
+      Local_get e; I64_const 20L; Binop (I64, Shl);
+      Local_get x0; Binop (I64, Or);
+      I64_const 20L; Binop (I64, Shl);
+      Local_get x1; Binop (I64, Or);
+      Local_set r;
+      Local_get r;
+      Local_get x2; I64_const 10L; Binop (I64, Shl); Binop (I64, Add);
+      Local_get v0; I64_const 5L; Binop (I64, Shl); Binop (I64, Add);
+      Local_get v1; Binop (I64, Add);
+      Local_get v2; I64_const 15L; Binop (I64, Shl); Binop (I64, Add);
+    ]
+  in
+  let ftype = { params = []; results = [ I64 ] } in
+  {
+    types = [| ftype |];
+    funcs =
+      [|
+        {
+          ftype;
+          locals = [ I64; I64; I64; I64; I64; I64; I64; I64; I64 ];
+          body;
+        };
+      |];
+    memory_pages = 1;
+    globals = [||];
+    data = [];
+    exports = [ { name = "run"; func_index = 0 } ];
+  }
+
+let workload () =
+  {
+    Harness.wname = "l1/nbody-lite";
+    layer = "l1";
+    expected = reference ();
+    impls =
+      Harness.rbpf_impls ~program:ebpf_program
+        ~regions:(fun () -> [])
+        ~args:[||] ()
+      @ Harness.wasm_impls ~modul:wasm_module ~entry:"run" ~args:[] ()
+      @ Harness.script_impls ~source:script_source ~entry:"run"
+          ~args:(fun () -> [])
+          ()
+      @ [
+          Harness.to_ebpf_impl ~source:script_source ~entry:"run"
+            ~regions:(fun () -> [])
+            ~args:[||] ();
+        ];
+  }

@@ -1,0 +1,221 @@
+(* l2/packet-filter — the paper's canonical hook: a filter over a burst
+   of (simulated) CoAP datagrams.
+
+   32 fixed-size 16-byte packets live in a read-only buffer.  A packet is
+   accepted when its first header byte carries a non-zero version field
+   (bits 6-7) and its second byte a code of 1 (low two bits); the payload
+   bytes (2..15) of accepted packets are folded into a 32-bit multiply-
+   accumulate checksum.  Result packs (accepted << 32) | checksum, so a
+   single diverging byte anywhere fails cross-runtime equivalence. *)
+
+let n_packets = 32
+let packet_len = 16
+let seed = 0x11
+
+let input () = Harness.synth_bytes ~seed (n_packets * packet_len)
+
+let accepts b0 b1 = (b0 lsr 6) land 3 <> 0 && b1 land 3 = 1
+
+let reference () =
+  let data = input () in
+  let chk = ref 0 and acc = ref 0 in
+  for p = 0 to n_packets - 1 do
+    let base = p * packet_len in
+    if
+      accepts (Char.code (Bytes.get data base)) (Char.code (Bytes.get data (base + 1)))
+    then begin
+      incr acc;
+      for k = 2 to packet_len - 1 do
+        chk := ((!chk * 31) + Char.code (Bytes.get data (base + k))) land 0xFFFFFFFF
+      done
+    end
+  done;
+  Int64.logor (Int64.shift_left (Int64.of_int !acc) 32) (Int64.of_int !chk)
+
+(* r1 = packet buffer base. *)
+let ebpf_source =
+  {|
+      ; packet filter over 32 x 16-byte pseudo-CoAP packets
+      mov   r0, 0              ; chk
+      mov   r6, 0              ; accepted
+      mov   r2, 0              ; p
+      lddw  r9, 0xffffffff
+    pkt_loop:
+      jsgt  r2, 31, finish
+      mov   r3, r2
+      lsh   r3, 4
+      add   r3, r1             ; packet base
+      ldxb  r4, [r3]
+      rsh   r4, 6
+      and   r4, 3
+      jeq   r4, 0, pkt_next    ; version 0: drop
+      ldxb  r4, [r3+1]
+      and   r4, 3
+      jne   r4, 1, pkt_next    ; code != 1: drop
+      add   r6, 1
+      mov   r5, 2              ; k
+    byte_loop:
+      jsgt  r5, 15, pkt_next
+      mov   r7, r3
+      add   r7, r5
+      ldxb  r8, [r7]
+      mul   r0, 31
+      add   r0, r8
+      and   r0, r9
+      add   r5, 1
+      ja    byte_loop
+    pkt_next:
+      add   r2, 1
+      ja    pkt_loop
+    finish:
+      lsh   r6, 32
+      or    r0, r6
+      exit
+  |}
+
+let ebpf_program () = Femto_ebpf.Asm.assemble ebpf_source
+
+let data_vaddr = 0x3600_0000L
+
+let regions () =
+  [
+    Femto_vm.Region.make ~name:"packets" ~vaddr:data_vaddr
+      ~perm:Femto_vm.Region.Read_only (input ());
+  ]
+
+let ebpf_args = [| data_vaddr |]
+
+(* Array flavour: the burst arrives as an array of byte values. *)
+let script_source =
+  {|
+    fn run(data) {
+      let chk = 0;
+      let acc = 0;
+      let p = 0;
+      while (p < 32) {
+        let base = p * 16;
+        if (((data[base] >> 6) & 3) != 0) {
+          if ((data[base + 1] & 3) == 1) {
+            acc = acc + 1;
+            let k = 2;
+            while (k < 16) {
+              chk = ((chk * 31) + data[base + k]) & 4294967295;
+              k = k + 1;
+            }
+          }
+        }
+        p = p + 1;
+      }
+      return (acc << 32) | chk;
+    }
+  |}
+
+(* Raw-memory flavour for the eBPF backend: same buffer as the rBPF rows. *)
+let mem_source =
+  {|
+    fn run(mem) {
+      let chk = 0;
+      let acc = 0;
+      let p = 0;
+      while (p < 32) {
+        let base = mem + (p * 16);
+        if (((load8(base) >> 6) & 3) != 0) {
+          if ((load8(base + 1) & 3) == 1) {
+            acc = acc + 1;
+            let k = 2;
+            while (k < 16) {
+              chk = ((chk * 31) + load8(base + k)) & 4294967295;
+              k = k + 1;
+            }
+          }
+        }
+        p = p + 1;
+      }
+      return (acc << 32) | chk;
+    }
+  |}
+
+let script_args () =
+  let data = input () in
+  [
+    Femto_script.Value.Array
+      (ref
+         (Array.init (Bytes.length data) (fun i ->
+              Femto_script.Value.Int (Int64.of_int (Char.code (Bytes.get data i))))));
+  ]
+
+let wasm_module =
+  let open Femto_wasm_mini.Ast in
+  let p = 0 and base = 1 and k = 2 in
+  let chk = 3 and acc = 4 in
+  let body =
+    [
+      Block
+        [
+          Loop
+            [
+              Local_get p; I32_const 31l; Relop (I32, Gt_s); Br_if 1;
+              Local_get p; I32_const 4l; Binop (I32, Shl); Local_set base;
+              Block
+                [
+                  Local_get base; I32_load8_u 0;
+                  I32_const 6l; Binop (I32, Shr_u);
+                  I32_const 3l; Binop (I32, And);
+                  I32_eqz; Br_if 0;
+                  Local_get base; I32_load8_u 1;
+                  I32_const 3l; Binop (I32, And);
+                  I32_const 1l; Relop (I32, Ne); Br_if 0;
+                  Local_get acc; I64_const 1L; Binop (I64, Add); Local_set acc;
+                  I32_const 2l; Local_set k;
+                  Block
+                    [
+                      Loop
+                        [
+                          Local_get k; I32_const 15l; Relop (I32, Gt_s);
+                          Br_if 1;
+                          Local_get chk; I64_const 31L; Binop (I64, Mul);
+                          Local_get base; Local_get k; Binop (I32, Add);
+                          I32_load8_u 0; I64_extend_i32_u;
+                          Binop (I64, Add);
+                          I64_const 0xFFFF_FFFFL; Binop (I64, And);
+                          Local_set chk;
+                          Local_get k; I32_const 1l; Binop (I32, Add);
+                          Local_set k;
+                          Br 0;
+                        ];
+                    ];
+                ];
+              Local_get p; I32_const 1l; Binop (I32, Add); Local_set p;
+              Br 0;
+            ];
+        ];
+      Local_get acc; I64_const 32L; Binop (I64, Shl);
+      Local_get chk; Binop (I64, Or);
+    ]
+  in
+  let ftype = { params = []; results = [ I64 ] } in
+  {
+    types = [| ftype |];
+    funcs = [| { ftype; locals = [ I32; I32; I32; I64; I64 ]; body } |];
+    memory_pages = 1;
+    globals = [||];
+    data = [];
+    exports = [ { name = "run"; func_index = 0 } ];
+  }
+
+let workload () =
+  {
+    Harness.wname = "l2/packet-filter";
+    layer = "l2";
+    expected = reference ();
+    impls =
+      Harness.rbpf_impls ~program:ebpf_program ~regions ~args:ebpf_args ()
+      @ Harness.wasm_impls ~modul:wasm_module ~entry:"run" ~input:(input ())
+          ~args:[] ()
+      @ Harness.script_impls ~source:script_source ~entry:"run"
+          ~args:script_args ()
+      @ [
+          Harness.to_ebpf_impl ~source:mem_source ~entry:"run" ~regions
+            ~args:ebpf_args ();
+        ];
+  }

@@ -1,0 +1,215 @@
+(* l2/sensor-agg — the aggregation hook a sensor node runs over a batch
+   of raw ADC readings before publishing.
+
+   96 unsigned 16-bit little-endian samples in a read-only buffer.  One
+   pass computes an exponential moving average (a = (3a + s) >> 2, seeded
+   with the first sample), the min, the max, and how many samples exceed
+   a fixed alarm threshold.  All four aggregates pack into the result, so
+   equivalence checks every branch of the kernel at once. *)
+
+let n_samples = 96
+let seed = 0x22
+let threshold = 40000
+
+let input () = Harness.synth_bytes ~seed (n_samples * 2)
+
+let reference () =
+  let data = input () in
+  let ema = ref 0 and minv = ref 65535 and maxv = ref 0 and above = ref 0 in
+  for i = 0 to n_samples - 1 do
+    let s = Bytes.get_uint16_le data (i * 2) in
+    if i = 0 then ema := s else ema := ((!ema * 3) + s) lsr 2;
+    if s < !minv then minv := s;
+    if s > !maxv then maxv := s;
+    if s > threshold then incr above
+  done;
+  Int64.of_int
+    ((((((!ema lsl 16) lor !minv) lsl 16) lor !maxv) lsl 8) lor !above)
+
+(* r1 = sample buffer base. *)
+let ebpf_source =
+  {|
+      ; one-pass aggregation over 96 u16 samples
+      mov   r2, 0              ; i
+      mov   r3, 0              ; ema
+      mov   r4, 65535          ; min
+      mov   r5, 0              ; max
+      mov   r6, 0              ; above
+    agg_loop:
+      jsgt  r2, 95, agg_done
+      mov   r7, r2
+      lsh   r7, 1
+      add   r7, r1
+      ldxh  r8, [r7]           ; s
+      jne   r2, 0, smooth
+      mov   r3, r8             ; first sample seeds the average
+      ja    minmax
+    smooth:
+      mul   r3, 3
+      add   r3, r8
+      rsh   r3, 2
+    minmax:
+      jsge  r8, r4, no_min
+      mov   r4, r8
+    no_min:
+      jsle  r8, r5, no_max
+      mov   r5, r8
+    no_max:
+      jsle  r8, 40000, no_above
+      add   r6, 1
+    no_above:
+      add   r2, 1
+      ja    agg_loop
+    agg_done:
+      mov   r0, r3
+      lsh   r0, 16
+      or    r0, r4
+      lsh   r0, 16
+      or    r0, r5
+      lsh   r0, 8
+      or    r0, r6
+      exit
+  |}
+
+let ebpf_program () = Femto_ebpf.Asm.assemble ebpf_source
+
+let data_vaddr = 0x3700_0000L
+
+let regions () =
+  [
+    Femto_vm.Region.make ~name:"samples" ~vaddr:data_vaddr
+      ~perm:Femto_vm.Region.Read_only (input ());
+  ]
+
+let ebpf_args = [| data_vaddr |]
+
+let script_source =
+  {|
+    fn run(w) {
+      let ema = 0;
+      let minv = 65535;
+      let maxv = 0;
+      let above = 0;
+      let i = 0;
+      while (i < 96) {
+        let s = w[i];
+        if (i == 0) {
+          ema = s;
+        } else {
+          ema = ((ema * 3) + s) >> 2;
+        }
+        if (s < minv) { minv = s; }
+        if (s > maxv) { maxv = s; }
+        if (s > 40000) { above = above + 1; }
+        i = i + 1;
+      }
+      return ((((((ema << 16) | minv) << 16) | maxv) << 8) | above);
+    }
+  |}
+
+let mem_source =
+  {|
+    fn run(mem) {
+      let ema = 0;
+      let minv = 65535;
+      let maxv = 0;
+      let above = 0;
+      let i = 0;
+      while (i < 96) {
+        let s = load16(mem + (i * 2));
+        if (i == 0) {
+          ema = s;
+        } else {
+          ema = ((ema * 3) + s) >> 2;
+        }
+        if (s < minv) { minv = s; }
+        if (s > maxv) { maxv = s; }
+        if (s > 40000) { above = above + 1; }
+        i = i + 1;
+      }
+      return ((((((ema << 16) | minv) << 16) | maxv) << 8) | above);
+    }
+  |}
+
+let script_args () =
+  let data = input () in
+  [
+    Femto_script.Value.Array
+      (ref
+         (Array.init n_samples (fun i ->
+              Femto_script.Value.Int
+                (Int64.of_int (Bytes.get_uint16_le data (i * 2))))));
+  ]
+
+let wasm_module =
+  let open Femto_wasm_mini.Ast in
+  let i = 0 in
+  let s = 1 and ema = 2 and minv = 3 and maxv = 4 and above = 5 in
+  let body =
+    [
+      I64_const 65535L; Local_set minv;
+      Block
+        [
+          Loop
+            [
+              Local_get i; I32_const 95l; Relop (I32, Gt_s); Br_if 1;
+              Local_get i; I32_const 1l; Binop (I32, Shl);
+              I32_load16_u 0; I64_extend_i32_u; Local_set s;
+              Local_get i; I32_eqz;
+              If
+                ( [ Local_get s; Local_set ema ],
+                  [
+                    Local_get ema; I64_const 3L; Binop (I64, Mul);
+                    Local_get s; Binop (I64, Add);
+                    I64_const 2L; Binop (I64, Shr_u); Local_set ema;
+                  ] );
+              Local_get s; Local_get minv; Relop (I64, Lt_s);
+              If ([ Local_get s; Local_set minv ], []);
+              Local_get s; Local_get maxv; Relop (I64, Gt_s);
+              If ([ Local_get s; Local_set maxv ], []);
+              Local_get s; I64_const 40000L; Relop (I64, Gt_s);
+              If
+                ( [
+                    Local_get above; I64_const 1L; Binop (I64, Add);
+                    Local_set above;
+                  ],
+                  [] );
+              Local_get i; I32_const 1l; Binop (I32, Add); Local_set i;
+              Br 0;
+            ];
+        ];
+      Local_get ema; I64_const 16L; Binop (I64, Shl);
+      Local_get minv; Binop (I64, Or);
+      I64_const 16L; Binop (I64, Shl);
+      Local_get maxv; Binop (I64, Or);
+      I64_const 8L; Binop (I64, Shl);
+      Local_get above; Binop (I64, Or);
+    ]
+  in
+  let ftype = { params = []; results = [ I64 ] } in
+  {
+    types = [| ftype |];
+    funcs =
+      [| { ftype; locals = [ I32; I64; I64; I64; I64; I64 ]; body } |];
+    memory_pages = 1;
+    globals = [||];
+    data = [];
+    exports = [ { name = "run"; func_index = 0 } ];
+  }
+
+let workload () =
+  {
+    Harness.wname = "l2/sensor-agg";
+    layer = "l2";
+    expected = reference ();
+    impls =
+      Harness.rbpf_impls ~program:ebpf_program ~regions ~args:ebpf_args ()
+      @ Harness.wasm_impls ~modul:wasm_module ~entry:"run" ~input:(input ())
+          ~args:[] ()
+      @ Harness.script_impls ~source:script_source ~entry:"run"
+          ~args:script_args ()
+      @ [
+          Harness.to_ebpf_impl ~source:mem_source ~entry:"run" ~regions
+            ~args:ebpf_args ();
+        ];
+  }

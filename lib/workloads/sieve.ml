@@ -1,0 +1,230 @@
+(* l1/sieve — Eratosthenes over the first 512 naturals, the corpus's
+   memory-stride kernel.
+
+   The rBPF and to_ebpf expressions keep one 64-bit flag word per number
+   in a 4 KiB read-write region (the only store width the script backend
+   emits); wasm uses one byte per number in linear memory; the script
+   profiles use a growable array.  Flags are only ever set to 1, so a
+   single instance stays idempotent across repeated timed runs.  Result:
+   sum of all primes below [n]. *)
+
+let n = 512
+
+let reference () =
+  let flags = Array.make n false in
+  let i = ref 2 in
+  while !i * !i < n do
+    if not flags.(!i) then begin
+      let j = ref (!i * !i) in
+      while !j < n do
+        flags.(!j) <- true;
+        j := !j + !i
+      done
+    end;
+    incr i
+  done;
+  let sum = ref 0 in
+  for k = 2 to n - 1 do
+    if not flags.(k) then sum := !sum + k
+  done;
+  Int64.of_int !sum
+
+(* r1 = base of 512 zeroed u64 flag words; result in r0. *)
+let ebpf_source =
+  {|
+      ; sieve of eratosthenes, one u64 flag word per number
+      mov   r2, 2              ; i
+    mark_outer:
+      mov   r3, r2
+      mul   r3, r2             ; i*i
+      jsgt  r3, 511, sum_init
+      mov   r4, r2
+      lsh   r4, 3
+      add   r4, r1
+      ldxdw r5, [r4]
+      jne   r5, 0, mark_next   ; already composite
+      mov   r6, r3             ; j = i*i
+    mark_inner:
+      jsgt  r6, 511, mark_next
+      mov   r4, r6
+      lsh   r4, 3
+      add   r4, r1
+      mov   r5, 1
+      stxdw [r4], r5
+      add   r6, r2
+      ja    mark_inner
+    mark_next:
+      add   r2, 1
+      ja    mark_outer
+    sum_init:
+      mov   r0, 0
+      mov   r2, 2
+    sum_loop:
+      jsgt  r2, 511, done
+      mov   r4, r2
+      lsh   r4, 3
+      add   r4, r1
+      ldxdw r5, [r4]
+      jne   r5, 0, sum_next
+      add   r0, r2
+    sum_next:
+      add   r2, 1
+      ja    sum_loop
+    done:
+      exit
+  |}
+
+let ebpf_program () = Femto_ebpf.Asm.assemble ebpf_source
+
+let flags_vaddr = 0x3500_0000L
+
+let regions () =
+  [
+    Femto_vm.Region.make ~name:"sieve-flags" ~vaddr:flags_vaddr
+      ~perm:Femto_vm.Region.Read_write (Bytes.make (n * 8) '\000');
+  ]
+
+let ebpf_args = [| flags_vaddr |]
+
+(* Array flavour for the tree/stack profiles. *)
+let script_source =
+  {|
+    fn run() {
+      let flags = [];
+      let i = 0;
+      while (i < 512) {
+        push(flags, 0);
+        i = i + 1;
+      }
+      i = 2;
+      while (i * i < 512) {
+        if (flags[i] == 0) {
+          let j = i * i;
+          while (j < 512) {
+            flags[j] = 1;
+            j = j + i;
+          }
+        }
+        i = i + 1;
+      }
+      let sum = 0;
+      i = 2;
+      while (i < 512) {
+        if (flags[i] == 0) {
+          sum = sum + i;
+        }
+        i = i + 1;
+      }
+      return sum;
+    }
+  |}
+
+(* Raw-memory flavour for the eBPF backend: same u64-word layout as the
+   handwritten assembly above. *)
+let mem_source =
+  {|
+    fn run(mem) {
+      let i = 2;
+      while (i * i < 512) {
+        if (load64(mem + 8 * i) == 0) {
+          let j = i * i;
+          while (j < 512) {
+            store64(mem + 8 * j, 1);
+            j = j + i;
+          }
+        }
+        i = i + 1;
+      }
+      let sum = 0;
+      i = 2;
+      while (i < 512) {
+        if (load64(mem + 8 * i) == 0) {
+          sum = sum + i;
+        }
+        i = i + 1;
+      }
+      return sum;
+    }
+  |}
+
+(* wasm keeps byte flags at linear-memory addresses [0, n). *)
+let wasm_module =
+  let open Femto_wasm_mini.Ast in
+  let i = 0 and j = 1 and sum = 2 in
+  let body =
+    [
+      I32_const 2l; Local_set i;
+      Block
+        [
+          Loop
+            [
+              Local_get i; Local_get i; Binop (I32, Mul);
+              I32_const 511l; Relop (I32, Gt_s); Br_if 1;
+              Block
+                [
+                  Local_get i; I32_load8_u 0;
+                  I32_const 0l; Relop (I32, Ne); Br_if 0;
+                  Local_get i; Local_get i; Binop (I32, Mul); Local_set j;
+                  Block
+                    [
+                      Loop
+                        [
+                          Local_get j; I32_const 511l; Relop (I32, Gt_s);
+                          Br_if 1;
+                          Local_get j; I32_const 1l; I32_store8 0;
+                          Local_get j; Local_get i; Binop (I32, Add);
+                          Local_set j;
+                          Br 0;
+                        ];
+                    ];
+                ];
+              Local_get i; I32_const 1l; Binop (I32, Add); Local_set i;
+              Br 0;
+            ];
+        ];
+      I32_const 0l; Local_set sum;
+      I32_const 2l; Local_set i;
+      Block
+        [
+          Loop
+            [
+              Local_get i; I32_const 511l; Relop (I32, Gt_s); Br_if 1;
+              Block
+                [
+                  Local_get i; I32_load8_u 0;
+                  I32_const 0l; Relop (I32, Ne); Br_if 0;
+                  Local_get sum; Local_get i; Binop (I32, Add); Local_set sum;
+                ];
+              Local_get i; I32_const 1l; Binop (I32, Add); Local_set i;
+              Br 0;
+            ];
+        ];
+      Local_get sum;
+    ]
+  in
+  let ftype = { params = []; results = [ I32 ] } in
+  {
+    types = [| ftype |];
+    funcs = [| { ftype; locals = [ I32; I32; I32 ]; body } |];
+    memory_pages = 1;
+    globals = [||];
+    data = [];
+    exports = [ { name = "run"; func_index = 0 } ];
+  }
+
+let workload () =
+  {
+    Harness.wname = "l1/sieve";
+    layer = "l1";
+    expected = reference ();
+    impls =
+      Harness.rbpf_impls ~program:ebpf_program ~regions ~args:ebpf_args ()
+      @ Harness.wasm_impls ~modul:wasm_module ~entry:"run" ~args:[] ()
+      @ Harness.script_impls ~source:script_source ~entry:"run"
+          ~args:(fun () -> [])
+          ()
+      @ [
+          Harness.to_ebpf_impl ~source:mem_source ~entry:"run" ~regions
+            ~args:ebpf_args ();
+        ];
+  }

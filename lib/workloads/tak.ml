@@ -1,0 +1,174 @@
+(* l1/tak — the call-heavy kernel (Takeuchi function, tak(9,5,2)).
+
+   The script and wasm runtimes express it with genuine recursion (497
+   calls, depth 9), so the row measures call-frame cost.  The eBPF ISA
+   has no user-function calls, so the rBPF expression is the to_ebpf
+   compilation of an explicit-stack driver: recursion becomes a frame
+   machine over a read-write scratch region — the same program serves
+   the rBPF tier rows and the script/to-ebpf row, which is exactly the
+   honest statement of what "tak on rBPF" costs. *)
+
+let x0 = 9L
+let y0 = 5L
+let z0 = 2L
+
+let rec tak x y z =
+  if Int64.compare y x < 0 then
+    tak
+      (tak (Int64.sub x 1L) y z)
+      (tak (Int64.sub y 1L) z x)
+      (tak (Int64.sub z 1L) x y)
+  else z
+
+let reference () = tak x0 y0 z0
+
+(* Recursive MiniScript for the tree and stack profiles. *)
+let script_source =
+  {|
+    fn tak(x, y, z) {
+      if (y < x) {
+        return tak(tak(x - 1, y, z), tak(y - 1, z, x), tak(z - 1, x, y));
+      }
+      return z;
+    }
+  |}
+
+(* Explicit-stack driver for the eBPF backend.  Frame layout (48 B):
+   [+0]=x [+8]=y [+16]=z [+24]=stage [+32]=t1 [+40]=t2.  Stages resume a
+   frame after each of the three inner calls; stage 3 tail-calls
+   tak(t1, t2, ret) by overwriting the frame in place. *)
+let stack_source =
+  {|
+    fn run(mem, x0, y0, z0) {
+      let sp = mem;
+      store64(sp, x0);
+      store64(sp + 8, y0);
+      store64(sp + 16, z0);
+      store64(sp + 24, 0);
+      sp = sp + 48;
+      let ret = 0;
+      while (sp > mem) {
+        sp = sp - 48;
+        let x = load64(sp);
+        let y = load64(sp + 8);
+        let z = load64(sp + 16);
+        let stage = load64(sp + 24);
+        if (stage == 0) {
+          if (y < x) {
+            store64(sp + 24, 1);
+            sp = sp + 48;
+            store64(sp, x - 1);
+            store64(sp + 8, y);
+            store64(sp + 16, z);
+            store64(sp + 24, 0);
+            sp = sp + 48;
+          } else {
+            ret = z;
+          }
+        } else {
+          if (stage == 1) {
+            store64(sp + 24, 2);
+            store64(sp + 32, ret);
+            sp = sp + 48;
+            store64(sp, y - 1);
+            store64(sp + 8, z);
+            store64(sp + 16, x);
+            store64(sp + 24, 0);
+            sp = sp + 48;
+          } else {
+            if (stage == 2) {
+              store64(sp + 24, 3);
+              store64(sp + 40, ret);
+              sp = sp + 48;
+              store64(sp, z - 1);
+              store64(sp + 8, x);
+              store64(sp + 16, y);
+              store64(sp + 24, 0);
+              sp = sp + 48;
+            } else {
+              store64(sp, load64(sp + 32));
+              store64(sp + 8, load64(sp + 40));
+              store64(sp + 16, ret);
+              store64(sp + 24, 0);
+              sp = sp + 48;
+            }
+          }
+        }
+      }
+      return ret;
+    }
+  |}
+
+let ebpf_program () =
+  Femto_script.To_ebpf.compile_function stack_source "run"
+
+(* Scratch for the frame machine: 512 frames is ~17x the observed peak
+   depth for these arguments. *)
+let stack_vaddr = 0x3400_0000L
+let stack_bytes = 512 * 48
+
+let regions () =
+  [
+    Femto_vm.Region.make ~name:"tak-stack" ~vaddr:stack_vaddr
+      ~perm:Femto_vm.Region.Read_write (Bytes.make stack_bytes '\000');
+  ]
+
+let ebpf_args = [| stack_vaddr; x0; y0; z0 |]
+
+let wasm_module =
+  let open Femto_wasm_mini.Ast in
+  let x = 0 and y = 1 and z = 2 in
+  let body =
+    [
+      Local_get y; Local_get x; Relop (I64, Lt_s);
+      If
+        ( [
+            Local_get x; I64_const 1L; Binop (I64, Sub);
+            Local_get y; Local_get z; Call 0;
+            Local_get y; I64_const 1L; Binop (I64, Sub);
+            Local_get z; Local_get x; Call 0;
+            Local_get z; I64_const 1L; Binop (I64, Sub);
+            Local_get x; Local_get y; Call 0;
+            Call 0;
+          ],
+          [ Local_get z ] );
+    ]
+  in
+  let ftype = { params = [ I64; I64; I64 ]; results = [ I64 ] } in
+  {
+    types = [| ftype |];
+    funcs = [| { ftype; locals = []; body } |];
+    memory_pages = 1;
+    globals = [||];
+    data = [];
+    exports = [ { name = "tak"; func_index = 0 } ];
+  }
+
+let workload () =
+  {
+    Harness.wname = "l1/tak";
+    layer = "l1";
+    expected = reference ();
+    impls =
+      Harness.rbpf_impls ~program:ebpf_program ~regions ~args:ebpf_args ()
+      @ Harness.wasm_impls ~modul:wasm_module ~entry:"tak"
+          ~args:
+            [
+              Femto_wasm_mini.Ast.V_i64 x0;
+              Femto_wasm_mini.Ast.V_i64 y0;
+              Femto_wasm_mini.Ast.V_i64 z0;
+            ]
+          ()
+      @ Harness.script_impls ~source:script_source ~entry:"tak"
+          ~args:(fun () ->
+            [
+              Femto_script.Value.Int x0;
+              Femto_script.Value.Int y0;
+              Femto_script.Value.Int z0;
+            ])
+          ()
+      @ [
+          Harness.to_ebpf_impl ~source:stack_source ~entry:"run" ~regions
+            ~args:ebpf_args ();
+        ];
+  }

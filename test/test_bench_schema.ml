@@ -1,0 +1,212 @@
+(* femto-bench/1 conformance: every emitter (dispatch, update, corpus)
+   must produce documents the one shared Schema.validate accepts, the
+   committed baseline files must parse and still name current workloads,
+   and the corpus ratio gate must actually fire on an injected slowdown. *)
+
+module Schema = Femto_bench.Schema
+module Corpus = Femto_bench.Corpus
+module Update_bench = Femto_bench.Update_bench
+module Dispatch_bench = Femto_bench.Dispatch_bench
+module Jsonx = Femto_obs.Jsonx
+
+let check_valid label doc =
+  Alcotest.(check (list string)) (label ^ " validates") [] (Schema.validate doc)
+
+(* --- emitter conformance (synthetic rows: no timing in tests) -------- *)
+
+let corpus_rows =
+  [
+    {
+      Corpus.wname = "l1/fib"; layer = "l1"; runtime = "rbpf";
+      tier = "decoded"; ns = 1000.0; result = 42L;
+    };
+    {
+      Corpus.wname = "l1/fib"; layer = "l1"; runtime = "script";
+      tier = "tree"; ns = 8000.0; result = 42L;
+    };
+    {
+      Corpus.wname = "l2/anomaly"; layer = "l2"; runtime = "wasm";
+      tier = "fast"; ns = 2500.0; result = 7L;
+    };
+  ]
+
+let test_corpus_emitter () = check_valid "corpus doc" (Corpus.doc_of_rows corpus_rows)
+
+let test_dispatch_emitter () =
+  check_valid "dispatch doc"
+    (Dispatch_bench.dispatch_smoke_json
+       [ ("dispatch/dagsum-decoded", 120.0); ("dispatch/dagsum-compiled", 40.0) ]
+       [ ("dagsum", 3.0) ])
+
+let test_update_emitter () =
+  check_valid "update doc"
+    (Update_bench.smoke_json
+       [
+         { Update_bench.name = "parse_manifest"; legacy_ns = 100.; fast_ns = 50. };
+         { Update_bench.name = "e2e_single"; legacy_ns = 900.; fast_ns = 300. };
+       ]
+       ~streaming_seq_ns:1234.0)
+
+(* --- validator teeth -------------------------------------------------- *)
+
+let test_rejects_bad_docs () =
+  let not_ok label doc =
+    Alcotest.(check bool) label false (Schema.validate doc = [])
+  in
+  not_ok "wrong tag" (Jsonx.Obj [ ("schema", Jsonx.String "nope/9") ]);
+  not_ok "negative ns"
+    (match Corpus.doc_of_rows corpus_rows with
+    | Jsonx.Obj fields ->
+        Jsonx.Obj
+          (List.map
+             (function
+               | "corpus", Jsonx.List (Jsonx.Obj row :: rest) ->
+                   ( "corpus",
+                     Jsonx.List
+                       (Jsonx.Obj
+                          (List.map
+                             (function
+                               | "ns_per_run", _ ->
+                                   ("ns_per_run", Jsonx.Float (-5.0))
+                               | kv -> kv)
+                             row)
+                       :: rest) )
+               | kv -> kv)
+             fields)
+    | doc -> doc);
+  not_ok "bad timestamp"
+    (match Corpus.doc_of_rows [] with
+    | Jsonx.Obj fields ->
+        Jsonx.Obj
+          (List.map
+             (function
+               | "generated_at", _ -> ("generated_at", Jsonx.String "yesterday")
+               | kv -> kv)
+             fields)
+    | doc -> doc)
+
+let test_monotone_timestamps () =
+  let stamp_of doc =
+    match Jsonx.member "generated_at" doc with
+    | Some (Jsonx.String s) -> (
+        match Schema.parse_timestamp s with
+        | Some t -> t
+        | None -> Alcotest.failf "unparseable stamp %S" s)
+    | _ -> Alcotest.fail "no generated_at"
+  in
+  let t1 = stamp_of (Schema.doc []) in
+  let t2 = stamp_of (Schema.doc []) in
+  Alcotest.(check bool) "stamps monotone" true (t2 >= t1)
+
+(* --- the injected-slowdown gate --------------------------------------- *)
+
+let test_gate_fires_on_slowdown () =
+  let baseline = Corpus.doc_of_rows corpus_rows in
+  (* unchanged timings: gate passes *)
+  Alcotest.(check (list string))
+    "no regression accepted" []
+    (Corpus.check_baseline_doc ~ratios:(Corpus.ratios corpus_rows) baseline);
+  (* inject a 10x slowdown into one non-reference row *)
+  let slowed =
+    List.map
+      (fun (r : Corpus.row) ->
+        if r.runtime = "script" then { r with Corpus.ns = r.ns *. 10.0 } else r)
+      corpus_rows
+  in
+  let failures =
+    Corpus.check_baseline_doc ~ratios:(Corpus.ratios slowed) baseline
+  in
+  Alcotest.(check bool) "slowdown caught" true (failures <> []);
+  Alcotest.(check bool)
+    "failure names the row" true
+    (List.exists
+       (fun m -> Astring.String.is_infix ~affix:"l1/fib:script/tree" m)
+       failures);
+  (* a *missing* committed row must also fail *)
+  let missing =
+    Corpus.check_baseline_doc
+      ~ratios:
+        (Corpus.ratios
+           (List.filter (fun (r : Corpus.row) -> r.runtime <> "wasm") corpus_rows))
+      baseline
+  in
+  Alcotest.(check bool) "missing row caught" true (missing <> [])
+
+(* --- committed baselines ---------------------------------------------- *)
+
+let repo_file name =
+  Filename.concat (Filename.dirname Sys.executable_name) ("../" ^ name)
+
+let read_json path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let raw = really_input_string ic n in
+  close_in ic;
+  Jsonx.of_string raw
+
+let test_corpus_baseline_current () =
+  let doc = read_json (repo_file "bench/corpus-baseline.json") in
+  check_valid "corpus baseline" doc;
+  (* every committed ratio must name a workload/impl the registry still
+     provides, so a renamed kernel can't silently stop gating *)
+  let live_keys =
+    List.concat_map
+      (fun (w : Femto_workloads.Harness.workload) ->
+        List.map
+          (fun (i : Femto_workloads.Harness.impl) ->
+            Printf.sprintf "%s:%s/%s" w.wname i.runtime i.tier)
+          w.impls)
+      (Corpus.workloads ~layers:Corpus.layer_names ~only:None ())
+  in
+  match Jsonx.member "corpus_ratios" doc with
+  | Some (Jsonx.Obj committed) ->
+      Alcotest.(check bool) "baseline non-empty" true (committed <> []);
+      List.iter
+        (fun (key, _) ->
+          Alcotest.(check bool)
+            (key ^ " still in registry") true (List.mem key live_keys))
+        committed
+  | _ -> Alcotest.fail "corpus baseline has no corpus_ratios"
+
+let test_update_baseline_current () =
+  let doc = read_json (repo_file "bench/update-baseline.json") in
+  check_valid "update baseline" doc;
+  let live = [ "parse_manifest"; "digest_32k"; "e2e_single"; "concurrent_4tenant" ] in
+  match Jsonx.member "update_speedups" doc with
+  | Some (Jsonx.Obj committed) ->
+      Alcotest.(check bool) "baseline non-empty" true (committed <> []);
+      List.iter
+        (fun (key, _) ->
+          Alcotest.(check bool)
+            (key ^ " still a bench row") true (List.mem key live))
+        committed
+  | _ -> Alcotest.fail "update baseline has no update_speedups"
+
+let suite =
+  [
+    ( "emitters",
+      [
+        Alcotest.test_case "corpus doc conforms" `Quick test_corpus_emitter;
+        Alcotest.test_case "dispatch doc conforms" `Quick test_dispatch_emitter;
+        Alcotest.test_case "update doc conforms" `Quick test_update_emitter;
+      ] );
+    ( "validator",
+      [
+        Alcotest.test_case "rejects bad docs" `Quick test_rejects_bad_docs;
+        Alcotest.test_case "timestamps monotone" `Quick test_monotone_timestamps;
+      ] );
+    ( "gate",
+      [
+        Alcotest.test_case "fires on injected slowdown" `Quick
+          test_gate_fires_on_slowdown;
+      ] );
+    ( "baselines",
+      [
+        Alcotest.test_case "corpus baseline current" `Quick
+          test_corpus_baseline_current;
+        Alcotest.test_case "update baseline current" `Quick
+          test_update_baseline_current;
+      ] );
+  ]
+
+let () = Alcotest.run "bench-schema" suite
