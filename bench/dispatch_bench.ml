@@ -1,10 +1,11 @@
 (* dispatch/* bench family: the execution-tier ablation (decoded vs
-   trimmed vs compiled vs compiled+fused) over the three hook workloads
-   whose instruction mix the tiers were designed around.  Each case is
-   one VM instance pinned to a tier, pre-checked against the workload's
-   native reference so a semantics regression can never be reported as a
-   performance number.  --dispatch-smoke is the per-push CI gate: the
-   compiled tier must never fall behind the decoded interpreter. *)
+   trimmed vs compiled vs compiled+fused vs ir) over the three hook
+   workloads whose instruction mix the tiers were designed around.  Each
+   case is one VM instance pinned to a tier, pre-checked against the
+   workload's native reference so a semantics regression can never be
+   reported as a performance number.  --dispatch-smoke is the per-push
+   CI gate: the compiled tier must never fall behind the decoded
+   interpreter, and the IR tier must never fall behind compiled. *)
 
 module Analysis = Femto_analysis.Analysis
 module Fletcher = Femto_workloads.Fletcher
@@ -69,6 +70,9 @@ let dispatch_cases () =
       (analysis_load ~tier:Femto_vm.Vm.Compiled ~regions:(Dagsum.regions data)
          dag)
       dag_args dag_expect;
+    mk "dagsum-ir"
+      (analysis_load ~tier:Femto_vm.Vm.Ir ~regions:(Dagsum.regions data) dag)
+      dag_args dag_expect;
     (* loop_sum: back edge, no analyzer fast path — the compiled tier
        runs fully checked; fusion still collapses the loop body *)
     mk "loop-sum-decoded"
@@ -82,6 +86,10 @@ let dispatch_cases () =
     mk "loop-sum-compiled-fused"
       (vm_load ~tier:Femto_vm.Vm.Compiled ~fuse:true
          ~regions:(Loop_sum.regions data) loop)
+      loop_args loop_expect;
+    mk "loop-sum-ir"
+      (analysis_load ~tier:Femto_vm.Vm.Ir ~regions:(Loop_sum.regions data)
+         loop)
       loop_args loop_expect;
     (* hotcall: helper-call-bound straight line *)
     mk "hotcall-decoded"
@@ -100,10 +108,72 @@ let dispatch_cases () =
       (analysis_load ~tier:Femto_vm.Vm.Compiled ~helpers:(Hotcall.helpers ())
          ~regions:[] hot)
       [||] Hotcall.reference;
+    mk "hotcall-ir"
+      (analysis_load ~tier:Femto_vm.Vm.Ir ~helpers:(Hotcall.helpers ())
+         ~regions:[] hot)
+      [||] Hotcall.reference;
   ]
 
 (* Micro-kernel batching: these cases run tens of ns to a few µs. *)
 let wall_ns_per_run f = Measure.wall_ns ~warmup:200 ~iters:2000 ~trials:3 f
+
+(* --ir-ablation: the IR pass pipeline with each stage toggled off in
+   turn (plus the all/none ends), over the two kernels the ≥2x
+   acceptance gate names.  Equivalence is implied — every configuration
+   is differentially tested in test_ir.ml — so this only times. *)
+let run_ir_ablation () =
+  let module Passes = Femto_analysis.Passes in
+  let configs =
+    [
+      ("all", Passes.all);
+      ("no-canon", { Passes.all with Passes.canon = false });
+      ("no-const-fold", { Passes.all with Passes.const_fold = false });
+      ("no-dead-elim", { Passes.all with Passes.dead_elim = false });
+      ("no-bounds-elim", { Passes.all with Passes.bounds_elim = false });
+      ("none", Passes.none);
+    ]
+  in
+  let kernels =
+    [
+      ( "dagsum",
+        Dagsum.ebpf_program (),
+        Dagsum.regions data,
+        [| Dagsum.data_vaddr |],
+        Dagsum.reference data );
+      ( "loop_sum",
+        Loop_sum.ebpf_program (),
+        Loop_sum.regions data,
+        [| Loop_sum.data_vaddr |],
+        Loop_sum.reference data );
+    ]
+  in
+  Printf.printf "\nIR pass ablation (wall-clock ns/run, best of 3)\n%s\n"
+    (String.make 47 '-');
+  List.iter
+    (fun (kname, program, regions, args, expect) ->
+      Printf.printf "  %s\n" kname;
+      List.iter
+        (fun (cname, passes) ->
+          let vm =
+            match
+              Analysis.load ~tier:Femto_vm.Vm.Ir ~passes
+                ~helpers:(Femto_vm.Helper.create ()) ~regions program
+            with
+            | Ok vm -> vm
+            | Error fault -> failwith (Femto_vm.Fault.to_string fault)
+          in
+          (match Femto_vm.Vm.run vm ~args with
+          | Ok v when Int64.equal v expect -> ()
+          | Ok v -> failwith (Printf.sprintf "%s/%s: got %Ld" kname cname v)
+          | Error fault ->
+              failwith (Femto_vm.Fault.to_string fault));
+          let ns =
+            wall_ns_per_run (fun () -> ignore (Femto_vm.Vm.run vm ~args))
+          in
+          Printf.printf "    %-20s %12.1f\n" cname ns)
+        configs)
+    kernels;
+  flush stdout
 
 let dispatch_smoke_json rows speedups =
   Schema.doc
@@ -140,7 +210,27 @@ let run_dispatch_smoke ~json_file () =
   let s_dag = speedup "dagsum" "dagsum-decoded" "dagsum-compiled-fused" in
   let s_loop = speedup "loop_sum" "loop-sum-decoded" "loop-sum-compiled-fused" in
   let s_hot = speedup "hotcall" "hotcall-decoded" "hotcall-compiled-fused" in
-  let speedups = [ s_dag; s_loop; s_hot ] in
+  (* IR-tier gates: over decoded (like the compiled gate) and over the
+     fused compiled tier — the pass pipeline must pay for itself. *)
+  let ir_speedup workload over ir =
+    let s = find over /. find ir in
+    Printf.printf "  %-40s %11.2fx\n" (workload ^ " speedup") s;
+    (workload, s)
+  in
+  let s_dag_ir = ir_speedup "dagsum_ir" "dagsum-decoded" "dagsum-ir" in
+  let s_loop_ir = ir_speedup "loop_sum_ir" "loop-sum-decoded" "loop-sum-ir" in
+  let s_hot_ir = ir_speedup "hotcall_ir" "hotcall-decoded" "hotcall-ir" in
+  let s_dag_irc =
+    ir_speedup "dagsum_ir_vs_compiled" "dagsum-compiled-fused" "dagsum-ir"
+  in
+  let s_loop_irc =
+    ir_speedup "loop_sum_ir_vs_compiled" "loop-sum-compiled-fused"
+      "loop-sum-ir"
+  in
+  let speedups =
+    [ s_dag; s_loop; s_hot; s_dag_ir; s_loop_ir; s_hot_ir; s_dag_irc;
+      s_loop_irc ]
+  in
   flush stdout;
   Option.iter (Schema.write_doc (dispatch_smoke_json rows speedups)) json_file;
   let slow = List.filter (fun (_, s) -> s < 1.0) speedups in
@@ -148,8 +238,9 @@ let run_dispatch_smoke ~json_file () =
     List.iter
       (fun (w, s) ->
         Printf.eprintf
-          "dispatch smoke: compiled tier slower than decoded on %s (%.2fx)\n" w
-          s)
+          "dispatch smoke: faster tier fell behind its baseline on %s \
+           (%.2fx)\n"
+          w s)
       slow;
     exit 1
   end

@@ -239,6 +239,7 @@ let () =
   let quick = List.mem "--quick" args in
   let bechamel_only = List.mem "--bechamel-only" args in
   let dispatch_smoke = List.mem "--dispatch-smoke" args in
+  let ir_ablation = List.mem "--ir-ablation" args in
   let update_smoke = List.mem "--update-smoke" args in
   let corpus = List.mem "--corpus" args in
   let corpus_smoke = List.mem "--corpus-smoke" args in
@@ -267,6 +268,7 @@ let () =
            ())
     else if update_smoke then Update_bench.run_smoke ~json_file ~baseline_file ()
     else if dispatch_smoke then Dispatch_bench.run_dispatch_smoke ~json_file ()
+    else if ir_ablation then Dispatch_bench.run_ir_ablation ()
     else begin
       if not bechamel_only then Experiments.run_all ();
       if not quick then begin

@@ -125,15 +125,38 @@ let analysis_helpers () =
   Femto_core.Syscall.build ~granted:Femto_core.Contract.all facilities
 
 let analyze_cmd =
-  let run input =
+  let ir_arg =
+    Arg.(
+      value & flag
+      & info [ "ir" ]
+          ~doc:
+            "Also lift to the superblock register IR, run the optimization \
+             pass pipeline, and include the IR dump with per-pass rewrite \
+             statistics in the JSON report.")
+  in
+  let run input ir =
     let program = load_program input in
     let helpers = analysis_helpers () in
     let report =
       Femto_analysis.Analysis.analyze ~helpers Femto_vm.Config.default program
     in
-    print_endline
-      (Femto_obs.Jsonx.to_string_pretty
-         (Femto_analysis.Analysis.report_to_json report));
+    let json = Femto_analysis.Analysis.report_to_json report in
+    let json =
+      match (ir, report) with
+      | true, Ok outcome ->
+          let lifted =
+            Femto_analysis.Ir.lift ~cost:Femto_vm.Interp.no_cost
+              ~facts:outcome.Femto_analysis.Analysis.mem_facts program
+          in
+          let optimized, preport = Femto_analysis.Passes.run lifted in
+          let ir_json = Femto_analysis.Passes.to_json optimized preport in
+          (match json with
+          | Femto_obs.Jsonx.Obj fields ->
+              Femto_obs.Jsonx.Obj (fields @ [ ("ir", ir_json) ])
+          | other -> other)
+      | _ -> json
+    in
+    print_endline (Femto_obs.Jsonx.to_string_pretty json);
     match report with
     | Ok outcome when Femto_analysis.Analysis.accepted outcome -> 0
     | Ok _ | Error _ -> 1
@@ -143,8 +166,10 @@ let analyze_cmd =
        ~doc:
          "Run the abstract-interpretation analyzer (CFG, register \
           initialization, static stack bounds, termination) and emit JSON \
-          diagnostics; exits non-zero on error-severity findings")
-    Term.(const run $ input_arg)
+          diagnostics; exits non-zero on error-severity findings.  With \
+          $(b,--ir), also dump the optimized superblock IR and per-pass \
+          statistics.")
+    Term.(const run $ input_arg $ ir_arg)
 
 (* --- run --- *)
 
@@ -160,14 +185,16 @@ let run_cmd =
     Arg.(value
          & opt (enum [ ("decoded", Femto_vm.Vm.Decoded);
                        ("trimmed", Femto_vm.Vm.Trimmed);
-                       ("compiled", Femto_vm.Vm.Compiled) ])
+                       ("compiled", Femto_vm.Vm.Compiled);
+                       ("ir", Femto_vm.Vm.Ir) ])
              Femto_vm.Vm.Compiled
          & info [ "tier" ]
              ~doc:"Execution tier for the fc engine: decoded (defensive \
                    interpreter), trimmed (analyzer-gated interpreter fast \
-                   path), or compiled (closure-threaded, the default).  \
-                   Proof-bearing tiers degrade gracefully when the analyzer \
-                   withholds its proofs.")
+                   path), compiled (closure-threaded, the default), or ir \
+                   (superblock IR backend: optimization passes, one closure \
+                   per block).  Proof-bearing tiers degrade gracefully when \
+                   the analyzer withholds its proofs.")
   in
   let run input engine tier args =
     let program = load_program input in

@@ -22,6 +22,7 @@ module Helper = Femto_vm.Helper
 module Verifier = Femto_vm.Verifier
 module Interp = Femto_vm.Interp
 module Vm = Femto_vm.Vm
+module Vir = Femto_vm.Ir
 module Obs = Femto_obs.Obs
 module Metrics = Femto_obs.Metrics
 module Trace = Femto_obs.Trace
@@ -52,6 +53,9 @@ type outcome = {
   diags : diag list;
   termination : termination;
   fastpath : bool array option;
+  mem_facts : Vir.mem_fact option array;
+      (* per-pc region typing + interval facts for memory accesses, from
+         the stabilized states; feeds the IR lifter *)
   insns : int;
   blocks : int;
   reachable_blocks : int;
@@ -122,6 +126,8 @@ type ctx = {
   helpers : Helper.t option;
   emit : diag -> unit;
   prove : int -> unit;
+  note : int -> Vir.mem_fact -> unit;
+      (* record the region typing + shifted interval of a memory access *)
 }
 
 let transfer ctx state pc (insn : Insn.t) =
@@ -143,21 +149,41 @@ let transfer ctx state pc (insn : Insn.t) =
     | Stack_ptr (lo, hi) ->
         let lo = add_off lo insn.offset and hi = add_off hi insn.offset in
         let size = ctx.config.Config.stack_size in
-        if hi < 0 || lo + nbytes > size then
+        if hi < 0 || lo + nbytes > size then begin
+          ctx.note pc
+            { Vir.base_kind = Vir.Base_stack; lo; hi; proven = false };
           emit Error (Some base) "stack_oob"
             (Printf.sprintf
                "%d-byte stack access at r%d%+d is outside the %d B frame \
                 (offsets %d..%d from frame base)"
                nbytes base insn.offset size lo hi)
-        else if lo >= 0 && hi + nbytes <= size then ctx.prove pc
-        else if lo > top_lo && hi < top_hi then
-          emit Warning (Some base) "stack_maybe_oob"
-            (Printf.sprintf
-               "%d-byte stack access at r%d%+d may leave the %d B frame \
-                (offsets %d..%d from frame base)"
-               nbytes base insn.offset size lo hi)
-    | _ -> ()
-    (* non-stack bases stay subject to the runtime allow-list *)
+        end
+        else if lo >= 0 && hi + nbytes <= size then begin
+          ctx.note pc { Vir.base_kind = Vir.Base_stack; lo; hi; proven = true };
+          ctx.prove pc
+        end
+        else begin
+          ctx.note pc
+            { Vir.base_kind = Vir.Base_stack; lo; hi; proven = false };
+          if lo > top_lo && hi < top_hi then
+            emit Warning (Some base) "stack_maybe_oob"
+              (Printf.sprintf
+                 "%d-byte stack access at r%d%+d may leave the %d B frame \
+                  (offsets %d..%d from frame base)"
+                 nbytes base insn.offset size lo hi)
+        end
+    | Ctx_ptr ->
+        ctx.note pc
+          {
+            Vir.base_kind = Vir.Base_ctx;
+            lo = insn.offset;
+            hi = insn.offset;
+            proven = false;
+          }
+    | _ ->
+        (* non-stack bases stay subject to the runtime allow-list *)
+        ctx.note pc
+          { Vir.base_kind = Vir.Base_other; lo = 0; hi = 0; proven = false }
   in
   match Insn.kind insn with
   | Insn.Alu (is64, op, source) ->
@@ -336,7 +362,13 @@ let analyze ?helpers (config : Config.t) program :
       let inputs = Array.init n (fun _ -> Array.make 11 Bot) in
       inputs.(0) <- entry_state config;
       let silent =
-        { config; helpers; emit = (fun _ -> ()); prove = (fun _ -> ()) }
+        {
+          config;
+          helpers;
+          emit = (fun _ -> ());
+          prove = (fun _ -> ());
+          note = (fun _ _ -> ());
+        }
       in
       let in_wl = Array.make n false in
       let wl = Queue.create () in
@@ -375,12 +407,14 @@ let analyze ?helpers (config : Config.t) program :
          no deduplication. *)
       let diags = ref [] in
       let proofs = Array.make len false in
+      let mem_facts = Array.make len None in
       let ctx =
         {
           config;
           helpers;
           emit = (fun d -> diags := d :: !diags);
           prove = (fun pc -> proofs.(pc) <- true);
+          note = (fun pc f -> mem_facts.(pc) <- Some f);
         }
       in
       for b = 0 to n - 1 do
@@ -403,6 +437,23 @@ let analyze ?helpers (config : Config.t) program :
         List.sort
           (fun a b -> compare (a.pc, a.kind, a.reg) (b.pc, b.kind, b.reg))
           !diags
+      in
+      (* One uninitialized register produces one report (at its first
+         offending pc), not one per read site: later reads are symptoms
+         of the same missing write. *)
+      let diags =
+        let seen = Hashtbl.create 8 in
+        List.filter
+          (fun d ->
+            match (d.kind, d.reg) with
+            | "uninit_read", Some r ->
+                if Hashtbl.mem seen r then false
+                else begin
+                  Hashtbl.add seen r ();
+                  true
+                end
+            | _ -> true)
+          diags
       in
       let termination = if Cfg.has_loops cfg then Has_loops else Dag in
       let n_errors = severity_count Error diags in
@@ -427,6 +478,7 @@ let analyze ?helpers (config : Config.t) program :
           diags;
           termination;
           fastpath = (if eligible then Some proofs else None);
+          mem_facts;
           insns = len;
           blocks = n;
           reachable_blocks;
@@ -434,17 +486,30 @@ let analyze ?helpers (config : Config.t) program :
         }
 
 let load ?(config = Config.default) ?cycle_cost ?(tier = Vm.Compiled) ?fuse
-    ~helpers ~regions program =
+    ?passes ~helpers ~regions program =
   match analyze ~helpers config program with
   | Result.Error fault -> Result.Error fault
   | Result.Ok outcome ->
       (* [analyze] already ran pre-flight verification; hand the per-pc
          proofs (when eligibility granted them) to the tier constructor
          so the compiled tier specializes proven stack accesses and the
-         trimmed loop keeps working as before. *)
+         trimmed loop keeps working as before.  The Ir tier additionally
+         lifts to superblocks and runs the pass pipeline here — the
+         analyzer owns the IR just as it owns the proofs. *)
+      let ir =
+        match tier with
+        | Vm.Ir ->
+            let cost =
+              match cycle_cost with Some c -> c | None -> Interp.no_cost
+            in
+            let lifted = Ir.lift ~cost ~facts:outcome.mem_facts program in
+            let optimized, _report = Passes.run ?config:passes lifted in
+            Some optimized
+        | _ -> None
+      in
       Result.Ok
         (Vm.load_analyzed ~config ?cycle_cost ~tier ?fuse
-           ?proofs:outcome.fastpath ~helpers ~regions program)
+           ?proofs:outcome.fastpath ?ir ~helpers ~regions program)
 
 (* ------------------------------------------------------------------ *)
 (* JSON rendering (schema femto-analysis/1).                          *)

@@ -31,12 +31,15 @@ type diag = {
 type termination = Dag | Has_loops
 
 type outcome = {
-  diags : diag list;  (** ascending by pc *)
+  diags : diag list;  (** ascending by pc; one uninit-read per register *)
   termination : termination;
   fastpath : bool array option;
       (** [Some proofs] iff the program is fast-path eligible;
           [proofs.(pc)] is true when the stack access at [pc] is proven
           in-bounds on every path *)
+  mem_facts : Femto_vm.Ir.mem_fact option array;
+      (** per-pc region typing + shifted interval of each memory access
+          (from the stabilized fixpoint states); feeds {!Ir.lift} *)
   insns : int;
   blocks : int;
   reachable_blocks : int;
@@ -66,6 +69,7 @@ val load :
   ?cycle_cost:(Femto_ebpf.Insn.kind -> int) ->
   ?tier:Femto_vm.Vm.tier ->
   ?fuse:bool ->
+  ?passes:Passes.config ->
   helpers:Femto_vm.Helper.t ->
   regions:Femto_vm.Region.t list ->
   Femto_ebpf.Program.t ->
@@ -75,8 +79,10 @@ val load :
     hand their per-pc proofs to the selected tier — the compiled tier
     (default) specializes proven stack accesses and fuses
     superinstructions, the trimmed tier keeps the PR 2 interpreter fast
-    path.  Programs with analysis diagnostics still load and run fully
-    checked. *)
+    path, and the [Ir] tier lifts to superblocks, runs the pass
+    pipeline ([passes] selects stages; default all), and compiles one
+    closure per optimized block.  Programs with analysis diagnostics
+    still load and run fully checked. *)
 
 val fault_diag : Femto_vm.Fault.t -> diag
 (** Render a structural verifier fault as an [Error] diagnostic. *)

@@ -38,10 +38,11 @@ type t = {
   mutable trace_log : int64 list; (* newest first; bpf_trace output *)
   mutable fallback_ms : int64; (* time source when no kernel is attached *)
   config : Femto_vm.Config.t;
+  tier : Femto_vm.Vm.tier; (* execution tier for Fc containers *)
 }
 
 let create ?(platform = Platform.cortex_m4) ?kernel
-    ?(config = Femto_vm.Config.default) () =
+    ?(config = Femto_vm.Config.default) ?(tier = Femto_vm.Vm.Ir) () =
   {
     platform;
     kernel;
@@ -53,6 +54,7 @@ let create ?(platform = Platform.cortex_m4) ?kernel
     trace_log = [];
     fallback_ms = 0L;
     config;
+    tier;
   }
 
 let platform t = t.platform
@@ -142,17 +144,18 @@ let attach_error_to_string = function
   | No_such_hook uuid -> Printf.sprintf "no hook %s" uuid
 
 (* Instantiate a container's program for its runtime.  The Fc runtime
-   loads through the static analyzer so fast-path-eligible programs get
-   the trimmed interpreter; acceptance is unchanged (analysis diagnostics
-   never reject — only structural verifier faults do).  Rbpf stays on the
-   plain checked loader so the two engines remain comparable in the
-   benchmarks. *)
+   loads through the static analyzer on the engine's configured tier
+   (default [Ir]: superblock IR compiled one closure per block), so
+   fast-path-eligible programs get their proofs; acceptance is unchanged
+   (analysis diagnostics never reject — only structural verifier faults
+   do).  Rbpf stays on the plain checked loader so the two engines
+   remain comparable in the benchmarks. *)
 let load_instance t ~cycle_cost ~helpers ~regions runtime program =
   match runtime with
   | Platform.Fc -> (
       match
-        Femto_analysis.Analysis.load ~config:t.config ~cycle_cost ~helpers
-          ~regions program
+        Femto_analysis.Analysis.load ~config:t.config ~cycle_cost ~tier:t.tier
+          ~helpers ~regions program
       with
       | Ok vm -> Ok (Container.Fc_instance vm)
       | Error fault -> Error fault)

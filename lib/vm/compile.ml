@@ -50,6 +50,7 @@ let m_cycles = Obs.counter "vm.cycles"
 let m_run_ns = Obs.histogram "vm.run_ns"
 let m_compile_ns = Obs.histogram "vm.compile_ns"
 let m_fused = Obs.counter "vm.fused_insns"
+let m_ir_elided = Obs.counter "vm.ir_checks_elided"
 
 (* Unboxed native-endian 64-bit access into the register file and the
    stack.  The host is assumed little endian, like the interpreter's
@@ -67,13 +68,19 @@ type state = {
 }
 
 type t = {
+  entry : state -> unit; (* threaded: code.(0); IR: superblock trampoline *)
   code : (state -> unit) array;
+      (* per-insn threaded code; for the IR tier this is the exact-budget
+         fallback path (empty when budgets are compiled out) *)
   st : state;
   stats : Interp.stats; (* shared with the paired Interp instance *)
   stack_top : int64; (* pre-boxed r10 reset value *)
   stack_size : int;
   fused : int; (* superinstructions installed by the fusion pass *)
   proven : int; (* accesses compiled against analyzer proofs *)
+  ir_blocks : int; (* superblocks compiled by the IR backend (0 = threaded) *)
+  elided : int; (* IR memory checks elided against analyzer proofs *)
+  hoisted : int; (* IR allow-list scans behind a region inline cache *)
   compile_ns : float;
   mutable runs : int;
 }
@@ -126,15 +133,16 @@ let store_direct data o nbytes v =
   | 4 -> Bytes.set_int32_le data o (Int64.to_int32 v)
   | _ -> Bytes.set_int64_le data o v
 
-let compile ?(fuse = false) ~mode interp =
-  let t0 = Obs.now_ns () in
+(* [build_code] is the threaded-code generator shared by [compile] (which
+   runs it as the whole program) and [compile_ir] (which keeps it as the
+   bit-exact per-instruction fallback for superblocks entered with too
+   little budget headroom for batched accounting). *)
+let build_code ~fuse ~mode interp =
   let program = Interp.program interp in
   let config = Interp.config interp in
   let helpers = Interp.helpers interp in
   let cost = Interp.cycle_cost interp in
   let stats = Interp.stats interp in
-  let mem = Interp.mem interp in
-  let stack = Interp.stack_data interp in
   let insns = Program.insns program in
   let kinds = Array.map Insn.kind insns in
   let len = Array.length kinds in
@@ -709,34 +717,621 @@ let compile ?(fuse = false) ~mode interp =
         | _ -> ()
       end
     done;
-  let proven =
-    match mode with
-    | Checked -> 0
-    | Proven p -> Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 p
-  in
-  let st =
-    { rf = Bytes.make 88 '\000'; stack; mem; dirty_lo = max_int; dirty_hi = 0 }
-  in
+  (code, !fused)
+
+let proven_of_mode mode =
+  match mode with
+  | Checked -> 0
+  | Proven p -> Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 p
+
+let fresh_state interp =
+  {
+    rf = Bytes.make 88 '\000';
+    stack = Interp.stack_data interp;
+    mem = Interp.mem interp;
+    dirty_lo = max_int;
+    dirty_hi = 0;
+  }
+
+let compile ?(fuse = false) ~mode interp =
+  let t0 = Obs.now_ns () in
+  let code, fused = build_code ~fuse ~mode interp in
+  let config = Interp.config interp in
   let compile_ns = Obs.now_ns () -. t0 in
   if Obs.enabled () then begin
     Ometrics.observe m_compile_ns compile_ns;
-    Ometrics.add m_fused !fused
+    Ometrics.add m_fused fused
   end;
   {
+    entry = (fun st -> (Array.unsafe_get code 0) st);
     code;
-    st;
+    st = fresh_state interp;
+    stats = Interp.stats interp;
+    stack_top =
+      Int64.add config.Config.stack_vaddr (Int64.of_int config.Config.stack_size);
+    stack_size = config.Config.stack_size;
+    fused;
+    proven = proven_of_mode mode;
+    ir_blocks = 0;
+    elided = 0;
+    hoisted = 0;
+    compile_ns;
+    runs = 0;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Superblock (IR) backend.                                           *)
+
+(* Pairwise disjointness of the allow-list at compile time is what makes
+   a per-site region inline cache sound: with disjoint regions, [Mem.find]
+   first-match is determined by containment alone, and regions appended
+   later scan *after* every cached candidate, so a hit on a snapshot
+   region can never shadow a better match. *)
+let regions_disjoint (rs : Region.t array) =
+  let n = Array.length rs in
+  let span (r : Region.t) =
+    let lo = r.Region.vaddr in
+    let hi = Int64.add lo (Int64.of_int (Region.length r)) in
+    (lo, hi)
+  in
+  let wraps (r : Region.t) =
+    let lo, hi = span r in
+    Region.length r > 0 && Int64.unsigned_compare hi lo <= 0
+  in
+  let overlap a b =
+    let a_lo, a_hi = span a and b_lo, b_hi = span b in
+    Region.length a > 0 && Region.length b > 0
+    && Int64.unsigned_compare a_lo b_hi < 0
+    && Int64.unsigned_compare b_lo a_hi < 0
+  in
+  let ok = ref true in
+  for i = 0 to n - 1 do
+    if wraps rs.(i) then ok := false;
+    for j = i + 1 to n - 1 do
+      if overlap rs.(i) rs.(j) then ok := false
+    done
+  done;
+  !ok
+
+(* Fault-capable IR steps: where batched accounting must be applied
+   before the operation body runs, exactly as the decoded tier would have
+   accounted every instruction up to and including this one. *)
+let step_flushes (op : Ir.op) =
+  match op with
+  | Ir.Alu { op = Opcode.Div | Opcode.Mod; src = Ir.Reg _; _ } -> true
+  | Ir.Load { elide; _ } | Ir.Store { elide; _ } -> not elide
+  | Ir.Call _ | Ir.Jcond _ | Ir.Trap _ | Ir.Trap_pre _ -> true
+  | Ir.Alu _ | Ir.Movk _ | Ir.Swap _ | Ir.Nop -> false
+
+(* [compile_ir] emits one closure per superblock: a trampoline threads
+   block ids ([-1] = stop) so straight-line runs execute with no
+   per-instruction dispatch, no per-instruction budget compares (bulk
+   accounting at fault-capable steps and exits), proof-elided stack
+   accesses, and region-inline-cached allow-list accesses.
+
+   Budget exactness: in [Checked] mode each block entry checks that the
+   whole block fits the remaining instruction and branch budgets; if not,
+   control drops into the per-instruction threaded code at the block's
+   head pc, which reproduces the decoded tier's budget faults (payload
+   and partial stats) bit-for-bit. *)
+let compile_ir ~mode ~(ir : Ir.program) interp =
+  let t0 = Obs.now_ns () in
+  let config = Interp.config interp in
+  let helpers = Interp.helpers interp in
+  let stats = Interp.stats interp in
+  let mem = Interp.mem interp in
+  let stack_size = config.Config.stack_size in
+  let stack_vaddr = config.Config.stack_vaddr in
+  let checked = match mode with Checked -> true | Proven _ -> false in
+  let ilimit = Config.dynamic_instruction_limit config in
+  let blimit = config.Config.max_branches in
+  let fb_code =
+    if checked then fst (build_code ~fuse:false ~mode interp) else [||]
+  in
+  let snapshot = Mem.raw_regions mem in
+  let cacheable = regions_disjoint snapshot in
+  let in_snapshot r =
+    let ok = ref false in
+    Array.iter (fun r' -> if r' == r then ok := true) snapshot;
+    !ok
+  in
+  let[@inline] bulk_acct dn dc =
+    stats.Interp.insns_executed <- stats.Interp.insns_executed + dn;
+    stats.Interp.cycles <- stats.Interp.cycles + dc
+  in
+  let[@inline] mark_dirty st lo hi =
+    if lo < st.dirty_lo then st.dirty_lo <- lo;
+    if hi > st.dirty_hi then st.dirty_hi <- hi
+  in
+  let mark_checked_store st addr nbytes =
+    let o = Int64.to_int (Int64.sub addr stack_vaddr) in
+    if o >= 0 && o < stack_size then
+      mark_dirty st (max 0 o) (min stack_size (o + nbytes))
+  in
+  (* Non-faulting 64-bit ALU, no accounting (batched elsewhere). *)
+  let gen_alu64 ~dst ~(src : Ir.operand) (op : Opcode.alu_op)
+      (k : state -> int) =
+    match src with
+    | Ir.Imm v -> (
+        match op with
+        | Opcode.Add -> fun st -> set_reg st dst (Int64.add (reg st dst) v); k st
+        | Opcode.Sub -> fun st -> set_reg st dst (Int64.sub (reg st dst) v); k st
+        | Opcode.Mul -> fun st -> set_reg st dst (Int64.mul (reg st dst) v); k st
+        | Opcode.Div ->
+            (* zero divisors become [Trap] at lift time *)
+            fun st -> set_reg st dst (Int64.unsigned_div (reg st dst) v); k st
+        | Opcode.Mod ->
+            fun st -> set_reg st dst (Int64.unsigned_rem (reg st dst) v); k st
+        | Opcode.Or -> fun st -> set_reg st dst (Int64.logor (reg st dst) v); k st
+        | Opcode.And -> fun st -> set_reg st dst (Int64.logand (reg st dst) v); k st
+        | Opcode.Xor -> fun st -> set_reg st dst (Int64.logxor (reg st dst) v); k st
+        | Opcode.Lsh ->
+            let sh = Int64.to_int (Int64.logand v 63L) in
+            fun st -> set_reg st dst (Int64.shift_left (reg st dst) sh); k st
+        | Opcode.Rsh ->
+            let sh = Int64.to_int (Int64.logand v 63L) in
+            fun st ->
+              set_reg st dst (Int64.shift_right_logical (reg st dst) sh);
+              k st
+        | Opcode.Arsh ->
+            let sh = Int64.to_int (Int64.logand v 63L) in
+            fun st -> set_reg st dst (Int64.shift_right (reg st dst) sh); k st
+        | Opcode.Neg -> fun st -> set_reg st dst (Int64.neg (reg st dst)); k st
+        | Opcode.Mov -> fun st -> set_reg st dst v; k st)
+    | Ir.Reg src -> (
+        match op with
+        | Opcode.Add ->
+            fun st -> set_reg st dst (Int64.add (reg st dst) (reg st src)); k st
+        | Opcode.Sub ->
+            fun st -> set_reg st dst (Int64.sub (reg st dst) (reg st src)); k st
+        | Opcode.Mul ->
+            fun st -> set_reg st dst (Int64.mul (reg st dst) (reg st src)); k st
+        | Opcode.Div | Opcode.Mod ->
+            assert false (* fault-capable: handled by the flush generator *)
+        | Opcode.Or ->
+            fun st -> set_reg st dst (Int64.logor (reg st dst) (reg st src)); k st
+        | Opcode.And ->
+            fun st ->
+              set_reg st dst (Int64.logand (reg st dst) (reg st src));
+              k st
+        | Opcode.Xor ->
+            fun st ->
+              set_reg st dst (Int64.logxor (reg st dst) (reg st src));
+              k st
+        | Opcode.Lsh ->
+            fun st ->
+              set_reg st dst
+                (Int64.shift_left (reg st dst)
+                   (Int64.to_int (Int64.logand (reg st src) 63L)));
+              k st
+        | Opcode.Rsh ->
+            fun st ->
+              set_reg st dst
+                (Int64.shift_right_logical (reg st dst)
+                   (Int64.to_int (Int64.logand (reg st src) 63L)));
+              k st
+        | Opcode.Arsh ->
+            fun st ->
+              set_reg st dst
+                (Int64.shift_right (reg st dst)
+                   (Int64.to_int (Int64.logand (reg st src) 63L)));
+              k st
+        | Opcode.Neg -> fun st -> set_reg st dst (Int64.neg (reg st dst)); k st
+        | Opcode.Mov -> fun st -> set_reg st dst (reg st src); k st)
+  in
+  (* One IR step -> one closure in the block body; [dn]/[dc] is the
+     batched accounting this step must apply first (0 for non-flush
+     steps, which were folded into a later flush point). *)
+  let gen_step (s : Ir.step) dn dc (k : state -> int) : state -> int =
+    let pc = s.Ir.pc in
+    match s.Ir.op with
+    | Ir.Nop -> k
+    | Ir.Movk { dst; v } ->
+        fun st ->
+          set_reg st dst v;
+          k st
+    | Ir.Alu
+        { op = (Opcode.Div | Opcode.Mod) as op; is64; dst; src = Ir.Reg src }
+      ->
+        if is64 then
+          let div = op = Opcode.Div in
+          fun st ->
+            bulk_acct dn dc;
+            let sv = reg st src in
+            if Int64.equal sv 0L then
+              raise (Vm_fault (Fault.Division_by_zero { pc }));
+            set_reg st dst
+              (if div then Int64.unsigned_div (reg st dst) sv
+               else Int64.unsigned_rem (reg st dst) sv);
+            k st
+        else
+          fun st ->
+            bulk_acct dn dc;
+            (match Interp.alu32 pc op (reg st dst) (reg st src) with
+            | Ok r -> set_reg st dst r
+            | Error f -> raise (Vm_fault f));
+            k st
+    | Ir.Alu { is64 = true; op; dst; src } -> gen_alu64 ~dst ~src op k
+    | Ir.Alu { is64 = false; op; dst; src } -> (
+        (* non-faulting 32-bit (imm divisors statically nonzero): routed
+           through the shared semantics for exact parity *)
+        match src with
+        | Ir.Imm v ->
+            fun st ->
+              (match Interp.alu32 pc op (reg st dst) v with
+              | Ok r -> set_reg st dst r
+              | Error f -> raise (Vm_fault f));
+              k st
+        | Ir.Reg src ->
+            fun st ->
+              (match Interp.alu32 pc op (reg st dst) (reg st src) with
+              | Ok r -> set_reg st dst r
+              | Error f -> raise (Vm_fault f));
+              k st)
+    | Ir.Swap { dst; endianness; width } ->
+        fun st ->
+          (match Interp.byte_swap pc endianness width (reg st dst) with
+          | Ok v -> set_reg st dst v
+          | Error f -> raise (Vm_fault f));
+          k st
+    | Ir.Load { dst; base; off; nbytes; elide = true; _ } ->
+        let off64 = Int64.of_int off in
+        if nbytes = 8 then fun st ->
+          let o =
+            Int64.to_int (Int64.sub (Int64.add (reg st base) off64) stack_vaddr)
+          in
+          if o < 0 || o > stack_size - 8 then
+            raise
+              (Vm_fault
+                 (Fault.Memory_access
+                    {
+                      pc;
+                      addr = Int64.add (reg st base) off64;
+                      size = 8;
+                      write = false;
+                    }));
+          set_reg st dst (get64 st.stack o);
+          k st
+        else fun st ->
+          let o =
+            Int64.to_int (Int64.sub (Int64.add (reg st base) off64) stack_vaddr)
+          in
+          if o < 0 || o + nbytes > stack_size then
+            raise
+              (Vm_fault
+                 (Fault.Memory_access
+                    {
+                      pc;
+                      addr = Int64.add (reg st base) off64;
+                      size = nbytes;
+                      write = false;
+                    }));
+          set_reg st dst (load_direct st.stack o nbytes);
+          k st
+    | Ir.Load { dst; base; off; nbytes; hoist; _ } ->
+        let off64 = Int64.of_int off in
+        if hoist && cacheable then begin
+          let cache = ref None in
+          fun st ->
+            bulk_acct dn dc;
+            let addr = Int64.add (reg st base) off64 in
+            (match !cache with
+            | Some r when Region.contains r addr nbytes ->
+                set_reg st dst
+                  (load_direct r.Region.data (Region.offset_of r addr) nbytes)
+            | _ -> (
+                match Mem.find st.mem ~addr ~size:nbytes ~write:false with
+                | Some r ->
+                    if in_snapshot r then cache := Some r;
+                    set_reg st dst
+                      (load_direct r.Region.data (Region.offset_of r addr)
+                         nbytes)
+                | None ->
+                    raise
+                      (Vm_fault
+                         (Fault.Memory_access
+                            { pc; addr; size = nbytes; write = false }))));
+            k st
+        end
+        else fun st ->
+          bulk_acct dn dc;
+          let addr = Int64.add (reg st base) off64 in
+          (match Mem.load st.mem ~addr ~size:nbytes with
+          | Ok v -> set_reg st dst v
+          | Error () ->
+              raise
+                (Vm_fault
+                   (Fault.Memory_access { pc; addr; size = nbytes; write = false })));
+          k st
+    | Ir.Store { base; off; nbytes; v; elide = true; _ } ->
+        let off64 = Int64.of_int off in
+        let gen_store read_v =
+          if nbytes = 8 then fun st ->
+            let o =
+              Int64.to_int
+                (Int64.sub (Int64.add (reg st base) off64) stack_vaddr)
+            in
+            if o < 0 || o > stack_size - 8 then
+              raise
+                (Vm_fault
+                   (Fault.Memory_access
+                      {
+                        pc;
+                        addr = Int64.add (reg st base) off64;
+                        size = 8;
+                        write = true;
+                      }));
+            if o < st.dirty_lo then st.dirty_lo <- o;
+            if o + 8 > st.dirty_hi then st.dirty_hi <- o + 8;
+            set64 st.stack o (read_v st);
+            k st
+          else fun st ->
+            let o =
+              Int64.to_int
+                (Int64.sub (Int64.add (reg st base) off64) stack_vaddr)
+            in
+            if o < 0 || o + nbytes > stack_size then
+              raise
+                (Vm_fault
+                   (Fault.Memory_access
+                      {
+                        pc;
+                        addr = Int64.add (reg st base) off64;
+                        size = nbytes;
+                        write = true;
+                      }));
+            mark_dirty st o (o + nbytes);
+            store_direct st.stack o nbytes (read_v st);
+            k st
+        in
+        (match v with
+        | Ir.Imm c -> gen_store (fun _ -> c)
+        | Ir.Reg r -> gen_store (fun st -> reg st r))
+    | Ir.Store { base; off; nbytes; v; hoist; _ } ->
+        let off64 = Int64.of_int off in
+        let read_v =
+          match v with
+          | Ir.Imm c -> fun (_ : state) -> c
+          | Ir.Reg r -> fun st -> reg st r
+        in
+        if hoist && cacheable then begin
+          let cache = ref None in
+          fun st ->
+            bulk_acct dn dc;
+            let addr = Int64.add (reg st base) off64 in
+            (match !cache with
+            | Some r when Region.contains r addr nbytes ->
+                store_direct r.Region.data (Region.offset_of r addr) nbytes
+                  (read_v st);
+                mark_checked_store st addr nbytes
+            | _ -> (
+                match Mem.find st.mem ~addr ~size:nbytes ~write:true with
+                | Some r ->
+                    if in_snapshot r then cache := Some r;
+                    store_direct r.Region.data (Region.offset_of r addr) nbytes
+                      (read_v st);
+                    mark_checked_store st addr nbytes
+                | None ->
+                    raise
+                      (Vm_fault
+                         (Fault.Memory_access
+                            { pc; addr; size = nbytes; write = true }))));
+            k st
+        end
+        else fun st ->
+          bulk_acct dn dc;
+          let addr = Int64.add (reg st base) off64 in
+          (match Mem.store st.mem ~addr ~size:nbytes (read_v st) with
+          | Ok () -> mark_checked_store st addr nbytes
+          | Error () ->
+              raise
+                (Vm_fault
+                   (Fault.Memory_access { pc; addr; size = nbytes; write = true })));
+          k st
+    | Ir.Call { id } -> (
+        match Helper.find helpers id with
+        | None ->
+            fun _ ->
+              bulk_acct dn dc;
+              raise (Vm_fault (Fault.Unknown_helper { pc; id }))
+        | Some entry ->
+            let name = entry.Helper.name in
+            let hcost = entry.Helper.cost_cycles in
+            let fn = entry.Helper.fn in
+            fun st ->
+              bulk_acct dn dc;
+              stats.Interp.helper_calls <- stats.Interp.helper_calls + 1;
+              if Obs.tracing () then
+                Obs.event (fun () -> Otrace.Helper_call { id; name });
+              stats.Interp.cycles <- stats.Interp.cycles + hcost;
+              let a =
+                {
+                  Helper.a1 = reg st 1;
+                  a2 = reg st 2;
+                  a3 = reg st 3;
+                  a4 = reg st 4;
+                  a5 = reg st 5;
+                }
+              in
+              (match fn st.mem a with
+              | Ok r0 -> set_reg st 0 r0
+              | Error message ->
+                  raise (Vm_fault (Fault.Helper_error { pc; id; message })));
+              st.dirty_lo <- 0;
+              st.dirty_hi <- stack_size;
+              k st)
+    | Ir.Jcond { is64; cond; dst; src; dest } -> (
+        (* Taken side exits leave the superblock; the block-entry guard
+           already reserved one branch, so no compare is needed here. *)
+        let taken : state -> int =
+          match dest with
+          | Ir.Block id ->
+              fun _ ->
+                stats.Interp.branches_taken <- stats.Interp.branches_taken + 1;
+                id
+          | Ir.Out_of_range target ->
+              fun _ ->
+                stats.Interp.branches_taken <- stats.Interp.branches_taken + 1;
+                raise (Vm_fault (Fault.Fall_off_end { pc = target }))
+        in
+        match src with
+        | Ir.Imm v ->
+            fun st ->
+              bulk_acct dn dc;
+              if Interp.condition cond is64 (reg st dst) v then taken st
+              else k st
+        | Ir.Reg src ->
+            fun st ->
+              bulk_acct dn dc;
+              if Interp.condition cond is64 (reg st dst) (reg st src) then
+                taken st
+              else k st)
+    | Ir.Trap f ->
+        let exn = Vm_fault f in
+        fun _ ->
+          bulk_acct dn dc;
+          raise exn
+    | Ir.Trap_pre f ->
+        (* decoded-tier register-range check: faults before accounting;
+           the lifter gives these steps weight 0, so [dn] covers only the
+           preceding steps' accounting, which the decoded tier has also
+           already performed at this point *)
+        let exn = Vm_fault f in
+        fun _ ->
+          bulk_acct dn dc;
+          raise exn
+  in
+  let gen_block (b : Ir.block) : state -> int =
+    let steps = b.Ir.steps in
+    let n = Array.length steps in
+    (* Forward pass: batch accounting between flush points.  Non-flush
+       steps fold their weight/cost into the next flush point (or the
+       terminator), which applies them *before* its own body — the exact
+       moment the decoded tier would have finished accounting them. *)
+    let dn = Array.make (n + 1) 0 and dc = Array.make (n + 1) 0 in
+    let pn = ref 0 and pcyc = ref 0 in
+    for i = 0 to n - 1 do
+      let s = steps.(i) in
+      if step_flushes s.Ir.op then begin
+        dn.(i) <- !pn + s.Ir.weight;
+        dc.(i) <- !pcyc + s.Ir.cost;
+        pn := 0;
+        pcyc := 0
+      end
+      else begin
+        pn := !pn + s.Ir.weight;
+        pcyc := !pcyc + s.Ir.cost
+      end
+    done;
+    let tdn = !pn and tdc = !pcyc in
+    let term_k : state -> int =
+      match b.Ir.term with
+      | Ir.Exit { weight; cost; _ } ->
+          let dni = tdn + weight and dci = tdc + cost in
+          fun _ ->
+            bulk_acct dni dci;
+            -1
+      | Ir.Jump { weight; cost; dest; _ } -> (
+          let dni = tdn + weight and dci = tdc + cost in
+          match dest with
+          | Ir.Block id ->
+              fun _ ->
+                bulk_acct dni dci;
+                stats.Interp.branches_taken <- stats.Interp.branches_taken + 1;
+                id
+          | Ir.Out_of_range target ->
+              fun _ ->
+                bulk_acct dni dci;
+                stats.Interp.branches_taken <- stats.Interp.branches_taken + 1;
+                raise (Vm_fault (Fault.Fall_off_end { pc = target })))
+      | Ir.Fall { dest } ->
+          if tdn = 0 && tdc = 0 then fun _ -> dest
+          else
+            fun _ ->
+              bulk_acct tdn tdc;
+              dest
+      | Ir.Halt f ->
+          let exn = Vm_fault f in
+          fun _ ->
+            bulk_acct tdn tdc;
+            raise exn
+    in
+    let body = ref term_k in
+    for i = n - 1 downto 0 do
+      body := gen_step steps.(i) dn.(i) dc.(i) !body
+    done;
+    let body = !body in
+    if not checked then body
+    else begin
+      (* Budget headroom guard: the whole block must fit both remaining
+         budgets (at most one branch is taken per pass — a taken side
+         exit leaves the block).  When it does not, fall back to the
+         threaded per-instruction code at the head pc for bit-exact
+         budget faults. *)
+      let w = b.Ir.weight in
+      let head = b.Ir.head in
+      if b.Ir.branch then
+        fun st ->
+          if
+            stats.Interp.insns_executed + w > ilimit
+            || stats.Interp.branches_taken >= blimit
+          then begin
+            (Array.unsafe_get fb_code head) st;
+            -1
+          end
+          else body st
+      else
+        fun st ->
+          if stats.Interp.insns_executed + w > ilimit then begin
+            (Array.unsafe_get fb_code head) st;
+            -1
+          end
+          else body st
+    end
+  in
+  let nblocks = Array.length ir.Ir.blocks in
+  let bcode = Array.make nblocks (fun (_ : state) -> -1) in
+  Array.iteri (fun i b -> bcode.(i) <- gen_block b) ir.Ir.blocks;
+  let entry =
+    if nblocks = 0 then fun (_ : state) ->
+      (* only an empty program lifts to zero superblocks *)
+      raise (Vm_fault (Fault.Fall_off_end { pc = 0 }))
+    else
+      fun st ->
+        let next = ref 0 in
+        while !next >= 0 do
+          next := (Array.unsafe_get bcode !next) st
+        done
+  in
+  let elided = Ir.elided_checks ir in
+  let hoisted = Ir.hoisted_checks ir in
+  let compile_ns = Obs.now_ns () -. t0 in
+  if Obs.enabled () then begin
+    Ometrics.observe m_compile_ns compile_ns;
+    Ometrics.add m_ir_elided elided
+  end;
+  {
+    entry;
+    code = fb_code;
+    st = fresh_state interp;
     stats;
     stack_top =
       Int64.add config.Config.stack_vaddr (Int64.of_int config.Config.stack_size);
     stack_size;
-    fused = !fused;
-    proven;
+    fused = 0;
+    proven = elided;
+    ir_blocks = nblocks;
+    elided;
+    hoisted;
     compile_ns;
     runs = 0;
   }
 
 let fused_count t = t.fused
 let proven_count t = t.proven
+let ir_blocks_count t = t.ir_blocks
+let elided_count t = t.elided
+let hoisted_count t = t.hoisted
 let compile_ns t = t.compile_ns
 let runs t = t.runs
 
@@ -770,7 +1365,7 @@ let exec_exn ~args t =
   stats.Interp.branches_taken <- 0;
   stats.Interp.helper_calls <- 0;
   stats.Interp.cycles <- 0;
-  (Array.unsafe_get t.code 0) t.st
+  t.entry t.st
 
 let exec ?(args = [||]) t =
   match exec_exn ~args t with
@@ -867,4 +1462,4 @@ let dirty_window t = (t.st.dirty_lo, t.st.dirty_hi)
 
 let ram_bytes t =
   let word = Sys.word_size / 8 in
-  88 (* register file *) + (Array.length t.code * word)
+  88 (* register file *) + ((Array.length t.code + t.ir_blocks) * word)

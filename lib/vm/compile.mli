@@ -30,6 +30,18 @@ val compile : ?fuse:bool -> mode:mode -> Interp.t -> t
     record.  [fuse] (default false) enables the superinstruction pass.
     Helper ids are resolved against the table once, at compile time. *)
 
+val compile_ir : mode:mode -> ir:Ir.program -> Interp.t -> t
+(** Superblock backend: one specialized closure per IR block, threaded by
+    a block-id trampoline.  Instruction/cycle accounting is batched at
+    fault-capable steps and block exits; in [Checked] mode a per-block
+    headroom guard falls back to the per-instruction threaded code when a
+    budget could expire mid-block, so budget faults (payload and partial
+    stats) stay bit-for-bit identical to the decoded interpreter.
+    Proof-elided stack accesses compile to direct byte-buffer access
+    behind a residual frame-bounds guard; hoisted allow-list accesses use
+    a per-site region inline cache when the compile-time region snapshot
+    is pairwise disjoint (the only case where caching is sound). *)
+
 val run : ?args:int64 array -> t -> (int64, Fault.t) result
 (** Execute with [Interp.run]'s exact observability envelope. *)
 
@@ -46,6 +58,15 @@ val fused_count : t -> int
 
 val proven_count : t -> int
 (** Instructions compiled against analyzer proofs. *)
+
+val ir_blocks_count : t -> int
+(** Superblocks compiled by the IR backend (0 for the threaded tier). *)
+
+val elided_count : t -> int
+(** IR memory checks elided against analyzer proofs. *)
+
+val hoisted_count : t -> int
+(** IR allow-list scans compiled behind a region inline cache. *)
 
 val compile_ns : t -> float
 val runs : t -> int

@@ -1,0 +1,175 @@
+(* Register IR over superblocks.
+
+   The IR sits between the analyzer and the closure backend: the verified
+   instruction array is regrouped into *superblocks* — maximal
+   single-entry regions that extend across conditional branches (side
+   exits) and stop only at unconditional control transfers or at the next
+   branch target — and each instruction is lifted to a small register
+   operation carrying the analyzer's facts (interval bounds, region
+   typing, proven-in-bounds flags).  Optimization passes rewrite steps in
+   place ([Femto_analysis.Passes]); [Compile.compile_ir] then emits one
+   specialized closure per superblock.
+
+   Accounting is batched but exact: every step keeps the [weight] (how
+   many decoded-tier instructions it stands for — an absorbed lddw pair
+   counts one, a merged ALU chain counts each member) and the cycle-model
+   [cost] of its source instructions, so the backend can apply the
+   decoded interpreter's statistics in bulk at the points where they are
+   observable (fault-capable operations and block exits). *)
+
+open Femto_ebpf
+
+type operand = Imm of int64 | Reg of int
+
+(* Region typing from the analyzer's lattice: which address space the
+   access base was derived from. *)
+type base_kind = Base_stack | Base_ctx | Base_other
+
+type mem_fact = {
+  base_kind : base_kind;
+  lo : int;  (** lowest byte offset from the frame base (stack bases) *)
+  hi : int;  (** highest byte offset from the frame base (stack bases) *)
+  proven : bool;  (** in-bounds on every path, per the interval fixpoint *)
+}
+
+(* Where a branch goes: a lifted superblock, or (only in unverified
+   programs) outside the code array — kept so fault identity matches the
+   decoded tier exactly. *)
+type dest = Block of int | Out_of_range of int
+
+type op =
+  | Alu of { is64 : bool; op : Opcode.alu_op; dst : int; src : operand }
+      (** non-faulting for [Imm] divisors (the lifter proves them nonzero
+          and turns zero divisors into [Trap]); 64-bit [Div]/[Mod] by
+          register remain fault-capable *)
+  | Movk of { dst : int; v : int64 }  (** constant load; absorbs lddw *)
+  | Load of {
+      dst : int;
+      base : int;
+      off : int;
+      nbytes : int;
+      fact : mem_fact option;
+      elide : bool;  (** pass decision: direct stack access, check elided *)
+      hoist : bool;  (** pass decision: allow-list scan behind a region cache *)
+    }
+  | Store of {
+      base : int;
+      off : int;
+      nbytes : int;
+      v : operand;
+      fact : mem_fact option;
+      elide : bool;
+      hoist : bool;
+    }
+  | Swap of { dst : int; endianness : Opcode.endianness; width : int32 }
+  | Call of { id : int }
+  | Jcond of {
+      is64 : bool;
+      cond : Opcode.jmp_cond;
+      dst : int;
+      src : operand;
+      dest : dest;
+    }  (** side exit: taken leaves the superblock, untaken falls through *)
+  | Nop  (** eliminated by a pass; weight and cost are still accounted *)
+  | Trap of Fault.t  (** faults after this step's own accounting *)
+  | Trap_pre of Fault.t  (** faults before any accounting (register range) *)
+
+type step = { pc : int; weight : int; cost : int; op : op }
+
+type terminator =
+  | Exit of { pc : int; weight : int; cost : int }
+  | Jump of { pc : int; weight : int; cost : int; dest : dest }
+  | Fall of { dest : int }  (** fall-through into the next superblock *)
+  | Halt of Fault.t  (** running past the end: decoded-tier fall-off fault *)
+
+type block = {
+  id : int;
+  head : int;  (** pc of the first instruction *)
+  steps : step array;
+  term : terminator;
+  weight : int;  (** max instructions one pass through can account *)
+  branch : bool;  (** contains a branch (a [Jcond] step or [Jump] term) *)
+}
+
+type program = { blocks : block array; source_len : int }
+
+(* ------------------------------------------------------------------ *)
+(* Views used by the passes and the stats/JSON dumps.                 *)
+
+let num_steps p =
+  Array.fold_left (fun n b -> n + Array.length b.steps) 0 p.blocks
+
+let count_ops f p =
+  Array.fold_left
+    (fun n b ->
+      Array.fold_left (fun n s -> if f s.op then n + 1 else n) n b.steps)
+    0 p.blocks
+
+let elided_checks p =
+  count_ops
+    (function Load { elide; _ } | Store { elide; _ } -> elide | _ -> false)
+    p
+
+let hoisted_checks p =
+  count_ops
+    (function Load { hoist; _ } | Store { hoist; _ } -> hoist | _ -> false)
+    p
+
+(* ------------------------------------------------------------------ *)
+(* Textual rendering (goldens, [fc analyze --ir]).                    *)
+
+let operand_to_string = function
+  | Imm v -> Int64.to_string v
+  | Reg r -> Printf.sprintf "r%d" r
+
+let base_kind_name = function
+  | Base_stack -> "stack"
+  | Base_ctx -> "ctx"
+  | Base_other -> "other"
+
+let fact_to_string = function
+  | None -> ""
+  | Some { base_kind; lo; hi; proven } ->
+      Printf.sprintf " {%s [%d,%d]%s}" (base_kind_name base_kind) lo hi
+        (if proven then " proven" else "")
+
+let dest_to_string = function
+  | Block id -> Printf.sprintf "b%d" id
+  | Out_of_range pc -> Printf.sprintf "out(%d)" pc
+
+let mem_suffix ~elide ~hoist =
+  (if elide then " elide" else "") ^ if hoist then " hoist" else ""
+
+let op_to_string = function
+  | Alu { is64; op; dst; src } ->
+      Printf.sprintf "%s%s r%d, %s" (Opcode.alu_op_name op)
+        (if is64 then "" else "32")
+        dst (operand_to_string src)
+  | Movk { dst; v } -> Printf.sprintf "movk r%d, %Ld" dst v
+  | Load { dst; base; off; nbytes; fact; elide; hoist } ->
+      Printf.sprintf "ld%d r%d, [r%d%+d]%s%s" (nbytes * 8) dst base off
+        (fact_to_string fact) (mem_suffix ~elide ~hoist)
+  | Store { base; off; nbytes; v; fact; elide; hoist } ->
+      Printf.sprintf "st%d [r%d%+d], %s%s%s" (nbytes * 8) base off
+        (operand_to_string v) (fact_to_string fact) (mem_suffix ~elide ~hoist)
+  | Swap { dst; endianness; width } ->
+      Printf.sprintf "%s%ld r%d" (Opcode.endian_name endianness) width dst
+  | Call { id } -> Printf.sprintf "call %d" id
+  | Jcond { is64; cond; dst; src; dest } ->
+      Printf.sprintf "%s%s r%d, %s -> %s" (Opcode.jmp_cond_name cond)
+        (if is64 then "" else "32")
+        dst (operand_to_string src) (dest_to_string dest)
+  | Nop -> "nop"
+  | Trap f -> Printf.sprintf "trap %s" (Fault.kind f)
+  | Trap_pre f -> Printf.sprintf "trap! %s" (Fault.kind f)
+
+let step_to_string s =
+  Printf.sprintf "%d: %s%s" s.pc (op_to_string s.op)
+    (if s.weight = 1 then "" else Printf.sprintf " (w%d)" s.weight)
+
+let term_to_string = function
+  | Exit { pc; _ } -> Printf.sprintf "exit@%d" pc
+  | Jump { pc; dest; _ } ->
+      Printf.sprintf "jump@%d -> %s" pc (dest_to_string dest)
+  | Fall { dest } -> Printf.sprintf "fall -> b%d" dest
+  | Halt f -> Printf.sprintf "halt %s" (Fault.kind f)

@@ -8,6 +8,7 @@ type t = { mutable regions : Region.t array }
 
 let create regions = { regions = Array.of_list regions }
 let regions t = Array.to_list t.regions
+let raw_regions t = t.regions
 let add_region t region = t.regions <- Array.append t.regions [| region |]
 
 let find t ~addr ~size ~write =

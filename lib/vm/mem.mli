@@ -8,6 +8,13 @@ type t
 
 val create : Region.t list -> t
 val regions : t -> Region.t list
+
+val raw_regions : t -> Region.t array
+(** The live region array, without copying — the compiled tier's region
+    inline caches snapshot it to reason about scan order.  [add_region]
+    replaces the array (append), so a cached array identity also
+    witnesses that no region has been added since. *)
+
 val add_region : t -> Region.t -> unit
 
 val find : t -> addr:int64 -> size:int -> write:bool -> Region.t option

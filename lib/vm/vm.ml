@@ -17,6 +17,11 @@
                programs.  With analyzer proofs it additionally fuses
                superinstructions and drops proven stack checks,
                mirroring the trimmed loop's trust model.
+   - Ir:       the superblock tier — one specialized closure per
+               optimized IR block ([Femto_analysis.Ir]/[Passes] lift and
+               rewrite the program; [Compile.compile_ir] emits it).
+               Granted only by [Femto_analysis.Analysis.load], which owns
+               the IR; requesting it without an IR degrades to Compiled.
 
    Whatever the tier, isolation semantics, fault identity and statistics
    are bit-identical; the differential test suite pins this. *)
@@ -29,20 +34,23 @@ module Config = Config
 module Verifier = Verifier
 module Interp = Interp
 module Compile = Compile
+module Ir = Ir
 module Obs = Femto_obs.Obs
 module Otrace = Femto_obs.Trace
 
-type tier = Decoded | Trimmed | Compiled
+type tier = Decoded | Trimmed | Compiled | Ir
 
 let tier_name = function
   | Decoded -> "decoded"
   | Trimmed -> "trimmed"
   | Compiled -> "compiled"
+  | Ir -> "ir"
 
 let tier_of_name = function
   | "decoded" -> Some Decoded
   | "trimmed" -> Some Trimmed
   | "compiled" -> Some Compiled
+  | "ir" -> Some Ir
   | _ -> None
 
 type t = {
@@ -71,13 +79,27 @@ let emit_tier t =
    defaults to fusing only proof-bearing instances, mirroring the
    trust boundary: superinstructions ride with the analyzer's dividend
    unless explicitly requested. *)
-let make_verified ~config ~cycle_cost ~tier ~fuse ~proofs ~helpers ~regions
+let make_verified ~config ~cycle_cost ~tier ~fuse ~proofs ~ir ~helpers ~regions
     program =
   let create ?fastpath () =
     match cycle_cost with
     | Some cycle_cost ->
         Interp.create ~config ~cycle_cost ?fastpath ~helpers ~regions program
     | None -> Interp.create ~config ?fastpath ~helpers ~regions program
+  in
+  let compiled_instance ~tier =
+    let mode =
+      match proofs with Some p -> Compile.Proven p | None -> Compile.Checked
+    in
+    let fuse = match fuse with Some f -> f | None -> proofs <> None in
+    let interp = create () in
+    let compiled = Compile.compile ~fuse ~mode interp in
+    {
+      interp;
+      compiled = Some compiled;
+      tier;
+      proven = Compile.proven_count compiled;
+    }
   in
   let t =
     match (tier, proofs) with
@@ -91,23 +113,28 @@ let make_verified ~config ~cycle_cost ~tier ~fuse ~proofs ~helpers ~regions
           proven =
             Array.fold_left (fun n b -> if b then n + 1 else n) 0 proven_stack;
         }
-    | Compiled, _ ->
-        let mode =
-          match proofs with
-          | Some p -> Compile.Proven p
-          | None -> Compile.Checked
-        in
-        let fuse =
-          match fuse with Some f -> f | None -> proofs <> None
-        in
-        let interp = create () in
-        let compiled = Compile.compile ~fuse ~mode interp in
-        {
-          interp;
-          compiled = Some compiled;
-          tier = Compiled;
-          proven = Compile.proven_count compiled;
-        }
+    | Compiled, _ -> compiled_instance ~tier:Compiled
+    | Ir, _ -> (
+        match ir with
+        | None ->
+            (* only [Femto_analysis.Analysis.load] owns an IR; degrade
+               like Trimmed-without-proofs does, but to the strongest
+               tier that needs no analyzer artifact *)
+            compiled_instance ~tier:Compiled
+        | Some irp ->
+            let mode =
+              match proofs with
+              | Some p -> Compile.Proven p
+              | None -> Compile.Checked
+            in
+            let interp = create () in
+            let compiled = Compile.compile_ir ~mode ~ir:irp interp in
+            {
+              interp;
+              compiled = Some compiled;
+              tier = Ir;
+              proven = Compile.proven_count compiled;
+            })
   in
   emit_tier t;
   t
@@ -120,12 +147,12 @@ let load ?(config = Config.default) ?cycle_cost ?(tier = Compiled) ?fuse
   | Error fault -> Error fault
   | Ok (_ : Verifier.ok) ->
       Ok
-        (make_verified ~config ~cycle_cost ~tier ~fuse ~proofs:None ~helpers
-           ~regions program)
+        (make_verified ~config ~cycle_cost ~tier ~fuse ~proofs:None ~ir:None
+           ~helpers ~regions program)
 
 let load_analyzed ?(config = Config.default) ?cycle_cost ?(tier = Compiled)
-    ?fuse ?proofs ~helpers ~regions program =
-  make_verified ~config ~cycle_cost ~tier ~fuse ~proofs ~helpers ~regions
+    ?fuse ?proofs ?ir ~helpers ~regions program =
+  make_verified ~config ~cycle_cost ~tier ~fuse ~proofs ~ir ~helpers ~regions
     program
 
 (* [load_unverified] skips pre-flight checks; used by tests and benchmarks

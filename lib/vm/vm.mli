@@ -8,11 +8,12 @@
       | Ok vm -> Vm.run vm ~args:[| ctx_ptr |]
     ]}
 
-    An instance carries one of three execution tiers — the decoded
-    defensive interpreter, the analyzer-gated trimmed interpreter, or
-    the closure-threaded compiled tier (the default for verified
-    programs).  Results, fault identity and statistics are bit-identical
-    across tiers. *)
+    An instance carries one of four execution tiers — the decoded
+    defensive interpreter, the analyzer-gated trimmed interpreter, the
+    closure-threaded compiled tier (the default for verified programs),
+    or the superblock IR tier (one specialized closure per optimized IR
+    block, granted by {!Femto_analysis.Analysis.load}).  Results, fault
+    identity and statistics are bit-identical across tiers. *)
 
 module Fault = Fault
 module Region = Region
@@ -22,8 +23,9 @@ module Config = Config
 module Verifier = Verifier
 module Interp = Interp
 module Compile = Compile
+module Ir = Ir
 
-type tier = Decoded | Trimmed | Compiled
+type tier = Decoded | Trimmed | Compiled | Ir
 
 val tier_name : tier -> string
 val tier_of_name : string -> tier option
@@ -52,13 +54,16 @@ val load_analyzed :
   ?tier:tier ->
   ?fuse:bool ->
   ?proofs:bool array ->
+  ?ir:Ir.program ->
   helpers:Helper.t ->
   regions:Region.t list ->
   Femto_ebpf.Program.t ->
   t
 (** For {!Femto_analysis.Analysis.load}: instantiate an
     already-verified program, engaging proof-bearing tiers when
-    [proofs] (the analyzer's per-pc facts) are present. *)
+    [proofs] (the analyzer's per-pc facts) are present.  The [Ir] tier
+    additionally needs the lifted-and-optimized [ir]; without it the
+    request degrades to [Compiled]. *)
 
 val load_unverified :
   ?config:Config.t ->

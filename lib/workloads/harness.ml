@@ -63,6 +63,7 @@ let rbpf_impls ?(helpers = fun () -> Femto_vm.Helper.create ()) ~program
     tier_impl "trimmed" Femto_vm.Vm.Trimmed None;
     tier_impl "compiled" Femto_vm.Vm.Compiled (Some false);
     tier_impl "compiled-fused" Femto_vm.Vm.Compiled (Some true);
+    tier_impl "ir" Femto_vm.Vm.Ir None;
   ]
 
 (* --- wasm_mini: typed reference interpreter + flattened fast path --- *)

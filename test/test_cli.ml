@@ -153,6 +153,42 @@ let test_analyze_rejects_uninit () =
   Alcotest.(check bool) "verdict" true (contains out "\"verdict\": \"rejected\"");
   Alcotest.(check bool) "diagnostic kind" true (contains out "uninit_read")
 
+(* --tier ir runs a program through the analyzer-driven IR backend. *)
+let test_run_tier_ir () =
+  check_exe ();
+  let src = tmp "ir.S" and bin = tmp "ir.bin" in
+  write src
+    "mov r2, r10\nsub r2, 16\nstdw [r2+0], 40\nldxdw r0, [r2+0]\nadd r0, \
+     2\nexit\n";
+  ignore (run_fc [ "asm"; src; "-o"; bin ]);
+  let code, out = run_fc [ "run"; "--tier"; "ir"; bin ] in
+  Alcotest.(check int) "run exit" 0 code;
+  Alcotest.(check bool) "result" true (contains out "r0 = 42")
+
+(* The committed examples/progs/*.ir.json goldens must match what
+   `fc analyze --ir` says about the .S mirrors today — superblock shape,
+   per-pass rewrite counts and elided/hoisted check counts are pinned. *)
+let prog_dir =
+  Filename.concat (Filename.dirname Sys.executable_name) "../examples/progs"
+
+let test_analyze_ir_goldens () =
+  check_exe ();
+  let sources =
+    Sys.readdir prog_dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".S")
+    |> List.sort compare
+  in
+  Alcotest.(check bool) "goldens exist" true (sources <> []);
+  List.iter
+    (fun s ->
+      let name = Filename.chop_suffix s ".S" in
+      let bin = tmp (name ^ ".bin") in
+      ignore (run_fc [ "asm"; Filename.concat prog_dir s; "-o"; bin ]);
+      let _, out = run_fc [ "analyze"; "--ir"; bin ] in
+      let golden = read (Filename.concat prog_dir (name ^ ".ir.json")) in
+      Alcotest.(check string) (name ^ ".ir.json current") golden out)
+    sources
+
 let test_run_reports_faults () =
   check_exe ();
   let src = tmp "f.S" and bin = tmp "f.bin" in
@@ -176,6 +212,8 @@ let suite =
     Alcotest.test_case "analyze accepts" `Quick test_analyze_accepts;
     Alcotest.test_case "analyze rejects uninit" `Quick
       test_analyze_rejects_uninit;
+    Alcotest.test_case "run --tier ir" `Quick test_run_tier_ir;
+    Alcotest.test_case "analyze --ir goldens" `Quick test_analyze_ir_goldens;
   ]
 
 let () = Alcotest.run "femto_cli" [ ("cli", suite) ]

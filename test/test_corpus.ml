@@ -50,7 +50,8 @@ let test_matrix_coverage () =
   let required =
     [
       ("rbpf", "decoded"); ("rbpf", "trimmed"); ("rbpf", "compiled");
-      ("rbpf", "compiled-fused"); ("wasm", "interp"); ("wasm", "fast");
+      ("rbpf", "compiled-fused"); ("rbpf", "ir"); ("wasm", "interp");
+      ("wasm", "fast");
       ("script", "tree"); ("script", "stack"); ("script", "to-ebpf");
     ]
   in
