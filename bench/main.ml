@@ -11,6 +11,8 @@
      dune exec bench/main.exe -- --dispatch-smoke --json d.json
      dune exec bench/main.exe -- --update-smoke --json u.json \
                                  --baseline bench/update-baseline.json
+     dune exec bench/main.exe -- --spawn-smoke --json s.json \
+                                 --baseline bench/spawn-baseline.json
      dune exec bench/main.exe -- --corpus --json corpus.json
      dune exec bench/main.exe -- --corpus-smoke --json corpus.json \
                                  --baseline bench/corpus-baseline.json
@@ -30,6 +32,7 @@ module Jsonx = Femto_obs.Jsonx
 module Schema = Femto_bench.Schema
 module Dispatch_bench = Femto_bench.Dispatch_bench
 module Update_bench = Femto_bench.Update_bench
+module Spawn_bench = Femto_bench.Spawn_bench
 module Corpus = Femto_bench.Corpus
 
 let data = Fletcher.input_360
@@ -241,6 +244,7 @@ let () =
   let dispatch_smoke = List.mem "--dispatch-smoke" args in
   let ir_ablation = List.mem "--ir-ablation" args in
   let update_smoke = List.mem "--update-smoke" args in
+  let spawn_smoke = List.mem "--spawn-smoke" args in
   let corpus = List.mem "--corpus" args in
   let corpus_smoke = List.mem "--corpus-smoke" args in
   let json_file = opt_value args "--json" in
@@ -267,6 +271,8 @@ let () =
         (Corpus.run ~layers ?only ~smoke:corpus_smoke ~json_file ~baseline_file
            ())
     else if update_smoke then Update_bench.run_smoke ~json_file ~baseline_file ()
+    else if spawn_smoke then
+      Spawn_bench.run_spawn_smoke ~json_file ~baseline_file ()
     else if dispatch_smoke then Dispatch_bench.run_dispatch_smoke ~json_file ()
     else if ir_ablation then Dispatch_bench.run_ir_ablation ()
     else begin

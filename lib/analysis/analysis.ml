@@ -485,8 +485,8 @@ let analyze ?helpers (config : Config.t) program :
           unreachable;
         }
 
-let load ?(config = Config.default) ?cycle_cost ?(tier = Vm.Compiled) ?fuse
-    ?passes ~helpers ~regions program =
+let load_outcome ?(config = Config.default) ?cycle_cost ?(tier = Vm.Compiled)
+    ?fuse ?passes ~helpers ~regions program =
   match analyze ~helpers config program with
   | Result.Error fault -> Result.Error fault
   | Result.Ok outcome ->
@@ -508,8 +508,17 @@ let load ?(config = Config.default) ?cycle_cost ?(tier = Vm.Compiled) ?fuse
         | _ -> None
       in
       Result.Ok
-        (Vm.load_analyzed ~config ?cycle_cost ~tier ?fuse
-           ?proofs:outcome.fastpath ?ir ~helpers ~regions program)
+        ( Vm.load_analyzed ~config ?cycle_cost ~tier ?fuse
+            ?proofs:outcome.fastpath ?ir ~helpers ~regions program,
+          outcome )
+
+let load ?config ?cycle_cost ?tier ?fuse ?passes ~helpers ~regions program =
+  match
+    load_outcome ?config ?cycle_cost ?tier ?fuse ?passes ~helpers ~regions
+      program
+  with
+  | Result.Error fault -> Result.Error fault
+  | Result.Ok (vm, _outcome) -> Result.Ok vm
 
 (* ------------------------------------------------------------------ *)
 (* JSON rendering (schema femto-analysis/1).                          *)

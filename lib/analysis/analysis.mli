@@ -84,6 +84,20 @@ val load :
     closure per optimized block.  Programs with analysis diagnostics
     still load and run fully checked. *)
 
+val load_outcome :
+  ?config:Femto_vm.Config.t ->
+  ?cycle_cost:(Femto_ebpf.Insn.kind -> int) ->
+  ?tier:Femto_vm.Vm.tier ->
+  ?fuse:bool ->
+  ?passes:Passes.config ->
+  helpers:Femto_vm.Helper.t ->
+  regions:Femto_vm.Region.t list ->
+  Femto_ebpf.Program.t ->
+  (Femto_vm.Vm.t * outcome, Femto_vm.Fault.t) result
+(** Like {!load}, additionally returning the analysis {!outcome} so the
+    caller can attach the proofs/diagnostics to a container image and
+    spawn further instances without re-running the analyzer. *)
+
 val fault_diag : Femto_vm.Fault.t -> diag
 (** Render a structural verifier fault as an [Error] diagnostic. *)
 

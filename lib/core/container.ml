@@ -19,13 +19,19 @@ type t = {
   mutable program : Program.t;
   contract : Contract.t;
   runtime : Femto_platform.Platform.engine;
-  local_store : Kvstore.t;
+  mutable local_store : Kvstore.t;
+      (* mutable: an image-spawned instance swaps in a copy-on-write
+         view over the image's frozen baseline *)
   mutable attached_to : string option; (* hook uuid *)
   mutable instance : instance option;
   mutable executions : int;
   mutable faults : int;
   mutable total_vm_cycles : int;
   mutable last_result : (int64, Fault.t) result option;
+  mutable prepare_run : unit -> unit;
+      (* runs before each execution; image-spawned instances use it to
+         re-point the image's forward kv stores at their own stores
+         (the engine is single-threaded, so rebind-per-run is safe) *)
 }
 
 let create ~name ~tenant ~contract
@@ -43,6 +49,7 @@ let create ~name ~tenant ~contract
     faults = 0;
     total_vm_cycles = 0;
     last_result = None;
+    prepare_run = ignore;
   }
 
 let name t = t.name
@@ -55,8 +62,11 @@ let faults t = t.faults
 let total_vm_cycles t = t.total_vm_cycles
 let last_result t = t.last_result
 let local_store t = t.local_store
+let set_local_store t store = t.local_store <- store
+let set_prepare_run t f = t.prepare_run <- f
 
 let run_instance ?(args = [||]) t =
+  t.prepare_run ();
   match t.instance with
   | None -> Error (Fault.Helper_error { pc = 0; id = 0; message = "not attached" })
   | Some (Fc_instance vm) ->

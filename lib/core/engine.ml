@@ -27,16 +27,31 @@ let m_hook_ns = Obs.histogram "engine.hook_ns"
 let m_pool_hits = Obs.counter "engine.pool_hits"
 let m_pool_resets = Obs.counter "engine.pool_resets"
 
+(* Image-cache metrics: the spawn path's subject.  A hit spawns without
+   verification, analysis or compilation; a miss pays the full cold
+   attach once and caches the artifact. *)
+let m_image_hits = Obs.counter "engine.image_hits"
+let m_image_misses = Obs.counter "engine.image_misses"
+let m_spawns = Obs.counter "engine.spawns"
+let g_image_words = Obs.gauge "vm.image_words"
+let g_instance_words = Obs.gauge "engine.instance_words"
+
 type t = {
   platform : Platform.t;
   kernel : Kernel.t option;
   global_store : Kvstore.t;
   tenants : (string, Tenant.t) Hashtbl.t;
   hooks : (string, Hook.t) Hashtbl.t;
+  images : (string, Image.t) Hashtbl.t; (* content-hash → container image *)
   sensors : (int, unit -> (int64, string) result) Hashtbl.t;
   mutable extra_helpers : (Contract.capability * (Helper.t -> unit)) list;
-  mutable trace_log : int64 list; (* newest first; bpf_trace output *)
-  mutable fallback_ms : int64; (* time source when no kernel is attached *)
+  (* refs, not mutable fields: the facility closures handed to helper
+     tables must not capture the engine record itself, or every cached
+     image would transitively reach every attached container and the
+     footprint accounting (shared image vs private instance) would
+     collapse into one blob *)
+  trace_log : int64 list ref; (* newest first; bpf_trace output *)
+  fallback_ms : int64 ref; (* time source when no kernel is attached *)
   config : Femto_vm.Config.t;
   tier : Femto_vm.Vm.tier; (* execution tier for Fc containers *)
 }
@@ -49,10 +64,11 @@ let create ?(platform = Platform.cortex_m4) ?kernel
     global_store = Kvstore.create "global";
     tenants = Hashtbl.create 4;
     hooks = Hashtbl.create 8;
+    images = Hashtbl.create 8;
     sensors = Hashtbl.create 4;
     extra_helpers = [];
-    trace_log = [];
-    fallback_ms = 0L;
+    trace_log = ref [];
+    fallback_ms = ref 0L;
     config;
     tier;
   }
@@ -60,7 +76,7 @@ let create ?(platform = Platform.cortex_m4) ?kernel
 let platform t = t.platform
 let kernel t = t.kernel
 let global_store t = t.global_store
-let trace_log t = List.rev t.trace_log
+let trace_log t = List.rev !(t.trace_log)
 
 (* --- tenants --- *)
 
@@ -93,30 +109,36 @@ let register_sensor t ~id read = Hashtbl.replace t.sensors id read
 let add_helper_installer t capability install =
   t.extra_helpers <- t.extra_helpers @ [ (capability, install) ]
 
-let advance_fallback_ms t ms = t.fallback_ms <- Int64.add t.fallback_ms ms
+let advance_fallback_ms t ms = t.fallback_ms := Int64.add !(t.fallback_ms) ms
 
 let facilities_for t container =
+  (* capture only what each closure needs — never [t] itself (see the
+     [trace_log]/[fallback_ms] comment on the engine record) *)
+  let kernel = t.kernel in
+  let fallback_ms = t.fallback_ms in
+  let sensors = t.sensors in
+  let trace_log = t.trace_log in
   {
     Syscall.local_store = Container.local_store container;
     tenant_store = Tenant.store (Container.tenant container);
     global_store = t.global_store;
     now_ms =
       (fun () ->
-        match t.kernel with
+        match kernel with
         | Some kernel ->
             Int64.of_float (Femto_rtos.Kernel.now_us kernel /. 1000.0)
-        | None -> t.fallback_ms);
+        | None -> !fallback_ms);
     ticks =
       (fun () ->
-        match t.kernel with
+        match kernel with
         | Some kernel -> Femto_rtos.Kernel.now kernel
-        | None -> Int64.mul t.fallback_ms 64_000L);
+        | None -> Int64.mul !fallback_ms 64_000L);
     read_sensor =
       (fun id ->
-        match Hashtbl.find_opt t.sensors id with
+        match Hashtbl.find_opt sensors id with
         | Some read -> read ()
         | None -> Error (Printf.sprintf "no sensor %d" id));
-    trace = (fun v -> t.trace_log <- v :: t.trace_log);
+    trace = (fun v -> trace_log := v :: !trace_log);
   }
 
 (* Helper table for [container] at [hook]: contract ∩ the policy applying
@@ -215,7 +237,8 @@ let detach t container =
       | Some hook -> Hook.remove_attached hook container
       | None -> ());
       container.Container.attached_to <- None;
-      container.Container.instance <- None
+      container.Container.instance <- None;
+      Container.set_prepare_run container ignore
 
 (* Hot update: replace the program of an attached container.  The new
    program goes through pre-flight verification first; on failure the old
@@ -241,7 +264,154 @@ let update_program t container program =
           | Ok instance ->
               container.Container.program <- program;
               container.Container.instance <- Some instance;
+              (* the fresh instance's helper table captures the current
+                 stores directly; any image forward-binding is stale *)
+              Container.set_prepare_run container ignore;
               Ok ()))
+
+(* --- image spawn path --- *)
+
+let granted_for hook container =
+  let policy =
+    Hook.policy_for hook ~tenant_id:(Tenant.id (Container.tenant container))
+  in
+  Contract.grant policy container.Container.contract
+
+(* Cold path of [spawn]: one full verify → analyze → compile, with the
+   helper table compiled against retargetable forward stores so every
+   later instance can re-bind it to its own stores.  The template VM
+   built here becomes the image's first instance. *)
+let build_image t ~key ~hook ~extra_regions ~granted container =
+  let program = Container.program container in
+  let runtime = container.Container.runtime in
+  let baseline = container.Container.local_store in
+  let local_fwd =
+    Kvstore.forward ~target:baseline ("fwd:" ^ Kvstore.name baseline)
+  in
+  let tenant_store = Tenant.store (Container.tenant container) in
+  let tenant_fwd =
+    Kvstore.forward ~target:tenant_store ("fwd:" ^ Kvstore.name tenant_store)
+  in
+  let facilities =
+    {
+      (facilities_for t container) with
+      Syscall.local_store = local_fwd;
+      tenant_store = tenant_fwd;
+    }
+  in
+  let helpers = Syscall.build ~extra:t.extra_helpers ~granted facilities in
+  let regions = Hook.ctx_region hook :: extra_regions in
+  let cycle_cost = Platform.cycle_cost t.platform runtime in
+  let make vm outcome =
+    Image.create ~key ~runtime ~vm_image:(Femto_vm.Vm.image_of vm) ~outcome
+      ~baseline ~local_fwd ~tenant_fwd
+  in
+  match runtime with
+  | Platform.Fc -> (
+      match
+        Femto_analysis.Analysis.load_outcome ~config:t.config ~cycle_cost
+          ~tier:t.tier ~helpers ~regions program
+      with
+      | Ok (vm, outcome) -> Ok (make vm (Some outcome), vm)
+      | Error fault -> Error fault)
+  | Platform.Rbpf -> (
+      match
+        Femto_vm.Vm.load ~config:t.config ~cycle_cost
+          ~tier:Femto_vm.Vm.Decoded ~helpers ~regions program
+      with
+      | Ok vm -> Ok (make vm None, vm)
+      | Error fault -> Error fault)
+  | Platform.Certfc ->
+      (* [spawn] falls back to [attach] before reaching here *)
+      assert false
+
+(* Bind a spawned VM into [container]: private CoW view over the image's
+   frozen kv baseline, and a [prepare_run] hook that re-points the
+   image's forward stores at this instance before each execution. *)
+let adopt_instance ~hook ~hook_uuid ?delta_quota img vm container =
+  let local =
+    Kvstore.cow ?delta_quota ~parent:(Image.baseline img)
+      (Printf.sprintf "local:%s" (Container.name container))
+  in
+  Container.set_local_store container local;
+  let tenant_store = Tenant.store (Container.tenant container) in
+  Container.set_prepare_run container (fun () ->
+      Image.bind img ~local ~tenant:tenant_store);
+  container.Container.instance <- Some (Container.Fc_instance vm);
+  container.Container.attached_to <- Some hook_uuid;
+  Hook.append_attached hook container;
+  Image.record_spawn img;
+  if Obs.enabled () then begin
+    Ometrics.incr m_attaches;
+    Ometrics.incr m_spawns
+  end
+
+(* [spawn] is [attach] through the image cache: the first container with
+   a given (program, runtime, granted capabilities) pays the cold
+   verify → analyze → compile; every later one re-binds the cached
+   immutable artifact to fresh private state — no verification, no
+   analysis, no decode, no compilation.  [delta_quota] caps the
+   instance's private kv delta (its per-tenant write budget).  The
+   certified runtime has no shareable artifact and falls back to a full
+   [attach]. *)
+let spawn t ~hook_uuid ?(extra_regions = []) ?delta_quota container =
+  match Hashtbl.find_opt t.hooks hook_uuid with
+  | None -> Error (No_such_hook hook_uuid)
+  | Some hook -> (
+      match container.Container.attached_to with
+      | Some uuid -> Error (Already_attached uuid)
+      | None -> (
+          match container.Container.runtime with
+          | Platform.Certfc -> attach t ~hook_uuid ~extra_regions container
+          | Platform.Fc | Platform.Rbpf -> (
+              let granted = granted_for hook container in
+              let key =
+                Image.key_of ~runtime:container.Container.runtime ~granted
+                  (Container.program container)
+              in
+              match Hashtbl.find_opt t.images key with
+              | Some img ->
+                  if Obs.enabled () then Ometrics.incr m_image_hits;
+                  let regions = Hook.ctx_region hook :: extra_regions in
+                  let vm = Femto_vm.Vm.spawn ~regions (Image.vm_image img) in
+                  adopt_instance ~hook ~hook_uuid ?delta_quota img vm container;
+                  Ok hook
+              | None -> (
+                  if Obs.enabled () then Ometrics.incr m_image_misses;
+                  match build_image t ~key ~hook ~extra_regions ~granted container with
+                  | Error fault ->
+                      if Obs.enabled () then Ometrics.incr m_attach_rejected;
+                      Error (Verification_failed fault)
+                  | Ok (img, vm) ->
+                      Hashtbl.replace t.images key img;
+                      adopt_instance ~hook ~hook_uuid ?delta_quota img vm
+                        container;
+                      Ok hook))))
+
+let images_cached t = Hashtbl.length t.images
+let find_image t key = Hashtbl.find_opt t.images key
+
+let cached_images t =
+  Hashtbl.fold (fun _ img acc -> img :: acc) t.images []
+
+let image_spawns t =
+  Hashtbl.fold (fun _ img acc -> acc + Image.spawns img) t.images 0
+
+(* Refresh the [vm.image_words] / [engine.instance_words] gauges with
+   one reachable-words walk each (explicit, not per-spawn: walking the
+   heap on every spawn would dwarf the spawn itself at fleet scale).
+   The instance gauge is the incremental cost of everything attached on
+   top of the shared images: walk(instances ∪ images) − walk(images). *)
+let update_footprint_gauges t =
+  let images = cached_images t in
+  let image_words = Obj.reachable_words (Obj.repr images) in
+  let containers =
+    Hashtbl.fold (fun _ hook acc -> Hook.attached hook @ acc) t.hooks []
+  in
+  let total_words = Obj.reachable_words (Obj.repr (containers, images)) in
+  Ometrics.set g_image_words (float_of_int image_words);
+  Ometrics.set g_instance_words (float_of_int (total_words - image_words));
+  (image_words, total_words - image_words)
 
 (* --- trigger path --- *)
 
@@ -320,6 +490,7 @@ let[@inline] charge_cycles t cycles =
   | None -> ()
 
 let fire_container t container =
+  container.Container.prepare_run ();
   charge_cycles t
     (Platform.hook_setup_cycles t.platform container.Container.runtime);
   let ok =

@@ -1,0 +1,108 @@
+(* Container image: the immutable, shareable product of one cold attach.
+
+   One image captures everything the expensive load path produces —
+   verified bytecode, the analyzer's proofs and diagnostics, the
+   superblock IR and the compiled closure artifact (all inside
+   [Femto_vm.Vm.image]) — plus the frozen local-store baseline and the
+   forward kv indirections its helper table was compiled against.
+   Instances spawned from it privately own only their stack window, the
+   interpreter run state and a copy-on-write kv delta; everything else
+   is shared by reference, which is what makes spawning thousands of
+   residents nearly free.
+
+   Images are keyed by content hash (program bytes + runtime + the
+   sorted capability names actually granted at the hook), so two
+   containers with the same program but different privilege sets get
+   distinct images — the helper table is part of the artifact. *)
+
+type t = {
+  key : string; (* hex sha-256; the image-cache key *)
+  runtime : Femto_platform.Platform.engine;
+  vm_image : Femto_vm.Vm.image;
+  outcome : Femto_analysis.Analysis.outcome option;
+      (* analyzer proofs/diagnostics, attached once at image build (Fc
+         runtime only: Rbpf loads through the plain checked loader) *)
+  baseline : Kvstore.t;
+      (* frozen snapshot of the local store at image build; every
+         spawned instance's CoW local store reads through it *)
+  local_fwd : Kvstore.t;
+  tenant_fwd : Kvstore.t;
+      (* the forward stores the image's helper table was compiled
+         against: re-pointed at the running instance's stores before
+         each dispatch (single-threaded engine, so this is safe) *)
+  mutable spawns : int; (* instances spawned from this image *)
+}
+
+(* Program digests are memoized by physical identity: spawning reuses
+   the same [Program.t] value, and hashing kilobytes of bytecode on
+   every spawn would dwarf the spawn itself.  The ephemeron keeps the
+   cache from pinning dead programs; distinct-but-equal program values
+   merely hash twice to the same digest. *)
+module Digest_cache = Ephemeron.K1.Make (struct
+  type t = Femto_ebpf.Program.t
+
+  let equal = ( == )
+  let hash = Hashtbl.hash
+end)
+
+let digests = Digest_cache.create 16
+
+(* One-entry MRU in front of the ephemeron: [Digest_cache.find_opt]
+   pays a structural [Hashtbl.hash] walk over the program on every
+   lookup, while the common case — spawning many instances of one
+   program — needs only a pointer compare. *)
+let last_digest : (Femto_ebpf.Program.t * string) option ref = ref None
+
+let program_digest program =
+  match !last_digest with
+  | Some (p, d) when p == program -> d
+  | _ ->
+      let d =
+        match Digest_cache.find_opt digests program with
+        | Some d -> d
+        | None ->
+            let d =
+              Femto_crypto.Crypto.to_hex
+                (Femto_crypto.Crypto.sha256
+                   (Bytes.unsafe_to_string
+                      (Femto_ebpf.Program.to_bytes program)))
+            in
+            Digest_cache.replace digests program d;
+            d
+      in
+      last_digest := Some (program, d);
+      d
+
+(* Deterministic cache key: program content hash, runtime, and the
+   granted capability names (sorted — grant order is a policy detail).
+   The short runtime/capability components ride along in the clear; only
+   the bytecode needs hashing. *)
+let key_of ~runtime ~granted program =
+  let caps =
+    List.sort String.compare (List.map Contract.capability_name granted)
+  in
+  String.concat ":"
+    (program_digest program
+    :: Femto_platform.Platform.engine_name runtime
+    :: caps)
+
+let create ~key ~runtime ~vm_image ~outcome ~baseline ~local_fwd ~tenant_fwd =
+  { key; runtime; vm_image; outcome; baseline; local_fwd; tenant_fwd; spawns = 0 }
+
+let key t = t.key
+let runtime t = t.runtime
+let vm_image t = t.vm_image
+let outcome t = t.outcome
+let baseline t = t.baseline
+let spawns t = t.spawns
+let record_spawn t = t.spawns <- t.spawns + 1
+
+(* Re-point the image's forward kv stores at one instance's stores.
+   Called from the instance's [prepare_run] hook before each execution;
+   O(2) pointer writes. *)
+let bind t ~local ~tenant =
+  Kvstore.retarget t.local_fwd local;
+  Kvstore.retarget t.tenant_fwd tenant
+
+let proven t = Femto_vm.Vm.image_proven t.vm_image
+let tier t = Femto_vm.Vm.image_tier t.vm_image

@@ -3,44 +3,198 @@
    container.  Three scopes exist, assembled by the hosting engine:
    - local:  private to one container;
    - tenant: shared by the containers of one tenant;
-   - global: shared by every container on the device. *)
+   - global: shared by every container on the device.
+
+   Three representations share one interface:
+   - [Direct]:  a plain bounded hash table (the classic store);
+   - [Cow]:     a copy-on-write view over a frozen parent — reads fall
+     through to the parent, the first write materializes a private delta
+     entry, deletes of parent keys become tombstones, and teardown cost
+     is O(delta).  This is what makes image-spawned container instances
+     cheap: thousands of residents share one baseline table;
+   - [Forward]: a retargetable indirection, letting helper tables that
+     were compiled once against a shared image be re-bound to the
+     running instance's stores before each dispatch. *)
 
 type t = {
   name : string;
-  table : (int32, int64) Hashtbl.t;
   max_entries : int; (* bounded: RAM on the device is finite *)
+  impl : impl;
 }
+
+and impl =
+  | Direct of (int32, int64) Hashtbl.t
+  | Cow of cow
+  | Forward of fwd
+
+and cow = {
+  parent : t; (* must be frozen while this view is live *)
+  delta : (int32, entry) Hashtbl.t;
+  delta_quota : int option;
+      (* optional per-view cap on private delta entries (per-tenant
+         write quota); [None] bounds only by [max_entries] *)
+  mutable cleared : bool; (* a view-level clear hides the whole parent *)
+  mutable logical_len : int; (* parent length at creation, maintained *)
+}
+
+and entry = Value of int64 | Tombstone
+
+and fwd = { mutable target : t }
 
 exception Full of string
 
 let create ?(max_entries = 64) name =
-  { name; table = Hashtbl.create 16; max_entries }
+  { name; max_entries; impl = Direct (Hashtbl.create 16) }
 
 let name t = t.name
-let length t = Hashtbl.length t.table
+
+let rec length t =
+  match t.impl with
+  | Direct table -> Hashtbl.length table
+  | Cow c -> c.logical_len
+  | Forward f -> length f.target
+
+(* [cow] views must only be created over parents that are not mutated
+   for the lifetime of the view (the engine freezes image baselines):
+   the cached logical length relies on it. *)
+let cow ?max_entries ?delta_quota ~parent vname =
+  let max_entries =
+    match max_entries with Some m -> m | None -> parent.max_entries
+  in
+  {
+    name = vname;
+    max_entries;
+    impl =
+      Cow
+        {
+          parent;
+          delta = Hashtbl.create 8;
+          delta_quota;
+          cleared = false;
+          logical_len = length parent;
+        };
+  }
+
+let forward ~target fname = { name = fname; max_entries = 0; impl = Forward { target } }
+
+let retarget t target =
+  match t.impl with
+  | Forward f -> f.target <- target
+  | Direct _ | Cow _ -> invalid_arg "Kvstore.retarget: not a forward store"
 
 (* Missing keys read as zero, as in the paper's thread-counter example
    (first fetch of a fresh key yields a zero counter). *)
-let fetch t key =
-  match Hashtbl.find_opt t.table key with Some v -> v | None -> 0L
+let rec fetch t key =
+  match t.impl with
+  | Direct table -> (
+      match Hashtbl.find_opt table key with Some v -> v | None -> 0L)
+  | Cow c -> (
+      match Hashtbl.find_opt c.delta key with
+      | Some (Value v) -> v
+      | Some Tombstone -> 0L
+      | None -> if c.cleared then 0L else fetch c.parent key)
+  | Forward f -> fetch f.target key
 
-let mem t key = Hashtbl.mem t.table key
+let rec mem t key =
+  match t.impl with
+  | Direct table -> Hashtbl.mem table key
+  | Cow c -> (
+      match Hashtbl.find_opt c.delta key with
+      | Some (Value _) -> true
+      | Some Tombstone -> false
+      | None -> (not c.cleared) && mem c.parent key)
+  | Forward f -> mem f.target key
 
-let store t key value =
-  if (not (Hashtbl.mem t.table key)) && Hashtbl.length t.table >= t.max_entries
-  then Error (`Store_full t.name)
-  else begin
-    Hashtbl.replace t.table key value;
-    Ok ()
-  end
+(* Capacity is counted on *logical* entries, so a CoW view behaves
+   exactly like an eager copy of its parent: overwriting an existing key
+   (own or inherited) always succeeds even at capacity; inserting a
+   fresh key at capacity fails.  [delta_quota], when set, additionally
+   bounds the private delta — the per-tenant write budget. *)
+let rec store t key value =
+  match t.impl with
+  | Direct table ->
+      if
+        (not (Hashtbl.mem table key))
+        && Hashtbl.length table >= t.max_entries
+      then Error (`Store_full t.name)
+      else begin
+        Hashtbl.replace table key value;
+        Ok ()
+      end
+  | Cow c ->
+      let fresh = not (mem t key) in
+      if fresh && c.logical_len >= t.max_entries then Error (`Store_full t.name)
+      else if
+        match c.delta_quota with
+        | Some q ->
+            (not (Hashtbl.mem c.delta key)) && Hashtbl.length c.delta >= q
+        | None -> false
+      then Error (`Store_full t.name)
+      else begin
+        Hashtbl.replace c.delta key (Value value);
+        if fresh then c.logical_len <- c.logical_len + 1;
+        Ok ()
+      end
+  | Forward f -> store f.target key value
 
-let remove t key = Hashtbl.remove t.table key
-let clear t = Hashtbl.reset t.table
+let rec remove t key =
+  match t.impl with
+  | Direct table -> Hashtbl.remove table key
+  | Cow c ->
+      if mem t key then c.logical_len <- c.logical_len - 1;
+      if c.cleared || not (mem c.parent key) then Hashtbl.remove c.delta key
+      else
+        (* the parent still holds the key: shadow it.  Tombstones are
+           exempt from [delta_quota] — deletion must not fail. *)
+        Hashtbl.replace c.delta key Tombstone
+  | Forward f -> remove f.target key
 
-let bindings t =
-  Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.table []
-  |> List.sort (fun (a, _) (b, _) -> Int32.compare a b)
+let rec clear t =
+  match t.impl with
+  | Direct table -> Hashtbl.reset table
+  | Cow c ->
+      Hashtbl.reset c.delta;
+      c.cleared <- true;
+      c.logical_len <- 0
+  | Forward f -> clear f.target
+
+let rec bindings t =
+  match t.impl with
+  | Direct table ->
+      Hashtbl.fold (fun k v acc -> (k, v) :: acc) table []
+      |> List.sort (fun (a, _) (b, _) -> Int32.compare a b)
+  | Cow c ->
+      let merged = Hashtbl.create 16 in
+      if not c.cleared then
+        List.iter (fun (k, v) -> Hashtbl.replace merged k v) (bindings c.parent);
+      Hashtbl.iter
+        (fun k e ->
+          match e with
+          | Value v -> Hashtbl.replace merged k v
+          | Tombstone -> Hashtbl.remove merged k)
+        c.delta;
+      Hashtbl.fold (fun k v acc -> (k, v) :: acc) merged []
+      |> List.sort (fun (a, _) (b, _) -> Int32.compare a b)
+  | Forward f -> bindings f.target
+
+(* Introspection for the engine, bench and tests. *)
+
+let is_cow t = match t.impl with Cow _ -> true | Direct _ | Forward _ -> false
+
+let rec delta_size t =
+  match t.impl with
+  | Direct table -> Hashtbl.length table
+  | Cow c -> Hashtbl.length c.delta
+  | Forward f -> delta_size f.target
+
+let parent t = match t.impl with Cow c -> Some c.parent | _ -> None
 
 (* Approximate RAM cost in bytes, for the memory-footprint experiments:
-   key (4) + value (8) + per-entry bookkeeping (8). *)
-let ram_bytes t = 24 + (Hashtbl.length t.table * 20)
+   key (4) + value (8) + per-entry bookkeeping (8).  A CoW view pays
+   only for its delta, and a forward only for the indirection — shared
+   parents/targets are billed to their owners. *)
+let ram_bytes t =
+  match t.impl with
+  | Direct table -> 24 + (Hashtbl.length table * 20)
+  | Cow c -> 40 + (Hashtbl.length c.delta * 20)
+  | Forward _ -> 16

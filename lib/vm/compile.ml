@@ -59,21 +59,33 @@ let m_ir_elided = Obs.counter "vm.ir_checks_elided"
 external get64 : bytes -> int -> int64 = "%caml_bytes_get64u"
 external set64 : bytes -> int -> int64 -> unit = "%caml_bytes_set64u"
 
+(* Everything a run mutates lives in [state], which is passed to every
+   generated closure as a parameter: the closures themselves are pure
+   functions of the bytecode and can be shared between any number of
+   instances (the container image/instance split relies on this — see
+   [instantiate]).  That includes the run statistics and the per-site
+   region inline caches, which earlier revisions captured at compile
+   time and would have leaked between instances. *)
 type state = {
   rf : bytes; (* 11 registers x 8 bytes *)
   stack : bytes; (* shared with the paired Interp instance *)
   mem : Mem.t;
+  stats : Interp.stats; (* shared with the paired Interp instance *)
+  snapshot : Region.t array; (* this instance's allow-list at creation *)
+  cache_ok : bool; (* snapshot pairwise disjoint: inline caches sound *)
+  rcache : Region.t option array; (* per-site region inline caches *)
   mutable dirty_lo : int; (* dirty stack window [dirty_lo, dirty_hi) *)
   mutable dirty_hi : int;
 }
 
-type t = {
+(* The immutable compiled artifact: generated closures plus compile-time
+   metadata.  Shared (never written after compilation) between every
+   instance spawned from the same image. *)
+type code = {
   entry : state -> unit; (* threaded: code.(0); IR: superblock trampoline *)
   code : (state -> unit) array;
       (* per-insn threaded code; for the IR tier this is the exact-budget
          fallback path (empty when budgets are compiled out) *)
-  st : state;
-  stats : Interp.stats; (* shared with the paired Interp instance *)
   stack_top : int64; (* pre-boxed r10 reset value *)
   stack_size : int;
   fused : int; (* superinstructions installed by the fusion pass *)
@@ -81,9 +93,11 @@ type t = {
   ir_blocks : int; (* superblocks compiled by the IR backend (0 = threaded) *)
   elided : int; (* IR memory checks elided against analyzer proofs *)
   hoisted : int; (* IR allow-list scans behind a region inline cache *)
+  cache_sites : int; (* inline-cache slots a [state] must provide *)
   compile_ns : float;
-  mutable runs : int;
 }
+
+type t = { sh : code; st : state; mutable runs : int }
 
 type mode = Checked | Proven of bool array
 
@@ -96,6 +110,14 @@ let proof_trap =
 
 let[@inline always] reg st i = get64 st.rf (i lsl 3)
 let[@inline always] set_reg st i v = set64 st.rf (i lsl 3) v
+
+(* Only regions that were in the instance's allow-list snapshot may be
+   inline-cached: regions appended later scan *after* every snapshot
+   region in [Mem.find], so a cached hit can never shadow them. *)
+let in_snapshot st r =
+  let ok = ref false in
+  Array.iter (fun r' -> if r' == r then ok := true) st.snapshot;
+  !ok
 
 (* One 64-bit ALU step over the non-faulting operation subset; fused
    bodies switch on the captured (per-closure constant) operation tag. *)
@@ -142,7 +164,6 @@ let build_code ~fuse ~mode interp =
   let config = Interp.config interp in
   let helpers = Interp.helpers interp in
   let cost = Interp.cycle_cost interp in
-  let stats = Interp.stats interp in
   let insns = Program.insns program in
   let kinds = Array.map Insn.kind insns in
   let len = Array.length kinds in
@@ -188,15 +209,18 @@ let build_code ~fuse ~mode interp =
   in
   let[@inline] continue st i = (Array.unsafe_get code i) st in
   (* Per-original-instruction bookkeeping, in the decoded tier's exact
-     order: count, budget-check, charge the cycle model. *)
-  let[@inline] acct c =
+     order: count, budget-check, charge the cycle model.  Stats are read
+     through [st] so the generated closures stay instance-agnostic. *)
+  let[@inline] acct st c =
+    let stats = st.stats in
     let n = stats.Interp.insns_executed + 1 in
     stats.Interp.insns_executed <- n;
     if n > ilimit then
       raise (Vm_fault (Fault.Instruction_budget_exhausted { executed = n }));
     stats.Interp.cycles <- stats.Interp.cycles + c
   in
-  let[@inline] take_branch () =
+  let[@inline] take_branch st =
+    let stats = st.stats in
     let b = stats.Interp.branches_taken + 1 in
     stats.Interp.branches_taken <- b;
     if b > blimit then
@@ -219,78 +243,78 @@ let build_code ~fuse ~mode interp =
     match op with
     | Opcode.Add ->
         fun st ->
-          acct c;
+          acct st c;
           set_reg st dst (Int64.add (reg st dst) v);
           continue st next
     | Opcode.Sub ->
         fun st ->
-          acct c;
+          acct st c;
           set_reg st dst (Int64.sub (reg st dst) v);
           continue st next
     | Opcode.Mul ->
         fun st ->
-          acct c;
+          acct st c;
           set_reg st dst (Int64.mul (reg st dst) v);
           continue st next
     | Opcode.Div ->
-        if Int64.equal v 0L then fun _ ->
-          acct c;
+        if Int64.equal v 0L then fun st ->
+          acct st c;
           raise (Vm_fault (Fault.Division_by_zero { pc }))
         else
           fun st ->
-            acct c;
+            acct st c;
             set_reg st dst (Int64.unsigned_div (reg st dst) v);
             continue st next
     | Opcode.Mod ->
-        if Int64.equal v 0L then fun _ ->
-          acct c;
+        if Int64.equal v 0L then fun st ->
+          acct st c;
           raise (Vm_fault (Fault.Division_by_zero { pc }))
         else
           fun st ->
-            acct c;
+            acct st c;
             set_reg st dst (Int64.unsigned_rem (reg st dst) v);
             continue st next
     | Opcode.Or ->
         fun st ->
-          acct c;
+          acct st c;
           set_reg st dst (Int64.logor (reg st dst) v);
           continue st next
     | Opcode.And ->
         fun st ->
-          acct c;
+          acct st c;
           set_reg st dst (Int64.logand (reg st dst) v);
           continue st next
     | Opcode.Xor ->
         fun st ->
-          acct c;
+          acct st c;
           set_reg st dst (Int64.logxor (reg st dst) v);
           continue st next
     | Opcode.Lsh ->
         let sh = Int64.to_int (Int64.logand v 63L) in
         fun st ->
-          acct c;
+          acct st c;
           set_reg st dst (Int64.shift_left (reg st dst) sh);
           continue st next
     | Opcode.Rsh ->
         let sh = Int64.to_int (Int64.logand v 63L) in
         fun st ->
-          acct c;
+          acct st c;
           set_reg st dst (Int64.shift_right_logical (reg st dst) sh);
           continue st next
     | Opcode.Arsh ->
         let sh = Int64.to_int (Int64.logand v 63L) in
         fun st ->
-          acct c;
+          acct st c;
           set_reg st dst (Int64.shift_right (reg st dst) sh);
           continue st next
     | Opcode.Neg ->
         fun st ->
-          acct c;
+          acct st c;
           set_reg st dst (Int64.neg (reg st dst));
           continue st next
     | Opcode.Mov ->
         fun st ->
-          acct c;
+          acct st c;
           set_reg st dst v;
           continue st next
   in
@@ -298,22 +322,22 @@ let build_code ~fuse ~mode interp =
     match op with
     | Opcode.Add ->
         fun st ->
-          acct c;
+          acct st c;
           set_reg st dst (Int64.add (reg st dst) (reg st src));
           continue st next
     | Opcode.Sub ->
         fun st ->
-          acct c;
+          acct st c;
           set_reg st dst (Int64.sub (reg st dst) (reg st src));
           continue st next
     | Opcode.Mul ->
         fun st ->
-          acct c;
+          acct st c;
           set_reg st dst (Int64.mul (reg st dst) (reg st src));
           continue st next
     | Opcode.Div ->
         fun st ->
-          acct c;
+          acct st c;
           let s = reg st src in
           if Int64.equal s 0L then
             raise (Vm_fault (Fault.Division_by_zero { pc }));
@@ -321,7 +345,7 @@ let build_code ~fuse ~mode interp =
           continue st next
     | Opcode.Mod ->
         fun st ->
-          acct c;
+          acct st c;
           let s = reg st src in
           if Int64.equal s 0L then
             raise (Vm_fault (Fault.Division_by_zero { pc }));
@@ -329,48 +353,48 @@ let build_code ~fuse ~mode interp =
           continue st next
     | Opcode.Or ->
         fun st ->
-          acct c;
+          acct st c;
           set_reg st dst (Int64.logor (reg st dst) (reg st src));
           continue st next
     | Opcode.And ->
         fun st ->
-          acct c;
+          acct st c;
           set_reg st dst (Int64.logand (reg st dst) (reg st src));
           continue st next
     | Opcode.Xor ->
         fun st ->
-          acct c;
+          acct st c;
           set_reg st dst (Int64.logxor (reg st dst) (reg st src));
           continue st next
     | Opcode.Lsh ->
         fun st ->
-          acct c;
+          acct st c;
           set_reg st dst
             (Int64.shift_left (reg st dst)
                (Int64.to_int (Int64.logand (reg st src) 63L)));
           continue st next
     | Opcode.Rsh ->
         fun st ->
-          acct c;
+          acct st c;
           set_reg st dst
             (Int64.shift_right_logical (reg st dst)
                (Int64.to_int (Int64.logand (reg st src) 63L)));
           continue st next
     | Opcode.Arsh ->
         fun st ->
-          acct c;
+          acct st c;
           set_reg st dst
             (Int64.shift_right (reg st dst)
                (Int64.to_int (Int64.logand (reg st src) 63L)));
           continue st next
     | Opcode.Neg ->
         fun st ->
-          acct c;
+          acct st c;
           set_reg st dst (Int64.neg (reg st dst));
           continue st next
     | Opcode.Mov ->
         fun st ->
-          acct c;
+          acct st c;
           set_reg st dst (reg st src);
           continue st next
   in
@@ -400,14 +424,14 @@ let build_code ~fuse ~mode interp =
              shared semantics for exact parity with the other engines. *)
           let v = Int64.of_int32 imm in
           fun st ->
-            acct c;
+            acct st c;
             (match Interp.alu32 pc op (reg st dst) v with
             | Ok r -> set_reg st dst r
             | Error f -> raise (Vm_fault f));
             continue st next
       | Insn.Alu (false, op, Opcode.Src_reg) ->
           fun st ->
-            acct c;
+            acct st c;
             (match Interp.alu32 pc op (reg st dst) (reg st src) with
             | Ok r -> set_reg st dst r
             | Error f -> raise (Vm_fault f));
@@ -416,7 +440,7 @@ let build_code ~fuse ~mode interp =
           let nbytes = Opcode.size_bytes size in
           if is_proven pc then
             if size = Opcode.DW then fun st ->
-              acct c;
+              acct st c;
               let o =
                 Int64.to_int
                   (Int64.sub (Int64.add (reg st src) off64) stack_vaddr)
@@ -425,7 +449,7 @@ let build_code ~fuse ~mode interp =
               set_reg st dst (get64 st.stack o);
               continue st next
             else fun st ->
-              acct c;
+              acct st c;
               let o =
                 Int64.to_int
                   (Int64.sub (Int64.add (reg st src) off64) stack_vaddr)
@@ -434,7 +458,7 @@ let build_code ~fuse ~mode interp =
               set_reg st dst (load_direct st.stack o nbytes);
               continue st next
           else fun st ->
-            acct c;
+            acct st c;
             let addr = Int64.add (reg st src) off64 in
             (match Mem.load st.mem ~addr ~size:nbytes with
             | Ok v -> set_reg st dst v
@@ -448,7 +472,7 @@ let build_code ~fuse ~mode interp =
           let nbytes = Opcode.size_bytes size in
           let v = Int64.of_int32 imm in
           if is_proven pc then fun st ->
-            acct c;
+            acct st c;
             let o =
               Int64.to_int (Int64.sub (Int64.add (reg st dst) off64) stack_vaddr)
             in
@@ -457,7 +481,7 @@ let build_code ~fuse ~mode interp =
             store_direct st.stack o nbytes v;
             continue st next
           else fun st ->
-            acct c;
+            acct st c;
             let addr = Int64.add (reg st dst) off64 in
             (match Mem.store st.mem ~addr ~size:nbytes v with
             | Ok () -> mark_checked_store st addr nbytes
@@ -471,7 +495,7 @@ let build_code ~fuse ~mode interp =
           let nbytes = Opcode.size_bytes size in
           if is_proven pc then
             if size = Opcode.DW then fun st ->
-              acct c;
+              acct st c;
               let o =
                 Int64.to_int
                   (Int64.sub (Int64.add (reg st dst) off64) stack_vaddr)
@@ -482,7 +506,7 @@ let build_code ~fuse ~mode interp =
               set64 st.stack o (reg st src);
               continue st next
             else fun st ->
-              acct c;
+              acct st c;
               let o =
                 Int64.to_int
                   (Int64.sub (Int64.add (reg st dst) off64) stack_vaddr)
@@ -492,7 +516,7 @@ let build_code ~fuse ~mode interp =
               store_direct st.stack o nbytes (reg st src);
               continue st next
           else fun st ->
-            acct c;
+            acct st c;
             let addr = Int64.add (reg st dst) off64 in
             (match Mem.store st.mem ~addr ~size:nbytes (reg st src) with
             | Ok () -> mark_checked_store st addr nbytes
@@ -506,24 +530,24 @@ let build_code ~fuse ~mode interp =
           (* lddw absorption: the pair collapses into one closure holding
              the reassembled constant; the tail slot keeps its own trap
              closure in case a (necessarily unverified) jump lands on it. *)
-          if pc + 1 >= len then fun _ ->
-            acct c;
+          if pc + 1 >= len then fun st ->
+            acct st c;
             raise (Vm_fault (Fault.Truncated_lddw { pc }))
           else
             let tail = Array.unsafe_get insns (pc + 1) in
             let v = Insn.lddw_imm ~head:insn ~tail in
             let next2 = pc + 2 in
             fun st ->
-              acct c;
+              acct st c;
               set_reg st dst v;
               continue st next2
       | Insn.Lddw_tail ->
-          fun _ ->
-            acct c;
+          fun st ->
+            acct st c;
             raise (Vm_fault (Fault.Invalid_opcode { pc; opcode = 0 }))
       | Insn.End endianness ->
           fun st ->
-            acct c;
+            acct st c;
             (match Interp.byte_swap pc endianness imm (reg st dst) with
             | Ok v -> set_reg st dst v
             | Error f -> raise (Vm_fault f));
@@ -531,8 +555,8 @@ let build_code ~fuse ~mode interp =
       | Insn.Ja ->
           let target = resolve (pc + 1 + insn.Insn.offset) in
           fun st ->
-            acct c;
-            take_branch ();
+            acct st c;
+            take_branch st;
             continue st target
       | Insn.Jcond (is64, cond, source) -> (
           let target = resolve (pc + 1 + insn.Insn.offset) in
@@ -540,17 +564,17 @@ let build_code ~fuse ~mode interp =
           | Opcode.Src_imm ->
               let v = Int64.of_int32 imm in
               fun st ->
-                acct c;
+                acct st c;
                 if Interp.condition cond is64 (reg st dst) v then begin
-                  take_branch ();
+                  take_branch st;
                   continue st target
                 end
                 else continue st next
           | Opcode.Src_reg ->
               fun st ->
-                acct c;
+                acct st c;
                 if Interp.condition cond is64 (reg st dst) (reg st src) then begin
-                  take_branch ();
+                  take_branch st;
                   continue st target
                 end
                 else continue st next)
@@ -558,19 +582,19 @@ let build_code ~fuse ~mode interp =
           let id = Int32.to_int imm in
           match Helper.find helpers id with
           | None ->
-              fun _ ->
-                acct c;
+              fun st ->
+                acct st c;
                 raise (Vm_fault (Fault.Unknown_helper { pc; id }))
           | Some entry ->
               let name = entry.Helper.name in
               let hcost = entry.Helper.cost_cycles in
               let fn = entry.Helper.fn in
               fun st ->
-                acct c;
-                stats.Interp.helper_calls <- stats.Interp.helper_calls + 1;
+                acct st c;
+                st.stats.Interp.helper_calls <- st.stats.Interp.helper_calls + 1;
                 if Obs.tracing () then
                   Obs.event (fun () -> Otrace.Helper_call { id; name });
-                stats.Interp.cycles <- stats.Interp.cycles + hcost;
+                st.stats.Interp.cycles <- st.stats.Interp.cycles + hcost;
                 let a =
                   {
                     Helper.a1 = reg st 1;
@@ -590,10 +614,10 @@ let build_code ~fuse ~mode interp =
                 st.dirty_lo <- 0;
                 st.dirty_hi <- stack_size;
                 continue st next)
-      | Insn.Exit -> fun _ -> acct c
+      | Insn.Exit -> fun st -> acct st c
       | Insn.Invalid opcode ->
-          fun _ ->
-            acct c;
+          fun st ->
+            acct st c;
             raise (Vm_fault (Fault.Invalid_opcode { pc; opcode }))
   in
   for pc = len - 1 downto 0 do
@@ -633,7 +657,7 @@ let build_code ~fuse ~mode interp =
             let off64 = Int64.of_int i1.Insn.offset in
             code.(pc) <-
               (fun st ->
-                acct c1;
+                acct st c1;
                 let o =
                   Int64.to_int
                     (Int64.sub (Int64.add (reg st base) off64) stack_vaddr)
@@ -643,7 +667,7 @@ let build_code ~fuse ~mode interp =
                 if o + 8 > st.dirty_hi then st.dirty_hi <- o + 8;
                 let v = reg st v_src in
                 set64 st.stack o v;
-                acct c2;
+                acct st c2;
                 set_reg st l_dst v;
                 continue st nn);
             incr fused
@@ -655,7 +679,7 @@ let build_code ~fuse ~mode interp =
             let off64 = Int64.of_int i1.Insn.offset in
             code.(pc) <-
               (fun st ->
-                acct c1;
+                acct st c1;
                 let o =
                   Int64.to_int
                     (Int64.sub (Int64.add (reg st l_src) off64) stack_vaddr)
@@ -663,7 +687,7 @@ let build_code ~fuse ~mode interp =
                 if o < 0 || o > stack_size - 8 then raise proof_trap;
                 let v = get64 st.stack o in
                 set_reg st l_dst v;
-                acct c2;
+                acct st c2;
                 set_reg st d2 (alu_step op2 (reg st d2) v);
                 continue st nn);
             incr fused
@@ -679,23 +703,23 @@ let build_code ~fuse ~mode interp =
                 let v2 = Int64.of_int32 i2.Insn.imm in
                 code.(pc) <-
                   (fun st ->
-                    acct c1;
+                    acct st c1;
                     set_reg st d1 (alu_step op1 (reg st d1) v1);
-                    acct c2;
+                    acct st c2;
                     if Interp.condition cond is64 (reg st d2) v2 then begin
-                      take_branch ();
+                      take_branch st;
                       continue st target
                     end
                     else continue st nn)
             | Opcode.Src_reg ->
                 code.(pc) <-
                   (fun st ->
-                    acct c1;
+                    acct st c1;
                     set_reg st d1 (alu_step op1 (reg st d1) v1);
-                    acct c2;
+                    acct st c2;
                     if Interp.condition cond is64 (reg st d2) (reg st s2)
                     then begin
-                      take_branch ();
+                      take_branch st;
                       continue st target
                     end
                     else continue st nn));
@@ -708,9 +732,9 @@ let build_code ~fuse ~mode interp =
             let v2 = Int64.of_int32 i2.Insn.imm in
             code.(pc) <-
               (fun st ->
-                acct c1;
+                acct st c1;
                 set_reg st d1 (alu_step op1 (reg st d1) v1);
-                acct c2;
+                acct st c2;
                 set_reg st d2 (alu_step op2 (reg st d2) v2);
                 continue st nn);
             incr fused
@@ -724,49 +748,13 @@ let proven_of_mode mode =
   | Checked -> 0
   | Proven p -> Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 p
 
-let fresh_state interp =
-  {
-    rf = Bytes.make 88 '\000';
-    stack = Interp.stack_data interp;
-    mem = Interp.mem interp;
-    dirty_lo = max_int;
-    dirty_hi = 0;
-  }
-
-let compile ?(fuse = false) ~mode interp =
-  let t0 = Obs.now_ns () in
-  let code, fused = build_code ~fuse ~mode interp in
-  let config = Interp.config interp in
-  let compile_ns = Obs.now_ns () -. t0 in
-  if Obs.enabled () then begin
-    Ometrics.observe m_compile_ns compile_ns;
-    Ometrics.add m_fused fused
-  end;
-  {
-    entry = (fun st -> (Array.unsafe_get code 0) st);
-    code;
-    st = fresh_state interp;
-    stats = Interp.stats interp;
-    stack_top =
-      Int64.add config.Config.stack_vaddr (Int64.of_int config.Config.stack_size);
-    stack_size = config.Config.stack_size;
-    fused;
-    proven = proven_of_mode mode;
-    ir_blocks = 0;
-    elided = 0;
-    hoisted = 0;
-    compile_ns;
-    runs = 0;
-  }
-
-(* ------------------------------------------------------------------ *)
-(* Superblock (IR) backend.                                           *)
-
-(* Pairwise disjointness of the allow-list at compile time is what makes
-   a per-site region inline cache sound: with disjoint regions, [Mem.find]
+(* Pairwise disjointness of an instance's allow-list is what makes a
+   per-site region inline cache sound: with disjoint regions, [Mem.find]
    first-match is determined by containment alone, and regions appended
    later scan *after* every cached candidate, so a hit on a snapshot
-   region can never shadow a better match. *)
+   region can never shadow a better match.  Checked per instance (at
+   [instantiate] time), since different instances of the same code can
+   carry different region layouts. *)
 let regions_disjoint (rs : Region.t array) =
   let n = Array.length rs in
   let span (r : Region.t) =
@@ -793,6 +781,65 @@ let regions_disjoint (rs : Region.t array) =
   done;
   !ok
 
+(* Private run state for one instance over [cache_sites] inline-cache
+   slots.  Everything else the closures touch is reached through this
+   record, so building it is the entire per-instance cost of the
+   compiled tier. *)
+let fresh_state ~cache_sites interp =
+  let mem = Interp.mem interp in
+  let snapshot = Mem.raw_regions mem in
+  {
+    rf = Bytes.make 88 '\000';
+    stack = Interp.stack_data interp;
+    mem;
+    stats = Interp.stats interp;
+    snapshot;
+    cache_ok = cache_sites > 0 && regions_disjoint snapshot;
+    rcache = Array.make cache_sites None;
+    dirty_lo = max_int;
+    dirty_hi = 0;
+  }
+
+(* Bind shared compiled code to a fresh instance: no verification,
+   analysis or compilation happens here — [m_compile_ns] is deliberately
+   not observed, which the image-cache tests rely on. *)
+let instantiate sh interp =
+  { sh; st = fresh_state ~cache_sites:sh.cache_sites interp; runs = 0 }
+
+let shared t = t.sh
+let cache_sites sh = sh.cache_sites
+
+let compile ?(fuse = false) ~mode interp =
+  let t0 = Obs.now_ns () in
+  let code, fused = build_code ~fuse ~mode interp in
+  let config = Interp.config interp in
+  let compile_ns = Obs.now_ns () -. t0 in
+  if Obs.enabled () then begin
+    Ometrics.observe m_compile_ns compile_ns;
+    Ometrics.add m_fused fused
+  end;
+  let sh =
+    {
+      entry = (fun st -> (Array.unsafe_get code 0) st);
+      code;
+      stack_top =
+        Int64.add config.Config.stack_vaddr
+          (Int64.of_int config.Config.stack_size);
+      stack_size = config.Config.stack_size;
+      fused;
+      proven = proven_of_mode mode;
+      ir_blocks = 0;
+      elided = 0;
+      hoisted = 0;
+      cache_sites = 0;
+      compile_ns;
+    }
+  in
+  instantiate sh interp
+
+(* ------------------------------------------------------------------ *)
+(* Superblock (IR) backend.                                           *)
+
 (* Fault-capable IR steps: where batched accounting must be applied
    before the operation body runs, exactly as the decoded tier would have
    accounted every instruction up to and including this one. *)
@@ -818,8 +865,6 @@ let compile_ir ~mode ~(ir : Ir.program) interp =
   let t0 = Obs.now_ns () in
   let config = Interp.config interp in
   let helpers = Interp.helpers interp in
-  let stats = Interp.stats interp in
-  let mem = Interp.mem interp in
   let stack_size = config.Config.stack_size in
   let stack_vaddr = config.Config.stack_vaddr in
   let checked = match mode with Checked -> true | Proven _ -> false in
@@ -828,14 +873,19 @@ let compile_ir ~mode ~(ir : Ir.program) interp =
   let fb_code =
     if checked then fst (build_code ~fuse:false ~mode interp) else [||]
   in
-  let snapshot = Mem.raw_regions mem in
-  let cacheable = regions_disjoint snapshot in
-  let in_snapshot r =
-    let ok = ref false in
-    Array.iter (fun r' -> if r' == r then ok := true) snapshot;
-    !ok
+  (* Region inline caches live in per-instance [state] slots: each hoisted
+     site is assigned a slot index at compile time, and every instance
+     brings its own slot array, snapshot and disjointness verdict — so
+     code shared between instances with different region layouts can never
+     leak a cached region from one instance into another. *)
+  let n_cache_sites = ref 0 in
+  let fresh_slot () =
+    let s = !n_cache_sites in
+    incr n_cache_sites;
+    s
   in
-  let[@inline] bulk_acct dn dc =
+  let[@inline] bulk_acct st dn dc =
+    let stats = st.stats in
     stats.Interp.insns_executed <- stats.Interp.insns_executed + dn;
     stats.Interp.cycles <- stats.Interp.cycles + dc
   in
@@ -936,7 +986,7 @@ let compile_ir ~mode ~(ir : Ir.program) interp =
         if is64 then
           let div = op = Opcode.Div in
           fun st ->
-            bulk_acct dn dc;
+            bulk_acct st dn dc;
             let sv = reg st src in
             if Int64.equal sv 0L then
               raise (Vm_fault (Fault.Division_by_zero { pc }));
@@ -946,7 +996,7 @@ let compile_ir ~mode ~(ir : Ir.program) interp =
             k st
         else
           fun st ->
-            bulk_acct dn dc;
+            bulk_acct st dn dc;
             (match Interp.alu32 pc op (reg st dst) (reg st src) with
             | Ok r -> set_reg st dst r
             | Error f -> raise (Vm_fault f));
@@ -1010,19 +1060,20 @@ let compile_ir ~mode ~(ir : Ir.program) interp =
           k st
     | Ir.Load { dst; base; off; nbytes; hoist; _ } ->
         let off64 = Int64.of_int off in
-        if hoist && cacheable then begin
-          let cache = ref None in
+        if hoist then begin
+          let slot = fresh_slot () in
           fun st ->
-            bulk_acct dn dc;
+            bulk_acct st dn dc;
             let addr = Int64.add (reg st base) off64 in
-            (match !cache with
+            (match Array.unsafe_get st.rcache slot with
             | Some r when Region.contains r addr nbytes ->
                 set_reg st dst
                   (load_direct r.Region.data (Region.offset_of r addr) nbytes)
             | _ -> (
                 match Mem.find st.mem ~addr ~size:nbytes ~write:false with
                 | Some r ->
-                    if in_snapshot r then cache := Some r;
+                    if st.cache_ok && in_snapshot st r then
+                      st.rcache.(slot) <- Some r;
                     set_reg st dst
                       (load_direct r.Region.data (Region.offset_of r addr)
                          nbytes)
@@ -1034,7 +1085,7 @@ let compile_ir ~mode ~(ir : Ir.program) interp =
             k st
         end
         else fun st ->
-          bulk_acct dn dc;
+          bulk_acct st dn dc;
           let addr = Int64.add (reg st base) off64 in
           (match Mem.load st.mem ~addr ~size:nbytes with
           | Ok v -> set_reg st dst v
@@ -1094,12 +1145,12 @@ let compile_ir ~mode ~(ir : Ir.program) interp =
           | Ir.Imm c -> fun (_ : state) -> c
           | Ir.Reg r -> fun st -> reg st r
         in
-        if hoist && cacheable then begin
-          let cache = ref None in
+        if hoist then begin
+          let slot = fresh_slot () in
           fun st ->
-            bulk_acct dn dc;
+            bulk_acct st dn dc;
             let addr = Int64.add (reg st base) off64 in
-            (match !cache with
+            (match Array.unsafe_get st.rcache slot with
             | Some r when Region.contains r addr nbytes ->
                 store_direct r.Region.data (Region.offset_of r addr) nbytes
                   (read_v st);
@@ -1107,7 +1158,8 @@ let compile_ir ~mode ~(ir : Ir.program) interp =
             | _ -> (
                 match Mem.find st.mem ~addr ~size:nbytes ~write:true with
                 | Some r ->
-                    if in_snapshot r then cache := Some r;
+                    if st.cache_ok && in_snapshot st r then
+                      st.rcache.(slot) <- Some r;
                     store_direct r.Region.data (Region.offset_of r addr) nbytes
                       (read_v st);
                     mark_checked_store st addr nbytes
@@ -1119,7 +1171,7 @@ let compile_ir ~mode ~(ir : Ir.program) interp =
             k st
         end
         else fun st ->
-          bulk_acct dn dc;
+          bulk_acct st dn dc;
           let addr = Int64.add (reg st base) off64 in
           (match Mem.store st.mem ~addr ~size:nbytes (read_v st) with
           | Ok () -> mark_checked_store st addr nbytes
@@ -1131,19 +1183,19 @@ let compile_ir ~mode ~(ir : Ir.program) interp =
     | Ir.Call { id } -> (
         match Helper.find helpers id with
         | None ->
-            fun _ ->
-              bulk_acct dn dc;
+            fun st ->
+              bulk_acct st dn dc;
               raise (Vm_fault (Fault.Unknown_helper { pc; id }))
         | Some entry ->
             let name = entry.Helper.name in
             let hcost = entry.Helper.cost_cycles in
             let fn = entry.Helper.fn in
             fun st ->
-              bulk_acct dn dc;
-              stats.Interp.helper_calls <- stats.Interp.helper_calls + 1;
+              bulk_acct st dn dc;
+              st.stats.Interp.helper_calls <- st.stats.Interp.helper_calls + 1;
               if Obs.tracing () then
                 Obs.event (fun () -> Otrace.Helper_call { id; name });
-              stats.Interp.cycles <- stats.Interp.cycles + hcost;
+              st.stats.Interp.cycles <- st.stats.Interp.cycles + hcost;
               let a =
                 {
                   Helper.a1 = reg st 1;
@@ -1166,30 +1218,32 @@ let compile_ir ~mode ~(ir : Ir.program) interp =
         let taken : state -> int =
           match dest with
           | Ir.Block id ->
-              fun _ ->
-                stats.Interp.branches_taken <- stats.Interp.branches_taken + 1;
+              fun st ->
+                st.stats.Interp.branches_taken <-
+                  st.stats.Interp.branches_taken + 1;
                 id
           | Ir.Out_of_range target ->
-              fun _ ->
-                stats.Interp.branches_taken <- stats.Interp.branches_taken + 1;
+              fun st ->
+                st.stats.Interp.branches_taken <-
+                  st.stats.Interp.branches_taken + 1;
                 raise (Vm_fault (Fault.Fall_off_end { pc = target }))
         in
         match src with
         | Ir.Imm v ->
             fun st ->
-              bulk_acct dn dc;
+              bulk_acct st dn dc;
               if Interp.condition cond is64 (reg st dst) v then taken st
               else k st
         | Ir.Reg src ->
             fun st ->
-              bulk_acct dn dc;
+              bulk_acct st dn dc;
               if Interp.condition cond is64 (reg st dst) (reg st src) then
                 taken st
               else k st)
     | Ir.Trap f ->
         let exn = Vm_fault f in
-        fun _ ->
-          bulk_acct dn dc;
+        fun st ->
+          bulk_acct st dn dc;
           raise exn
     | Ir.Trap_pre f ->
         (* decoded-tier register-range check: faults before accounting;
@@ -1197,8 +1251,8 @@ let compile_ir ~mode ~(ir : Ir.program) interp =
            preceding steps' accounting, which the decoded tier has also
            already performed at this point *)
         let exn = Vm_fault f in
-        fun _ ->
-          bulk_acct dn dc;
+        fun st ->
+          bulk_acct st dn dc;
           raise exn
   in
   let gen_block (b : Ir.block) : state -> int =
@@ -1228,32 +1282,34 @@ let compile_ir ~mode ~(ir : Ir.program) interp =
       match b.Ir.term with
       | Ir.Exit { weight; cost; _ } ->
           let dni = tdn + weight and dci = tdc + cost in
-          fun _ ->
-            bulk_acct dni dci;
+          fun st ->
+            bulk_acct st dni dci;
             -1
       | Ir.Jump { weight; cost; dest; _ } -> (
           let dni = tdn + weight and dci = tdc + cost in
           match dest with
           | Ir.Block id ->
-              fun _ ->
-                bulk_acct dni dci;
-                stats.Interp.branches_taken <- stats.Interp.branches_taken + 1;
+              fun st ->
+                bulk_acct st dni dci;
+                st.stats.Interp.branches_taken <-
+                  st.stats.Interp.branches_taken + 1;
                 id
           | Ir.Out_of_range target ->
-              fun _ ->
-                bulk_acct dni dci;
-                stats.Interp.branches_taken <- stats.Interp.branches_taken + 1;
+              fun st ->
+                bulk_acct st dni dci;
+                st.stats.Interp.branches_taken <-
+                  st.stats.Interp.branches_taken + 1;
                 raise (Vm_fault (Fault.Fall_off_end { pc = target })))
       | Ir.Fall { dest } ->
           if tdn = 0 && tdc = 0 then fun _ -> dest
           else
-            fun _ ->
-              bulk_acct tdn tdc;
+            fun st ->
+              bulk_acct st tdn tdc;
               dest
       | Ir.Halt f ->
           let exn = Vm_fault f in
-          fun _ ->
-            bulk_acct tdn tdc;
+          fun st ->
+            bulk_acct st tdn tdc;
             raise exn
     in
     let body = ref term_k in
@@ -1273,8 +1329,8 @@ let compile_ir ~mode ~(ir : Ir.program) interp =
       if b.Ir.branch then
         fun st ->
           if
-            stats.Interp.insns_executed + w > ilimit
-            || stats.Interp.branches_taken >= blimit
+            st.stats.Interp.insns_executed + w > ilimit
+            || st.stats.Interp.branches_taken >= blimit
           then begin
             (Array.unsafe_get fb_code head) st;
             -1
@@ -1282,7 +1338,7 @@ let compile_ir ~mode ~(ir : Ir.program) interp =
           else body st
       else
         fun st ->
-          if stats.Interp.insns_executed + w > ilimit then begin
+          if st.stats.Interp.insns_executed + w > ilimit then begin
             (Array.unsafe_get fb_code head) st;
             -1
           end
@@ -1310,29 +1366,31 @@ let compile_ir ~mode ~(ir : Ir.program) interp =
     Ometrics.observe m_compile_ns compile_ns;
     Ometrics.add m_ir_elided elided
   end;
-  {
-    entry;
-    code = fb_code;
-    st = fresh_state interp;
-    stats;
-    stack_top =
-      Int64.add config.Config.stack_vaddr (Int64.of_int config.Config.stack_size);
-    stack_size;
-    fused = 0;
-    proven = elided;
-    ir_blocks = nblocks;
-    elided;
-    hoisted;
-    compile_ns;
-    runs = 0;
-  }
+  let sh =
+    {
+      entry;
+      code = fb_code;
+      stack_top =
+        Int64.add config.Config.stack_vaddr
+          (Int64.of_int config.Config.stack_size);
+      stack_size;
+      fused = 0;
+      proven = elided;
+      ir_blocks = nblocks;
+      elided;
+      hoisted;
+      cache_sites = !n_cache_sites;
+      compile_ns;
+    }
+  in
+  instantiate sh interp
 
-let fused_count t = t.fused
-let proven_count t = t.proven
-let ir_blocks_count t = t.ir_blocks
-let elided_count t = t.elided
-let hoisted_count t = t.hoisted
-let compile_ns t = t.compile_ns
+let fused_count t = t.sh.fused
+let proven_count t = t.sh.proven
+let ir_blocks_count t = t.sh.ir_blocks
+let elided_count t = t.sh.elided
+let hoisted_count t = t.sh.hoisted
+let compile_ns t = t.sh.compile_ns
 let runs t = t.runs
 
 (* [reset] is the warm pool's dividend: instead of zeroing the whole
@@ -1346,7 +1404,7 @@ let reset t =
     Bytes.fill st.stack st.dirty_lo (st.dirty_hi - st.dirty_lo) '\000';
   st.dirty_lo <- max_int;
   st.dirty_hi <- 0;
-  set64 st.rf 80 t.stack_top
+  set64 st.rf 80 t.sh.stack_top
 
 let[@inline] load_args st (args : int64 array) =
   let n = Array.length args in
@@ -1360,12 +1418,12 @@ let exec_exn ~args t =
   t.runs <- t.runs + 1;
   reset t;
   load_args t.st args;
-  let stats = t.stats in
+  let stats = t.st.stats in
   stats.Interp.insns_executed <- 0;
   stats.Interp.branches_taken <- 0;
   stats.Interp.helper_calls <- 0;
   stats.Interp.cycles <- 0;
-  t.entry t.st
+  t.sh.entry t.st
 
 let exec ?(args = [||]) t =
   match exec_exn ~args t with
@@ -1383,7 +1441,7 @@ let run ?(args = [||]) t =
   else begin
     let t0 = Obs.now_ns () in
     let outcome = exec ~args t in
-    let stats = t.stats in
+    let stats = t.st.stats in
     Ometrics.incr m_runs;
     Ometrics.add m_insns stats.Interp.insns_executed;
     Ometrics.add m_branches stats.Interp.branches_taken;
@@ -1416,7 +1474,7 @@ let fire ~args t =
   match exec_exn ~args t with
   | () ->
       if Obs.enabled () then begin
-        let stats = t.stats in
+        let stats = t.st.stats in
         Ometrics.incr m_runs;
         Ometrics.add m_insns stats.Interp.insns_executed;
         Ometrics.add m_branches stats.Interp.branches_taken;
@@ -1426,7 +1484,7 @@ let fire ~args t =
       true
   | exception Vm_fault f ->
       if Obs.enabled () then begin
-        let stats = t.stats in
+        let stats = t.st.stats in
         Ometrics.incr m_runs;
         Ometrics.add m_insns stats.Interp.insns_executed;
         Ometrics.add m_branches stats.Interp.branches_taken;
@@ -1462,4 +1520,12 @@ let dirty_window t = (t.st.dirty_lo, t.st.dirty_hi)
 
 let ram_bytes t =
   let word = Sys.word_size / 8 in
-  88 (* register file *) + ((Array.length t.code + t.ir_blocks) * word)
+  88 (* register file *)
+  + ((Array.length t.sh.code + t.sh.ir_blocks) * word)
+
+(* The per-instance slice of the compiled tier: register file, inline
+   cache slots, and the state record itself — everything [instantiate]
+   allocates beyond the shared [code]. *)
+let instance_ram_bytes t =
+  let word = Sys.word_size / 8 in
+  88 + ((Array.length t.st.rcache + Array.length t.st.snapshot + 10) * word)

@@ -16,6 +16,13 @@
 
 type t
 
+type code
+(** The immutable compiled artifact: generated closures plus compile-time
+    metadata.  All run-time mutable state (registers, stack, stats, dirty
+    window, region inline caches) lives in the instance, so one [code]
+    value can back any number of instances — the container image/instance
+    split shares it via [shared]/[instantiate]. *)
+
 type mode =
   | Checked  (** full defensive checks, like [Interp.exec_checked] *)
   | Proven of bool array
@@ -39,8 +46,22 @@ val compile_ir : mode:mode -> ir:Ir.program -> Interp.t -> t
     stats) stay bit-for-bit identical to the decoded interpreter.
     Proof-elided stack accesses compile to direct byte-buffer access
     behind a residual frame-bounds guard; hoisted allow-list accesses use
-    a per-site region inline cache when the compile-time region snapshot
-    is pairwise disjoint (the only case where caching is sound). *)
+    a per-site, per-instance region inline cache, enabled when the
+    instance's region snapshot is pairwise disjoint (the only case where
+    caching is sound). *)
+
+val shared : t -> code
+(** The shared compiled artifact backing [t]. *)
+
+val instantiate : code -> Interp.t -> t
+(** Bind shared compiled code to a fresh interpreter instance.  Performs
+    no verification, analysis or compilation — only the per-instance run
+    state (register file, inline-cache slots, region snapshot) is
+    allocated.  The interpreter must have been created from the same
+    program and config the code was compiled from. *)
+
+val cache_sites : code -> int
+(** Region-inline-cache slots each instance provides (IR tier only). *)
 
 val run : ?args:int64 array -> t -> (int64, Fault.t) result
 (** Execute with [Interp.run]'s exact observability envelope. *)
@@ -84,5 +105,9 @@ val dirty_window : t -> int * int
 (** Current dirty stack window [(lo, hi)); empty when [lo >= hi]. *)
 
 val ram_bytes : t -> int
-(** Additional per-instance state owned by this tier: register file plus
-    the closure table. *)
+(** Additional state owned by this tier: register file plus the closure
+    table (shared when the instance was spawned from an image). *)
+
+val instance_ram_bytes : t -> int
+(** Only the private slice: register file, inline-cache slots and state
+    record — what [instantiate] allocates beyond the shared [code]. *)

@@ -58,15 +58,21 @@ let no_cost (_ : Insn.kind) = 0
 (* [create] pre-decodes the program.  The caller is expected to have run
    [Verifier.verify] first; [run] still never crashes the host on an
    unverified program — it faults instead.  [fastpath] must only be
-   passed for programs the static analyzer proved eligible. *)
-let create ?(config = Config.default) ?(cycle_cost = no_cost) ?fastpath
+   passed for programs the static analyzer proved eligible.  [kinds], if
+   given, must be the pre-decoded view of [program] — image spawns pass
+   the shared array so instances skip the per-instance decode. *)
+let create ?(config = Config.default) ?(cycle_cost = no_cost) ?fastpath ?kinds
     ~helpers ~regions program =
   let stack_data = Bytes.make config.Config.stack_size '\000' in
   let stack =
     Region.make ~name:"stack" ~vaddr:config.Config.stack_vaddr
       ~perm:Region.Read_write stack_data
   in
-  let kinds = Array.map Insn.kind (Program.insns program) in
+  let kinds =
+    match kinds with
+    | Some k -> k
+    | None -> Array.map Insn.kind (Program.insns program)
+  in
   {
     program;
     kinds;
@@ -89,6 +95,7 @@ let fastpath_active t = t.fastpath <> None
    which shares this instance's memory map, stack buffer and stats
    record so both tiers observe identical state. *)
 let program t = t.program
+let kinds t = t.kinds
 let config t = t.config
 let helpers t = t.helpers
 let stack_data t = t.stack_data

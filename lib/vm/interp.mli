@@ -29,13 +29,16 @@ val create :
   ?config:Config.t ->
   ?cycle_cost:(Femto_ebpf.Insn.kind -> int) ->
   ?fastpath:fastpath ->
+  ?kinds:Femto_ebpf.Insn.kind array ->
   helpers:Helper.t ->
   regions:Region.t list ->
   Femto_ebpf.Program.t ->
   t
 (** Pre-decode a program.  Callers should verify first; [run] still never
     crashes the host on an unverified program — it faults instead.
-    [fastpath] must only be passed for analyzer-approved programs. *)
+    [fastpath] must only be passed for analyzer-approved programs.
+    [kinds], if given, must be the pre-decoded view of [program]; image
+    spawns pass the shared array so instances skip the decode. *)
 
 val fastpath_active : t -> bool
 (** True when this instance runs on the trimmed interpreter loop. *)
@@ -50,6 +53,10 @@ val registers : t -> int64 array
     instance's memory map, stack buffer and stats record. *)
 
 val program : t -> Femto_ebpf.Program.t
+
+val kinds : t -> Femto_ebpf.Insn.kind array
+(** The pre-decoded instruction views (shared, never mutated). *)
+
 val config : t -> Config.t
 val helpers : t -> Helper.t
 val stack_data : t -> bytes

@@ -53,11 +53,29 @@ let tier_of_name = function
   | "ir" -> Some Ir
   | _ -> None
 
-type t = {
+(* Everything needed to spawn further instances without redoing verify /
+   analyze / compile: the program, its shared pre-decoded view, the
+   analyzer's proofs, and the compiled artifact.  All fields are
+   immutable and shared by every instance spawned from the image. *)
+type image = {
+  i_program : Femto_ebpf.Program.t;
+  i_kinds : Femto_ebpf.Insn.kind array;
+  i_config : Config.t;
+  i_cycle_cost : (Femto_ebpf.Insn.kind -> int) option;
+  i_helpers : Helper.t;
+  i_tier : tier;
+  i_proofs : bool array option;
+  i_code : Compile.code option;
+  i_proven : int;
+}
+
+and t = {
   interp : Interp.t;
   compiled : Compile.t option;
   tier : tier;
   proven : int; (* analyzer-proven accesses engaged by this instance *)
+  mutable image : image option;
+      (* filled for verified instances; the spawn template *)
 }
 
 let emit_tier t =
@@ -99,12 +117,19 @@ let make_verified ~config ~cycle_cost ~tier ~fuse ~proofs ~ir ~helpers ~regions
       compiled = Some compiled;
       tier;
       proven = Compile.proven_count compiled;
+      image = None;
     }
   in
   let t =
     match (tier, proofs) with
     | Decoded, _ | Trimmed, None ->
-        { interp = create (); compiled = None; tier = Decoded; proven = 0 }
+        {
+          interp = create ();
+          compiled = None;
+          tier = Decoded;
+          proven = 0;
+          image = None;
+        }
     | Trimmed, Some proven_stack ->
         {
           interp = create ~fastpath:{ Interp.proven_stack } ();
@@ -112,6 +137,7 @@ let make_verified ~config ~cycle_cost ~tier ~fuse ~proofs ~ir ~helpers ~regions
           tier = Trimmed;
           proven =
             Array.fold_left (fun n b -> if b then n + 1 else n) 0 proven_stack;
+          image = None;
         }
     | Compiled, _ -> compiled_instance ~tier:Compiled
     | Ir, _ -> (
@@ -134,8 +160,25 @@ let make_verified ~config ~cycle_cost ~tier ~fuse ~proofs ~ir ~helpers ~regions
               compiled = Some compiled;
               tier = Ir;
               proven = Compile.proven_count compiled;
+              image = None;
             })
   in
+  (* Every verified instance doubles as a spawn template: the image is
+     just shared references to what was computed above, so capturing it
+     is free. *)
+  t.image <-
+    Some
+      {
+        i_program = program;
+        i_kinds = Interp.kinds t.interp;
+        i_config = config;
+        i_cycle_cost = cycle_cost;
+        i_helpers = helpers;
+        i_tier = t.tier;
+        i_proofs = proofs;
+        i_code = Option.map Compile.shared t.compiled;
+        i_proven = t.proven;
+      };
   emit_tier t;
   t
 
@@ -166,7 +209,7 @@ let load_unverified ?(config = Config.default) ?cycle_cost ~helpers ~regions
         Interp.create ~config ~cycle_cost ~helpers ~regions program
     | None -> Interp.create ~config ~helpers ~regions program
   in
-  { interp; compiled = None; tier = Decoded; proven = 0 }
+  { interp; compiled = None; tier = Decoded; proven = 0; image = None }
 
 let run ?(args = [||]) t =
   match t.compiled with
@@ -198,3 +241,52 @@ let registers t =
 let ram_bytes t =
   Interp.ram_bytes t.interp
   + (match t.compiled with Some c -> Compile.ram_bytes c | None -> 0)
+
+(* ------------------------------------------------------------------ *)
+(* Image / instance split.                                            *)
+
+let image_of t =
+  match t.image with
+  | Some img -> img
+  | None -> invalid_arg "Vm.image_of: instance was loaded unverified"
+
+let image_tier img = img.i_tier
+let image_program img = img.i_program
+let image_proven img = img.i_proven
+
+(* [spawn] is the cheap path: no verification, no analysis, no decode
+   (the kinds array is shared), no compilation (the closure graph is
+   shared via [Compile.instantiate]).  The instance privately owns its
+   stack buffer, register file, stats, memory-region table and inline
+   cache slots — nothing else. *)
+let spawn ?(regions = []) img =
+  let fastpath =
+    match (img.i_tier, img.i_proofs) with
+    | Trimmed, Some proven_stack -> Some { Interp.proven_stack }
+    | _ -> None
+  in
+  let interp =
+    match img.i_cycle_cost with
+    | Some cycle_cost ->
+        Interp.create ~config:img.i_config ~cycle_cost ?fastpath
+          ~kinds:img.i_kinds ~helpers:img.i_helpers ~regions img.i_program
+    | None ->
+        Interp.create ~config:img.i_config ?fastpath ~kinds:img.i_kinds
+          ~helpers:img.i_helpers ~regions img.i_program
+  in
+  let compiled =
+    match img.i_code with
+    | Some code -> Some (Compile.instantiate code interp)
+    | None -> None
+  in
+  let t =
+    {
+      interp;
+      compiled;
+      tier = img.i_tier;
+      proven = img.i_proven;
+      image = Some img;
+    }
+  in
+  emit_tier t;
+  t

@@ -96,3 +96,28 @@ val fused_count : t -> int
 val ram_bytes : t -> int
 (** Per-instance RAM (paper Table 3 sense), including the compiled
     tier's closure table when present. *)
+
+(** {2 Image / instance split}
+
+    A verified instance doubles as a spawn template: {!image_of} captures
+    the whole immutable graph — program, shared pre-decoded instruction
+    views, analyzer proofs, compiled closure artifact — and {!spawn}
+    binds it to fresh private run state (stack, registers, stats, memory
+    map, inline-cache slots) without re-verifying, re-analyzing,
+    re-decoding or re-compiling anything. *)
+
+type image
+
+val image_of : t -> image
+(** The spawn template behind a verified instance (shared: calling this
+    twice, or on a spawned sibling, returns the same image).
+    @raise Invalid_argument on a {!load_unverified} instance. *)
+
+val spawn : ?regions:Region.t list -> image -> t
+(** Instantiate the image over a fresh memory map ([regions], plus the
+    private stack the interpreter always adds).  O(private state); the
+    shared graph is untouched. *)
+
+val image_tier : image -> tier
+val image_program : image -> Femto_ebpf.Program.t
+val image_proven : image -> int

@@ -7,6 +7,7 @@ module Schema = Femto_bench.Schema
 module Corpus = Femto_bench.Corpus
 module Update_bench = Femto_bench.Update_bench
 module Dispatch_bench = Femto_bench.Dispatch_bench
+module Spawn_bench = Femto_bench.Spawn_bench
 module Jsonx = Femto_obs.Jsonx
 
 let check_valid label doc =
@@ -46,6 +47,20 @@ let test_update_emitter () =
          { Update_bench.name = "e2e_single"; legacy_ns = 900.; fast_ns = 300. };
        ]
        ~streaming_seq_ns:1234.0)
+
+let test_spawn_emitter () =
+  check_valid "spawn doc"
+    (Spawn_bench.smoke_json
+       [
+         { Spawn_bench.name = "dagsum"; attach_ns = 200_000.; spawn_ns = 900. };
+         { Spawn_bench.name = "kvcounter"; attach_ns = 6_000.; spawn_ns = 700. };
+       ]
+       {
+         Spawn_bench.spawn_1_100 = 2272.;
+         spawn_100_10k = 2280.;
+         attach_1_100 = 45440.;
+         fraction = 0.05;
+       })
 
 (* --- validator teeth -------------------------------------------------- *)
 
@@ -182,6 +197,31 @@ let test_update_baseline_current () =
         committed
   | _ -> Alcotest.fail "update baseline has no update_speedups"
 
+let test_spawn_baseline_current () =
+  let doc = read_json (repo_file "bench/spawn-baseline.json") in
+  check_valid "spawn baseline" doc;
+  let live =
+    List.map (fun (w : Spawn_bench.workload) -> w.w_name) (Spawn_bench.workloads ())
+    @ [ "footprint_fraction" ]
+  in
+  match Jsonx.member "spawn_ratios" doc with
+  | Some (Jsonx.Obj committed) ->
+      Alcotest.(check bool) "baseline non-empty" true (committed <> []);
+      (* every floor-gated workload must have a committed ratio, and every
+         committed ratio must still name a live workload *)
+      List.iter
+        (fun name ->
+          Alcotest.(check bool)
+            (name ^ " committed") true
+            (List.mem_assoc name committed))
+        Spawn_bench.floor_gated;
+      List.iter
+        (fun (key, _) ->
+          Alcotest.(check bool)
+            (key ^ " still a bench workload") true (List.mem key live))
+        committed
+  | _ -> Alcotest.fail "spawn baseline has no spawn_ratios"
+
 let suite =
   [
     ( "emitters",
@@ -189,6 +229,7 @@ let suite =
         Alcotest.test_case "corpus doc conforms" `Quick test_corpus_emitter;
         Alcotest.test_case "dispatch doc conforms" `Quick test_dispatch_emitter;
         Alcotest.test_case "update doc conforms" `Quick test_update_emitter;
+        Alcotest.test_case "spawn doc conforms" `Quick test_spawn_emitter;
       ] );
     ( "validator",
       [
@@ -206,6 +247,8 @@ let suite =
           test_corpus_baseline_current;
         Alcotest.test_case "update baseline current" `Quick
           test_update_baseline_current;
+        Alcotest.test_case "spawn baseline current" `Quick
+          test_spawn_baseline_current;
       ] );
   ]
 
