@@ -13,6 +13,8 @@
                                  --baseline bench/update-baseline.json
      dune exec bench/main.exe -- --spawn-smoke --json s.json \
                                  --baseline bench/spawn-baseline.json
+     dune exec bench/main.exe -- --fleet-smoke --json f.json \
+                                 --baseline bench/fleet-baseline.json
      dune exec bench/main.exe -- --corpus --json corpus.json
      dune exec bench/main.exe -- --corpus-smoke --json corpus.json \
                                  --baseline bench/corpus-baseline.json
@@ -245,6 +247,7 @@ let () =
   let ir_ablation = List.mem "--ir-ablation" args in
   let update_smoke = List.mem "--update-smoke" args in
   let spawn_smoke = List.mem "--spawn-smoke" args in
+  let fleet_smoke = List.mem "--fleet-smoke" args in
   let corpus = List.mem "--corpus" args in
   let corpus_smoke = List.mem "--corpus-smoke" args in
   let json_file = opt_value args "--json" in
@@ -273,6 +276,8 @@ let () =
     else if update_smoke then Update_bench.run_smoke ~json_file ~baseline_file ()
     else if spawn_smoke then
       Spawn_bench.run_spawn_smoke ~json_file ~baseline_file ()
+    else if fleet_smoke then
+      Femto_bench.Fleet_bench.run_fleet_smoke ~json_file ~baseline_file ()
     else if dispatch_smoke then Dispatch_bench.run_dispatch_smoke ~json_file ()
     else if ir_ablation then Dispatch_bench.run_ir_ablation ()
     else begin

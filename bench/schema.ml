@@ -64,10 +64,14 @@ let write_doc doc path =
   close_out oc;
   Printf.printf "wrote %s\n" path
 
-let row_sections = [ "bechamel"; "dispatch"; "update"; "spawn"; "corpus" ]
+let row_sections =
+  [ "bechamel"; "dispatch"; "update"; "spawn"; "fleet"; "corpus" ]
 
 let ratio_sections =
-  [ "dispatch_speedups"; "update_speedups"; "spawn_ratios"; "corpus_ratios" ]
+  [
+    "dispatch_speedups"; "update_speedups"; "spawn_ratios"; "fleet_ratios";
+    "corpus_ratios";
+  ]
 
 let is_ns_key key =
   key = "ns_per_run" || key = "legacy_ns_per_run"

@@ -121,7 +121,13 @@ let check_result w c =
 
 (* --- latency: full attach vs cached spawn --- *)
 
-type row = { name : string; attach_ns : float; spawn_ns : float }
+type row = {
+  name : string;
+  attach_ns : float;
+  spawn_ns : float;
+  image_hits : int; (* warm spawns during this measurement *)
+  image_misses : int; (* cold image builds (should be 1 per workload) *)
+}
 
 let speedup r = r.attach_ns /. r.spawn_ns
 
@@ -154,7 +160,11 @@ let measure_workload w =
         ignore (ok_or_attach (Engine.spawn engine ~hook_uuid ~extra_regions c));
         Engine.detach engine c)
   in
-  { name = w.w_name; attach_ns; spawn_ns }
+  (* hit/miss bookkeeping straight off the engine's image cache: every
+     spawn above either built an image (miss) or reused one (hit) *)
+  let image_misses = Engine.images_cached engine in
+  let image_hits = Engine.image_spawns engine - image_misses in
+  { name = w.w_name; attach_ns; spawn_ns; image_hits; image_misses }
 
 (* --- footprint: marginal bytes per resident --- *)
 
@@ -228,6 +238,8 @@ let smoke_json rows fp =
                    ("name", Jsonx.String ("spawn/" ^ r.name));
                    ("legacy_ns_per_run", Jsonx.Float r.attach_ns);
                    ("ns_per_run", Jsonx.Float r.spawn_ns);
+                   ("image_hits", Jsonx.Int r.image_hits);
+                   ("image_misses", Jsonx.Int r.image_misses);
                  ])
              rows
           @ [

@@ -319,7 +319,13 @@ let spawn_cmd =
              ~doc:"Run each spawned instance once after spawning and report \
                    the result distribution.")
   in
-  let run input count fire args =
+  let json_arg =
+    Arg.(value & flag
+         & info [ "json" ]
+             ~doc:"Emit the spawn report as JSON (latencies, image-cache \
+                   hit/miss counters, footprint) instead of text.")
+  in
+  let run input count fire json args =
     if count < 1 then begin
       prerr_endline "fc spawn: --count must be >= 1";
       2
@@ -358,26 +364,46 @@ let spawn_cmd =
       let t1 = Unix.gettimeofday () in
       List.iter spawn rest;
       let warm_us = (Unix.gettimeofday () -. t1) *. 1e6 in
-      Printf.printf "image built on first spawn: %.1f us\n" cold_us;
-      if count > 1 then
-        Printf.printf "%d cached spawns: %.2f us/instance\n" (count - 1)
-          (warm_us /. float_of_int (count - 1));
       let metric name =
         Femto_obs.Metrics.value (Femto_obs.Obs.counter name)
       in
-      Printf.printf
-        "image cache: %d image(s), %d hit(s), %d miss(es), %d spawn(s)\n"
-        (Engine.images_cached engine)
-        (metric "engine.image_hits")
-        (metric "engine.image_misses")
-        (metric "engine.spawns");
       let image_words, instance_words = Engine.update_footprint_gauges engine in
       let word_bytes = Sys.word_size / 8 in
-      Printf.printf
-        "footprint: image %d B shared, instances %d B total (%.0f B/instance)\n"
-        (image_words * word_bytes)
-        (instance_words * word_bytes)
-        (float_of_int (instance_words * word_bytes) /. float_of_int count);
+      if json then
+        print_endline
+          (Femto_obs.Jsonx.to_string_pretty
+             (Femto_obs.Jsonx.Obj
+                [
+                  ("count", Femto_obs.Jsonx.Int count);
+                  ("cold_spawn_us", Femto_obs.Jsonx.Float cold_us);
+                  ( "warm_spawn_us",
+                    if count > 1 then
+                      Femto_obs.Jsonx.Float (warm_us /. float_of_int (count - 1))
+                    else Femto_obs.Jsonx.Null );
+                  ("images_cached", Femto_obs.Jsonx.Int (Engine.images_cached engine));
+                  ("image_hits", Femto_obs.Jsonx.Int (metric "engine.image_hits"));
+                  ("image_misses", Femto_obs.Jsonx.Int (metric "engine.image_misses"));
+                  ("spawns", Femto_obs.Jsonx.Int (metric "engine.spawns"));
+                  ("image_bytes", Femto_obs.Jsonx.Int (image_words * word_bytes));
+                  ("instance_bytes", Femto_obs.Jsonx.Int (instance_words * word_bytes));
+                ]))
+      else begin
+        Printf.printf "image built on first spawn: %.1f us\n" cold_us;
+        if count > 1 then
+          Printf.printf "%d cached spawns: %.2f us/instance\n" (count - 1)
+            (warm_us /. float_of_int (count - 1));
+        Printf.printf
+          "image cache: %d image(s), %d hit(s), %d miss(es), %d spawn(s)\n"
+          (Engine.images_cached engine)
+          (metric "engine.image_hits")
+          (metric "engine.image_misses")
+          (metric "engine.spawns");
+        Printf.printf
+          "footprint: image %d B shared, instances %d B total (%.0f B/instance)\n"
+          (image_words * word_bytes)
+          (instance_words * word_bytes)
+          (float_of_int (instance_words * word_bytes) /. float_of_int count)
+      end;
       if fire then begin
         let args = Array.of_list args in
         let ok = ref 0 and faults = ref 0 and sample = ref None in
@@ -405,7 +431,7 @@ let spawn_cmd =
           immutable artifact and privately owns only its stack and \
           copy-on-write kv delta) and report spawn latency, image-cache \
           counters and the shared-vs-private memory footprint.")
-    Term.(const run $ input_arg $ count_arg $ fire_arg $ obs_args_arg)
+    Term.(const run $ input_arg $ count_arg $ fire_arg $ json_arg $ obs_args_arg)
 
 (* --- inspect --- *)
 
@@ -730,6 +756,125 @@ exit"))
     (Cmd.info "shell" ~doc:"Interactive shell on a simulated device (reads stdin)")
     Term.(const run $ const ())
 
+(* --- fleet: sharded device-fleet campaign simulator --- *)
+
+let fleet_cmd =
+  let devices_arg =
+    Arg.(value & opt int 10_000
+         & info [ "devices" ] ~docv:"N" ~doc:"Number of simulated devices.")
+  in
+  let domains_arg =
+    Arg.(value & opt int 1
+         & info [ "domains" ] ~docv:"D"
+             ~doc:"Compute domains (shards are distributed round-robin).")
+  in
+  let shards_arg =
+    Arg.(value & opt int 64
+         & info [ "shards" ] ~docv:"S"
+             ~doc:"Shard count — the determinism unit, independent of \
+                   $(b,--domains).")
+  in
+  let seed_arg =
+    Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Scenario seed.")
+  in
+  let epoch_arg =
+    Arg.(value & opt int 5_000
+         & info [ "epoch-us" ] ~doc:"Virtual length of one wheel epoch.")
+  in
+  let telemetry_arg =
+    Arg.(value & opt int 50_000
+         & info [ "telemetry-us" ]
+             ~doc:"Per-device telemetry period (0 disables).")
+  in
+  let wave_arg =
+    Arg.(value & opt int 0
+         & info [ "wave" ]
+             ~doc:"Update pushes per epoch (0 = devices/100).")
+  in
+  let loss_arg =
+    Arg.(value & opt int 0
+         & info [ "loss-permille" ] ~doc:"Per-frame radio loss, 1/1000.")
+  in
+  let json_arg =
+    Arg.(value & flag
+         & info [ "json" ] ~doc:"Emit the campaign report as JSON.")
+  in
+  let run devices domains shards seed epoch_us telemetry_us wave loss json =
+    if devices < 1 || domains < 1 || shards < 1 then begin
+      prerr_endline "fc fleet: --devices, --domains and --shards must be >= 1";
+      2
+    end
+    else begin
+      let module Fleet = Femto_fleet.Fleet in
+      let config =
+        {
+          Fleet.default_config with
+          devices;
+          domains;
+          shards;
+          seed;
+          epoch_us;
+          telemetry_us;
+          wave;
+          loss_permille = loss;
+        }
+      in
+      let t0 = Unix.gettimeofday () in
+      let fleet = Fleet.create config in
+      let boot_s = Unix.gettimeofday () -. t0 in
+      let r = Fleet.run_campaign fleet in
+      let per_core =
+        float_of_int r.Fleet.r_updates_ok
+        /. (r.Fleet.r_wall_ns /. 1e9)
+        /. float_of_int r.Fleet.r_domains
+      in
+      if json then
+        print_endline
+          (Femto_obs.Jsonx.to_string_pretty
+             (Femto_obs.Jsonx.Obj
+                [
+                  ("devices", Femto_obs.Jsonx.Int r.Fleet.r_devices);
+                  ("shards", Femto_obs.Jsonx.Int r.Fleet.r_shards);
+                  ("domains", Femto_obs.Jsonx.Int r.Fleet.r_domains);
+                  ("epochs", Femto_obs.Jsonx.Int r.Fleet.r_epochs);
+                  ("virtual_ms", Femto_obs.Jsonx.Float r.Fleet.r_virtual_ms);
+                  ("boot_s", Femto_obs.Jsonx.Float boot_s);
+                  ("wall_ns", Femto_obs.Jsonx.Float r.Fleet.r_wall_ns);
+                  ("updates_ok", Femto_obs.Jsonx.Int r.Fleet.r_updates_ok);
+                  ("updates_rejected", Femto_obs.Jsonx.Int r.Fleet.r_updates_rejected);
+                  ("updates_per_sec_per_core", Femto_obs.Jsonx.Float per_core);
+                  ("telemetry_fires", Femto_obs.Jsonx.Int r.Fleet.r_telemetry_fires);
+                  ("cross_shard", Femto_obs.Jsonx.Int r.Fleet.r_cross_shard);
+                  ("timer_events", Femto_obs.Jsonx.Int r.Fleet.r_timer_events);
+                  ("images_built", Femto_obs.Jsonx.Int r.Fleet.r_images_built);
+                  ("image_hits", Femto_obs.Jsonx.Int r.Fleet.r_image_hits);
+                  ("incomplete", Femto_obs.Jsonx.Int r.Fleet.r_incomplete);
+                  ("half_installed", Femto_obs.Jsonx.Int r.Fleet.r_half_installed);
+                  ("fingerprint", Femto_obs.Jsonx.String (Fleet.fingerprint fleet));
+                ]))
+      else begin
+        Format.printf "%a@." Fleet.pp_report r;
+        Printf.printf "boot: %.2f s, campaign: %.2f s, %.0f updates/s/core\n"
+          boot_s
+          (r.Fleet.r_wall_ns /. 1e9)
+          per_core;
+        Printf.printf "fingerprint: %s\n" (Fleet.fingerprint fleet)
+      end;
+      if r.Fleet.r_incomplete > 0 || r.Fleet.r_half_installed > 0 then 1 else 0
+    end
+  in
+  Cmd.v
+    (Cmd.info "fleet"
+       ~doc:
+         "Simulate a device fleet (one engine, SUIT processor, CoW kv delta \
+          and radio per device; one firmware image per shard) and run a \
+          rolling signed-update campaign across an OCaml domain pool. \
+          Deterministic for a given seed and shard count, whatever \
+          $(b,--domains) is.")
+    Term.(
+      const run $ devices_arg $ domains_arg $ shards_arg $ seed_arg $ epoch_arg
+      $ telemetry_arg $ wave_arg $ loss_arg $ json_arg)
+
 (* --- bench --- *)
 
 let bench_cmd =
@@ -815,6 +960,7 @@ let () =
     (Cmd.eval'
        (Cmd.group ~default info
           [ asm_cmd; disasm_cmd; verify_cmd; analyze_cmd; run_cmd; spawn_cmd;
-            inspect_cmd; metrics_cmd; trace_cmd; pipeline_cmd; compile_cmd;
-            compact_cmd; expand_cmd; suit_sign_cmd; suit_verify_cmd; shell_cmd;
+            fleet_cmd; inspect_cmd; metrics_cmd; trace_cmd; pipeline_cmd;
+            compile_cmd; compact_cmd; expand_cmd; suit_sign_cmd;
+            suit_verify_cmd; shell_cmd;
             bench_cmd ]))

@@ -39,6 +39,10 @@ let g_instance_words = Obs.gauge "engine.instance_words"
 type t = {
   platform : Platform.t;
   kernel : Kernel.t option;
+  clock : Femto_rtos.Clock.t option;
+      (* kernel-less cycle clock: a fleet device owns a clock but no
+         kernel (its shard's kernel drives the wheel); VM cycle costs
+         are charged here and the time helpers read it *)
   global_store : Kvstore.t;
   tenants : (string, Tenant.t) Hashtbl.t;
   hooks : (string, Hook.t) Hashtbl.t;
@@ -54,27 +58,37 @@ type t = {
   fallback_ms : int64 ref; (* time source when no kernel is attached *)
   config : Femto_vm.Config.t;
   tier : Femto_vm.Vm.tier; (* execution tier for Fc containers *)
+  mutable dyn_cache : Syscall.dyn option;
+      (* the engine's time/sensor/trace closures, built once: every
+         spawn on this engine binds the same dyn record *)
 }
 
-let create ?(platform = Platform.cortex_m4) ?kernel
+(* [images] shares an image cache across engines: the fleet passes one
+   table per shard so a thousand devices on the same firmware build one
+   image.  Callers sharing a table must dispatch all its engines from a
+   single domain (see the binding comment in image.ml). *)
+let create ?(platform = Platform.cortex_m4) ?kernel ?clock ?images
     ?(config = Femto_vm.Config.default) ?(tier = Femto_vm.Vm.Ir) () =
   {
     platform;
     kernel;
+    clock;
     global_store = Kvstore.create "global";
     tenants = Hashtbl.create 4;
     hooks = Hashtbl.create 8;
-    images = Hashtbl.create 8;
+    images = (match images with Some t -> t | None -> Hashtbl.create 8);
     sensors = Hashtbl.create 4;
     extra_helpers = [];
     trace_log = ref [];
     fallback_ms = ref 0L;
     config;
     tier;
+    dyn_cache = None;
   }
 
 let platform t = t.platform
 let kernel t = t.kernel
+let device_clock t = t.clock
 let global_store t = t.global_store
 let trace_log t = List.rev !(t.trace_log)
 
@@ -111,34 +125,58 @@ let add_helper_installer t capability install =
 
 let advance_fallback_ms t ms = t.fallback_ms := Int64.add !(t.fallback_ms) ms
 
+(* The engine's dynamic facilities (time, sensors, trace), built once
+   and shared by every helper table and image binding on this engine.
+   The closures capture only what they need — never [t] itself (see the
+   [trace_log]/[fallback_ms] comment on the engine record). *)
+let dyn_for t =
+  match t.dyn_cache with
+  | Some dyn -> dyn
+  | None ->
+      let kernel = t.kernel in
+      let clock = t.clock in
+      let fallback_ms = t.fallback_ms in
+      let sensors = t.sensors in
+      let trace_log = t.trace_log in
+      let dyn =
+        {
+          Syscall.d_now_ms =
+            (fun () ->
+              match (kernel, clock) with
+              | Some kernel, _ ->
+                  Int64.of_float (Femto_rtos.Kernel.now_us kernel /. 1000.0)
+              | None, Some clock ->
+                  Int64.of_float
+                    (Femto_rtos.Clock.ms_of_cycles clock
+                       (Femto_rtos.Clock.now clock))
+              | None, None -> !fallback_ms);
+          d_ticks =
+            (fun () ->
+              match (kernel, clock) with
+              | Some kernel, _ -> Femto_rtos.Kernel.now kernel
+              | None, Some clock -> Femto_rtos.Clock.now clock
+              | None, None -> Int64.mul !fallback_ms 64_000L);
+          d_read_sensor =
+            (fun id ->
+              match Hashtbl.find_opt sensors id with
+              | Some read -> read ()
+              | None -> Error (Printf.sprintf "no sensor %d" id));
+          d_trace = (fun v -> trace_log := v :: !trace_log);
+        }
+      in
+      t.dyn_cache <- Some dyn;
+      dyn
+
 let facilities_for t container =
-  (* capture only what each closure needs — never [t] itself (see the
-     [trace_log]/[fallback_ms] comment on the engine record) *)
-  let kernel = t.kernel in
-  let fallback_ms = t.fallback_ms in
-  let sensors = t.sensors in
-  let trace_log = t.trace_log in
+  let dyn = dyn_for t in
   {
     Syscall.local_store = Container.local_store container;
     tenant_store = Tenant.store (Container.tenant container);
     global_store = t.global_store;
-    now_ms =
-      (fun () ->
-        match kernel with
-        | Some kernel ->
-            Int64.of_float (Femto_rtos.Kernel.now_us kernel /. 1000.0)
-        | None -> !fallback_ms);
-    ticks =
-      (fun () ->
-        match kernel with
-        | Some kernel -> Femto_rtos.Kernel.now kernel
-        | None -> Int64.mul !fallback_ms 64_000L);
-    read_sensor =
-      (fun id ->
-        match Hashtbl.find_opt sensors id with
-        | Some read -> read ()
-        | None -> Error (Printf.sprintf "no sensor %d" id));
-    trace = (fun v -> trace_log := v :: !trace_log);
+    now_ms = dyn.Syscall.d_now_ms;
+    ticks = dyn.Syscall.d_ticks;
+    read_sensor = dyn.Syscall.d_read_sensor;
+    trace = dyn.Syscall.d_trace;
   }
 
 (* Helper table for [container] at [hook]: contract ∩ the policy applying
@@ -292,19 +330,21 @@ let build_image t ~key ~hook ~extra_regions ~granted container =
   let tenant_fwd =
     Kvstore.forward ~target:tenant_store ("fwd:" ^ Kvstore.name tenant_store)
   in
+  let global_fwd = Kvstore.forward ~target:t.global_store "fwd:global" in
+  let dyn = ref (dyn_for t) in
+  (* everything engine-side goes through an indirection ([Forward]
+     stores, the [dyn] cell), so [Image.bind] can re-point the whole
+     helper table at another instance — even one on another engine *)
   let facilities =
-    {
-      (facilities_for t container) with
-      Syscall.local_store = local_fwd;
-      tenant_store = tenant_fwd;
-    }
+    Syscall.facilities_via dyn ~local_store:local_fwd ~tenant_store:tenant_fwd
+      ~global_store:global_fwd
   in
   let helpers = Syscall.build ~extra:t.extra_helpers ~granted facilities in
   let regions = Hook.ctx_region hook :: extra_regions in
   let cycle_cost = Platform.cycle_cost t.platform runtime in
   let make vm outcome =
     Image.create ~key ~runtime ~vm_image:(Femto_vm.Vm.image_of vm) ~outcome
-      ~baseline ~local_fwd ~tenant_fwd
+      ~baseline ~local_fwd ~tenant_fwd ~global_fwd ~dyn
   in
   match runtime with
   | Platform.Fc -> (
@@ -328,15 +368,17 @@ let build_image t ~key ~hook ~extra_regions ~granted container =
 (* Bind a spawned VM into [container]: private CoW view over the image's
    frozen kv baseline, and a [prepare_run] hook that re-points the
    image's forward stores at this instance before each execution. *)
-let adopt_instance ~hook ~hook_uuid ?delta_quota img vm container =
+let adopt_instance t ~hook ~hook_uuid ?delta_quota img vm container =
   let local =
     Kvstore.cow ?delta_quota ~parent:(Image.baseline img)
       (Printf.sprintf "local:%s" (Container.name container))
   in
   Container.set_local_store container local;
   let tenant_store = Tenant.store (Container.tenant container) in
+  let global_store = t.global_store in
+  let dyn = dyn_for t in
   Container.set_prepare_run container (fun () ->
-      Image.bind img ~local ~tenant:tenant_store);
+      Image.bind img ~local ~tenant:tenant_store ~global:global_store ~dyn);
   container.Container.instance <- Some (Container.Fc_instance vm);
   container.Container.attached_to <- Some hook_uuid;
   Hook.append_attached hook container;
@@ -374,7 +416,8 @@ let spawn t ~hook_uuid ?(extra_regions = []) ?delta_quota container =
                   if Obs.enabled () then Ometrics.incr m_image_hits;
                   let regions = Hook.ctx_region hook :: extra_regions in
                   let vm = Femto_vm.Vm.spawn ~regions (Image.vm_image img) in
-                  adopt_instance ~hook ~hook_uuid ?delta_quota img vm container;
+                  adopt_instance t ~hook ~hook_uuid ?delta_quota img vm
+                    container;
                   Ok hook
               | None -> (
                   if Obs.enabled () then Ometrics.incr m_image_misses;
@@ -384,7 +427,7 @@ let spawn t ~hook_uuid ?(extra_regions = []) ?delta_quota container =
                       Error (Verification_failed fault)
                   | Ok (img, vm) ->
                       Hashtbl.replace t.images key img;
-                      adopt_instance ~hook ~hook_uuid ?delta_quota img vm
+                      adopt_instance t ~hook ~hook_uuid ?delta_quota img vm
                         container;
                       Ok hook))))
 
@@ -429,9 +472,10 @@ let trigger t hook ?ctx () =
   (match ctx with Some bytes -> Hook.set_ctx hook bytes | None -> ());
   hook.Hook.triggers <- hook.Hook.triggers + 1;
   let charge cycles =
-    match t.kernel with
-    | Some kernel -> Femto_rtos.Clock.advance (Kernel.clock kernel) cycles
-    | None -> ()
+    match (t.kernel, t.clock) with
+    | Some kernel, _ -> Femto_rtos.Clock.advance (Kernel.clock kernel) cycles
+    | None, Some clock -> Femto_rtos.Clock.advance clock cycles
+    | None, None -> ()
   in
   charge t.platform.Platform.empty_hook_cycles;
   let reports =
@@ -485,9 +529,10 @@ let trigger_by_uuid t ~uuid ?ctx () =
 let fire_args = [| Hook.ctx_vaddr |]
 
 let[@inline] charge_cycles t cycles =
-  match t.kernel with
-  | Some kernel -> Femto_rtos.Clock.advance (Kernel.clock kernel) cycles
-  | None -> ()
+  match (t.kernel, t.clock) with
+  | Some kernel, _ -> Femto_rtos.Clock.advance (Kernel.clock kernel) cycles
+  | None, Some clock -> Femto_rtos.Clock.advance clock cycles
+  | None, None -> ()
 
 let fire_container t container =
   container.Container.prepare_run ();

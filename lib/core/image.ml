@@ -27,9 +27,17 @@ type t = {
          spawned instance's CoW local store reads through it *)
   local_fwd : Kvstore.t;
   tenant_fwd : Kvstore.t;
+  global_fwd : Kvstore.t;
       (* the forward stores the image's helper table was compiled
          against: re-pointed at the running instance's stores before
-         each dispatch (single-threaded engine, so this is safe) *)
+         each dispatch.  A fleet shares one image across many engines
+         (one per device), so the global store forwards too.  Binding is
+         per-dispatch and unsynchronized: an image must only ever be
+         dispatched from one domain — fleet shards own disjoint image
+         caches, which enforces this. *)
+  dyn : Syscall.dyn ref;
+      (* the engine-side time/sensor/trace closures, re-pointed with the
+         stores — the helper table dereferences the ref on each call *)
   mutable spawns : int; (* instances spawned from this image *)
 }
 
@@ -47,10 +55,17 @@ end)
 
 let digests = Digest_cache.create 16
 
+(* The ephemeron table is process-global while fleet shards spawn from
+   worker domains concurrently, so its structural mutation is locked.
+   The lock is outside the MRU fast path: a warm spawn never takes it. *)
+let digests_mutex = Mutex.create ()
+
 (* One-entry MRU in front of the ephemeron: [Digest_cache.find_opt]
    pays a structural [Hashtbl.hash] walk over the program on every
    lookup, while the common case — spawning many instances of one
-   program — needs only a pointer compare. *)
+   program — needs only a pointer compare.  Cross-domain races on the
+   ref are benign: a single atomic pointer read/write of an immutable
+   pair, worst case a wasted recompute. *)
 let last_digest : (Femto_ebpf.Program.t * string) option ref = ref None
 
 let program_digest program =
@@ -58,17 +73,18 @@ let program_digest program =
   | Some (p, d) when p == program -> d
   | _ ->
       let d =
-        match Digest_cache.find_opt digests program with
-        | Some d -> d
-        | None ->
-            let d =
-              Femto_crypto.Crypto.to_hex
-                (Femto_crypto.Crypto.sha256
-                   (Bytes.unsafe_to_string
-                      (Femto_ebpf.Program.to_bytes program)))
-            in
-            Digest_cache.replace digests program d;
-            d
+        Mutex.protect digests_mutex (fun () ->
+            match Digest_cache.find_opt digests program with
+            | Some d -> d
+            | None ->
+                let d =
+                  Femto_crypto.Crypto.to_hex
+                    (Femto_crypto.Crypto.sha256
+                       (Bytes.unsafe_to_string
+                          (Femto_ebpf.Program.to_bytes program)))
+                in
+                Digest_cache.replace digests program d;
+                d)
       in
       last_digest := Some (program, d);
       d
@@ -86,8 +102,20 @@ let key_of ~runtime ~granted program =
     :: Femto_platform.Platform.engine_name runtime
     :: caps)
 
-let create ~key ~runtime ~vm_image ~outcome ~baseline ~local_fwd ~tenant_fwd =
-  { key; runtime; vm_image; outcome; baseline; local_fwd; tenant_fwd; spawns = 0 }
+let create ~key ~runtime ~vm_image ~outcome ~baseline ~local_fwd ~tenant_fwd
+    ~global_fwd ~dyn =
+  {
+    key;
+    runtime;
+    vm_image;
+    outcome;
+    baseline;
+    local_fwd;
+    tenant_fwd;
+    global_fwd;
+    dyn;
+    spawns = 0;
+  }
 
 let key t = t.key
 let runtime t = t.runtime
@@ -97,12 +125,14 @@ let baseline t = t.baseline
 let spawns t = t.spawns
 let record_spawn t = t.spawns <- t.spawns + 1
 
-(* Re-point the image's forward kv stores at one instance's stores.
-   Called from the instance's [prepare_run] hook before each execution;
-   O(2) pointer writes. *)
-let bind t ~local ~tenant =
+(* Re-point the image's forward kv stores and dynamic facilities at one
+   instance (and its engine).  Called from the instance's [prepare_run]
+   hook before each execution; four pointer writes. *)
+let bind t ~local ~tenant ~global ~dyn =
   Kvstore.retarget t.local_fwd local;
-  Kvstore.retarget t.tenant_fwd tenant
+  Kvstore.retarget t.tenant_fwd tenant;
+  Kvstore.retarget t.global_fwd global;
+  t.dyn := dyn
 
 let proven t = Femto_vm.Vm.image_proven t.vm_image
 let tier t = Femto_vm.Vm.image_tier t.vm_image

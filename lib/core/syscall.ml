@@ -68,6 +68,39 @@ type facilities = {
   trace : int64 -> unit;
 }
 
+(* The per-engine half of the facilities: time, sensors and trace.  An
+   image's helper table is compiled once against a [dyn ref] plus forward
+   kv stores, and [Image.bind] re-points both at the running instance's
+   engine before each dispatch — that is what lets one cached image serve
+   containers on many engines (one engine per fleet device). *)
+type dyn = {
+  d_now_ms : unit -> int64;
+  d_ticks : unit -> int64;
+  d_read_sensor : int -> (int64, string) result;
+  d_trace : int64 -> unit;
+}
+
+let dyn_of_facilities f =
+  {
+    d_now_ms = f.now_ms;
+    d_ticks = f.ticks;
+    d_read_sensor = f.read_sensor;
+    d_trace = f.trace;
+  }
+
+(* Facilities whose dynamic half indirects through [cell]: retargeting
+   the cell retargets every helper compiled against these. *)
+let facilities_via cell ~local_store ~tenant_store ~global_store =
+  {
+    local_store;
+    tenant_store;
+    global_store;
+    now_ms = (fun () -> !cell.d_now_ms ());
+    ticks = (fun () -> !cell.d_ticks ());
+    read_sensor = (fun id -> !cell.d_read_sensor id);
+    trace = (fun v -> !cell.d_trace v);
+  }
+
 let key_of args_value = Int64.to_int32 (Int64.logand args_value 0xFFFF_FFFFL)
 
 let register_kv helpers ~store ~store_id ~fetch_id ~suffix =

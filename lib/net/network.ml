@@ -16,6 +16,7 @@ let m_datagrams_sent = Obs.counter "net.datagrams_sent"
 let m_datagrams_delivered = Obs.counter "net.datagrams_delivered"
 let m_frames_sent = Obs.counter "net.frames_sent"
 let m_frames_dropped = Obs.counter "net.frames_dropped"
+let m_datagrams_gatewayed = Obs.counter "net.datagrams_gatewayed"
 
 type node = {
   addr : int;
@@ -28,6 +29,7 @@ type stats = {
   mutable frames_dropped : int;
   mutable datagrams_sent : int;
   mutable datagrams_delivered : int;
+  mutable datagrams_gatewayed : int;
 }
 
 type t = {
@@ -37,6 +39,11 @@ type t = {
   latency_us : int; (* per-frame propagation + MAC delay *)
   rng : Random.State.t;
   mutable next_tag : int;
+  mutable gateway : (src:int -> dst:int -> bytes -> unit) option;
+      (* border router: datagrams addressed to nodes not on this network
+         are handed over whole — one hand-off per datagram instead of
+         per-frame radio events, which is what makes cross-shard fleet
+         traffic batchable at epoch barriers *)
   stats : stats;
 }
 
@@ -48,17 +55,20 @@ let create ~kernel ?(loss_permille = 0) ?(latency_us = 300) ?(seed = 42) () =
     latency_us;
     rng = Random.State.make [| seed |];
     next_tag = 1;
+    gateway = None;
     stats =
       {
         frames_sent = 0;
         frames_dropped = 0;
         datagrams_sent = 0;
         datagrams_delivered = 0;
+        datagrams_gatewayed = 0;
       };
   }
 
 let stats t = t.stats
 let kernel t = t.kernel
+let set_gateway t handler = t.gateway <- Some handler
 
 let add_node t ~addr =
   if Hashtbl.mem t.nodes addr then
@@ -88,10 +98,11 @@ let deliver_frame t ~src ~dst frame =
 
 (* [send t ~src ~dst payload] fragments and schedules frame deliveries on
    the virtual clock; each frame is independently lost with the configured
-   probability. *)
-let send t ~src ~dst payload =
-  t.stats.datagrams_sent <- t.stats.datagrams_sent + 1;
-  if Obs.enabled () then Ometrics.incr m_datagrams_sent;
+   probability.  When [dst] is not a local node and a gateway is set, the
+   whole datagram is handed to the gateway instead — no fragmentation, no
+   radio events (the off-link hop is modelled by whatever the gateway
+   does with it; the fleet enqueues it for the next epoch barrier). *)
+let send_local t ~src ~dst payload =
   let tag = t.next_tag in
   t.next_tag <- (t.next_tag + 1) land 0xFFFF;
   let frames = Frag.fragment ~tag payload in
@@ -109,3 +120,13 @@ let send t ~src ~dst payload =
           ~us:(t.latency_us * (i + 1))
           (fun _ -> deliver_frame t ~src ~dst frame))
     frames
+
+let send t ~src ~dst payload =
+  t.stats.datagrams_sent <- t.stats.datagrams_sent + 1;
+  if Obs.enabled () then Ometrics.incr m_datagrams_sent;
+  match t.gateway with
+  | Some gateway when not (Hashtbl.mem t.nodes dst) ->
+      t.stats.datagrams_gatewayed <- t.stats.datagrams_gatewayed + 1;
+      if Obs.enabled () then Ometrics.incr m_datagrams_gatewayed;
+      gateway ~src ~dst payload
+  | Some _ | None -> send_local t ~src ~dst payload

@@ -18,6 +18,7 @@ type stats = {
   mutable frames_dropped : int;
   mutable datagrams_sent : int;
   mutable datagrams_delivered : int;
+  mutable datagrams_gatewayed : int;
 }
 
 type t
@@ -48,4 +49,12 @@ val remove_node : t -> addr:int -> unit
 
 val send : t -> src:int -> dst:int -> bytes -> unit
 (** Fragment and schedule delivery on the virtual clock; frames may be
-    lost per the configured probability. *)
+    lost per the configured probability.  Datagrams addressed to a node
+    not on this network go to the gateway (whole, unfragmented) when one
+    is set, and are silently radiated into the void otherwise. *)
+
+val set_gateway : t -> (src:int -> dst:int -> bytes -> unit) -> unit
+(** Border router for off-link destinations: [send] hands the gateway the
+    whole datagram — one hand-off instead of per-frame radio events, so a
+    fleet can batch cross-shard traffic at epoch barriers.  The off-link
+    hop's loss/latency model is the gateway's business. *)

@@ -1,47 +1,109 @@
 (* Time-ordered event queue for the RTOS simulator.
 
    Events fire in (time, insertion-sequence) order, so simultaneous events
-   are handled first-scheduled-first — deterministic by construction. *)
+   are handled first-scheduled-first — deterministic by construction.
+
+   The store is an array-backed binary min-heap: a fleet shard parks one
+   timer per simulated device on its wheel, so insertion must be
+   O(log n) — the sorted list this replaces made scheduling the millionth
+   device timer a million-element walk. *)
+
+type 'a entry = { time : int64; seq : int; payload : 'a }
 
 type 'a t = {
-  mutable events : (int64 * int * 'a) list; (* sorted: (time, seq, payload) *)
+  mutable heap : 'a entry array; (* heap.(0..size-1) is a min-heap *)
+  mutable size : int;
   mutable next_seq : int;
 }
 
-let create () = { events = []; next_seq = 0 }
-let is_empty t = t.events = []
-let length t = List.length t.events
+let create () = { heap = [||]; size = 0; next_seq = 0 }
+let is_empty t = t.size = 0
+let length t = t.size
 
-let compare_entry (t1, s1, _) (t2, s2, _) =
-  match Int64.compare t1 t2 with 0 -> compare s1 s2 | c -> c
+let earlier a b =
+  match Int64.compare a.time b.time with 0 -> a.seq < b.seq | c -> c < 0
+
+let grow t entry =
+  let cap = Array.length t.heap in
+  let cap' = if cap = 0 then 8 else 2 * cap in
+  let heap = Array.make cap' entry in
+  Array.blit t.heap 0 heap 0 t.size;
+  t.heap <- heap
+
+let rec sift_up heap i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if earlier heap.(i) heap.(parent) then begin
+      let tmp = heap.(parent) in
+      heap.(parent) <- heap.(i);
+      heap.(i) <- tmp;
+      sift_up heap parent
+    end
+  end
+
+let rec sift_down heap size i =
+  let left = (2 * i) + 1 in
+  if left < size then begin
+    let smallest =
+      let s = if earlier heap.(left) heap.(i) then left else i in
+      let right = left + 1 in
+      if right < size && earlier heap.(right) heap.(s) then right else s
+    in
+    if smallest <> i then begin
+      let tmp = heap.(smallest) in
+      heap.(smallest) <- heap.(i);
+      heap.(i) <- tmp;
+      sift_down heap size smallest
+    end
+  end
 
 let add t ~at payload =
-  let entry = (at, t.next_seq, payload) in
+  let entry = { time = at; seq = t.next_seq; payload } in
   t.next_seq <- t.next_seq + 1;
-  (* insertion into a sorted list: simulation queues stay short (tens of
-     events), so this beats a heap in simplicity without hurting runtime *)
-  let rec insert = function
-    | [] -> [ entry ]
-    | head :: tail ->
-        if compare_entry entry head < 0 then entry :: head :: tail
-        else head :: insert tail
-  in
-  t.events <- insert t.events
+  if t.size = Array.length t.heap then grow t entry;
+  t.heap.(t.size) <- entry;
+  t.size <- t.size + 1;
+  sift_up t.heap (t.size - 1)
 
-let peek_time t =
-  match t.events with [] -> None | (time, _, _) :: _ -> Some time
+let peek_time t = if t.size = 0 then None else Some t.heap.(0).time
+
+(* Slots at or past [size] keep their last entry (an array heap has no
+   empty value to write); each pins at most one dead payload until the
+   slot is reused, which the re-arming traffic of a running simulation
+   does constantly. *)
+let pop_root t =
+  let root = t.heap.(0) in
+  t.size <- t.size - 1;
+  if t.size > 0 then begin
+    t.heap.(0) <- t.heap.(t.size);
+    sift_down t.heap t.size 0
+  end;
+  root
 
 let pop t =
-  match t.events with
-  | [] -> None
-  | (time, _, payload) :: rest ->
-      t.events <- rest;
-      Some (time, payload)
+  if t.size = 0 then None
+  else
+    let e = pop_root t in
+    Some (e.time, e.payload)
 
 (* Pop the next event only if it is due at or before [now]. *)
 let pop_due t ~now =
-  match t.events with
-  | (time, _, payload) :: rest when Int64.compare time now <= 0 ->
-      t.events <- rest;
-      Some (time, payload)
-  | _ -> None
+  if t.size = 0 || Int64.compare t.heap.(0).time now > 0 then None
+  else
+    let e = pop_root t in
+    Some (e.time, e.payload)
+
+(* Batched drain: fire every event due at or before [until], in (time,
+   seq) order, handing each its due time.  Exactly equivalent to a
+   [pop_due] loop (the QCheck oracle test in test_rtos pins this),
+   including when callbacks re-arm new events at or before [until] —
+   those fire in this same call.  Returns the number of events fired.
+   One epoch of the fleet wheel is one [advance_until]. *)
+let advance_until t ~until f =
+  let fired = ref 0 in
+  while t.size > 0 && Int64.compare t.heap.(0).time until <= 0 do
+    let e = pop_root t in
+    incr fired;
+    f ~at:e.time e.payload
+  done;
+  !fired

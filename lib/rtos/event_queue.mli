@@ -2,7 +2,9 @@
 
     Events fire in (time, insertion-sequence) order, so simultaneous
     events are handled first-scheduled-first — deterministic by
-    construction. *)
+    construction.  Backed by a binary min-heap: [add] and [pop] are
+    O(log n), which is what keeps a fleet shard's wheel cheap with one
+    parked timer per simulated device. *)
 
 type 'a t
 
@@ -20,3 +22,10 @@ val pop : 'a t -> (int64 * 'a) option
 
 val pop_due : 'a t -> now:int64 -> (int64 * 'a) option
 (** Pop the earliest event only if it is due at or before [now]. *)
+
+val advance_until : 'a t -> until:int64 -> (at:int64 -> 'a -> unit) -> int
+(** [advance_until t ~until f] fires every event due at or before
+    [until] in (time, seq) order, handing each its due time; events the
+    callbacks re-arm at or before [until] fire in the same call.
+    Exactly equivalent to a [pop_due] loop.  Returns the number of
+    events fired — one fleet-wheel epoch is one [advance_until]. *)

@@ -117,14 +117,25 @@ let pick_next t =
       Some (List.fold_left (fun best th -> if better th best then th else best) first rest)
 
 let fire_due_timers t =
-  let rec loop () =
-    match Event_queue.pop_due t.timers ~now:(now t) with
-    | Some (_, callback) ->
-        callback t;
-        loop ()
-    | None -> ()
+  ignore
+    (Event_queue.advance_until t.timers ~until:(now t) (fun ~at:_ callback ->
+         callback t))
+
+(* Timer-only epoch run: fire every timer due at or before [until] in
+   (time, seq) order, advancing the clock to each timer's due time
+   before its callback (so re-arming callbacks compute offsets from
+   their own fire time) and finally to [until].  Thread quanta do not
+   run — this is the fleet shard's wheel loop, where each shard kernel
+   carries network deliveries and per-device telemetry timers but no
+   threads.  Returns the number of timers fired. *)
+let run_timers_until t ~until =
+  let fired =
+    Event_queue.advance_until t.timers ~until (fun ~at callback ->
+        Clock.advance_to t.clock at;
+        callback t)
   in
-  loop ()
+  Clock.advance_to t.clock until;
+  fired
 
 type step_outcome = Ran of int (* tid *) | Advanced_idle | Nothing_to_do
 

@@ -57,6 +57,13 @@ val every_us : t -> us:int -> (t -> bool) -> unit
 
 val sleep_us : t -> thread -> us:int -> unit
 
+val run_timers_until : t -> until:int64 -> int
+(** Timer-only epoch run: fire every timer due at or before [until] in
+    (time, seq) order, advancing the clock to each timer's due time
+    before its callback and finally to [until].  Thread quanta do not
+    run — this is the fleet shard's wheel loop.  Returns the number of
+    timers fired. *)
+
 (** {2 Scheduling} *)
 
 type step_outcome = Ran of int | Advanced_idle | Nothing_to_do

@@ -8,6 +8,7 @@ module Corpus = Femto_bench.Corpus
 module Update_bench = Femto_bench.Update_bench
 module Dispatch_bench = Femto_bench.Dispatch_bench
 module Spawn_bench = Femto_bench.Spawn_bench
+module Fleet_bench = Femto_bench.Fleet_bench
 module Jsonx = Femto_obs.Jsonx
 
 let check_valid label doc =
@@ -52,14 +53,41 @@ let test_spawn_emitter () =
   check_valid "spawn doc"
     (Spawn_bench.smoke_json
        [
-         { Spawn_bench.name = "dagsum"; attach_ns = 200_000.; spawn_ns = 900. };
-         { Spawn_bench.name = "kvcounter"; attach_ns = 6_000.; spawn_ns = 700. };
+         {
+           Spawn_bench.name = "dagsum"; attach_ns = 200_000.; spawn_ns = 900.;
+           image_hits = 522; image_misses = 1;
+         };
+         {
+           Spawn_bench.name = "kvcounter"; attach_ns = 6_000.; spawn_ns = 700.;
+           image_hits = 522; image_misses = 1;
+         };
        ]
        {
          Spawn_bench.spawn_1_100 = 2272.;
          spawn_100_10k = 2280.;
          attach_1_100 = 45440.;
          fraction = 0.05;
+       })
+
+let test_fleet_emitter () =
+  check_valid "fleet doc"
+    (Fleet_bench.smoke_json
+       [
+         {
+           Fleet_bench.c_name = "campaign-10k-1d"; c_domains = 1;
+           c_wall_ns = 7.1e8; c_updates_ok = 10_000; c_ups_core = 14_000.;
+           c_incomplete = 0; c_half = 0; c_fingerprint = "abc";
+         };
+         {
+           Fleet_bench.c_name = "campaign-10k-2d"; c_domains = 2;
+           c_wall_ns = 4.2e8; c_updates_ok = 10_000; c_ups_core = 11_900.;
+           c_incomplete = 0; c_half = 0; c_fingerprint = "abc";
+         };
+       ]
+       {
+         Fleet_bench.fleet_bytes = 4060.;
+         spawn_bytes = 2296.;
+         footprint_x = 1.77;
        })
 
 (* --- validator teeth -------------------------------------------------- *)
@@ -222,6 +250,26 @@ let test_spawn_baseline_current () =
         committed
   | _ -> Alcotest.fail "spawn baseline has no spawn_ratios"
 
+let test_fleet_baseline_current () =
+  let doc = read_json (repo_file "bench/fleet-baseline.json") in
+  check_valid "fleet baseline" doc;
+  let live = [ "scale_2x"; "footprint_x" ] in
+  match Jsonx.member "fleet_ratios" doc with
+  | Some (Jsonx.Obj committed) ->
+      (* both gate ratios must be committed, and nothing stale *)
+      List.iter
+        (fun name ->
+          Alcotest.(check bool)
+            (name ^ " committed") true
+            (List.mem_assoc name committed))
+        live;
+      List.iter
+        (fun (key, _) ->
+          Alcotest.(check bool)
+            (key ^ " still a gate ratio") true (List.mem key live))
+        committed
+  | _ -> Alcotest.fail "fleet baseline has no fleet_ratios"
+
 let suite =
   [
     ( "emitters",
@@ -230,6 +278,7 @@ let suite =
         Alcotest.test_case "dispatch doc conforms" `Quick test_dispatch_emitter;
         Alcotest.test_case "update doc conforms" `Quick test_update_emitter;
         Alcotest.test_case "spawn doc conforms" `Quick test_spawn_emitter;
+        Alcotest.test_case "fleet doc conforms" `Quick test_fleet_emitter;
       ] );
     ( "validator",
       [
@@ -249,6 +298,8 @@ let suite =
           test_update_baseline_current;
         Alcotest.test_case "spawn baseline current" `Quick
           test_spawn_baseline_current;
+        Alcotest.test_case "fleet baseline current" `Quick
+          test_fleet_baseline_current;
       ] );
   ]
 

@@ -41,6 +41,67 @@ let test_event_queue_pop_due () =
   Alcotest.(check bool) "due" true
     (match Event_queue.pop_due q ~now:100L with Some (_, "later") -> true | _ -> false)
 
+let test_event_queue_advance_until () =
+  let q = Event_queue.create () in
+  Event_queue.add q ~at:10L "a";
+  Event_queue.add q ~at:20L "b";
+  Event_queue.add q ~at:20L "b2";
+  Event_queue.add q ~at:30L "c";
+  let fired = ref [] in
+  let n =
+    Event_queue.advance_until q ~until:20L (fun ~at p -> fired := (at, p) :: !fired)
+  in
+  Alcotest.(check int) "three due" 3 n;
+  Alcotest.(check (list (pair int64 string)))
+    "(time, seq) order" [ (10L, "a"); (20L, "b"); (20L, "b2") ]
+    (List.rev !fired);
+  Alcotest.(check int) "c still queued" 1 (Event_queue.length q)
+
+(* advance_until must be observationally equivalent to the pop_due loop
+   it replaced — including when callbacks re-arm new events, some due
+   within the same horizon (the fleet wheel does exactly this with
+   periodic telemetry timers). *)
+let prop_advance_until_equals_pop_loop =
+  let gen =
+    QCheck.Gen.(
+      let event = pair (int_bound 100) (int_bound 3) in
+      pair (list_size (int_bound 40) event) (int_bound 100))
+  in
+  (* an event is (time, rearm): firing at [t] re-arms at [t + 7] while
+     rearm > 0, so chains cross the horizon *)
+  QCheck.Test.make ~name:"advance_until = pop_due loop" ~count:500
+    (QCheck.make gen) (fun (events, until) ->
+      let until = Int64.of_int until in
+      let run drain =
+        let q = Event_queue.create () in
+        List.iter
+          (fun (t, rearm) -> Event_queue.add q ~at:(Int64.of_int t) (t, rearm))
+          events;
+        let log = ref [] in
+        let fire ~at (t, rearm) =
+          log := (at, t, rearm) :: !log;
+          if rearm > 0 then
+            Event_queue.add q ~at:(Int64.add at 7L) (t, rearm - 1)
+        in
+        drain q fire;
+        (List.rev !log, Event_queue.length q)
+      in
+      let oracle q fire =
+        (* the replaced implementation: peek/pop one due event at a time *)
+        let rec loop () =
+          match Event_queue.peek_time q with
+          | Some t when Int64.compare t until <= 0 ->
+              (match Event_queue.pop q with
+              | Some (at, p) -> fire ~at p
+              | None -> ());
+              loop ()
+          | _ -> ()
+        in
+        loop ()
+      in
+      let batched q fire = ignore (Event_queue.advance_until q ~until fire) in
+      run oracle = run batched)
+
 let test_spawn_and_run () =
   let kernel = Kernel.create () in
   let runs = ref 0 in
@@ -334,6 +395,9 @@ let suite =
     Alcotest.test_case "clock conversions" `Quick test_clock_us_conversion;
     Alcotest.test_case "event queue ordering" `Quick test_event_queue_ordering;
     Alcotest.test_case "event queue pop_due" `Quick test_event_queue_pop_due;
+    Alcotest.test_case "event queue advance_until" `Quick
+      test_event_queue_advance_until;
+    QCheck_alcotest.to_alcotest prop_advance_until_equals_pop_loop;
     Alcotest.test_case "spawn and run" `Quick test_spawn_and_run;
     Alcotest.test_case "priority scheduling" `Quick test_priority_scheduling;
     Alcotest.test_case "round robin" `Quick test_round_robin_same_priority;
