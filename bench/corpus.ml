@@ -21,6 +21,7 @@ module Harness = Femto_workloads.Harness
 module Corpus_reg = Femto_workloads.Corpus
 module Measure = Femto_eval.Measure
 module Pipeline = Femto_suit.Pipeline
+module Fleet = Femto_fleet.Fleet
 
 type row = {
   wname : string;
@@ -92,6 +93,55 @@ let update_storm () =
       ];
   }
 
+(* --- L3: a rolling fleet-update campaign as a corpus workload -------- *)
+
+(* A small sharded fleet (PR 9) pushed through a full rolling v2
+   campaign.  The checksum folds the fleet's deterministic state
+   fingerprint with the update count, so the 2-domain impl only matches
+   the reference if parallel sharding is bit-identical to sequential —
+   the equivalence gate doubles as a determinism test.  Half-installed
+   images fail the run outright. *)
+let campaign_config ~domains =
+  {
+    Fleet.default_config with
+    devices = 512;
+    shards = 8;
+    domains;
+    telemetry_us = 0;
+    seed = 11;
+  }
+
+let campaign_checksum fleet (r : Fleet.report) =
+  if r.Fleet.r_half_installed <> 0 then
+    failwith "fleet campaign left a half-installed image";
+  Int64.add
+    (Int64.of_string ("0x" ^ String.sub (Fleet.fingerprint fleet) 0 15))
+    (Int64.of_int r.Fleet.r_updates_ok)
+
+let fleet_campaign () =
+  let run_once ~domains () =
+    let fleet = Fleet.create (campaign_config ~domains) in
+    campaign_checksum fleet (Fleet.run_campaign fleet)
+  in
+  {
+    Harness.wname = "l3/fleet-campaign";
+    layer = "l3";
+    expected = run_once ~domains:1 ();
+    impls =
+      [
+        {
+          Harness.runtime = "fleet";
+          tier = "1-domain";
+          mk = (fun () -> Harness.instance (run_once ~domains:1));
+        };
+        {
+          Harness.runtime = "fleet";
+          tier = "2-domain";
+          mk = (fun () -> Harness.instance (run_once ~domains:2));
+        };
+      ];
+  }
+
 (* --- workload selection --------------------------------------------- *)
 
 let layer_names = [ "l1"; "l2"; "l3" ]
@@ -101,7 +151,7 @@ let workloads ~layers ~only () =
   let by_layer =
     (if wanted "l1" then Corpus_reg.l1 () else [])
     @ (if wanted "l2" then Corpus_reg.l2 () else [])
-    @ if wanted "l3" then [ update_storm () ] else []
+    @ if wanted "l3" then [ update_storm (); fleet_campaign () ] else []
   in
   match only with
   | None -> by_layer

@@ -15,6 +15,8 @@
                                  --baseline bench/spawn-baseline.json
      dune exec bench/main.exe -- --fleet-smoke --json f.json \
                                  --baseline bench/fleet-baseline.json
+     dune exec bench/main.exe -- --edge-smoke --json e.json \
+                                 --baseline bench/edge-baseline.json
      dune exec bench/main.exe -- --corpus --json corpus.json
      dune exec bench/main.exe -- --corpus-smoke --json corpus.json \
                                  --baseline bench/corpus-baseline.json
@@ -248,6 +250,7 @@ let () =
   let update_smoke = List.mem "--update-smoke" args in
   let spawn_smoke = List.mem "--spawn-smoke" args in
   let fleet_smoke = List.mem "--fleet-smoke" args in
+  let edge_smoke = List.mem "--edge-smoke" args in
   let corpus = List.mem "--corpus" args in
   let corpus_smoke = List.mem "--corpus-smoke" args in
   let json_file = opt_value args "--json" in
@@ -278,6 +281,8 @@ let () =
       Spawn_bench.run_spawn_smoke ~json_file ~baseline_file ()
     else if fleet_smoke then
       Femto_bench.Fleet_bench.run_fleet_smoke ~json_file ~baseline_file ()
+    else if edge_smoke then
+      exit (Femto_bench.Edge_bench.run_edge_smoke ~json_file ~baseline_file ())
     else if dispatch_smoke then Dispatch_bench.run_dispatch_smoke ~json_file ()
     else if ir_ablation then Dispatch_bench.run_ir_ablation ()
     else begin

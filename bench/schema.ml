@@ -65,13 +65,17 @@ let write_doc doc path =
   Printf.printf "wrote %s\n" path
 
 let row_sections =
-  [ "bechamel"; "dispatch"; "update"; "spawn"; "fleet"; "corpus" ]
+  [ "bechamel"; "dispatch"; "update"; "spawn"; "fleet"; "corpus"; "edge" ]
 
 let ratio_sections =
   [
     "dispatch_speedups"; "update_speedups"; "spawn_ratios"; "fleet_ratios";
-    "corpus_ratios";
+    "corpus_ratios"; "edge_ratios";
   ]
+
+(* Optional latency-percentile fields a row may carry (the edge rows
+   do); when present they must be non-negative and ordered. *)
+let percentile_keys = [ "p50_ns"; "p90_ns"; "p99_ns" ]
 
 let is_ns_key key =
   key = "ns_per_run" || key = "legacy_ns_per_run"
@@ -121,7 +125,21 @@ let validate doc =
                         | Jsonx.Null when section = "bechamel" ->
                             () (* an OLS fit may fail to converge *)
                         | _ -> bad "%s[%d]: %s not a non-negative float" section i key)
-                    fields
+                    fields;
+                  (* present percentiles must not cross: p50 <= p90 <= p99 *)
+                  let pct key =
+                    match List.assoc_opt key fields with
+                    | Some (Jsonx.Float v) -> Some v
+                    | _ -> None
+                  in
+                  List.iter
+                    (fun (lo, hi) ->
+                      match (pct lo, pct hi) with
+                      | Some l, Some h when l > h ->
+                          bad "%s[%d]: %s (%.1f) exceeds %s (%.1f)" section i
+                            lo l hi h
+                      | _ -> ())
+                    [ ("p50_ns", "p90_ns"); ("p90_ns", "p99_ns") ]
               | _ -> bad "%s[%d]: row is not an object" section i)
             rows
       | Some _ -> bad "%s: not a list" section)

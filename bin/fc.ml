@@ -756,6 +756,222 @@ exit"))
     (Cmd.info "shell" ~doc:"Interactive shell on a simulated device (reads stdin)")
     Term.(const run $ const ())
 
+(* --- serve / get: the real-UDP CoAP edge --- *)
+
+(* Boot the same demo device the shell uses (one hook, a signed demo
+   counter container, SUIT endpoints) and return it with its hook uuid. *)
+let boot_demo_device () =
+  let kernel = Femto_rtos.Kernel.create () in
+  let network = Femto_net.Network.create ~kernel () in
+  let flash = Femto_flash.Flash.create ~page_size:256 ~pages:64 () in
+  let hook = "demo0000-0000-4000-8000-000000000001" in
+  let device =
+    Femto_device.Device.boot
+      ~identity:
+        {
+          Femto_device.Device.vendor_id = "fc-cli";
+          class_id = "sim";
+          update_key = Femto_cose.Cose.make_key ~key_id:"cli" ~secret:"cli";
+        }
+      ~hooks:
+        [ Femto_device.Device.hook_spec ~uuid:hook ~name:"demo" ~ctx_size:16 () ]
+      ~flash ~slot_count:4 ~network ~addr:1 ()
+  in
+  let payload =
+    Bytes.to_string
+      (Femto_ebpf.Program.to_bytes
+         (Femto_ebpf.Asm.assemble
+            ~helpers:Femto_core.Syscall.resolve_name
+            "mov r1, 1\nmov r2, r10\nsub r2, 8\ncall bpf_fetch_global\n\
+             ldxdw r3, [r10-8]\nadd r3, 1\nmov r1, 1\nmov r2, r3\n\
+             call bpf_store_global\nmov r0, r3\nexit"))
+  in
+  let manifest =
+    Femto_suit.Suit.make ~sequence:1L
+      [ Femto_suit.Suit.component_for ~storage_uuid:hook payload ]
+  in
+  (match
+     Femto_suit.Suit.process
+       (Femto_device.Device.suit_processor device)
+       ~envelope:
+         (Femto_suit.Suit.sign manifest
+            (Femto_cose.Cose.make_key ~key_id:"cli" ~secret:"cli"))
+       ~payloads:[ (hook, payload) ]
+   with
+  | Ok _ -> ()
+  | Error e -> prerr_endline (Femto_suit.Suit.error_to_string e));
+  (device, hook)
+
+let serve_cmd =
+  let module Server = Femto_coap.Server in
+  let module Transport = Femto_coap.Transport in
+  let module Message = Femto_coap.Message in
+  let port_arg =
+    Arg.(value & opt int 5683
+         & info [ "port" ] ~docv:"PORT"
+             ~doc:"UDP port to bind (0 picks an ephemeral port).")
+  in
+  let host_arg =
+    Arg.(value & opt string "127.0.0.1"
+         & info [ "host" ] ~docv:"HOST" ~doc:"Address to bind.")
+  in
+  let max_requests_arg =
+    Arg.(value & opt int 0
+         & info [ "max-requests" ] ~docv:"N"
+             ~doc:"Exit after serving $(docv) requests (0 = run until \
+                   SIGINT); for scripted smoke tests.")
+  in
+  let json_arg =
+    Arg.(value & flag
+         & info [ "json" ] ~doc:"Print edge statistics as JSON on exit.")
+  in
+  let run port host max_requests json_stats =
+    let device, hook = boot_demo_device () in
+    let server = Femto_device.Device.server device in
+    let engine = Femto_device.Device.engine device in
+    let fire () =
+      match Femto_core.Engine.trigger_by_uuid engine ~uuid:hook () with
+      | Ok (report :: _) -> (
+          match report.Femto_core.Engine.result with
+          | Ok v -> Printf.sprintf "demo -> %Ld" v
+          | Error fault -> "demo FAULT: " ^ Femto_vm.Fault.to_string fault)
+      | Ok [] -> "demo: no container attached"
+      | Error e -> Femto_core.Engine.attach_error_to_string e
+    in
+    Server.register server ~path:"/hello" (fun ~src:_ _ ->
+        Server.respond ~payload:"hello from femto-containers" Message.code_content);
+    (* the same hook-firing handler twice: the raw path and the cached
+       edge in front of it, so cached-vs-uncached is an honest pair *)
+    Server.register server ~path:"/demo/run" (fun ~src:_ _ ->
+        Server.respond ~payload:(fire ()) Message.code_content);
+    Server.register_cached ~max_age_s:60 server ~path:"/demo/cached"
+      (fun ~src:_ _ -> Server.respond ~payload:(fire ()) Message.code_content);
+    let transport = Transport.create ~host ~port () in
+    Printf.printf "fc serve: CoAP on %s:%d (hook %s)\n%!" host
+      (Transport.port transport) hook;
+    Transport.spawn transport server;
+    let stop = Atomic.make false in
+    (try
+       Sys.set_signal Sys.sigint
+         (Sys.Signal_handle (fun _ -> Atomic.set stop true))
+     with Invalid_argument _ -> ());
+    while
+      (not (Atomic.get stop))
+      && (max_requests = 0 || Server.requests_served server < max_requests)
+    do
+      Unix.sleepf 0.05
+    done;
+    Transport.stop transport;
+    let tstats = Transport.stats transport in
+    let hits, misses = Server.cache_stats server in
+    if json_stats then
+      print_endline
+        (Femto_obs.Jsonx.to_string_pretty
+           (Femto_obs.Jsonx.Obj
+              [
+                ("port", Femto_obs.Jsonx.Int (Transport.port transport));
+                ("requests_served",
+                 Femto_obs.Jsonx.Int (Server.requests_served server));
+                ("cache_hits", Femto_obs.Jsonx.Int hits);
+                ("cache_misses", Femto_obs.Jsonx.Int misses);
+                ("dedupe_evictions",
+                 Femto_obs.Jsonx.Int (Server.dedupe_evictions server));
+                ("rx_datagrams", Femto_obs.Jsonx.Int tstats.Transport.rx_datagrams);
+                ("rx_bytes", Femto_obs.Jsonx.Int tstats.Transport.rx_bytes);
+                ("tx_datagrams", Femto_obs.Jsonx.Int tstats.Transport.tx_datagrams);
+                ("tx_bytes", Femto_obs.Jsonx.Int tstats.Transport.tx_bytes);
+                ("peers", Femto_obs.Jsonx.Int (Transport.peer_count transport));
+                ("suit_accepted",
+                 Femto_obs.Jsonx.Int (Femto_device.Device.suit_accepted device));
+              ]))
+    else
+      Printf.printf
+        "served %d requests (%d cache hits, %d misses), %d peers, rx %d tx %d\n"
+        (Server.requests_served server)
+        hits misses
+        (Transport.peer_count transport)
+        tstats.Transport.rx_datagrams tstats.Transport.tx_datagrams;
+    0
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Serve a simulated Femto-Containers device over a real UDP socket: \
+          CoAP resources ($(b,/hello), $(b,/demo/run), cached \
+          $(b,/demo/cached)), the SUIT upload/install endpoints, discovery \
+          and container listing.")
+    Term.(const run $ port_arg $ host_arg $ max_requests_arg $ json_arg)
+
+let get_cmd =
+  let module Transport = Femto_coap.Transport in
+  let module Message = Femto_coap.Message in
+  let path_arg =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"PATH" ~doc:"Resource path, e.g. /hello.")
+  in
+  let port_arg =
+    Arg.(value & opt int 5683 & info [ "port" ] ~docv:"PORT" ~doc:"Server port.")
+  in
+  let host_arg =
+    Arg.(value & opt string "127.0.0.1"
+         & info [ "host" ] ~docv:"HOST" ~doc:"Server address.")
+  in
+  let timeout_arg =
+    Arg.(value & opt float 2.0
+         & info [ "timeout" ] ~docv:"S" ~doc:"Per-attempt ACK timeout.")
+  in
+  let observe_arg =
+    Arg.(value & opt int 0
+         & info [ "observe" ] ~docv:"N"
+             ~doc:"Register as an observer and wait for $(docv) \
+                   notifications before exiting.")
+  in
+  let run path host port timeout observe =
+    let client =
+      Transport.Client.create ~host ~ack_timeout_s:timeout ~port ()
+    in
+    let show prefix (m : Message.t) =
+      Printf.printf "%s%s %s\n" prefix
+        (Message.code_to_string m.Message.code)
+        m.Message.payload
+    in
+    let status =
+      if observe = 0 then
+        match Transport.Client.get client ~path with
+        | Ok response ->
+            show "" response;
+            if fst response.Message.code = 2 then 0 else 1
+        | Error `Timeout ->
+            prerr_endline "fc get: timeout";
+            1
+      else
+        match Transport.Client.observe client ~path with
+        | Error `Timeout ->
+            prerr_endline "fc get: observe registration timed out";
+            1
+        | Ok response ->
+            show "registered: " response;
+            let rec wait n =
+              if n = 0 then 0
+              else
+                match Transport.Client.recv client ~timeout_s:(timeout *. 10.) with
+                | Some notification ->
+                    show "notify: " notification;
+                    wait (n - 1)
+                | None ->
+                    prerr_endline "fc get: notification timeout";
+                    1
+            in
+            wait observe
+    in
+    Transport.Client.close client;
+    status
+  in
+  Cmd.v
+    (Cmd.info "get"
+       ~doc:"One-shot CoAP GET (or observe) against a real UDP server")
+    Term.(const run $ path_arg $ host_arg $ port_arg $ timeout_arg $ observe_arg)
+
 (* --- fleet: sharded device-fleet campaign simulator --- *)
 
 let fleet_cmd =
@@ -962,5 +1178,5 @@ let () =
           [ asm_cmd; disasm_cmd; verify_cmd; analyze_cmd; run_cmd; spawn_cmd;
             fleet_cmd; inspect_cmd; metrics_cmd; trace_cmd; pipeline_cmd;
             compile_cmd; compact_cmd; expand_cmd; suit_sign_cmd;
-            suit_verify_cmd; shell_cmd;
+            suit_verify_cmd; shell_cmd; serve_cmd; get_cmd;
             bench_cmd ]))

@@ -46,9 +46,11 @@ let code_of_int v = (v lsr 5, v land 0x1f)
 let code_to_string (cls, detail) = Printf.sprintf "%d.%02d" cls detail
 
 (* Option numbers. *)
+let opt_etag = 4
 let opt_observe = 6 (* RFC 7641 *)
 let opt_uri_path = 11
 let opt_content_format = 12
+let opt_max_age = 14
 let opt_uri_query = 15
 
 type t = {
@@ -118,6 +120,27 @@ let options_of_path path =
   |> List.filter (fun s -> s <> "")
   |> List.map (fun segment -> (opt_uri_path, segment))
 
+let etag t = List.assoc_opt opt_etag t.options
+let etag_option v = (opt_etag, v)
+
+(* Max-Age as a uint option (RFC 7252 §5.10.5). *)
+let max_age t =
+  List.find_map
+    (fun (n, v) ->
+      if n = opt_max_age then
+        Some (String.fold_left (fun acc c -> (acc lsl 8) lor Char.code c) 0 v)
+      else None)
+    t.options
+
+let max_age_option v =
+  if v = 0 then (opt_max_age, "")
+  else if v < 0x100 then (opt_max_age, String.make 1 (Char.chr v))
+  else
+    ( opt_max_age,
+      let b = Bytes.create 2 in
+      Bytes.set_uint16_be b 0 (v land 0xFFFF);
+      Bytes.to_string b )
+
 let content_format_option fmt =
   if fmt = 0 then (opt_content_format, "")
   else if fmt < 256 then (opt_content_format, String.make 1 (Char.chr fmt))
@@ -144,10 +167,12 @@ let encode_option_header buf ~delta ~length =
   extend delta dn;
   extend length ln
 
-let encode t =
+(* [encode_into buf t] appends the wire form to [buf] — the transport's
+   zero-copy reply path reuses one scratch buffer per datagram instead
+   of allocating a fresh one per response. *)
+let encode_into buf t =
   let tkl = String.length t.token in
   if tkl > 8 then invalid_arg "CoAP token longer than 8 bytes";
-  let buf = Buffer.create 32 in
   Buffer.add_char buf (Char.chr ((1 lsl 6) lor (msg_type_code t.msg_type lsl 4) lor tkl));
   Buffer.add_char buf (Char.chr (code_to_int t.code));
   let mid = Bytes.create 2 in
@@ -165,32 +190,41 @@ let encode t =
   if t.payload <> "" then begin
     Buffer.add_char buf '\xff';
     Buffer.add_string buf t.payload
-  end;
-  Bytes.of_string (Buffer.contents buf)
+  end
+
+let encode t =
+  let buf = Buffer.create 32 in
+  encode_into buf t;
+  Buffer.to_bytes buf
 
 (* --- decoding --- *)
 
-let decode data =
-  let data = Bytes.to_string data in
-  let len = String.length data in
+(* [decode_sub data ~off ~len] parses a message in place from a slice of
+   [data] — the transport's receive path hands in its one reused recv
+   buffer, so nothing is copied until a field (token, option value,
+   payload) is actually materialised. *)
+let decode_sub data ~off ~len =
   if len < 4 then parse_error "message shorter than header";
-  let b0 = Char.code data.[0] in
+  if off < 0 || off + len > Bytes.length data then
+    parse_error "slice out of bounds";
+  let at i = Char.code (Bytes.unsafe_get data (off + i)) in
+  let b0 = at 0 in
   let version = b0 lsr 6 in
   if version <> 1 then parse_error "bad version %d" version;
   let msg_type = msg_type_of_code ((b0 lsr 4) land 0x3) in
   let tkl = b0 land 0x0f in
   if tkl > 8 then parse_error "token length %d > 8" tkl;
   if 4 + tkl > len then parse_error "truncated token";
-  let code = code_of_int (Char.code data.[1]) in
-  let message_id = (Char.code data.[2] lsl 8) lor Char.code data.[3] in
-  let token = String.sub data 4 tkl in
+  let code = code_of_int (at 1) in
+  let message_id = (at 2 lsl 8) lor at 3 in
+  let token = Bytes.sub_string data (off + 4) tkl in
   let pos = ref (4 + tkl) in
   let options = ref [] in
   let previous = ref 0 in
   let payload = ref "" in
   let byte () =
     if !pos >= len then parse_error "truncated option";
-    let c = Char.code data.[!pos] in
+    let c = at !pos in
     incr pos;
     c
   in
@@ -209,14 +243,14 @@ let decode data =
       let initial = byte () in
       if initial = 0xff then begin
         if !pos >= len then parse_error "payload marker with empty payload";
-        payload := String.sub data !pos (len - !pos);
+        payload := Bytes.sub_string data (off + !pos) (len - !pos);
         pos := len
       end
       else begin
         let delta = extended (initial lsr 4) in
         let length = extended (initial land 0x0f) in
         if !pos + length > len then parse_error "truncated option value";
-        let value = String.sub data !pos length in
+        let value = Bytes.sub_string data (off + !pos) length in
         pos := !pos + length;
         let number = !previous + delta in
         previous := number;
@@ -234,6 +268,8 @@ let decode data =
     options = List.rev !options;
     payload = !payload;
   }
+
+let decode data = decode_sub data ~off:0 ~len:(Bytes.length data)
 
 let equal a b =
   a.msg_type = b.msg_type && a.code = b.code && a.message_id = b.message_id

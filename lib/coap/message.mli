@@ -32,9 +32,11 @@ val code_to_string : int * int -> string
 
 (** {2 Option numbers} *)
 
+val opt_etag : int
 val opt_observe : int
 val opt_uri_path : int
 val opt_content_format : int
+val opt_max_age : int
 val opt_uri_query : int
 
 type t = {
@@ -70,9 +72,27 @@ val observe_option : int -> int * string
 val options_of_path : string -> (int * string) list
 val content_format_option : int -> int * string
 
+val etag : t -> string option
+val etag_option : string -> int * string
+
+val max_age : t -> int option
+(** The Max-Age option as a uint (RFC 7252 §5.10.5). *)
+
+val max_age_option : int -> int * string
+
 val encode : t -> bytes
+
+val encode_into : Buffer.t -> t -> unit
+(** Append the wire form to a caller-owned scratch buffer — the
+    transport's reply path reuses one buffer across datagrams. *)
+
 val decode : bytes -> t
 (** Raises {!Parse_error} on malformed input. *)
+
+val decode_sub : bytes -> off:int -> len:int -> t
+(** Parse a message from a slice of [data] in place (no upfront copy of
+    the datagram); the transport's receive path hands in its reused recv
+    buffer.  Raises {!Parse_error} on malformed input. *)
 
 val equal : t -> t -> bool
 val pp : Format.formatter -> t -> unit

@@ -1,9 +1,15 @@
-(* CoAP resource server bound to a simulated network node.
+(* CoAP resource server behind a pluggable datagram backend.
 
    Resources are registered by path; confirmable requests are answered
    with piggybacked acknowledgements, as gcoap does in RIOT.  Handlers
    return a (code, options, payload) triple — or delegate to a
-   Femto-Container through the [Gcoap] glue. *)
+   Femto-Container through the [Gcoap] glue.
+
+   The server itself is transport-agnostic: it consumes datagrams via
+   {!handle_datagram} and emits replies through a swappable [send]
+   function.  [create] wires it to a simulated-network node; the Unix
+   transport ({!Transport}) attaches the same server to a real UDP
+   socket, so one set of handlers/sinks serves both worlds. *)
 
 module Network = Femto_net.Network
 module Obs = Femto_obs.Obs
@@ -17,6 +23,10 @@ let m_not_found = Obs.counter "coap.not_found"
 let m_handler_errors = Obs.counter "coap.handler_errors"
 let m_retransmissions = Obs.counter "coap.retransmissions"
 let m_notifications = Obs.counter "coap.notifications"
+let m_notify_encodes = Obs.counter "coap.notify_encodes"
+let m_dedupe_evictions = Obs.counter "coap.dedupe_evictions"
+let m_cache_hits = Obs.counter "coap.cache_hits"
+let m_cache_misses = Obs.counter "coap.cache_misses"
 
 type response = { code : int * int; options : (int * string) list; payload : string }
 
@@ -37,17 +47,34 @@ type sink = {
   abort : unit -> unit;
 }
 
-type resource = Plain of handler | Upload of sink
+type resource =
+  | Plain of handler
+  | Upload of sink
+  | Cached of { handler : handler; max_age_s : int }
+
+(* One fresh entry per cached path: the fully-optioned response (ETag +
+   Max-Age included) plus its wall-clock expiry. *)
+type cache_entry = { ce_response : response; ce_expires : float }
 
 type t = {
-  network : Network.t;
-  node : Network.node;
+  addr : int;
+  mutable send : dst:int -> bytes -> unit;
   resources : (string, resource) Hashtbl.t;
   mutable requests_served : int;
   mutable not_found : int;
   (* message-id deduplication: CON retransmissions of a request we already
-     answered get the cached response again *)
-  recent : (int * int, Message.t) Hashtbl.t; (* (src, mid) -> response *)
+     answered get the cached *encoded* response again.  Bounded LRU: the
+     ring holds insertion order and overflow evicts the oldest entry. *)
+  recent : (int * int, bytes) Hashtbl.t; (* (src, mid) -> encoded reply *)
+  recent_ring : (int * int) Queue.t;
+  dedupe_capacity : int;
+  mutable dedupe_evictions : int;
+  (* idempotent-GET response cache, keyed by path; hits skip dispatch and
+     the handler entirely *)
+  cache : (string, cache_entry) Hashtbl.t;
+  mutable cache_hits : int;
+  mutable cache_misses : int;
+  mutable now : unit -> float; (* injectable for max-age expiry tests *)
   (* RFC 7959 state: Block1 reassembly per (src, path), and the full
      payload of an in-progress Block2 download per (src, path) *)
   uploads : (int * string, Block.assembly) Hashtbl.t;
@@ -58,30 +85,45 @@ type t = {
   mutable observe_seq : int;
 }
 
-let rec create ?(block_size = 64) ~network ~addr () =
-  let node = Network.add_node network ~addr in
-  let t =
-    {
-      network;
-      node;
-      resources = Hashtbl.create 8;
-      requests_served = 0;
-      not_found = 0;
-      recent = Hashtbl.create 16;
-      uploads = Hashtbl.create 4;
-      downloads = Hashtbl.create 4;
-      block_size;
-      observers = Hashtbl.create 4;
-      observe_seq = 2;
-    }
-  in
-  Network.set_receiver node (fun ~src datagram ->
-      match Message.decode datagram with
-      | exception Message.Parse_error _ -> () (* malformed: drop silently *)
-      | request -> handle t ~src request);
-  t
+let create_detached ?(block_size = 64) ?(dedupe_capacity = 64) ~addr ~send () =
+  {
+    addr;
+    send;
+    resources = Hashtbl.create 8;
+    requests_served = 0;
+    not_found = 0;
+    recent = Hashtbl.create 16;
+    recent_ring = Queue.create ();
+    dedupe_capacity = max 1 dedupe_capacity;
+    dedupe_evictions = 0;
+    cache = Hashtbl.create 8;
+    cache_hits = 0;
+    cache_misses = 0;
+    now = Unix.gettimeofday;
+    uploads = Hashtbl.create 4;
+    downloads = Hashtbl.create 4;
+    block_size;
+    observers = Hashtbl.create 4;
+    observe_seq = 2;
+  }
 
-and handle t ~src request =
+(* --- the bounded dedupe table --- *)
+
+let remember_reply t key encoded =
+  if not (Hashtbl.mem t.recent key) then begin
+    Queue.push key t.recent_ring;
+    if Queue.length t.recent_ring > t.dedupe_capacity then begin
+      let oldest = Queue.pop t.recent_ring in
+      Hashtbl.remove t.recent oldest;
+      t.dedupe_evictions <- t.dedupe_evictions + 1;
+      if Obs.enabled () then Ometrics.incr m_dedupe_evictions
+    end
+  end;
+  Hashtbl.replace t.recent key encoded
+
+(* --- request handling --- *)
+
+let rec handle t ~src request =
   match request.Message.msg_type with
   | Message.Acknowledgement | Message.Reset -> ()
   | Message.Confirmable | Message.Non_confirmable -> (
@@ -89,8 +131,7 @@ and handle t ~src request =
       match Hashtbl.find_opt t.recent key with
       | Some cached ->
           if Obs.enabled () then Ometrics.incr m_retransmissions;
-          Network.send t.network ~src:t.node.Network.addr ~dst:src
-            (Message.encode cached)
+          t.send ~dst:src cached
       | None ->
           let response = dispatch t ~src request in
           let reply =
@@ -103,10 +144,9 @@ and handle t ~src request =
               ~payload:response.payload ~code:response.code
               ~message_id:request.Message.message_id ()
           in
-          Hashtbl.replace t.recent key reply;
-          if Hashtbl.length t.recent > 64 then Hashtbl.reset t.recent;
-          Network.send t.network ~src:t.node.Network.addr ~dst:src
-            (Message.encode reply))
+          let encoded = Message.encode reply in
+          remember_reply t key encoded;
+          t.send ~dst:src encoded)
 
 (* Block1: accumulate upload blocks.  For Plain resources the handler
    only runs when the final block arrives, with the reassembled payload;
@@ -120,7 +160,7 @@ and handle_block1 t ~src request block =
   let sink =
     match Hashtbl.find_opt t.resources path with
     | Some (Upload s) -> Some s
-    | Some (Plain _) | None -> None
+    | Some (Plain _) | Some (Cached _) | None -> None
   in
   let assembly =
     match Hashtbl.find_opt t.uploads key with
@@ -254,15 +294,62 @@ and run_resource t ~src:_ ~path resource run =
   | exception _ ->
       (match resource with
       | Upload sink -> ( try sink.abort () with _ -> ())
-      | Plain _ -> ());
+      | Plain _ | Cached _ -> ());
       if Obs.enabled () then Ometrics.incr m_handler_errors;
       trace "handler_error" (respond Message.code_internal_error)
+
+(* The idempotent-GET fast path: a fresh cache entry answers without
+   touching the handler; a miss (or expiry) runs the handler once and
+   stores the response with its ETag and Max-Age stamped on. *)
+and run_cached t ~src ~path ~handler ~max_age_s request =
+  if request.Message.code <> Message.code_get then
+    run_resource t ~src ~path (Cached { handler; max_age_s }) (fun () ->
+        handler ~src request)
+  else
+    match Hashtbl.find_opt t.cache path with
+    | Some entry when entry.ce_expires > t.now () ->
+        t.cache_hits <- t.cache_hits + 1;
+        t.requests_served <- t.requests_served + 1;
+        if Obs.enabled () then begin
+          Ometrics.incr m_requests;
+          Ometrics.incr m_cache_hits
+        end;
+        entry.ce_response
+    | Some _ | None ->
+        t.cache_misses <- t.cache_misses + 1;
+        if Obs.enabled () then Ometrics.incr m_cache_misses;
+        let response =
+          run_resource t ~src ~path
+            (Cached { handler; max_age_s })
+            (fun () -> handler ~src request)
+        in
+        if response.code = Message.code_content then begin
+          let etag =
+            String.sub (Femto_crypto.Crypto.sha256 response.payload) 0 8
+          in
+          let response =
+            { response with
+              options =
+                Message.etag_option etag
+                :: Message.max_age_option max_age_s
+                :: response.options }
+          in
+          Hashtbl.replace t.cache path
+            {
+              ce_response = response;
+              ce_expires = t.now () +. float_of_int max_age_s;
+            };
+          response
+        end
+        else response
 
 and run_handler t ~src request =
   let path = Message.path_string request in
   match Hashtbl.find_opt t.resources path with
   | Some (Plain handler) ->
       run_resource t ~src ~path (Plain handler) (fun () -> handler ~src request)
+  | Some (Cached { handler; max_age_s }) ->
+      run_cached t ~src ~path ~handler ~max_age_s request
   | Some (Upload sink) ->
       (* single-datagram upload (no Block1): drive the sink in one shot *)
       run_resource t ~src ~path (Upload sink) (fun () ->
@@ -318,36 +405,93 @@ and dispatch t ~src request =
           end
           else response)
 
-let register t ~path handler = Hashtbl.replace t.resources path (Plain handler)
-let register_upload t ~path sink = Hashtbl.replace t.resources path (Upload sink)
-let addr t = t.node.Network.addr
-let requests_served t = t.requests_served
+(* Transport entry point: one datagram in, zero or one reply out through
+   [t.send].  Malformed input is dropped silently, as RFC 7252 wants for
+   unparseable messages. *)
+let handle_datagram_sub t ~src data ~off ~len =
+  match Message.decode_sub data ~off ~len with
+  | exception Message.Parse_error _ -> ()
+  | request -> handle t ~src request
 
-(* [notify t ~path] re-evaluates the resource and pushes a
-   non-confirmable notification (with an increasing Observe sequence) to
-   every registered observer — RFC 7641 server-side. *)
+let handle_datagram t ~src data =
+  handle_datagram_sub t ~src data ~off:0 ~len:(Bytes.length data)
+
+let create ?block_size ?dedupe_capacity ~network ~addr () =
+  let t =
+    create_detached ?block_size ?dedupe_capacity ~addr
+      ~send:(fun ~dst:_ _ -> ())
+      ()
+  in
+  t.send <- (fun ~dst data -> Network.send network ~src:addr ~dst data);
+  let node = Network.add_node network ~addr in
+  Network.set_receiver node (fun ~src datagram ->
+      handle_datagram t ~src datagram);
+  t
+
+let set_send t send = t.send <- send
+let send_fn t = t.send
+let set_time_source t now = t.now <- now
+
+let register t ~path handler = Hashtbl.replace t.resources path (Plain handler)
+
+let register_cached ?(max_age_s = 60) t ~path handler =
+  Hashtbl.replace t.resources path (Cached { handler; max_age_s })
+
+let register_upload t ~path sink = Hashtbl.replace t.resources path (Upload sink)
+
+let invalidate t ~path = Hashtbl.remove t.cache path
+
+let addr t = t.addr
+let requests_served t = t.requests_served
+let dedupe_evictions t = t.dedupe_evictions
+let cache_stats t = (t.cache_hits, t.cache_misses)
+
+(* Insert [token] into a notification encoded with an empty token: the
+   header's TKL nibble is patched and the token bytes spliced in after
+   the 4-byte header — cheap blits, no per-observer re-encode. *)
+let splice_token base ~token =
+  let tkl = String.length token in
+  if tkl = 0 then base
+  else begin
+    let len = Bytes.length base in
+    let out = Bytes.create (len + tkl) in
+    Bytes.blit base 0 out 0 4;
+    Bytes.set out 0 (Char.chr (Char.code (Bytes.get base 0) lor tkl));
+    Bytes.blit_string token 0 out 4 tkl;
+    Bytes.blit base 4 out (4 + tkl) (len - 4);
+    out
+  end
+
+(* [notify t ~path] re-evaluates the resource once, encodes the
+   notification once (empty token), and fans it out to every registered
+   observer with only the per-observer token spliced in — RFC 7641
+   server-side, one handler run and one encode for N sends. *)
 let notify t ~path =
   match Hashtbl.find_opt t.observers path with
   | None -> 0
+  | Some entry when !entry = [] -> 0
   | Some entry ->
       t.observe_seq <- t.observe_seq + 1;
-      if Obs.enabled () then Ometrics.add m_notifications (List.length !entry);
+      invalidate t ~path; (* the resource changed: cached reads are stale *)
+      if Obs.enabled () then begin
+        Ometrics.add m_notifications (List.length !entry);
+        Ometrics.incr m_notify_encodes
+      end;
+      let synthetic =
+        Message.make
+          ~options:(Message.options_of_path path)
+          ~code:Message.code_get ~message_id:0 ()
+      in
+      let response = run_handler t ~src:(fst (List.hd !entry)) synthetic in
+      let base =
+        Message.encode
+          (Message.make ~msg_type:Message.Non_confirmable
+             ~options:(Message.observe_option t.observe_seq :: response.options)
+             ~payload:response.payload ~code:response.code
+             ~message_id:(0x8000 lor t.observe_seq land 0xFFFF) ())
+      in
       List.iter
-        (fun (dst, token) ->
-          let synthetic =
-            Message.make ~token
-              ~options:(Message.options_of_path path)
-              ~code:Message.code_get ~message_id:0 ()
-          in
-          let response = run_handler t ~src:dst synthetic in
-          let notification =
-            Message.make ~msg_type:Message.Non_confirmable ~token
-              ~options:(Message.observe_option t.observe_seq :: response.options)
-              ~payload:response.payload ~code:response.code
-              ~message_id:(0x8000 lor t.observe_seq land 0xFFFF) ()
-          in
-          Network.send t.network ~src:t.node.Network.addr ~dst
-            (Message.encode notification))
+        (fun (dst, token) -> t.send ~dst (splice_token base ~token))
         !entry;
       List.length !entry
 

@@ -1,10 +1,15 @@
-(** CoAP resource server bound to a simulated network node.
+(** CoAP resource server behind a pluggable datagram backend.
 
     Resources are registered by path; confirmable requests get
-    piggybacked acknowledgements with message-id deduplication (CON
-    retransmissions receive the cached response).  Large uploads and
-    downloads use RFC 7959 block-wise transfer transparently; observers
-    are managed per RFC 7641. *)
+    piggybacked acknowledgements with bounded message-id deduplication
+    (CON retransmissions receive the cached response).  Large uploads
+    and downloads use RFC 7959 block-wise transfer transparently;
+    observers are managed per RFC 7641 with a single-encode fan-out.
+
+    The server consumes datagrams via {!handle_datagram} and replies
+    through a swappable send function, so the same handlers/sinks serve
+    the simulated network ({!create}) and a real UDP socket
+    ({!create_detached} + {!Transport}). *)
 
 module Network = Femto_net.Network
 
@@ -36,22 +41,69 @@ type sink = {
 
 type t
 
-val create : ?block_size:int -> network:Network.t -> addr:int -> unit -> t
-(** Attach a server node to the network.  [block_size] (default 64) is
-    the RFC 7959 chunk size for large transfers. *)
+val create :
+  ?block_size:int ->
+  ?dedupe_capacity:int ->
+  network:Network.t ->
+  addr:int ->
+  unit ->
+  t
+(** Attach a server node to the simulated network.  [block_size]
+    (default 64) is the RFC 7959 chunk size for large transfers;
+    [dedupe_capacity] (default 64) bounds the message-id dedupe table
+    (LRU eviction, counted in [coap.dedupe_evictions]). *)
+
+val create_detached :
+  ?block_size:int ->
+  ?dedupe_capacity:int ->
+  addr:int ->
+  send:(dst:int -> bytes -> unit) ->
+  unit ->
+  t
+(** A server with no network attached: datagrams come in through
+    {!handle_datagram} and replies leave through [send].  This is the
+    backend the Unix-UDP transport drives. *)
+
+val handle_datagram : t -> src:int -> bytes -> unit
+(** Feed one datagram (whole buffer); malformed input is dropped. *)
+
+val handle_datagram_sub : t -> src:int -> bytes -> off:int -> len:int -> unit
+(** Same, parsing a slice of a reused receive buffer in place. *)
+
+val set_send : t -> (dst:int -> bytes -> unit) -> unit
+val send_fn : t -> dst:int -> bytes -> unit
 
 val register : t -> path:string -> handler -> unit
+
+val register_cached : ?max_age_s:int -> t -> path:string -> handler -> unit
+(** Like {!register}, but 2.05 GET responses are cached for
+    [max_age_s] (default 60) seconds and served with ETag/Max-Age
+    options; cache hits skip the handler entirely.  {!notify} and
+    {!invalidate} drop the entry. *)
 
 val register_upload : t -> path:string -> sink -> unit
 (** Register a streaming upload consumer at [path].  Block1 chunks are
     pushed into the sink as they arrive; single-datagram requests drive
     [start]/[chunk]/[finish] in one shot. *)
 
+val invalidate : t -> path:string -> unit
+(** Drop the cached GET response for [path], if any. *)
+
 val addr : t -> int
 val requests_served : t -> int
 
+val dedupe_evictions : t -> int
+(** LRU evictions from the message-id dedupe table since creation. *)
+
+val cache_stats : t -> int * int
+(** [(hits, misses)] of the idempotent-GET response cache. *)
+
+val set_time_source : t -> (unit -> float) -> unit
+(** Replace the wall clock used for Max-Age expiry (tests). *)
+
 val notify : t -> path:string -> int
-(** Re-evaluate the resource and push a non-confirmable notification to
-    every observer (RFC 7641); returns how many were notified. *)
+(** Re-evaluate the resource once, encode the notification once, and
+    fan it out to every observer with only the per-observer token
+    spliced in (RFC 7641); returns how many were notified. *)
 
 val observer_count : t -> path:string -> int

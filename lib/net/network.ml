@@ -17,6 +17,8 @@ let m_datagrams_delivered = Obs.counter "net.datagrams_delivered"
 let m_frames_sent = Obs.counter "net.frames_sent"
 let m_frames_dropped = Obs.counter "net.frames_dropped"
 let m_datagrams_gatewayed = Obs.counter "net.datagrams_gatewayed"
+let m_frames_duplicated = Obs.counter "net.frames_duplicated"
+let m_frames_reordered = Obs.counter "net.frames_reordered"
 
 type node = {
   addr : int;
@@ -27,6 +29,8 @@ type node = {
 type stats = {
   mutable frames_sent : int;
   mutable frames_dropped : int;
+  mutable frames_duplicated : int;
+  mutable frames_reordered : int;
   mutable datagrams_sent : int;
   mutable datagrams_delivered : int;
   mutable datagrams_gatewayed : int;
@@ -35,8 +39,7 @@ type stats = {
 type t = {
   kernel : Kernel.t;
   nodes : (int, node) Hashtbl.t;
-  loss_permille : int; (* per-frame loss probability, 0..1000 *)
-  latency_us : int; (* per-frame propagation + MAC delay *)
+  profile : Profile.t; (* per-frame loss/dup/reorder/latency model *)
   rng : Random.State.t;
   mutable next_tag : int;
   mutable gateway : (src:int -> dst:int -> bytes -> unit) option;
@@ -47,12 +50,24 @@ type t = {
   stats : stats;
 }
 
-let create ~kernel ?(loss_permille = 0) ?(latency_us = 300) ?(seed = 42) () =
+let create ~kernel ?profile ?loss_permille ?latency_us ?(seed = 42) () =
+  (* [profile] supersedes the legacy knobs; the knobs still override the
+     matching profile fields so existing call sites keep their meaning *)
+  let base = Option.value profile ~default:Profile.clean in
+  let base =
+    match loss_permille with
+    | Some l -> { base with Profile.p_loss_permille = l }
+    | None -> base
+  in
+  let base =
+    match latency_us with
+    | Some l -> { base with Profile.p_latency_us = l }
+    | None -> base
+  in
   {
     kernel;
     nodes = Hashtbl.create 4;
-    loss_permille;
-    latency_us;
+    profile = base;
     rng = Random.State.make [| seed |];
     next_tag = 1;
     gateway = None;
@@ -60,6 +75,8 @@ let create ~kernel ?(loss_permille = 0) ?(latency_us = 300) ?(seed = 42) () =
       {
         frames_sent = 0;
         frames_dropped = 0;
+        frames_duplicated = 0;
+        frames_reordered = 0;
         datagrams_sent = 0;
         datagrams_delivered = 0;
         datagrams_gatewayed = 0;
@@ -67,6 +84,7 @@ let create ~kernel ?(loss_permille = 0) ?(latency_us = 300) ?(seed = 42) () =
   }
 
 let stats t = t.stats
+let profile t = t.profile
 let kernel t = t.kernel
 let set_gateway t handler = t.gateway <- Some handler
 
@@ -106,19 +124,43 @@ let send_local t ~src ~dst payload =
   let tag = t.next_tag in
   t.next_tag <- (t.next_tag + 1) land 0xFFFF;
   let frames = Frag.fragment ~tag payload in
+  let p = t.profile in
+  let nframes = List.length frames in
+  let draw permille = permille > 0 && Random.State.int t.rng 1000 < permille in
+  let jitter () =
+    if p.Profile.p_jitter_us > 0 then
+      Random.State.int t.rng (p.Profile.p_jitter_us + 1)
+    else 0
+  in
   List.iteri
     (fun i frame ->
       t.stats.frames_sent <- t.stats.frames_sent + 1;
       if Obs.enabled () then Ometrics.incr m_frames_sent;
-      if Random.State.int t.rng 1000 < t.loss_permille then begin
+      if draw p.Profile.p_loss_permille then begin
         t.stats.frames_dropped <- t.stats.frames_dropped + 1;
         if Obs.enabled () then Ometrics.incr m_frames_dropped
       end
-      else
-        (* frames serialize on the radio: stagger them by index *)
-        Kernel.after_us t.kernel
-          ~us:(t.latency_us * (i + 1))
-          (fun _ -> deliver_frame t ~src ~dst frame))
+      else begin
+        (* frames serialize on the radio: stagger them by index, then
+           add the profile's jitter; a reorder draw holds the frame back
+           past every in-order successor of its own datagram *)
+        let us = (p.Profile.p_latency_us * (i + 1)) + jitter () in
+        let us =
+          if draw p.Profile.p_reorder_permille then begin
+            t.stats.frames_reordered <- t.stats.frames_reordered + 1;
+            if Obs.enabled () then Ometrics.incr m_frames_reordered;
+            us + (p.Profile.p_latency_us * (nframes + 1)) + jitter () + 1
+          end
+          else us
+        in
+        Kernel.after_us t.kernel ~us (fun _ -> deliver_frame t ~src ~dst frame);
+        if draw p.Profile.p_dup_permille then begin
+          t.stats.frames_duplicated <- t.stats.frames_duplicated + 1;
+          if Obs.enabled () then Ometrics.incr m_frames_duplicated;
+          let us = us + p.Profile.p_latency_us + jitter () + 1 in
+          Kernel.after_us t.kernel ~us (fun _ -> deliver_frame t ~src ~dst frame)
+        end
+      end)
     frames
 
 let send t ~src ~dst payload =

@@ -16,6 +16,8 @@ type node = {
 type stats = {
   mutable frames_sent : int;
   mutable frames_dropped : int;
+  mutable frames_duplicated : int;
+  mutable frames_reordered : int;
   mutable datagrams_sent : int;
   mutable datagrams_delivered : int;
   mutable datagrams_gatewayed : int;
@@ -25,16 +27,19 @@ type t
 
 val create :
   kernel:Femto_rtos.Kernel.t ->
+  ?profile:Profile.t ->
   ?loss_permille:int ->
   ?latency_us:int ->
   ?seed:int ->
   unit ->
   t
-(** [loss_permille] is the per-frame loss probability in 1/1000 (default
-    0); [latency_us] the per-frame propagation + MAC delay (default 300);
-    [seed] makes the loss pattern reproducible. *)
+(** [profile] selects the full fault-injection model (default
+    {!Profile.clean}); the legacy [loss_permille] / [latency_us] knobs
+    override the matching profile fields.  [seed] makes the whole fault
+    schedule reproducible. *)
 
 val stats : t -> stats
+val profile : t -> Profile.t
 val kernel : t -> Femto_rtos.Kernel.t
 
 val add_node : t -> addr:int -> node

@@ -1,0 +1,56 @@
+(* Fault-injection profiles for the simulated radio.
+
+   A profile bundles the per-frame misbehaviours a hostile or degraded
+   network inflicts on traffic: independent loss, duplication (the frame
+   is delivered twice), reordering (a frame is held back long enough to
+   land after its successors), and a latency distribution (base delay
+   plus uniform jitter).  All draws come from the owning network's
+   seeded RNG, so a (profile, seed) pair replays the exact same
+   schedule — which is what lets the hostile-matrix property tests and
+   the edge bench name their scenarios. *)
+
+type t = {
+  p_name : string;
+  p_loss_permille : int; (* per-frame loss probability, 0..1000 *)
+  p_dup_permille : int; (* per-frame duplicate-delivery probability *)
+  p_reorder_permille : int; (* per-frame hold-back probability *)
+  p_latency_us : int; (* base per-frame propagation + MAC delay *)
+  p_jitter_us : int; (* uniform extra delay in [0, jitter] per frame *)
+}
+
+let make ?(loss_permille = 0) ?(dup_permille = 0) ?(reorder_permille = 0)
+    ?(latency_us = 300) ?(jitter_us = 0) name =
+  {
+    p_name = name;
+    p_loss_permille = loss_permille;
+    p_dup_permille = dup_permille;
+    p_reorder_permille = reorder_permille;
+    p_latency_us = latency_us;
+    p_jitter_us = jitter_us;
+  }
+
+let clean = make "clean"
+let lossy = make ~loss_permille:100 "lossy"
+
+(* retransmit storm: heavy loss forces retransmissions, and duplication
+   multiplies them *)
+let storm =
+  make ~loss_permille:250 ~dup_permille:200 ~jitter_us:500 "storm"
+
+let duplicator = make ~dup_permille:400 "duplicator"
+
+(* large jitter + explicit hold-backs: frames of one datagram routinely
+   overtake each other, and whole small datagrams arrive out of order *)
+let jittery =
+  make ~reorder_permille:300 ~jitter_us:5_000 "jittery"
+
+let hostile =
+  make ~loss_permille:150 ~dup_permille:150 ~reorder_permille:200
+    ~jitter_us:2_000 "hostile"
+
+let named = [ clean; lossy; storm; duplicator; jittery; hostile ]
+
+let of_name name =
+  List.find_opt (fun p -> String.equal p.p_name name) named
+
+let names = List.map (fun p -> p.p_name) named

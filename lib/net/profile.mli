@@ -1,0 +1,45 @@
+(** Fault-injection profiles for the simulated radio.
+
+    A profile bundles per-frame loss, duplication, reordering and a
+    latency distribution (base + uniform jitter).  All randomness comes
+    from the owning network's seeded RNG, so a (profile, seed) pair
+    replays the exact same fault schedule. *)
+
+type t = {
+  p_name : string;
+  p_loss_permille : int;  (** per-frame loss probability, 0..1000 *)
+  p_dup_permille : int;  (** per-frame duplicate-delivery probability *)
+  p_reorder_permille : int;  (** per-frame hold-back probability *)
+  p_latency_us : int;  (** base per-frame propagation + MAC delay *)
+  p_jitter_us : int;  (** uniform extra delay in [0, jitter] per frame *)
+}
+
+val make :
+  ?loss_permille:int ->
+  ?dup_permille:int ->
+  ?reorder_permille:int ->
+  ?latency_us:int ->
+  ?jitter_us:int ->
+  string ->
+  t
+
+(** {2 The named scenario matrix} *)
+
+val clean : t
+val lossy : t
+
+val storm : t
+(** Retransmit storm: 25% frame loss + 20% duplication + jitter. *)
+
+val duplicator : t
+(** 40% of frames delivered twice. *)
+
+val jittery : t
+(** Hold-backs + up to 5 ms jitter: heavy reordering. *)
+
+val hostile : t
+(** Everything at once. *)
+
+val named : t list
+val names : string list
+val of_name : string -> t option

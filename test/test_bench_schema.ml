@@ -9,6 +9,7 @@ module Update_bench = Femto_bench.Update_bench
 module Dispatch_bench = Femto_bench.Dispatch_bench
 module Spawn_bench = Femto_bench.Spawn_bench
 module Fleet_bench = Femto_bench.Fleet_bench
+module Edge_bench = Femto_bench.Edge_bench
 module Jsonx = Femto_obs.Jsonx
 
 let check_valid label doc =
@@ -90,6 +91,30 @@ let test_fleet_emitter () =
          footprint_x = 1.77;
        })
 
+let edge_rows =
+  [
+    {
+      Edge_bench.e_name = "edge/udp-get-uncached"; e_ns = 30_000.;
+      e_p50 = Some 20_000.; e_p90 = Some 40_000.; e_p99 = Some 90_000.;
+      e_rps = Some 33_000.; e_accepted = None; e_ok = true;
+    };
+    {
+      Edge_bench.e_name = "edge/handler-cached"; e_ns = 1_000.;
+      e_p50 = None; e_p90 = None; e_p99 = None; e_rps = None;
+      e_accepted = None; e_ok = true;
+    };
+    {
+      Edge_bench.e_name = "edge/update-hostile"; e_ns = 40_000.;
+      e_p50 = None; e_p90 = None; e_p99 = None; e_rps = None;
+      e_accepted = Some true; e_ok = true;
+    };
+  ]
+
+let edge_ratios = [ ("cached_handler_x", 8.0); ("cached_udp_x", 2.0) ]
+
+let test_edge_emitter () =
+  check_valid "edge doc" (Edge_bench.smoke_json edge_rows edge_ratios)
+
 (* --- validator teeth -------------------------------------------------- *)
 
 let test_rejects_bad_docs () =
@@ -117,6 +142,26 @@ let test_rejects_bad_docs () =
                | kv -> kv)
              fields)
     | doc -> doc);
+  not_ok "crossed percentiles"
+    (Edge_bench.smoke_json
+       [
+         {
+           Edge_bench.e_name = "edge/crossed"; e_ns = 100.;
+           e_p50 = Some 9_000.; e_p90 = Some 4_000.; e_p99 = Some 5_000.;
+           e_rps = None; e_accepted = None; e_ok = true;
+         };
+       ]
+       edge_ratios);
+  not_ok "negative percentile"
+    (Edge_bench.smoke_json
+       [
+         {
+           Edge_bench.e_name = "edge/negative"; e_ns = 100.;
+           e_p50 = Some (-1.0); e_p90 = None; e_p99 = None;
+           e_rps = None; e_accepted = None; e_ok = true;
+         };
+       ]
+       edge_ratios);
   not_ok "bad timestamp"
     (match Corpus.doc_of_rows [] with
     | Jsonx.Obj fields ->
@@ -174,6 +219,29 @@ let test_gate_fires_on_slowdown () =
       baseline
   in
   Alcotest.(check bool) "missing row caught" true (missing <> [])
+
+let test_edge_gate_fires_on_regression () =
+  let baseline = Edge_bench.smoke_json edge_rows edge_ratios in
+  Alcotest.(check (list string))
+    "unchanged ratios accepted" []
+    (Edge_bench.check_baseline_doc ~ratios:edge_ratios baseline);
+  (* cached speedup collapsing to ~1x must fail the gate *)
+  let failures =
+    Edge_bench.check_baseline_doc
+      ~ratios:[ ("cached_handler_x", 1.1); ("cached_udp_x", 2.0) ]
+      baseline
+  in
+  Alcotest.(check bool) "regression caught" true (failures <> []);
+  Alcotest.(check bool) "failure names the ratio" true
+    (List.exists
+       (fun m -> Astring.String.is_infix ~affix:"cached_handler_x" m)
+       failures);
+  (* a committed ratio disappearing must also fail *)
+  Alcotest.(check bool) "missing ratio caught" true
+    (Edge_bench.check_baseline_doc
+       ~ratios:[ ("cached_handler_x", 8.0) ]
+       baseline
+    <> [])
 
 (* --- committed baselines ---------------------------------------------- *)
 
@@ -250,6 +318,25 @@ let test_spawn_baseline_current () =
         committed
   | _ -> Alcotest.fail "spawn baseline has no spawn_ratios"
 
+let test_edge_baseline_current () =
+  let doc = read_json (repo_file "bench/edge-baseline.json") in
+  check_valid "edge baseline" doc;
+  let live = [ "cached_handler_x"; "cached_udp_x" ] in
+  match Jsonx.member "edge_ratios" doc with
+  | Some (Jsonx.Obj committed) ->
+      List.iter
+        (fun name ->
+          Alcotest.(check bool)
+            (name ^ " committed") true
+            (List.mem_assoc name committed))
+        live;
+      List.iter
+        (fun (key, _) ->
+          Alcotest.(check bool)
+            (key ^ " still a gate ratio") true (List.mem key live))
+        committed
+  | _ -> Alcotest.fail "edge baseline has no edge_ratios"
+
 let test_fleet_baseline_current () =
   let doc = read_json (repo_file "bench/fleet-baseline.json") in
   check_valid "fleet baseline" doc;
@@ -279,6 +366,7 @@ let suite =
         Alcotest.test_case "update doc conforms" `Quick test_update_emitter;
         Alcotest.test_case "spawn doc conforms" `Quick test_spawn_emitter;
         Alcotest.test_case "fleet doc conforms" `Quick test_fleet_emitter;
+        Alcotest.test_case "edge doc conforms" `Quick test_edge_emitter;
       ] );
     ( "validator",
       [
@@ -289,6 +377,8 @@ let suite =
       [
         Alcotest.test_case "fires on injected slowdown" `Quick
           test_gate_fires_on_slowdown;
+        Alcotest.test_case "edge gate fires on regression" `Quick
+          test_edge_gate_fires_on_regression;
       ] );
     ( "baselines",
       [
@@ -300,6 +390,8 @@ let suite =
           test_spawn_baseline_current;
         Alcotest.test_case "fleet baseline current" `Quick
           test_fleet_baseline_current;
+        Alcotest.test_case "edge baseline current" `Quick
+          test_edge_baseline_current;
       ] );
   ]
 

@@ -181,6 +181,146 @@ let test_management_endpoints () =
   Alcotest.(check bool) "reports runs" true
     (Astring.String.is_infix ~affix:"runs=1" !listing)
 
+(* --- hostile-network updates (PR 10) --- *)
+
+module Profile = Femto_net.Profile
+
+let assemble source =
+  Bytes.to_string (Femto_ebpf.Program.to_bytes (Femto_ebpf.Asm.assemble source))
+
+(* Install a manifest through the SUIT processor directly (no network):
+   the firmware the device is already running when the hostile update
+   starts. *)
+let install_direct device ~sequence ~uuid source =
+  let payload = assemble source in
+  let manifest =
+    Suit.make ~vendor_id:identity.Device.vendor_id
+      ~class_id:identity.Device.class_id ~sequence
+      [ Suit.component_for ~storage_uuid:uuid payload ]
+  in
+  match
+    Suit.process
+      (Device.suit_processor device)
+      ~envelope:(Suit.sign manifest key)
+      ~payloads:[ (uuid, payload) ]
+  with
+  | Ok _ -> payload
+  | Error e -> Alcotest.fail (Suit.error_to_string e)
+
+let run_hook_on device uuid =
+  match Engine.trigger_by_uuid (Device.engine device) ~uuid () with
+  | Ok [ { Engine.result = Ok v; _ } ] -> Some v
+  | Ok [] -> None
+  | Ok _ | Error _ -> Alcotest.fail "unexpected trigger outcome"
+
+(* Whatever a hostile schedule did to the transfer, the device must be
+   in one of exactly two states: still running v1, or fully running v2.
+   Slot images are digest-checked (Slots.scan drops anything torn), the
+   header-last streaming commit means an aborted upload scans as empty,
+   and an accepted install must actually fire v2 — before AND after a
+   power cycle over the same flash. *)
+let prop_hostile_update_never_torn =
+  let gen =
+    QCheck.Gen.(
+      map
+        (fun (loss, dup, reorder, seed) -> (loss, dup, reorder, seed))
+        (quad (int_bound 250) (int_bound 400) (int_bound 400) (int_bound 9999)))
+  in
+  let print (loss, dup, reorder, seed) =
+    Printf.sprintf "loss=%d dup=%d reorder=%d seed=%d" loss dup reorder seed
+  in
+  QCheck.Test.make ~name:"hostile schedules never expose a torn update"
+    ~count:30
+    (QCheck.make ~print gen)
+    (fun (loss, dup, reorder, seed) ->
+      let profile =
+        Profile.make ~loss_permille:loss ~dup_permille:dup
+          ~reorder_permille:reorder ~jitter_us:800 "qcheck"
+      in
+      let kernel = Kernel.create () in
+      let network = Network.create ~kernel ~profile ~seed () in
+      let flash = Flash.create ~page_size:256 ~pages:64 () in
+      let client = Client.create ~network ~kernel ~addr:9 in
+      let device =
+        Device.boot ~identity ~hooks ~flash ~slot_count:4 ~network
+          ~addr:device_addr ()
+      in
+      let v1 = install_direct device ~sequence:1L ~uuid:hook_a "mov r0, 1\nexit" in
+      let v2 = assemble "mov r0, 2\nexit" in
+      let manifest =
+        Suit.make ~vendor_id:identity.Device.vendor_id
+          ~class_id:identity.Device.class_id ~sequence:2L
+          [ Suit.component_for ~storage_uuid:hook_a v2 ]
+      in
+      let outcome = ref None in
+      Client.post_blockwise client ~dst:device_addr ~path:"/suit/slot"
+        ~payload:v2 (fun _ ->
+          Client.post client ~dst:device_addr ~path:"/suit/install"
+            ~payload:(Suit.sign manifest key) (fun result ->
+              outcome :=
+                match result with
+                | Ok r -> Some r.Message.code
+                | Error `Timeout -> None));
+      ignore (Kernel.run kernel ());
+      let accepted = !outcome = Some Message.code_changed in
+      let images_whole device =
+        List.for_all
+          (fun (_, image) ->
+            String.equal image.Slots.hook_uuid hook_a
+            && (String.equal image.Slots.payload v1
+               || String.equal image.Slots.payload v2))
+          (Slots.scan (Device.slots device))
+      in
+      let state_sane device =
+        match run_hook_on device hook_a with
+        | Some 1L -> not accepted (* a 2.04 means v2 must be live *)
+        | Some 2L -> true
+        | _ -> false
+      in
+      let live_ok = images_whole device && state_sane device in
+      (* power-cycle over the same flash: the bootloader sees only
+         whole, digest-checked images *)
+      Network.remove_node network ~addr:device_addr;
+      let rebooted =
+        Device.boot ~identity ~hooks ~flash ~slot_count:4 ~network
+          ~addr:device_addr ()
+      in
+      live_ok && images_whole rebooted && state_sane rebooted)
+
+(* The rollback half of the hostile matrix, deterministically: a replayed
+   sequence number pushed through a lossy link must be rejected and must
+   leave v1 firing. *)
+let test_hostile_rollback_leaves_v1 () =
+  let kernel = Kernel.create () in
+  let network = Network.create ~kernel ~profile:Profile.lossy ~seed:4 () in
+  let flash = Flash.create ~page_size:256 ~pages:64 () in
+  let client = Client.create ~network ~kernel ~addr:9 in
+  let device =
+    Device.boot ~identity ~hooks ~flash ~slot_count:4 ~network
+      ~addr:device_addr ()
+  in
+  ignore (install_direct device ~sequence:5L ~uuid:hook_a "mov r0, 1\nexit");
+  let rollback = assemble "mov r0, 666\nexit" in
+  let manifest =
+    Suit.make ~vendor_id:identity.Device.vendor_id
+      ~class_id:identity.Device.class_id ~sequence:5L
+      [ Suit.component_for ~storage_uuid:hook_a rollback ]
+  in
+  let outcome = ref None in
+  Client.post_blockwise client ~dst:device_addr ~path:"/suit/slot"
+    ~payload:rollback (fun _ ->
+      Client.post client ~dst:device_addr ~path:"/suit/install"
+        ~payload:(Suit.sign manifest key) (fun result ->
+          outcome :=
+            match result with
+            | Ok r -> Some r.Message.code
+            | Error `Timeout -> None));
+  ignore (Kernel.run kernel ());
+  Alcotest.(check bool) "replay rejected" true
+    (!outcome = Some Message.code_unauthorized);
+  Alcotest.(check (option int64)) "v1 still firing" (Some 1L)
+    (run_hook_on device hook_a)
+
 let test_corrupt_slot_skipped_on_boot () =
   let rig = make_rig () in
   ignore (deploy rig ~sequence:1L ~uuid:hook_a "mov r0, 1\nexit");
@@ -215,6 +355,9 @@ let suite =
       test_broken_program_rejected_not_persisted;
     Alcotest.test_case "management endpoints" `Quick test_management_endpoints;
     Alcotest.test_case "corrupt slot skipped" `Quick test_corrupt_slot_skipped_on_boot;
+    QCheck_alcotest.to_alcotest prop_hostile_update_never_torn;
+    Alcotest.test_case "hostile rollback leaves v1" `Quick
+      test_hostile_rollback_leaves_v1;
   ]
 
 let () = Alcotest.run "femto_device" [ ("device", suite) ]

@@ -549,6 +549,174 @@ let test_observe_notification_carries_sequence () =
   let sorted = List.sort_uniq compare !sequences in
   Alcotest.(check int) "three distinct" 3 (List.length sorted)
 
+(* --- message-id dedupe LRU (PR 10) --- *)
+
+let detached_server ?dedupe_capacity () =
+  let sent = ref [] in
+  let server =
+    Server.create_detached ?dedupe_capacity ~addr:1
+      ~send:(fun ~dst:_ datagram -> sent := datagram :: !sent)
+      ()
+  in
+  (server, sent)
+
+let get_datagram ?(path = "/r") ~mid () =
+  Message.encode
+    (Message.make ~token:"tk"
+       ~options:(Message.options_of_path path)
+       ~code:Message.code_get ~message_id:mid ())
+
+let test_dedupe_lru_eviction () =
+  let server, sent = detached_server ~dedupe_capacity:4 () in
+  let runs = ref 0 in
+  Server.register server ~path:"/r" (fun ~src:_ _ ->
+      incr runs;
+      Server.respond ~payload:"x" Message.code_content);
+  (* a CON retransmission is answered from the dedupe table *)
+  Server.handle_datagram server ~src:5 (get_datagram ~mid:1 ());
+  Server.handle_datagram server ~src:5 (get_datagram ~mid:1 ());
+  Alcotest.(check int) "handler ran once" 1 !runs;
+  Alcotest.(check int) "both copies answered" 2 (List.length !sent);
+  (match !sent with
+  | [ a; b ] -> Alcotest.(check bytes) "identical replies" a b
+  | _ -> Alcotest.fail "expected two replies");
+  (* overflow the 4-entry table: oldest keys fall out, counted *)
+  for mid = 2 to 6 do
+    Server.handle_datagram server ~src:5 (get_datagram ~mid ())
+  done;
+  Alcotest.(check bool) "evictions counted" true
+    (Server.dedupe_evictions server > 0);
+  (* the evicted (src=5, mid=1) is no longer deduplicated... *)
+  let before = !runs in
+  Server.handle_datagram server ~src:5 (get_datagram ~mid:1 ());
+  Alcotest.(check int) "evicted entry re-runs handler" (before + 1) !runs;
+  (* ...but a recent mid still is *)
+  Server.handle_datagram server ~src:5 (get_datagram ~mid:6 ());
+  Alcotest.(check int) "recent mid still deduped" (before + 1) !runs
+
+(* --- idempotent-GET response cache (PR 10) --- *)
+
+let test_response_cache_hits_and_expiry () =
+  let server, sent = detached_server () in
+  let now = ref 1_000.0 in
+  Server.set_time_source server (fun () -> !now);
+  let runs = ref 0 in
+  Server.register_cached ~max_age_s:60 server ~path:"/c" (fun ~src:_ _ ->
+      incr runs;
+      Server.respond ~payload:"v" Message.code_content);
+  Server.handle_datagram server ~src:1 (get_datagram ~path:"/c" ~mid:1 ());
+  Server.handle_datagram server ~src:2 (get_datagram ~path:"/c" ~mid:2 ());
+  Alcotest.(check int) "handler ran once for two clients" 1 !runs;
+  Alcotest.(check (pair int int)) "one hit, one miss" (1, 1)
+    (Server.cache_stats server);
+  (* both replies carry the same ETag and a Max-Age *)
+  let replies = List.rev_map Message.decode !sent in
+  let etags = List.map Message.etag replies in
+  (match etags with
+  | [ Some a; Some b ] -> Alcotest.(check string) "stable ETag" a b
+  | _ -> Alcotest.fail "expected an ETag on both replies");
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) "max-age present" true (Message.max_age r <> None);
+      Alcotest.(check string) "payload served" "v" r.Message.payload)
+    replies;
+  (* past Max-Age the entry is stale: the handler runs again *)
+  now := !now +. 61.0;
+  Server.handle_datagram server ~src:3 (get_datagram ~path:"/c" ~mid:3 ());
+  Alcotest.(check int) "expired entry re-evaluated" 2 !runs;
+  (* invalidate drops the fresh entry too *)
+  Server.invalidate server ~path:"/c";
+  Server.handle_datagram server ~src:4 (get_datagram ~path:"/c" ~mid:4 ());
+  Alcotest.(check int) "invalidate forces re-evaluation" 3 !runs
+
+(* --- observe fan-out: one evaluation, one encode, N sends (PR 10) --- *)
+
+let test_observe_fanout_single_evaluation () =
+  let kernel = Kernel.create () in
+  let network = Network.create ~kernel () in
+  let server = Server.create ~network ~addr:1 () in
+  let runs = ref 0 in
+  Server.register server ~path:"/t" (fun ~src:_ _ ->
+      incr runs;
+      Server.respond ~payload:"temp=21" Message.code_content);
+  let payloads = ref [] in
+  for i = 1 to 3 do
+    let client = Client.create ~network ~kernel ~addr:(10 + i) in
+    ignore
+      (Client.observe client ~dst:1 ~path:"/t" (fun m ->
+           match Message.observe m with
+           | Some seq when seq > 1 -> payloads := m.Message.payload :: !payloads
+           | _ -> ()))
+  done;
+  ignore (Kernel.run kernel ());
+  let before = !runs in
+  Alcotest.(check int) "all three notified" 3 (Server.notify server ~path:"/t");
+  ignore (Kernel.run kernel ());
+  Alcotest.(check int) "resource evaluated once for the fan-out" (before + 1)
+    !runs;
+  Alcotest.(check (list string)) "every observer got the payload"
+    [ "temp=21"; "temp=21"; "temp=21" ] !payloads
+
+(* --- fault-injection profiles (PR 10) --- *)
+
+let test_profile_duplication_counted () =
+  let kernel = Kernel.create () in
+  let profile = Femto_net.Profile.make ~dup_permille:1000 "alldup" in
+  let network = Network.create ~kernel ~profile ~seed:3 () in
+  let _a = Network.add_node network ~addr:1 in
+  let b = Network.add_node network ~addr:2 in
+  let received = ref 0 in
+  Network.set_receiver b (fun ~src:_ _ -> incr received);
+  for _ = 1 to 20 do
+    Network.send network ~src:1 ~dst:2 (Bytes.of_string "ping")
+  done;
+  ignore (Kernel.run kernel ());
+  Alcotest.(check int) "every frame duplicated" 20
+    (Network.stats network).Network.frames_duplicated;
+  Alcotest.(check bool) "duplicates reach the receiver" true (!received > 20)
+
+let test_profile_schedule_deterministic () =
+  let run seed =
+    let kernel = Kernel.create () in
+    let network =
+      Network.create ~kernel ~profile:Femto_net.Profile.hostile ~seed ()
+    in
+    let _a = Network.add_node network ~addr:1 in
+    let b = Network.add_node network ~addr:2 in
+    let received = ref 0 in
+    Network.set_receiver b (fun ~src:_ _ -> incr received);
+    for i = 1 to 50 do
+      Network.send network ~src:1 ~dst:2
+        (Bytes.make (100 + i) (Char.chr (i land 0xff)))
+    done;
+    ignore (Kernel.run kernel ());
+    let s = Network.stats network in
+    (!received, s.Network.frames_dropped, s.Network.frames_duplicated,
+     s.Network.frames_reordered)
+  in
+  Alcotest.(check bool) "same seed, same fault schedule" true
+    (run 42 = run 42)
+
+let test_coap_roundtrip_under_duplicator_profile () =
+  let kernel = Kernel.create () in
+  let network =
+    Network.create ~kernel ~profile:Femto_net.Profile.duplicator ~seed:5 ()
+  in
+  let server = Server.create ~network ~addr:1 () in
+  let runs = ref 0 in
+  Server.register server ~path:"/x" (fun ~src:_ _ ->
+      incr runs;
+      Server.respond ~payload:"ok" Message.code_content);
+  let client = Client.create ~network ~kernel ~addr:2 in
+  let got = ref None in
+  Client.get client ~dst:1 ~path:"/x" (fun r -> got := Some r);
+  ignore (Kernel.run kernel ());
+  (match !got with
+  | Some (Ok r) -> Alcotest.(check string) "payload" "ok" r.Message.payload
+  | _ -> Alcotest.fail "no response under duplication");
+  (* duplicated requests are absorbed by the dedupe table *)
+  Alcotest.(check int) "handler ran once" 1 !runs
+
 (* --- gcoap glue --- *)
 
 let test_fmt_s16_dfp () =
@@ -595,6 +763,14 @@ let suite =
     Alcotest.test_case "observe register/notify" `Quick test_observe_register_and_notify;
     Alcotest.test_case "observe cancel" `Quick test_observe_cancel;
     Alcotest.test_case "observe sequence" `Quick test_observe_notification_carries_sequence;
+    Alcotest.test_case "dedupe LRU eviction" `Quick test_dedupe_lru_eviction;
+    Alcotest.test_case "response cache" `Quick test_response_cache_hits_and_expiry;
+    Alcotest.test_case "observe fan-out single eval" `Quick
+      test_observe_fanout_single_evaluation;
+    Alcotest.test_case "profile duplication" `Quick test_profile_duplication_counted;
+    Alcotest.test_case "profile determinism" `Quick test_profile_schedule_deterministic;
+    Alcotest.test_case "coap under duplicator" `Quick
+      test_coap_roundtrip_under_duplicator_profile;
   ]
 
 let () = Alcotest.run "femto_net_coap" [ ("net-coap", suite) ]
